@@ -1,0 +1,78 @@
+"""Ablation: sketch accuracy vs budget (copies, rows).
+
+DESIGN.md's sketch design choices: the number of median-boost copies and
+the bucket count per copy.  The theory says estimate quality improves
+with both; this bench quantifies the relative-error distribution of the
+``l_kappa`` estimator across the grid, plus the effect of kappa on the
+end-to-end c-MIPS answer quality at fixed budget.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.datasets import planted_mips, random_unit
+from repro.sketches import LKappaSketch, SketchCMIPS
+from repro.sketches.stable import kappa_norm
+
+
+def test_sketch_budget_ablation(benchmark):
+    n = 512
+    rng = np.random.default_rng(0)
+    vectors = [rng.normal(size=n) for _ in range(25)]
+
+    def build():
+        rows = []
+        for copies in (3, 7, 15):
+            for row_factor in (0.5, 1.0, 2.0):
+                base = LKappaSketch(n, 3.0, copies=copies, seed=1)
+                sketch = LKappaSketch(
+                    n, 3.0, copies=copies,
+                    rows=max(1, int(base.rows * row_factor)), seed=1,
+                )
+                errors = []
+                for x in vectors:
+                    true = kappa_norm(x, 3.0)
+                    errors.append(abs(sketch.estimate(x) - true) / true)
+                rows.append([
+                    copies, sketch.rows,
+                    f"{np.median(errors):.3f}", f"{np.max(errors):.3f}",
+                ])
+        return format_table(
+            ["copies", "rows", "median rel err", "max rel err"], rows
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_sketch_budget", text)
+
+
+def test_sketch_kappa_ablation(benchmark):
+    inst = planted_mips(512, 16, 24, s=0.9, c=0.3, seed=2)
+
+    def build():
+        rows = []
+        for kappa in (2.0, 2.5, 3.0, 4.0, 6.0):
+            structure = SketchCMIPS(inst.P, kappa=kappa, copies=7, seed=3)
+            ratios = []
+            for qi in range(16):
+                q = inst.Q[qi]
+                opt = float(np.abs(inst.P @ q).max())
+                ratios.append(structure.query(q).value / opt)
+            rows.append([
+                f"{kappa:g}",
+                f"{structure.approximation_factor:.4f}",
+                f"{min(ratios):.3f}",
+                f"{np.mean(ratios):.3f}",
+                structure.estimator.rows,
+            ])
+        return format_table(
+            ["kappa", "promised c", "worst ratio", "mean ratio", "rows"], rows
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ablation_sketch_kappa", text)
+
+
+def test_sketch_estimate_throughput(benchmark, rng):
+    sketch = LKappaSketch(2048, 3.0, copies=7, seed=4)
+    x = rng.normal(size=2048)
+    benchmark(sketch.estimate, x)

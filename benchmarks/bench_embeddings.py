@@ -1,0 +1,68 @@
+"""Lemma 3's evaluation-cost claim: embeddings run in time linear in the
+output dimension.
+
+Prints microseconds-per-output-coordinate over growing parameters for
+each embedding — the per-coordinate cost must stay roughly flat (the
+dynamic-programming evaluation of the Chebyshev construction is the
+interesting case: its output dimension grows by orders of magnitude while
+the per-coordinate cost does not).
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.embeddings import (
+    ChebyshevSignEmbedding,
+    ChoppedBinaryEmbedding,
+    SignedCoordinateEmbedding,
+)
+
+
+def _time_embed(embedding, x, repeats=5):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        embedding.embed_left(x)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_embedding_cost_linear_in_output(benchmark):
+    rng = np.random.default_rng(0)
+
+    def build():
+        rows = []
+        for d in (16, 64, 256, 1024):
+            emb = SignedCoordinateEmbedding(d)
+            x = rng.integers(0, 2, d)
+            t = _time_embed(emb, x)
+            rows.append(["signed gadget", f"d={d}", emb.d_out, f"{t * 1e9 / emb.d_out:.1f}"])
+        for q in (1, 2, 3):
+            emb = ChebyshevSignEmbedding(12, q=q)
+            x = rng.integers(0, 2, 12)
+            t = _time_embed(emb, x)
+            rows.append(["Chebyshev", f"d=12, q={q}", emb.d_out, f"{t * 1e9 / emb.d_out:.1f}"])
+        for k in (8, 4, 2):
+            emb = ChoppedBinaryEmbedding(16, k=k)
+            x = rng.integers(0, 2, 16)
+            t = _time_embed(emb, x)
+            rows.append(["chopped", f"d=16, k={k}", emb.d_out, f"{t * 1e9 / emb.d_out:.1f}"])
+        return format_table(
+            ["embedding", "parameters", "output dim", "ns per output coordinate"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("embedding_cost", text)
+
+
+def test_chebyshev_q3_throughput(benchmark, rng):
+    emb = ChebyshevSignEmbedding(12, q=3)
+    x = rng.integers(0, 2, 12)
+    benchmark(emb.embed_left, x)
+
+
+def test_signed_d1024_throughput(benchmark, rng):
+    emb = SignedCoordinateEmbedding(1024)
+    x = rng.integers(0, 2, 1024)
+    benchmark(emb.embed_left, x)

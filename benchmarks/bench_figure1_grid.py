@@ -1,0 +1,31 @@
+"""Figure 1 / Lemma 4 reproduction: the collision-grid charging argument.
+
+Prints (a) the partition census — how many squares of each side tile the
+lower triangle at each grid size, exactly the structure Figure 1 draws —
+and (b) a full mass-accounting audit of a real asymmetric LSH family on a
+real Theorem 3 hard sequence (see :mod:`repro.experiments.figure1`).
+
+Timed component: the mass accounting itself.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.figure1 import (
+    build_enumerated_family,
+    build_figure1_reports,
+    build_mass_accounting_report,
+)
+from repro.lowerbounds import MassAccounting
+
+
+def test_figure1_reports(benchmark):
+    reports = benchmark.pedantic(build_figure1_reports, rounds=1, iterations=1)
+    for name, text in reports.items():
+        emit(name, text)
+    assert "within bound: True" in reports["figure1_mass_accounting"]
+
+
+def test_figure1_mass_accounting_timing(benchmark):
+    family = build_enumerated_family(ell=4, trials=60, seed=0)
+    accounting = MassAccounting(family)
+    report = benchmark.pedantic(accounting.verify, rounds=1, iterations=1)
+    assert report["gap_within_bound"]

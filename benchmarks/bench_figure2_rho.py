@@ -1,0 +1,38 @@
+"""Figure 2 reproduction: ρ exponents of DATA-DEP vs SIMP vs MH-ALSH.
+
+Prints the three curves over a grid of thresholds for several
+approximation factors (the closed forms the paper plots), plus a
+Monte-Carlo cross-check of the implemented hash families against those
+closed forms (see :mod:`repro.experiments.figure2`).
+
+Expected shape: DATA-DEP below SIMP everywhere and below MH-ALSH for
+larger ``s``/``c``, MH-ALSH winning at small ``s`` — the crossover the
+paper describes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments.figure2 import (
+    build_crosscheck_report,
+    build_curves_report,
+)
+from repro.lsh import SimpleALSH
+from repro.lsh.base import estimate_collision_probability
+
+
+def test_figure2_curves(benchmark):
+    text = benchmark.pedantic(build_curves_report, rounds=1, iterations=1)
+    emit("figure2_rho", text)
+
+
+def test_figure2_monte_carlo_crosscheck(benchmark):
+    text = benchmark.pedantic(build_crosscheck_report, rounds=1, iterations=1)
+    emit("figure2_crosscheck", text)
+
+
+def test_figure2_collision_estimation_throughput(benchmark, rng):
+    fam = SimpleALSH(48)
+    p = rng.normal(size=48); p /= 2 * np.linalg.norm(p)
+    q = rng.normal(size=48); q /= np.linalg.norm(q)
+    benchmark(estimate_collision_probability, fam, p, q, 100, 3)

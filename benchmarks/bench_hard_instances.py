@@ -1,0 +1,17 @@
+"""The hard-instance parameter landscape of Theorems 1 and 2.
+
+Prints, for growing ``n``, the concrete ``(d, d2, s, cs, c, ratio)`` each
+proof's embedding family produces (see
+:mod:`repro.experiments.hard_instances`) — the paper's "for intuition"
+discussion made computable: ``c -> 0`` for signed ±1, subconstant for
+unsigned ±1, ``c -> 1`` for unsigned {0,1}.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.hard_instances import build_hard_instance_reports
+
+
+def test_hard_instance_reports(benchmark):
+    reports = benchmark.pedantic(build_hard_instance_reports, rounds=1, iterations=1)
+    for name, text in reports.items():
+        emit(name, text)

@@ -1,0 +1,87 @@
+"""Join algorithm comparison: exact vs LSH vs sketch over a size sweep.
+
+Prints, per algorithm and data size, wall time, exact inner products
+evaluated (the work measure), and recall against the exact join.  The
+shape to reproduce: brute-force work grows quadratically in ``n`` while
+the filter-based algorithms' verified-pair counts grow subquadratically —
+the crossover the paper's upper bounds promise.  (Wall-clock comparisons
+in pure Python flatter BLAS-backed brute force at small sizes; the work
+columns carry the asymptotic point.)
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.core import JoinSpec, brute_force_join, lsh_join, sketch_unsigned_join
+from repro.datasets import planted_mips
+from repro.lsh import DataDepALSH
+
+
+def test_join_crossover_table(benchmark):
+    d = 24
+
+    def build():
+        rows = []
+        for n in (256, 512, 1024, 2048):
+            inst = planted_mips(n, 16, d, s=0.85, c=0.4, seed=n)
+            spec = JoinSpec(s=inst.s, c=0.4)
+            timings = {}
+
+            start = time.perf_counter()
+            exact = brute_force_join(inst.P, inst.Q, spec)
+            timings["exact"] = time.perf_counter() - start
+
+            family = DataDepALSH(d, sphere="hyperplane")
+            start = time.perf_counter()
+            approx = lsh_join(inst.P, inst.Q, spec, family,
+                              n_tables=12, hashes_per_table=7, seed=1)
+            timings["lsh"] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            sketched = sketch_unsigned_join(inst.P, inst.Q, s=inst.s,
+                                            kappa=3.0, copies=5, seed=2)
+            timings["sketch"] = time.perf_counter() - start
+
+            for name, result in (("exact", exact), ("lsh", approx), ("sketch", sketched)):
+                rows.append([
+                    n, name,
+                    f"{timings[name] * 1e3:.1f} ms",
+                    result.inner_products_evaluated,
+                    f"{result.inner_products_evaluated / (n * 16):.4f}",
+                    f"{result.recall_against(exact):.2f}",
+                ])
+        return format_table(
+            ["n", "algorithm", "wall time", "pairs verified", "fraction of n*m", "recall"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("join_crossover", text)
+
+
+def test_exact_join_n1024(benchmark):
+    inst = planted_mips(1024, 16, 24, s=0.85, c=0.4, seed=0)
+    spec = JoinSpec(s=inst.s, c=0.4)
+    benchmark(brute_force_join, inst.P, inst.Q, spec)
+
+
+def test_lsh_join_n1024(benchmark):
+    inst = planted_mips(1024, 16, 24, s=0.85, c=0.4, seed=0)
+    spec = JoinSpec(s=inst.s, c=0.4)
+    family = DataDepALSH(24, sphere="hyperplane")
+    benchmark.pedantic(
+        lambda: lsh_join(inst.P, inst.Q, spec, family,
+                         n_tables=8, hashes_per_table=7, seed=1),
+        rounds=3, iterations=1,
+    )
+
+
+def test_sketch_join_n1024(benchmark):
+    inst = planted_mips(1024, 16, 24, s=0.85, c=0.4, seed=0)
+    benchmark.pedantic(
+        lambda: sketch_unsigned_join(inst.P, inst.Q, s=inst.s,
+                                     kappa=3.0, copies=5, seed=2),
+        rounds=3, iterations=1,
+    )

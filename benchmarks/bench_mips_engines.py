@@ -1,0 +1,76 @@
+"""MIPS engine comparison: exact scan vs cone tree vs ALSH vs sketches.
+
+The paper's related-work landscape, measured on one workload: the exact
+branch-and-bound cone tree [43], the Section 4.1 ALSH, and the Section
+4.3 sketch structure against the linear scan, on a latent-factor model
+with popularity-skewed norms (the setting where MIPS differs from cosine
+search).  Reports exact-match recall, mean work (inner products), and
+the approximation ratio achieved.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.datasets import latent_factor_model
+from repro.mips import ConeTreeMIPS, ExactMIPS, LSHMIPS, SketchMIPS
+
+
+def test_mips_engine_comparison(benchmark):
+    model = latent_factor_model(48, 3000, rank=16, popularity_skew=0.8, seed=0)
+    exact = ExactMIPS(model.items)
+    truth = [exact.query(model.users[u]) for u in range(model.n_users)]
+
+    def build():
+        engines = {
+            "exact scan": exact,
+            "cone tree [43]": ConeTreeMIPS(model.items, leaf_size=32, seed=1),
+            "DATA-DEP ALSH (4.1)": LSHMIPS(
+                model.items, n_tables=16, hashes_per_table=6, seed=2
+            ),
+            "sketch c-MIPS (4.3)": SketchMIPS(model.items, kappa=3.0, copies=5, seed=3),
+        }
+        rows = []
+        for name, engine in engines.items():
+            hits = 0
+            ratios = []
+            works = []
+            for u in range(model.n_users):
+                answer = engine.query(model.users[u])
+                works.append(answer.work)
+                if answer.index == truth[u].index:
+                    hits += 1
+                ratios.append(abs(answer.value) / max(abs(truth[u].value), 1e-12))
+            rows.append([
+                name,
+                f"{hits / model.n_users:.2f}",
+                f"{np.mean(ratios):.3f}",
+                f"{np.mean(works):.0f}",
+                f"{np.mean(works) / model.n_items:.3f}",
+            ])
+        return format_table(
+            ["engine", "top-1 recall", "mean value ratio", "mean work", "work / scan"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("mips_engines", text)
+
+
+def test_cone_tree_query(benchmark):
+    model = latent_factor_model(8, 3000, rank=16, popularity_skew=0.8, seed=4)
+    engine = ConeTreeMIPS(model.items, leaf_size=32, seed=5)
+    benchmark(engine.query, model.users[0])
+
+
+def test_exact_mips_query(benchmark):
+    model = latent_factor_model(8, 3000, rank=16, popularity_skew=0.8, seed=6)
+    engine = ExactMIPS(model.items)
+    benchmark(engine.query, model.users[0])
+
+
+def test_cone_tree_build(benchmark):
+    model = latent_factor_model(4, 3000, rank=16, popularity_skew=0.8, seed=7)
+    benchmark.pedantic(
+        lambda: ConeTreeMIPS(model.items, leaf_size=32, seed=8),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,66 @@
+"""OVP solver baselines: the quadratic bar the conditional bounds concern.
+
+Prints pair-throughput of the three exact solvers over a size sweep in
+the conjecture's regime ``d = gamma log n`` — bit packing buys a large
+constant, BLAS a larger one, but the scaling stays quadratic, which is
+the whole point of Theorem 1.
+"""
+
+import time
+
+from benchmarks.conftest import emit, format_table
+from repro.datasets import planted_ovp
+from repro.ovp import (
+    conjecture_dimension,
+    solve_ovp_bitpacked,
+    solve_ovp_bruteforce,
+    solve_ovp_matmul,
+    solve_ovp_weight_pruned,
+    weight_prunable_fraction,
+)
+
+
+def test_ovp_solver_throughput_table(benchmark):
+    def build():
+        rows = []
+        for n in (64, 128, 256):
+            d = conjecture_dimension(n, gamma=2.0)
+            inst = planted_ovp(n, d, planted=False, density=0.8, seed=n)
+            for name, solver in (
+                ("bruteforce", solve_ovp_bruteforce),
+                ("bitpacked", solve_ovp_bitpacked),
+                ("matmul", solve_ovp_matmul),
+                ("weight-pruned", solve_ovp_weight_pruned),
+            ):
+                start = time.perf_counter()
+                answer = solver(inst)
+                elapsed = time.perf_counter() - start
+                assert answer is None
+                rows.append([
+                    n, d, name, f"{elapsed * 1e3:.2f} ms",
+                    f"{n * n / elapsed / 1e6:.2f} Mpairs/s",
+                ])
+        rows.append([
+            "-", "-", "weight-prunable pairs at density 0.8",
+            f"{weight_prunable_fraction(planted_ovp(128, 14, planted=False, density=0.8, seed=128)):.2%}",
+            "-",
+        ])
+        return format_table(["n", "d", "solver", "time", "throughput"], rows)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("ovp_solvers", text)
+
+
+def test_ovp_bruteforce_n64(benchmark):
+    inst = planted_ovp(64, 24, planted=False, density=0.8, seed=1)
+    benchmark.pedantic(lambda: solve_ovp_bruteforce(inst), rounds=3, iterations=1)
+
+
+def test_ovp_bitpacked_n256(benchmark):
+    inst = planted_ovp(256, 24, planted=False, density=0.8, seed=2)
+    benchmark(solve_ovp_bitpacked, inst)
+
+
+def test_ovp_matmul_n256(benchmark):
+    inst = planted_ovp(256, 24, planted=False, density=0.8, seed=3)
+    benchmark(solve_ovp_matmul, inst)

@@ -1,0 +1,95 @@
+"""Section 4.3 scaling: query cost ``~ n^{1-2/kappa}`` and approximation
+``~ n^{-1/kappa}``.
+
+Prints, over a sweep of data sizes and ``kappa``:
+
+* the sketch's per-query multiply-adds vs the exact scan's ``n d`` — the
+  sublinearity claim (the ratio must fall as ``n`` grows for
+  ``kappa > 2``);
+* the measured approximation ratio (returned value / true max) against
+  the promised ``n^{-1/kappa}``.
+
+Timed components: structure construction and single queries.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.datasets import random_unit
+from repro.sketches import MaxDotEstimator, SketchCMIPS
+
+
+def test_sketch_query_cost_scaling(benchmark):
+    d = 24
+
+    def build():
+        rows = []
+        for kappa in (2.0, 3.0, 4.0):
+            for n in (256, 1024, 4096, 16384):
+                A = random_unit(n, d, seed=n)
+                est = MaxDotEstimator(A, kappa=kappa, copies=5, seed=1)
+                exact_cost = n * d
+                rows.append([
+                    f"{kappa:g}", n, est.rows,
+                    est.sketch_cost(),
+                    exact_cost,
+                    f"{est.sketch_cost() / exact_cost:.3f}",
+                ])
+        return format_table(
+            ["kappa", "n", "sketch rows", "query mults", "exact mults", "ratio"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("sketch_query_cost", text)
+
+
+def test_sketch_approximation_vs_promise(benchmark):
+    d = 24
+
+    def build():
+        rows = []
+        rng = np.random.default_rng(0)
+        for kappa in (2.0, 3.0, 4.0):
+            for n in (256, 1024):
+                A = random_unit(n, d, seed=n + 1)
+                structure = SketchCMIPS(A, kappa=kappa, copies=7, seed=2)
+                ratios = []
+                for _ in range(12):
+                    q = rng.normal(size=d)
+                    q /= np.linalg.norm(q)
+                    opt = float(np.abs(A @ q).max())
+                    ratios.append(structure.query(q).value / opt)
+                rows.append([
+                    f"{kappa:g}", n,
+                    f"{structure.approximation_factor:.4f}",
+                    f"{min(ratios):.4f}",
+                    f"{np.mean(ratios):.4f}",
+                ])
+        return format_table(
+            ["kappa", "n", "promised n^(-1/k)", "worst measured", "mean measured"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("sketch_approximation", text)
+
+
+def test_sketch_construction_n1024(benchmark):
+    A = random_unit(1024, 24, seed=3)
+    benchmark.pedantic(
+        lambda: SketchCMIPS(A, kappa=3.0, copies=5, seed=4), rounds=3, iterations=1
+    )
+
+
+def test_sketch_query_n4096(benchmark, rng):
+    A = random_unit(4096, 24, seed=5)
+    structure = SketchCMIPS(A, kappa=3.0, copies=5, seed=6)
+    q = rng.normal(size=24)
+    benchmark(structure.query, q)
+
+
+def test_exact_scan_n4096(benchmark, rng):
+    A = random_unit(4096, 24, seed=7)
+    q = rng.normal(size=24)
+    benchmark(lambda: int(np.argmax(np.abs(A @ q))))

@@ -1,0 +1,61 @@
+"""The symmetric-LSH chain impossibility (the obstruction Section 4.2 evades).
+
+Prints, per threshold ``s``: the chain length ``k = ceil(arccos(cs)/
+arccos(s))``, the measured link and endpoint distances of a concrete
+symmetric family (hyperplane LSH) on the constructed great-circle chain,
+the triangle-inequality slack (must be >= 0 for every symmetric family),
+and the implied ceiling ``P1 <= 1 - (1 - P2)/k`` — which collapses to 1
+only as k explodes, i.e. high-threshold symmetric IPS hashing is squeezed
+exactly as Neyshabur-Srebro showed.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.lowerbounds import (
+    audit_symmetric_chain,
+    chain_length,
+    great_circle_chain,
+    verify_chain,
+)
+from repro.lsh import HyperplaneLSH
+
+
+def test_symmetric_chain_table(benchmark):
+    c = 0.5
+
+    def build():
+        rows = []
+        for s in (0.6, 0.8, 0.9, 0.95, 0.99):
+            chain = great_circle_chain(s, c, d=4)
+            verify_chain(chain, s, c)
+            audit = audit_symmetric_chain(
+                HyperplaneLSH(4), chain, trials=800, seed=int(s * 100)
+            )
+            rows.append([
+                f"{s:.2f}",
+                chain_length(s, c),
+                f"{float(audit.link_distances.max()):.4f}",
+                f"{audit.endpoint_distance:.4f}",
+                f"{audit.triangle_slack:.4f}",
+                f"{audit.implied_p1_ceiling:.4f}",
+            ])
+        return format_table(
+            ["s", "k", "max link dist", "endpoint dist",
+             "triangle slack", "P1 ceiling 1-(1-P2)/k"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("symmetric_chain", text)
+    # Triangle inequality can never be violated by a symmetric family.
+    for line in text.splitlines()[2:]:
+        assert float(line.split()[4]) >= -1e-9
+
+
+def test_chain_audit_timing(benchmark):
+    chain = great_circle_chain(0.9, 0.5, d=4)
+    benchmark.pedantic(
+        lambda: audit_symmetric_chain(HyperplaneLSH(4), chain, trials=200, seed=0),
+        rounds=3, iterations=1,
+    )

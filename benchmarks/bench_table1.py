@@ -1,0 +1,41 @@
+"""Table 1 reproduction: hard vs permissible approximation ranges.
+
+Prints the paper's four-column table and, per row, an *empirical witness*
+(see :mod:`repro.experiments.table1`): the witnessing gap embedding's
+measured gap on forced-orthogonal / overlapping pairs, and the sketch
+structure's measured approximation against the promised ``n^{-1/kappa}``.
+
+Timed components: the report builders and embedding evaluation per row.
+"""
+
+from benchmarks.conftest import emit
+from repro.embeddings import (
+    ChebyshevSignEmbedding,
+    ChoppedBinaryEmbedding,
+    SignedCoordinateEmbedding,
+)
+from repro.experiments.table1 import build_table1_reports
+
+
+def test_table1_reports(benchmark):
+    reports = benchmark.pedantic(build_table1_reports, rounds=1, iterations=1)
+    for name, text in reports.items():
+        emit(name, text)
+
+
+def test_table1_embedding_throughput_signed(benchmark, rng):
+    emb = SignedCoordinateEmbedding(64)
+    x = rng.integers(0, 2, 64)
+    benchmark(emb.embed_left, x)
+
+
+def test_table1_embedding_throughput_chebyshev(benchmark, rng):
+    emb = ChebyshevSignEmbedding(16, q=2)
+    x = rng.integers(0, 2, 16)
+    benchmark(emb.embed_left, x)
+
+
+def test_table1_embedding_throughput_chopped(benchmark, rng):
+    emb = ChoppedBinaryEmbedding(32, k=8)
+    x = rng.integers(0, 2, 32)
+    benchmark(emb.embed_left, x)

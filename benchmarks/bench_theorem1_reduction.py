@@ -1,0 +1,85 @@
+"""Theorem 1's reduction, executed: OVP solved through gap embeddings + joins.
+
+For each of Lemma 3's embeddings, runs the Lemma 2 pipeline (embed the
+OVP instance, run a ``(cs, s)`` join on the images, map answers back) on
+planted instances in the conjecture's regime ``d = gamma log n``, checks
+the answer against the direct bit-packed solver, and reports instance
+sizes, embedded dimensions and timings.
+
+Timed components: the full pipeline per embedding, and the direct solver.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.core import JoinSpec, brute_force_join
+from repro.datasets import planted_ovp
+from repro.embeddings import (
+    ChebyshevSignEmbedding,
+    ChoppedBinaryEmbedding,
+    SignedCoordinateEmbedding,
+)
+from repro.ovp import conjecture_dimension, solve_ovp_bitpacked
+
+
+def _pipeline(instance, embedding, signed):
+    embedded_p = embedding.embed_left_many(instance.P)
+    embedded_q = embedding.embed_right_many(instance.Q)
+    c = (embedding.cs / embedding.s + 1.0) / 2.0 if embedding.cs > 0 else 0.5
+    spec = JoinSpec(s=embedding.s, c=c, signed=signed)
+    result = brute_force_join(embedded_p, embedded_q, spec)
+    for qi, match in enumerate(result.matches):
+        if match is not None and int(instance.P[match] @ instance.Q[qi]) == 0:
+            return (match, qi)
+    return None
+
+
+def test_theorem1_reduction_table(benchmark):
+    def build():
+        rows = []
+        for n in (32, 64, 128):
+            d = conjecture_dimension(n, gamma=2.0)
+            inst = planted_ovp(n, d, planted=True, density=0.7, seed=n)
+            direct = solve_ovp_bitpacked(inst)
+            for name, embedding, signed in (
+                ("signed gadget", SignedCoordinateEmbedding(d), True),
+                ("Chebyshev q=2", ChebyshevSignEmbedding(d, q=2), False),
+                ("chopped k=4", ChoppedBinaryEmbedding(d, k=4), False),
+            ):
+                start = time.perf_counter()
+                via = _pipeline(inst, embedding, signed)
+                elapsed = time.perf_counter() - start
+                agree = (via is None) == (direct is None)
+                rows.append([
+                    n, d, name, embedding.d_out,
+                    "found" if via else "none",
+                    "OK" if agree and (via is None or inst.is_orthogonal(*via)) else "MISMATCH",
+                    f"{elapsed * 1e3:.1f} ms",
+                ])
+        return format_table(
+            ["n", "d", "embedding", "d_embedded", "answer", "agrees with direct", "pipeline time"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("theorem1_reduction", text)
+    assert "MISMATCH" not in text
+
+
+def test_theorem1_pipeline_signed(benchmark):
+    inst = planted_ovp(48, 16, planted=True, density=0.7, seed=1)
+    emb = SignedCoordinateEmbedding(16)
+    benchmark(_pipeline, inst, emb, True)
+
+
+def test_theorem1_pipeline_chopped(benchmark):
+    inst = planted_ovp(48, 16, planted=True, density=0.7, seed=2)
+    emb = ChoppedBinaryEmbedding(16, k=4)
+    benchmark(_pipeline, inst, emb, False)
+
+
+def test_theorem1_direct_solver(benchmark):
+    inst = planted_ovp(48, 16, planted=True, density=0.7, seed=3)
+    benchmark(solve_ovp_bitpacked, inst)

@@ -1,0 +1,91 @@
+"""Theorem 3 reproduction: measured LSH gap vs the closed-form bounds.
+
+For each of the three hard-sequence constructions, audits a concrete
+asymmetric LSH (DATA-DEP, the paper's own Section 4.1 scheme) and prints
+the measured ``P1 - P2`` against the Lemma 4 bound as the query-domain
+radius ``U`` grows: the gap must stay below the bound and the bound must
+decay — the executable form of "no asymmetric LSH for unbounded query
+domains".
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, format_table
+from repro.lowerbounds import (
+    audit_gap,
+    geometric_sequences,
+    prefix_tree_sequences,
+    shifted_affine_sequences,
+)
+from repro.lsh import DataDepALSH
+
+
+def test_theorem3_case1_gap_vs_u(benchmark):
+    def build():
+        rows = []
+        for U in (2.0, 8.0, 32.0, 128.0):
+            seqs = geometric_sequences(s=0.01, c=0.7, U=U, d=1)
+            fam = DataDepALSH(1, query_radius=U, sphere="hyperplane")
+            audit = audit_gap(fam, seqs, trials=250, seed=int(U))
+            rows.append([
+                f"{U:g}", seqs.n, f"{audit.p1:.4f}", f"{audit.p2:.4f}",
+                f"{audit.gap:.4f}", f"{audit.gap_bound:.4f}",
+                str(audit.within_bound),
+            ])
+        return format_table(
+            ["U", "n", "P1", "P2", "gap", "8/log2(n)", "within"], rows
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("theorem3_case1", text)
+    assert "False" not in text
+
+
+def test_theorem3_case2_gap_vs_u(benchmark):
+    def build():
+        rows = []
+        for U in (2.0, 8.0, 32.0):
+            seqs = shifted_affine_sequences(s=0.01, c=0.5, U=U, d=2)
+            fam = DataDepALSH(2, query_radius=U, sphere="hyperplane")
+            audit = audit_gap(fam, seqs, trials=250, seed=int(U))
+            rows.append([
+                f"{U:g}", seqs.n, f"{audit.p1:.4f}", f"{audit.p2:.4f}",
+                f"{audit.gap:.4f}", f"{audit.gap_bound:.4f}",
+                str(audit.within_bound),
+            ])
+        return format_table(
+            ["U", "n", "P1", "P2", "gap", "8/log2(n)", "within"], rows
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("theorem3_case2", text)
+    assert "False" not in text
+
+
+def test_theorem3_case3_gap(benchmark):
+    def build():
+        rows = []
+        for n_bits in (3, 4, 5):
+            seqs = prefix_tree_sequences(s=0.02, c=0.5, U=2.0, n_bits=n_bits)
+            fam = DataDepALSH(seqs.d, query_radius=2.0, sphere="hyperplane")
+            audit = audit_gap(fam, seqs, trials=200, seed=n_bits)
+            rows.append([
+                n_bits, seqs.n, seqs.d, f"{audit.p1:.4f}", f"{audit.p2:.4f}",
+                f"{audit.gap:.4f}", f"{audit.gap_bound:.4f}",
+                str(audit.within_bound),
+            ])
+        return format_table(
+            ["bits", "n", "dim", "P1", "P2", "gap", "8/log2(n)", "within"], rows
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("theorem3_case3", text)
+    assert "False" not in text
+
+
+def test_theorem3_audit_throughput(benchmark):
+    seqs = geometric_sequences(s=0.01, c=0.7, U=8.0, d=1)
+    fam = DataDepALSH(1, query_radius=8.0, sphere="hyperplane")
+    benchmark.pedantic(
+        lambda: audit_gap(fam, seqs, trials=50, seed=0), rounds=3, iterations=1
+    )

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench both *times* its component (pytest-benchmark) and *prints* the
+reproduced table/figure series, also writing it to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite stable
+artifacts.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction artifact and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+
+
+def format_table(headers, rows) -> str:
+    """Plain-text table with right-padded columns."""
+    table = [list(map(str, headers))] + [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(headers))]
+    lines = []
+    for r, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    return "\n".join(lines)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2016)

@@ -1,0 +1,59 @@
+"""The limits of (asymmetric) LSH for inner products — Theorem 3 live.
+
+Builds the paper's hard data/query sequences, audits a real asymmetric
+LSH against them, and prints the measured collision gap ``P1 - P2``
+against the Lemma 4 bound ``8 / log2(n)`` as the query domain grows —
+the executable version of "no asymmetric LSH exists for unbounded query
+domains".  Also demonstrates the Section 4.2 escape hatch: a *symmetric*
+LSH that works for all distinct vectors.
+
+Run:  python examples/lsh_limitations.py
+"""
+
+import numpy as np
+
+from repro.lowerbounds import audit_gap, geometric_sequences, shifted_affine_sequences
+from repro.lsh import DataDepALSH, SymmetricIPSHash
+from repro.lsh.base import estimate_collision_probability
+
+
+def main():
+    print("Theorem 3 in action: the gap P1 - P2 of a real ALSH on hard "
+          "sequences\n")
+    print(f"{'U':>6} {'n':>5} {'P1':>8} {'P2':>8} {'gap':>8} {'bound':>8}")
+    for U in (2.0, 8.0, 32.0, 128.0, 512.0):
+        seqs = geometric_sequences(s=0.01, c=0.7, U=U, d=1)
+        fam = DataDepALSH(1, query_radius=U, sphere="hyperplane")
+        audit = audit_gap(fam, seqs, trials=300, seed=int(U))
+        print(f"{U:>6g} {seqs.n:>5} {audit.p1:>8.4f} {audit.p2:>8.4f} "
+              f"{audit.gap:>8.4f} {audit.gap_bound:>8.4f}")
+    print("\nthe sequences lengthen with U, so the bound (and with it any "
+          "achievable gap)\nshrinks: over an unbounded query domain no "
+          "asymmetric LSH separates s from cs.")
+
+    print("\ncase 2 sequences (signed only) produce the same picture with "
+          "polynomially\nlonger sequences:")
+    seqs = shifted_affine_sequences(s=0.005, c=0.5, U=16.0, d=2)
+    fam = DataDepALSH(2, query_radius=16.0, sphere="hyperplane")
+    audit = audit_gap(fam, seqs, trials=300, seed=1)
+    print(f"  n = {seqs.n}, measured gap = {audit.gap:.4f}, "
+          f"bound = {audit.gap_bound:.4f}")
+
+    print("\nSection 4.2's escape hatch: a SYMMETRIC LSH that ignores p == q.")
+    fam = SymmetricIPSHash(4, eps=0.05)
+    p = np.array([0.7, 0.0, 0.0, 0.0])
+    near = np.array([0.69, 0.1, 0.0, 0.0])
+    far = np.array([0.0, 0.1, 0.69, 0.0])
+    p_near = estimate_collision_probability(fam, p, near, trials=800, seed=2)
+    p_far = estimate_collision_probability(fam, p, far, trials=800, seed=2)
+    p_self = estimate_collision_probability(fam, p, p, trials=100, seed=3)
+    print(f"  collision with a high-IP distinct vector: {p_near:.3f}")
+    print(f"  collision with a low-IP distinct vector:  {p_far:.3f}")
+    print(f"  collision with itself (excluded from the guarantee): {p_self:.3f}")
+    print("  one hash function for both sides — symmetric — yet the gap "
+          "survives\n  because identical pairs are handled by a membership "
+          "pre-check instead.")
+
+
+if __name__ == "__main__":
+    main()

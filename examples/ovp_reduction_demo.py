@@ -1,0 +1,77 @@
+"""Walking an OVP instance through the Theorem 1 reductions.
+
+Shows, step by step, how each gap embedding of Lemma 3 turns "is there an
+orthogonal pair?" into "is there a pair with large (absolute) inner
+product?", why that makes approximate joins OVP-hard, and that the join
+pipeline recovers exactly the planted orthogonal pair.
+
+Run:  python examples/ovp_reduction_demo.py
+"""
+
+import numpy as np
+
+from repro.core import JoinSpec, brute_force_join
+from repro.datasets import planted_ovp
+from repro.embeddings import (
+    ChebyshevSignEmbedding,
+    ChoppedBinaryEmbedding,
+    SignedCoordinateEmbedding,
+)
+from repro.ovp import solve_ovp_bitpacked
+
+
+def demonstrate(instance, embedding, signed, label):
+    print(f"\n--- {label} ---")
+    print(f"embedding: {type(embedding).__name__}, "
+          f"{embedding.d_in} -> {embedding.d_out} dims, "
+          f"s = {embedding.s:g}, cs = {embedding.cs:g} "
+          f"(c = {embedding.c:.4f})")
+
+    embedded_p = embedding.embed_left_many(instance.P)
+    embedded_q = embedding.embed_right_many(instance.Q)
+    raw = instance.P @ instance.Q.T
+    embedded = embedded_p @ embedded_q.T
+    values = embedded if signed else np.abs(embedded)
+
+    orth = values[raw.T == 0.0 if False else (raw == 0)]
+    non_orth = values[raw != 0]
+    print(f"embedded values: orthogonal pairs >= {orth.min():g} "
+          f"(need >= s = {embedding.s:g}); "
+          f"overlapping pairs <= {non_orth.max():g} "
+          f"(need <= cs = {embedding.cs:g})")
+
+    c = (embedding.cs / embedding.s + 1.0) / 2.0 if embedding.cs > 0 else 0.5
+    spec = JoinSpec(s=embedding.s, c=c, signed=signed)
+    result = brute_force_join(embedded_p, embedded_q, spec)
+    for qi, match in enumerate(result.matches):
+        if match is not None and int(instance.P[match] @ instance.Q[qi]) == 0:
+            print(f"join found the orthogonal pair: P[{match}] . Q[{qi}] = 0")
+            return (match, qi)
+    print("join found no pair (instance has none)")
+    return None
+
+
+def main():
+    inst = planted_ovp(n=24, d=20, planted=True, density=0.7, seed=0)
+    print(f"OVP instance: |P| = {inst.n_p}, |Q| = {inst.n_q}, d = {inst.d}; "
+          f"planted orthogonal pair at {inst.planted_pair}")
+    direct = solve_ovp_bitpacked(inst)
+    print(f"direct solver answer: {direct}")
+
+    answers = [
+        demonstrate(inst, SignedCoordinateEmbedding(inst.d), True,
+                    "Embedding 1: signed join over {-1,1} is hard for ANY c > 0"),
+        demonstrate(inst, ChebyshevSignEmbedding(inst.d, q=2), False,
+                    "Embedding 2: unsigned join over {-1,1}, Chebyshev gap"),
+        demonstrate(inst, ChoppedBinaryEmbedding(inst.d, k=5), False,
+                    "Embedding 3: unsigned join over {0,1}, chopped products"),
+    ]
+    for found in answers:
+        assert found is not None and inst.is_orthogonal(*found)
+    print("\nall three reductions solved OVP through an approximate join — "
+          "a truly subquadratic join in these regimes would refute the "
+          "OVP conjecture (Theorem 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: metadata lives in pyproject.toml; this file exists so that
+editable installs work in offline environments without the `wheel` package."""
+from setuptools import setup
+
+setup()

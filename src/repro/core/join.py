@@ -1,0 +1,129 @@
+"""Top-level join dispatch: the one-call public API.
+
+``signed_join`` and ``unsigned_join`` select an algorithm by name and
+normalize the plumbing; the unsigned variant also exposes the paper's
+reduction of unsigned to signed join (run against ``Q`` and ``-Q``,
+keep pairs clearing the absolute threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.brute_force import brute_force_join
+from repro.core.lsh_join import lsh_join
+from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.sketch_join import sketch_unsigned_join
+from repro.errors import ParameterError
+from repro.lsh.base import AsymmetricLSHFamily
+from repro.utils.rng import SeedLike
+
+
+def signed_join(
+    P,
+    Q,
+    s: float,
+    c: float = 1.0,
+    algorithm: str = "exact",
+    family: Optional[AsymmetricLSHFamily] = None,
+    seed: SeedLike = None,
+    **kwargs,
+) -> JoinResult:
+    """Signed ``(cs, s)`` join with a selectable algorithm.
+
+    Args:
+        algorithm: ``"exact"`` (brute force) or ``"lsh"`` (requires
+            ``family``).
+        kwargs: forwarded to the selected algorithm.
+    """
+    spec = JoinSpec(s=s, c=c, signed=True)
+    if algorithm == "exact":
+        return brute_force_join(P, Q, spec, **kwargs)
+    if algorithm == "lsh":
+        if family is None:
+            raise ParameterError("algorithm='lsh' requires a hash family")
+        return lsh_join(P, Q, spec, family, seed=seed, **kwargs)
+    raise ParameterError(f"unknown signed join algorithm {algorithm!r}")
+
+
+def unsigned_join(
+    P,
+    Q,
+    s: float,
+    c: float = 1.0,
+    algorithm: str = "exact",
+    family: Optional[AsymmetricLSHFamily] = None,
+    seed: SeedLike = None,
+    **kwargs,
+) -> JoinResult:
+    """Unsigned ``(cs, s)`` join with a selectable algorithm.
+
+    Args:
+        algorithm: ``"exact"``, ``"lsh"``, ``"sketch"`` (Section 4.3;
+            ignores ``c`` and uses the structure's own ``n^{-1/kappa}``),
+            or ``"via-signed"`` (the paper's reduction: signed join
+            against ``Q`` and ``-Q``).
+    """
+    spec = JoinSpec(s=s, c=c, signed=False)
+    if algorithm == "exact":
+        return brute_force_join(P, Q, spec, **kwargs)
+    if algorithm == "lsh":
+        if family is None:
+            raise ParameterError("algorithm='lsh' requires a hash family")
+        return lsh_join(P, Q, spec, family, seed=seed, **kwargs)
+    if algorithm == "sketch":
+        return sketch_unsigned_join(P, Q, s, seed=seed, **kwargs)
+    if algorithm == "via-signed":
+        return _unsigned_via_signed(P, Q, spec, family=family, seed=seed, **kwargs)
+    raise ParameterError(f"unknown unsigned join algorithm {algorithm!r}")
+
+
+def _unsigned_via_signed(
+    P,
+    Q,
+    spec: JoinSpec,
+    family: Optional[AsymmetricLSHFamily] = None,
+    seed: SeedLike = None,
+    **kwargs,
+) -> JoinResult:
+    """Unsigned join by two signed joins: against ``Q`` and against ``-Q``.
+
+    The observation from the paper's problem-definition section: a pair
+    with ``|p.q| >= cs`` either has ``p.q >= cs`` or ``p.(-q) >= cs``.
+    Uses brute force when no family is given, LSH otherwise, and merges
+    the two signed results keeping the better verified value per query.
+    """
+    P, Q = validate_join_inputs(P, Q)
+    signed_spec = JoinSpec(s=spec.s, c=spec.c, signed=True)
+
+    def run(queries):
+        if family is None:
+            return brute_force_join(P, queries, signed_spec, **kwargs)
+        return lsh_join(P, queries, signed_spec, family, seed=seed, **kwargs)
+
+    positive = run(Q)
+    negative = run(-Q)
+    matches = []
+    for i in range(Q.shape[0]):
+        best = None
+        best_value = -np.inf
+        for result, sign in ((positive, 1.0), (negative, -1.0)):
+            match = result.matches[i]
+            if match is None:
+                continue
+            value = abs(float(P[match] @ Q[i]))
+            if value >= spec.cs and value > best_value:
+                best, best_value = match, value
+        matches.append(best)
+    return JoinResult(
+        matches=matches,
+        spec=spec,
+        inner_products_evaluated=(
+            positive.inner_products_evaluated + negative.inner_products_evaluated
+        ),
+        candidates_generated=(
+            positive.candidates_generated + negative.candidates_generated
+        ),
+    )

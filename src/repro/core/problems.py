@@ -1,0 +1,114 @@
+"""Problem and result records for IPS joins (paper Definition 1).
+
+A ``(cs, s)`` join returns, for each query ``q``, at least one data
+vector ``p`` with ``p . q >= cs`` (``|p . q| >= cs`` unsigned) whenever
+some data vector reaches ``s``; queries with no above-``s`` partner carry
+no guarantee.  ``JoinResult`` keeps one matched index (or ``None``) per
+query plus work statistics so benches can compare algorithms on both
+answers and effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import (
+    check_approximation_factor,
+    check_matrix,
+    check_threshold,
+)
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Parameters of a ``(cs, s)`` join instance.
+
+    ``c = 1`` (exact) is permitted; approximate joins need ``0 < c < 1``.
+    """
+
+    s: float
+    c: float = 1.0
+    signed: bool = True
+
+    def __post_init__(self):
+        check_threshold(self.s, "s")
+        if self.c != 1.0:
+            check_approximation_factor(self.c, "c")
+
+    @property
+    def cs(self) -> float:
+        return self.c * self.s
+
+    def satisfied(self, value: float) -> bool:
+        """Does an inner-product value clear the relaxed threshold ``cs``?"""
+        return (value if self.signed else abs(value)) >= self.cs
+
+    def above_promise(self, value: float) -> bool:
+        """Does a value clear the full threshold ``s`` (the promise side)?"""
+        return (value if self.signed else abs(value)) >= self.s
+
+
+@dataclass
+class JoinResult:
+    """Output of a join algorithm.
+
+    Attributes:
+        matches: ``matches[i]`` is a data index for query ``i`` or ``None``.
+        spec: the join parameters answered.
+        inner_products_evaluated: exact dot products computed (the work
+            measure the subquadratic claims concern).
+        candidates_generated: candidate pairs produced before verification
+            (equals ``inner_products_evaluated`` for filter-verify
+            algorithms, ``n*m`` for brute force).
+    """
+
+    matches: List[Optional[int]]
+    spec: JoinSpec
+    inner_products_evaluated: int = 0
+    candidates_generated: int = 0
+
+    @property
+    def matched_count(self) -> int:
+        return sum(1 for match in self.matches if match is not None)
+
+    def recall_against(self, reference: "JoinResult") -> float:
+        """Fraction of reference-matched queries this result also matched.
+
+        Both results must answer the same spec; matching a *different*
+        data vector still counts (any above-``cs`` partner is a valid
+        answer under Definition 1).
+        """
+        if len(self.matches) != len(reference.matches):
+            raise ParameterError("results answer different query counts")
+        hits = 0
+        total = 0
+        for mine, theirs in zip(self.matches, reference.matches):
+            if theirs is None:
+                continue
+            total += 1
+            if mine is not None:
+                hits += 1
+        return hits / total if total else 1.0
+
+
+@dataclass(frozen=True)
+class MIPSResult:
+    """Output of a MIPS query: best index found and its inner product."""
+
+    index: int
+    value: float
+
+
+def validate_join_inputs(P, Q) -> tuple:
+    """Common input validation for join algorithms."""
+    P = check_matrix(P, "P")
+    Q = check_matrix(Q, "Q")
+    if P.shape[1] != Q.shape[1]:
+        raise ParameterError(
+            f"P and Q must share a dimension, got {P.shape[1]} and {Q.shape[1]}"
+        )
+    return P, Q

@@ -1,0 +1,69 @@
+"""The c-MIPS <-> (cs, s)-search reductions noted in Section 4.3.
+
+Given a data structure ``D`` for unsigned ``(cs, s)`` search and the
+promise that the best |inner product| is at least ``gamma``, unsigned
+c-MIPS is solved by querying ``D`` with the scaled queries ``q / c^i``
+for ``i = 0 .. ceil(log_{1/c}(s / gamma))``: scaling the query up scales
+every inner product up, so the first scale at which the structure answers
+pins the maximum within a factor ``c``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.problems import MIPSResult
+from repro.errors import ParameterError
+from repro.utils.validation import check_vector
+
+# A (cs, s)-search oracle: (query, s) -> data index or None.
+SearchOracle = Callable[[np.ndarray, float], Optional[int]]
+
+
+def cmips_via_search(
+    search: SearchOracle,
+    q,
+    s: float,
+    c: float,
+    gamma: float,
+    data=None,
+) -> Optional[MIPSResult]:
+    """Solve unsigned c-MIPS through a ``(cs, s)`` search oracle.
+
+    Args:
+        search: the oracle; must return an index with ``|p.q'| >= c s``
+            whenever some data vector has ``|p.q'| >= s`` for the query
+            ``q'`` it is given.
+        q: the MIPS query.
+        s: the oracle's threshold.
+        c: the oracle's approximation factor, in (0, 1).
+        gamma: promised lower bound on the best |inner product| (the paper
+            suggests machine precision as the universal fallback).
+        data: optionally the data matrix, used to report the exact inner
+            product of the returned index.
+
+    Returns the first hit while scanning scales ``q / c^i`` from the
+    original query upwards, or ``None`` if the promise was violated.
+    """
+    q = check_vector(q, "q")
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"c must be in (0, 1), got {c}")
+    if s <= 0 or gamma <= 0:
+        raise ParameterError(f"s and gamma must be positive, got s={s}, gamma={gamma}")
+    if gamma > s:
+        raise ParameterError(f"gamma must be <= s, got gamma={gamma}, s={s}")
+
+    max_scale = int(math.ceil(math.log(s / gamma) / math.log(1.0 / c)))
+    for i in range(max_scale + 1):
+        scaled = q / (c ** i)
+        index = search(scaled, s)
+        if index is not None:
+            if data is not None:
+                value = float(np.asarray(data)[index] @ q)
+            else:
+                value = float("nan")
+            return MIPSResult(index=index, value=value)
+    return None

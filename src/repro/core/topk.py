@@ -1,0 +1,98 @@
+"""Top-k join variants.
+
+The paper's footnote 1: "from an upper bound side, it is common to limit
+the number of occurrences of each tuple in a join result to a given
+number k".  These functions return, per query, up to ``k`` data indices
+clearing the ``cs`` threshold, ordered by decreasing (absolute) inner
+product — exact or through an LSH index.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.problems import JoinSpec, validate_join_inputs
+from repro.errors import ParameterError
+from repro.lsh.base import AsymmetricLSHFamily
+from repro.lsh.index import LSHIndex
+from repro.utils.rng import SeedLike
+
+
+def _rank_above(values: np.ndarray, indices: np.ndarray, spec: JoinSpec, k: int):
+    scores = values if spec.signed else np.abs(values)
+    keep = scores >= spec.cs
+    indices = indices[keep]
+    scores = scores[keep]
+    order = np.argsort(-scores)[:k]
+    return indices[order].tolist()
+
+
+def join_topk(
+    P,
+    Q,
+    spec: JoinSpec,
+    k: int,
+    block: int = 1024,
+) -> List[List[int]]:
+    """Exact top-k join: the k best above-``cs`` partners per query."""
+    P, Q = validate_join_inputs(P, Q)
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    out = []
+    all_indices = np.arange(P.shape[0])
+    for q0 in range(0, Q.shape[0], block):
+        values = Q[q0:q0 + block] @ P.T
+        for row in values:
+            out.append(_rank_above(row, all_indices, spec, k))
+    return out
+
+
+def lsh_join_topk(
+    P,
+    Q,
+    spec: JoinSpec,
+    k: int,
+    family: Optional[AsymmetricLSHFamily] = None,
+    index=None,
+    n_tables: int = 16,
+    hashes_per_table: int = 4,
+    seed: SeedLike = None,
+) -> List[List[int]]:
+    """Approximate top-k join through an LSH index (generic or batch).
+
+    ``index`` may be any object exposing ``candidates(q)`` over ``P``
+    (an :class:`~repro.lsh.index.LSHIndex` or a
+    :class:`~repro.lsh.batch.BatchSignIndex`).
+    """
+    P, Q = validate_join_inputs(P, Q)
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if index is None:
+        if family is None:
+            raise ParameterError("either an index or a family is required")
+        index = LSHIndex(
+            family, n_tables=n_tables, hashes_per_table=hashes_per_table, seed=seed
+        ).build(P)
+    out = []
+    for q in Q:
+        candidates = index.candidates(q)
+        if candidates.size == 0:
+            out.append([])
+            continue
+        values = P[candidates] @ q
+        out.append(_rank_above(values, candidates, spec, k))
+    return out
+
+
+def topk_recall(approx: List[List[int]], exact: List[List[int]]) -> float:
+    """Mean fraction of exact top-k members the approximate lists recovered."""
+    if len(approx) != len(exact):
+        raise ParameterError("result lists answer different query counts")
+    scores = []
+    for mine, theirs in zip(approx, exact):
+        if not theirs:
+            continue
+        scores.append(len(set(mine) & set(theirs)) / len(theirs))
+    return float(np.mean(scores)) if scores else 1.0

@@ -1,0 +1,46 @@
+"""Workload generators for joins, MIPS, and OVP experiments.
+
+The paper motivates IPS join with recommender systems (latent-factor
+models), correlation mining, and set similarity; this package provides
+synthetic generators for each of those input families plus planted
+instances with known answers for correctness and recall measurements.
+"""
+
+from repro.datasets.generators import (
+    random_binary,
+    random_gaussian,
+    random_sign,
+    random_sparse_binary,
+    random_unit,
+)
+from repro.datasets.planted import (
+    PlantedMIPSInstance,
+    planted_mips,
+    planted_ovp,
+)
+from repro.datasets.io import (
+    load_vectors,
+    normalize_rows,
+    normalize_to_unit_ball,
+    save_vectors,
+)
+from repro.datasets.recommender import LatentFactorModel, latent_factor_model
+from repro.datasets.sets import zipfian_sets
+
+__all__ = [
+    "load_vectors",
+    "save_vectors",
+    "normalize_rows",
+    "normalize_to_unit_ball",
+    "random_binary",
+    "random_gaussian",
+    "random_sign",
+    "random_sparse_binary",
+    "random_unit",
+    "PlantedMIPSInstance",
+    "planted_mips",
+    "planted_ovp",
+    "LatentFactorModel",
+    "latent_factor_model",
+    "zipfian_sets",
+]

@@ -1,0 +1,68 @@
+"""Elementary random vector set generators.
+
+Every generator takes ``(n, d, seed=...)`` and returns an ``(n, d)`` numpy
+array, matching the domains the paper studies: ``{0,1}^d``, ``{-1,1}^d``,
+the unit sphere, and general real vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def _check_shape(n: int, d: int) -> None:
+    if n <= 0 or d <= 0:
+        raise ParameterError(f"n and d must be positive, got n={n}, d={d}")
+
+
+def random_binary(n: int, d: int, density: float = 0.5, seed: SeedLike = None) -> np.ndarray:
+    """Random ``{0,1}^d`` vectors with i.i.d. Bernoulli(``density``) entries."""
+    _check_shape(n, d)
+    if not 0.0 <= density <= 1.0:
+        raise ParameterError(f"density must be in [0, 1], got {density}")
+    rng = ensure_rng(seed)
+    return (rng.random((n, d)) < density).astype(np.int64)
+
+
+def random_sparse_binary(n: int, d: int, ones_per_row: int, seed: SeedLike = None) -> np.ndarray:
+    """Random ``{0,1}^d`` vectors with exactly ``ones_per_row`` ones per row.
+
+    This is the natural model for sets of a fixed size, the regime where
+    minwise hashing (Section 4.1's MH-ALSH comparison) is customary.
+    """
+    _check_shape(n, d)
+    if not 0 < ones_per_row <= d:
+        raise ParameterError(f"ones_per_row must be in [1, d={d}], got {ones_per_row}")
+    rng = ensure_rng(seed)
+    out = np.zeros((n, d), dtype=np.int64)
+    for i in range(n):
+        out[i, rng.choice(d, size=ones_per_row, replace=False)] = 1
+    return out
+
+
+def random_sign(n: int, d: int, seed: SeedLike = None) -> np.ndarray:
+    """Random ``{-1,+1}^d`` vectors with i.i.d. Rademacher entries."""
+    _check_shape(n, d)
+    rng = ensure_rng(seed)
+    return rng.choice(np.array([-1, 1], dtype=np.int64), size=(n, d))
+
+
+def random_gaussian(n: int, d: int, scale: float = 1.0, seed: SeedLike = None) -> np.ndarray:
+    """Random real vectors with i.i.d. ``N(0, scale^2)`` entries."""
+    _check_shape(n, d)
+    rng = ensure_rng(seed)
+    return rng.normal(0.0, scale, size=(n, d))
+
+
+def random_unit(n: int, d: int, seed: SeedLike = None) -> np.ndarray:
+    """Random vectors uniform on the unit sphere ``S^{d-1}``."""
+    _check_shape(n, d)
+    rng = ensure_rng(seed)
+    X = rng.normal(size=(n, d))
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    # A Gaussian row is zero with probability 0; guard anyway.
+    norms[norms == 0] = 1.0
+    return X / norms

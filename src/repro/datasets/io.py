@@ -1,0 +1,98 @@
+"""Loading and saving user-supplied vector datasets.
+
+Minimal, dependency-free helpers so the library's joins run on real data:
+dense CSV (one vector per row), numpy ``.npy``/``.npz``, with validation
+and optional normalization into the domains the algorithms expect.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.validation import check_matrix
+
+
+def load_vectors(path, dtype=np.float64, npz_key: str = None) -> np.ndarray:
+    """Load a dense (n, d) matrix from ``.csv``, ``.npy`` or ``.npz``.
+
+    CSV files may carry a header row (detected by non-numeric first line)
+    and use comma or whitespace separation.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no dataset at {path}")
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        data = np.load(path)
+    elif suffix == ".npz":
+        archive = np.load(path)
+        if npz_key is None:
+            keys = list(archive.keys())
+            if len(keys) != 1:
+                raise ValidationError(
+                    f"{path} holds arrays {keys}; pass npz_key to choose one"
+                )
+            npz_key = keys[0]
+        if npz_key not in archive:
+            raise ValidationError(f"{path} has no array named {npz_key!r}")
+        data = archive[npz_key]
+    elif suffix == ".csv":
+        data = _load_csv(path)
+    else:
+        raise ValidationError(
+            f"unsupported dataset extension {suffix!r} (want .csv/.npy/.npz)"
+        )
+    return check_matrix(np.asarray(data, dtype=dtype), "dataset")
+
+
+def _load_csv(path: Path) -> np.ndarray:
+    with open(path) as handle:
+        first = handle.readline()
+    delimiter = "," if "," in first else None
+    skip = 0
+    tokens = first.replace(",", " ").split()
+    try:
+        [float(token) for token in tokens]
+    except ValueError:
+        skip = 1  # header row
+    return np.loadtxt(path, delimiter=delimiter, skiprows=skip, ndmin=2)
+
+
+def save_vectors(path, X) -> None:
+    """Save a matrix to ``.csv`` or ``.npy`` by extension."""
+    path = Path(path)
+    X = check_matrix(X, "X")
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        np.save(path, X)
+    elif suffix == ".csv":
+        np.savetxt(path, X, delimiter=",")
+    else:
+        raise ValidationError(f"unsupported extension {suffix!r} (want .csv/.npy)")
+
+
+def normalize_to_unit_ball(X, margin: float = 0.0) -> np.ndarray:
+    """Scale a dataset so the longest vector has norm ``1 - margin``.
+
+    The standard preprocessing for the unit-ball data domain every ALSH
+    in this library assumes; returns a new array.
+    """
+    X = check_matrix(X, "X")
+    if not 0.0 <= margin < 1.0:
+        raise ValidationError(f"margin must be in [0, 1), got {margin}")
+    max_norm = float(np.linalg.norm(X, axis=1).max())
+    if max_norm == 0:
+        raise ValidationError("dataset is all zeros")
+    return X * ((1.0 - margin) / max_norm)
+
+
+def normalize_rows(X) -> np.ndarray:
+    """Project every row onto the unit sphere (zero rows rejected)."""
+    X = check_matrix(X, "X")
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    if (norms == 0).any():
+        raise ValidationError("cannot normalize zero rows onto the sphere")
+    return X / norms

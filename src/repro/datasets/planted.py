@@ -1,0 +1,185 @@
+"""Planted instances with known answers.
+
+``planted_ovp`` builds Orthogonal Vectors instances where the presence (and
+location) of an orthogonal pair is known, which lets the reduction benches
+verify answers end to end.  ``planted_mips`` builds MIPS workloads with a
+controlled similarity gap between the planted best match and the bulk of
+the data, the standard way to measure LSH recall without quadratic ground
+truth recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.ovp.instance import OVPInstance
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def planted_ovp(
+    n: int,
+    d: int,
+    planted: bool = True,
+    density: float = 0.5,
+    n_p: Optional[int] = None,
+    seed: SeedLike = None,
+) -> OVPInstance:
+    """Random OVP instance, optionally with exactly one planted orthogonal pair.
+
+    The bulk vectors are dense enough that a random pair is orthogonal with
+    probability about ``(1 - density^2)^d``, which is negligible for the
+    sizes used in tests; when ``planted`` is False the instance therefore
+    has no orthogonal pair with overwhelming probability (and we verify and
+    re-draw if it accidentally has one, so the label is exact).
+    """
+    rng = ensure_rng(seed)
+    n_p = n if n_p is None else n_p
+    if n <= 0 or n_p <= 0 or d <= 1:
+        raise ParameterError(f"need n, n_p >= 1 and d >= 2; got n={n}, n_p={n_p}, d={d}")
+
+    for _ in range(64):
+        P = (rng.random((n_p, d)) < density).astype(np.int64)
+        Q = (rng.random((n, d)) < density).astype(np.int64)
+        # Keep bulk rows non-zero so the instance is not trivially solvable.
+        P[P.sum(axis=1) == 0, 0] = 1
+        Q[Q.sum(axis=1) == 0, 0] = 1
+        has_pair = bool((P @ Q.T == 0).any())
+        if planted:
+            i = int(rng.integers(n_p))
+            j = int(rng.integers(n))
+            half = d // 2
+            P[i] = 0
+            Q[j] = 0
+            P[i, :half] = 1
+            Q[j, half:] = 1
+            return OVPInstance(P=P, Q=Q, planted_pair=(i, j))
+        if not has_pair:
+            return OVPInstance(P=P, Q=Q, planted_pair=None)
+    raise ParameterError(
+        "could not draw an instance without an orthogonal pair; "
+        f"increase d or density (n={n}, d={d}, density={density})"
+    )
+
+
+@dataclass(frozen=True)
+class PlantedMIPSInstance:
+    """A MIPS workload with a known planted best match per query.
+
+    Attributes:
+        P: data matrix, shape (n, d).
+        Q: query matrix, shape (m, d).
+        answers: for each query index, the planted data index whose inner
+            product is guaranteed to be at least ``s``.
+        s: the planted inner product threshold.
+        cs: the maximum inner product of non-planted pairs is below this
+            value (with the failure probability noted by the generator).
+    """
+
+    P: np.ndarray
+    Q: np.ndarray
+    answers: np.ndarray
+    s: float
+    cs: float
+
+    @property
+    def n(self) -> int:
+        return self.P.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.P.shape[1]
+
+
+def planted_mips(
+    n: int,
+    m: int,
+    d: int,
+    s: float = 0.8,
+    c: float = 0.5,
+    seed: SeedLike = None,
+) -> PlantedMIPSInstance:
+    """Unit-vector MIPS instance with one planted match of inner product >= s.
+
+    Queries are random unit vectors; for each query we plant one data
+    vector obtained by rotating the query so their inner product is exactly
+    ``s``.  Bulk data vectors start as random unit vectors and any bulk
+    vector whose inner product with some query would violate the ``cs``
+    separation is shrunk until it complies — giving data of varying norms
+    (the defining feature of real MIPS workloads) and a *deterministic*
+    separation guarantee: the planted pair is the unique answer at
+    threshold ``s`` with approximation ``c``.
+    """
+    if not 0 < c < 1 or not 0 < s < 1:
+        raise ParameterError(f"need 0 < c < 1 and 0 < s < 1; got c={c}, s={s}")
+    if m > n:
+        raise ParameterError(f"need m <= n so each query can own a planted row (m={m}, n={n})")
+    rng = ensure_rng(seed)
+    cs = c * s
+    # Plant a hair above s so the planted pairs clear the threshold under
+    # floating-point comparison at exactly s.
+    s_plant = min(s + (1.0 - s) * 1e-6, 1.0)
+
+    P = rng.normal(size=(n, d))
+    P /= np.linalg.norm(P, axis=1, keepdims=True)
+    Q = rng.normal(size=(m, d))
+    Q /= np.linalg.norm(Q, axis=1, keepdims=True)
+
+    answers = rng.permutation(n)[:m]
+    planted_mask = np.zeros(n, dtype=bool)
+    planted_mask[answers] = True
+    for qi, pi in enumerate(answers):
+        q = Q[qi]
+        # Build a unit vector at angle arccos(s) from q.
+        r = rng.normal(size=d)
+        r -= (r @ q) * q
+        r /= np.linalg.norm(r)
+        P[pi] = s * q + np.sqrt(1.0 - s * s) * r
+
+    # Shrink bulk rows so every non-planted |inner product| stays below cs.
+    bulk = ~planted_mask
+    worst = np.abs(P[bulk] @ Q.T).max(axis=1)
+    factor = np.minimum(1.0, 0.9 * cs / np.maximum(worst, 1e-12))
+    P[bulk] *= factor[:, None]
+    # Planted rows may still collide with *other* queries; shrink those
+    # queries' bulk view is impossible, so instead verify and re-rotate the
+    # offending planted rows within the orthogonal complement of all other
+    # queries when feasible, falling back to rejection of the residual.
+    ips = P @ Q.T
+    off_diag = np.abs(ips[answers, :])
+    off_diag[np.arange(m), np.arange(m)] = 0.0
+    if float(off_diag.max(initial=0.0)) >= cs:
+        if d <= m:
+            raise ParameterError(
+                f"need d > m to orthogonalize planted rows (d={d}, m={m})"
+            )
+        # Fallback: orthonormalize the queries (random directions, exactly
+        # orthogonal to each other) and redo planting; planted rows then
+        # have inner product exactly s with their query and exactly 0 with
+        # every other query.
+        Q, _ = np.linalg.qr(Q.T)
+        Q = Q.T[:m].copy()
+        basis = Q.T  # d x m, orthonormal columns
+        for qi, pi in enumerate(answers):
+            q = Q[qi]
+            r = rng.normal(size=d)
+            r -= basis @ (basis.T @ r)  # orthogonal to every query
+            r /= np.linalg.norm(r)
+            P[pi] = s_plant * q + np.sqrt(1.0 - s_plant * s_plant) * r
+        # Bulk rows must be re-shrunk against the new queries.
+        worst = np.abs(P[bulk] @ Q.T).max(axis=1)
+        factor = np.minimum(1.0, 0.9 * cs / np.maximum(worst, 1e-12))
+        P[bulk] *= factor[:, None]
+        ips = P @ Q.T
+        off_diag = np.abs(ips[answers, :])
+        off_diag[np.arange(m), np.arange(m)] = 0.0
+        planted_vs_self = ips[answers, np.arange(m)]
+        if float(off_diag.max(initial=0.0)) >= cs or not np.all(planted_vs_self >= s - 1e-9):
+            raise ParameterError(
+                "could not separate planted pairs from the bulk; "
+                f"increase d or the gap (n={n}, d={d}, s={s}, c={c})"
+            )
+    return PlantedMIPSInstance(P=P, Q=Q, answers=answers, s=float(s), cs=float(cs))

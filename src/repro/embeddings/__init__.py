@@ -1,0 +1,40 @@
+"""Embeddings: the paper's gap embeddings (Lemma 3) and MIPS reductions.
+
+A *gap embedding* (Definition 4) is a pair of maps ``(f, g)`` that turn
+orthogonality of binary vectors into a large inner-product gap, enabling
+the OVP-to-join reductions of Theorems 1 and 2.  The MIPS reduction maps
+(Section 4.1/4.2 and prior work) instead move arbitrary-norm vectors onto
+the unit sphere so sphere LSH applies.
+"""
+
+from repro.embeddings.base import GapEmbedding, PairMap
+from repro.embeddings.chebyshev import chebyshev_growth_lower_bound, chebyshev_t
+from repro.embeddings.chebyshev_pm1 import ChebyshevSignEmbedding
+from repro.embeddings.chopped_01 import ChoppedBinaryEmbedding
+from repro.embeddings.incoherent_map import SymmetricSphereCompletion
+from repro.embeddings.mips_reductions import (
+    L2ALSHTransform,
+    NeyshaburSrebroTransform,
+    SimpleLSHTransform,
+)
+from repro.embeddings.ops import concat_maps, repeat_map, tensor_maps
+from repro.embeddings.signed_pm1 import SignedCoordinateEmbedding
+from repro.embeddings.valiant_random import RandomizedChebyshevEmbedding
+
+__all__ = [
+    "GapEmbedding",
+    "PairMap",
+    "SignedCoordinateEmbedding",
+    "ChebyshevSignEmbedding",
+    "RandomizedChebyshevEmbedding",
+    "ChoppedBinaryEmbedding",
+    "NeyshaburSrebroTransform",
+    "L2ALSHTransform",
+    "SimpleLSHTransform",
+    "SymmetricSphereCompletion",
+    "chebyshev_t",
+    "chebyshev_growth_lower_bound",
+    "concat_maps",
+    "repeat_map",
+    "tensor_maps",
+]

@@ -1,0 +1,145 @@
+"""Base classes for pair embeddings and gap embeddings.
+
+The paper works with *pairs* of maps ``(f, g)`` applied to the two sides of
+a join; everything here is phrased in those terms.  ``f`` is applied to the
+data side (the paper's ``P`` / left argument) and ``g`` to the query side
+(``Q`` / right argument); for symmetric constructions the two coincide.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.validation import check_matrix, check_vector
+
+
+@dataclass(frozen=True)
+class PairMap:
+    """A concrete pair of vector maps with known input/output dimensions.
+
+    This is the composable unit the ⊕/⊗ calculus of Lemma 3 operates on:
+    :func:`repro.embeddings.ops.concat_maps` adds the embedded inner
+    products of two pair maps, :func:`repro.embeddings.ops.tensor_maps`
+    multiplies them.
+    """
+
+    f: Callable[[np.ndarray], np.ndarray]
+    g: Callable[[np.ndarray], np.ndarray]
+    d_in: int
+    d_out: int
+
+    def embed_left(self, x) -> np.ndarray:
+        """Apply the data-side map ``f`` to a single vector."""
+        x = check_vector(x, "x")
+        if x.size != self.d_in:
+            raise ValueError(f"expected input dimension {self.d_in}, got {x.size}")
+        out = np.asarray(self.f(x), dtype=np.float64)
+        if out.size != self.d_out:
+            raise AssertionError(
+                f"map produced dimension {out.size}, declared {self.d_out}"
+            )
+        return out
+
+    def embed_right(self, y) -> np.ndarray:
+        """Apply the query-side map ``g`` to a single vector."""
+        y = check_vector(y, "y")
+        if y.size != self.d_in:
+            raise ValueError(f"expected input dimension {self.d_in}, got {y.size}")
+        out = np.asarray(self.g(y), dtype=np.float64)
+        if out.size != self.d_out:
+            raise AssertionError(
+                f"map produced dimension {out.size}, declared {self.d_out}"
+            )
+        return out
+
+    def embed_left_many(self, X) -> np.ndarray:
+        """Apply ``f`` to every row of a matrix."""
+        X = check_matrix(X, "X")
+        return np.stack([self.embed_left(row) for row in X])
+
+    def embed_right_many(self, Y) -> np.ndarray:
+        """Apply ``g`` to every row of a matrix."""
+        Y = check_matrix(Y, "Y")
+        return np.stack([self.embed_right(row) for row in Y])
+
+
+class GapEmbedding(abc.ABC):
+    """An unsigned/signed ``(d1, d2, cs, s)``-gap embedding (Definition 4).
+
+    Subclasses expose the four parameters and guarantee, for binary inputs
+    ``x, y in {0,1}^{d1}``:
+
+    * ``|f(x) . g(y)| >= s``  when ``x . y == 0``   (``f(x).g(y) >= s`` if signed)
+    * ``|f(x) . g(y)| <= cs`` when ``x . y >= 1``   (``f(x).g(y) <= cs`` if signed)
+
+    and that evaluation time is polynomial in (in practice: linear in) the
+    output dimension ``d2``.
+    """
+
+    #: True when the guarantee is on the signed inner product.
+    signed: bool = False
+    #: The coordinate alphabet of the embedded vectors, e.g. {-1, 1} or {0, 1}.
+    alphabet: tuple = ()
+
+    @property
+    @abc.abstractmethod
+    def d_in(self) -> int:
+        """Input dimension ``d1``."""
+
+    @property
+    @abc.abstractmethod
+    def d_out(self) -> int:
+        """Output dimension ``d2`` (exact, not just the upper bound)."""
+
+    @property
+    @abc.abstractmethod
+    def s(self) -> float:
+        """Inner product guaranteed for orthogonal input pairs."""
+
+    @property
+    @abc.abstractmethod
+    def cs(self) -> float:
+        """Inner product ceiling for non-orthogonal input pairs."""
+
+    @property
+    def c(self) -> float:
+        """The approximation factor ``cs / s``."""
+        return self.cs / self.s
+
+    @abc.abstractmethod
+    def embed_left(self, x) -> np.ndarray:
+        """Embed a data-side binary vector (the paper's ``f``)."""
+
+    @abc.abstractmethod
+    def embed_right(self, y) -> np.ndarray:
+        """Embed a query-side binary vector (the paper's ``g``)."""
+
+    def embed_left_many(self, X) -> np.ndarray:
+        """Embed every row of a binary matrix with ``f``."""
+        X = check_matrix(X, "X", dtype=np.int64)
+        return np.stack([self.embed_left(row) for row in X])
+
+    def embed_right_many(self, Y) -> np.ndarray:
+        """Embed every row of a binary matrix with ``g``."""
+        Y = check_matrix(Y, "Y", dtype=np.int64)
+        return np.stack([self.embed_right(row) for row in Y])
+
+    def gap_holds(self, x, y, atol: float = 1e-6) -> bool:
+        """Check the Definition 4 guarantee on one concrete pair.
+
+        Used pervasively by tests; returns True when the embedded inner
+        product falls on the correct side of ``s`` / ``cs`` given the
+        orthogonality of ``(x, y)``.
+        """
+        x = np.asarray(x, dtype=np.int64)
+        y = np.asarray(y, dtype=np.int64)
+        value = float(self.embed_left(x) @ self.embed_right(y))
+        if not self.signed:
+            value = abs(value)
+        if int(x @ y) == 0:
+            return value >= self.s - atol
+        return value <= self.cs + atol

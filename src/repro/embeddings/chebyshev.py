@@ -1,0 +1,112 @@
+"""Chebyshev polynomials of the first kind and the growth bounds of Lemma 3.
+
+Embedding 2 implicitly evaluates ``b^q T_q(u / b)``; this module provides
+the polynomials themselves (via the numerically stable recurrence and,
+outside [-1, 1], the closed hyperbolic form), the growth lower bound
+``|T_q(1 + eps)| >= e^{q sqrt(eps)}`` the proof relies on, and the scaled
+integer-valued evaluation used to cross-check the tensor construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def chebyshev_t(q: int, x: float) -> float:
+    """``T_q(x)``, the degree-q Chebyshev polynomial of the first kind.
+
+    Uses ``cos``/``cosh`` closed forms, which are exact and stable for all
+    real ``x`` (the three-term recurrence loses precision for large q
+    outside ``[-1, 1]``).
+    """
+    if q < 0:
+        raise ParameterError(f"q must be non-negative, got {q}")
+    if abs(x) <= 1.0:
+        return float(math.cos(q * math.acos(x)))
+    sign = 1.0 if (x > 0 or q % 2 == 0) else -1.0
+    return float(sign * math.cosh(q * math.acosh(abs(x))))
+
+
+def chebyshev_t_recurrence(q: int, x: float) -> float:
+    """``T_q(x)`` by the paper's recurrence ``T_q = 2x T_{q-1} - T_{q-2}``.
+
+    Kept separate so tests can confirm the recurrence and the closed form
+    agree, mirroring the cross-check the tensor embedding needs.
+    """
+    if q < 0:
+        raise ParameterError(f"q must be non-negative, got {q}")
+    if q == 0:
+        return 1.0
+    prev, curr = 1.0, float(x)
+    for _ in range(q - 1):
+        prev, curr = curr, 2.0 * x * curr - prev
+    return curr
+
+
+def scaled_chebyshev(q: int, u: float, b: float) -> float:
+    """``b^q T_q(u / b)`` — the quantity Embedding 2's vectors realize.
+
+    The recursion ``F_q = 2 u F_{q-1} - b^2 F_{q-2}`` keeps every
+    intermediate an integer when ``u`` and ``b`` are integers, matching the
+    fact that the construction realizes it with ±1 coordinates.
+    """
+    if q < 0:
+        raise ParameterError(f"q must be non-negative, got {q}")
+    if b <= 0:
+        raise ParameterError(f"b must be positive, got {b}")
+    if q == 0:
+        return 1.0
+    prev, curr = 1.0, float(u)
+    for _ in range(q - 1):
+        prev, curr = curr, 2.0 * u * curr - (b * b) * prev
+    return curr
+
+
+def chebyshev_growth_lower_bound(q: int, eps: float) -> float:
+    """The paper's asymptotic lower bound ``e^{q sqrt(eps)}`` on ``T_q(1+eps)``.
+
+    Stated in the paper for ``0 < eps < 1/2``.  The *exact* value is
+    ``T_q(1+eps) = cosh(q acosh(1+eps)) >= e^{q acosh(1+eps)} / 2`` with
+    ``acosh(1+eps) ~ sqrt(2 eps) > sqrt(eps)``, so the stated bound holds
+    once ``q`` is large enough to absorb the factor 1/2 —
+    :func:`growth_bound_valid` gives the precise condition.  For small
+    ``q`` use :func:`chebyshev_growth_exact` instead.
+    """
+    if q < 0:
+        raise ParameterError(f"q must be non-negative, got {q}")
+    if not 0.0 < eps < 0.5:
+        raise ParameterError(f"the bound requires 0 < eps < 1/2, got {eps}")
+    return math.exp(q * math.sqrt(eps))
+
+
+def chebyshev_growth_exact(q: int, eps: float) -> float:
+    """The exact growth ``T_q(1+eps) = cosh(q acosh(1+eps))``."""
+    if q < 0:
+        raise ParameterError(f"q must be non-negative, got {q}")
+    if eps <= 0:
+        raise ParameterError(f"eps must be positive, got {eps}")
+    return math.cosh(q * math.acosh(1.0 + eps))
+
+
+def growth_bound_valid(q: int, eps: float) -> bool:
+    """Whether ``e^{q sqrt(eps)} <= T_q(1+eps)`` provably holds.
+
+    Sufficient condition: ``cosh(x) >= e^x / 2`` gives
+    ``T_q(1+eps) >= e^{q acosh(1+eps)} / 2``, so the paper's bound holds
+    when ``q (acosh(1+eps) - sqrt(eps)) >= ln 2``.
+    """
+    if q < 0:
+        raise ParameterError(f"q must be non-negative, got {q}")
+    if not 0.0 < eps < 0.5:
+        raise ParameterError(f"need 0 < eps < 1/2, got {eps}")
+    return q * (math.acosh(1.0 + eps) - math.sqrt(eps)) >= math.log(2.0)
+
+
+def chebyshev_t_vector(q: int, xs: np.ndarray) -> np.ndarray:
+    """Vectorized ``T_q`` over an array of points."""
+    xs = np.asarray(xs, dtype=np.float64)
+    return np.vectorize(lambda v: chebyshev_t(q, float(v)))(xs)

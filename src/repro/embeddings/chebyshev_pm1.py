@@ -1,0 +1,161 @@
+"""Embedding 2 of Lemma 3: the Chebyshev tensor embedding into {-1, 1}.
+
+The construction first applies the coordinate gadget of Embedding 1 but
+translates by appending ``d + 2`` ones to *both* sides, giving base
+vectors ``x~, y~`` in ``{-1,1}^{4d+2}`` with inner product
+``u(t) = 2d + 2 - 4t`` when ``x . y = t``: orthogonal pairs sit at
+``2d + 2``, non-orthogonal ones within ``[-(2d-2), 2d-2]``.
+
+It then realizes the scaled Chebyshev polynomial ``(2d)^q T_q(u / (2d))``
+with ±1 coordinates through the recursive ⊕/⊗ construction::
+
+    f_0 = 1                     g_0 = 1
+    f_1 = x~                    g_1 = y~
+    f_q = (x~ ⊗ f_{q-1})^{⊕2} ⊕ f_{q-2}^{⊕(2d)^2}
+    g_q = (y~ ⊗ g_{q-1})^{⊕2} ⊕ (-g_{q-2})^{⊕(2d)^2}
+
+whose embedded inner products satisfy the Chebyshev recurrence
+``F_q = 2 u F_{q-1} - (2d)^2 F_{q-2}``, i.e. ``F_q = (2d)^q T_q(u / 2d)``.
+Orthogonal pairs land at ``(2d)^q T_q(1 + 1/d) >= (2d)^q e^{q / sqrt(d)}``
+while non-orthogonal pairs stay within ``(2d)^q`` in magnitude — an
+unsigned ``(d, <=(9d)^q, (2d)^q, (2d)^q T_q(1 + 1/d))``-gap embedding.
+
+Unlike Valiant's randomized Chebyshev embedding, this construction is
+deterministic, and dynamic programming over ``q`` evaluates it in time
+linear in the output dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import GapEmbedding
+from repro.embeddings.chebyshev import chebyshev_t, scaled_chebyshev
+from repro.errors import CapacityError, ParameterError
+from repro.utils.validation import check_binary, check_vector
+
+#: Refuse to materialize embedded vectors larger than this many coordinates.
+DEFAULT_MAX_OUTPUT_DIM = 8_000_000
+
+
+def chebyshev_embedding_dims(d: int, q: int) -> list:
+    """Exact output dimensions ``D_0 .. D_q`` of the recursive construction.
+
+    ``D_0 = 1``, ``D_1 = 4d + 2``, and
+    ``D_q = 2 (4d + 2) D_{q-1} + (2d)^2 D_{q-2}``; the paper shows
+    ``D_q <= (9d)^q`` for ``d >= 8``.
+    """
+    if d < 1 or q < 0:
+        raise ParameterError(f"need d >= 1 and q >= 0, got d={d}, q={q}")
+    base = 4 * d + 2
+    dims = [1]
+    if q >= 1:
+        dims.append(base)
+    for _ in range(2, q + 1):
+        dims.append(2 * base * dims[-1] + (2 * d) ** 2 * dims[-2])
+    return dims
+
+
+class ChebyshevSignEmbedding(GapEmbedding):
+    """Unsigned Chebyshev gap embedding into ``{-1, 1}`` (Lemma 3, item 2).
+
+    Args:
+        d: input dimension (``d >= 2``; the paper's dimension bound
+           ``D_q <= (9d)^q`` needs ``d >= 8`` but the construction itself is
+           valid for any ``d >= 2``).
+        q: Chebyshev order (``q >= 1``); the gap ratio grows like
+           ``e^{q / sqrt(d)}``.
+        max_output_dim: guard limit; exceeding it raises
+            :class:`repro.errors.CapacityError` instead of allocating.
+    """
+
+    signed = False
+    alphabet = (-1, 1)
+
+    def __init__(self, d: int, q: int, max_output_dim: int = DEFAULT_MAX_OUTPUT_DIM):
+        if d < 2:
+            raise ParameterError(f"ChebyshevSignEmbedding requires d >= 2, got {d}")
+        if q < 1:
+            raise ParameterError(f"ChebyshevSignEmbedding requires q >= 1, got {q}")
+        self._d = int(d)
+        self._q = int(q)
+        self._dims = chebyshev_embedding_dims(d, q)
+        if self._dims[-1] > max_output_dim:
+            raise CapacityError(
+                f"output dimension {self._dims[-1]} exceeds the guard limit "
+                f"{max_output_dim}; lower q or d, or raise max_output_dim"
+            )
+
+    @property
+    def d_in(self) -> int:
+        return self._d
+
+    @property
+    def q(self) -> int:
+        return self._q
+
+    @property
+    def d_out(self) -> int:
+        return int(self._dims[-1])
+
+    @property
+    def b(self) -> int:
+        """The scale ``b = 2d`` of the realized polynomial ``b^q T_q(u/b)``."""
+        return 2 * self._d
+
+    @property
+    def s(self) -> float:
+        return self.b ** self._q * chebyshev_t(self._q, 1.0 + 1.0 / self._d)
+
+    @property
+    def cs(self) -> float:
+        return float(self.b ** self._q)
+
+    def base_inner_product(self, t: int) -> float:
+        """``u(t) = 2d + 2 - 4t``: the base-gadget inner product at overlap t."""
+        return 2.0 * self._d + 2.0 - 4.0 * float(t)
+
+    def embedded_inner_product(self, t: int) -> float:
+        """Closed form ``(2d)^q T_q(u(t) / 2d)`` of the embedded inner product."""
+        return scaled_chebyshev(self._q, self.base_inner_product(t), float(self.b))
+
+    def _base_left(self, x: np.ndarray) -> np.ndarray:
+        gadget = np.empty((self._d, 3), dtype=np.int8)
+        gadget[:, 0] = 1
+        gadget[:, 1] = (2 * x - 1).astype(np.int8)
+        gadget[:, 2] = gadget[:, 1]
+        return np.concatenate([gadget.ravel(), np.ones(self._d + 2, dtype=np.int8)])
+
+    def _base_right(self, y: np.ndarray) -> np.ndarray:
+        gadget = np.empty((self._d, 3), dtype=np.int8)
+        gadget[:, 0] = (1 - 2 * y).astype(np.int8)
+        gadget[:, 1] = gadget[:, 0]
+        gadget[:, 2] = -1
+        return np.concatenate([gadget.ravel(), np.ones(self._d + 2, dtype=np.int8)])
+
+    def _recurse(self, base: np.ndarray, negate_repeat: bool) -> np.ndarray:
+        """Dynamic program over q; linear in the total output size."""
+        sq = (2 * self._d) ** 2
+        prev = np.ones(1, dtype=np.int8)  # f_0 / g_0
+        if self._q == 0:
+            return prev
+        curr = base  # f_1 / g_1
+        for _ in range(2, self._q + 1):
+            tensored = np.multiply.outer(base, curr).ravel()
+            repeated = -prev if negate_repeat else prev
+            prev, curr = curr, np.concatenate(
+                [tensored, tensored, np.tile(repeated, sq)]
+            )
+        return curr
+
+    def embed_left(self, x) -> np.ndarray:
+        x = check_binary(check_vector(x, "x", dtype=np.int64), "x")
+        if x.size != self._d:
+            raise ParameterError(f"expected dimension {self._d}, got {x.size}")
+        return self._recurse(self._base_left(x), negate_repeat=False).astype(np.float64)
+
+    def embed_right(self, y) -> np.ndarray:
+        y = check_binary(check_vector(y, "y", dtype=np.int64), "y")
+        if y.size != self._d:
+            raise ParameterError(f"expected dimension {self._d}, got {y.size}")
+        return self._recurse(self._base_right(y), negate_repeat=True).astype(np.float64)

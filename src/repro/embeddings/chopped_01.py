@@ -1,0 +1,144 @@
+"""Embedding 3 of Lemma 3: the chopped-product embedding into {0, 1}.
+
+Without ``-1`` coordinates subtraction is unavailable, but the polynomial
+
+    (1 - x_1 y_1)(1 - x_2 y_2) ... (1 - x_d y_d)
+
+is realizable over {0,1} because ``1 - x_j y_j = (1-x_j, 1) . (y_j, 1-y_j)``
+and {0,1} is closed under tensoring.  The full product would cost dimension
+``2^d``, so the construction "chops" the coordinates into ``k`` chunks and
+*sums* the per-chunk products::
+
+    sum_{i=0}^{k-1}  prod_{j in chunk i} (1 - x_j y_j)
+
+Each chunk product is 1 exactly when the two vectors share no common 1 in
+that chunk; orthogonal pairs therefore reach ``k`` while non-orthogonal
+pairs lose at least the chunk containing a common 1, staying ``<= k - 1``:
+an unsigned ``(d, k 2^{ceil(d/k)}, k-1, k)``-gap embedding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.embeddings.base import GapEmbedding
+from repro.errors import CapacityError, ParameterError
+from repro.utils.validation import check_binary, check_vector
+
+#: Refuse to materialize embedded vectors larger than this many coordinates.
+DEFAULT_MAX_OUTPUT_DIM = 8_000_000
+
+
+def chunk_boundaries(d: int, k: int) -> List[Tuple[int, int]]:
+    """Contiguous chunk index ranges: k chunks of size ceil(d/k), last shorter.
+
+    Mirrors the paper's remark that when ``k`` does not divide ``d`` the
+    last "chop" is simply shorter, which only shrinks the output dimension.
+    """
+    if not 1 <= k <= d:
+        raise ParameterError(f"need 1 <= k <= d, got k={k}, d={d}")
+    size = -(-d // k)  # ceil(d / k)
+    bounds = []
+    start = 0
+    while start < d:
+        bounds.append((start, min(start + size, d)))
+        start += size
+    return bounds
+
+
+class ChoppedBinaryEmbedding(GapEmbedding):
+    """Unsigned ``(d, k 2^{ceil(d/k)}, k-1, k)``-gap embedding into ``{0, 1}``.
+
+    Args:
+        d: input dimension.
+        k: number of chunks, ``1 <= k <= d``.  Larger ``k`` means smaller
+            output dimension but weaker approximation hardness
+            (``c = (k-1)/k``); the Theorem 2 parametrization takes
+            ``k = d`` for output dimension exactly ``2d``.
+        max_output_dim: guard limit for the materialized dimension.
+    """
+
+    signed = False
+    alphabet = (0, 1)
+
+    def __init__(self, d: int, k: int, max_output_dim: int = DEFAULT_MAX_OUTPUT_DIM):
+        self._d = int(d)
+        self._k = int(k)
+        self._bounds = chunk_boundaries(self._d, self._k)
+        self._chunk_dims = [2 ** (hi - lo) for lo, hi in self._bounds]
+        self._d_out = int(sum(self._chunk_dims))
+        if self._d_out > max_output_dim:
+            raise CapacityError(
+                f"output dimension {self._d_out} exceeds the guard limit "
+                f"{max_output_dim}; raise k or max_output_dim"
+            )
+
+    @property
+    def d_in(self) -> int:
+        return self._d
+
+    @property
+    def k(self) -> int:
+        """Number of chunks; note the realized chunk count can be < k when
+        ceil(d/k) chunks cover d early — ``n_chunks`` reports the truth."""
+        return self._k
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def d_out(self) -> int:
+        return self._d_out
+
+    @property
+    def s(self) -> float:
+        return float(self.n_chunks)
+
+    @property
+    def cs(self) -> float:
+        return float(self.n_chunks - 1)
+
+    def embedded_inner_product(self, x, y) -> float:
+        """Closed form: the number of chunks where x and y share no 1."""
+        x = np.asarray(x, dtype=np.int64)
+        y = np.asarray(y, dtype=np.int64)
+        return float(
+            sum(1 for lo, hi in self._bounds if int(x[lo:hi] @ y[lo:hi]) == 0)
+        )
+
+    @staticmethod
+    def _tensor_chain(pairs: np.ndarray) -> np.ndarray:
+        """Tensor the per-coordinate 2-vectors of one chunk into 2^len dims."""
+        out = np.ones(1, dtype=np.int8)
+        for pair in pairs:
+            out = np.multiply.outer(out, pair).ravel()
+        return out
+
+    def embed_left(self, x) -> np.ndarray:
+        x = check_binary(check_vector(x, "x", dtype=np.int64), "x")
+        if x.size != self._d:
+            raise ParameterError(f"expected dimension {self._d}, got {x.size}")
+        parts = []
+        for lo, hi in self._bounds:
+            pairs = np.stack(
+                [(1 - x[lo:hi]).astype(np.int8), np.ones(hi - lo, dtype=np.int8)],
+                axis=1,
+            )
+            parts.append(self._tensor_chain(pairs))
+        return np.concatenate(parts).astype(np.float64)
+
+    def embed_right(self, y) -> np.ndarray:
+        y = check_binary(check_vector(y, "y", dtype=np.int64), "y")
+        if y.size != self._d:
+            raise ParameterError(f"expected dimension {self._d}, got {y.size}")
+        parts = []
+        for lo, hi in self._bounds:
+            pairs = np.stack(
+                [y[lo:hi].astype(np.int8), (1 - y[lo:hi]).astype(np.int8)],
+                axis=1,
+            )
+            parts.append(self._tensor_chain(pairs))
+        return np.concatenate(parts).astype(np.float64)

@@ -1,0 +1,63 @@
+"""Section 4.2's symmetric ball-to-sphere completion via incoherent vectors.
+
+The reduction maps every vector ``p`` in the unit ball to
+
+    f(p) = (p, sqrt(1 - |p|^2) * v_p)
+
+where ``v_p`` is the incoherent companion of (the quantization of) ``p``
+from a Reed-Solomon collection.  Data and queries are treated *identically*
+— this is what makes the resulting LSH symmetric — and for ``p != q``:
+
+    |f(p) . f(q) - p . q| = sqrt(1-|p|^2) sqrt(1-|q|^2) |v_p . v_q| <= eps
+
+while ``f(p) . f(p) = 1`` exactly.  The guarantee intentionally fails for
+identical vectors (their companions coincide), which is precisely the
+relaxation Section 4.2 argues is harmless: a pre-step checks whether the
+query itself is in the input set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DomainError
+from repro.incoherent.registry import IncoherentRegistry
+from repro.utils.validation import check_matrix, check_vector
+
+
+class SymmetricSphereCompletion:
+    """Symmetric unit-ball to unit-sphere map with eps inner product error.
+
+    Args:
+        eps: additive inner-product error tolerated for distinct vectors.
+        precision_bits: fixed-point width of the quantization that keys the
+            incoherent companion (the paper's "coordinates encoded as k-bit
+            numbers").
+    """
+
+    def __init__(self, eps: float = 0.05, precision_bits: int = 16):
+        self.registry = IncoherentRegistry(eps=eps, precision_bits=precision_bits)
+        self.eps = float(eps)
+
+    def output_dimension(self, d: int) -> int:
+        return d + self.registry.dimension
+
+    def embed(self, x) -> np.ndarray:
+        """``x -> (x, sqrt(1 - |x|^2) v_x)``; same map for data and queries."""
+        x = check_vector(x, "x")
+        norm = float(np.linalg.norm(x))
+        if norm > 1.0 + 1e-9:
+            raise DomainError(f"x must lie in the unit ball, got norm {norm:.6g}")
+        tail = np.sqrt(max(0.0, 1.0 - norm * norm))
+        return np.concatenate([x, tail * self.registry.companion(x)])
+
+    def embed_many(self, X) -> np.ndarray:
+        X = check_matrix(X, "X")
+        return np.stack([self.embed(row) for row in X])
+
+    # Aliases so the completion can slot into code written against the
+    # asymmetric transform interface.
+    embed_data = embed
+    embed_query = embed
+    embed_data_many = embed_many
+    embed_query_many = embed_many

@@ -1,0 +1,182 @@
+"""Reductions of inner product search to similarity search on the sphere.
+
+Three transforms appear in the paper and its comparison set:
+
+* :class:`NeyshaburSrebroTransform` — the asymmetric map of [39] used in
+  Section 4.1: a data vector ``p`` in the unit ball maps to
+  ``(p, sqrt(1 - |p|^2), 0)``, a query ``q`` in the ball of radius ``U`` to
+  ``(q/U, 0, sqrt(1 - |q|^2/U^2))``; both land on the unit sphere and the
+  embedded inner product is ``p.q / U``.
+* :class:`SimpleLSHTransform` — the symmetric variant (SIMPLE-LSH of [39]):
+  ``x -> (x, sqrt(1 - |x|^2))`` for data in the unit ball; queries are
+  assumed on the unit sphere and are padded with a zero.  Inner products
+  are preserved exactly.
+* :class:`L2ALSHTransform` — the original ALSH of Shrivastava and Li [45]:
+  appends the norm powers ``|x|^2, |x|^4, ..., |x|^{2^m}`` to data and
+  constants ``1/2`` to queries, turning MIPS into approximate nearest
+  neighbor in Euclidean distance after a shrinking pre-scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DomainError, ParameterError
+from repro.utils.validation import check_matrix, check_vector
+
+
+def _norm_check(x: np.ndarray, limit: float, name: str, atol: float = 1e-9) -> float:
+    norm = float(np.linalg.norm(x))
+    if norm > limit + atol:
+        raise DomainError(f"{name} must have norm <= {limit}, got {norm:.6g}")
+    return norm
+
+
+class NeyshaburSrebroTransform:
+    """Asymmetric ball-to-sphere map of [39] (used by Section 4.1).
+
+    Args:
+        query_radius: the radius ``U`` of the query domain; data vectors
+            must lie in the unit ball.
+    """
+
+    def __init__(self, query_radius: float = 1.0):
+        if query_radius <= 0:
+            raise ParameterError(f"query_radius must be positive, got {query_radius}")
+        self.query_radius = float(query_radius)
+
+    def output_dimension(self, d: int) -> int:
+        return d + 2
+
+    def embed_data(self, p) -> np.ndarray:
+        """``p -> (p, sqrt(1 - |p|^2), 0)``, a unit vector."""
+        p = check_vector(p, "p")
+        norm = _norm_check(p, 1.0, "p")
+        tail = np.sqrt(max(0.0, 1.0 - norm * norm))
+        return np.concatenate([p, [tail, 0.0]])
+
+    def embed_query(self, q) -> np.ndarray:
+        """``q -> (q/U, 0, sqrt(1 - |q|^2 / U^2))``, a unit vector."""
+        q = check_vector(q, "q")
+        norm = _norm_check(q, self.query_radius, "q")
+        scaled = q / self.query_radius
+        ratio = norm / self.query_radius
+        tail = np.sqrt(max(0.0, 1.0 - ratio * ratio))
+        return np.concatenate([scaled, [0.0, tail]])
+
+    def embed_data_many(self, P) -> np.ndarray:
+        P = check_matrix(P, "P")
+        return np.stack([self.embed_data(row) for row in P])
+
+    def embed_query_many(self, Q) -> np.ndarray:
+        Q = check_matrix(Q, "Q")
+        return np.stack([self.embed_query(row) for row in Q])
+
+    def inner_product_scale(self) -> float:
+        """Embedded inner products equal original ones times this factor."""
+        return 1.0 / self.query_radius
+
+
+class SimpleLSHTransform:
+    """SIMPLE-LSH's symmetric unit-ball-to-sphere completion [39].
+
+    Data in the unit ball maps to ``(x, sqrt(1 - |x|^2))``; queries must
+    lie on the unit *sphere* and are zero-padded.  Inner products are
+    preserved exactly, so hyperplane LSH on the images is an LSH for MIPS
+    in this (ball data, sphere queries) setting — the regime [39] proves a
+    symmetric LSH exists.
+    """
+
+    def output_dimension(self, d: int) -> int:
+        return d + 1
+
+    def embed_data(self, p) -> np.ndarray:
+        p = check_vector(p, "p")
+        norm = _norm_check(p, 1.0, "p")
+        tail = np.sqrt(max(0.0, 1.0 - norm * norm))
+        return np.concatenate([p, [tail]])
+
+    def embed_query(self, q, atol: float = 1e-6) -> np.ndarray:
+        q = check_vector(q, "q")
+        norm = float(np.linalg.norm(q))
+        if abs(norm - 1.0) > atol:
+            raise DomainError(
+                f"SIMPLE-LSH queries must lie on the unit sphere; |q| = {norm:.6g}"
+            )
+        return np.concatenate([q, [0.0]])
+
+    def embed_data_many(self, P) -> np.ndarray:
+        P = check_matrix(P, "P")
+        return np.stack([self.embed_data(row) for row in P])
+
+    def embed_query_many(self, Q) -> np.ndarray:
+        Q = check_matrix(Q, "Q")
+        return np.stack([self.embed_query(row) for row in Q])
+
+
+class L2ALSHTransform:
+    """The original L2-ALSH(SL) transform of Shrivastava and Li [45].
+
+    Data vectors are pre-scaled by ``scale = max_norm_target / max |x|`` and
+    extended with their norm powers; queries are normalized and extended
+    with ``m`` halves::
+
+        P(x) = (scale*x, |scale*x|^2, |scale*x|^4, ..., |scale*x|^{2^m})
+        Q(q) = (q / |q|, 1/2, 1/2, ..., 1/2)
+
+    Then ``|P(x) - Q(q)|^2 = 1 + m/4 - 2 scale (x.q)/|q| + |scale*x|^{2^{m+1}}``
+    and the vanishing last term makes Euclidean NN on the images solve MIPS.
+
+    Args:
+        m: number of norm-power extension coordinates.
+        max_norm_target: the paper's ``U_0 < 1`` pre-scale target.
+    """
+
+    def __init__(self, m: int = 3, max_norm_target: float = 0.83):
+        if m < 1:
+            raise ParameterError(f"m must be >= 1, got {m}")
+        if not 0.0 < max_norm_target < 1.0:
+            raise ParameterError(
+                f"max_norm_target must be in (0, 1), got {max_norm_target}"
+            )
+        self.m = int(m)
+        self.max_norm_target = float(max_norm_target)
+
+    def output_dimension(self, d: int) -> int:
+        return d + self.m
+
+    def fit_scale(self, P) -> float:
+        """The pre-scale taking the longest data vector to ``max_norm_target``."""
+        P = check_matrix(P, "P")
+        max_norm = float(np.linalg.norm(P, axis=1).max())
+        if max_norm == 0:
+            raise DomainError("data must contain a non-zero vector")
+        return self.max_norm_target / max_norm
+
+    def embed_data(self, p, scale: float) -> np.ndarray:
+        p = check_vector(p, "p")
+        x = p * float(scale)
+        _norm_check(x, 1.0, "scaled data vector")
+        norm_sq = float(x @ x)
+        powers = np.empty(self.m, dtype=np.float64)
+        value = norm_sq
+        for i in range(self.m):
+            powers[i] = value
+            value = value * value
+        return np.concatenate([x, powers])
+
+    def embed_query(self, q) -> np.ndarray:
+        q = check_vector(q, "q")
+        norm = float(np.linalg.norm(q))
+        if norm == 0:
+            raise DomainError("query must be non-zero")
+        return np.concatenate([q / norm, np.full(self.m, 0.5)])
+
+    def embed_data_many(self, P) -> np.ndarray:
+        P = check_matrix(P, "P")
+        scale = self.fit_scale(P)
+        return np.stack([self.embed_data(row, scale) for row in P])
+
+    def embed_query_many(self, Q) -> np.ndarray:
+        Q = check_matrix(Q, "Q")
+        return np.stack([self.embed_query(row) for row in Q])

@@ -1,0 +1,125 @@
+"""The ⊕ (concatenation) / ⊗ (tensoring) calculus of Lemma 3.
+
+The paper's footnote 4 stresses the duality these combinators have with
+``+`` and ``×`` on inner products in the embedded space:
+
+* concatenation adds inner products:
+  ``(x1 ⊕ x2) . (y1 ⊕ y2) = x1.y1 + x2.y2``
+* tensoring multiplies them (the "folklore property"):
+  ``(x1 ⊗ x2) . (y1 ⊗ y2) = (x1.y1)(x2.y2)``
+* repetition scales them: ``x^{⊕n} . y^{⊕n} = n (x.y)``
+
+These operate on :class:`repro.embeddings.base.PairMap` objects so the
+recursive Chebyshev construction (Embedding 2) can be written exactly as
+in the paper.  The paper's caveat applies: it is only safe to commute ⊕'s
+and ⊗'s when both ``f`` and ``g`` are commuted identically, which the
+combinators here enforce by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import PairMap
+from repro.errors import ParameterError
+
+
+def concat_vectors(*vectors: np.ndarray) -> np.ndarray:
+    """Plain vector concatenation (the paper's ``x ⊕ y``)."""
+    return np.concatenate([np.asarray(v, dtype=np.float64).ravel() for v in vectors])
+
+
+def tensor_vectors(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Flattened outer product (the paper's ``x ⊗ y``): vec(x y^T)."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    return np.outer(x, y).ravel()
+
+
+def repeat_vector(x: np.ndarray, times: int) -> np.ndarray:
+    """``x`` concatenated with itself ``times`` times (the paper's ``x^{⊕n}``)."""
+    if times < 0:
+        raise ParameterError(f"times must be non-negative, got {times}")
+    return np.tile(np.asarray(x, dtype=np.float64).ravel(), times)
+
+
+def concat_maps(*maps: PairMap) -> PairMap:
+    """⊕ on pair maps: embedded inner products add.
+
+    All operands must share the input dimension; the result's embedded
+    inner product is the sum of the operands'.
+    """
+    if not maps:
+        raise ParameterError("concat_maps needs at least one operand")
+    d_in = maps[0].d_in
+    if any(m.d_in != d_in for m in maps):
+        raise ParameterError("all operands of concat_maps must share d_in")
+    d_out = sum(m.d_out for m in maps)
+
+    def f(x, _maps=maps):
+        return concat_vectors(*[m.f(x) for m in _maps])
+
+    def g(y, _maps=maps):
+        return concat_vectors(*[m.g(y) for m in _maps])
+
+    return PairMap(f=f, g=g, d_in=d_in, d_out=d_out)
+
+
+def tensor_maps(left: PairMap, right: PairMap) -> PairMap:
+    """⊗ on pair maps: embedded inner products multiply."""
+    if left.d_in != right.d_in:
+        raise ParameterError("operands of tensor_maps must share d_in")
+
+    def f(x, _l=left, _r=right):
+        return tensor_vectors(_l.f(x), _r.f(x))
+
+    def g(y, _l=left, _r=right):
+        return tensor_vectors(_l.g(y), _r.g(y))
+
+    return PairMap(f=f, g=g, d_in=left.d_in, d_out=left.d_out * right.d_out)
+
+
+def repeat_map(inner: PairMap, times: int) -> PairMap:
+    """Repetition on pair maps: embedded inner product scales by ``times``."""
+    if times <= 0:
+        raise ParameterError(f"times must be positive, got {times}")
+
+    def f(x, _m=inner, _t=times):
+        return repeat_vector(_m.f(x), _t)
+
+    def g(y, _m=inner, _t=times):
+        return repeat_vector(_m.g(y), _t)
+
+    return PairMap(f=f, g=g, d_in=inner.d_in, d_out=inner.d_out * times)
+
+
+def constant_map(d_in: int, f_value: Sequence[float], g_value: Sequence[float]) -> PairMap:
+    """A pair map ignoring its input; used for the translation tricks.
+
+    Appending ``constant_map(d, ones(k), ±ones(k))`` to an embedding
+    translates every embedded inner product by ``±k``, which is how both
+    ±1 embeddings of Lemma 3 shift their gap.
+    """
+    f_arr = np.asarray(f_value, dtype=np.float64).ravel()
+    g_arr = np.asarray(g_value, dtype=np.float64).ravel()
+    if f_arr.size != g_arr.size:
+        raise ParameterError("f_value and g_value must have equal length")
+
+    def f(x, _v=f_arr):
+        return _v.copy()
+
+    def g(y, _v=g_arr):
+        return _v.copy()
+
+    return PairMap(f=f, g=g, d_in=d_in, d_out=int(f_arr.size))
+
+
+def identity_map(d_in: int) -> PairMap:
+    """The identity pair map (both sides pass vectors through)."""
+
+    def passthrough(v):
+        return np.asarray(v, dtype=np.float64).ravel()
+
+    return PairMap(f=passthrough, g=passthrough, d_in=d_in, d_out=d_in)

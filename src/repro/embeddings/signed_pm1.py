@@ -1,0 +1,85 @@
+"""Embedding 1 of Lemma 3: the signed ``(d, 4d-4, 0, 4)`` embedding into {-1,1}.
+
+The coordinate-wise gadget maps each bit to three ±1 coordinates::
+
+    f^(0) = ( 1, -1, -1)      g^(0) = ( 1,  1, -1)
+    f^(1) = ( 1,  1,  1)      g^(1) = (-1, -1, -1)
+
+so that a coordinate pair contributes ``-3`` exactly when both bits are 1
+and ``+1`` otherwise.  The whole-vector inner product is therefore
+``d - 4 (x.y)``; appending ``d-4`` constant coordinates (ones on the data
+side, minus-ones on the query side) translates it by ``-(d-4)``, giving
+``4`` for orthogonal pairs and ``<= 0`` otherwise: a signed
+``(d, 4d-4, 0, 4)``-gap embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.base import GapEmbedding
+from repro.errors import ParameterError
+from repro.utils.validation import check_binary, check_vector
+
+
+class SignedCoordinateEmbedding(GapEmbedding):
+    """Signed ``(d, 4d-4, 0, 4)``-gap embedding into ``{-1, 1}``.
+
+    Valid for any ``d >= 4`` (the translation needs ``d - 4 >= 0``).  The
+    embedded inner product is exactly ``4 - 4 (x . y)``; note the magnitude
+    can be as large as ``4d - 4`` for heavily-overlapping pairs, which is
+    irrelevant for *signed* joins (the paper's remark after Embedding 1).
+    """
+
+    signed = True
+    alphabet = (-1, 1)
+
+    def __init__(self, d: int):
+        if d < 4:
+            raise ParameterError(f"SignedCoordinateEmbedding requires d >= 4, got {d}")
+        self._d = int(d)
+
+    @property
+    def d_in(self) -> int:
+        return self._d
+
+    @property
+    def d_out(self) -> int:
+        return 4 * self._d - 4
+
+    @property
+    def s(self) -> float:
+        return 4.0
+
+    @property
+    def cs(self) -> float:
+        return 0.0
+
+    @property
+    def c(self) -> float:
+        """cs / s = 0: any positive approximation factor is defeated."""
+        return 0.0
+
+    def embedded_inner_product(self, t: int) -> float:
+        """Closed form: the embedded inner product when ``x . y == t``."""
+        return 4.0 - 4.0 * float(t)
+
+    def embed_left(self, x) -> np.ndarray:
+        x = check_binary(check_vector(x, "x", dtype=np.int64), "x")
+        if x.size != self._d:
+            raise ParameterError(f"expected dimension {self._d}, got {x.size}")
+        gadget = np.empty((self._d, 3), dtype=np.float64)
+        gadget[:, 0] = 1.0
+        gadget[:, 1] = 2.0 * x - 1.0
+        gadget[:, 2] = 2.0 * x - 1.0
+        return np.concatenate([gadget.ravel(), np.ones(self._d - 4)])
+
+    def embed_right(self, y) -> np.ndarray:
+        y = check_binary(check_vector(y, "y", dtype=np.int64), "y")
+        if y.size != self._d:
+            raise ParameterError(f"expected dimension {self._d}, got {y.size}")
+        gadget = np.empty((self._d, 3), dtype=np.float64)
+        gadget[:, 0] = 1.0 - 2.0 * y
+        gadget[:, 1] = 1.0 - 2.0 * y
+        gadget[:, 2] = -1.0
+        return np.concatenate([gadget.ravel(), -np.ones(self._d - 4)])

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can distinguish library-level failures from
+programming errors with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed a shape, domain, or parameter-range check."""
+
+
+class DomainError(ValidationError):
+    """Vector entries fall outside the domain an algorithm requires.
+
+    For example, passing real vectors to an embedding defined on ``{0, 1}``
+    coordinates raises this error.
+    """
+
+
+class ParameterError(ValidationError):
+    """A scalar parameter (threshold, approximation factor, ...) is invalid."""
+
+
+class ConstructionError(ReproError):
+    """An explicit construction could not be realized.
+
+    Raised, for example, when a requested incoherent vector collection is
+    infeasible for the given coherence and cardinality, or when a hard
+    sequence construction is asked for parameters where the paper's proof
+    (and hence the construction) does not apply.
+    """
+
+
+class CapacityError(ConstructionError):
+    """A construction would exceed an explicit size budget.
+
+    The gap embeddings of Lemma 3 have output dimension exponential in some
+    parameters; rather than silently allocating huge arrays we raise this
+    error when a guard limit would be exceeded.
+    """

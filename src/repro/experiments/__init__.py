@@ -1,0 +1,29 @@
+"""Reproduction reports: every paper table/figure, regenerable in-library.
+
+Each ``build_*`` function returns a mapping of artifact name to formatted
+plain-text report.  The benchmark harness wraps these with timing; the
+CLI (``python -m repro.experiments``) writes them to disk directly, so a
+downstream user can regenerate the paper's artifacts without pytest.
+"""
+
+from repro.experiments.figure1 import build_figure1_reports
+from repro.experiments.figure2 import build_figure2_reports
+from repro.experiments.hard_instances import build_hard_instance_reports
+from repro.experiments.reporting import format_table
+from repro.experiments.table1 import build_table1_reports
+
+ALL_EXPERIMENTS = {
+    "table1": build_table1_reports,
+    "figure1": build_figure1_reports,
+    "figure2": build_figure2_reports,
+    "hard-instances": build_hard_instance_reports,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "build_table1_reports",
+    "build_figure1_reports",
+    "build_figure2_reports",
+    "build_hard_instance_reports",
+    "format_table",
+]

@@ -1,0 +1,50 @@
+"""CLI: regenerate the paper's tables and figures without pytest.
+
+Usage::
+
+    python -m repro.experiments                # run everything, print
+    python -m repro.experiments table1 figure2 # run a subset
+    python -m repro.experiments --out results/ # also write one file each
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*ALL_EXPERIMENTS, []],
+        help=f"which experiments to run (default: all of {sorted(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write each artifact to DIR/<name>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or sorted(ALL_EXPERIMENTS)
+    for name in chosen:
+        reports = ALL_EXPERIMENTS[name]()
+        for artifact, text in reports.items():
+            print(f"\n===== {artifact} =====\n{text}")
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                with open(os.path.join(args.out, f"{artifact}.txt"), "w") as handle:
+                    handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

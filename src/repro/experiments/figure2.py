@@ -1,0 +1,71 @@
+"""Figure 2 reports: the ρ curves and the Monte-Carlo cross-check."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.lsh import SimpleALSH
+from repro.lsh.base import estimate_collision_probability
+from repro.lsh.minhash import AsymmetricMinHash
+from repro.lsh.rho import (
+    collision_prob_hyperplane,
+    collision_prob_mh_alsh,
+    figure2_series,
+    rho_l2alsh_tuned,
+)
+
+
+def build_curves_report(c_values=(0.2, 0.5, 0.8), step: float = 0.05) -> str:
+    s_grid = [round(s, 2) for s in np.arange(step, 1.0, step)]
+    blocks = []
+    for c in c_values:
+        series = figure2_series(c, s_grid)
+        rows = [
+            [f"{s:.2f}", f"{dd:.4f}", f"{simp:.4f}", f"{mh:.4f}",
+             f"{rho_l2alsh_tuned(s, c):.4f}"]
+            for s, dd, simp, mh in zip(
+                series["s"], series["DATA-DEP"], series["SIMP"], series["MH-ALSH"]
+            )
+        ]
+        blocks.append(f"c = {c}")
+        blocks.append(format_table(
+            ["s", "DATA-DEP (this paper)", "SIMP [39]", "MH-ALSH [46]",
+             "L2-ALSH [45] (extra)"],
+            rows,
+        ))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def build_crosscheck_report(d: int = 48, trials: int = 4000, seed: int = 7) -> str:
+    rng = np.random.default_rng(seed)
+    rows = []
+    fam = SimpleALSH(d)
+    for s in (0.3, 0.6, 0.9):
+        q = rng.normal(size=d); q /= np.linalg.norm(q)
+        r = rng.normal(size=d); r -= (r @ q) * q; r /= np.linalg.norm(r)
+        p = (s * q + np.sqrt(1 - s * s) * r) * 0.999
+        est = estimate_collision_probability(fam, p, q, trials=trials, seed=1)
+        rows.append(["SIMP", f"s={s}", f"{est:.4f}",
+                     f"{collision_prob_hyperplane(s * 0.999):.4f}"])
+    universe, M = 120, 40
+    mh = AsymmetricMinHash(universe, M)
+    for t in (0.25, 0.5, 0.75):
+        overlap = int(t * M)
+        x = np.zeros(universe, dtype=np.int64); x[:M] = 1
+        q = np.zeros(universe, dtype=np.int64)
+        q[M - overlap:2 * M - overlap] = 1
+        est = estimate_collision_probability(mh, x, q, trials=trials, seed=2)
+        rows.append(["MH-ALSH", f"t={t}", f"{est:.4f}",
+                     f"{collision_prob_mh_alsh(overlap / M):.4f}"])
+    return format_table(["family", "point", "Monte-Carlo", "closed form"], rows)
+
+
+def build_figure2_reports() -> Dict[str, str]:
+    return {
+        "figure2_rho": build_curves_report(),
+        "figure2_crosscheck": build_crosscheck_report(),
+    }

@@ -1,0 +1,57 @@
+"""Hard-instance landscape reports (Theorems 1 and 2 instantiated)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.experiments.reporting import format_table
+from repro.theory import (
+    hard_instance_table,
+    hard_instance_unsigned_01,
+    hard_instance_unsigned_pm1,
+)
+
+
+def build_landscape_report(exponents=(10, 14, 18, 22)) -> str:
+    rows = []
+    for inst in hard_instance_table([2 ** e for e in exponents]):
+        rows.append([
+            inst.problem,
+            f"2^{int(math.log2(inst.n))}",
+            inst.d_ovp,
+            f"{inst.d_embedded:.3g}",
+            f"{inst.s:.6g}",
+            f"{inst.cs:.6g}",
+            f"{inst.c:.6f}",
+            f"{inst.ratio:.6f}",
+        ])
+    return format_table(
+        ["problem", "n", "d", "d2", "s", "cs", "c", "log(s/d2)/log(cs/d2)"],
+        rows,
+    )
+
+
+def build_limits_report(exponents=(10, 16, 22, 28)) -> str:
+    rows = []
+    for exp in exponents:
+        n = 2 ** exp
+        pm1 = hard_instance_unsigned_pm1(n)
+        b01 = hard_instance_unsigned_01(n)
+        rows.append([
+            f"2^{exp}",
+            f"{pm1.c:.2e}",
+            f"{1 - pm1.ratio:.2e}",
+            f"{b01.c:.6f}",
+            f"{1 - b01.ratio:.2e}",
+        ])
+    return format_table(
+        ["n", "±1: c", "±1: 1-ratio", "0/1: c", "0/1: 1-ratio"], rows
+    )
+
+
+def build_hard_instance_reports() -> Dict[str, str]:
+    return {
+        "hard_instances": build_landscape_report(),
+        "hard_instances_limits": build_limits_report(),
+    }

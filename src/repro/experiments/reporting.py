@@ -1,0 +1,19 @@
+"""Plain-text table formatting shared by reports, benches and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence, rows: Iterable[Sequence]) -> str:
+    """Right-padded column layout with a dashed header rule."""
+    table: List[List[str]] = [[str(cell) for cell in headers]]
+    for row in rows:
+        table.append([str(cell) for cell in row])
+    widths = [max(len(row[col]) for row in table) for col in range(len(table[0]))]
+    lines = []
+    for r, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[col]) for col, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[col] for col in range(len(widths))))
+    return "\n".join(lines)

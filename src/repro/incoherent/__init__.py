@@ -1,0 +1,21 @@
+"""Explicit incoherent vector collections.
+
+A collection of unit vectors ``v_1 .. v_N`` is *eps-incoherent* when
+``|v_i . v_j| <= eps`` for all ``i != j``.  Section 4.2 needs such a
+collection that is "explicit in a strong sense" — computable per index —
+which the paper obtains from Reed-Solomon codes [38]; Theorem 3's third
+hard sequence needs a quasi-orthogonal family obtainable from random
+projections.  Both constructions live here.
+"""
+
+from repro.incoherent.random_family import coherence, random_quasi_orthogonal
+from repro.incoherent.reed_solomon import ReedSolomonIncoherent, next_prime
+from repro.incoherent.registry import IncoherentRegistry
+
+__all__ = [
+    "ReedSolomonIncoherent",
+    "IncoherentRegistry",
+    "random_quasi_orthogonal",
+    "coherence",
+    "next_prime",
+]

@@ -1,0 +1,71 @@
+"""Random quasi-orthogonal families (Johnson-Lindenstrauss style).
+
+Theorem 3's third hard sequence needs ``2n - 1`` vectors with
+``|z_i . z_j| <= eps`` and norms in ``[1 - eps, 1 + eps]``; the paper cites
+the JL lemma for their existence at dimension ``Omega(eps^{-2} log n)``.
+``random_quasi_orthogonal`` draws normalized Gaussian vectors at that
+dimension and *verifies* the property, re-drawing on the (exponentially
+unlikely) failure, so callers get a certified family.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConstructionError, ParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def coherence(Z: np.ndarray) -> float:
+    """Largest absolute pairwise inner product of the rows of ``Z``."""
+    Z = np.asarray(Z, dtype=np.float64)
+    if Z.shape[0] < 2:
+        return 0.0
+    gram = np.abs(Z @ Z.T)
+    np.fill_diagonal(gram, 0.0)
+    return float(gram.max())
+
+
+def jl_dimension(count: int, eps: float, constant: float = 8.0) -> int:
+    """The JL-scale dimension ``ceil(constant * eps^{-2} * ln(count))``."""
+    if count < 2:
+        raise ParameterError(f"count must be >= 2, got {count}")
+    if not 0.0 < eps < 1.0:
+        raise ParameterError(f"eps must be in (0, 1), got {eps}")
+    return max(8, math.ceil(constant * math.log(count) / (eps * eps)))
+
+
+def random_quasi_orthogonal(
+    count: int,
+    eps: float,
+    dimension: int = None,
+    seed: SeedLike = None,
+    max_attempts: int = 32,
+) -> np.ndarray:
+    """A certified eps-incoherent family of ``count`` unit vectors.
+
+    Draws normalized Gaussian rows at the JL dimension (or the caller's
+    ``dimension``) and re-draws until the pairwise coherence bound actually
+    holds, raising :class:`repro.errors.ConstructionError` if the requested
+    dimension can never realistically satisfy it.
+    """
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    if not 0.0 < eps < 1.0:
+        raise ParameterError(f"eps must be in (0, 1), got {eps}")
+    rng = ensure_rng(seed)
+    d = jl_dimension(max(count, 2), eps) if dimension is None else int(dimension)
+    if d < 1:
+        raise ParameterError(f"dimension must be positive, got {d}")
+
+    for _ in range(max_attempts):
+        Z = rng.normal(size=(count, d))
+        Z /= np.linalg.norm(Z, axis=1, keepdims=True)
+        if coherence(Z) <= eps:
+            return Z
+    raise ConstructionError(
+        f"could not draw {count} unit vectors with coherence <= {eps} at "
+        f"dimension {d} in {max_attempts} attempts; increase the dimension"
+    )

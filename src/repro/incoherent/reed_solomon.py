@@ -1,0 +1,152 @@
+"""Deterministic incoherent vectors from Reed-Solomon codes.
+
+This is the construction of Nelson, Nguyen and Woodruff [38] the paper
+invokes in Section 4.2.  Fix a prime ``q`` and degree bound ``k``; index
+``u`` is interpreted as a polynomial ``f_u`` of degree ``< k`` over
+``F_q`` (its base-q digits are the coefficients).  The vector ``v_u`` has
+``q`` blocks of ``q`` coordinates; block ``a`` holds ``1/sqrt(q)`` at
+position ``f_u(a)`` and zeros elsewhere.  Then
+
+* ``||v_u|| = 1`` exactly, and
+* ``v_u . v_w = |{a : f_u(a) = f_w(a)}| / q <= (k - 1) / q`` for ``u != w``
+
+because distinct polynomials of degree ``< k`` agree on at most ``k - 1``
+points.  The collection holds ``q^k`` vectors of dimension ``q^2`` with
+coherence ``(k-1)/q``, each computable independently in ``O(qk)`` time —
+the "strong explicitness" Section 4.2 requires.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConstructionError, ParameterError
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality by trial division (fine for code-size primes)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    f = 3
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime >= n."""
+    candidate = max(2, int(n))
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+#: Largest field size we are willing to search; dimension would be q^2.
+MAX_FIELD_SIZE = 1 << 20
+
+
+def choose_parameters(size: int, eps: float, max_degree: int = 32):
+    """Pick ``(q, k)`` minimizing dimension ``q^2`` subject to the guarantees.
+
+    Requires ``q^k >= size`` (capacity) and ``(k-1)/q <= eps`` (coherence).
+    Degree candidates whose field would exceed :data:`MAX_FIELD_SIZE` are
+    skipped — their vectors would be infeasibly large anyway.
+    """
+    if size < 1:
+        raise ParameterError(f"size must be >= 1, got {size}")
+    if not 0.0 < eps < 1.0:
+        raise ParameterError(f"eps must be in (0, 1), got {eps}")
+    best = None
+    for k in range(1, max_degree + 1):
+        q_capacity = math.ceil(size ** (1.0 / k)) if k > 1 else size
+        q_coherence = math.ceil((k - 1) / eps) if k > 1 else 2
+        lower = max(q_capacity, q_coherence, 2)
+        if lower > MAX_FIELD_SIZE:
+            continue
+        q = next_prime(lower)
+        # Rounding up size**(1/k) can undershoot for huge sizes; fix up.
+        while q ** k < size:
+            q = next_prime(q + 1)
+        if best is None or q < best[0]:
+            best = (q, k)
+    if best is None:
+        raise ConstructionError(
+            f"no feasible Reed-Solomon parameters for size={size}, eps={eps}: "
+            f"every candidate field exceeds {MAX_FIELD_SIZE}"
+        )
+    return best
+
+
+class ReedSolomonIncoherent:
+    """An explicit eps-incoherent collection of ``q^k`` unit vectors.
+
+    Args:
+        size: number of distinct indices the collection must support.
+        eps: coherence bound; pairwise ``|v_u . v_w| <= eps`` is guaranteed
+            (the realized coherence ``(k-1)/q`` is available as
+            :attr:`coherence` and is often much smaller).
+    """
+
+    def __init__(self, size: int, eps: float):
+        self.q, self.k = choose_parameters(size, eps)
+        self.size = int(size)
+        self.eps = float(eps)
+        self._points = np.arange(self.q, dtype=np.int64)
+
+    @property
+    def dimension(self) -> int:
+        """Vector dimension ``q^2``."""
+        return self.q * self.q
+
+    @property
+    def capacity(self) -> int:
+        """Number of distinct vectors available, ``q^k``."""
+        return self.q ** self.k
+
+    @property
+    def coherence(self) -> float:
+        """The guaranteed pairwise bound ``(k - 1) / q``."""
+        return (self.k - 1) / self.q
+
+    def _coefficients(self, index: int) -> np.ndarray:
+        if not 0 <= index < self.capacity:
+            raise ParameterError(
+                f"index must be in [0, {self.capacity}), got {index}"
+            )
+        coeffs = np.empty(self.k, dtype=np.int64)
+        for pos in range(self.k):
+            coeffs[pos] = index % self.q
+            index //= self.q
+        return coeffs
+
+    def _evaluate(self, coeffs: np.ndarray) -> np.ndarray:
+        """Evaluate the polynomial at every field point, vectorized Horner."""
+        values = np.zeros(self.q, dtype=np.int64)
+        for coefficient in coeffs[::-1]:
+            values = (values * self._points + coefficient) % self.q
+        return values
+
+    def vector(self, index: int) -> np.ndarray:
+        """The unit vector assigned to ``index`` (shape ``(q^2,)``)."""
+        values = self._evaluate(self._coefficients(index))
+        out = np.zeros(self.q * self.q, dtype=np.float64)
+        out[self._points * self.q + values] = 1.0 / math.sqrt(self.q)
+        return out
+
+    def vectors(self, indices) -> np.ndarray:
+        """Stack of vectors for an iterable of indices."""
+        return np.stack([self.vector(int(i)) for i in indices])
+
+    def dot(self, index_a: int, index_b: int) -> float:
+        """Inner product of two collection vectors without materializing them."""
+        va = self._evaluate(self._coefficients(index_a))
+        vb = self._evaluate(self._coefficients(index_b))
+        return float((va == vb).sum()) / self.q

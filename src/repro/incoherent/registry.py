@@ -1,0 +1,76 @@
+"""Keyed lookup of incoherent companion vectors.
+
+Section 4.2 assigns an incoherent vector ``v_p`` to *every possible*
+``k``-bit-quantized vector ``p`` — conceptually ``N = 2^{O(dk)}`` vectors.
+Materializing that is impossible; instead the paper only needs the map
+``p -> v_p`` to be strongly explicit.  We quantize the vector to ``k``-bit
+fixed point, hash the canonical byte encoding to an index into a
+Reed-Solomon collection with capacity at least ``2^64``, and emit that
+index's vector.  Equal vectors (after quantization) always receive the
+same companion; distinct vectors receive companions with pairwise
+coherence ``<= eps`` unless the 64-bit hashes collide, which is
+negligible at any realistic dataset size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.incoherent.reed_solomon import ReedSolomonIncoherent
+from repro.utils.validation import check_vector
+
+
+class IncoherentRegistry:
+    """Deterministic map from quantized vectors to incoherent unit vectors.
+
+    Args:
+        eps: coherence bound for companions of distinct vectors.
+        precision_bits: fixed-point quantization width ``k``; two vectors
+            within ``2^{-precision_bits}`` per coordinate share a companion.
+        salt: optional bytes mixed into the hash, to derive independent
+            registries from one configuration.
+    """
+
+    #: Capacity floor making 64-bit hash collisions the only failure mode.
+    _MIN_CAPACITY = 2 ** 64
+
+    def __init__(self, eps: float, precision_bits: int = 16, salt: bytes = b""):
+        if not 0.0 < eps < 1.0:
+            raise ParameterError(f"eps must be in (0, 1), got {eps}")
+        if precision_bits < 1:
+            raise ParameterError(f"precision_bits must be >= 1, got {precision_bits}")
+        self.eps = float(eps)
+        self.precision_bits = int(precision_bits)
+        self.salt = bytes(salt)
+        self._collection = ReedSolomonIncoherent(self._MIN_CAPACITY, eps)
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the companion vectors."""
+        return self._collection.dimension
+
+    @property
+    def coherence(self) -> float:
+        """Realized coherence bound of the underlying collection."""
+        return self._collection.coherence
+
+    def quantize(self, x) -> np.ndarray:
+        """Fixed-point quantization to ``precision_bits`` fractional bits."""
+        x = check_vector(x, "x")
+        scale = float(1 << self.precision_bits)
+        return np.round(x * scale).astype(np.int64)
+
+    def index_for(self, x) -> int:
+        """The collection index assigned to (the quantization of) ``x``."""
+        quantized = self.quantize(x)
+        digest = hashlib.blake2b(
+            quantized.tobytes(), digest_size=8, key=self.salt
+        ).digest()
+        return int.from_bytes(digest, "little") % self._collection.capacity
+
+    def companion(self, x) -> np.ndarray:
+        """The incoherent unit vector ``v_x`` assigned to ``x``."""
+        return self._collection.vector(self.index_for(x))

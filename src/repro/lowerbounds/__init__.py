@@ -1,0 +1,59 @@
+"""Lower-bound machinery: Lemma 4's collision grid and Theorem 3's sequences.
+
+``grid`` reproduces the recursive square partition of the paper's
+Figure 1; ``mass`` implements the shared / partially-shared / proper mass
+accounting of Lemma 4's proof on explicit finite hash families; ``sequences``
+constructs the three hard data/query sequences of Theorem 3; ``gap_bounds``
+evaluates the resulting closed-form upper bounds on ``P1 - P2``; ``audit``
+measures the empirical gap of concrete (A)LSH families on those sequences.
+"""
+
+from repro.lowerbounds.audit import GapAudit, audit_gap
+from repro.lowerbounds.gap_bounds import (
+    gap_bound_case1,
+    gap_bound_case2,
+    gap_bound_case3,
+    lemma4_gap_bound,
+)
+from repro.lowerbounds.grid import Square, lower_triangle_partition, square_containing
+from repro.lowerbounds.mass import FiniteHashFamily, MassAccounting
+from repro.lowerbounds.sequences import (
+    HardSequences,
+    geometric_sequences,
+    prefix_tree_sequences,
+    shifted_affine_sequences,
+    verify_lemma4_hypothesis,
+)
+from repro.lowerbounds.symmetric_impossibility import (
+    ChainAudit,
+    audit_symmetric_chain,
+    chain_length,
+    great_circle_chain,
+    symmetric_gap_bound,
+    verify_chain,
+)
+
+__all__ = [
+    "Square",
+    "lower_triangle_partition",
+    "square_containing",
+    "FiniteHashFamily",
+    "MassAccounting",
+    "HardSequences",
+    "geometric_sequences",
+    "shifted_affine_sequences",
+    "prefix_tree_sequences",
+    "verify_lemma4_hypothesis",
+    "lemma4_gap_bound",
+    "gap_bound_case1",
+    "gap_bound_case2",
+    "gap_bound_case3",
+    "GapAudit",
+    "audit_gap",
+    "ChainAudit",
+    "audit_symmetric_chain",
+    "chain_length",
+    "great_circle_chain",
+    "symmetric_gap_bound",
+    "verify_chain",
+]

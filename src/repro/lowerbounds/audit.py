@@ -1,0 +1,103 @@
+"""Empirical gap audits: measure ``P1 - P2`` of real (A)LSH families.
+
+Theorem 3 is a statement about *every* asymmetric LSH; an audit cannot
+prove it, but running a concrete family against the hard sequences shows
+the bound in action: the measured ``P1`` (worst collision probability
+over must-collide pairs) minus ``P2`` (best over must-separate pairs)
+always lands below the closed-form bound, and decays as the sequences
+lengthen.  This is the Figure-1/Theorem-3 experiment of the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lowerbounds.gap_bounds import lemma4_gap_bound
+from repro.lowerbounds.sequences import HardSequences
+from repro.lsh.base import AsymmetricLSHFamily
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class GapAudit:
+    """Result of auditing one family against one hard instance."""
+
+    p1: float
+    p2: float
+    n: int
+    gap_bound: float
+    trials: int
+    pairs_checked: int
+
+    @property
+    def gap(self) -> float:
+        return self.p1 - self.p2
+
+    @property
+    def within_bound(self) -> bool:
+        return self.gap <= self.gap_bound + 1e-9
+
+
+def audit_gap(
+    family: AsymmetricLSHFamily,
+    sequences: HardSequences,
+    trials: int = 400,
+    max_pairs_per_side: int = 200,
+    seed: SeedLike = None,
+) -> GapAudit:
+    """Measure the collision gap of ``family`` on a hard instance.
+
+    ``P1`` is estimated as the minimum collision rate over (a sample of)
+    above-diagonal pairs, ``P2`` as the maximum over below-diagonal pairs;
+    the same sampled hash functions are reused across pairs.  Pair
+    sampling always includes the extremes (diagonal pairs and the corner
+    pairs), which empirically dominate the min/max.
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    rng = ensure_rng(seed)
+    n = sequences.n
+    if n < 2:
+        raise ParameterError("sequences must have length >= 2")
+
+    pairs = [family.sample(rng) for _ in range(trials)]
+
+    def collision_rate(i: int, j: int) -> float:
+        q = sequences.Q[i]
+        p = sequences.P[j]
+        return sum(1 for h in pairs if h.collides(p, q)) / trials
+
+    # Above-diagonal sample: all diagonal pairs plus random j > i.
+    above = [(i, i) for i in range(n)]
+    below = [(i, i - 1) for i in range(1, n)]
+    extra = max(0, max_pairs_per_side - len(above))
+    for _ in range(extra):
+        i = int(rng.integers(0, n - 1))
+        j = int(rng.integers(i + 1, n))
+        above.append((i, j))
+    extra = max(0, max_pairs_per_side - len(below))
+    for _ in range(extra):
+        i = int(rng.integers(1, n))
+        j = int(rng.integers(0, i))
+        below.append((i, j))
+    if len(above) > max_pairs_per_side:
+        chosen = rng.choice(len(above), size=max_pairs_per_side, replace=False)
+        above = [above[k] for k in chosen]
+    if len(below) > max_pairs_per_side:
+        chosen = rng.choice(len(below), size=max_pairs_per_side, replace=False)
+        below = [below[k] for k in chosen]
+
+    p1 = min(collision_rate(i, j) for i, j in above)
+    p2 = max(collision_rate(i, j) for i, j in below) if below else 0.0
+    return GapAudit(
+        p1=p1,
+        p2=p2,
+        n=n,
+        gap_bound=lemma4_gap_bound(max(2, n)),
+        trials=trials,
+        pairs_checked=len(above) + len(below),
+    )

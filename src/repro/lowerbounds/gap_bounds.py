@@ -1,0 +1,95 @@
+"""Closed-form gap bounds: Lemma 4 and the three cases of Theorem 3.
+
+Lemma 4 turns a hard sequence of length ``n`` into the bound
+``P1 - P2 <= 8 / log2(n)`` (see the constant note in
+:mod:`repro.lowerbounds.mass`); each Theorem 3 case contributes a sequence
+length, hence a bound in terms of the domain parameters:
+
+1. ``n = Theta(d log_{1/c}(U/s))``  ->  ``O(1 / log(d log_{1/c}(U/s)))``
+2. ``n = Theta(d sqrt(U/(s(1-c))))`` -> ``O(1 / log(d U / (s (1-c))))``
+3. ``n = 2^{sqrt(U/(8s))}``          -> ``O(sqrt(s / U))``
+
+All three tend to 0 as ``U -> inf``: no asymmetric LSH with ``P1 > P2``
+exists over unbounded query domains.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+
+def lemma4_gap_bound(n: int) -> float:
+    """``P1 - P2 <= 8 / log2(n)`` from a hard sequence of length ``n``."""
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+    return 8.0 / math.log2(n)
+
+
+def _check(s: float, c: float, U: float) -> None:
+    if s <= 0 or U <= 0:
+        raise ParameterError(f"s and U must be positive, got s={s}, U={U}")
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"c must be in (0, 1), got {c}")
+
+
+def sequence_length_case1(s: float, c: float, U: float, d: int = 1) -> int:
+    """``Theta(d log_{1/c}(U/s))`` — the case 1 sequence length."""
+    _check(s, c, U)
+    if s > c * U:
+        raise ParameterError(f"case 1 requires s <= cU, got s={s}, cU={c * U}")
+    m = int(math.floor(math.log(U / s) / math.log(1.0 / c))) + 1
+    return max(1, (d // 2 if d > 1 else 1)) * m
+
+
+def gap_bound_case1(s: float, c: float, U: float, d: int = 1) -> float:
+    """Theorem 3 item 1: ``O(1 / log(d log_{1/c}(U/s)))``."""
+    return lemma4_gap_bound(max(2, sequence_length_case1(s, c, U, d)))
+
+
+def sequence_length_case2(s: float, c: float, U: float, d: int = 2) -> int:
+    """``Theta(d sqrt(U/(s(1-c))))`` — the case 2 sequence length."""
+    _check(s, c, U)
+    if s >= U:
+        raise ParameterError(f"case 2 requires s < U, got s={s}, U={U}")
+    m = int(math.floor(math.sqrt((U - s) / (s * (1.0 - c))))) + 1
+    return max(1, d // 2) * m
+
+
+def gap_bound_case2(s: float, c: float, U: float, d: int = 2) -> float:
+    """Theorem 3 item 2: ``O(1 / log(d U / (s (1 - c))))`` (signed only)."""
+    return lemma4_gap_bound(max(2, sequence_length_case2(s, c, U, d)))
+
+
+def sequence_length_case3(s: float, U: float) -> int:
+    """``2^{floor(sqrt(U/(8s)))} - 1`` — the case 3 sequence length."""
+    if s <= 0 or U <= 0:
+        raise ParameterError(f"s and U must be positive, got s={s}, U={U}")
+    bits = int(math.floor(math.sqrt(U / (8.0 * s))))
+    return max(1, (1 << bits) - 1)
+
+def gap_bound_case3(s: float, U: float) -> float:
+    """Theorem 3 item 3: ``O(sqrt(s/U))``.
+
+    ``log2(n) = sqrt(U/(8s))`` gives ``8/log2(n) = 8 sqrt(8 s / U)
+    = O(sqrt(s/U))``.
+    """
+    n = sequence_length_case3(s, U)
+    if n < 2:
+        raise ParameterError(
+            f"case 3 needs U/(8s) >= 1 for a non-trivial sequence (s={s}, U={U})"
+        )
+    return lemma4_gap_bound(n)
+
+
+def required_dimension_case3(s: float, c: float, U: float) -> int:
+    """The paper's sufficient dimension ``Omega(log^5(n) / c^2)`` for case 3.
+
+    With ``log n = sqrt(U/(8s))`` this is the ``d > Theta(U^{5/2} /
+    (c^2 s^{5/2}))``-scale condition of Theorem 3 item 3 (the paper states
+    it as ``Theta(U^5/(c^2 s^5))`` in un-normalized form).
+    """
+    _check(s, c, U)
+    log_n = math.sqrt(U / (8.0 * s))
+    return max(1, math.ceil((log_n ** 5) / (c * c)))

@@ -1,0 +1,136 @@
+"""The recursive square partition of the collision grid (paper Figure 1).
+
+Lemma 4 considers the ``n x n`` grid of (query index ``i``, data index
+``j``) pairs with ``n = 2^ell - 1``; the *lower triangle* is the region
+``j >= i`` (the P1-nodes).  It is partitioned into squares ``G_{r,s}`` of
+exponentially increasing side ``2^r``: for ``0 <= r < ell`` and
+``0 <= s < 2^{ell-r-1}``, square ``G_{r,s}`` touches the diagonal at node
+``((2s+1) 2^r - 1, (2s+1) 2^r - 1)`` and covers
+
+    rows    i in [ 2s * 2^r          , (2s+1) 2^r - 1 ]
+    columns j in [ (2s+1) 2^r - 1    , (2s+2) 2^r - 2 ]
+
+The squares tile the triangle exactly: counting nodes,
+``sum_r 2^{ell-r-1} * 4^r = 2^{ell-1} (2^ell - 1) = n (n+1) / 2``.
+
+The *left squares* of ``G_{r,s}`` are the partition squares covering the
+sub-triangle with ``s 2^{r+1} <= i, j < (2s+1) 2^r - 1`` (same rows,
+smaller columns) and the *top squares* those covering
+``(2s+1) 2^r - 1 < i, j <= (s+1) 2^{r+1} - 2`` (same columns, larger
+rows); the mass-accounting proof charges collision probability mass
+through those regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParameterError
+
+
+def grid_side(ell: int) -> int:
+    """The grid side ``n = 2^ell - 1``."""
+    if ell < 1:
+        raise ParameterError(f"ell must be >= 1, got {ell}")
+    return (1 << ell) - 1
+
+
+@dataclass(frozen=True)
+class Square:
+    """Partition square ``G_{r,s}``."""
+
+    r: int
+    s: int
+
+    def __post_init__(self):
+        if self.r < 0 or self.s < 0:
+            raise ParameterError(f"r and s must be non-negative, got {self.r}, {self.s}")
+
+    @property
+    def side(self) -> int:
+        return 1 << self.r
+
+    @property
+    def row_start(self) -> int:
+        return 2 * self.s * self.side
+
+    @property
+    def row_end(self) -> int:
+        """Inclusive last row; equals the diagonal touch point."""
+        return (2 * self.s + 1) * self.side - 1
+
+    @property
+    def col_start(self) -> int:
+        """Inclusive first column; equals the diagonal touch point."""
+        return (2 * self.s + 1) * self.side - 1
+
+    @property
+    def col_end(self) -> int:
+        return (2 * self.s + 2) * self.side - 2
+
+    def contains(self, i: int, j: int) -> bool:
+        return self.row_start <= i <= self.row_end and self.col_start <= j <= self.col_end
+
+    def nodes(self) -> Iterator:
+        """All (i, j) nodes of the square."""
+        for i in range(self.row_start, self.row_end + 1):
+            for j in range(self.col_start, self.col_end + 1):
+                yield (i, j)
+
+    def left_region(self) -> tuple:
+        """Index range [lo, hi) of the left-squares sub-triangle."""
+        return (2 * self.s * self.side, self.col_start)
+
+    def top_region(self) -> tuple:
+        """Index range (lo, hi] of the top-squares sub-triangle, as [lo+1, hi]."""
+        return (self.row_end + 1, (2 * self.s + 2) * self.side - 2)
+
+
+def lower_triangle_partition(ell: int) -> List[Square]:
+    """All squares ``G_{r,s}`` tiling the lower triangle of the 2^ell-1 grid."""
+    if ell < 1:
+        raise ParameterError(f"ell must be >= 1, got {ell}")
+    squares = []
+    for r in range(ell):
+        for s in range(1 << (ell - r - 1)):
+            squares.append(Square(r=r, s=s))
+    return squares
+
+
+def square_containing(ell: int, i: int, j: int) -> Square:
+    """The unique partition square containing P1-node ``(i, j)``.
+
+    Derivation: ``G_{r,s}`` contains ``(i, j)`` iff
+    ``2s 2^r <= i < (2s+1) 2^r <= j + 1 < (2s+2) 2^r``; the level ``r`` is
+    determined by the highest power of two separating ``i`` and ``j + 1``.
+    """
+    n = grid_side(ell)
+    if not 0 <= i <= j < n:
+        raise ParameterError(f"(i={i}, j={j}) is not a P1-node of the n={n} grid")
+    for r in range(ell):
+        side = 1 << r
+        s, rem = divmod(i, 2 * side)
+        if rem < side and (2 * s + 1) * side - 1 <= j <= (2 * s + 2) * side - 2:
+            return Square(r=r, s=s)
+    raise AssertionError(f"partition failed to cover node ({i}, {j}) at ell={ell}")
+
+
+def left_squares(ell: int, square: Square) -> List[Square]:
+    """Partition squares of the left sub-triangle of ``square``."""
+    lo, hi = square.left_region()
+    return [
+        other
+        for other in lower_triangle_partition(ell)
+        if lo <= other.row_start and other.col_end < hi
+    ]
+
+
+def top_squares(ell: int, square: Square) -> List[Square]:
+    """Partition squares of the top sub-triangle of ``square``."""
+    lo, hi = square.top_region()
+    return [
+        other
+        for other in lower_triangle_partition(ell)
+        if lo <= other.row_start and other.col_end <= hi
+    ]

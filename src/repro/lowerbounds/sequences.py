@@ -1,0 +1,371 @@
+"""The three hard data/query sequence constructions of Theorem 3.
+
+Each construction produces sequences ``P = {p_0..p_{n-1}}``,
+``Q = {q_0..q_{n-1}}`` with
+
+    q_i . p_j >= s   when j >= i        (the P1, "must collide" pairs)
+    q_i . p_j <= cs  when j <  i        (the P2, "must separate" pairs)
+
+data vectors inside the unit ball and queries inside the ball of radius
+``U``; feeding them to Lemma 4 bounds the gap of *any* (asymmetric) LSH by
+``O(1 / log n)``.  The three cases trade generality for length:
+
+* :func:`geometric_sequences` (case 1) — length ``Theta(d log_{1/c}(U/s))``,
+  valid for signed and unsigned IPS, any ``d >= 1``.
+* :func:`shifted_affine_sequences` (case 2) — length
+  ``Theta(d sqrt(U / (s (1-c))))``, signed IPS only (it produces large
+  negative inner products), ``d >= 2``.
+* :func:`prefix_tree_sequences` (case 3) — length ``2^{sqrt(U/(8s))}``,
+  signed and unsigned, requires large ``d``; built on a quasi-orthogonal
+  family.  The paper proves the ordering with strict ``i < j``; Lemma 4
+  wants ``j >= i``, so we shift the data sequence by one index (the
+  construction note in DESIGN.md), which shortens the sequence by one.
+
+Every constructor *verifies* the Lemma 4 hypothesis and the ball
+constraints before returning; the paper's inequalities thus hold exactly,
+not just asymptotically, on the returned instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConstructionError, ParameterError
+from repro.incoherent.reed_solomon import ReedSolomonIncoherent
+from repro.utils.bits import int_to_bits
+
+
+@dataclass(frozen=True)
+class HardSequences:
+    """A constructed hard instance for Lemma 4.
+
+    Attributes:
+        P: data sequence, rows in the unit ball.
+        Q: query sequence, rows in the ball of radius ``U``.
+        s: threshold; ``q_i . p_j >= s`` for ``j >= i``.
+        cs: separation; ``q_i . p_j <= cs`` (|.| <= cs when unsigned-safe)
+            for ``j < i``.
+        U: query domain radius.
+        unsigned_safe: True when below-diagonal pairs also satisfy
+            ``|q_i . p_j| <= cs`` so the instance constrains unsigned LSH.
+        case: which Theorem 3 case produced the instance (1, 2 or 3).
+    """
+
+    P: np.ndarray
+    Q: np.ndarray
+    s: float
+    cs: float
+    U: float
+    unsigned_safe: bool
+    case: int
+
+    @property
+    def n(self) -> int:
+        return self.P.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.P.shape[1]
+
+    def inner_products(self) -> np.ndarray:
+        """The full collision-relevant matrix ``Q P^T`` (rows: queries)."""
+        return self.Q @ self.P.T
+
+    def truncate_to_grid(self) -> "HardSequences":
+        """Largest prefix of length ``2^ell - 1`` (what Lemma 4 consumes)."""
+        ell = int(math.floor(math.log2(self.n + 1)))
+        keep = (1 << ell) - 1
+        return HardSequences(
+            P=self.P[:keep], Q=self.Q[:keep], s=self.s, cs=self.cs,
+            U=self.U, unsigned_safe=self.unsigned_safe, case=self.case,
+        )
+
+
+def verify_lemma4_hypothesis(
+    P: np.ndarray,
+    Q: np.ndarray,
+    s: float,
+    cs: float,
+    U: float,
+    unsigned: bool = False,
+    atol: float = 1e-9,
+) -> None:
+    """Assert the ordering property and the ball constraints.
+
+    Raises :class:`repro.errors.ConstructionError` naming the first
+    violated constraint.
+    """
+    P = np.asarray(P, dtype=np.float64)
+    Q = np.asarray(Q, dtype=np.float64)
+    if P.shape != Q.shape and P.shape[0] != Q.shape[0]:
+        raise ConstructionError("P and Q must have equal length")
+    n = P.shape[0]
+    data_norms = np.linalg.norm(P, axis=1)
+    if data_norms.max(initial=0.0) > 1.0 + atol:
+        raise ConstructionError(
+            f"data vector escapes the unit ball: norm {data_norms.max():.6g}"
+        )
+    query_norms = np.linalg.norm(Q, axis=1)
+    if query_norms.max(initial=0.0) > U + atol:
+        raise ConstructionError(
+            f"query vector escapes the radius-{U} ball: norm {query_norms.max():.6g}"
+        )
+    ips = Q @ P.T
+    rows, cols = np.indices((n, n))
+    above = cols >= rows
+    if ips[above].min(initial=np.inf) < s - atol:
+        raise ConstructionError(
+            f"an above-diagonal pair has inner product "
+            f"{ips[above].min():.6g} < s = {s}"
+        )
+    below = ips[~above]
+    if below.size:
+        worst = np.abs(below).max() if unsigned else below.max()
+        if worst > cs + atol:
+            raise ConstructionError(
+                f"a below-diagonal pair has inner product {worst:.6g} > cs = {cs}"
+            )
+
+
+def geometric_sequences(
+    s: float,
+    c: float,
+    U: float,
+    d: int = 1,
+) -> HardSequences:
+    """Theorem 3 case 1: geometric sequences of length ``Theta(d m)``.
+
+    One-dimensional core (equation (1)): ``q_i = U c^i``,
+    ``p_j = s / (U c^j)``, so ``q_i p_j = s c^{i-j}``.  For even ``d`` the
+    core is replicated on ``d/2`` two-coordinate planes with translation
+    coordinates enforcing the cross-plane ordering.  All inner products
+    are non-negative, so the instance constrains signed *and* unsigned
+    LSH.  Requires ``s <= c U`` (so the sequence is non-empty) and, for
+    ``d >= 2``, ``s <= U / (2 sqrt(2 d'))`` for the ball constraints.
+    """
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"c must be in (0, 1), got {c}")
+    if s <= 0 or U <= 0:
+        raise ParameterError(f"s and U must be positive, got s={s}, U={U}")
+    if s > c * U:
+        raise ParameterError(f"case 1 requires s <= c U (s={s}, cU={c * U})")
+    if d < 1:
+        raise ParameterError(f"d must be >= 1, got {d}")
+
+    # Index range for the 1-d core: p_j = s/(U c^j) needs norm <= 1, i.e.
+    # c^j >= s/U  <=>  j <= log_{1/c}(U/s); q_i = U c^i <= U always.
+    m = int(math.floor(math.log(U / s) / math.log(1.0 / c))) + 1
+
+    if d == 1:
+        idx = np.arange(m)
+        Q = (U * c ** idx).reshape(-1, 1)
+        P = (s / (U * c ** idx)).reshape(-1, 1)
+        seqs = HardSequences(P=P, Q=Q, s=float(s), cs=float(c * s), U=float(U),
+                             unsigned_safe=True, case=1)
+        verify_lemma4_hypothesis(seqs.P, seqs.Q, s, c * s, U, unsigned=True)
+        return seqs
+
+    if d % 2 != 0:
+        raise ParameterError("multi-dimensional case 1 requires even d")
+    d_half = d // 2
+
+    # Ball constraints: query block k has norm^2 = (U c^i)^2 + 4 s^2 (d'-k);
+    # dropping the first i0 indices makes (U c^i)^2 <= U^2/2, and we need
+    # 4 s^2 d' <= U^2 / 2 as well.
+    if 8.0 * s * s * d_half > U * U:
+        raise ParameterError(
+            f"case 1 with d={d} requires s <= U / sqrt(8 d/2); got s={s}, U={U}"
+        )
+    i0 = int(math.ceil(math.log(math.sqrt(2.0)) / math.log(1.0 / c)))
+    if i0 >= m:
+        raise ParameterError(
+            f"no indices survive the norm trim (m={m}, i0={i0}); decrease s/U"
+        )
+    # Data block k has norm^2 = (s/(U c^j))^2 + 1/4; keep it <= 1.
+    m_data = int(math.floor(math.log(math.sqrt(0.75) * U / s) / math.log(1.0 / c))) + 1
+    lo, hi = i0, min(m, m_data)
+    if hi <= lo:
+        raise ParameterError("empty index range after norm trims; decrease s/U")
+
+    q_blocks, p_blocks = [], []
+    for k in range(d_half):
+        for i in range(lo, hi):
+            q = np.zeros(d)
+            q[2 * k] = U * c ** i
+            for t in range(k, d_half):
+                q[2 * t + 1] = 2.0 * s
+            q_blocks.append(q)
+            p = np.zeros(d)
+            p[2 * k] = s / (U * c ** i)
+            if k > 0:
+                p[2 * k - 1] = 0.5
+            p_blocks.append(p)
+    seqs = HardSequences(
+        P=np.stack(p_blocks), Q=np.stack(q_blocks), s=float(s), cs=float(c * s),
+        U=float(U), unsigned_safe=True, case=1,
+    )
+    verify_lemma4_hypothesis(seqs.P, seqs.Q, s, c * s, U, unsigned=True)
+    return seqs
+
+
+def shifted_affine_sequences(
+    s: float,
+    c: float,
+    U: float,
+    d: int = 2,
+) -> HardSequences:
+    """Theorem 3 case 2: affine sequences of length ``Theta(d m)``, signed only.
+
+    Two-dimensional core (equation (2)):
+
+        q_i = (sqrt(sU) (1 - (1-c) i),  sqrt(sU (1-c)))
+        p_j = (sqrt(s/U),               j sqrt(s (1-c) / U))
+
+    so ``q_i . p_j = s (1-c)(j - i) + s``: at least ``s`` when ``j >= i``
+    and at most ``cs`` when ``j < i``.  Inner products below the diagonal
+    become arbitrarily negative, hence ``unsigned_safe = False``.
+    """
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"c must be in (0, 1), got {c}")
+    if s <= 0 or U <= 0:
+        raise ParameterError(f"s and U must be positive, got s={s}, U={U}")
+    if d < 2 or d % 2 != 0:
+        raise ParameterError(f"case 2 requires even d >= 2, got {d}")
+    d_half = d // 2
+
+    # Data norm^2 = s/U + j^2 s(1-c)/U <= 1  =>  j <= sqrt((U-s)/(s(1-c))).
+    if s >= U:
+        raise ParameterError(f"case 2 requires s < U, got s={s}, U={U}")
+    m = int(math.floor(math.sqrt((U - s) / (s * (1.0 - c))))) + 1
+    # Query norm^2 <= sU ((1 + (1-c) m)^2 + (1-c) + (d'-1)) must be <= U^2;
+    # we verify post-hoc (the paper's sufficient condition is s <= U/(2d)).
+    q_blocks, p_blocks = [], []
+    for k in range(d_half):
+        for i in range(m):
+            q = np.zeros(d)
+            q[2 * k] = math.sqrt(s * U) * (1.0 - (1.0 - c) * i)
+            q[2 * k + 1] = math.sqrt(s * U * (1.0 - c))
+            for t in range(k + 1, d_half):
+                q[2 * t] = math.sqrt(U * s)
+            q_blocks.append(q)
+            p = np.zeros(d)
+            p[2 * k] = math.sqrt(s / U)
+            p[2 * k + 1] = i * math.sqrt(s * (1.0 - c) / U)
+            p_blocks.append(p)
+    seqs = HardSequences(
+        P=np.stack(p_blocks), Q=np.stack(q_blocks), s=float(s), cs=float(c * s),
+        U=float(U), unsigned_safe=False, case=2,
+    )
+    verify_lemma4_hypothesis(seqs.P, seqs.Q, s, c * s, U, unsigned=False)
+    return seqs
+
+
+def prefix_tree_sequences(
+    s: float,
+    c: float,
+    U: float,
+    n_bits: Optional[int] = None,
+    family_source: str = "reed-solomon",
+    seed=None,
+) -> HardSequences:
+    """Theorem 3 case 3: exponentially long sequences via a prefix tree.
+
+    Indices are ``n_bits``-bit integers; with a quasi-orthogonal family
+    ``{z_w}`` indexed by binary prefixes ``w``:
+
+        q_a = sqrt(2 s U) * sum_l  (1 - a_l) z_{a_0..a_{l-1}, 1-a_l}
+        p_b = sqrt(2 s / U) * sum_l  b_l     z_{b_0..b_l}
+
+    For ``b > a`` the first differing bit contributes a matching ``z``
+    (inner product ``~2s``); for ``b <= a`` every term pairs distinct
+    ``z``'s (``<= eps`` each).  We therefore shift the data sequence by
+    one (``p`` built from index ``j + 1``) so the guarantee becomes
+    ``j >= i``.  The default ``n_bits = floor(sqrt(U / (8 s)))`` is the
+    paper's choice making the ball constraints hold.
+
+    ``family_source`` selects the quasi-orthogonal family at coherence
+    ``eps = c / (2 n_bits^2)``: ``"reed-solomon"`` (deterministic, exact
+    unit norms) or ``"random"`` (the paper's Johnson-Lindenstrauss
+    existence argument, drawn and *certified* — see
+    :func:`repro.incoherent.random_family.random_quasi_orthogonal`);
+    ``seed`` applies to the random source.
+    """
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"c must be in (0, 1), got {c}")
+    if s <= 0 or U <= 0:
+        raise ParameterError(f"s and U must be positive, got s={s}, U={U}")
+    if n_bits is None:
+        n_bits = int(math.floor(math.sqrt(U / (8.0 * s))))
+    if n_bits < 1:
+        raise ParameterError(
+            f"n_bits must be >= 1 (U/s too small: U={U}, s={s})"
+        )
+    eps = c / (2.0 * n_bits * n_bits)
+    n_indices = 1 << n_bits
+
+    # One incoherent vector per non-empty binary prefix of length <= n_bits.
+    n_prefixes = (1 << (n_bits + 1)) - 2
+    prefix_id = {}
+    counter = 0
+    for length in range(1, n_bits + 1):
+        for value in range(1 << length):
+            prefix_id[(length, value)] = counter
+            counter += 1
+
+    if family_source == "reed-solomon":
+        family = ReedSolomonIncoherent(n_prefixes, eps)
+
+        def z(length: int, value: int) -> np.ndarray:
+            return family.vector(prefix_id[(length, value)])
+
+        family_dim = family.dimension
+    elif family_source == "random":
+        from repro.incoherent.random_family import random_quasi_orthogonal
+
+        Z = random_quasi_orthogonal(n_prefixes, eps, seed=seed)
+
+        def z(length: int, value: int) -> np.ndarray:
+            return Z[prefix_id[(length, value)]]
+
+        family_dim = Z.shape[1]
+    else:
+        raise ParameterError(
+            f"family_source must be 'reed-solomon' or 'random', got {family_source!r}"
+        )
+
+    def query_vector(a: int) -> np.ndarray:
+        bits = int_to_bits(a, n_bits)
+        out = np.zeros(family_dim)
+        prefix = 0
+        for l in range(n_bits):
+            flipped = (prefix << 1) | (1 - int(bits[l]))
+            if bits[l] == 0:
+                out += z(l + 1, flipped)
+            prefix = (prefix << 1) | int(bits[l])
+        return math.sqrt(2.0 * s * U) * out
+
+    def data_vector(b: int) -> np.ndarray:
+        bits = int_to_bits(b, n_bits)
+        out = np.zeros(family_dim)
+        prefix = 0
+        for l in range(n_bits):
+            prefix = (prefix << 1) | int(bits[l])
+            if bits[l] == 1:
+                out += z(l + 1, prefix)
+        return math.sqrt(2.0 * s / U) * out
+
+    # Shift: p_j is built from index j + 1, q_i from index i; then
+    # (index of p) > (index of q)  <=>  j + 1 > i  <=>  j >= i.
+    n = n_indices - 1
+    Q = np.stack([query_vector(i) for i in range(n)])
+    P = np.stack([data_vector(j + 1) for j in range(n)])
+    seqs = HardSequences(
+        P=P, Q=Q, s=float(s), cs=float(c * s), U=float(U),
+        unsigned_safe=True, case=3,
+    )
+    verify_lemma4_hypothesis(seqs.P, seqs.Q, s, c * s, U, unsigned=True)
+    return seqs

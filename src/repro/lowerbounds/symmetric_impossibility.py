@@ -1,0 +1,159 @@
+"""The symmetric-LSH impossibility of Neyshabur and Srebro, executable.
+
+The paper's Section 4.2 starts from [39]'s observation: *symmetric* LSH
+for signed IPS cannot exist when data and query domains are the same
+ball.  The mechanism is a chain argument.  For any symmetric family,
+
+    d(x, y) = Pr[h(x) != h(y)]
+
+is a pseudometric (it embeds into L1 via indicator features, hence obeys
+the triangle inequality).  Take a chain ``z_0 .. z_k`` of unit vectors
+whose *consecutive* inner products are all ``>= s`` but whose *endpoints*
+have inner product ``<= cs``.  An ``(s, cs, P1, P2)`` symmetric LSH must
+satisfy ``d(z_i, z_{i+1}) <= 1 - P1`` and ``d(z_0, z_k) >= 1 - P2``, so
+
+    1 - P2  <=  k (1 - P1)    =>    P1 - P2 <= (k - 1)(1 - P1) <= (k-1)(1-P2)
+
+On the unit sphere such chains exist with ``k = ceil(arccos(cs) /
+arccos(s))`` (walk the great circle in steps of angle ``arccos(s)``), so
+for ``s`` close to 1 the gap collapses — no useful symmetric LSH.  The
+identical-pair relaxation of Section 4.2 evades exactly this argument:
+the chain needs ``d(z_i, z_{i+1})`` to be small for *distinct* but very
+similar vectors, which the relaxed definition still constrains, but the
+quantization of the incoherent completion makes near-identical vectors
+*equal* after rounding, cutting the chain's first/last links.
+
+This module constructs the chains, derives the bound, and audits concrete
+symmetric families against it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lsh.base import LSHFamily
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def chain_length(s: float, c: float) -> int:
+    """Steps needed to walk from similarity ``>= s`` links to ``<= cs`` ends."""
+    if not 0.0 < c < 1.0 or not 0.0 < s < 1.0:
+        raise ParameterError(f"need s, c in (0, 1); got s={s}, c={c}")
+    step = math.acos(s)
+    total = math.acos(c * s)
+    if step <= 0:
+        raise ParameterError("s = 1 gives zero-length steps")
+    return max(1, math.ceil(total / step))
+
+
+def great_circle_chain(s: float, c: float, d: int = 2) -> np.ndarray:
+    """Unit vectors ``z_0..z_k`` on a great circle realizing the chain.
+
+    Consecutive inner products equal ``cos(theta)`` for ``theta =
+    arccos(cs)/k <= arccos(s)`` (so they are ``>= s``), and the endpoint
+    inner product is exactly ``cs``.
+    """
+    if d < 2:
+        raise ParameterError(f"need d >= 2, got {d}")
+    k = chain_length(s, c)
+    total = math.acos(c * s)
+    theta = total / k
+    chain = np.zeros((k + 1, d))
+    for i in range(k + 1):
+        chain[i, 0] = math.cos(i * theta)
+        chain[i, 1] = math.sin(i * theta)
+    return chain
+
+
+def verify_chain(chain: np.ndarray, s: float, c: float, atol: float = 1e-9) -> None:
+    """Assert the chain's link/endpoint similarity structure."""
+    ips = chain @ chain.T
+    k = chain.shape[0] - 1
+    for i in range(k):
+        if ips[i, i + 1] < s - atol:
+            raise ParameterError(
+                f"link {i} has inner product {ips[i, i + 1]:.6g} < s = {s}"
+            )
+    if ips[0, k] > c * s + atol:
+        raise ParameterError(
+            f"endpoints have inner product {ips[0, k]:.6g} > cs = {c * s}"
+        )
+
+
+def symmetric_gap_bound(s: float, c: float) -> float:
+    """The chain bound: any symmetric LSH has ``1 - P2 <= k (1 - P1)``.
+
+    Returned as the implied ceiling on ``P1 - P2`` at the extremal point
+    ``P1 = 1 - (1 - P2)/k``: ``P1 - P2 <= (1 - P2)(k - 1)/k <= (k-1)/k``
+    ... which is vacuous unless ``P1`` is large; the operative form used
+    by audits is the *link inequality* ``1 - P2 <= k (1 - P1)``, i.e.
+
+        P1 <= 1 - (1 - P2) / k.
+
+    This function returns the gap ceiling assuming ``P2`` free:
+    maximizing ``P1 - P2`` subject to the link inequality gives
+    ``(k - 1) / k`` at ``P2 = 0`` — meaningful because for ``s -> 1``,
+    ``k`` explodes and any family with near-perfect ``P1`` is forced to
+    have near-perfect ``P2`` as well.
+    """
+    k = chain_length(s, c)
+    return (k - 1) / k if k > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ChainAudit:
+    """Result of auditing a symmetric family against a chain."""
+
+    link_distances: np.ndarray  # measured Pr[h(z_i) != h(z_{i+1})]
+    endpoint_distance: float    # measured Pr[h(z_0) != h(z_k)]
+    k: int
+
+    @property
+    def triangle_slack(self) -> float:
+        """``sum(link distances) - endpoint distance``; >= 0 by the metric."""
+        return float(self.link_distances.sum() - self.endpoint_distance)
+
+    @property
+    def satisfies_triangle(self) -> bool:
+        return self.triangle_slack >= -1e-9
+
+    @property
+    def implied_p1_ceiling(self) -> float:
+        """``1 - (1 - P2)/k`` with ``P2 = 1 - endpoint_distance``."""
+        return 1.0 - self.endpoint_distance / self.k
+
+
+def audit_symmetric_chain(
+    family: LSHFamily,
+    chain: np.ndarray,
+    trials: int = 500,
+    seed: SeedLike = None,
+) -> ChainAudit:
+    """Measure the chain distances of a concrete symmetric family.
+
+    The triangle inequality must hold for every symmetric family (it is a
+    theorem, not a hypothesis); the audit returns the measured link and
+    endpoint distances so callers can see how the chain forces
+    ``P1`` down once ``P2`` is small.
+    """
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    if not family.is_symmetric:
+        raise ParameterError("the chain argument applies to symmetric families")
+    rng = ensure_rng(seed)
+    k = chain.shape[0] - 1
+    hashes = np.empty((trials, chain.shape[0]), dtype=object)
+    for t in range(trials):
+        h = family.sample_function(rng)
+        for i, z in enumerate(chain):
+            hashes[t, i] = h(z)
+    link_distances = np.array([
+        np.mean([hashes[t, i] != hashes[t, i + 1] for t in range(trials)])
+        for i in range(k)
+    ])
+    endpoint = float(np.mean([hashes[t, 0] != hashes[t, k] for t in range(trials)]))
+    return ChainAudit(link_distances=link_distances, endpoint_distance=endpoint, k=k)

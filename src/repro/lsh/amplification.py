@@ -1,0 +1,79 @@
+"""Hash amplification: the AND construction (and gap algebra).
+
+Concatenating ``k`` independent hash functions turns collision
+probabilities ``P`` into ``P^k``, sharpening the gap between ``P1`` and
+``P2`` while preserving the exponent ``rho = log P1 / log P2``.  The OR
+construction (collide in *any* of ``L`` tables) is realized structurally
+by :class:`repro.lsh.index.LSHIndex` rather than as a family.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lsh.base import AsymmetricLSHFamily, HashFunctionPair
+
+
+class AndConstruction(AsymmetricLSHFamily):
+    """Concatenation of ``k`` independent draws from a base family.
+
+    The sampled pair hashes a vector to the tuple of the ``k`` component
+    hash values; a collision requires all components to agree, so
+    collision probabilities are raised to the ``k``-th power.
+    """
+
+    def __init__(self, base: AsymmetricLSHFamily, k: int):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        self.base = base
+        self.k = int(k)
+
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        components = [self.base.sample(rng) for _ in range(self.k)]
+
+        def hash_data(x, _parts=components):
+            return tuple(part.hash_data(x) for part in _parts)
+
+        def hash_query(x, _parts=components):
+            return tuple(part.hash_query(x) for part in _parts)
+
+        return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+    @property
+    def is_symmetric(self) -> bool:
+        return self.base.is_symmetric
+
+
+def amplify_gap(p1: float, p2: float, k: int) -> tuple:
+    """Collision probabilities after a k-fold AND: ``(p1^k, p2^k)``."""
+    if not (0.0 <= p2 <= p1 <= 1.0):
+        raise ParameterError(f"need 0 <= p2 <= p1 <= 1, got p1={p1}, p2={p2}")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    return p1 ** k, p2 ** k
+
+
+def rho(p1: float, p2: float) -> float:
+    """The LSH exponent ``log(1/p1) / log(1/p2)`` (invariant under AND)."""
+    if not (0.0 < p2 < 1.0 and 0.0 < p1 < 1.0):
+        raise ParameterError(f"need p1, p2 in (0, 1), got p1={p1}, p2={p2}")
+    return math.log(p1) / math.log(p2)
+
+
+def standard_table_count(p1: float, n: int) -> int:
+    """The customary number of OR tables ``L = ceil(ln(n) / p1^... )``.
+
+    For an AND width ``k`` chosen so that ``p2^k ~ 1/n``, one uses
+    ``L = ceil(n^rho)`` tables; this helper computes the equivalent
+    ``L = ceil(p1^{-k})``-style bound from the amplified ``p1`` so callers
+    don't repeat the formula.  Success probability per table is ``p1``;
+    ``L`` tables give failure probability ``(1 - p1)^L <= e^{-L p1}``.
+    """
+    if not 0.0 < p1 <= 1.0:
+        raise ParameterError(f"p1 must be in (0, 1], got {p1}")
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    return max(1, math.ceil(math.log(max(n, 2)) / p1))

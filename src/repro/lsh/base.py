@@ -1,0 +1,120 @@
+"""The (asymmetric) LSH framework — Definition 2 of the paper.
+
+An asymmetric LSH family is a distribution over *pairs* of hash functions
+``(h_p, h_q)``; two vectors collide when ``h_p(p) == h_q(q)``.  Symmetric
+families are the special case ``h_p == h_q``.  Every concrete family in
+this package implements :class:`AsymmetricLSHFamily` by returning a
+:class:`HashFunctionPair` from :meth:`sample`; symmetric families derive
+from :class:`LSHFamily`, which wires both sides to the same function.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+
+HashValue = Hashable
+
+
+@dataclass(frozen=True)
+class HashFunctionPair:
+    """One sampled hash function pair ``(h_data, h_query)``.
+
+    ``hash_data`` is the paper's ``h_p`` (applied to data vectors),
+    ``hash_query`` its ``h_q`` (applied to queries).  Values must be
+    hashable so they can key buckets.
+    """
+
+    hash_data: Callable[[np.ndarray], HashValue]
+    hash_query: Callable[[np.ndarray], HashValue]
+
+    def collides(self, p, q) -> bool:
+        """Whether data vector ``p`` and query ``q`` collide under this pair."""
+        return self.hash_data(np.asarray(p)) == self.hash_query(np.asarray(q))
+
+
+class AsymmetricLSHFamily(abc.ABC):
+    """A distribution over hash-function pairs (Definition 2)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        """Draw one hash function pair."""
+
+    @property
+    def is_symmetric(self) -> bool:
+        """True when ``h_p == h_q`` always (traditional LSH)."""
+        return False
+
+
+class LSHFamily(AsymmetricLSHFamily):
+    """A symmetric LSH family: one function used on both sides."""
+
+    @abc.abstractmethod
+    def sample_function(self, rng: np.random.Generator) -> Callable[[np.ndarray], HashValue]:
+        """Draw one hash function."""
+
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        h = self.sample_function(rng)
+        return HashFunctionPair(hash_data=h, hash_query=h)
+
+    @property
+    def is_symmetric(self) -> bool:
+        return True
+
+
+def estimate_collision_probability(
+    family: AsymmetricLSHFamily,
+    p,
+    q,
+    trials: int = 1000,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo estimate of ``Pr[h_p(p) == h_q(q)]``.
+
+    The standard error is about ``sqrt(P (1-P) / trials)``; callers that
+    compare against closed forms should budget trials accordingly.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    rng = ensure_rng(seed)
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    hits = sum(1 for _ in range(trials) if family.sample(rng).collides(p, q))
+    return hits / trials
+
+
+def empirical_gap(
+    family: AsymmetricLSHFamily,
+    data: np.ndarray,
+    queries: np.ndarray,
+    above_pairs,
+    below_pairs,
+    trials: int = 500,
+    seed: SeedLike = None,
+) -> tuple:
+    """Estimate ``(P1, P2)`` over explicit sets of (query, data) index pairs.
+
+    ``P1`` is the *minimum* estimated collision probability over
+    ``above_pairs`` (pairs that must collide often) and ``P2`` the
+    *maximum* over ``below_pairs`` — exactly the quantities Definition 2
+    constrains, evaluated on a concrete instance.  Hash functions are
+    sampled once and reused across all pairs so the estimates are
+    positively correlated (cheaper and conservative for the gap).
+    """
+    rng = ensure_rng(seed)
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    pairs = [family.sample(rng) for _ in range(trials)]
+
+    def collision_rate(i: int, j: int) -> float:
+        q, p = queries[i], data[j]
+        return sum(1 for h in pairs if h.collides(p, q)) / trials
+
+    p1 = min(collision_rate(i, j) for i, j in above_pairs)
+    p2 = max(collision_rate(i, j) for i, j in below_pairs)
+    return p1, p2

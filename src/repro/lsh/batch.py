@@ -1,0 +1,236 @@
+"""Vectorized multi-table index for sign-projection hash families.
+
+The generic :class:`repro.lsh.index.LSHIndex` calls one Python hash
+function per (vector, table, bit) — flexible but slow.  Every
+hyperplane-based scheme in this package (SIMPLE-LSH, DATA-DEP, Sign-ALSH,
+the symmetric Section 4.2 hash) is "signs of Gaussian projections of a
+transformed vector", which vectorizes completely: one matrix product per
+side computes all ``L x k`` bits of all vectors at once, and each table's
+``k`` bits pack into one integer key.
+
+Concretely, with ``A`` an ``(L k, D)`` Gaussian matrix and ``f, g`` the
+data/query transforms:
+
+    bits(data)  = sign(f(P) A^T),   bits(query) = sign(g(Q) A^T)
+
+This is 100-1000x faster than the per-vector path at index scale and is
+what the crossover benches use for wall-clock comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.embeddings.incoherent_map import SymmetricSphereCompletion
+from repro.embeddings.mips_reductions import (
+    NeyshaburSrebroTransform,
+    SimpleLSHTransform,
+)
+from repro.errors import ParameterError
+from repro.lsh.index import QueryStats
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_matrix
+
+MatrixTransform = Callable[[np.ndarray], np.ndarray]
+
+
+def _identity(X: np.ndarray) -> np.ndarray:
+    return np.asarray(X, dtype=np.float64)
+
+
+class BatchSignIndex:
+    """Multi-table sign-projection index with fully vectorized hashing.
+
+    Args:
+        dim: dimension of the *transformed* vectors.
+        data_transform / query_transform: matrix-level maps applied to the
+            raw data/query matrices before projection (identity for plain
+            hyperplane LSH).
+        n_tables: OR width ``L``.
+        bits_per_table: AND width ``k`` (packed into one ``int64`` key, so
+            ``k <= 62``).
+        seed: projection seed.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        data_transform: MatrixTransform = _identity,
+        query_transform: MatrixTransform = _identity,
+        n_tables: int = 16,
+        bits_per_table: int = 12,
+        seed: SeedLike = None,
+    ):
+        if dim < 1:
+            raise ParameterError(f"dim must be >= 1, got {dim}")
+        if n_tables < 1:
+            raise ParameterError(f"n_tables must be >= 1, got {n_tables}")
+        if not 1 <= bits_per_table <= 62:
+            raise ParameterError(
+                f"bits_per_table must be in [1, 62], got {bits_per_table}"
+            )
+        self.dim = int(dim)
+        self.n_tables = int(n_tables)
+        self.bits_per_table = int(bits_per_table)
+        self.data_transform = data_transform
+        self.query_transform = query_transform
+        rng = ensure_rng(seed)
+        self._projections = rng.normal(
+            size=(self.n_tables * self.bits_per_table, self.dim)
+        )
+        self._weights = (1 << np.arange(self.bits_per_table, dtype=np.int64))
+        self._tables: Optional[List[dict]] = None
+        self._data: Optional[np.ndarray] = None
+        #: Same work accounting as :class:`repro.lsh.index.LSHIndex`, so a
+        #: batch index slots into :func:`repro.core.lsh_join.lsh_join`.
+        self.stats = QueryStats()
+
+    def _projections_of(self, transformed: np.ndarray) -> np.ndarray:
+        """Raw projection values; shape (n, L, k)."""
+        transformed = check_matrix(transformed, "transformed")
+        if transformed.shape[1] != self.dim:
+            raise ParameterError(
+                f"transformed vectors must have dimension {self.dim}, "
+                f"got {transformed.shape[1]}"
+            )
+        values = transformed @ self._projections.T  # (n, L*k)
+        return values.reshape(
+            transformed.shape[0], self.n_tables, self.bits_per_table
+        )
+
+    def _keys(self, transformed: np.ndarray) -> np.ndarray:
+        """Per-table integer keys for every row; shape (n, L)."""
+        bits = self._projections_of(transformed) >= 0.0
+        return (bits.astype(np.int64) * self._weights).sum(axis=2)
+
+    @staticmethod
+    def _probe_keys(key: int, margins: np.ndarray, n_probes: int):
+        """Query-directed multiprobe: flip the lowest-margin bits first.
+
+        A sign bit whose projection value sits near 0 is the one a
+        near-duplicate vector is most likely to disagree on (Lv et al.'s
+        multiprobe heuristic); probing those buckets buys recall without
+        more tables.  Yields ``n_probes`` single-bit-flip keys in
+        increasing |margin| order.
+        """
+        order = np.argsort(np.abs(margins))
+        for bit in order[:n_probes]:
+            yield key ^ (1 << int(bit))
+
+    def build(self, P) -> "BatchSignIndex":
+        P = check_matrix(P, "P")
+        keys = self._keys(self.data_transform(P))
+        tables = []
+        for t in range(self.n_tables):
+            buckets = defaultdict(list)
+            for i, key in enumerate(keys[:, t]):
+                buckets[int(key)].append(i)
+            tables.append({k: np.array(v, dtype=np.int64) for k, v in buckets.items()})
+        self._tables = tables
+        self._data = P
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._tables is not None
+
+    def candidates_batch(self, Q, n_probes: int = 0) -> List[np.ndarray]:
+        """Deduplicated candidate indices for every query row.
+
+        ``n_probes`` extra buckets per table are probed using the
+        query-directed single-bit-flip heuristic (see
+        :meth:`_probe_keys`); ``0`` queries only the exact bucket.
+        """
+        if self._tables is None:
+            raise ParameterError("index not built yet; call build() first")
+        if n_probes < 0 or n_probes > self.bits_per_table:
+            raise ParameterError(
+                f"n_probes must be in [0, bits_per_table={self.bits_per_table}], "
+                f"got {n_probes}"
+            )
+        Q = check_matrix(Q, "Q")
+        values = self._projections_of(self.query_transform(Q))  # (n, L, k)
+        bits = values >= 0.0
+        keys = (bits.astype(np.int64) * self._weights).sum(axis=2)
+        out = []
+        empty = np.empty(0, dtype=np.int64)
+        for qi in range(Q.shape[0]):
+            buckets = []
+            for t in range(self.n_tables):
+                key = int(keys[qi, t])
+                bucket = self._tables[t].get(key)
+                if bucket is not None:
+                    buckets.append(bucket)
+                if n_probes:
+                    for probe in self._probe_keys(key, values[qi, t], n_probes):
+                        bucket = self._tables[t].get(probe)
+                        if bucket is not None:
+                            buckets.append(bucket)
+            if not buckets:
+                self.stats.record(0, 0)
+                out.append(empty)
+            else:
+                merged = np.unique(np.concatenate(buckets))
+                self.stats.record(sum(b.size for b in buckets), merged.size)
+                out.append(merged)
+        return out
+
+    def candidates(self, q, n_probes: int = 0) -> np.ndarray:
+        """Candidates for a single query vector."""
+        return self.candidates_batch(
+            np.asarray(q, dtype=np.float64)[None, :], n_probes=n_probes
+        )[0]
+
+    def query(self, q, threshold: float, signed: bool = True) -> Optional[int]:
+        """Best verified candidate above ``threshold``, or None."""
+        idx = self.candidates(q)
+        if idx.size == 0:
+            return None
+        values = self._data[idx] @ np.asarray(q, dtype=np.float64)
+        if not signed:
+            values = np.abs(values)
+        best = int(np.argmax(values))
+        return int(idx[best]) if values[best] >= threshold else None
+
+    # Convenience constructors for the package's sign-projection schemes.
+
+    @classmethod
+    def for_hyperplane(cls, d: int, **kwargs) -> "BatchSignIndex":
+        """Plain SimHash on raw vectors."""
+        return cls(dim=d, **kwargs)
+
+    @classmethod
+    def for_datadep(cls, d: int, query_radius: float = 1.0, **kwargs) -> "BatchSignIndex":
+        """Section 4.1: asymmetric ball-to-sphere maps + hyperplane."""
+        transform = NeyshaburSrebroTransform(query_radius=query_radius)
+        return cls(
+            dim=transform.output_dimension(d),
+            data_transform=transform.embed_data_many,
+            query_transform=transform.embed_query_many,
+            **kwargs,
+        )
+
+    @classmethod
+    def for_simple_lsh(cls, d: int, **kwargs) -> "BatchSignIndex":
+        """SIMPLE-LSH [39]: ball completion for data, sphere queries."""
+        transform = SimpleLSHTransform()
+        return cls(
+            dim=transform.output_dimension(d),
+            data_transform=transform.embed_data_many,
+            query_transform=transform.embed_query_many,
+            **kwargs,
+        )
+
+    @classmethod
+    def for_symmetric(cls, d: int, eps: float = 0.05, **kwargs) -> "BatchSignIndex":
+        """Section 4.2: symmetric incoherent completion on both sides."""
+        completion = SymmetricSphereCompletion(eps=eps)
+        return cls(
+            dim=completion.output_dimension(d),
+            data_transform=completion.embed_many,
+            query_transform=completion.embed_many,
+            **kwargs,
+        )

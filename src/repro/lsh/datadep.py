@@ -1,0 +1,62 @@
+"""Section 4.1's asymmetric LSH for signed IPS (the "DATA-DEP" curve).
+
+Composition of the asymmetric ball-to-sphere map of [39]
+(:class:`repro.embeddings.mips_reductions.NeyshaburSrebroTransform`) with
+a sphere LSH.  Plugging in the *optimal data-dependent* sphere LSH of
+Andoni-Razenshteyn [9] yields the paper's exponent
+
+    rho = (1 - s/U) / (1 + (1 - 2c) s/U)
+
+(equation (3)); the closed form lives in :func:`repro.lsh.rho.rho_datadep`.
+For concrete runs this class uses cross-polytope LSH (the practical
+optimal sphere family [7] the paper itself recommends), or hyperplane LSH
+when ``sphere="hyperplane"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.mips_reductions import NeyshaburSrebroTransform
+from repro.errors import ParameterError
+from repro.lsh.base import AsymmetricLSHFamily, HashFunctionPair
+from repro.lsh.crosspolytope import CrossPolytopeLSH
+from repro.lsh.hyperplane import HyperplaneLSH
+
+
+class DataDepALSH(AsymmetricLSHFamily):
+    """Asymmetric embedding into the sphere + a symmetric sphere LSH.
+
+    Args:
+        d: original vector dimension (data in the unit ball, queries in
+            the ball of radius ``query_radius``).
+        query_radius: the query domain radius ``U``.
+        sphere: which sphere family to run: ``"crosspolytope"`` (default)
+            or ``"hyperplane"``.
+    """
+
+    def __init__(self, d: int, query_radius: float = 1.0, sphere: str = "crosspolytope"):
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self.transform = NeyshaburSrebroTransform(query_radius=query_radius)
+        sphere_dim = self.transform.output_dimension(self.d)
+        if sphere == "crosspolytope":
+            self.sphere_family = CrossPolytopeLSH(sphere_dim)
+        elif sphere == "hyperplane":
+            self.sphere_family = HyperplaneLSH(sphere_dim)
+        else:
+            raise ParameterError(
+                f"sphere must be 'crosspolytope' or 'hyperplane', got {sphere!r}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        h = self.sphere_family.sample_function(rng)
+
+        def hash_data(x, _h=h):
+            return _h(self.transform.embed_data(np.asarray(x, dtype=np.float64)))
+
+        def hash_query(q, _h=h):
+            return _h(self.transform.embed_query(np.asarray(q, dtype=np.float64)))
+
+        return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)

@@ -1,0 +1,44 @@
+"""E2LSH: the p-stable Euclidean hash family of Datar et al.
+
+The symmetric substrate L2-ALSH builds on, exposed standalone so it can
+be composed with any embedding and tested against its closed-form
+collision probability (:func:`repro.lsh.rho.collision_prob_e2lsh`):
+
+    h(x) = floor((a . x + b) / w),   a ~ N(0, I),  b ~ U[0, w)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lsh.base import LSHFamily
+
+
+class E2LSH(LSHFamily):
+    """p-stable hash for Euclidean distance on ``R^d``.
+
+    Args:
+        d: dimension.
+        w: bucket width; the (near, far) distances an application cares
+            about should straddle ``w``.
+    """
+
+    def __init__(self, d: int, w: float = 2.0):
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        if w <= 0:
+            raise ParameterError(f"w must be positive, got {w}")
+        self.d = int(d)
+        self.w = float(w)
+
+    def sample_function(self, rng: np.random.Generator):
+        direction = rng.normal(size=self.d)
+        offset = float(rng.uniform(0.0, self.w))
+
+        def h(x, _a=direction, _b=offset, _w=self.w):
+            return int(math.floor((float(_a @ np.asarray(x, dtype=np.float64)) + _b) / _w))
+
+        return h

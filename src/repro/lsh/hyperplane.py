@@ -1,0 +1,35 @@
+"""Hyperplane LSH (SimHash) of Charikar [15].
+
+One hash function is the sign of a random Gaussian projection; two vectors
+collide with probability ``1 - theta / pi`` where ``theta`` is the angle
+between them.  This is the classic symmetric sphere LSH that both
+SIMPLE-LSH [39] and Valiant's reduction to the ±1 domain [51] build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lsh.base import LSHFamily
+
+
+class HyperplaneLSH(LSHFamily):
+    """Sign-of-random-projection hash family on ``R^d``.
+
+    Collision probability for vectors at angle ``theta`` is
+    ``1 - theta/pi``, i.e. ``1 - arccos(x.y / (|x||y|)) / pi``.
+    """
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+
+    def sample_function(self, rng: np.random.Generator):
+        direction = rng.normal(size=self.d)
+
+        def h(x, _a=direction):
+            return bool(float(np.dot(_a, np.asarray(x, dtype=np.float64))) >= 0.0)
+
+        return h

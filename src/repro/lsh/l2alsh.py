@@ -1,0 +1,83 @@
+"""L2-ALSH(SL): the original asymmetric LSH for MIPS [45].
+
+Composes the norm-power extension :class:`repro.embeddings.mips_reductions.
+L2ALSHTransform` with a p-stable Euclidean hash (E2LSH):
+
+    h(v) = floor((a . v + b) / w),   a ~ N(0, I),  b ~ U[0, w)
+
+After the transform, squared Euclidean distance between an embedded data
+vector and an embedded query is ``1 + m/4 - 2 scale (x.q)/|q| +
+|scale x|^{2^{m+1}}``, monotone (up to the vanishing last term) in the
+inner product, so the E2LSH gap translates into a MIPS gap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.embeddings.mips_reductions import L2ALSHTransform
+from repro.errors import ParameterError
+from repro.lsh.base import AsymmetricLSHFamily, HashFunctionPair
+
+
+class L2ALSH(AsymmetricLSHFamily):
+    """Shrivastava-Li asymmetric LSH for MIPS.
+
+    Args:
+        d: original vector dimension.
+        scale: pre-scale taking the longest data vector to the transform's
+            ``max_norm_target`` (obtain via ``transform.fit_scale(P)``).
+        m: number of norm-power coordinates (the paper's recommendation is
+            ``m = 3``).
+        w: E2LSH bucket width.
+        max_norm_target: the ``U_0 < 1`` target (paper recommends 0.83).
+    """
+
+    def __init__(
+        self,
+        d: int,
+        scale: float,
+        m: int = 3,
+        w: float = 2.5,
+        max_norm_target: float = 0.83,
+    ):
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        if scale <= 0:
+            raise ParameterError(f"scale must be positive, got {scale}")
+        if w <= 0:
+            raise ParameterError(f"w must be positive, got {w}")
+        self.d = int(d)
+        self.scale = float(scale)
+        self.w = float(w)
+        self.transform = L2ALSHTransform(m=m, max_norm_target=max_norm_target)
+
+    @classmethod
+    def fit(cls, P, m: int = 3, w: float = 2.5, max_norm_target: float = 0.83) -> "L2ALSH":
+        """Construct with the scale fitted to a data matrix."""
+        transform = L2ALSHTransform(m=m, max_norm_target=max_norm_target)
+        P = np.asarray(P, dtype=np.float64)
+        return cls(
+            d=P.shape[1],
+            scale=transform.fit_scale(P),
+            m=m,
+            w=w,
+            max_norm_target=max_norm_target,
+        )
+
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        extended_d = self.transform.output_dimension(self.d)
+        direction = rng.normal(size=extended_d)
+        offset = float(rng.uniform(0.0, self.w))
+
+        def hash_data(x, _a=direction, _b=offset):
+            v = self.transform.embed_data(np.asarray(x, dtype=np.float64), self.scale)
+            return int(math.floor((float(_a @ v) + _b) / self.w))
+
+        def hash_query(q, _a=direction, _b=offset):
+            v = self.transform.embed_query(np.asarray(q, dtype=np.float64))
+            return int(math.floor((float(_a @ v) + _b) / self.w))
+
+        return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)

@@ -1,0 +1,110 @@
+"""MinHash and the asymmetric minwise hashing (MH-ALSH) of [46].
+
+Classic MinHash collides two sets with probability exactly their Jaccard
+similarity.  Shrivastava and Li's MH-ALSH [46] adapts it to *inner
+products of binary vectors* (set intersection sizes): data sets are padded
+with dummy elements up to a fixed maximum size ``M`` while queries are
+left unpadded, so the collision probability becomes
+
+    Pr[collision] = a / (M + |q| - a),     a = |x ∩ q| = x . q
+
+which is monotone in the inner product ``a`` for fixed ``|q|`` — the
+asymmetry buys exactly the norm-independence plain MinHash lacks.  This is
+the third curve ("MH-ALSH") of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DomainError, ParameterError
+from repro.lsh.base import AsymmetricLSHFamily, HashFunctionPair, LSHFamily
+
+#: Hash value reserved for the empty set.
+EMPTY_SET = -1
+
+
+def _min_under(priorities: np.ndarray, members: np.ndarray):
+    """Index with the smallest priority among ``members`` (MinHash core)."""
+    if members.size == 0:
+        return EMPTY_SET
+    return int(members[np.argmin(priorities[members])])
+
+
+def _support(x) -> np.ndarray:
+    x = np.asarray(x)
+    if not np.isin(x, (0, 1)).all():
+        raise DomainError("minwise hashing requires binary vectors")
+    return np.flatnonzero(x)
+
+
+class MinHash(LSHFamily):
+    """Symmetric minwise hashing over ``{0,1}^universe``.
+
+    Collision probability of two non-empty sets is their Jaccard
+    similarity ``|x ∩ y| / |x ∪ y|``; two empty sets always collide.
+    """
+
+    def __init__(self, universe: int):
+        if universe < 1:
+            raise ParameterError(f"universe must be >= 1, got {universe}")
+        self.universe = int(universe)
+
+    def sample_function(self, rng: np.random.Generator):
+        priorities = rng.permutation(self.universe)
+
+        def h(x, _pri=priorities):
+            return _min_under(_pri, _support(x))
+
+        return h
+
+
+class AsymmetricMinHash(AsymmetricLSHFamily):
+    """MH-ALSH [46]: minwise hashing with dummy-padded data vectors.
+
+    Args:
+        universe: dimension of the binary vectors.
+        max_norm: the padding target ``M``; every data vector must satisfy
+            ``|x| <= M``.  A data vector of weight ``w`` is augmented with
+            ``M - w`` dummy elements (a fixed prefix of a disjoint dummy
+            universe), queries are hashed unpadded.
+    """
+
+    def __init__(self, universe: int, max_norm: int):
+        if universe < 1:
+            raise ParameterError(f"universe must be >= 1, got {universe}")
+        if not 1 <= max_norm <= universe:
+            raise ParameterError(
+                f"max_norm must be in [1, universe={universe}], got {max_norm}"
+            )
+        self.universe = int(universe)
+        self.max_norm = int(max_norm)
+
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        # One shared priority order over real + dummy elements; dummies
+        # occupy indices universe .. universe + max_norm - 1.
+        priorities = rng.permutation(self.universe + self.max_norm)
+
+        def hash_data(x, _pri=priorities, _m=self.max_norm, _u=self.universe):
+            support = _support(x)
+            if support.size > _m:
+                raise DomainError(
+                    f"data vector weight {support.size} exceeds max_norm {_m}"
+                )
+            dummies = np.arange(_u, _u + (_m - support.size))
+            return _min_under(_pri, np.concatenate([support, dummies]))
+
+        def hash_query(q, _pri=priorities):
+            return _min_under(_pri, _support(q))
+
+        return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+    @staticmethod
+    def collision_probability(inner_product: int, query_weight: int, max_norm: int) -> float:
+        """Closed form ``a / (M + |q| - a)`` for a data/query pair."""
+        if inner_product < 0 or query_weight < 0 or max_norm < 1:
+            raise ParameterError("arguments must be non-negative (max_norm >= 1)")
+        denominator = max_norm + query_weight - inner_product
+        if denominator <= 0:
+            return 1.0
+        return inner_product / denominator

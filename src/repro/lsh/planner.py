@@ -1,0 +1,118 @@
+"""Index planning: choose (k, L) from the collision theory.
+
+The standard LSH parameter recipe, automated.  Given collision
+probabilities ``P1`` (pairs to find) and ``P2`` (pairs to avoid) of one
+hash, data size ``n`` and a target failure probability ``delta``:
+
+* AND width: ``k = ceil(ln n / ln(1/P2))`` drives the expected number of
+  false candidates per table to ``n P2^k <= 1``;
+* OR width: ``L = ceil(ln(1/delta) / P1^k)`` makes a true pair collide in
+  at least one table with probability ``>= 1 - delta``;
+* the resulting ``L`` is ``Theta(n^rho ln(1/delta))`` with
+  ``rho = ln P1 / ln P2`` — the query exponent the paper's Figure 2
+  compares across schemes.
+
+``plan_datadep`` instantiates the recipe for the Section 4.1 scheme from
+its closed-form collision probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.lsh.rho import collision_prob_hyperplane
+
+
+@dataclass(frozen=True)
+class IndexPlan:
+    """A planned multi-table index configuration."""
+
+    k: int                      # AND width (bits/hashes per table)
+    n_tables: int               # OR width L
+    p1: float                   # per-hash collision prob of target pairs
+    p2: float                   # per-hash collision prob of avoid pairs
+    n: int
+    delta: float
+
+    @property
+    def rho(self) -> float:
+        return math.log(self.p1) / math.log(self.p2)
+
+    @property
+    def per_table_hit_probability(self) -> float:
+        """``P1^k``: a target pair survives one table with this probability."""
+        return self.p1 ** self.k
+
+    @property
+    def success_probability(self) -> float:
+        """``1 - (1 - P1^k)^L``: a target pair found in some table."""
+        return 1.0 - (1.0 - self.per_table_hit_probability) ** self.n_tables
+
+    @property
+    def expected_false_candidates(self) -> float:
+        """``L * n * P2^k``: avoid-pairs surfacing per query, in expectation."""
+        return self.n_tables * self.n * self.p2 ** self.k
+
+
+def plan(
+    n: int,
+    p1: float,
+    p2: float,
+    delta: float = 0.1,
+    max_k: int = 62,
+    max_tables: int = 4096,
+) -> IndexPlan:
+    """The standard (k, L) recipe from per-hash collision probabilities.
+
+    Raises :class:`repro.errors.ParameterError` when no gap exists
+    (``p1 <= p2``) or the recipe would exceed the ``max_*`` guards.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if not 0.0 < p2 < p1 < 1.0:
+        raise ParameterError(
+            f"need 0 < P2 < P1 < 1 for a usable gap, got P1={p1}, P2={p2}"
+        )
+    if not 0.0 < delta < 1.0:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    k = max(1, math.ceil(math.log(max(n, 2)) / math.log(1.0 / p2)))
+    if k > max_k:
+        raise ParameterError(
+            f"planned k = {k} exceeds max_k = {max_k}; the gap is too weak "
+            f"for this n (P2 = {p2})"
+        )
+    hit = p1 ** k
+    tables = max(1, math.ceil(math.log(1.0 / delta) / hit))
+    if tables > max_tables:
+        raise ParameterError(
+            f"planned L = {tables} exceeds max_tables = {max_tables}; "
+            f"rho = {math.log(p1) / math.log(p2):.3f} is too close to 1 at n = {n}"
+        )
+    return IndexPlan(k=k, n_tables=tables, p1=p1, p2=p2, n=n, delta=delta)
+
+
+def plan_datadep(
+    n: int,
+    s: float,
+    c: float,
+    query_radius: float = 1.0,
+    delta: float = 0.1,
+    **limits,
+) -> IndexPlan:
+    """Plan a DATA-DEP (Section 4.1) index for a ``(cs, s)`` workload.
+
+    Uses the scheme's hyperplane collision form on the embedded sphere:
+    ``P(t) = 1 - arccos(t / U) / pi`` at inner product ``t``.
+    """
+    if query_radius <= 0:
+        raise ParameterError(f"query_radius must be positive, got {query_radius}")
+    ratio = s / query_radius
+    if not 0.0 < ratio <= 1.0:
+        raise ParameterError(f"need 0 < s/U <= 1, got {ratio}")
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"c must be in (0, 1), got {c}")
+    p1 = collision_prob_hyperplane(ratio)
+    p2 = collision_prob_hyperplane(c * ratio)
+    return plan(n, p1, p2, delta=delta, **limits)

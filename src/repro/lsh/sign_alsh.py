@@ -1,0 +1,140 @@
+"""Sign-ALSH: Shrivastava and Li's improved asymmetric LSH for MIPS.
+
+The successor of L2-ALSH from the same authors ("Improved Asymmetric LSH
+for MIPS", UAI 2015), part of the ALSH line the paper's Section 4.1
+improves on.  Data vectors (pre-scaled so ``|x| <= U0 < 1``) are extended
+with norm-power *completion* coordinates and hashed by a hyperplane sign:
+
+    P(x) = (x, 1/2 - |x|^2, 1/2 - |x|^4, ..., 1/2 - |x|^{2^m})
+    Q(q) = (q / |q|, 0, 0, ..., 0)
+
+Then ``P(x) . Q(q) = x.q / |q|`` exactly, while
+``|P(x)|^2 = |x|^2 + sum_i (1/2 - |x|^{2^i})^2 -> m/4 + ...`` is almost
+independent of ``|x|``, so the hyperplane collision probability is
+(nearly) a monotone function of the inner product — the same mechanism as
+SIMPLE-LSH with a different completion.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DomainError, ParameterError
+from repro.lsh.base import AsymmetricLSHFamily, HashFunctionPair
+from repro.utils.validation import check_matrix, check_vector
+
+
+class SignALSHTransform:
+    """The Sign-ALSH norm-completion extension.
+
+    Args:
+        m: number of completion coordinates (the paper recommends 2-3).
+        max_norm_target: pre-scale target ``U0`` (recommended 0.75).
+    """
+
+    def __init__(self, m: int = 2, max_norm_target: float = 0.75):
+        if m < 1:
+            raise ParameterError(f"m must be >= 1, got {m}")
+        if not 0.0 < max_norm_target < 1.0:
+            raise ParameterError(
+                f"max_norm_target must be in (0, 1), got {max_norm_target}"
+            )
+        self.m = int(m)
+        self.max_norm_target = float(max_norm_target)
+
+    def output_dimension(self, d: int) -> int:
+        return d + self.m
+
+    def fit_scale(self, P) -> float:
+        P = check_matrix(P, "P")
+        max_norm = float(np.linalg.norm(P, axis=1).max())
+        if max_norm == 0:
+            raise DomainError("data must contain a non-zero vector")
+        return self.max_norm_target / max_norm
+
+    def embed_data(self, x, scale: float) -> np.ndarray:
+        x = check_vector(x, "x")
+        v = x * float(scale)
+        norm_sq = float(v @ v)
+        if norm_sq > 1.0 + 1e-9:
+            raise DomainError("scaled data vector escapes the unit ball")
+        tail = np.empty(self.m)
+        power = norm_sq
+        for i in range(self.m):
+            tail[i] = 0.5 - power
+            power = power * power
+        return np.concatenate([v, tail])
+
+    def embed_query(self, q) -> np.ndarray:
+        q = check_vector(q, "q")
+        norm = float(np.linalg.norm(q))
+        if norm == 0:
+            raise DomainError("query must be non-zero")
+        return np.concatenate([q / norm, np.zeros(self.m)])
+
+
+class SignALSH(AsymmetricLSHFamily):
+    """Sign-ALSH hash family: the transform plus one hyperplane sign."""
+
+    def __init__(self, d: int, scale: float, m: int = 2, max_norm_target: float = 0.75):
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        if scale <= 0:
+            raise ParameterError(f"scale must be positive, got {scale}")
+        self.d = int(d)
+        self.scale = float(scale)
+        self.transform = SignALSHTransform(m=m, max_norm_target=max_norm_target)
+
+    @classmethod
+    def fit(cls, P, m: int = 2, max_norm_target: float = 0.75) -> "SignALSH":
+        transform = SignALSHTransform(m=m, max_norm_target=max_norm_target)
+        P = np.asarray(P, dtype=np.float64)
+        return cls(
+            d=P.shape[1],
+            scale=transform.fit_scale(P),
+            m=m,
+            max_norm_target=max_norm_target,
+        )
+
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        direction = rng.normal(size=self.transform.output_dimension(self.d))
+
+        def hash_data(x, _a=direction):
+            v = self.transform.embed_data(np.asarray(x, dtype=np.float64), self.scale)
+            return bool(float(_a @ v) >= 0.0)
+
+        def hash_query(q, _a=direction):
+            v = self.transform.embed_query(np.asarray(q, dtype=np.float64))
+            return bool(float(_a @ v) >= 0.0)
+
+        return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+
+def rho_sign_alsh(s: float, c: float, m: int = 2, u0: float = 0.75) -> float:
+    """Sign-ALSH exponent at normalized threshold ``s``, approximation ``c``.
+
+    The embedded cosine at normalized inner product ``t`` (data scaled to
+    norm exactly ``u0``, unit query) is
+    ``u0 t / sqrt(u0^2 + sum_i (1/2 - u0^{2^{i+1}})^2)``; hyperplane
+    collision probabilities then give
+    ``rho = log(1 - acos(cos1)/pi) / log(1 - acos(cos2)/pi)``.
+    """
+    if not 0.0 < s < 1.0 or not 0.0 < c < 1.0:
+        raise ParameterError(f"need s, c in (0, 1); got s={s}, c={c}")
+    if m < 1 or not 0.0 < u0 < 1.0:
+        raise ParameterError(f"bad parameters m={m}, u0={u0}")
+    norm_sq = u0 * u0
+    power = norm_sq
+    tail_sq = 0.0
+    for _ in range(m):
+        tail_sq += (0.5 - power) ** 2
+        power = power * power
+    denom = math.sqrt(norm_sq + tail_sq)
+
+    def prob(t: float) -> float:
+        cosine = max(-1.0, min(1.0, u0 * t / denom))
+        return 1.0 - math.acos(cosine) / math.pi
+
+    return math.log(prob(s)) / math.log(prob(c * s))

@@ -1,0 +1,45 @@
+"""SIMPLE-LSH of Neyshabur and Srebro [39] (the "SIMP" curve of Figure 2).
+
+Data in the unit ball is completed onto the unit sphere with
+``x -> (x, sqrt(1 - |x|^2))``, queries (assumed on the unit sphere) are
+zero-padded, and hyperplane LSH is applied; inner products are preserved
+so the collision probability at inner product ``t`` is
+``1 - arccos(t) / pi``, giving
+
+    rho = log(1 - arccos(s)/pi) / log(1 - arccos(cs)/pi).
+
+Although the completion differs between data and queries, the underlying
+hash is one hyperplane applied to both — the scheme is an LSH in the
+(ball data, sphere query) domain pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.mips_reductions import SimpleLSHTransform
+from repro.errors import ParameterError
+from repro.lsh.base import AsymmetricLSHFamily, HashFunctionPair
+
+
+class SimpleALSH(AsymmetricLSHFamily):
+    """SIMPLE-LSH: sphere completion plus one hyperplane sign."""
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self.transform = SimpleLSHTransform()
+
+    def sample(self, rng: np.random.Generator) -> HashFunctionPair:
+        direction = rng.normal(size=self.d + 1)
+
+        def hash_data(x, _a=direction):
+            v = self.transform.embed_data(np.asarray(x, dtype=np.float64))
+            return bool(float(_a @ v) >= 0.0)
+
+        def hash_query(q, _a=direction):
+            v = self.transform.embed_query(np.asarray(q, dtype=np.float64))
+            return bool(float(_a @ v) >= 0.0)
+
+        return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)

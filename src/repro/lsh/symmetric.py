@@ -1,0 +1,82 @@
+"""Section 4.2: a symmetric LSH for signed IPS on coinciding domains.
+
+Neyshabur and Srebro showed no symmetric LSH exists when data and query
+domains are the same ball — but the obstruction is entirely the pairs
+``p == q``.  Completing every vector onto the sphere with an *incoherent
+companion* (same map for data and queries) preserves inner products up to
+``eps`` for all ``p != q``, after which any symmetric sphere LSH applies.
+The collision bounds deliberately do not cover identical pairs; callers
+solving ``(cs, s)`` IPS should first check whether the query itself is in
+the input set (``query_is_self_match`` below).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.incoherent_map import SymmetricSphereCompletion
+from repro.errors import ParameterError
+from repro.lsh.base import HashFunctionPair, LSHFamily
+from repro.lsh.crosspolytope import CrossPolytopeLSH
+from repro.lsh.hyperplane import HyperplaneLSH
+
+
+class SymmetricIPSHash(LSHFamily):
+    """Symmetric LSH for inner products of distinct unit-ball vectors.
+
+    Args:
+        d: vector dimension.
+        eps: additive inner-product error of the completion; the effective
+            thresholds for an ``(cs, s)`` application become
+            ``(cs + eps, s - eps)``.
+        sphere: ``"hyperplane"`` (default; collision probabilities follow
+            the closed form ``1 - arccos(t)/pi``) or ``"crosspolytope"``.
+        precision_bits: quantization width of the companion keying.
+    """
+
+    def __init__(
+        self,
+        d: int,
+        eps: float = 0.05,
+        sphere: str = "hyperplane",
+        precision_bits: int = 16,
+    ):
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        self.d = int(d)
+        self.completion = SymmetricSphereCompletion(eps=eps, precision_bits=precision_bits)
+        sphere_dim = self.completion.output_dimension(self.d)
+        if sphere == "hyperplane":
+            self.sphere_family = HyperplaneLSH(sphere_dim)
+        elif sphere == "crosspolytope":
+            self.sphere_family = CrossPolytopeLSH(sphere_dim)
+        else:
+            raise ParameterError(
+                f"sphere must be 'hyperplane' or 'crosspolytope', got {sphere!r}"
+            )
+
+    @property
+    def eps(self) -> float:
+        return self.completion.eps
+
+    def sample_function(self, rng: np.random.Generator):
+        h = self.sphere_family.sample_function(rng)
+
+        def hash_any(x, _h=h):
+            return _h(self.completion.embed(np.asarray(x, dtype=np.float64)))
+
+        return hash_any
+
+
+def query_is_self_match(P: np.ndarray, q: np.ndarray, s: float) -> bool:
+    """The paper's pre-step: is the query itself an above-threshold answer?
+
+    The symmetric LSH gives no collision guarantee for ``p == q``; a
+    ``(cs, s)`` search must therefore first test whether ``q`` appears in
+    the data set with ``q . q >= s`` and answer ``q`` directly if so.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    if float(q @ q) < s:
+        return False
+    P = np.asarray(P, dtype=np.float64)
+    return bool(np.any(np.all(np.isclose(P, q[None, :]), axis=1)))

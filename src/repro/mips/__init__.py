@@ -1,0 +1,30 @@
+"""Maximum inner product search engines.
+
+The paper's search-problem counterpart of IPS join (its introduction's
+"MIPS" [43, 45]).  Engines under a common interface:
+
+* :class:`ExactMIPS` — the linear-scan baseline (with exact top-k).
+* :class:`ConeTreeMIPS` — the branch-and-bound cone/ball tree of
+  Ram and Gray [43]: exact answers, pruning via an inner-product upper
+  bound per subtree; the practical exact index the paper's related work
+  discusses.
+* :class:`LSHMIPS` — approximate MIPS through a DATA-DEP ALSH index
+  (Section 4.1's construction as a search engine).
+* :class:`SketchMIPS` — approximate unsigned MIPS through the Section
+  4.3 sketch structure.
+"""
+
+from repro.mips.base import MIPSAnswer, MIPSEngine
+from repro.mips.conetree import ConeTreeMIPS
+from repro.mips.exact import ExactMIPS
+from repro.mips.lsh_engine import LSHMIPS
+from repro.mips.sketch_engine import SketchMIPS
+
+__all__ = [
+    "MIPSAnswer",
+    "MIPSEngine",
+    "ExactMIPS",
+    "ConeTreeMIPS",
+    "LSHMIPS",
+    "SketchMIPS",
+]

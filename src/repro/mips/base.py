@@ -1,0 +1,67 @@
+"""Common interface for MIPS engines."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_matrix, check_vector
+
+
+@dataclass(frozen=True)
+class MIPSAnswer:
+    """One MIPS answer: the data index found and its exact inner product.
+
+    ``work`` counts the exact inner products the engine evaluated to
+    produce the answer (the comparable effort measure across engines).
+    """
+
+    index: int
+    value: float
+    work: int = 0
+
+
+class MIPSEngine(abc.ABC):
+    """A maximum inner product search engine over a fixed data matrix."""
+
+    def __init__(self, P):
+        P = check_matrix(P, "P")
+        self._P = P
+        self.n, self.d = P.shape
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._P
+
+    def _check_query(self, q) -> np.ndarray:
+        q = check_vector(q, "q")
+        if q.size != self.d:
+            raise ParameterError(f"expected query dimension {self.d}, got {q.size}")
+        return q
+
+    @abc.abstractmethod
+    def query(self, q) -> MIPSAnswer:
+        """Best (approximate) inner-product match for one query."""
+
+    def top_k(self, q, k: int) -> List[MIPSAnswer]:
+        """Top-k retrieval; engines override when they can do better.
+
+        The default re-queries after masking is not generally possible, so
+        the fallback is an exact scan — correct for every engine, fast
+        only for exact ones.
+        """
+        q = self._check_query(q)
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        values = self._P @ q
+        k = min(k, self.n)
+        order = np.argpartition(-values, k - 1)[:k]
+        order = order[np.argsort(-values[order])]
+        return [
+            MIPSAnswer(index=int(i), value=float(values[i]), work=self.n)
+            for i in order
+        ]

@@ -1,0 +1,17 @@
+"""Exact linear-scan MIPS: the baseline every index is measured against."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mips.base import MIPSAnswer, MIPSEngine
+
+
+class ExactMIPS(MIPSEngine):
+    """Argmax inner product by one BLAS matrix-vector product."""
+
+    def query(self, q) -> MIPSAnswer:
+        q = self._check_query(q)
+        values = self._P @ q
+        best = int(np.argmax(values))
+        return MIPSAnswer(index=best, value=float(values[best]), work=self.n)

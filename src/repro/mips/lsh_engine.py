@@ -1,0 +1,55 @@
+"""Approximate MIPS through the Section 4.1 ALSH index."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lsh.datadep import DataDepALSH
+from repro.lsh.index import LSHIndex
+from repro.mips.base import MIPSAnswer, MIPSEngine
+from repro.utils.rng import SeedLike
+
+
+class LSHMIPS(MIPSEngine):
+    """DATA-DEP ALSH index queried for the best candidate.
+
+    Data must lie in the unit ball and queries in the ball of radius
+    ``query_radius``.  The engine returns the best *candidate* — an
+    approximate answer whose quality follows the scheme's
+    ``rho = (1-s/U)/(1+(1-2c)s/U)`` trade-off; a fallback to the exact
+    scan triggers when no candidate surfaces (empty buckets).
+    """
+
+    def __init__(
+        self,
+        P,
+        query_radius: float = 1.0,
+        n_tables: int = 16,
+        hashes_per_table: int = 6,
+        sphere: str = "hyperplane",
+        seed: SeedLike = None,
+    ):
+        super().__init__(P)
+        family = DataDepALSH(self.d, query_radius=query_radius, sphere=sphere)
+        self.index = LSHIndex(
+            family,
+            n_tables=n_tables,
+            hashes_per_table=hashes_per_table,
+            seed=seed,
+        ).build(self._P)
+
+    def query(self, q) -> MIPSAnswer:
+        q = self._check_query(q)
+        candidates = self.index.candidates(q)
+        if candidates.size == 0:
+            values = self._P @ q
+            best = int(np.argmax(values))
+            return MIPSAnswer(index=best, value=float(values[best]), work=self.n)
+        values = self._P[candidates] @ q
+        best = int(np.argmax(values))
+        return MIPSAnswer(
+            index=int(candidates[best]),
+            value=float(values[best]),
+            work=int(candidates.size),
+        )

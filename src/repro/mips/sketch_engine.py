@@ -1,0 +1,30 @@
+"""Approximate unsigned MIPS through the Section 4.3 sketch structure."""
+
+from __future__ import annotations
+
+from repro.mips.base import MIPSAnswer, MIPSEngine
+from repro.sketches.cmips import SketchCMIPS
+from repro.utils.rng import SeedLike
+
+
+class SketchMIPS(MIPSEngine):
+    """Unsigned c-MIPS with ``c = n^{-1/kappa}`` via linear sketches.
+
+    Note the *unsigned* semantics: the engine maximizes ``|p . q|``; for
+    non-negative data (sets, factor models with non-negative factors)
+    this coincides with signed MIPS.
+    """
+
+    def __init__(self, P, kappa: float = 4.0, copies: int = 7, seed: SeedLike = None):
+        super().__init__(P)
+        self.structure = SketchCMIPS(self._P, kappa=kappa, copies=copies, seed=seed)
+
+    @property
+    def approximation_factor(self) -> float:
+        return self.structure.approximation_factor
+
+    def query(self, q) -> MIPSAnswer:
+        q = self._check_query(q)
+        answer = self.structure.query(q)
+        work = self.structure.recovery.query_cost() // max(1, self.d)
+        return MIPSAnswer(index=answer.index, value=answer.value, work=work)

@@ -1,0 +1,30 @@
+"""Orthogonal Vectors Problem substrate (paper Section 2.1).
+
+The hardness results of the paper are reductions *from* OVP; this package
+provides the problem container, exact solvers (the "quadratic baseline"
+every conditional lower bound is measured against), the generalized
+unbalanced variant of Lemma 1, and helpers for the conjecture's parameter
+regime ``d = gamma * log n``.
+"""
+
+from repro.ovp.conjecture import conjecture_dimension, is_conjecture_regime
+from repro.ovp.generalized import solve_generalized_via_chunks
+from repro.ovp.instance import OVPInstance
+from repro.ovp.solvers import (
+    solve_ovp_bitpacked,
+    solve_ovp_bruteforce,
+    solve_ovp_matmul,
+)
+from repro.ovp.weight_pruned import solve_ovp_weight_pruned, weight_prunable_fraction
+
+__all__ = [
+    "OVPInstance",
+    "solve_ovp_bruteforce",
+    "solve_ovp_bitpacked",
+    "solve_ovp_matmul",
+    "solve_ovp_weight_pruned",
+    "weight_prunable_fraction",
+    "solve_generalized_via_chunks",
+    "conjecture_dimension",
+    "is_conjecture_regime",
+]

@@ -1,0 +1,45 @@
+"""Parameter helpers for the OVP conjecture's regime.
+
+Conjecture 1 concerns dimension ``d = omega(log n)``; the Abboud et al.
+result makes OVP easy at ``d = O(log n)``.  These helpers compute and test
+the boundary so experiment scripts can place themselves in the hard regime
+explicitly (``d = gamma * log2 n`` with the multiplier recorded).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+
+def conjecture_dimension(n: int, gamma: float = 4.0) -> int:
+    """Dimension ``d = ceil(gamma * log2 n)``, the conjecture's scale.
+
+    For any constant ``gamma`` this is the boundary regime; experiment
+    sweeps use growing ``gamma`` (or ``gamma * log log n``) to model
+    ``omega(log n)``.
+    """
+    if n < 2:
+        raise ParameterError(f"n must be at least 2, got {n}")
+    if gamma <= 0:
+        raise ParameterError(f"gamma must be positive, got {gamma}")
+    return max(2, math.ceil(gamma * math.log2(n)))
+
+
+def is_conjecture_regime(n: int, d: int, min_gamma: float = 1.0) -> bool:
+    """True when ``d >= min_gamma * log2 n`` — at or beyond the hard boundary."""
+    if n < 2:
+        raise ParameterError(f"n must be at least 2, got {n}")
+    return d >= min_gamma * math.log2(n)
+
+
+def subquadratic_exponent(n: int, time_taken: float, time_unit: float) -> float:
+    """Empirical exponent ``log(time/time_unit) / log(n)``.
+
+    Benches fit running-time curves to ``n^x`` against a measured unit cost;
+    this helper centralizes the (trivial but easy-to-flip) formula.
+    """
+    if n < 2 or time_taken <= 0 or time_unit <= 0:
+        raise ParameterError("need n >= 2 and positive times")
+    return math.log(time_taken / time_unit) / math.log(n)

@@ -1,0 +1,42 @@
+"""Generalized (unbalanced) OVP via chunking — Lemma 1.
+
+Lemma 1 reduces balanced OVP (|P| = |Q| = n) to the unbalanced version
+(|P| = n^alpha, |Q| = n) by splitting P into chunks of size n^alpha and
+solving each chunk against all of Q.  ``solve_generalized_via_chunks``
+executes exactly this reduction with a pluggable unbalanced solver, letting
+benches observe the claimed ``n^{1-alpha} * T(n^alpha, n)`` cost shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.errors import ParameterError
+from repro.ovp.instance import OVPInstance
+from repro.ovp.solvers import solve_ovp_bitpacked
+
+Pair = Optional[Tuple[int, int]]
+UnbalancedSolver = Callable[[OVPInstance], Pair]
+
+
+def solve_generalized_via_chunks(
+    instance: OVPInstance,
+    chunk_size: int,
+    solver: UnbalancedSolver = solve_ovp_bitpacked,
+) -> Pair:
+    """Solve a balanced OVP instance by chunking P, as in Lemma 1's proof.
+
+    Splits ``instance.P`` into consecutive chunks of ``chunk_size`` rows and
+    runs ``solver`` on each (chunk, Q) sub-instance; returns the first
+    orthogonal pair, with indices mapped back to the original instance.
+    """
+    if chunk_size <= 0:
+        raise ParameterError(f"chunk_size must be positive, got {chunk_size}")
+    P, Q = instance.P, instance.Q
+    for start in range(0, P.shape[0], chunk_size):
+        sub = OVPInstance(P=P[start:start + chunk_size], Q=Q)
+        found = solver(sub)
+        if found is not None:
+            i, j = found
+            return (start + i, j)
+    return None

@@ -1,0 +1,62 @@
+"""The Orthogonal Vectors Problem instance container (Definition 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_binary, check_matrix
+
+
+@dataclass(frozen=True)
+class OVPInstance:
+    """An OVP instance: two binary vector sets ``P`` and ``Q``.
+
+    The decision problem (Definition 3) asks whether there exist
+    ``p in P`` and ``q in Q`` with ``p . q = 0``.  The generalized variant
+    of Lemma 1 allows ``|P| != |Q|``.
+
+    Attributes:
+        P: shape (n_p, d) binary matrix.
+        Q: shape (n_q, d) binary matrix.
+        planted_pair: optional (i, j) index of a known orthogonal pair,
+            recorded by planted generators for end-to-end verification.
+    """
+
+    P: np.ndarray
+    Q: np.ndarray
+    planted_pair: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self):
+        P = check_binary(check_matrix(self.P, "P", dtype=np.int64), "P")
+        Q = check_binary(check_matrix(self.Q, "Q", dtype=np.int64), "Q")
+        if P.shape[1] != Q.shape[1]:
+            raise ValueError(
+                f"P and Q must share a dimension; got {P.shape[1]} and {Q.shape[1]}"
+            )
+        object.__setattr__(self, "P", P)
+        object.__setattr__(self, "Q", Q)
+        if self.planted_pair is not None:
+            i, j = self.planted_pair
+            if not (0 <= i < P.shape[0] and 0 <= j < Q.shape[0]):
+                raise ValueError(f"planted_pair {self.planted_pair} out of range")
+            if int(P[i] @ Q[j]) != 0:
+                raise ValueError("planted_pair is not actually orthogonal")
+
+    @property
+    def n_p(self) -> int:
+        return self.P.shape[0]
+
+    @property
+    def n_q(self) -> int:
+        return self.Q.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.P.shape[1]
+
+    def is_orthogonal(self, i: int, j: int) -> bool:
+        """Check whether the pair (P[i], Q[j]) is orthogonal."""
+        return int(self.P[i] @ self.Q[j]) == 0

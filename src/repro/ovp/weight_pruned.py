@@ -1,0 +1,68 @@
+"""Weight-pruned exact OVP: a combinatorial speedup for dense instances.
+
+Two binary vectors are orthogonal exactly when their supports are
+disjoint, which requires ``|x| + |y| <= d``.  Sorting ``Q`` by Hamming
+weight lets each ``p`` restrict its scan to the prefix with
+``|q| <= d - |p|`` — on dense instances (the regime where orthogonal
+pairs are rare and OVP is *decided* rather than *found*), most pairs are
+eliminated without touching their coordinates.  Worst case (sparse
+vectors) it degrades to the bit-packed scan it wraps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ovp.instance import OVPInstance
+from repro.utils.bits import pack_binary_rows
+
+Pair = Optional[Tuple[int, int]]
+
+
+def solve_ovp_weight_pruned(instance: OVPInstance) -> Pair:
+    """First orthogonal pair, scanning only weight-compatible candidates.
+
+    Returns indices in the original instance; pair-existence answers are
+    identical to the other exact solvers.
+    """
+    P, Q = instance.P, instance.Q
+    d = instance.d
+    q_weights = Q.sum(axis=1)
+    order = np.argsort(q_weights, kind="stable")
+    q_sorted_weights = q_weights[order]
+    Q_words = pack_binary_rows(Q[order])
+    p_weights = P.sum(axis=1)
+
+    for i in range(P.shape[0]):
+        budget = d - int(p_weights[i])
+        if budget < 0:
+            continue
+        # Only the prefix with |q| <= d - |p| can be disjoint from p.
+        limit = int(np.searchsorted(q_sorted_weights, budget, side="right"))
+        if limit == 0:
+            continue
+        p_words = pack_binary_rows(P[i:i + 1])[0]
+        collisions = np.bitwise_and(Q_words[:limit], p_words).any(axis=1)
+        hits = np.flatnonzero(~collisions)
+        if hits.size:
+            return (i, int(order[hits[0]]))
+    return None
+
+
+def weight_prunable_fraction(instance: OVPInstance) -> float:
+    """Fraction of all pairs eliminated by the weight test alone.
+
+    The bench statistic: on dense instances this approaches 1 and the
+    solver barely touches coordinates; on sparse instances it approaches
+    0 and the solver is an ordinary scan.
+    """
+    d = instance.d
+    p_weights = instance.P.sum(axis=1)
+    q_weights = np.sort(instance.Q.sum(axis=1))
+    surviving = 0
+    for w in p_weights:
+        surviving += int(np.searchsorted(q_weights, d - int(w), side="right"))
+    total = instance.n_p * instance.n_q
+    return 1.0 - surviving / total

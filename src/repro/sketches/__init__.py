@@ -1,0 +1,24 @@
+"""Linear sketches for unsigned c-MIPS (paper Section 4.3).
+
+The stack, bottom-up: exponential max-stability primitives
+(:mod:`stable`), the ``l_kappa``-to-``l_inf`` linear sketch of Andoni [5]
+(:mod:`linf`), the ``||A q||_inf`` estimator (:mod:`maxnorm`), bit-by-bit
+index recovery over a prefix tree (:mod:`recovery`), and the resulting
+unsigned c-MIPS data structure with approximation ``c = Theta(n^{-1/kappa})``
+(:mod:`cmips`).
+"""
+
+from repro.sketches.cmips import SketchCMIPS
+from repro.sketches.linf import LKappaSketch
+from repro.sketches.maxnorm import MaxDotEstimator
+from repro.sketches.recovery import PrefixRecoveryIndex
+from repro.sketches.stable import exponential_scalers, kappa_norm
+
+__all__ = [
+    "exponential_scalers",
+    "kappa_norm",
+    "LKappaSketch",
+    "MaxDotEstimator",
+    "PrefixRecoveryIndex",
+    "SketchCMIPS",
+]

@@ -1,0 +1,114 @@
+"""The unsigned c-MIPS data structure of Section 4.3.
+
+Combines the ``||Aq||_inf`` estimator and the prefix recovery index into
+the structure the paper promises: for any ``kappa >= 2``, approximation
+``c = Theta(n^{-1/kappa})`` with ``O~(d n^{2-2/kappa})`` construction and
+``O~(d n^{1-2/kappa})`` query time.  Also provides the two reductions the
+paper notes around the construction:
+
+* ``search``: unsigned ``(cs, s)`` *search* from c-MIPS — if some data
+  vector reaches ``s``, the returned vector reaches ``cs``.
+* :func:`cmips_via_search` (in :mod:`repro.core.scaling`): the converse
+  reduction, scaling queries ``q / c^i`` against a ``(cs, s)`` search
+  structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.sketches.maxnorm import MaxDotEstimator
+from repro.sketches.recovery import PrefixRecoveryIndex
+from repro.sketches.stable import norm_ratio_bound
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_matrix, check_vector
+
+
+@dataclass(frozen=True)
+class CMIPSAnswer:
+    """Answer record of a c-MIPS query."""
+
+    index: int
+    value: float          # exact |p . q| of the returned vector
+    norm_estimate: float  # sketch estimate of ||A q||_kappa
+
+
+class SketchCMIPS:
+    """Unsigned c-MIPS with sketch-backed sublinear queries.
+
+    Args:
+        A: data matrix (n, d).
+        kappa: trade-off knob; approximation ``~ n^{-1/kappa}``, query
+            time ``~ n^{1-2/kappa}``.  ``kappa = 2`` gives constant-time
+            estimates and the weakest approximation.
+        copies / leaf_size / seed: forwarded to the underlying structures.
+    """
+
+    def __init__(
+        self,
+        A,
+        kappa: float = 4.0,
+        copies: int = 7,
+        leaf_size: int = 8,
+        seed: SeedLike = None,
+    ):
+        A = check_matrix(A, "A")
+        if kappa < 2:
+            raise ParameterError(f"the paper's guarantee needs kappa >= 2, got {kappa}")
+        self.A = A
+        self.n, self.d = A.shape
+        self.kappa = float(kappa)
+        self.estimator = MaxDotEstimator(A, kappa=kappa, copies=copies, seed=seed)
+        self.recovery = PrefixRecoveryIndex(
+            A, kappa=kappa, leaf_size=leaf_size, copies=copies, seed=seed
+        )
+
+    @property
+    def approximation_factor(self) -> float:
+        """The guarantee ``c = 1 / n^{1/kappa}`` (up to sketch constants)."""
+        return 1.0 / norm_ratio_bound(self.n, self.kappa)
+
+    def query(self, q) -> CMIPSAnswer:
+        """Return a vector whose |inner product| is within ``~c`` of the max."""
+        q = check_vector(q, "q")
+        index, value = self.recovery.query(q)
+        return CMIPSAnswer(
+            index=index,
+            value=value,
+            norm_estimate=self.estimator.estimate(q),
+        )
+
+    def search(self, q, s: float, c: Optional[float] = None) -> Optional[int]:
+        """Unsigned ``(cs, s)`` search built on the c-MIPS query.
+
+        Returns an index ``p`` with ``|p . q| >= c s`` whenever some data
+        vector reaches ``s`` (the promise of Definition 1's search
+        variant); ``None`` when even the approximate answer misses ``cs``.
+        ``c`` defaults to the structure's own approximation factor.
+        """
+        if s <= 0:
+            raise ParameterError(f"s must be positive, got {s}")
+        c = self.approximation_factor if c is None else float(c)
+        if not 0.0 < c < 1.0:
+            raise ParameterError(f"c must be in (0, 1), got {c}")
+        answer = self.query(q)
+        if answer.value >= c * s:
+            return answer.index
+        return None
+
+    def construction_cost(self) -> int:
+        """Multiply-adds spent sketching at build time (``O~(d n^{2-2/kappa})``
+        when amortized per level of the prefix tree)."""
+        total = self.estimator.sketch.copies * self.n * self.d  # root sketch
+        # Each tree level resketches all n rows once.
+        node = self.recovery.root
+        depth = 0
+        while not node.is_leaf:
+            depth += 1
+            node = node.left
+        total += depth * self.recovery._copies * self.n * self.d
+        return total

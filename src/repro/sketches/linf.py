@@ -1,0 +1,130 @@
+"""The ``l_kappa``-to-``l_inf`` linear sketch (Andoni [5]).
+
+One sketch copy is a random linear map ``Pi : R^n -> R^m`` with exactly
+one non-zero per input coordinate:
+
+    (Pi x)_j = sum_{i : h(i) = j}  sigma_i * x_i / E_i^{1/kappa}
+
+with ``h`` a random bucket hash, ``sigma`` random signs and ``E_i``
+i.i.d. Exp(1).  By max-stability the largest scaled coordinate tracks
+``||x||_kappa``; with ``m = Theta(n^{1-2/kappa} log n)`` buckets the
+light coordinates landing in the heavy bucket only perturb it by a small
+fraction of ``||x||_kappa``, so
+
+    || Pi x ||_inf  in  [(1 - c) ||x||_kappa, (1 + c) ||x||_kappa]
+
+with constant probability — boosted by taking the median over independent
+copies.  Crucially for Section 4.3, the map is *linear*: ``Pi A`` can be
+precomputed for a data matrix ``A``, turning every later query into a
+``O(m d)``-time multiply instead of ``O(n d)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.sketches.stable import check_kappa, exponential_scalers, median_correction
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_matrix, check_vector
+
+
+def default_rows(n: int, kappa: float, constant: float = 4.0) -> int:
+    """``m = ceil(constant * n^{1-2/kappa} * (1 + ln n))``, floored at 1."""
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    kappa = check_kappa(kappa)
+    if math.isinf(kappa):
+        exponent = 1.0
+    else:
+        exponent = 1.0 - 2.0 / kappa
+    budget = constant * (float(n) ** max(0.0, exponent)) * (1.0 + math.log(n))
+    return max(1, min(n, math.ceil(budget)))
+
+
+class LKappaSketch:
+    """Median-of-copies linear sketch estimating ``||x||_kappa``.
+
+    Args:
+        n: input dimensionality (the number of data vectors when sketching
+            ``x = A q``).
+        kappa: norm order, ``kappa >= 2`` for the paper's guarantees.
+        copies: number of independent copies for the median boost.
+        rows: buckets per copy; defaults to
+            ``Theta(n^{1-2/kappa} log n)``.
+        seed: reproducibility seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        kappa: float,
+        copies: int = 7,
+        rows: int = None,
+        seed: SeedLike = None,
+    ):
+        if n < 1:
+            raise ParameterError(f"n must be >= 1, got {n}")
+        if copies < 1:
+            raise ParameterError(f"copies must be >= 1, got {copies}")
+        self.n = int(n)
+        self.kappa = check_kappa(kappa)
+        self.copies = int(copies)
+        self.rows = default_rows(n, kappa) if rows is None else int(rows)
+        if self.rows < 1:
+            raise ParameterError(f"rows must be >= 1, got {self.rows}")
+        rng = ensure_rng(seed)
+        # buckets[r, i]: target row of coordinate i in copy r.
+        self.buckets = rng.integers(0, self.rows, size=(self.copies, self.n))
+        signs = rng.choice(np.array([-1.0, 1.0]), size=(self.copies, self.n))
+        scalers = np.stack(
+            [exponential_scalers(self.n, self.kappa, rng) for _ in range(self.copies)]
+        )
+        # weights[r, i] = sigma_i / E_i^{1/kappa} for copy r.
+        self.weights = signs * scalers
+        self._correction = median_correction(self.kappa)
+
+    def apply(self, x) -> np.ndarray:
+        """All copies of ``Pi x``; shape ``(copies, rows)``."""
+        x = check_vector(x, "x")
+        if x.size != self.n:
+            raise ParameterError(f"expected dimension {self.n}, got {x.size}")
+        out = np.zeros((self.copies, self.rows))
+        weighted = self.weights * x[None, :]
+        for r in range(self.copies):
+            np.add.at(out[r], self.buckets[r], weighted[r])
+        return out
+
+    def sketch_matrix(self, A) -> np.ndarray:
+        """Precompute ``Pi A`` for all copies; shape ``(copies, rows, d)``.
+
+        With this tensor, ``estimate_from_sketch(S @ q)`` answers
+        ``||A q||_kappa`` queries in ``O(copies * rows * d)`` time.
+        """
+        A = check_matrix(A, "A")
+        if A.shape[0] != self.n:
+            raise ParameterError(
+                f"A must have {self.n} rows (one per sketched coordinate), "
+                f"got {A.shape[0]}"
+            )
+        out = np.zeros((self.copies, self.rows, A.shape[1]))
+        for r in range(self.copies):
+            weighted = A * self.weights[r][:, None]
+            np.add.at(out[r], self.buckets[r], weighted)
+        return out
+
+    def estimate_from_values(self, values: np.ndarray) -> float:
+        """Norm estimate from the per-copy sketch values ``(copies, rows)``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.copies, self.rows):
+            raise ParameterError(
+                f"expected shape {(self.copies, self.rows)}, got {values.shape}"
+            )
+        maxima = np.abs(values).max(axis=1)
+        return float(np.median(maxima)) * self._correction
+
+    def estimate(self, x) -> float:
+        """Direct estimate of ``||x||_kappa`` (sketch then read off)."""
+        return self.estimate_from_values(self.apply(x))

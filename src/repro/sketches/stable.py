@@ -1,0 +1,76 @@
+"""Max-stability primitives for ``l_kappa`` estimation.
+
+The identity behind the sketch: if ``E_1 .. E_n`` are i.i.d. Exp(1) then
+
+    max_i  |x_i| / E_i^{1/kappa}   ~   ||x||_kappa / E^{1/kappa}
+
+with ``E ~ Exp(1)`` — the max over coordinates *is* the norm, up to a
+single exponential fluctuation.  (Proof: ``Pr[max <= t] = prod_i
+Pr[E_i >= (|x_i|/t)^kappa] = exp(-||x||_kappa^kappa / t^kappa)``.)
+The median of ``1/E^{1/kappa}`` is ``(1/ln 2)^{1/kappa}``, so the median
+of repeated maxima, times ``(ln 2)^{1/kappa}``, is a consistent estimator
+of ``||x||_kappa``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def check_kappa(kappa: float) -> float:
+    """Validate the norm order ``kappa >= 1`` (``math.inf`` allowed)."""
+    kappa = float(kappa)
+    if not (kappa >= 1.0):
+        raise ParameterError(f"kappa must be >= 1, got {kappa}")
+    return kappa
+
+
+def kappa_norm(x, kappa: float) -> float:
+    """``||x||_kappa``, with ``kappa = inf`` meaning the max norm."""
+    kappa = check_kappa(kappa)
+    x = np.abs(np.asarray(x, dtype=np.float64))
+    if math.isinf(kappa):
+        return float(x.max(initial=0.0))
+    # Rescale by the max for numerical stability at large kappa.
+    peak = float(x.max(initial=0.0))
+    if peak == 0.0:
+        return 0.0
+    return peak * float(((x / peak) ** kappa).sum() ** (1.0 / kappa))
+
+
+def exponential_scalers(n: int, kappa: float, rng: np.random.Generator) -> np.ndarray:
+    """Draw the per-coordinate scalers ``1 / E_i^{1/kappa}``."""
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    kappa = check_kappa(kappa)
+    exponentials = rng.exponential(1.0, size=n)
+    if math.isinf(kappa):
+        return np.ones(n)
+    return exponentials ** (-1.0 / kappa)
+
+
+def median_correction(kappa: float) -> float:
+    """``(ln 2)^{1/kappa}``: turns the median max into a norm estimate."""
+    kappa = check_kappa(kappa)
+    if math.isinf(kappa):
+        return 1.0
+    return math.log(2.0) ** (1.0 / kappa)
+
+
+def norm_ratio_bound(n: int, kappa: float) -> float:
+    """``n^{1/kappa}``: the worst case of ``||x||_kappa / ||x||_inf``.
+
+    This ratio is the source of the final ``c = n^{-1/kappa}``
+    approximation factor of the Section 4.3 data structure.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    kappa = check_kappa(kappa)
+    if math.isinf(kappa):
+        return 1.0
+    return float(n) ** (1.0 / kappa)

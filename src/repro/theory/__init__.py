@@ -1,0 +1,34 @@
+"""Closed-form reproductions of the paper's stated results.
+
+``table1`` encodes the hard/permissible approximation ranges of Table 1;
+``theorems`` provides parameter checkers for Theorems 1-3 so experiments
+can place themselves on the correct side of each boundary explicitly.
+"""
+
+from repro.theory.table1 import Table1Row, table1_rows, classify_approximation
+from repro.theory.theorems import (
+    theorem1_hard_c,
+    theorem2_hard_ratio,
+    theorem3_gap_bounds,
+)
+from repro.theory.tradeoffs import (
+    HardInstanceParameters,
+    hard_instance_signed_pm1,
+    hard_instance_table,
+    hard_instance_unsigned_01,
+    hard_instance_unsigned_pm1,
+)
+
+__all__ = [
+    "Table1Row",
+    "table1_rows",
+    "classify_approximation",
+    "theorem1_hard_c",
+    "theorem2_hard_ratio",
+    "theorem3_gap_bounds",
+    "HardInstanceParameters",
+    "hard_instance_signed_pm1",
+    "hard_instance_unsigned_pm1",
+    "hard_instance_unsigned_01",
+    "hard_instance_table",
+]

@@ -1,0 +1,88 @@
+"""Parameter checkers for Theorems 1, 2 and 3.
+
+These are the closed-form statements the experiments instantiate: which
+approximation factors each theorem declares hard at a given instance
+size, and the Theorem 3 gap bounds bundled per case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ParameterError
+from repro.lowerbounds.gap_bounds import (
+    gap_bound_case1,
+    gap_bound_case2,
+    gap_bound_case3,
+)
+
+
+def theorem1_hard_c(domain: str, n: int) -> Dict[str, float]:
+    """The hard-approximation boundary of Theorem 1 for each domain.
+
+    Returns a dict with the boundary value and the witnessing embedding's
+    parameters at the natural instantiation (``q = sqrt(d)`` for ±1,
+    ``k = log-scale`` for {0,1}).
+    """
+    if n < 16:
+        raise ParameterError(f"n must be >= 16, got {n}")
+    log_n = math.log(n)
+    if domain == "signed {-1,1}":
+        return {"boundary": 0.0, "statement": "every c > 0 is hard"}
+    if domain == "unsigned {-1,1}":
+        return {
+            "boundary": math.exp(-math.sqrt(log_n / math.log(log_n))),
+            "statement": "c >= e^{-o(sqrt(log n / log log n))} is hard",
+        }
+    if domain == "unsigned {0,1}":
+        k = max(2, round(math.log2(n)))
+        return {
+            "boundary": (k - 1) / k,
+            "statement": "c >= 1 - o(1) is hard (witness k = log2 n)",
+        }
+    raise ParameterError(f"unknown domain {domain!r}")
+
+
+def theorem2_hard_ratio(domain: str, n: int) -> Dict[str, float]:
+    """The hard ``log(s/d)/log(cs/d)`` boundary of Theorem 2 per domain."""
+    if n < 16:
+        raise ParameterError(f"n must be >= 16, got {n}")
+    log_n = math.log(n)
+    if domain == "unsigned {-1,1}":
+        # 1 - o(1/sqrt(log n)); the witness takes q = sqrt(d), d = w(log n).
+        return {
+            "boundary": 1.0 - 1.0 / math.sqrt(log_n),
+            "statement": "ratio >= 1 - o(1/sqrt(log n)) is hard",
+        }
+    if domain == "unsigned {0,1}":
+        return {
+            "boundary": 1.0 - 1.0 / log_n,
+            "statement": "ratio >= 1 - o(1/log n) is hard (witness k = d)",
+        }
+    raise ParameterError(f"Theorem 2 covers the unsigned domains, got {domain!r}")
+
+
+def theorem3_gap_bounds(s: float, c: float, U: float, d: int) -> Dict[str, float]:
+    """All applicable Theorem 3 bounds on ``P1 - P2`` at these parameters.
+
+    Returns a dict of case name to bound; cases whose preconditions fail
+    are omitted.
+    """
+    out: Dict[str, float] = {}
+    try:
+        if d >= 1 and s <= min(c * U, U / (4.0 * math.sqrt(d))):
+            out["case1 (signed+unsigned)"] = gap_bound_case1(s, c, U, max(1, d))
+    except ParameterError:
+        pass
+    try:
+        if d >= 2 and s <= U / (2.0 * d):
+            out["case2 (signed only)"] = gap_bound_case2(s, c, U, d)
+    except ParameterError:
+        pass
+    try:
+        if s <= U / 8.0:
+            out["case3 (signed+unsigned)"] = gap_bound_case3(s, U)
+    except ParameterError:
+        pass
+    return out

@@ -1,0 +1,110 @@
+"""Hard-instance parameter maps: what Theorems 1 and 2 actually construct.
+
+For a target instance size ``n``, these helpers instantiate each proof's
+embedding family at the parameters the proofs choose (``d = gamma log n``,
+``q = sqrt(d)``, ``k = d``, ...), returning the concrete
+``(d, d2, s, cs, c, ratio)`` of the resulting hard join instance — the
+paper's "for intuition" discussion (hard instances distinguish nearly
+orthogonal from very nearly orthogonal vectors) made computable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.embeddings.chebyshev import scaled_chebyshev
+from repro.embeddings.chebyshev_pm1 import chebyshev_embedding_dims
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class HardInstanceParameters:
+    """Parameters of one hard (cs, s)-join instance produced by a proof."""
+
+    problem: str
+    n: int
+    d_ovp: int          # OVP dimension d = gamma log2 n
+    d_embedded: int     # join instance dimension d2
+    s: float
+    cs: float
+
+    @property
+    def c(self) -> float:
+        return self.cs / self.s if self.s else 0.0
+
+    @property
+    def ratio(self) -> float:
+        """The Theorem 2 quantity ``log(s/d2) / log(cs/d2)``."""
+        if self.cs <= 0:
+            return 0.0
+        return math.log(self.s / self.d_embedded) / math.log(self.cs / self.d_embedded)
+
+
+def _ovp_dimension(n: int, gamma: float) -> int:
+    if n < 16:
+        raise ParameterError(f"n must be >= 16, got {n}")
+    if gamma <= 0:
+        raise ParameterError(f"gamma must be positive, got {gamma}")
+    return max(8, math.ceil(gamma * math.log2(n)))
+
+
+def hard_instance_signed_pm1(n: int, gamma: float = 2.0) -> HardInstanceParameters:
+    """Theorem 1 item 1: the signed gadget at ``d = gamma log2 n``."""
+    d = _ovp_dimension(n, gamma)
+    return HardInstanceParameters(
+        problem="signed {-1,1}",
+        n=n, d_ovp=d, d_embedded=4 * d - 4, s=4.0, cs=0.0,
+    )
+
+
+def hard_instance_unsigned_pm1(
+    n: int, gamma: float = 2.0, q: int = None
+) -> HardInstanceParameters:
+    """Theorems 1/2 item on unsigned ±1: Chebyshev embedding at ``q = sqrt(d)``.
+
+    The proof of Theorem 2 takes ``q = sqrt(d)``; the resulting ratio is
+    ``1 - O(1/sqrt(d)) = 1 - o(1/sqrt(log n))`` for ``d = omega(log n)``.
+    """
+    d = _ovp_dimension(n, gamma)
+    if q is None:
+        q = max(1, round(math.sqrt(d)))
+    dims = chebyshev_embedding_dims(d, q)
+    s = scaled_chebyshev(q, 2.0 * d + 2.0, 2.0 * d)
+    return HardInstanceParameters(
+        problem="unsigned {-1,1}",
+        n=n, d_ovp=d, d_embedded=int(dims[-1]), s=float(s), cs=float((2 * d) ** q),
+    )
+
+
+def hard_instance_unsigned_01(
+    n: int, gamma: float = 2.0, k: int = None
+) -> HardInstanceParameters:
+    """Theorems 1/2 on unsigned {0,1}: the chopped embedding at ``k = d``.
+
+    With ``k = d`` the output dimension is exactly ``2d`` and the ratio is
+    ``1 - Theta(1/d) = 1 - o(1/log n)`` — the regime where the paper notes
+    ``cs`` "ends up just barely omega(1)".
+    """
+    d = _ovp_dimension(n, gamma)
+    if k is None:
+        k = d
+    if not 1 <= k <= d:
+        raise ParameterError(f"need 1 <= k <= d = {d}, got k={k}")
+    size = -(-d // k)
+    n_chunks = -(-d // size)
+    d2 = n_chunks * (2 ** size)
+    return HardInstanceParameters(
+        problem="unsigned {0,1}",
+        n=n, d_ovp=d, d_embedded=int(d2), s=float(n_chunks), cs=float(n_chunks - 1),
+    )
+
+
+def hard_instance_table(n_values, gamma: float = 2.0):
+    """All three hard-instance parameter rows for each ``n``."""
+    rows = []
+    for n in n_values:
+        rows.append(hard_instance_signed_pm1(n, gamma))
+        rows.append(hard_instance_unsigned_pm1(n, gamma))
+        rows.append(hard_instance_unsigned_01(n, gamma))
+    return rows

@@ -1,0 +1,69 @@
+"""Bit-level helpers: packing binary vectors and binary index codecs.
+
+The OVP solvers pack {0,1} vectors into ``uint64`` words so that a pairwise
+orthogonality test costs ``d/64`` word operations, and the sketch recovery
+index of Section 4.3 addresses data structures by binary prefixes of vector
+indices; both codecs live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_binary, check_matrix
+
+WORD_BITS = 64
+
+
+def pack_binary_rows(X) -> np.ndarray:
+    """Pack the rows of a binary matrix into ``uint64`` words.
+
+    Returns an array of shape ``(n, ceil(d / 64))``; bit ``j`` of row ``i``
+    is stored in word ``j // 64`` at position ``j % 64``.
+    """
+    X = check_binary(check_matrix(X, "X", dtype=np.int64), "X")
+    n, d = X.shape
+    n_words = (d + WORD_BITS - 1) // WORD_BITS
+    padded = np.zeros((n, n_words * WORD_BITS), dtype=np.uint8)
+    padded[:, :d] = X.astype(np.uint8)
+    # np.packbits packs most-significant-bit first within bytes; the exact
+    # layout is irrelevant as long as it is consistent for both operands.
+    packed_bytes = np.packbits(padded, axis=1)
+    return packed_bytes.view(np.uint64).reshape(n, n_words)
+
+
+def packed_dot_is_zero(a_words: np.ndarray, b_words: np.ndarray) -> bool:
+    """Return True when the binary vectors behind the packed words are orthogonal."""
+    return not np.any(np.bitwise_and(a_words, b_words))
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Binary representation of ``value`` as an array of ``width`` bits, MSB first."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - k)) & 1 for k in range(width)], dtype=np.int64)
+
+
+def bits_to_int(bits) -> int:
+    """Inverse of :func:`int_to_bits` (MSB first)."""
+    out = 0
+    for b in np.asarray(bits, dtype=np.int64):
+        if b not in (0, 1):
+            raise ValueError("bits must be 0/1")
+        out = (out << 1) | int(b)
+    return out
+
+
+def prefixes(value: int, width: int):
+    """Yield the binary prefixes of ``value`` (MSB first) of lengths 1..width.
+
+    Used by the prefix recovery index: a vector with index ``value`` belongs
+    to the data structure of each of its binary prefixes.
+    """
+    bits = int_to_bits(value, width)
+    prefix = 0
+    for k in range(width):
+        prefix = (prefix << 1) | int(bits[k])
+        yield k + 1, prefix

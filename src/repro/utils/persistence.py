@@ -1,0 +1,69 @@
+"""Structure persistence: save and load built indexes and sketches.
+
+Index construction is the expensive step of every data structure in this
+library; persistence lets a user build once and query across processes.
+Objects are stored with pickle (they are plain numpy-holding Python
+objects with no open resources), wrapped with a header that records the
+library version so incompatible loads fail loudly instead of strangely.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.errors import ReproError
+
+#: Bumped when persisted layouts change incompatibly.
+FORMAT_VERSION = 1
+
+_MAGIC = b"repro-structure"
+
+
+class PersistenceError(ReproError):
+    """A structure file is missing, corrupt, or from an incompatible version."""
+
+
+def save_structure(obj, path) -> None:
+    """Serialize a built structure (index, sketch, engine) to ``path``."""
+    path = Path(path)
+    payload = {
+        "magic": _MAGIC,
+        "format_version": FORMAT_VERSION,
+        "type": type(obj).__name__,
+        "object": obj,
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_structure(path, expected_type: str = None):
+    """Load a structure saved by :func:`save_structure`.
+
+    Args:
+        path: file to read.
+        expected_type: optional class-name check (e.g. ``"BatchSignIndex"``)
+            so callers fail fast on the wrong file.
+
+    Note the standard pickle caveat: only load files you trust.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no structure file at {path}")
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise PersistenceError(f"corrupt structure file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise PersistenceError(f"{path} is not a repro structure file")
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"{path} uses format version {payload.get('format_version')}, "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    if expected_type is not None and payload.get("type") != expected_type:
+        raise PersistenceError(
+            f"{path} holds a {payload.get('type')}, expected {expected_type}"
+        )
+    return payload["object"]

@@ -1,0 +1,45 @@
+"""Random-number-generator plumbing.
+
+All randomized components of the library accept a ``seed`` argument that may
+be ``None`` (fresh entropy), an integer, or an existing
+:class:`numpy.random.Generator`.  Centralizing the coercion here keeps every
+constructor signature identical and reproducible runs one keyword away.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged, so stateful reuse
+    across components is possible when the caller wants correlated draws.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Independent child streams are required when a structure (for example a
+    multi-table LSH index) needs one generator per internal component but
+    must stay reproducible from a single user-facing seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh seed material from the generator.
+        seq = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4).tolist())
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

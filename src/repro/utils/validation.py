@@ -1,0 +1,104 @@
+"""Input validation helpers shared across the library.
+
+These functions normalize inputs into ``float64``/``int64`` numpy arrays and
+raise :class:`repro.errors.ValidationError` subclasses with messages that
+name the offending argument, so failures surface at API boundaries rather
+than deep inside numerical code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DomainError, ParameterError, ValidationError
+
+
+def check_vector(x, name: str = "x", dtype=np.float64) -> np.ndarray:
+    """Return ``x`` as a 1-d numpy array, raising on bad shape or non-finite
+    entries (see :func:`check_matrix` for why NaN/inf are rejected)."""
+    arr = np.asarray(x, dtype=dtype)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if np.issubdtype(arr.dtype, np.floating) and not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def check_matrix(x, name: str = "X", dtype=np.float64, allow_empty: bool = False) -> np.ndarray:
+    """Return ``x`` as a 2-d numpy array of shape (n, d).
+
+    Rejects NaN/inf entries for float dtypes: every algorithm in this
+    library silently corrupts under non-finite inputs (argmax of NaN
+    scores, hash of inf projections), so the failure must happen at the
+    API boundary.
+    """
+    arr = np.asarray(x, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if not allow_empty and (arr.shape[0] == 0 or arr.shape[1] == 0):
+        raise ValidationError(f"{name} must be non-empty, got shape {arr.shape}")
+    if np.issubdtype(arr.dtype, np.floating) and not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def check_binary(x, name: str = "x") -> np.ndarray:
+    """Validate that all entries of ``x`` lie in {0, 1}; return int64 array."""
+    arr = np.asarray(x)
+    if not np.isin(arr, (0, 1)).all():
+        raise DomainError(f"{name} must have entries in {{0, 1}}")
+    return arr.astype(np.int64)
+
+
+def check_sign(x, name: str = "x") -> np.ndarray:
+    """Validate that all entries of ``x`` lie in {-1, +1}; return int64 array."""
+    arr = np.asarray(x)
+    if not np.isin(arr, (-1, 1)).all():
+        raise DomainError(f"{name} must have entries in {{-1, +1}}")
+    return arr.astype(np.int64)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that a scalar parameter is strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ParameterError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_threshold(s: float, name: str = "s") -> float:
+    """Validate a join/search threshold ``s > 0``."""
+    return check_positive(s, name)
+
+
+def check_approximation_factor(c: float, name: str = "c") -> float:
+    """Validate an approximation factor ``0 < c < 1`` (paper's Definition 1)."""
+    c = float(c)
+    if not 0.0 < c < 1.0:
+        raise ParameterError(f"{name} must satisfy 0 < {name} < 1, got {c}")
+    return c
+
+
+def check_unit_ball(X: np.ndarray, radius: float = 1.0, name: str = "X", atol: float = 1e-9) -> np.ndarray:
+    """Validate that every row of ``X`` has Euclidean norm at most ``radius``."""
+    X = check_matrix(X, name)
+    norms = np.linalg.norm(X, axis=1)
+    worst = float(norms.max(initial=0.0))
+    if worst > radius + atol:
+        raise DomainError(
+            f"rows of {name} must lie in the ball of radius {radius}, "
+            f"but the largest norm is {worst:.6g}"
+        )
+    return X
+
+
+def require(condition: bool, message: str, error=ValidationError) -> None:
+    """Raise ``error(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise error(message)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_vectors(rng):
+    """A small batch of unit vectors (8 x 16)."""
+    X = rng.normal(size=(8, 16))
+    return X / np.linalg.norm(X, axis=1, keepdims=True)

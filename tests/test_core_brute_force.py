@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.core import JoinSpec, brute_force_join, brute_force_mips, brute_force_search
+
+
+class TestBruteForceJoin:
+    def test_exact_signed(self, rng):
+        P = rng.normal(size=(50, 8))
+        Q = rng.normal(size=(20, 8))
+        spec = JoinSpec(s=0.5)
+        result = brute_force_join(P, Q, spec)
+        ips = Q @ P.T
+        for i in range(20):
+            best = int(np.argmax(ips[i]))
+            if ips[i, best] >= 0.5:
+                assert result.matches[i] == best
+            else:
+                assert result.matches[i] is None
+
+    def test_exact_unsigned(self, rng):
+        P = rng.normal(size=(30, 6))
+        Q = rng.normal(size=(10, 6))
+        spec = JoinSpec(s=0.5, signed=False)
+        result = brute_force_join(P, Q, spec)
+        ips = np.abs(Q @ P.T)
+        for i in range(10):
+            best = int(np.argmax(ips[i]))
+            expected = best if ips[i, best] >= 0.5 else None
+            assert result.matches[i] == expected
+
+    def test_blocking_invariant(self, rng):
+        P = rng.normal(size=(37, 5))
+        Q = rng.normal(size=(23, 5))
+        spec = JoinSpec(s=0.3)
+        full = brute_force_join(P, Q, spec, block=1024)
+        blocked = brute_force_join(P, Q, spec, block=7)
+        assert full.matches == blocked.matches
+
+    def test_work_accounting(self, rng):
+        P = rng.normal(size=(10, 3))
+        Q = rng.normal(size=(4, 3))
+        result = brute_force_join(P, Q, JoinSpec(s=0.1))
+        assert result.inner_products_evaluated == 40
+
+    def test_cs_threshold_applied(self, rng):
+        P = np.array([[1.0, 0.0]])
+        Q = np.array([[0.6, 0.0]])
+        # Max inner product 0.6: below s=1 but above cs=0.5.
+        result = brute_force_join(P, Q, JoinSpec(s=1.0, c=0.5))
+        assert result.matches[0] == 0
+
+    def test_signed_ignores_negative(self):
+        P = np.array([[-1.0, 0.0]])
+        Q = np.array([[1.0, 0.0]])
+        assert brute_force_join(P, Q, JoinSpec(s=0.5)).matches[0] is None
+        assert brute_force_join(P, Q, JoinSpec(s=0.5, signed=False)).matches[0] == 0
+
+
+class TestBruteForceMIPS:
+    def test_signed_argmax(self, rng):
+        P = rng.normal(size=(40, 6))
+        q = rng.normal(size=6)
+        result = brute_force_mips(P, q)
+        assert result.index == int(np.argmax(P @ q))
+        assert abs(result.value - float((P @ q).max())) < 1e-12
+
+    def test_unsigned_argmax(self):
+        P = np.array([[1.0, 0.0], [-2.0, 0.0]])
+        q = np.array([1.0, 0.0])
+        result = brute_force_mips(P, q, signed=False)
+        assert result.index == 1
+        assert result.value == -2.0  # raw value reported
+
+
+class TestBruteForceSearch:
+    def test_hit(self):
+        P = np.array([[1.0, 0.0]])
+        assert brute_force_search(P, np.array([1.0, 0.0]), s=0.9) == 0
+
+    def test_miss(self):
+        P = np.array([[1.0, 0.0]])
+        assert brute_force_search(P, np.array([0.0, 1.0]), s=0.5) is None
+
+    def test_unsigned_hit_on_negative(self):
+        P = np.array([[-1.0, 0.0]])
+        q = np.array([1.0, 0.0])
+        assert brute_force_search(P, q, s=0.5) is None
+        assert brute_force_search(P, q, s=0.5, signed=False) == 0

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.core import JoinResult, JoinSpec
+from repro.core.problems import validate_join_inputs
+from repro.errors import ParameterError
+
+
+class TestJoinSpec:
+    def test_exact_spec(self):
+        spec = JoinSpec(s=2.0)
+        assert spec.c == 1.0 and spec.cs == 2.0
+
+    def test_approximate_spec(self):
+        spec = JoinSpec(s=2.0, c=0.5)
+        assert spec.cs == 1.0
+
+    def test_signed_satisfied(self):
+        spec = JoinSpec(s=2.0, c=0.5, signed=True)
+        assert spec.satisfied(1.0)
+        assert not spec.satisfied(-3.0)
+
+    def test_unsigned_satisfied(self):
+        spec = JoinSpec(s=2.0, c=0.5, signed=False)
+        assert spec.satisfied(-3.0)
+        assert not spec.satisfied(0.5)
+
+    def test_above_promise(self):
+        spec = JoinSpec(s=2.0, c=0.5)
+        assert spec.above_promise(2.0)
+        assert not spec.above_promise(1.5)
+
+    def test_bad_s(self):
+        with pytest.raises(ParameterError):
+            JoinSpec(s=0.0)
+
+    def test_bad_c(self):
+        with pytest.raises(ParameterError):
+            JoinSpec(s=1.0, c=1.5)
+
+
+class TestJoinResult:
+    def test_matched_count(self):
+        result = JoinResult(matches=[1, None, 3], spec=JoinSpec(s=1.0))
+        assert result.matched_count == 2
+
+    def test_recall_full(self):
+        spec = JoinSpec(s=1.0)
+        ref = JoinResult(matches=[1, 2, None], spec=spec)
+        mine = JoinResult(matches=[5, 2, None], spec=spec)
+        assert mine.recall_against(ref) == 1.0
+
+    def test_recall_partial(self):
+        spec = JoinSpec(s=1.0)
+        ref = JoinResult(matches=[1, 2], spec=spec)
+        mine = JoinResult(matches=[1, None], spec=spec)
+        assert mine.recall_against(ref) == 0.5
+
+    def test_recall_no_reference_matches(self):
+        spec = JoinSpec(s=1.0)
+        ref = JoinResult(matches=[None, None], spec=spec)
+        mine = JoinResult(matches=[None, 1], spec=spec)
+        assert mine.recall_against(ref) == 1.0
+
+    def test_recall_length_mismatch(self):
+        spec = JoinSpec(s=1.0)
+        with pytest.raises(ParameterError):
+            JoinResult(matches=[1], spec=spec).recall_against(
+                JoinResult(matches=[1, 2], spec=spec)
+            )
+
+
+class TestValidateJoinInputs:
+    def test_dimension_mismatch(self):
+        with pytest.raises(ParameterError):
+            validate_join_inputs(np.zeros((2, 3)), np.zeros((2, 4)))
+
+    def test_returns_float_matrices(self):
+        P, Q = validate_join_inputs([[1, 2]], [[3, 4]])
+        assert P.dtype == np.float64 and Q.shape == (1, 2)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.core import brute_force_search, cmips_via_search
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def data(rng):
+    P = rng.normal(size=(100, 8))
+    return P / np.linalg.norm(P, axis=1, keepdims=True)
+
+
+def oracle_for(P):
+    return lambda q, s: brute_force_search(P, q, s, signed=False)
+
+
+class TestCMIPSViaSearch:
+    def test_finds_within_factor_c(self, data, rng):
+        q = rng.normal(size=8); q /= np.linalg.norm(q)
+        opt = float(np.abs(data @ q).max())
+        result = cmips_via_search(oracle_for(data), q, s=2.0, c=0.5, gamma=0.01, data=data)
+        assert result is not None
+        assert abs(result.value) >= 0.5 * opt - 1e-9
+
+    def test_exact_oracle_gives_scaled_exactness(self, data, rng):
+        # With an exact oracle the first hit is within factor c of the max.
+        q = rng.normal(size=8)
+        result = cmips_via_search(oracle_for(data), q, s=5.0, c=0.9, gamma=0.01, data=data)
+        opt = float(np.abs(data @ q).max())
+        assert abs(result.value) >= 0.9 * opt - 1e-9
+
+    def test_value_nan_without_data(self, data, rng):
+        q = rng.normal(size=8)
+        result = cmips_via_search(oracle_for(data), q, s=2.0, c=0.5, gamma=0.01)
+        assert np.isnan(result.value)
+
+    def test_none_when_promise_violated(self):
+        # Oracle that never answers (empty dataset behaviour).
+        result = cmips_via_search(lambda q, s: None, np.ones(3), s=1.0, c=0.5, gamma=0.5)
+        assert result is None
+
+    def test_scale_count_bounded(self, data, rng):
+        calls = []
+
+        def counting_oracle(q, s):
+            calls.append(1)
+            return None
+
+        cmips_via_search(counting_oracle, rng.normal(size=8), s=1.0, c=0.5, gamma=0.125)
+        # log_{2}(1/0.125) = 3 scales plus the original.
+        assert len(calls) == 4
+
+    def test_parameter_validation(self, data):
+        oracle = oracle_for(data)
+        q = np.ones(8)
+        with pytest.raises(ParameterError):
+            cmips_via_search(oracle, q, s=1.0, c=1.5, gamma=0.1)
+        with pytest.raises(ParameterError):
+            cmips_via_search(oracle, q, s=0.0, c=0.5, gamma=0.1)
+        with pytest.raises(ParameterError):
+            cmips_via_search(oracle, q, s=1.0, c=0.5, gamma=2.0)

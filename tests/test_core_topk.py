@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.core import JoinSpec, join_topk, lsh_join_topk, topk_recall
+from repro.datasets import planted_mips
+from repro.errors import ParameterError
+from repro.lsh import BatchSignIndex, DataDepALSH
+
+
+class TestJoinTopK:
+    def test_exact_topk_order_and_threshold(self, rng):
+        P = rng.normal(size=(30, 6))
+        Q = rng.normal(size=(5, 6))
+        spec = JoinSpec(s=0.5, c=0.5)
+        results = join_topk(P, Q, spec, k=3)
+        for qi, matches in enumerate(results):
+            assert len(matches) <= 3
+            values = [float(P[m] @ Q[qi]) for m in matches]
+            assert all(v >= spec.cs for v in values)
+            assert values == sorted(values, reverse=True)
+
+    def test_k_one_matches_best(self, rng):
+        P = rng.normal(size=(30, 6))
+        Q = rng.normal(size=(4, 6))
+        spec = JoinSpec(s=0.01)
+        results = join_topk(P, Q, spec, k=1)
+        ips = Q @ P.T
+        for qi, matches in enumerate(results):
+            if matches:
+                assert matches[0] == int(np.argmax(ips[qi]))
+
+    def test_unsigned_variant(self):
+        P = np.array([[1.0, 0.0], [-2.0, 0.0], [0.0, 1.0]])
+        Q = np.array([[1.0, 0.0]])
+        spec = JoinSpec(s=0.5, signed=False)
+        results = join_topk(P, Q, spec, k=5)
+        assert results[0] == [1, 0]  # |-2| > |1|, 0.0 excluded
+
+    def test_blocked_matches_unblocked(self, rng):
+        P = rng.normal(size=(25, 5))
+        Q = rng.normal(size=(9, 5))
+        spec = JoinSpec(s=0.2, c=0.7)
+        assert join_topk(P, Q, spec, 4, block=3) == join_topk(P, Q, spec, 4)
+
+    def test_bad_k(self, rng):
+        P = rng.normal(size=(5, 3))
+        with pytest.raises(ParameterError):
+            join_topk(P, P, JoinSpec(s=1.0), k=0)
+
+
+class TestLSHJoinTopK:
+    def test_with_generic_family(self):
+        inst = planted_mips(300, 10, 24, s=0.85, c=0.4, seed=0)
+        spec = JoinSpec(s=inst.s, c=0.4)
+        exact = join_topk(inst.P, inst.Q, spec, k=3)
+        approx = lsh_join_topk(
+            inst.P, inst.Q, spec, k=3,
+            family=DataDepALSH(24, sphere="hyperplane"),
+            n_tables=14, hashes_per_table=6, seed=1,
+        )
+        assert topk_recall(approx, exact) >= 0.6
+
+    def test_with_batch_index(self):
+        inst = planted_mips(300, 10, 24, s=0.85, c=0.4, seed=2)
+        spec = JoinSpec(s=inst.s, c=0.4)
+        idx = BatchSignIndex.for_datadep(
+            24, n_tables=16, bits_per_table=8, seed=3
+        ).build(inst.P)
+        exact = join_topk(inst.P, inst.Q, spec, k=3)
+        approx = lsh_join_topk(inst.P, inst.Q, spec, k=3, index=idx)
+        assert topk_recall(approx, exact) >= 0.6
+
+    def test_requires_family_or_index(self, rng):
+        P = rng.normal(size=(5, 3))
+        with pytest.raises(ParameterError):
+            lsh_join_topk(P, P, JoinSpec(s=1.0), k=2)
+
+
+class TestTopKRecall:
+    def test_perfect(self):
+        assert topk_recall([[1, 2]], [[2, 1]]) == 1.0
+
+    def test_partial(self):
+        assert topk_recall([[1]], [[1, 2]]) == 0.5
+
+    def test_empty_reference_ignored(self):
+        assert topk_recall([[1], []], [[1], []]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            topk_recall([[1]], [[1], [2]])

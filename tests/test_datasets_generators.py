@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    random_binary,
+    random_gaussian,
+    random_sign,
+    random_sparse_binary,
+    random_unit,
+)
+from repro.errors import ParameterError
+
+
+class TestRandomBinary:
+    def test_shape_and_domain(self):
+        X = random_binary(10, 20, seed=0)
+        assert X.shape == (10, 20)
+        assert set(np.unique(X)) <= {0, 1}
+
+    def test_density_respected(self):
+        X = random_binary(200, 200, density=0.1, seed=0)
+        assert 0.05 < X.mean() < 0.15
+
+    def test_density_zero(self):
+        assert random_binary(5, 5, density=0.0, seed=0).sum() == 0
+
+    def test_density_one(self):
+        assert random_binary(5, 5, density=1.0, seed=0).sum() == 25
+
+    def test_bad_density(self):
+        with pytest.raises(ParameterError):
+            random_binary(5, 5, density=1.5)
+
+    def test_bad_shape(self):
+        with pytest.raises(ParameterError):
+            random_binary(0, 5)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(random_binary(5, 5, seed=3), random_binary(5, 5, seed=3))
+
+
+class TestRandomSparseBinary:
+    def test_exact_row_weight(self):
+        X = random_sparse_binary(20, 30, ones_per_row=7, seed=0)
+        np.testing.assert_array_equal(X.sum(axis=1), np.full(20, 7))
+
+    def test_weight_bounds(self):
+        with pytest.raises(ParameterError):
+            random_sparse_binary(5, 10, ones_per_row=11)
+        with pytest.raises(ParameterError):
+            random_sparse_binary(5, 10, ones_per_row=0)
+
+
+class TestRandomSign:
+    def test_domain(self):
+        X = random_sign(10, 10, seed=0)
+        assert set(np.unique(X)) <= {-1, 1}
+
+    def test_mean_near_zero(self):
+        assert abs(random_sign(100, 100, seed=0).mean()) < 0.05
+
+
+class TestRandomUnit:
+    def test_unit_norms(self):
+        X = random_unit(50, 8, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(X, axis=1), 1.0, atol=1e-12)
+
+    def test_direction_spread(self):
+        X = random_unit(500, 3, seed=0)
+        assert np.abs(X.mean(axis=0)).max() < 0.1
+
+
+class TestRandomGaussian:
+    def test_scale(self):
+        X = random_gaussian(500, 50, scale=2.0, seed=0)
+        assert 1.9 < X.std() < 2.1
+
+    def test_shape(self):
+        assert random_gaussian(3, 4, seed=0).shape == (3, 4)

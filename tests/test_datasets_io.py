@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    load_vectors,
+    normalize_rows,
+    normalize_to_unit_ball,
+    save_vectors,
+)
+from repro.errors import ValidationError
+
+
+class TestLoadSave:
+    def test_npy_roundtrip(self, tmp_path, rng):
+        X = rng.normal(size=(6, 4))
+        save_vectors(tmp_path / "x.npy", X)
+        np.testing.assert_allclose(load_vectors(tmp_path / "x.npy"), X)
+
+    def test_csv_roundtrip(self, tmp_path, rng):
+        X = rng.normal(size=(6, 4))
+        save_vectors(tmp_path / "x.csv", X)
+        np.testing.assert_allclose(load_vectors(tmp_path / "x.csv"), X, atol=1e-12)
+
+    def test_csv_with_header(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b,c\n1,2,3\n4,5,6\n")
+        np.testing.assert_array_equal(
+            load_vectors(path), [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]
+        )
+
+    def test_csv_whitespace_separated(self, tmp_path):
+        path = tmp_path / "w.csv"
+        path.write_text("1 2 3\n4 5 6\n")
+        assert load_vectors(path).shape == (2, 3)
+
+    def test_csv_single_row(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("1,2,3\n")
+        assert load_vectors(path).shape == (1, 3)
+
+    def test_npz_single_array(self, tmp_path, rng):
+        X = rng.normal(size=(3, 2))
+        np.savez(tmp_path / "x.npz", data=X)
+        np.testing.assert_allclose(load_vectors(tmp_path / "x.npz"), X)
+
+    def test_npz_needs_key_when_ambiguous(self, tmp_path, rng):
+        np.savez(tmp_path / "two.npz", a=rng.normal(size=(2, 2)), b=rng.normal(size=(2, 2)))
+        with pytest.raises(ValidationError, match="npz_key"):
+            load_vectors(tmp_path / "two.npz")
+        assert load_vectors(tmp_path / "two.npz", npz_key="a").shape == (2, 2)
+
+    def test_npz_wrong_key(self, tmp_path, rng):
+        np.savez(tmp_path / "one.npz", a=rng.normal(size=(2, 2)))
+        with pytest.raises(ValidationError, match="no array named"):
+            load_vectors(tmp_path / "one.npz", npz_key="zzz")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no dataset"):
+            load_vectors(tmp_path / "nope.csv")
+
+    def test_unsupported_extension(self, tmp_path):
+        (tmp_path / "x.parquet").write_bytes(b"")
+        with pytest.raises(ValidationError, match="unsupported"):
+            load_vectors(tmp_path / "x.parquet")
+        with pytest.raises(ValidationError, match="unsupported"):
+            save_vectors(tmp_path / "x.parquet", np.ones((1, 1)))
+
+
+class TestNormalization:
+    def test_unit_ball(self, rng):
+        X = rng.normal(size=(10, 4)) * 7
+        Y = normalize_to_unit_ball(X)
+        assert abs(np.linalg.norm(Y, axis=1).max() - 1.0) < 1e-12
+
+    def test_unit_ball_margin(self, rng):
+        X = rng.normal(size=(10, 4))
+        Y = normalize_to_unit_ball(X, margin=0.1)
+        assert abs(np.linalg.norm(Y, axis=1).max() - 0.9) < 1e-12
+
+    def test_unit_ball_rejects_zeros(self):
+        with pytest.raises(ValidationError):
+            normalize_to_unit_ball(np.zeros((2, 3)))
+
+    def test_unit_ball_bad_margin(self, rng):
+        with pytest.raises(ValidationError):
+            normalize_to_unit_ball(rng.normal(size=(2, 2)), margin=1.0)
+
+    def test_rows(self, rng):
+        Y = normalize_rows(rng.normal(size=(5, 3)))
+        np.testing.assert_allclose(np.linalg.norm(Y, axis=1), 1.0)
+
+    def test_rows_reject_zero_row(self, rng):
+        X = rng.normal(size=(3, 3))
+        X[1] = 0
+        with pytest.raises(ValidationError):
+            normalize_rows(X)

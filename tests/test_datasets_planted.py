@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.datasets import planted_mips, planted_ovp
+from repro.errors import ParameterError
+
+
+class TestPlantedOVP:
+    def test_planted_pair_is_orthogonal(self):
+        inst = planted_ovp(30, 24, planted=True, seed=0)
+        i, j = inst.planted_pair
+        assert inst.is_orthogonal(i, j)
+
+    def test_unplanted_has_no_pair(self):
+        inst = planted_ovp(30, 40, planted=False, seed=1)
+        assert inst.planted_pair is None
+        assert not (inst.P @ inst.Q.T == 0).any()
+
+    def test_unbalanced_sizes(self):
+        inst = planted_ovp(50, 24, planted=True, n_p=10, seed=2)
+        assert inst.n_p == 10 and inst.n_q == 50
+
+    def test_no_zero_rows(self):
+        inst = planted_ovp(40, 24, planted=False, seed=3)
+        assert (inst.P.sum(axis=1) > 0).all()
+        assert (inst.Q.sum(axis=1) > 0).all()
+
+    def test_rejects_tiny_dimension(self):
+        with pytest.raises(ParameterError):
+            planted_ovp(10, 1)
+
+    def test_reproducible(self):
+        a = planted_ovp(20, 24, seed=7)
+        b = planted_ovp(20, 24, seed=7)
+        np.testing.assert_array_equal(a.P, b.P)
+        np.testing.assert_array_equal(a.Q, b.Q)
+
+
+class TestPlantedMIPS:
+    def test_planted_answers_reach_threshold(self):
+        inst = planted_mips(200, 10, 32, s=0.8, c=0.5, seed=0)
+        ips = inst.P[inst.answers] @ inst.Q.T
+        diag = ips[np.arange(10), np.arange(10)]
+        assert (diag >= inst.s - 1e-9).all()
+
+    def test_bulk_below_cs(self):
+        inst = planted_mips(200, 10, 32, s=0.8, c=0.5, seed=0)
+        ips = inst.P @ inst.Q.T
+        mask = np.ones_like(ips, dtype=bool)
+        mask[inst.answers, np.arange(10)] = False
+        assert np.abs(ips[mask]).max() < inst.cs
+
+    def test_data_in_unit_ball(self):
+        inst = planted_mips(100, 5, 16, seed=1)
+        assert np.linalg.norm(inst.P, axis=1).max() <= 1.0 + 1e-9
+
+    def test_queries_unit_norm(self):
+        inst = planted_mips(100, 5, 16, seed=1)
+        np.testing.assert_allclose(np.linalg.norm(inst.Q, axis=1), 1.0, atol=1e-9)
+
+    def test_tight_gap_still_separates(self):
+        inst = planted_mips(300, 8, 24, s=0.7, c=0.8, seed=2)
+        ips = inst.P @ inst.Q.T
+        mask = np.ones_like(ips, dtype=bool)
+        mask[inst.answers, np.arange(8)] = False
+        assert np.abs(ips[mask]).max() < inst.cs
+
+    def test_rejects_more_queries_than_data(self):
+        with pytest.raises(ParameterError):
+            planted_mips(5, 10, 16)
+
+    def test_rejects_bad_s(self):
+        with pytest.raises(ParameterError):
+            planted_mips(10, 2, 16, s=1.5)
+
+    def test_properties(self):
+        inst = planted_mips(50, 4, 12, seed=3)
+        assert inst.n == 50 and inst.d == 12

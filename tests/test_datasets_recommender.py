@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.datasets import latent_factor_model
+from repro.errors import ParameterError
+
+
+class TestLatentFactorModel:
+    def test_shapes(self):
+        model = latent_factor_model(20, 50, rank=8, seed=0)
+        assert model.users.shape == (20, 8)
+        assert model.items.shape == (50, 8)
+        assert model.rank == 8
+        assert model.n_users == 20 and model.n_items == 50
+
+    def test_users_unit_norm(self):
+        model = latent_factor_model(10, 10, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(model.users, axis=1), 1.0)
+
+    def test_items_in_unit_ball(self):
+        model = latent_factor_model(10, 100, popularity_skew=1.0, seed=0)
+        assert np.linalg.norm(model.items, axis=1).max() <= 1.0 + 1e-9
+
+    def test_skew_spreads_norms(self):
+        flat = latent_factor_model(5, 200, popularity_skew=0.0, seed=1)
+        skewed = latent_factor_model(5, 200, popularity_skew=1.0, seed=1)
+        assert np.linalg.norm(flat.items, axis=1).std() < 1e-9
+        assert np.linalg.norm(skewed.items, axis=1).std() > 0.05
+
+    def test_preference_matches_inner_product(self):
+        model = latent_factor_model(4, 6, rank=3, seed=2)
+        np.testing.assert_allclose(
+            model.preference(1), model.items @ model.users[1]
+        )
+
+    def test_top_items_sorted(self):
+        model = latent_factor_model(3, 30, seed=3)
+        top = model.top_items(0, k=5)
+        prefs = model.preference(0)
+        assert len(top) == 5
+        assert (np.diff(prefs[top]) <= 1e-12).all()
+        assert prefs[top[0]] == prefs.max()
+
+    def test_top_items_k_exceeds_items(self):
+        model = latent_factor_model(2, 5, seed=4)
+        assert len(model.top_items(0, k=50)) == 5
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            latent_factor_model(0, 5)
+        with pytest.raises(ParameterError):
+            latent_factor_model(5, 5, popularity_skew=-1)

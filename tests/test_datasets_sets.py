@@ -1,0 +1,43 @@
+import numpy as np
+import pytest
+
+from repro.datasets import zipfian_sets
+from repro.errors import ParameterError
+
+
+class TestZipfianSets:
+    def test_shape_and_domain(self):
+        X = zipfian_sets(30, 100, mean_size=10, seed=0)
+        assert X.shape == (30, 100)
+        assert set(np.unique(X)) <= {0, 1}
+
+    def test_no_empty_sets(self):
+        X = zipfian_sets(50, 60, mean_size=1, seed=1)
+        assert (X.sum(axis=1) >= 1).all()
+
+    def test_mean_size_roughly_respected(self):
+        X = zipfian_sets(300, 500, mean_size=20, seed=2)
+        assert 15 < X.sum(axis=1).mean() < 25
+
+    def test_skew_towards_low_ranks(self):
+        X = zipfian_sets(500, 200, mean_size=10, exponent=1.5, seed=3)
+        first_half = X[:, :100].sum()
+        second_half = X[:, 100:].sum()
+        assert first_half > 2 * second_half
+
+    def test_set_sizes_capped_at_universe(self):
+        X = zipfian_sets(20, 10, mean_size=10, seed=4)
+        assert X.sum(axis=1).max() <= 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0, "universe": 10, "mean_size": 2},
+            {"n": 5, "universe": 1, "mean_size": 1},
+            {"n": 5, "universe": 10, "mean_size": 0},
+            {"n": 5, "universe": 10, "mean_size": 2, "exponent": 0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            zipfian_sets(**kwargs)

@@ -1,0 +1,100 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.embeddings.chebyshev import (
+    chebyshev_growth_exact,
+    chebyshev_growth_lower_bound,
+    chebyshev_t,
+    chebyshev_t_recurrence,
+    chebyshev_t_vector,
+    growth_bound_valid,
+    scaled_chebyshev,
+)
+from repro.errors import ParameterError
+
+
+class TestChebyshevValues:
+    @pytest.mark.parametrize("x", [-1.0, -0.5, 0.0, 0.3, 1.0])
+    def test_t0_is_one(self, x):
+        assert chebyshev_t(0, x) == 1.0
+
+    @pytest.mark.parametrize("x", [-2.0, -0.5, 0.0, 1.0, 3.0])
+    def test_t1_is_identity(self, x):
+        assert abs(chebyshev_t(1, x) - x) < 1e-12
+
+    def test_t2_closed_form(self):
+        for x in (-1.5, 0.2, 2.0):
+            assert abs(chebyshev_t(2, x) - (2 * x * x - 1)) < 1e-9
+
+    @pytest.mark.parametrize("q", [0, 1, 2, 3, 5, 8])
+    def test_recurrence_matches_closed_form(self, q):
+        for x in (-1.2, -0.7, 0.0, 0.9, 1.4):
+            assert abs(chebyshev_t(q, x) - chebyshev_t_recurrence(q, x)) < 1e-6
+
+    @pytest.mark.parametrize("q", [1, 3, 7])
+    def test_bounded_on_unit_interval(self, q):
+        xs = np.linspace(-1, 1, 101)
+        assert np.all(np.abs(chebyshev_t_vector(q, xs)) <= 1.0 + 1e-12)
+
+    def test_negative_q_raises(self):
+        with pytest.raises(ParameterError):
+            chebyshev_t(-1, 0.5)
+
+
+class TestGrowthBound:
+    @pytest.mark.parametrize("q", [1, 2, 5, 10, 20])
+    @pytest.mark.parametrize("eps", [0.01, 0.1, 0.3, 0.49])
+    def test_exact_growth_matches_t(self, q, eps):
+        assert abs(chebyshev_t(q, 1.0 + eps) - chebyshev_growth_exact(q, eps)) < 1e-6
+
+    @pytest.mark.parametrize("q", [1, 2, 5, 10, 20])
+    @pytest.mark.parametrize("eps", [0.01, 0.1, 0.3, 0.49])
+    def test_paper_bound_holds_when_valid(self, q, eps):
+        # The paper's e^{q sqrt(eps)} is an asymptotic statement; the
+        # validity predicate tells exactly when it kicks in.
+        if growth_bound_valid(q, eps):
+            assert chebyshev_t(q, 1.0 + eps) >= chebyshev_growth_lower_bound(q, eps)
+
+    def test_bound_eventually_valid(self):
+        # For every eps the bound becomes valid at finite q.
+        for eps in (0.01, 0.1, 0.3, 0.49):
+            assert any(growth_bound_valid(q, eps) for q in range(1, 200))
+
+    def test_validity_is_monotone_in_q(self):
+        eps = 0.1
+        states = [growth_bound_valid(q, eps) for q in range(1, 50)]
+        # Once valid, stays valid.
+        first_true = states.index(True)
+        assert all(states[first_true:])
+
+    def test_half_exponential_lower_bound_always(self):
+        # The provable-for-all-q bound: T_q(1+eps) >= e^{q acosh(1+eps)} / 2.
+        for q in (1, 2, 5, 10):
+            for eps in (0.01, 0.1, 0.3, 0.49):
+                floor = math.exp(q * math.acosh(1.0 + eps)) / 2.0
+                assert chebyshev_t(q, 1.0 + eps) >= floor - 1e-9
+
+    def test_bound_domain(self):
+        with pytest.raises(ParameterError):
+            chebyshev_growth_lower_bound(3, 0.6)
+        with pytest.raises(ParameterError):
+            chebyshev_growth_lower_bound(3, 0.0)
+
+
+class TestScaledChebyshev:
+    @pytest.mark.parametrize("q", [0, 1, 2, 4])
+    def test_matches_definition(self, q):
+        b, u = 6.0, 7.0
+        expected = (b ** q) * chebyshev_t(q, u / b)
+        assert abs(scaled_chebyshev(q, u, b) - expected) < 1e-6 * max(1, abs(expected))
+
+    def test_integer_valued_for_integer_inputs(self):
+        # b^q T_q(u/b) via the integer recurrence stays integral.
+        value = scaled_chebyshev(5, 10, 8)
+        assert value == round(value)
+
+    def test_bad_b(self):
+        with pytest.raises(ParameterError):
+            scaled_chebyshev(2, 1.0, 0.0)

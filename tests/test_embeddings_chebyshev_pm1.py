@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.embeddings import ChebyshevSignEmbedding
+from repro.embeddings.chebyshev import chebyshev_t
+from repro.embeddings.chebyshev_pm1 import chebyshev_embedding_dims
+from repro.errors import CapacityError, ParameterError
+
+
+class TestDimensions:
+    def test_recurrence_values(self):
+        dims = chebyshev_embedding_dims(8, 3)
+        base = 4 * 8 + 2
+        assert dims[0] == 1
+        assert dims[1] == base
+        assert dims[2] == 2 * base * base + 256
+        assert dims[3] == 2 * base * dims[2] + 256 * dims[1]
+
+    @pytest.mark.parametrize("d", [8, 10, 16])
+    @pytest.mark.parametrize("q", [1, 2, 3])
+    def test_paper_dimension_bound(self, d, q):
+        # D_q <= (9d)^q for d >= 8 (Lemma 3).
+        assert chebyshev_embedding_dims(d, q)[-1] <= (9 * d) ** q
+
+    def test_capacity_guard(self):
+        with pytest.raises(CapacityError):
+            ChebyshevSignEmbedding(d=32, q=5)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            ChebyshevSignEmbedding(d=1, q=2)
+        with pytest.raises(ParameterError):
+            ChebyshevSignEmbedding(d=8, q=0)
+
+
+class TestGapParameters:
+    def test_s_and_cs(self):
+        emb = ChebyshevSignEmbedding(d=8, q=2)
+        assert emb.cs == 16.0 ** 2
+        assert abs(emb.s - 16.0 ** 2 * chebyshev_t(2, 1.0 + 1.0 / 8)) < 1e-9
+
+    def test_gap_grows_with_q(self):
+        ratios = [
+            ChebyshevSignEmbedding(d=8, q=q).s / ChebyshevSignEmbedding(d=8, q=q).cs
+            for q in (1, 2, 3)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_growth_exact(self):
+        # s / cs = T_q(1 + 1/d) = cosh(q acosh(1 + 1/d)) exactly.
+        import math
+        emb = ChebyshevSignEmbedding(d=9, q=3)
+        assert abs(emb.s / emb.cs - math.cosh(3 * math.acosh(1 + 1 / 9))) < 1e-9
+
+
+class TestEmbeddedVectors:
+    @pytest.fixture
+    def emb(self):
+        return ChebyshevSignEmbedding(d=6, q=2)
+
+    def test_output_is_pm1(self, emb, rng):
+        x = rng.integers(0, 2, 6)
+        left = emb.embed_left(x)
+        right = emb.embed_right(x)
+        assert set(np.unique(left)) <= {-1.0, 1.0}
+        assert set(np.unique(right)) <= {-1.0, 1.0}
+        assert left.size == right.size == emb.d_out
+
+    def test_inner_product_matches_closed_form(self, emb, rng):
+        for _ in range(30):
+            x = rng.integers(0, 2, 6)
+            y = rng.integers(0, 2, 6)
+            value = emb.embed_left(x) @ emb.embed_right(y)
+            assert abs(value - emb.embedded_inner_product(int(x @ y))) < 1e-6
+
+    def test_gap_holds(self, emb, rng):
+        for _ in range(30):
+            x = rng.integers(0, 2, 6)
+            y = rng.integers(0, 2, 6)
+            assert emb.gap_holds(x, y)
+
+    def test_orthogonal_pair_above_s(self, emb):
+        x = np.array([1, 1, 1, 0, 0, 0])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        value = abs(emb.embed_left(x) @ emb.embed_right(y))
+        assert value >= emb.s - 1e-9
+
+    def test_q3_consistency(self, rng):
+        emb = ChebyshevSignEmbedding(d=4, q=3)
+        x = rng.integers(0, 2, 4)
+        y = rng.integers(0, 2, 4)
+        value = emb.embed_left(x) @ emb.embed_right(y)
+        assert abs(value - emb.embedded_inner_product(int(x @ y))) < 1e-6
+
+    def test_base_inner_product_formula(self):
+        emb = ChebyshevSignEmbedding(d=5, q=1)
+        # q=1 embeds the base gadget directly: u(t) = 2d + 2 - 4t.
+        x = np.array([1, 1, 0, 0, 0])
+        y = np.array([1, 0, 0, 0, 0])
+        value = emb.embed_left(x) @ emb.embed_right(y)
+        assert value == emb.base_inner_product(1)
+
+    def test_wrong_dimension(self, emb):
+        with pytest.raises(ParameterError):
+            emb.embed_left(np.zeros(3, dtype=int))

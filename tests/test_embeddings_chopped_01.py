@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+
+from repro.embeddings import ChoppedBinaryEmbedding
+from repro.embeddings.chopped_01 import chunk_boundaries
+from repro.errors import CapacityError, ParameterError
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert chunk_boundaries(12, 4) == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_uneven_split_last_shorter(self):
+        assert chunk_boundaries(10, 4) == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_k_equals_d(self):
+        assert chunk_boundaries(5, 5) == [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+    def test_k_one(self):
+        assert chunk_boundaries(5, 1) == [(0, 5)]
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            chunk_boundaries(5, 6)
+        with pytest.raises(ParameterError):
+            chunk_boundaries(5, 0)
+
+
+class TestParameters:
+    def test_dimension_formula(self):
+        emb = ChoppedBinaryEmbedding(d=12, k=4)
+        assert emb.d_out == 4 * 2 ** 3
+
+    def test_dimension_bound(self):
+        # d2 <= k * 2^{ceil(d/k)}.
+        for d, k in ((10, 3), (16, 4), (7, 7)):
+            emb = ChoppedBinaryEmbedding(d=d, k=k)
+            assert emb.d_out <= k * 2 ** (-(-d // k))
+
+    def test_gap_values(self):
+        emb = ChoppedBinaryEmbedding(d=12, k=4)
+        assert emb.s == 4.0 and emb.cs == 3.0
+
+    def test_k_equals_d_gives_2d_dims(self):
+        emb = ChoppedBinaryEmbedding(d=9, k=9)
+        assert emb.d_out == 18  # the Theorem 2 parametrization
+
+    def test_capacity_guard(self):
+        with pytest.raises(CapacityError):
+            ChoppedBinaryEmbedding(d=40, k=1)
+
+
+class TestEmbeddedVectors:
+    @pytest.fixture
+    def emb(self):
+        return ChoppedBinaryEmbedding(d=12, k=4)
+
+    def test_output_is_binary(self, emb, rng):
+        x = rng.integers(0, 2, 12)
+        assert set(np.unique(emb.embed_left(x))) <= {0.0, 1.0}
+        assert set(np.unique(emb.embed_right(x))) <= {0.0, 1.0}
+
+    def test_inner_product_counts_clean_chunks(self, emb, rng):
+        for _ in range(50):
+            x = rng.integers(0, 2, 12)
+            y = rng.integers(0, 2, 12)
+            value = emb.embed_left(x) @ emb.embed_right(y)
+            assert value == emb.embedded_inner_product(x, y)
+
+    def test_orthogonal_reaches_k(self, emb):
+        x = np.zeros(12, dtype=int); x[::2] = 1
+        y = np.zeros(12, dtype=int); y[1::2] = 1
+        assert emb.embed_left(x) @ emb.embed_right(y) == 4.0
+
+    def test_single_overlap_loses_one_chunk(self, emb):
+        x = np.zeros(12, dtype=int); x[0] = 1
+        y = np.zeros(12, dtype=int); y[0] = 1
+        assert emb.embed_left(x) @ emb.embed_right(y) == 3.0
+
+    def test_gap_holds(self, emb, rng):
+        for _ in range(50):
+            x = rng.integers(0, 2, 12)
+            y = rng.integers(0, 2, 12)
+            assert emb.gap_holds(x, y)
+
+    def test_full_product_k1(self):
+        emb = ChoppedBinaryEmbedding(d=8, k=1)
+        x = np.zeros(8, dtype=int); x[:4] = 1
+        y = np.zeros(8, dtype=int); y[4:] = 1
+        # Orthogonal: full product polynomial evaluates to 1.
+        assert emb.embed_left(x) @ emb.embed_right(y) == 1.0
+        y[0] = 1
+        assert emb.embed_left(x) @ emb.embed_right(y) == 0.0
+
+    def test_uneven_chunks_still_correct(self, rng):
+        emb = ChoppedBinaryEmbedding(d=11, k=3)
+        for _ in range(30):
+            x = rng.integers(0, 2, 11)
+            y = rng.integers(0, 2, 11)
+            assert emb.embed_left(x) @ emb.embed_right(y) == emb.embedded_inner_product(x, y)
+
+    def test_wrong_dimension(self, emb):
+        with pytest.raises(ParameterError):
+            emb.embed_left(np.zeros(5, dtype=int))

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.embeddings import SymmetricSphereCompletion
+from repro.errors import DomainError
+
+
+@pytest.fixture(scope="module")
+def completion():
+    # Module-scoped: building the Reed-Solomon registry is not free.
+    return SymmetricSphereCompletion(eps=0.1, precision_bits=12)
+
+
+class TestSymmetricSphereCompletion:
+    def test_output_on_unit_sphere(self, completion, rng):
+        for _ in range(5):
+            x = rng.normal(size=4)
+            x *= rng.uniform(0, 0.99) / np.linalg.norm(x)
+            assert abs(np.linalg.norm(completion.embed(x)) - 1.0) < 1e-9
+
+    def test_inner_products_preserved_up_to_eps(self, completion, rng):
+        for _ in range(10):
+            p = rng.normal(size=4); p *= 0.8 / np.linalg.norm(p)
+            q = rng.normal(size=4); q *= 0.6 / np.linalg.norm(q)
+            fp, fq = completion.embed(p), completion.embed(q)
+            assert abs(fp @ fq - p @ q) <= completion.eps + 1e-9
+
+    def test_identical_vectors_map_identically(self, completion):
+        x = np.array([0.25, -0.5, 0.125, 0.0])
+        np.testing.assert_array_equal(completion.embed(x), completion.embed(x))
+
+    def test_self_inner_product_is_one(self, completion):
+        # The deliberate relaxation: f(p).f(p) = 1 even when p.p < 1.
+        x = np.array([0.25, 0.0, 0.0, 0.0])
+        f = completion.embed(x)
+        assert abs(f @ f - 1.0) < 1e-9
+        assert x @ x < 0.9
+
+    def test_symmetric_interface(self, completion):
+        x = np.array([0.1, 0.2, 0.3, 0.0])
+        np.testing.assert_array_equal(completion.embed_data(x), completion.embed_query(x))
+
+    def test_outside_ball_rejected(self, completion):
+        with pytest.raises(DomainError):
+            completion.embed(np.array([1.0, 1.0, 0.0, 0.0]))
+
+    def test_output_dimension(self, completion):
+        assert completion.output_dimension(4) == 4 + completion.registry.dimension
+
+    def test_batch(self, completion, rng):
+        X = rng.normal(size=(3, 4))
+        X *= 0.5 / np.linalg.norm(X, axis=1, keepdims=True)
+        out = completion.embed_many(X)
+        assert out.shape == (3, completion.output_dimension(4))
+
+    def test_quantization_merges_close_vectors(self):
+        coarse = SymmetricSphereCompletion(eps=0.2, precision_bits=2)
+        a = coarse.embed(np.array([0.5, 0.0]))
+        b = coarse.embed(np.array([0.51, 0.0]))
+        # At 2-bit precision 0.5 and 0.51 quantize to the same key, so the
+        # incoherent companions (the tails) coincide.
+        np.testing.assert_allclose(a[2:] / np.linalg.norm(a[2:]),
+                                   b[2:] / np.linalg.norm(b[2:]))

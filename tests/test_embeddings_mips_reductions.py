@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    L2ALSHTransform,
+    NeyshaburSrebroTransform,
+    SimpleLSHTransform,
+)
+from repro.errors import DomainError, ParameterError
+
+
+class TestNeyshaburSrebro:
+    @pytest.fixture
+    def transform(self):
+        return NeyshaburSrebroTransform(query_radius=2.0)
+
+    def test_outputs_unit_norm(self, transform, rng):
+        p = rng.normal(size=6); p /= 2 * np.linalg.norm(p)
+        q = rng.normal(size=6); q /= np.linalg.norm(q) / 1.5
+        assert abs(np.linalg.norm(transform.embed_data(p)) - 1) < 1e-9
+        assert abs(np.linalg.norm(transform.embed_query(q)) - 1) < 1e-9
+
+    def test_inner_product_scaled_by_u(self, transform, rng):
+        p = rng.normal(size=6); p /= 2 * np.linalg.norm(p)
+        q = rng.normal(size=6); q /= np.linalg.norm(q)
+        embedded = transform.embed_data(p) @ transform.embed_query(q)
+        assert abs(embedded - (p @ q) / 2.0) < 1e-9
+
+    def test_asymmetry(self, transform):
+        v = np.array([0.1, 0.2, 0.0, 0.0, 0.0, 0.0])
+        assert not np.allclose(transform.embed_data(v), transform.embed_query(v))
+
+    def test_data_outside_ball_rejected(self, transform):
+        with pytest.raises(DomainError):
+            transform.embed_data(np.full(4, 1.0))
+
+    def test_query_outside_ball_rejected(self, transform):
+        with pytest.raises(DomainError):
+            transform.embed_query(np.full(4, 2.0))
+
+    def test_output_dimension(self, transform):
+        assert transform.output_dimension(6) == 8
+
+    def test_batch_shapes(self, transform, rng):
+        P = rng.normal(size=(5, 6)); P /= 3 * np.linalg.norm(P, axis=1, keepdims=True)
+        assert transform.embed_data_many(P).shape == (5, 8)
+
+    def test_bad_radius(self):
+        with pytest.raises(ParameterError):
+            NeyshaburSrebroTransform(query_radius=0.0)
+
+    def test_scale_accessor(self, transform):
+        assert transform.inner_product_scale() == 0.5
+
+
+class TestSimpleLSHTransform:
+    @pytest.fixture
+    def transform(self):
+        return SimpleLSHTransform()
+
+    def test_preserves_inner_products(self, transform, rng):
+        p = rng.normal(size=5); p *= 0.4 / np.linalg.norm(p)
+        q = rng.normal(size=5); q /= np.linalg.norm(q)
+        embedded = transform.embed_data(p) @ transform.embed_query(q)
+        assert abs(embedded - p @ q) < 1e-9
+
+    def test_data_completion_unit_norm(self, transform):
+        p = np.array([0.3, 0.0, 0.0])
+        assert abs(np.linalg.norm(transform.embed_data(p)) - 1) < 1e-9
+
+    def test_query_must_be_unit(self, transform):
+        with pytest.raises(DomainError):
+            transform.embed_query(np.array([0.5, 0.0]))
+
+    def test_unit_data_gets_zero_tail(self, transform):
+        p = np.array([1.0, 0.0])
+        assert transform.embed_data(p)[-1] == 0.0
+
+
+class TestL2ALSH:
+    def test_output_dimension(self):
+        assert L2ALSHTransform(m=3).output_dimension(5) == 8
+
+    def test_norm_powers_appended(self):
+        t = L2ALSHTransform(m=3, max_norm_target=0.8)
+        x = np.array([0.6, 0.0])
+        out = t.embed_data(x, scale=1.0)
+        np.testing.assert_allclose(out[2:], [0.36, 0.36 ** 2, 0.36 ** 4])
+
+    def test_query_halves(self):
+        t = L2ALSHTransform(m=2)
+        out = t.embed_query(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(out, [0.6, 0.8, 0.5, 0.5])
+
+    def test_distance_formula(self, rng):
+        # |P(x) - Q(q)|^2 = 1 + m/4 - 2 x.q/|q| + |x|^{2^{m+1}} after scaling.
+        t = L2ALSHTransform(m=3, max_norm_target=0.8)
+        x = rng.normal(size=4); x *= 0.7 / np.linalg.norm(x)
+        q = rng.normal(size=4)
+        ex, eq = t.embed_data(x, scale=1.0), t.embed_query(q)
+        lhs = np.sum((ex - eq) ** 2)
+        norm_sq = float(x @ x)
+        rhs = 1 + 3 / 4 - 2 * (x @ q) / np.linalg.norm(q) + norm_sq ** (2 ** 3)
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_fit_scale_targets_max_norm(self, rng):
+        t = L2ALSHTransform(max_norm_target=0.83)
+        P = rng.normal(size=(10, 4))
+        scale = t.fit_scale(P)
+        assert abs(np.linalg.norm(P * scale, axis=1).max() - 0.83) < 1e-9
+
+    def test_monotone_in_inner_product(self, rng):
+        # Larger inner product => smaller embedded distance (fixed norms).
+        t = L2ALSHTransform(m=3)
+        q = np.array([1.0, 0.0])
+        near = np.array([0.7, 0.0])
+        far = np.array([0.0, 0.7])
+        d_near = np.sum((t.embed_data(near, 1.0) - t.embed_query(q)) ** 2)
+        d_far = np.sum((t.embed_data(far, 1.0) - t.embed_query(q)) ** 2)
+        assert d_near < d_far
+
+    def test_zero_query_rejected(self):
+        with pytest.raises(DomainError):
+            L2ALSHTransform().embed_query(np.zeros(3))
+
+    def test_scaled_data_must_fit_ball(self):
+        with pytest.raises(DomainError):
+            L2ALSHTransform().embed_data(np.array([2.0, 0.0]), scale=1.0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            L2ALSHTransform(m=0)
+        with pytest.raises(ParameterError):
+            L2ALSHTransform(max_norm_target=1.0)

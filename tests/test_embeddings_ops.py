@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.embeddings.ops import (
+    concat_maps,
+    concat_vectors,
+    constant_map,
+    identity_map,
+    repeat_map,
+    repeat_vector,
+    tensor_maps,
+    tensor_vectors,
+)
+from repro.errors import ParameterError
+
+
+class TestVectorOps:
+    def test_concat(self):
+        out = concat_vectors(np.array([1.0, 2.0]), np.array([3.0]))
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_tensor_shape(self):
+        assert tensor_vectors(np.ones(3), np.ones(4)).shape == (12,)
+
+    def test_tensor_inner_product_duality(self, rng):
+        x1, x2 = rng.normal(size=5), rng.normal(size=7)
+        y1, y2 = rng.normal(size=5), rng.normal(size=7)
+        lhs = tensor_vectors(x1, x2) @ tensor_vectors(y1, y2)
+        rhs = (x1 @ y1) * (x2 @ y2)
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_concat_inner_product_duality(self, rng):
+        x1, x2 = rng.normal(size=4), rng.normal(size=6)
+        y1, y2 = rng.normal(size=4), rng.normal(size=6)
+        lhs = concat_vectors(x1, x2) @ concat_vectors(y1, y2)
+        assert abs(lhs - (x1 @ y1 + x2 @ y2)) < 1e-9
+
+    def test_repeat_scales_inner_product(self, rng):
+        x, y = rng.normal(size=3), rng.normal(size=3)
+        lhs = repeat_vector(x, 5) @ repeat_vector(y, 5)
+        assert abs(lhs - 5 * (x @ y)) < 1e-9
+
+    def test_repeat_zero_times(self):
+        assert repeat_vector(np.ones(3), 0).size == 0
+
+    def test_repeat_negative_raises(self):
+        with pytest.raises(ParameterError):
+            repeat_vector(np.ones(3), -1)
+
+
+class TestPairMapCombinators:
+    def test_concat_maps_adds(self, rng):
+        m = concat_maps(identity_map(4), identity_map(4))
+        x, y = rng.normal(size=4), rng.normal(size=4)
+        lhs = m.embed_left(x) @ m.embed_right(y)
+        assert abs(lhs - 2 * (x @ y)) < 1e-9
+
+    def test_tensor_maps_multiplies(self, rng):
+        m = tensor_maps(identity_map(3), identity_map(3))
+        x, y = rng.normal(size=3), rng.normal(size=3)
+        lhs = m.embed_left(x) @ m.embed_right(y)
+        assert abs(lhs - (x @ y) ** 2) < 1e-9
+
+    def test_repeat_map_scales(self, rng):
+        m = repeat_map(identity_map(3), 4)
+        x, y = rng.normal(size=3), rng.normal(size=3)
+        assert abs(m.embed_left(x) @ m.embed_right(y) - 4 * (x @ y)) < 1e-9
+
+    def test_constant_map_translates(self, rng):
+        m = concat_maps(identity_map(3), constant_map(3, np.ones(5), -np.ones(5)))
+        x, y = rng.normal(size=3), rng.normal(size=3)
+        assert abs(m.embed_left(x) @ m.embed_right(y) - (x @ y - 5)) < 1e-9
+
+    def test_dims_tracked(self):
+        m = tensor_maps(identity_map(3), concat_maps(identity_map(3), identity_map(3)))
+        assert m.d_out == 18
+        assert m.d_in == 3
+
+    def test_mismatched_d_in_rejected(self):
+        with pytest.raises(ParameterError):
+            concat_maps(identity_map(3), identity_map(4))
+        with pytest.raises(ParameterError):
+            tensor_maps(identity_map(3), identity_map(4))
+
+    def test_empty_concat_rejected(self):
+        with pytest.raises(ParameterError):
+            concat_maps()
+
+    def test_constant_map_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            constant_map(3, np.ones(2), np.ones(3))
+
+    def test_wrong_input_dimension_raises(self):
+        m = identity_map(3)
+        with pytest.raises(ValueError):
+            m.embed_left(np.ones(4))
+
+    def test_batch_embedding(self, rng):
+        m = concat_maps(identity_map(3), identity_map(3))
+        X = rng.normal(size=(5, 3))
+        out = m.embed_left_many(X)
+        assert out.shape == (5, 6)

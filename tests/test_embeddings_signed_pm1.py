@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.datasets import random_binary
+from repro.embeddings import SignedCoordinateEmbedding
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def embedding():
+    return SignedCoordinateEmbedding(d=10)
+
+
+class TestParameters:
+    def test_dimensions(self, embedding):
+        assert embedding.d_in == 10
+        assert embedding.d_out == 36  # 4d - 4
+
+    def test_gap_parameters(self, embedding):
+        assert embedding.s == 4.0
+        assert embedding.cs == 0.0
+        assert embedding.c == 0.0
+
+    def test_is_signed(self, embedding):
+        assert embedding.signed
+
+    def test_minimum_dimension(self):
+        SignedCoordinateEmbedding(4)
+        with pytest.raises(ParameterError):
+            SignedCoordinateEmbedding(3)
+
+
+class TestOutputDomain:
+    def test_left_output_is_pm1(self, embedding, rng):
+        x = rng.integers(0, 2, 10)
+        assert set(np.unique(embedding.embed_left(x))) <= {-1.0, 1.0}
+
+    def test_right_output_is_pm1(self, embedding, rng):
+        y = rng.integers(0, 2, 10)
+        assert set(np.unique(embedding.embed_right(y))) <= {-1.0, 1.0}
+
+    def test_output_length(self, embedding, rng):
+        assert embedding.embed_left(rng.integers(0, 2, 10)).size == 36
+
+
+class TestGapGuarantee:
+    def test_orthogonal_pair_reaches_s(self, embedding):
+        x = np.zeros(10, dtype=int); x[:5] = 1
+        y = np.zeros(10, dtype=int); y[5:] = 1
+        value = embedding.embed_left(x) @ embedding.embed_right(y)
+        assert value == 4.0
+
+    def test_overlapping_pair_below_cs(self, embedding):
+        x = np.ones(10, dtype=int)
+        y = np.ones(10, dtype=int)
+        value = embedding.embed_left(x) @ embedding.embed_right(y)
+        assert value <= 0.0
+
+    def test_closed_form_matches(self, embedding, rng):
+        for _ in range(50):
+            x = rng.integers(0, 2, 10)
+            y = rng.integers(0, 2, 10)
+            value = embedding.embed_left(x) @ embedding.embed_right(y)
+            assert value == embedding.embedded_inner_product(int(x @ y))
+
+    def test_gap_holds_random(self, embedding, rng):
+        X = random_binary(40, 10, seed=rng)
+        Y = random_binary(40, 10, seed=rng)
+        for x, y in zip(X, Y):
+            assert embedding.gap_holds(x, y)
+
+    def test_minimal_dimension_instance(self):
+        emb = SignedCoordinateEmbedding(4)
+        x = np.array([1, 1, 0, 0]); y = np.array([0, 0, 1, 1])
+        assert emb.embed_left(x) @ emb.embed_right(y) == 4.0
+        assert emb.d_out == 12
+
+
+class TestValidation:
+    def test_wrong_dimension(self, embedding):
+        with pytest.raises(ParameterError):
+            embedding.embed_left(np.zeros(5, dtype=int))
+
+    def test_non_binary_input(self, embedding):
+        from repro.errors import DomainError
+        with pytest.raises(DomainError):
+            embedding.embed_left(np.full(10, 2))
+
+    def test_batch(self, embedding):
+        X = np.zeros((3, 10), dtype=int); X[:, 0] = 1
+        assert embedding.embed_left_many(X).shape == (3, 36)

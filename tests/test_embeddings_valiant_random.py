@@ -1,0 +1,105 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.embeddings.chebyshev import chebyshev_t
+from repro.embeddings.valiant_random import (
+    RandomizedChebyshevEmbedding,
+    chebyshev_coefficients,
+)
+from repro.errors import DomainError, ParameterError
+
+
+class TestChebyshevCoefficients:
+    def test_t0_t1(self):
+        np.testing.assert_array_equal(chebyshev_coefficients(0), [1])
+        np.testing.assert_array_equal(chebyshev_coefficients(1), [0, 1])
+
+    def test_t2_t3(self):
+        np.testing.assert_array_equal(chebyshev_coefficients(2), [-1, 0, 2])
+        np.testing.assert_array_equal(chebyshev_coefficients(3), [0, -3, 0, 4])
+
+    @pytest.mark.parametrize("q", [2, 4, 7])
+    def test_coefficients_evaluate_to_tq(self, q):
+        coeffs = chebyshev_coefficients(q)
+        for z in (-1.2, -0.3, 0.8, 1.5):
+            poly = sum(c * z ** j for j, c in enumerate(coeffs))
+            assert abs(poly - chebyshev_t(q, z)) < 1e-6
+
+    def test_negative_q(self):
+        with pytest.raises(ParameterError):
+            chebyshev_coefficients(-1)
+
+
+class TestRandomizedEmbedding:
+    def test_output_is_pm1(self, rng):
+        emb = RandomizedChebyshevEmbedding(d=16, q=3, b=32.0, m=200, seed=0)
+        x = rng.choice([-1, 1], size=16)
+        left = emb.embed_left(x)
+        right = emb.embed_right(x)
+        assert set(np.unique(left)) <= {-1.0, 1.0}
+        assert set(np.unique(right)) <= {-1.0, 1.0}
+
+    def test_unbiasedness(self, rng):
+        # Average of estimates over independent samplings approaches the
+        # exact value.
+        d, q, b = 12, 2, 24.0
+        x = rng.choice([-1, 1], size=d)
+        y = rng.choice([-1, 1], size=d)
+        exact = RandomizedChebyshevEmbedding(d, q, b, m=1, seed=0).exact_value(
+            float(x @ y)
+        )
+        estimates = [
+            RandomizedChebyshevEmbedding(d, q, b, m=400, seed=s).estimate(x, y)
+            for s in range(40)
+        ]
+        mean = float(np.mean(estimates))
+        std_bound = RandomizedChebyshevEmbedding(d, q, b, m=400, seed=0)
+        tolerance = 4 * std_bound.standard_deviation_bound / math.sqrt(40)
+        assert abs(mean - exact) <= tolerance
+
+    def test_variance_shrinks_with_m(self, rng):
+        d, q, b = 10, 2, 20.0
+        x = rng.choice([-1, 1], size=d)
+        y = rng.choice([-1, 1], size=d)
+        def spread(m):
+            vals = [
+                RandomizedChebyshevEmbedding(d, q, b, m=m, seed=s).estimate(x, y)
+                for s in range(30)
+            ]
+            return float(np.std(vals))
+        assert spread(1600) < spread(25)
+
+    def test_identical_vectors_track_maximum(self, rng):
+        # x = y gives u = d, the largest input; estimate should sit near
+        # the exact value relative to the std bound.
+        d, q, b = 10, 2, 20.0
+        x = rng.choice([-1, 1], size=d)
+        emb = RandomizedChebyshevEmbedding(d, q, b, m=2000, seed=1)
+        exact = emb.exact_value(float(d))
+        assert abs(emb.estimate(x, x) - exact) <= 4 * emb.standard_deviation_bound
+
+    def test_exact_value_matches_scaled_chebyshev(self):
+        emb = RandomizedChebyshevEmbedding(d=8, q=3, b=16.0, m=10, seed=2)
+        assert abs(emb.exact_value(10.0) - 16.0 ** 3 * chebyshev_t(3, 10.0 / 16.0)) < 1e-6
+
+    def test_requires_sign_vectors(self):
+        emb = RandomizedChebyshevEmbedding(d=4, q=2, b=8.0, m=10, seed=3)
+        with pytest.raises(DomainError):
+            emb.embed_left(np.array([0, 1, 1, 0]))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            RandomizedChebyshevEmbedding(d=0, q=2, b=1.0, m=10)
+        with pytest.raises(ParameterError):
+            RandomizedChebyshevEmbedding(d=4, q=0, b=1.0, m=10)
+        with pytest.raises(ParameterError):
+            RandomizedChebyshevEmbedding(d=4, q=2, b=-1.0, m=10)
+        with pytest.raises(ParameterError):
+            RandomizedChebyshevEmbedding(d=4, q=2, b=1.0, m=0)
+
+    def test_wrong_dimension(self, rng):
+        emb = RandomizedChebyshevEmbedding(d=4, q=2, b=8.0, m=10, seed=4)
+        with pytest.raises(ParameterError):
+            emb.embed_left(rng.choice([-1, 1], size=5))

@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.core import JoinSpec, brute_force_join, norm_pruned_join
+from repro.datasets import planted_mips
+from repro.errors import ParameterError
+from repro.evaluation import EvaluationRecord, evaluate_joins, evaluation_table
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_mips(200, 12, 24, s=0.85, c=0.4, seed=0)
+
+
+class TestEvaluateJoins:
+    def test_exact_algorithms_score_perfectly(self, instance):
+        spec = JoinSpec(s=instance.s, c=0.4)
+        records = evaluate_joins(
+            instance.P, instance.Q, spec,
+            {
+                "brute force": brute_force_join,
+                "norm pruned": norm_pruned_join,
+            },
+        )
+        for record in records:
+            assert record.recall == 1.0
+            assert record.sound
+            assert record.wall_seconds >= 0
+
+    def test_false_matches_flagged(self, instance):
+        spec = JoinSpec(s=instance.s, c=0.4)
+
+        def broken(P, Q, spec_):
+            # Claims index 0 for every query regardless of the values.
+            from repro.core.problems import JoinResult
+            return JoinResult(matches=[0] * Q.shape[0], spec=spec_)
+
+        records = evaluate_joins(instance.P, instance.Q, spec, {"broken": broken})
+        assert not records[0].sound
+        assert records[0].false_matches > 0
+
+    def test_wrong_answer_count_rejected(self, instance):
+        spec = JoinSpec(s=instance.s)
+
+        def truncated(P, Q, spec_):
+            from repro.core.problems import JoinResult
+            return JoinResult(matches=[None], spec=spec_)
+
+        with pytest.raises(ParameterError, match="answered"):
+            evaluate_joins(instance.P, instance.Q, spec, {"bad": truncated})
+
+    def test_empty_algorithms_rejected(self, instance):
+        with pytest.raises(ParameterError):
+            evaluate_joins(instance.P, instance.Q, JoinSpec(s=1.0), {})
+
+    def test_explicit_reference_used(self, instance):
+        spec = JoinSpec(s=instance.s, c=0.4)
+        reference = brute_force_join(instance.P, instance.Q, spec)
+        records = evaluate_joins(
+            instance.P, instance.Q, spec,
+            {"exact": brute_force_join},
+            reference=reference,
+        )
+        assert records[0].recall == 1.0
+
+    def test_table_rendering(self, instance):
+        spec = JoinSpec(s=instance.s, c=0.4)
+        records = evaluate_joins(
+            instance.P, instance.Q, spec, {"exact": brute_force_join}
+        )
+        text = evaluation_table(records)
+        assert "exact" in text and "recall" in text
+
+
+class TestNaNRejection:
+    def test_join_rejects_nan_data(self, instance):
+        P = instance.P.copy()
+        P[0, 0] = np.nan
+        with pytest.raises(Exception, match="NaN|finite"):
+            brute_force_join(P, instance.Q, JoinSpec(s=1.0))
+
+    def test_join_rejects_inf_query(self, instance):
+        Q = instance.Q.copy()
+        Q[0, 0] = np.inf
+        with pytest.raises(Exception, match="NaN|finite"):
+            brute_force_join(instance.P, Q, JoinSpec(s=1.0))
+
+    def test_vector_check_rejects_nan(self):
+        from repro.errors import ValidationError
+        from repro.utils.validation import check_vector
+        with pytest.raises(ValidationError, match="NaN"):
+            check_vector([1.0, np.nan])
+
+    def test_integer_matrices_unaffected(self):
+        from repro.utils.validation import check_matrix
+        out = check_matrix(np.ones((2, 2), dtype=np.int64), dtype=np.int64)
+        assert out.dtype == np.int64
+
+
+class TestConeTreeTopK:
+    def test_matches_exact_topk(self, rng):
+        from repro.mips import ConeTreeMIPS, ExactMIPS
+        P = rng.normal(size=(150, 8))
+        tree = ConeTreeMIPS(P, leaf_size=8, seed=0)
+        exact = ExactMIPS(P)
+        q = rng.normal(size=8)
+        mine = tree.top_k(q, 5)
+        theirs = exact.top_k(q, 5)
+        assert [a.index for a in mine] == [a.index for a in theirs]
+        for a, b in zip(mine, theirs):
+            assert abs(a.value - b.value) < 1e-12
+
+    def test_sorted_descending(self, rng):
+        from repro.mips import ConeTreeMIPS
+        P = rng.normal(size=(60, 5))
+        answers = ConeTreeMIPS(P, seed=1).top_k(rng.normal(size=5), 7)
+        values = [a.value for a in answers]
+        assert values == sorted(values, reverse=True)
+
+    def test_k_larger_than_n(self, rng):
+        from repro.mips import ConeTreeMIPS
+        P = rng.normal(size=(6, 4))
+        assert len(ConeTreeMIPS(P, seed=2).top_k(rng.normal(size=4), 50)) == 6
+
+    def test_prunes_versus_scan(self, rng):
+        from repro.datasets import latent_factor_model
+        from repro.mips import ConeTreeMIPS
+        model = latent_factor_model(4, 600, rank=8, popularity_skew=1.0, seed=3)
+        tree = ConeTreeMIPS(model.items, leaf_size=16, seed=4)
+        answers = tree.top_k(model.users[0], 3)
+        assert answers[0].work < model.n_items
+
+    def test_bad_k(self, rng):
+        from repro.errors import ParameterError
+        from repro.mips import ConeTreeMIPS
+        tree = ConeTreeMIPS(rng.normal(size=(5, 3)), seed=5)
+        with pytest.raises(ParameterError):
+            tree.top_k(np.ones(3), 0)

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executable documentation; a refactor that breaks one should
+fail the suite.  Each runs in-process via runpy with stdout captured.
+The slower scripts (recommender, lsh_limitations) exercise real index
+builds and take a few seconds each.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "index_planning.py",
+    "ovp_reduction_demo.py",
+    "correlation_mining.py",
+    "set_similarity.py",
+]
+SLOW_EXAMPLES = [
+    "recommender.py",
+    "lsh_limitations.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+@pytest.mark.parametrize("script", SLOW_EXAMPLES)
+def test_slow_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

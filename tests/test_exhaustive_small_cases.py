@@ -1,0 +1,153 @@
+"""Exhaustive verification on small domains.
+
+For small ``d`` / universes the guarantees can be checked on *every*
+input, not a sample: all 2^d x 2^d binary pairs for the gap embeddings,
+all permutations of a tiny universe for minwise hashing (so collision
+probabilities are computed exactly, not estimated), and all P1-nodes of
+small grids for the partition.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    ChebyshevSignEmbedding,
+    ChoppedBinaryEmbedding,
+    SignedCoordinateEmbedding,
+)
+from repro.lsh.minhash import EMPTY_SET, AsymmetricMinHash, MinHash
+
+
+def all_binary_vectors(d):
+    return [np.array(bits, dtype=np.int64) for bits in itertools.product((0, 1), repeat=d)]
+
+
+class TestEmbeddingsExhaustive:
+    def test_signed_embedding_all_pairs_d5(self):
+        emb = SignedCoordinateEmbedding(5)
+        vectors = all_binary_vectors(5)
+        lefts = {tuple(v): emb.embed_left(v) for v in vectors}
+        rights = {tuple(v): emb.embed_right(v) for v in vectors}
+        for x in vectors:
+            for y in vectors:
+                value = float(lefts[tuple(x)] @ rights[tuple(y)])
+                assert value == emb.embedded_inner_product(int(x @ y))
+                if int(x @ y) == 0:
+                    assert value >= emb.s
+                else:
+                    assert value <= emb.cs
+
+    def test_chebyshev_embedding_all_pairs_d4(self):
+        emb = ChebyshevSignEmbedding(4, q=2)
+        vectors = all_binary_vectors(4)
+        lefts = {tuple(v): emb.embed_left(v) for v in vectors}
+        rights = {tuple(v): emb.embed_right(v) for v in vectors}
+        for x in vectors:
+            for y in vectors:
+                value = float(lefts[tuple(x)] @ rights[tuple(y)])
+                assert abs(value - emb.embedded_inner_product(int(x @ y))) < 1e-6
+                if int(x @ y) == 0:
+                    assert abs(value) >= emb.s - 1e-6
+                else:
+                    assert abs(value) <= emb.cs + 1e-6
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_chopped_embedding_all_pairs_d5(self, k):
+        emb = ChoppedBinaryEmbedding(5, k=k)
+        vectors = all_binary_vectors(5)
+        for x in vectors:
+            for y in vectors:
+                value = float(emb.embed_left(x) @ emb.embed_right(y))
+                assert value == emb.embedded_inner_product(x, y)
+                if int(x @ y) == 0:
+                    assert value == emb.s
+                else:
+                    assert value <= emb.cs
+
+
+class _PermutationMinHash:
+    """Evaluate minwise collision probabilities exactly over all orders."""
+
+    @staticmethod
+    def exact_collision(universe, set_a, set_b):
+        hits = 0
+        total = 0
+        for perm in itertools.permutations(range(universe)):
+            priorities = np.array(perm)
+            def h(members):
+                if not members:
+                    return EMPTY_SET
+                arr = np.array(sorted(members))
+                return int(arr[np.argmin(priorities[arr])])
+            hits += h(set_a) == h(set_b)
+            total += 1
+        return hits / total
+
+
+class TestMinHashExact:
+    @pytest.mark.parametrize(
+        "set_a,set_b",
+        [
+            ({0, 1}, {1, 2}),
+            ({0, 1, 2}, {2, 3}),
+            ({0}, {0, 1, 2, 3}),
+            ({0, 1}, {2, 3}),
+        ],
+    )
+    def test_collision_probability_is_exactly_jaccard(self, set_a, set_b):
+        universe = 5
+        exact = _PermutationMinHash.exact_collision(universe, set_a, set_b)
+        union = len(set_a | set_b)
+        inter = len(set_a & set_b)
+        assert abs(exact - inter / union) < 1e-12
+
+    def test_library_minhash_matches_exhaustive(self, rng):
+        # Statistical check that the library's permutation sampling
+        # realizes the exhaustively-computed probability.
+        universe = 5
+        set_a, set_b = {0, 1, 2}, {2, 3}
+        exact = _PermutationMinHash.exact_collision(universe, set_a, set_b)
+        a = np.zeros(universe, dtype=np.int64); a[list(set_a)] = 1
+        b = np.zeros(universe, dtype=np.int64); b[list(set_b)] = 1
+        fam = MinHash(universe)
+        hits = sum(
+            1 for _ in range(4000)
+            if (lambda h: h(a) == h(b))(fam.sample_function(rng))
+        )
+        assert abs(hits / 4000 - exact) < 0.03
+
+    def test_asymmetric_closed_form_exact_small_case(self):
+        # Exhaustive verification of a/(M + |q| - a) on a tiny universe:
+        # enumerate all priority orders over universe + dummies.
+        universe, M = 3, 2
+        x_support = [0]          # weight 1, padded with 1 dummy (index 3)
+        q_support = [0, 1]       # weight 2, unpadded
+        a = 1
+        total_items = universe + M
+        hits = 0
+        count = 0
+        for perm in itertools.permutations(range(total_items)):
+            priorities = np.array(perm)
+            data_members = np.array(x_support + [universe])  # + first dummy
+            query_members = np.array(q_support)
+            h_data = int(data_members[np.argmin(priorities[data_members])])
+            h_query = int(query_members[np.argmin(priorities[query_members])])
+            hits += h_data == h_query
+            count += 1
+        exact = hits / count
+        closed = AsymmetricMinHash.collision_probability(a, len(q_support), M)
+        assert abs(exact - closed) < 1e-12
+
+
+class TestBitsExhaustive:
+    def test_pack_roundtrip_orthogonality_all_pairs_d4(self):
+        from repro.utils.bits import pack_binary_rows, packed_dot_is_zero
+        vectors = all_binary_vectors(4)
+        X = np.stack(vectors)
+        packed = pack_binary_rows(X)
+        for i, x in enumerate(vectors):
+            for j, y in enumerate(vectors):
+                assert packed_dot_is_zero(packed[i], packed[j]) == (int(x @ y) == 0)

@@ -1,0 +1,83 @@
+"""Tests for the reproduction-report builders and the CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, format_table
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.figure1 import build_gap_decay_report, build_partition_census
+from repro.experiments.figure2 import build_curves_report
+from repro.experiments.hard_instances import build_landscape_report
+from repro.experiments.table1 import build_table1_reports, measured_embedding_gap
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["xxx", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].startswith("xxx")
+
+    def test_row_count(self):
+        text = format_table(["h"], [[1], [2], [3]])
+        assert len(text.splitlines()) == 5
+
+
+class TestReportBuilders:
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "figure1", "figure2", "hard-instances"
+        }
+
+    def test_table1_reports(self):
+        reports = build_table1_reports(d=12, sketch_n=128)
+        assert set(reports) == {"table1", "table1_permissible"}
+        assert "signed {-1,1}" in reports["table1"]
+        assert "kappa=2.0" in reports["table1_permissible"]
+
+    def test_measured_gap_respects_closed_form(self):
+        from repro.embeddings import SignedCoordinateEmbedding
+        emb = SignedCoordinateEmbedding(12)
+        lo, hi = measured_embedding_gap(emb, 12, trials=40)
+        assert lo >= emb.s - 1e-9
+        assert hi <= emb.cs + 1e-9
+
+    def test_partition_census_content(self):
+        text = build_partition_census(max_ell=4)
+        assert "2^4-1 = 15" in text
+        assert "8x(side 1)" in text
+
+    def test_gap_decay_within_bound(self):
+        text = build_gap_decay_report(ells=(2, 3), trials=20)
+        assert "False" not in text
+
+    def test_figure2_curves_structure(self):
+        text = build_curves_report(c_values=(0.5,), step=0.25)
+        assert "c = 0.5" in text
+        assert "DATA-DEP" in text
+
+    def test_hard_instance_landscape(self):
+        text = build_landscape_report(exponents=(10, 12))
+        signed_rows = [
+            line for line in text.splitlines() if line.startswith("signed {-1,1}")
+        ]
+        assert len(signed_rows) == 2
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert cli_main(["hard-instances"]) == 0
+        out = capsys.readouterr().out
+        assert "hard_instances" in out
+
+    def test_writes_artifacts(self, tmp_path, capsys):
+        assert cli_main(["hard-instances", "--out", str(tmp_path)]) == 0
+        files = os.listdir(tmp_path)
+        assert "hard_instances.txt" in files
+        assert "hard_instances_limits.txt" in files
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["nonsense"])

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError, ParameterError
+from repro.incoherent import coherence, random_quasi_orthogonal
+from repro.incoherent.random_family import jl_dimension
+
+
+class TestCoherence:
+    def test_orthonormal_is_zero(self):
+        assert coherence(np.eye(4)) == 0.0
+
+    def test_single_vector_zero(self):
+        assert coherence(np.ones((1, 3))) == 0.0
+
+    def test_duplicate_rows_give_one(self):
+        Z = np.vstack([np.eye(3)[0], np.eye(3)[0]])
+        assert abs(coherence(Z) - 1.0) < 1e-12
+
+    def test_uses_absolute_value(self):
+        Z = np.vstack([np.eye(3)[0], -np.eye(3)[0]])
+        assert abs(coherence(Z) - 1.0) < 1e-12
+
+
+class TestJLDimension:
+    def test_scales_inverse_eps_squared(self):
+        assert jl_dimension(100, 0.1) > jl_dimension(100, 0.3)
+
+    def test_scales_log_count(self):
+        assert jl_dimension(10**6, 0.2) > jl_dimension(10, 0.2)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            jl_dimension(1, 0.1)
+        with pytest.raises(ParameterError):
+            jl_dimension(10, 0.0)
+
+
+class TestRandomQuasiOrthogonal:
+    def test_certified_coherence(self):
+        Z = random_quasi_orthogonal(30, 0.35, seed=0)
+        assert coherence(Z) <= 0.35
+
+    def test_unit_norms(self):
+        Z = random_quasi_orthogonal(20, 0.4, seed=1)
+        np.testing.assert_allclose(np.linalg.norm(Z, axis=1), 1.0, atol=1e-12)
+
+    def test_explicit_dimension(self):
+        Z = random_quasi_orthogonal(10, 0.5, dimension=64, seed=2)
+        assert Z.shape == (10, 64)
+
+    def test_reproducible(self):
+        a = random_quasi_orthogonal(10, 0.4, seed=3)
+        b = random_quasi_orthogonal(10, 0.4, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_infeasible_dimension_raises(self):
+        # 50 vectors cannot be 0.01-incoherent in 2 dimensions.
+        with pytest.raises(ConstructionError):
+            random_quasi_orthogonal(50, 0.01, dimension=2, seed=4, max_attempts=3)
+
+    def test_single_vector(self):
+        Z = random_quasi_orthogonal(1, 0.1, seed=5)
+        assert Z.shape[0] == 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            random_quasi_orthogonal(0, 0.1)
+        with pytest.raises(ParameterError):
+            random_quasi_orthogonal(5, 1.2)

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError, ParameterError
+from repro.incoherent import ReedSolomonIncoherent, next_prime
+from repro.incoherent.reed_solomon import choose_parameters, is_prime
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("n,expected", [(2, True), (3, True), (4, False), (17, True), (91, False), (97, True)])
+    def test_is_prime(self, n, expected):
+        assert is_prime(n) == expected
+
+    def test_non_positive(self):
+        assert not is_prime(0) and not is_prime(1) and not is_prime(-5)
+
+    @pytest.mark.parametrize("n,expected", [(1, 2), (8, 11), (14, 17), (17, 17)])
+    def test_next_prime(self, n, expected):
+        assert next_prime(n) == expected
+
+
+class TestChooseParameters:
+    def test_capacity_satisfied(self):
+        q, k = choose_parameters(1000, 0.2)
+        assert q ** k >= 1000
+
+    def test_coherence_satisfied(self):
+        q, k = choose_parameters(1000, 0.2)
+        assert (k - 1) / q <= 0.2
+
+    def test_huge_size_handled(self):
+        # Must not attempt primality checks at astronomically large q.
+        q, k = choose_parameters(2 ** 64, 0.1)
+        assert q ** k >= 2 ** 64 and (k - 1) / q <= 0.1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            choose_parameters(0, 0.1)
+        with pytest.raises(ParameterError):
+            choose_parameters(10, 1.5)
+
+
+class TestReedSolomonCollection:
+    @pytest.fixture(scope="class")
+    def collection(self):
+        return ReedSolomonIncoherent(500, 0.25)
+
+    def test_unit_norms(self, collection):
+        V = collection.vectors(range(40))
+        np.testing.assert_allclose(np.linalg.norm(V, axis=1), 1.0, atol=1e-12)
+
+    def test_pairwise_coherence(self, collection):
+        V = collection.vectors(range(40))
+        gram = np.abs(V @ V.T)
+        np.fill_diagonal(gram, 0.0)
+        assert gram.max() <= collection.coherence + 1e-12
+
+    def test_coherence_below_requested(self, collection):
+        assert collection.coherence <= 0.25
+
+    def test_dimension_is_q_squared(self, collection):
+        assert collection.dimension == collection.q ** 2
+        assert collection.vector(0).size == collection.dimension
+
+    def test_vectors_are_deterministic(self, collection):
+        np.testing.assert_array_equal(collection.vector(7), collection.vector(7))
+
+    def test_distinct_indices_distinct_vectors(self, collection):
+        assert not np.array_equal(collection.vector(1), collection.vector(2))
+
+    def test_dot_without_materializing(self, collection):
+        for a, b in ((0, 1), (3, 17), (5, 5)):
+            direct = float(collection.vector(a) @ collection.vector(b))
+            assert abs(collection.dot(a, b) - direct) < 1e-12
+
+    def test_one_nonzero_per_block(self, collection):
+        v = collection.vector(11).reshape(collection.q, collection.q)
+        assert ((v != 0).sum(axis=1) == 1).all()
+
+    def test_index_out_of_range(self, collection):
+        with pytest.raises(ParameterError):
+            collection.vector(collection.capacity)
+
+    def test_capacity(self, collection):
+        assert collection.capacity == collection.q ** collection.k >= 500

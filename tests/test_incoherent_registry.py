@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.incoherent import IncoherentRegistry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return IncoherentRegistry(eps=0.1, precision_bits=12)
+
+
+class TestIncoherentRegistry:
+    def test_companion_is_unit(self, registry):
+        v = registry.companion(np.array([0.5, -0.25, 0.75]))
+        assert abs(np.linalg.norm(v) - 1.0) < 1e-12
+
+    def test_deterministic(self, registry):
+        x = np.array([0.1, 0.2])
+        np.testing.assert_array_equal(registry.companion(x), registry.companion(x))
+
+    def test_distinct_vectors_incoherent(self, registry, rng):
+        vs = [registry.companion(rng.normal(size=3)) for _ in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert abs(vs[i] @ vs[j]) <= registry.coherence + 1e-12
+
+    def test_quantization_rounds(self, registry):
+        scale = 1 << registry.precision_bits
+        q = registry.quantize(np.array([0.5, -0.25]))
+        np.testing.assert_array_equal(q, [scale // 2, -scale // 4])
+
+    def test_nearby_vectors_same_key(self):
+        coarse = IncoherentRegistry(eps=0.2, precision_bits=3)
+        a = coarse.index_for(np.array([0.5]))
+        b = coarse.index_for(np.array([0.51]))
+        assert a == b
+
+    def test_salt_changes_assignment(self):
+        base = IncoherentRegistry(eps=0.2, precision_bits=8)
+        salted = IncoherentRegistry(eps=0.2, precision_bits=8, salt=b"other")
+        x = np.array([0.25, 0.75])
+        assert base.index_for(x) != salted.index_for(x)
+
+    def test_coherence_property(self, registry):
+        assert registry.coherence <= 0.1
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            IncoherentRegistry(eps=0.0)
+        with pytest.raises(ParameterError):
+            IncoherentRegistry(eps=0.1, precision_bits=0)

@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbounds import audit_gap, geometric_sequences, shifted_affine_sequences
+from repro.lsh import DataDepALSH, HyperplaneLSH
+from repro.lsh.base import AsymmetricLSHFamily, HashFunctionPair
+
+
+class ConstantFamily(AsymmetricLSHFamily):
+    """Everything collides: P1 = P2 = 1."""
+
+    def sample(self, rng):
+        return HashFunctionPair(hash_data=lambda x: 0, hash_query=lambda x: 0)
+
+
+class TestAuditGap:
+    @pytest.fixture(scope="class")
+    def sequences(self):
+        return geometric_sequences(s=0.02, c=0.5, U=2.0, d=1)
+
+    def test_constant_family_gap_zero(self, sequences):
+        audit = audit_gap(ConstantFamily(), sequences, trials=20, seed=0)
+        assert audit.p1 == 1.0 and audit.p2 == 1.0
+        assert audit.gap == 0.0
+        assert audit.within_bound
+
+    def test_real_alsh_within_bound(self, sequences):
+        fam = DataDepALSH(1, query_radius=2.0, sphere="hyperplane")
+        audit = audit_gap(fam, sequences, trials=300, seed=1)
+        assert audit.within_bound
+        assert 0.0 <= audit.p1 <= 1.0 and 0.0 <= audit.p2 <= 1.0
+
+    def test_audit_on_affine_sequences(self):
+        seqs = shifted_affine_sequences(s=0.02, c=0.5, U=2.0, d=2)
+        fam = DataDepALSH(2, query_radius=2.0, sphere="hyperplane")
+        audit = audit_gap(fam, seqs, trials=200, seed=2)
+        assert audit.within_bound
+
+    def test_pair_budget_respected(self, sequences):
+        audit = audit_gap(
+            ConstantFamily(), sequences, trials=5, max_pairs_per_side=10, seed=3
+        )
+        assert audit.pairs_checked <= 20
+
+    def test_gap_bound_reported(self, sequences):
+        audit = audit_gap(ConstantFamily(), sequences, trials=5, seed=4)
+        assert audit.n == sequences.n
+        assert audit.gap_bound > 0
+
+    def test_bad_trials(self, sequences):
+        with pytest.raises(ParameterError):
+            audit_gap(ConstantFamily(), sequences, trials=0)

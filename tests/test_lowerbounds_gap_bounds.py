@@ -1,0 +1,98 @@
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbounds import (
+    gap_bound_case1,
+    gap_bound_case2,
+    gap_bound_case3,
+    lemma4_gap_bound,
+)
+from repro.lowerbounds.gap_bounds import (
+    required_dimension_case3,
+    sequence_length_case1,
+    sequence_length_case2,
+    sequence_length_case3,
+)
+
+
+class TestLemma4Bound:
+    def test_formula(self):
+        assert lemma4_gap_bound(256) == 1.0
+        assert lemma4_gap_bound(2 ** 16) == 0.5
+
+    def test_decreasing_in_n(self):
+        values = [lemma4_gap_bound(n) for n in (4, 64, 4096, 2 ** 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_bad_n(self):
+        with pytest.raises(ParameterError):
+            lemma4_gap_bound(1)
+
+
+class TestCase1:
+    def test_length_matches_construction(self):
+        from repro.lowerbounds import geometric_sequences
+        s, c, U = 0.05, 0.5, 2.0
+        assert sequence_length_case1(s, c, U, d=1) == geometric_sequences(s, c, U, 1).n
+
+    def test_bound_decreases_with_u(self):
+        assert gap_bound_case1(0.01, 0.5, 1000.0) < gap_bound_case1(0.01, 0.5, 1.0)
+
+    def test_bound_decreases_with_d(self):
+        assert gap_bound_case1(0.01, 0.5, 8.0, d=64) < gap_bound_case1(0.01, 0.5, 8.0, d=2)
+
+    def test_precondition(self):
+        with pytest.raises(ParameterError):
+            sequence_length_case1(1.0, 0.5, 1.0)
+
+
+class TestCase2:
+    def test_scales_sqrt_u_over_s(self):
+        n1 = sequence_length_case2(0.01, 0.5, 1.0)
+        n2 = sequence_length_case2(0.01, 0.5, 100.0)
+        assert 8 <= n2 / n1 <= 12  # ~ sqrt(100) = 10
+
+    def test_bound_decreases_as_c_approaches_one(self):
+        # m = Theta(sqrt(U / (s (1-c)))): c -> 1 lengthens the sequence,
+        # hence shrinks the gap bound.
+        assert gap_bound_case2(0.01, 0.9, 4.0) <= gap_bound_case2(0.01, 0.1, 4.0)
+
+    def test_precondition(self):
+        with pytest.raises(ParameterError):
+            sequence_length_case2(2.0, 0.5, 1.0)
+
+
+class TestCase3:
+    def test_length_is_exponential(self):
+        assert sequence_length_case3(0.01, 8.0) == (1 << int(math.sqrt(100))) - 1
+
+    def test_bound_scales_sqrt_s_over_u(self):
+        # 8 / log2(n) with log2 n = sqrt(U/8s) gives ~ 8 sqrt(8 s/U).
+        bound = gap_bound_case3(0.01, 80.0)
+        predicted = 8.0 / math.floor(math.sqrt(80.0 / 0.08))
+        assert abs(bound - predicted) < 1e-9
+
+    def test_decreasing_in_u(self):
+        assert gap_bound_case3(0.01, 1000.0) < gap_bound_case3(0.01, 10.0)
+
+    def test_trivial_instance_rejected(self):
+        with pytest.raises(ParameterError):
+            gap_bound_case3(1.0, 2.0)
+
+    def test_required_dimension_grows(self):
+        assert required_dimension_case3(0.001, 0.5, 8.0) > required_dimension_case3(0.1, 0.5, 8.0)
+
+
+class TestUnboundedDomainConsequence:
+    def test_gap_vanishes_as_u_grows(self):
+        # "there cannot exist an asymmetric LSH when the query domain is
+        # unbounded": every case's bound tends to 0 with U.
+        for U in (10.0, 100.0, 1000.0, 10000.0):
+            pass
+        series1 = [gap_bound_case1(0.001, 0.5, U) for U in (10, 100, 1000, 10000)]
+        series3 = [gap_bound_case3(0.001, U) for U in (10, 100, 1000, 10000)]
+        assert all(a > b for a, b in zip(series1, series1[1:]))
+        assert all(a > b for a, b in zip(series3, series3[1:]))
+        assert series3[-1] < 0.1

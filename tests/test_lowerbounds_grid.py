@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbounds import Square, lower_triangle_partition, square_containing
+from repro.lowerbounds.grid import grid_side, left_squares, top_squares
+
+
+class TestGridSide:
+    @pytest.mark.parametrize("ell,n", [(1, 1), (2, 3), (4, 15), (8, 255)])
+    def test_values(self, ell, n):
+        assert grid_side(ell) == n
+
+    def test_bad_ell(self):
+        with pytest.raises(ParameterError):
+            grid_side(0)
+
+
+class TestSquare:
+    def test_figure1_example(self):
+        # G_{2,0} of the 15x15 grid: rows 0..3, cols 3..6.
+        sq = Square(r=2, s=0)
+        assert sq.row_start == 0 and sq.row_end == 3
+        assert sq.col_start == 3 and sq.col_end == 6
+        assert sq.side == 4
+
+    def test_diagonal_touch(self):
+        # The corner (row_end, col_start) sits on the diagonal.
+        for r in range(4):
+            for s in range(4):
+                sq = Square(r=r, s=s)
+                assert sq.row_end == sq.col_start
+
+    def test_contains(self):
+        sq = Square(r=1, s=1)
+        assert sq.contains(sq.row_start, sq.col_start)
+        assert not sq.contains(sq.row_start - 1, sq.col_start)
+
+    def test_node_count(self):
+        assert len(list(Square(r=3, s=0).nodes())) == 64
+
+    def test_negative_params(self):
+        with pytest.raises(ParameterError):
+            Square(r=-1, s=0)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("ell", range(1, 9))
+    def test_exact_tiling(self, ell):
+        n = grid_side(ell)
+        seen = set()
+        for sq in lower_triangle_partition(ell):
+            for node in sq.nodes():
+                assert node not in seen
+                i, j = node
+                assert 0 <= i <= j < n
+                seen.add(node)
+        assert len(seen) == n * (n + 1) // 2
+
+    @pytest.mark.parametrize("ell", range(1, 7))
+    def test_square_census(self, ell):
+        # 2^{ell-r-1} squares of side 2^r at each level r.
+        squares = lower_triangle_partition(ell)
+        for r in range(ell):
+            count = sum(1 for sq in squares if sq.r == r)
+            assert count == 2 ** (ell - r - 1)
+
+    @pytest.mark.parametrize("ell", [2, 3, 5])
+    def test_square_containing_agrees(self, ell):
+        n = grid_side(ell)
+        for i in range(n):
+            for j in range(i, n):
+                assert square_containing(ell, i, j).contains(i, j)
+
+    def test_square_containing_rejects_p2_nodes(self):
+        with pytest.raises(ParameterError):
+            square_containing(3, 5, 2)
+
+
+class TestNeighborRegions:
+    def test_figure1_left_and_top_of_g20(self):
+        # The paper's Figure 1 (right) zooms G_{2,0}: left blocks are
+        # G_{0,0}, G_{0,1}, G_{1,0}; top blocks are G_{0,2}, G_{0,3}, G_{1,1}.
+        ls = {(sq.r, sq.s) for sq in left_squares(4, Square(2, 0))}
+        ts = {(sq.r, sq.s) for sq in top_squares(4, Square(2, 0))}
+        assert ls == {(0, 0), (0, 1), (1, 0)}
+        assert ts == {(0, 2), (0, 3), (1, 1)}
+
+    @pytest.mark.parametrize("ell", [3, 4, 5])
+    def test_left_square_size_census(self, ell):
+        # Left squares contain 2^{r-i-1} squares of side 2^i for 0 <= i < r.
+        for sq in lower_triangle_partition(ell):
+            if sq.r == 0:
+                continue
+            ls = left_squares(ell, sq)
+            for i in range(sq.r):
+                count = sum(1 for other in ls if other.r == i)
+                assert count == 2 ** (sq.r - i - 1)
+
+    @pytest.mark.parametrize("ell", [3, 4])
+    def test_left_region_bounds(self, ell):
+        for sq in lower_triangle_partition(ell):
+            lo, hi = sq.left_region()
+            for other in left_squares(ell, sq):
+                assert other.row_start >= lo and other.col_end < hi
+
+    @pytest.mark.parametrize("ell", [3, 4])
+    def test_top_region_bounds(self, ell):
+        for sq in lower_triangle_partition(ell):
+            lo, hi = sq.top_region()
+            for other in top_squares(ell, sq):
+                assert other.row_start >= lo and other.col_end <= hi

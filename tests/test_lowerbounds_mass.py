@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbounds import FiniteHashFamily, MassAccounting
+from repro.lowerbounds.grid import grid_side
+from repro.lsh import HyperplaneLSH
+from repro.lowerbounds.sequences import geometric_sequences
+
+
+def random_family(rng, n, m_funcs=20, alphabet=4):
+    qv = rng.integers(0, alphabet, size=(m_funcs, n))
+    dv = rng.integers(0, alphabet, size=(m_funcs, n))
+    return FiniteHashFamily(np.full(m_funcs, 1.0 / m_funcs), qv, dv)
+
+
+class TestFiniteHashFamily:
+    def test_collision_matrix_values(self):
+        qv = np.array([[0, 1], [0, 0]])
+        dv = np.array([[0, 0], [1, 0]])
+        fam = FiniteHashFamily(np.array([0.5, 0.5]), qv, dv)
+        C = fam.collision_matrix()
+        # (i=0, j=0): f0 collides (0==0), f1 doesn't (0 vs 1) -> 0.5
+        assert C[0, 0] == 0.5
+        # (i=1, j=1): f0: 1 vs 0 no; f1: 0 vs 0 yes -> 0.5
+        assert C[1, 1] == 0.5
+
+    def test_p1_p2(self):
+        qv = np.array([[0, 0]])
+        dv = np.array([[0, 0]])
+        fam = FiniteHashFamily(np.array([1.0]), qv, dv)
+        p1, p2 = fam.p1_p2()
+        assert p1 == 1.0 and p2 == 1.0
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ParameterError):
+            FiniteHashFamily(np.array([0.5, 0.6]), np.zeros((2, 3), int), np.zeros((2, 3), int))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            FiniteHashFamily(np.array([1.0]), np.zeros((1, 3), int), np.zeros((1, 4), int))
+
+    def test_from_hash_pairs(self, rng):
+        fam_src = HyperplaneLSH(4)
+        pairs = [fam_src.sample(rng) for _ in range(10)]
+        X = rng.normal(size=(7, 4))
+        fam = FiniteHashFamily.from_hash_pairs(pairs, X, X)
+        assert fam.n == 7 and fam.n_functions == 10
+        # Symmetric family on identical sequences: diagonal collides always.
+        C = fam.collision_matrix()
+        np.testing.assert_allclose(np.diag(C), 1.0)
+
+
+class TestMassAccounting:
+    def test_requires_grid_length(self, rng):
+        fam = random_family(rng, 6)
+        with pytest.raises(ParameterError):
+            MassAccounting(fam)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_decomposition_and_counting_facts(self, seed):
+        rng = np.random.default_rng(seed)
+        fam = random_family(rng, grid_side(3))
+        report = MassAccounting(fam).verify()
+        assert report["total_proper_mass"] <= 2 * report["n"] + 1e-9
+        # ell = 3 gives 4 + 2 + 1 partition squares.
+        assert report["squares"] == 7
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_family_within_gap_bound(self, seed):
+        # Random families have P1 ~ P2, trivially within the bound.
+        rng = np.random.default_rng(seed)
+        fam = random_family(rng, grid_side(3))
+        report = MassAccounting(fam).verify()
+        assert report["gap_within_bound"]
+
+    def test_masses_nonnegative(self, rng):
+        fam = random_family(rng, grid_side(3))
+        for record in MassAccounting(fam).masses():
+            assert record.total >= 0
+            assert record.shared >= 0
+            assert record.partially_shared >= 0
+            assert record.proper >= 0
+
+    def test_perfect_family_saturates_p1(self):
+        # One function, everything collides: P1 = P2 = 1, all inequalities hold.
+        n = grid_side(2)
+        fam = FiniteHashFamily(np.array([1.0]), np.zeros((1, n), int), np.zeros((1, n), int))
+        report = MassAccounting(fam).verify()
+        assert report["p1"] == 1.0 and report["p2"] == 1.0
+        assert report["gap"] == 0.0
+        assert not report["violations"]
+
+    def test_hyperplane_family_on_hard_sequences(self, rng):
+        # End-to-end: real LSH on a real Theorem-3 instance, certified.
+        seqs = geometric_sequences(s=0.02, c=0.5, U=2.0, d=1).truncate_to_grid()
+        fam_src = HyperplaneLSH(1)
+        pairs = [fam_src.sample(rng) for _ in range(40)]
+        fam = FiniteHashFamily.from_hash_pairs(pairs, seqs.Q, seqs.P)
+        report = MassAccounting(fam).verify()
+        assert report["gap_within_bound"]

@@ -1,0 +1,190 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError, ParameterError
+from repro.lowerbounds import (
+    geometric_sequences,
+    prefix_tree_sequences,
+    shifted_affine_sequences,
+    verify_lemma4_hypothesis,
+)
+
+
+def ordering_holds(seqs, unsigned):
+    ips = seqs.inner_products()
+    n = seqs.n
+    for i in range(n):
+        for j in range(n):
+            value = ips[i, j]
+            if j >= i:
+                if value < seqs.s - 1e-9:
+                    return False
+            else:
+                check = abs(value) if unsigned else value
+                if check > seqs.cs + 1e-9:
+                    return False
+    return True
+
+
+class TestGeometricSequences:
+    def test_one_dimensional(self):
+        seqs = geometric_sequences(s=0.05, c=0.5, U=2.0, d=1)
+        assert seqs.d == 1 and seqs.case == 1
+        assert ordering_holds(seqs, unsigned=True)
+
+    def test_inner_products_are_powers_of_c(self):
+        seqs = geometric_sequences(s=0.05, c=0.5, U=2.0, d=1)
+        ips = seqs.inner_products()
+        # q_i . p_j = s c^{i-j}.
+        for i in range(seqs.n):
+            for j in range(seqs.n):
+                assert abs(ips[i, j] - seqs.s * 0.5 ** (i - j)) < 1e-9
+
+    def test_multidimensional(self):
+        seqs = geometric_sequences(s=0.05, c=0.5, U=2.0, d=6)
+        assert seqs.d == 6
+        assert ordering_holds(seqs, unsigned=True)
+
+    def test_length_grows_with_dimension(self):
+        n1 = geometric_sequences(s=0.05, c=0.5, U=2.0, d=2).n
+        n3 = geometric_sequences(s=0.05, c=0.5, U=2.0, d=6).n
+        assert n3 == 3 * n1
+
+    def test_length_grows_with_u(self):
+        small = geometric_sequences(s=0.05, c=0.5, U=2.0, d=1).n
+        large = geometric_sequences(s=0.05, c=0.5, U=64.0, d=1).n
+        assert large > small
+
+    def test_ball_constraints_verified(self):
+        seqs = geometric_sequences(s=0.02, c=0.6, U=4.0, d=4)
+        assert np.linalg.norm(seqs.P, axis=1).max() <= 1 + 1e-9
+        assert np.linalg.norm(seqs.Q, axis=1).max() <= seqs.U + 1e-9
+
+    def test_unsigned_safe(self):
+        assert geometric_sequences(s=0.05, c=0.5, U=2.0, d=1).unsigned_safe
+
+    def test_requires_s_below_cu(self):
+        with pytest.raises(ParameterError):
+            geometric_sequences(s=1.5, c=0.5, U=2.0, d=1)
+
+    def test_odd_d_rejected(self):
+        with pytest.raises(ParameterError):
+            geometric_sequences(s=0.05, c=0.5, U=2.0, d=3)
+
+    def test_large_s_with_large_d_rejected(self):
+        with pytest.raises(ParameterError):
+            geometric_sequences(s=0.4, c=0.5, U=1.0, d=32)
+
+
+class TestShiftedAffineSequences:
+    def test_two_dimensional(self):
+        seqs = shifted_affine_sequences(s=0.05, c=0.5, U=2.0, d=2)
+        assert seqs.case == 2 and not seqs.unsigned_safe
+        assert ordering_holds(seqs, unsigned=False)
+
+    def test_inner_products_affine(self):
+        seqs = shifted_affine_sequences(s=0.05, c=0.5, U=2.0, d=2)
+        ips = seqs.inner_products()
+        # q_i . p_j = s (1-c)(j-i) + s within one block.
+        for i in range(seqs.n):
+            for j in range(seqs.n):
+                expected = seqs.s * 0.5 * (j - i) + seqs.s
+                assert abs(ips[i, j] - expected) < 1e-9
+
+    def test_multiblock(self):
+        seqs = shifted_affine_sequences(s=0.02, c=0.5, U=2.0, d=6)
+        assert ordering_holds(seqs, unsigned=False)
+
+    def test_longer_than_case1(self):
+        # Theta(sqrt(U/s)) beats Theta(log(U/s)).
+        s, c, U = 0.0005, 0.5, 2.0
+        n_affine = shifted_affine_sequences(s=s, c=c, U=U, d=2).n
+        n_geo = geometric_sequences(s=s, c=c, U=U, d=2).n
+        assert n_affine > n_geo
+
+    def test_negative_products_below_diagonal(self):
+        seqs = shifted_affine_sequences(s=0.05, c=0.5, U=2.0, d=2)
+        ips = seqs.inner_products()
+        assert ips[seqs.n - 1, 0] < 0  # why it is signed-only
+
+    def test_odd_d_rejected(self):
+        with pytest.raises(ParameterError):
+            shifted_affine_sequences(s=0.05, c=0.5, U=2.0, d=3)
+
+    def test_s_must_be_below_u(self):
+        with pytest.raises(ParameterError):
+            shifted_affine_sequences(s=3.0, c=0.5, U=2.0, d=2)
+
+
+class TestPrefixTreeSequences:
+    def test_basic_construction(self):
+        seqs = prefix_tree_sequences(s=0.02, c=0.5, U=2.0)
+        assert seqs.case == 3 and seqs.unsigned_safe
+        assert ordering_holds(seqs, unsigned=True)
+
+    def test_explicit_bits(self):
+        seqs = prefix_tree_sequences(s=0.05, c=0.5, U=1.0, n_bits=4)
+        assert seqs.n == 15  # 2^4 - 1 after the shift
+        assert ordering_holds(seqs, unsigned=True)
+
+    def test_exponential_length_in_sqrt_u_over_s(self):
+        # Halving s (at fixed U) increases n_bits ~ sqrt(U/8s).
+        short = prefix_tree_sequences(s=0.05, c=0.5, U=4.0)
+        long = prefix_tree_sequences(s=0.05, c=0.5, U=16.0)
+        assert long.n > short.n
+
+    def test_ball_constraints(self):
+        seqs = prefix_tree_sequences(s=0.05, c=0.5, U=1.0, n_bits=3)
+        assert np.linalg.norm(seqs.P, axis=1).max() <= 1 + 1e-9
+        assert np.linalg.norm(seqs.Q, axis=1).max() <= seqs.U + 1e-9
+
+    def test_too_small_ratio_rejected(self):
+        with pytest.raises(ParameterError):
+            prefix_tree_sequences(s=1.0, c=0.5, U=1.0)
+
+
+class TestVerifier:
+    def test_accepts_valid_instance(self):
+        seqs = geometric_sequences(s=0.05, c=0.5, U=2.0, d=1)
+        verify_lemma4_hypothesis(seqs.P, seqs.Q, seqs.s, seqs.cs, seqs.U, unsigned=True)
+
+    def test_rejects_broken_ordering(self):
+        seqs = geometric_sequences(s=0.05, c=0.5, U=2.0, d=1)
+        P = seqs.P[::-1].copy()  # reversing breaks the triangle structure
+        with pytest.raises(ConstructionError):
+            verify_lemma4_hypothesis(P, seqs.Q, seqs.s, seqs.cs, seqs.U, unsigned=True)
+
+    def test_rejects_escaped_ball(self):
+        seqs = geometric_sequences(s=0.05, c=0.5, U=2.0, d=1)
+        with pytest.raises(ConstructionError):
+            verify_lemma4_hypothesis(seqs.P * 3.0, seqs.Q, seqs.s, seqs.cs, seqs.U)
+
+    def test_truncate_to_grid(self):
+        seqs = geometric_sequences(s=0.001, c=0.6, U=8.0, d=1)
+        grid = seqs.truncate_to_grid()
+        assert grid.n == (1 << int(np.log2(seqs.n + 1))) - 1
+        assert grid.n <= seqs.n
+
+
+class TestPrefixTreeFamilySources:
+    def test_random_family_source_valid(self):
+        seqs = prefix_tree_sequences(
+            s=0.05, c=0.5, U=1.0, n_bits=3, family_source="random", seed=0
+        )
+        assert ordering_holds(seqs, unsigned=True)
+
+    def test_random_source_reproducible(self):
+        import numpy as np
+        a = prefix_tree_sequences(
+            s=0.05, c=0.5, U=1.0, n_bits=3, family_source="random", seed=1
+        )
+        b = prefix_tree_sequences(
+            s=0.05, c=0.5, U=1.0, n_bits=3, family_source="random", seed=1
+        )
+        np.testing.assert_array_equal(a.P, b.P)
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ParameterError):
+            prefix_tree_sequences(
+                s=0.05, c=0.5, U=1.0, n_bits=3, family_source="quantum"
+            )

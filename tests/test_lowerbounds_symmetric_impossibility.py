@@ -1,0 +1,92 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lowerbounds import (
+    audit_symmetric_chain,
+    chain_length,
+    great_circle_chain,
+    symmetric_gap_bound,
+    verify_chain,
+)
+from repro.lsh import DataDepALSH, HyperplaneLSH
+
+
+class TestChainConstruction:
+    def test_chain_length_formula(self):
+        # arccos(cs)/arccos(s), rounded up.
+        s, c = 0.9, 0.5
+        expected = math.ceil(math.acos(0.45) / math.acos(0.9))
+        assert chain_length(s, c) == expected
+
+    def test_chain_length_explodes_as_s_to_one(self):
+        assert chain_length(0.999, 0.5) > chain_length(0.9, 0.5) > chain_length(0.5, 0.5)
+
+    def test_chain_links_and_endpoints(self):
+        chain = great_circle_chain(0.9, 0.5)
+        verify_chain(chain, 0.9, 0.5)
+
+    def test_chain_vectors_unit_norm(self):
+        chain = great_circle_chain(0.8, 0.6, d=5)
+        np.testing.assert_allclose(np.linalg.norm(chain, axis=1), 1.0, atol=1e-12)
+
+    def test_endpoint_exactly_cs(self):
+        chain = great_circle_chain(0.9, 0.5)
+        assert abs(float(chain[0] @ chain[-1]) - 0.45) < 1e-9
+
+    def test_verify_rejects_broken_chain(self):
+        chain = great_circle_chain(0.9, 0.5)
+        with pytest.raises(ParameterError):
+            verify_chain(chain[::2], 0.9, 0.5)  # doubling the step breaks links
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            chain_length(1.5, 0.5)
+        with pytest.raises(ParameterError):
+            great_circle_chain(0.9, 0.5, d=1)
+
+
+class TestSymmetricGapBound:
+    def test_bound_in_unit_interval(self):
+        for s in (0.5, 0.9, 0.99):
+            assert 0.0 <= symmetric_gap_bound(s, 0.5) < 1.0
+
+    def test_bound_monotone_in_chain_length(self):
+        # Larger k gives (k-1)/k closer to 1 — the ceiling itself grows,
+        # but the *link inequality* P1 <= 1 - (1-P2)/k is what bites.
+        assert symmetric_gap_bound(0.99, 0.5) >= symmetric_gap_bound(0.6, 0.5)
+
+
+class TestChainAudits:
+    def test_hyperplane_satisfies_triangle(self):
+        chain = great_circle_chain(0.9, 0.5, d=4)
+        audit = audit_symmetric_chain(HyperplaneLSH(4), chain, trials=400, seed=0)
+        assert audit.satisfies_triangle
+
+    def test_link_inequality_forces_p1_down(self):
+        # Measured: hyperplane's per-link collision 1 - theta/pi; with k
+        # links the endpoint separation caps achievable P1 at
+        # 1 - (1 - P2)/k, and the measured link collisions obey it.
+        chain = great_circle_chain(0.95, 0.3, d=4)
+        audit = audit_symmetric_chain(HyperplaneLSH(4), chain, trials=600, seed=1)
+        worst_link_p1 = 1.0 - float(audit.link_distances.max())
+        assert worst_link_p1 <= audit.implied_p1_ceiling + 0.05  # sampling slack
+
+    def test_exact_hyperplane_distances(self):
+        # d(z_i, z_{i+1}) = theta/pi exactly for hyperplane LSH.
+        chain = great_circle_chain(0.9, 0.5, d=3)
+        theta = math.acos(float(chain[0] @ chain[1]))
+        audit = audit_symmetric_chain(HyperplaneLSH(3), chain, trials=3000, seed=2)
+        np.testing.assert_allclose(audit.link_distances, theta / math.pi, atol=0.03)
+
+    def test_asymmetric_family_rejected(self):
+        chain = great_circle_chain(0.9, 0.5, d=4)
+        with pytest.raises(ParameterError):
+            audit_symmetric_chain(DataDepALSH(4), chain, trials=10)
+
+    def test_bad_trials(self):
+        chain = great_circle_chain(0.9, 0.5)
+        with pytest.raises(ParameterError):
+            audit_symmetric_chain(HyperplaneLSH(2), chain, trials=0)

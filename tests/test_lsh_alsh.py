@@ -1,0 +1,127 @@
+"""Tests for the composed ALSH schemes: L2-ALSH, SIMPLE, DATA-DEP, symmetric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lsh import DataDepALSH, L2ALSH, SimpleALSH, SymmetricIPSHash
+from repro.lsh.base import estimate_collision_probability
+from repro.lsh.rho import collision_prob_hyperplane
+from repro.lsh.symmetric import query_is_self_match
+
+
+def planted_pair(rng, d, target):
+    """A (data, query) pair of unit vectors with inner product ``target``."""
+    q = rng.normal(size=d); q /= np.linalg.norm(q)
+    r = rng.normal(size=d); r -= (r @ q) * q; r /= np.linalg.norm(r)
+    p = target * q + np.sqrt(1 - target ** 2) * r
+    return p, q
+
+
+class TestSimpleALSH:
+    def test_collision_follows_hyperplane_form(self, rng):
+        fam = SimpleALSH(16)
+        p, q = planted_pair(rng, 16, 0.7)
+        p *= 0.9  # data strictly inside the ball
+        est = estimate_collision_probability(fam, p, q, trials=3000, seed=0)
+        assert abs(est - collision_prob_hyperplane(0.7 * 0.9)) < 0.05
+
+    def test_monotone_in_inner_product(self, rng):
+        fam = SimpleALSH(16)
+        p_hi, q = planted_pair(rng, 16, 0.9)
+        p_lo = rng.normal(size=16)
+        p_lo -= (p_lo @ q) * q
+        p_lo /= np.linalg.norm(p_lo) * 2
+        hi = estimate_collision_probability(fam, p_hi * 0.99, q, trials=1500, seed=1)
+        lo = estimate_collision_probability(fam, p_lo, q, trials=1500, seed=1)
+        assert hi > lo
+
+
+class TestDataDepALSH:
+    def test_collision_scaled_by_query_radius(self, rng):
+        fam = DataDepALSH(16, query_radius=2.0, sphere="hyperplane")
+        p, q = planted_pair(rng, 16, 0.8)
+        q *= 2.0  # query in the radius-2 ball
+        # Embedded inner product is p.q / U = 0.8.
+        est = estimate_collision_probability(fam, p * 0.99, q, trials=3000, seed=2)
+        assert abs(est - collision_prob_hyperplane(0.8 * 0.99)) < 0.05
+
+    def test_crosspolytope_variant_runs(self, rng):
+        fam = DataDepALSH(8, sphere="crosspolytope")
+        p, q = planted_pair(rng, 8, 0.9)
+        est = estimate_collision_probability(fam, p * 0.9, q, trials=300, seed=3)
+        assert 0.0 <= est <= 1.0
+
+    def test_bad_sphere_name(self):
+        with pytest.raises(ParameterError):
+            DataDepALSH(8, sphere="cube")
+
+    def test_is_asymmetric(self):
+        assert not DataDepALSH(8).is_symmetric
+
+
+class TestL2ALSH:
+    def test_fit_constructor(self, rng):
+        P = rng.normal(size=(30, 8))
+        fam = L2ALSH.fit(P)
+        assert fam.d == 8 and fam.scale > 0
+
+    def test_high_ip_pairs_collide_more(self, rng):
+        P = rng.normal(size=(30, 12))
+        P /= np.linalg.norm(P, axis=1, keepdims=True)
+        fam = L2ALSH.fit(P, w=2.5)
+        p, q = planted_pair(rng, 12, 0.95)
+        p_far, _ = planted_pair(rng, 12, 0.0)
+        hi = estimate_collision_probability(fam, p, q, trials=1200, seed=4)
+        lo = estimate_collision_probability(fam, -p, q, trials=1200, seed=4)
+        assert hi > lo
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            L2ALSH(d=0, scale=1.0)
+        with pytest.raises(ParameterError):
+            L2ALSH(d=4, scale=-1.0)
+        with pytest.raises(ParameterError):
+            L2ALSH(d=4, scale=1.0, w=0.0)
+
+
+class TestSymmetricIPSHash:
+    @pytest.fixture(scope="class")
+    def family(self):
+        return SymmetricIPSHash(4, eps=0.1)
+
+    def test_is_symmetric(self, family):
+        assert family.is_symmetric
+
+    def test_distinct_vectors_collision_tracks_inner_product(self, family, rng):
+        p = np.array([0.8, 0.0, 0.0, 0.0])
+        near = np.array([0.79, 0.05, 0.0, 0.0])
+        far = np.array([0.0, 0.0, 0.79, 0.05])
+        hi = estimate_collision_probability(family, p, near, trials=1200, seed=5)
+        lo = estimate_collision_probability(family, p, far, trials=1200, seed=5)
+        assert hi > lo
+
+    def test_identical_vectors_always_collide(self, family):
+        x = np.array([0.3, 0.1, 0.0, 0.0])
+        assert estimate_collision_probability(family, x, x, trials=60, seed=6) == 1.0
+
+    def test_eps_property(self, family):
+        assert family.eps == 0.1
+
+    def test_bad_sphere(self):
+        with pytest.raises(ParameterError):
+            SymmetricIPSHash(4, sphere="torus")
+
+
+class TestQueryIsSelfMatch:
+    def test_detects_membership_above_threshold(self):
+        P = np.array([[0.9, 0.0], [0.1, 0.2]])
+        assert query_is_self_match(P, np.array([0.9, 0.0]), s=0.5)
+
+    def test_below_threshold_not_a_match(self):
+        P = np.array([[0.1, 0.2]])
+        assert not query_is_self_match(P, np.array([0.1, 0.2]), s=0.5)
+
+    def test_absent_query(self):
+        P = np.array([[0.9, 0.0]])
+        assert not query_is_self_match(P, np.array([0.0, 0.9]), s=0.5)

@@ -1,0 +1,69 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lsh import AndConstruction, HyperplaneLSH, amplify_gap
+from repro.lsh.amplification import rho, standard_table_count
+from repro.lsh.base import estimate_collision_probability
+from repro.lsh.rho import collision_prob_hyperplane
+
+
+class TestAndConstruction:
+    def test_hash_is_tuple_of_k(self, rng):
+        amp = AndConstruction(HyperplaneLSH(4), k=3)
+        pair = amp.sample(rng)
+        value = pair.hash_data(rng.normal(size=4))
+        assert isinstance(value, tuple) and len(value) == 3
+
+    def test_collision_probability_is_power(self, rng):
+        fam = HyperplaneLSH(16)
+        amp = AndConstruction(fam, k=2)
+        x = rng.normal(size=16); x /= np.linalg.norm(x)
+        y = rng.normal(size=16); y /= np.linalg.norm(y)
+        p = collision_prob_hyperplane(float(x @ y))
+        est = estimate_collision_probability(amp, x, y, trials=3000, seed=0)
+        assert abs(est - p ** 2) < 0.05
+
+    def test_symmetry_propagates(self):
+        assert AndConstruction(HyperplaneLSH(4), k=2).is_symmetric
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            AndConstruction(HyperplaneLSH(4), k=0)
+
+
+class TestGapAlgebra:
+    def test_amplify_gap(self):
+        assert amplify_gap(0.9, 0.5, 3) == (0.9 ** 3, 0.5 ** 3)
+
+    def test_amplify_rejects_disorder(self):
+        with pytest.raises(ParameterError):
+            amplify_gap(0.4, 0.5, 2)
+
+    def test_rho_invariant_under_and(self):
+        p1, p2 = 0.8, 0.3
+        for k in (1, 2, 5):
+            a1, a2 = amplify_gap(p1, p2, k)
+            assert abs(rho(a1, a2) - rho(p1, p2)) < 1e-12
+
+    def test_rho_values(self):
+        assert abs(rho(0.25, 0.5) - 2.0) < 1e-12
+        assert rho(0.5, 0.25) == 0.5
+
+    def test_rho_domain(self):
+        with pytest.raises(ParameterError):
+            rho(1.0, 0.5)
+        with pytest.raises(ParameterError):
+            rho(0.5, 0.0)
+
+    def test_standard_table_count(self):
+        assert standard_table_count(1.0, 10) >= 1
+        assert standard_table_count(0.01, 1000) > standard_table_count(0.5, 1000)
+
+    def test_table_count_domain(self):
+        with pytest.raises(ParameterError):
+            standard_table_count(0.0, 10)
+        with pytest.raises(ParameterError):
+            standard_table_count(0.5, 0)

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.lsh import HyperplaneLSH
+from repro.lsh.base import (
+    HashFunctionPair,
+    empirical_gap,
+    estimate_collision_probability,
+)
+from repro.lsh.rho import collision_prob_hyperplane
+
+
+class TestHashFunctionPair:
+    def test_collides(self):
+        pair = HashFunctionPair(hash_data=lambda x: 1, hash_query=lambda x: 1)
+        assert pair.collides(np.zeros(2), np.zeros(2))
+
+    def test_no_collision(self):
+        pair = HashFunctionPair(hash_data=lambda x: 1, hash_query=lambda x: 2)
+        assert not pair.collides(np.zeros(2), np.zeros(2))
+
+
+class TestSymmetricWiring:
+    def test_symmetric_family_uses_one_function(self, rng):
+        fam = HyperplaneLSH(4)
+        pair = fam.sample(rng)
+        x = rng.normal(size=4)
+        assert pair.hash_data(x) == pair.hash_query(x)
+        assert fam.is_symmetric
+
+
+class TestEstimateCollisionProbability:
+    def test_identical_vectors_always_collide(self, rng):
+        fam = HyperplaneLSH(8)
+        x = rng.normal(size=8)
+        assert estimate_collision_probability(fam, x, x, trials=50, seed=0) == 1.0
+
+    def test_opposite_vectors_never_collide(self, rng):
+        fam = HyperplaneLSH(8)
+        x = rng.normal(size=8)
+        assert estimate_collision_probability(fam, x, -x, trials=50, seed=0) == 0.0
+
+    def test_matches_closed_form(self, rng):
+        fam = HyperplaneLSH(16)
+        x = rng.normal(size=16); x /= np.linalg.norm(x)
+        y = rng.normal(size=16); y /= np.linalg.norm(y)
+        est = estimate_collision_probability(fam, x, y, trials=3000, seed=1)
+        assert abs(est - collision_prob_hyperplane(float(x @ y))) < 0.05
+
+    def test_bad_trials(self):
+        with pytest.raises(ValueError):
+            estimate_collision_probability(HyperplaneLSH(2), [1, 0], [0, 1], trials=0)
+
+
+class TestEmpiricalGap:
+    def test_gap_orders_pairs_correctly(self, rng):
+        fam = HyperplaneLSH(8)
+        # Data/queries designed so above-pairs are nearly parallel and
+        # below-pairs nearly orthogonal.
+        base = rng.normal(size=8); base /= np.linalg.norm(base)
+        ortho = rng.normal(size=8)
+        ortho -= (ortho @ base) * base
+        ortho /= np.linalg.norm(ortho)
+        data = np.stack([base, ortho])
+        queries = np.stack([base, base])
+        p1, p2 = empirical_gap(
+            fam, data, queries,
+            above_pairs=[(0, 0)], below_pairs=[(1, 1)],
+            trials=400, seed=2,
+        )
+        assert p1 > p2
+        assert p1 > 0.95  # identical vectors collide always under SimHash

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.datasets import planted_mips
+from repro.errors import ParameterError
+from repro.lsh import BatchSignIndex
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_mips(600, 16, 32, s=0.85, c=0.4, seed=0)
+
+
+class TestBatchSignIndex:
+    def test_recall_on_planted(self, instance):
+        idx = BatchSignIndex.for_datadep(
+            32, n_tables=16, bits_per_table=10, seed=1
+        ).build(instance.P)
+        hits = 0
+        for qi in range(16):
+            found = idx.query(instance.Q[qi], threshold=instance.cs)
+            if found is not None:
+                assert float(instance.P[found] @ instance.Q[qi]) >= instance.cs
+                hits += 1
+        assert hits >= 13
+
+    def test_candidates_match_single_and_batch(self, instance):
+        idx = BatchSignIndex.for_datadep(
+            32, n_tables=6, bits_per_table=8, seed=2
+        ).build(instance.P)
+        batch = idx.candidates_batch(instance.Q[:4])
+        for qi in range(4):
+            single = idx.candidates(instance.Q[qi])
+            np.testing.assert_array_equal(np.sort(single), np.sort(batch[qi]))
+
+    def test_candidates_deduplicated_and_valid(self, instance):
+        idx = BatchSignIndex.for_datadep(
+            32, n_tables=10, bits_per_table=6, seed=3
+        ).build(instance.P)
+        cands = idx.candidates(instance.Q[0])
+        assert len(np.unique(cands)) == cands.size
+        assert ((cands >= 0) & (cands < instance.n)).all()
+
+    def test_more_bits_fewer_candidates(self, instance):
+        coarse = BatchSignIndex.for_datadep(
+            32, n_tables=8, bits_per_table=4, seed=4
+        ).build(instance.P)
+        fine = BatchSignIndex.for_datadep(
+            32, n_tables=8, bits_per_table=14, seed=4
+        ).build(instance.P)
+        q = instance.Q[0]
+        assert fine.candidates(q).size <= coarse.candidates(q).size
+
+    def test_query_before_build_raises(self):
+        idx = BatchSignIndex.for_hyperplane(8, n_tables=2, bits_per_table=4)
+        with pytest.raises(ParameterError):
+            idx.candidates(np.zeros(8))
+        assert not idx.is_built
+
+    def test_hyperplane_variant_identical_vector_always_candidate(self, rng):
+        P = rng.normal(size=(100, 8))
+        idx = BatchSignIndex.for_hyperplane(
+            8, n_tables=4, bits_per_table=8, seed=5
+        ).build(P)
+        # A vector always collides with itself under sign projections.
+        assert 17 in idx.candidates(P[17]).tolist()
+
+    def test_simple_lsh_variant(self, rng):
+        P = rng.normal(size=(100, 8))
+        P *= 0.9 / np.linalg.norm(P, axis=1, keepdims=True)
+        idx = BatchSignIndex.for_simple_lsh(
+            8, n_tables=8, bits_per_table=6, seed=6
+        ).build(P)
+        q = P[3] / np.linalg.norm(P[3])
+        found = idx.query(q, threshold=0.5)
+        assert found is not None
+
+    def test_symmetric_variant(self, rng):
+        P = rng.normal(size=(80, 6))
+        P *= 0.8 / np.linalg.norm(P, axis=1, keepdims=True)
+        idx = BatchSignIndex.for_symmetric(
+            6, eps=0.1, n_tables=10, bits_per_table=5, seed=7
+        ).build(P)
+        q = P[11] * 0.99
+        found = idx.query(q, threshold=0.4)
+        assert found is not None
+        assert float(P[found] @ q) >= 0.4
+
+    def test_unsigned_query(self, instance):
+        idx = BatchSignIndex.for_datadep(
+            32, n_tables=12, bits_per_table=8, seed=8
+        ).build(instance.P)
+        found = idx.query(-instance.Q[0], threshold=instance.cs, signed=False)
+        if found is not None:
+            assert abs(float(instance.P[found] @ instance.Q[0])) >= instance.cs
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            BatchSignIndex(dim=0)
+        with pytest.raises(ParameterError):
+            BatchSignIndex(dim=4, n_tables=0)
+        with pytest.raises(ParameterError):
+            BatchSignIndex(dim=4, bits_per_table=63)
+
+    def test_wrong_query_dimension(self, instance):
+        idx = BatchSignIndex.for_hyperplane(
+            32, n_tables=2, bits_per_table=4, seed=9
+        ).build(instance.P)
+        with pytest.raises(ParameterError):
+            idx.candidates(np.zeros(7))

@@ -1,0 +1,80 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lsh import SimpleALSH, estimate_rho
+from repro.lsh.empirical_rho import RhoEstimate, empirical_rho_curve, planted_pair_at
+from repro.lsh.hyperplane import HyperplaneLSH
+from repro.lsh.rho import rho_simple_lsh
+
+
+class TestPlantedPair:
+    def test_exact_similarity(self, rng):
+        for target in (-0.5, 0.0, 0.3, 0.9):
+            p, q = planted_pair_at(target, 16, rng)
+            assert abs(float(p @ q) - target) < 1e-12
+
+    def test_norms(self, rng):
+        p, q = planted_pair_at(0.4, 16, rng, data_norm=0.7)
+        assert abs(np.linalg.norm(q) - 1.0) < 1e-12
+        assert abs(np.linalg.norm(p) - 0.7) < 1e-12
+
+    def test_infeasible_similarity(self, rng):
+        with pytest.raises(ParameterError):
+            planted_pair_at(0.9, 16, rng, data_norm=0.5)
+
+    def test_dimension_floor(self, rng):
+        with pytest.raises(ParameterError):
+            planted_pair_at(0.5, 1, rng)
+
+
+class TestRhoEstimate:
+    def test_rho_value(self):
+        est = RhoEstimate(p1=0.25, p2=0.5, trials=100)
+        assert abs(est.rho - 2.0) < 1e-12
+
+    def test_nan_on_degenerate(self):
+        assert math.isnan(RhoEstimate(p1=1.0, p2=0.5, trials=10).rho)
+
+    def test_standard_error_shrinks_with_trials(self):
+        small = RhoEstimate(p1=0.8, p2=0.4, trials=100).standard_error
+        large = RhoEstimate(p1=0.8, p2=0.4, trials=10000).standard_error
+        assert large < small
+
+
+class TestEstimateRho:
+    def test_hyperplane_matches_closed_form(self):
+        # For unit vectors the hyperplane family's rho at (s, cs) equals
+        # the SIMPLE-LSH formula.
+        s, c = 0.7, 0.5
+        est = estimate_rho(HyperplaneLSH(32), s, c, d=32, trials=3000, seed=0)
+        exact = rho_simple_lsh(s, c)
+        assert abs(est.rho - exact) <= 3 * est.standard_error + 0.02
+
+    def test_simple_alsh_matches_closed_form(self):
+        s, c = 0.6, 0.5
+        est = estimate_rho(
+            SimpleALSH(32), s, c, d=32, trials=3000, data_norm=0.999, seed=1
+        )
+        exact = rho_simple_lsh(s * 0.999, c)
+        assert abs(est.rho - exact) <= 3 * est.standard_error + 0.03
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            estimate_rho(HyperplaneLSH(8), 1.5, 0.5)
+        with pytest.raises(ParameterError):
+            estimate_rho(HyperplaneLSH(8), 0.5, 0.5, trials=0)
+
+
+class TestCurve:
+    def test_curve_shape_and_monotonicity(self):
+        curve = empirical_rho_curve(
+            lambda d: HyperplaneLSH(d), [0.3, 0.6, 0.9], c=0.5,
+            d=24, trials=1500, seed=2,
+        )
+        assert len(curve) == 3
+        rhos = [est.rho for _, est in curve]
+        # rho decreases in s for hyperplane-type schemes.
+        assert rhos[0] > rhos[-1]

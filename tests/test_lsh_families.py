@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lsh import CrossPolytopeLSH, HyperplaneLSH
+from repro.lsh.base import estimate_collision_probability
+from repro.lsh.rho import collision_prob_hyperplane
+
+
+class TestHyperplane:
+    def test_hash_is_boolean(self, rng):
+        h = HyperplaneLSH(8).sample_function(rng)
+        assert isinstance(h(rng.normal(size=8)), bool)
+
+    def test_scale_invariant(self, rng):
+        h = HyperplaneLSH(8).sample_function(rng)
+        x = rng.normal(size=8)
+        assert h(x) == h(3.0 * x)
+
+    def test_collision_monotone_in_angle(self, rng):
+        fam = HyperplaneLSH(16)
+        base = rng.normal(size=16); base /= np.linalg.norm(base)
+        probs = []
+        for target in (0.9, 0.5, 0.0):
+            other = rng.normal(size=16)
+            other -= (other @ base) * base
+            other /= np.linalg.norm(other)
+            v = target * base + np.sqrt(1 - target ** 2) * other
+            probs.append(
+                estimate_collision_probability(fam, base, v, trials=2000, seed=1)
+            )
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_closed_form_accuracy(self, rng):
+        fam = HyperplaneLSH(32)
+        for target in (0.8, 0.2, -0.5):
+            x = rng.normal(size=32); x /= np.linalg.norm(x)
+            r = rng.normal(size=32); r -= (r @ x) * x; r /= np.linalg.norm(r)
+            y = target * x + np.sqrt(1 - target ** 2) * r
+            est = estimate_collision_probability(fam, x, y, trials=3000, seed=2)
+            assert abs(est - collision_prob_hyperplane(target)) < 0.05
+
+    def test_bad_dimension(self):
+        with pytest.raises(ParameterError):
+            HyperplaneLSH(0)
+
+
+class TestCrossPolytope:
+    def test_hash_range(self, rng):
+        fam = CrossPolytopeLSH(6)
+        h = fam.sample_function(rng)
+        for _ in range(20):
+            value = h(rng.normal(size=6))
+            assert 0 <= value < 12
+
+    def test_identical_vectors_collide(self, rng):
+        fam = CrossPolytopeLSH(8)
+        x = rng.normal(size=8)
+        assert estimate_collision_probability(fam, x, x, trials=50, seed=0) == 1.0
+
+    def test_antipodal_never_collide(self, rng):
+        fam = CrossPolytopeLSH(8)
+        x = rng.normal(size=8)
+        assert estimate_collision_probability(fam, x, -x, trials=50, seed=0) == 0.0
+
+    def test_closer_pairs_collide_more(self, rng):
+        fam = CrossPolytopeLSH(8)
+        x = rng.normal(size=8); x /= np.linalg.norm(x)
+        r = rng.normal(size=8); r -= (r @ x) * x; r /= np.linalg.norm(r)
+        near = 0.95 * x + np.sqrt(1 - 0.95 ** 2) * r
+        far = 0.2 * x + np.sqrt(1 - 0.2 ** 2) * r
+        p_near = estimate_collision_probability(fam, x, near, trials=800, seed=3)
+        p_far = estimate_collision_probability(fam, x, far, trials=800, seed=3)
+        assert p_near > p_far
+
+    def test_more_selective_than_hyperplane(self, rng):
+        # 2d hash values vs 2: random pairs collide much less often.
+        cp = CrossPolytopeLSH(8)
+        hp = HyperplaneLSH(8)
+        x = rng.normal(size=8); y = rng.normal(size=8)
+        p_cp = estimate_collision_probability(cp, x, y, trials=600, seed=4)
+        p_hp = estimate_collision_probability(hp, x, y, trials=600, seed=4)
+        assert p_cp < p_hp
+
+    def test_rotation_is_orthogonal(self, rng):
+        fam = CrossPolytopeLSH(5)
+        # Sampling uses QR; the function must be well-defined on any input.
+        h = fam.sample_function(rng)
+        assert h(np.ones(5)) == h(np.ones(5))
+
+    def test_bad_dimension(self):
+        with pytest.raises(ParameterError):
+            CrossPolytopeLSH(0)

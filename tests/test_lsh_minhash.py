@@ -1,0 +1,106 @@
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, ParameterError
+from repro.lsh import AsymmetricMinHash, MinHash
+from repro.lsh.base import estimate_collision_probability
+from repro.lsh.minhash import EMPTY_SET
+
+
+def make_set(universe, members):
+    x = np.zeros(universe, dtype=np.int64)
+    x[list(members)] = 1
+    return x
+
+
+class TestMinHash:
+    def test_collision_probability_is_jaccard(self, rng):
+        u = 50
+        a = make_set(u, range(0, 20))
+        b = make_set(u, range(10, 30))
+        jaccard = 10 / 30
+        est = estimate_collision_probability(MinHash(u), a, b, trials=3000, seed=0)
+        assert abs(est - jaccard) < 0.04
+
+    def test_identical_sets_always_collide(self):
+        u = 30
+        a = make_set(u, [1, 5, 9])
+        assert estimate_collision_probability(MinHash(u), a, a, trials=50, seed=1) == 1.0
+
+    def test_disjoint_sets_never_collide(self):
+        u = 30
+        a = make_set(u, range(10))
+        b = make_set(u, range(15, 25))
+        assert estimate_collision_probability(MinHash(u), a, b, trials=100, seed=2) == 0.0
+
+    def test_empty_sets_collide(self, rng):
+        u = 10
+        h = MinHash(u).sample_function(rng)
+        assert h(np.zeros(u, dtype=int)) == EMPTY_SET
+
+    def test_hash_value_is_member(self, rng):
+        u = 20
+        members = {3, 7, 11}
+        h = MinHash(u).sample_function(rng)
+        assert h(make_set(u, members)) in members
+
+    def test_non_binary_rejected(self, rng):
+        h = MinHash(5).sample_function(rng)
+        with pytest.raises(DomainError):
+            h(np.array([0, 2, 0, 0, 0]))
+
+    def test_bad_universe(self):
+        with pytest.raises(ParameterError):
+            MinHash(0)
+
+
+class TestAsymmetricMinHash:
+    def test_closed_form(self):
+        # a / (M + |q| - a)
+        assert AsymmetricMinHash.collision_probability(5, 10, 15) == 5 / 20
+        assert AsymmetricMinHash.collision_probability(0, 10, 15) == 0.0
+
+    def test_estimate_matches_closed_form(self):
+        u, M = 40, 12
+        x = make_set(u, range(10))
+        q = make_set(u, range(5, 13))
+        a = 5
+        fam = AsymmetricMinHash(u, M)
+        exact = AsymmetricMinHash.collision_probability(a, 8, M)
+        est = estimate_collision_probability(fam, x, q, trials=4000, seed=3)
+        assert abs(est - exact) < 0.04
+
+    def test_padding_lowers_collision_of_small_sets(self):
+        # Plain MinHash collides identical small sets w.p. 1; MH-ALSH's
+        # padding makes the probability depend on the weight instead.
+        u, M = 30, 10
+        x = make_set(u, [2, 4])
+        fam = AsymmetricMinHash(u, M)
+        est = estimate_collision_probability(fam, x, x, trials=3000, seed=4)
+        exact = AsymmetricMinHash.collision_probability(2, 2, M)
+        assert abs(est - exact) < 0.04
+        assert est < 0.5
+
+    def test_monotone_in_inner_product(self):
+        u, M = 40, 12
+        q = make_set(u, range(0, 10))
+        fam = AsymmetricMinHash(u, M)
+        big = make_set(u, range(0, 10))       # a = 10
+        small = make_set(u, range(8, 18))     # a = 2
+        p_big = estimate_collision_probability(fam, big, q, trials=2000, seed=5)
+        p_small = estimate_collision_probability(fam, small, q, trials=2000, seed=5)
+        assert p_big > p_small
+
+    def test_overweight_data_rejected(self, rng):
+        fam = AsymmetricMinHash(20, 5)
+        pair = fam.sample(rng)
+        with pytest.raises(DomainError):
+            pair.hash_data(make_set(20, range(10)))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            AsymmetricMinHash(10, 0)
+        with pytest.raises(ParameterError):
+            AsymmetricMinHash(10, 11)
+        with pytest.raises(ParameterError):
+            AsymmetricMinHash.collision_probability(-1, 5, 10)

@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.errors import DomainError, ParameterError
+from repro.lsh import E2LSH, SignALSH, rho_sign_alsh
+from repro.lsh.base import estimate_collision_probability
+from repro.lsh.rho import collision_prob_e2lsh, rho_datadep, rho_simple_lsh
+from repro.lsh.sign_alsh import SignALSHTransform
+
+
+class TestSignALSHTransform:
+    def test_inner_product_exactness(self, rng):
+        # P(x) . Q(q) = scale * x.q / |q| exactly (completion coords hit 0).
+        t = SignALSHTransform(m=3)
+        x = rng.normal(size=6); x *= 0.7 / np.linalg.norm(x)
+        q = rng.normal(size=6)
+        lhs = t.embed_data(x, scale=1.0) @ t.embed_query(q)
+        assert abs(lhs - x @ q / np.linalg.norm(q)) < 1e-12
+
+    def test_output_dimension(self):
+        assert SignALSHTransform(m=2).output_dimension(5) == 7
+
+    def test_fit_scale(self, rng):
+        t = SignALSHTransform(max_norm_target=0.75)
+        P = rng.normal(size=(10, 4))
+        scale = t.fit_scale(P)
+        assert abs(np.linalg.norm(P * scale, axis=1).max() - 0.75) < 1e-12
+
+    def test_data_norm_nearly_constant(self):
+        # The design goal: |P(x)| varies little with |x|.
+        t = SignALSHTransform(m=3)
+        norms = []
+        for length in (0.1, 0.4, 0.75):
+            x = np.zeros(4); x[0] = length
+            norms.append(np.linalg.norm(t.embed_data(x, scale=1.0)))
+        assert max(norms) / min(norms) < 1.4
+
+    def test_domain_checks(self):
+        t = SignALSHTransform()
+        with pytest.raises(DomainError):
+            t.embed_data(np.array([2.0, 0.0]), scale=1.0)
+        with pytest.raises(DomainError):
+            t.embed_query(np.zeros(3))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SignALSHTransform(m=0)
+        with pytest.raises(ParameterError):
+            SignALSHTransform(max_norm_target=1.5)
+
+
+class TestSignALSHFamily:
+    def test_monotone_in_inner_product(self, rng):
+        P = rng.normal(size=(20, 10))
+        P /= np.linalg.norm(P, axis=1, keepdims=True)
+        fam = SignALSH.fit(P)
+        q = rng.normal(size=10); q /= np.linalg.norm(q)
+        r = rng.normal(size=10); r -= (r @ q) * q; r /= np.linalg.norm(r)
+        near = 0.9 * q + np.sqrt(1 - 0.81) * r
+        hi = estimate_collision_probability(fam, near, q, trials=1000, seed=0)
+        lo = estimate_collision_probability(fam, -near, q, trials=1000, seed=0)
+        assert hi > lo
+
+    def test_fit_constructor(self, rng):
+        P = rng.normal(size=(10, 6))
+        fam = SignALSH.fit(P, m=3)
+        assert fam.d == 6 and fam.scale > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            SignALSH(d=0, scale=1.0)
+        with pytest.raises(ParameterError):
+            SignALSH(d=4, scale=-1.0)
+
+
+class TestRhoSignALSH:
+    def test_in_unit_interval(self):
+        for s in (0.2, 0.5, 0.8):
+            for c in (0.3, 0.7):
+                assert 0.0 < rho_sign_alsh(s, c) < 1.0 + 1e-9
+
+    def test_improves_on_l2alsh(self):
+        # Sign-ALSH's selling point: it dominates its predecessor L2-ALSH
+        # (the comparison against SIMPLE-LSH depends on the norm
+        # distribution / parametrization, so we do not assert it).
+        from repro.lsh.rho import rho_l2alsh
+        for s in (0.3, 0.5, 0.7):
+            assert rho_sign_alsh(s, 0.5) < rho_l2alsh(s, 0.5)
+
+    def test_datadep_still_better(self):
+        # The paper's Section 4.1 scheme dominates at the defaults.
+        for s in (0.3, 0.6, 0.9):
+            assert rho_datadep(s, 0.5) < rho_sign_alsh(s, 0.5)
+
+    def test_domain(self):
+        with pytest.raises(ParameterError):
+            rho_sign_alsh(0.0, 0.5)
+        with pytest.raises(ParameterError):
+            rho_sign_alsh(0.5, 0.5, m=0)
+
+
+class TestE2LSH:
+    def test_collision_matches_closed_form(self, rng):
+        fam = E2LSH(8, w=2.0)
+        x = rng.normal(size=8)
+        y = x + rng.normal(size=8) * 0.2
+        dist = float(np.linalg.norm(x - y))
+        est = estimate_collision_probability(fam, x, y, trials=3000, seed=1)
+        assert abs(est - collision_prob_e2lsh(dist, 2.0)) < 0.04
+
+    def test_identical_vectors_always_collide(self, rng):
+        fam = E2LSH(4, w=1.0)
+        x = rng.normal(size=4)
+        assert estimate_collision_probability(fam, x, x, trials=50, seed=2) == 1.0
+
+    def test_monotone_in_distance(self, rng):
+        fam = E2LSH(8, w=2.0)
+        x = rng.normal(size=8)
+        near = x + 0.1 * rng.normal(size=8)
+        far = x + 3.0 * rng.normal(size=8)
+        p_near = estimate_collision_probability(fam, x, near, trials=800, seed=3)
+        p_far = estimate_collision_probability(fam, x, far, trials=800, seed=3)
+        assert p_near > p_far
+
+    def test_is_symmetric(self):
+        assert E2LSH(4).is_symmetric
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            E2LSH(0)
+        with pytest.raises(ParameterError):
+            E2LSH(4, w=0.0)

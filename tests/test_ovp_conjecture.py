@@ -1,0 +1,52 @@
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ovp import conjecture_dimension, is_conjecture_regime
+from repro.ovp.conjecture import subquadratic_exponent
+
+
+class TestConjectureDimension:
+    def test_scales_with_log_n(self):
+        assert conjecture_dimension(2 ** 20, gamma=1.0) == 20
+
+    def test_gamma_multiplies(self):
+        assert conjecture_dimension(2 ** 10, gamma=3.0) == 30
+
+    def test_minimum_two(self):
+        assert conjecture_dimension(2, gamma=0.1) >= 2
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            conjecture_dimension(1)
+        with pytest.raises(ParameterError):
+            conjecture_dimension(10, gamma=0)
+
+
+class TestRegimeCheck:
+    def test_in_regime(self):
+        assert is_conjecture_regime(1024, 20, min_gamma=1.0)
+
+    def test_below_regime(self):
+        assert not is_conjecture_regime(2 ** 30, 10, min_gamma=1.0)
+
+    def test_boundary(self):
+        assert is_conjecture_regime(1024, 10, min_gamma=1.0)
+
+
+class TestSubquadraticExponent:
+    def test_quadratic_cost(self):
+        # time = unit * n^2 should give exponent 2.
+        n = 1000
+        assert abs(subquadratic_exponent(n, 5.0 * n ** 2, 5.0) - 2.0) < 1e-9
+
+    def test_linear_cost(self):
+        n = 500
+        assert abs(subquadratic_exponent(n, 2.0 * n, 2.0) - 1.0) < 1e-9
+
+    def test_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            subquadratic_exponent(1, 1.0, 1.0)
+        with pytest.raises(ParameterError):
+            subquadratic_exponent(10, 0.0, 1.0)

@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro.datasets import planted_ovp
+from repro.errors import ParameterError
+from repro.ovp import solve_generalized_via_chunks, solve_ovp_bruteforce
+
+
+class TestGeneralizedOVP:
+    def test_finds_pair_with_chunking(self):
+        inst = planted_ovp(60, 30, planted=True, seed=0)
+        pair = solve_generalized_via_chunks(inst, chunk_size=7)
+        assert pair is not None and inst.is_orthogonal(*pair)
+
+    def test_index_mapping_back_to_instance(self):
+        inst = planted_ovp(60, 30, planted=True, seed=1)
+        pair = solve_generalized_via_chunks(inst, chunk_size=11)
+        i, j = pair
+        assert int(inst.P[i] @ inst.Q[j]) == 0
+
+    def test_none_without_pair(self):
+        inst = planted_ovp(40, 40, planted=False, seed=2)
+        assert solve_generalized_via_chunks(inst, chunk_size=9) is None
+
+    def test_chunk_size_one(self):
+        inst = planted_ovp(20, 24, planted=True, seed=3)
+        pair = solve_generalized_via_chunks(inst, chunk_size=1)
+        assert pair is not None and inst.is_orthogonal(*pair)
+
+    def test_chunk_larger_than_p(self):
+        inst = planted_ovp(20, 24, planted=True, seed=4)
+        pair = solve_generalized_via_chunks(inst, chunk_size=1000)
+        assert pair is not None and inst.is_orthogonal(*pair)
+
+    def test_custom_solver_plugged(self):
+        inst = planted_ovp(20, 24, planted=True, seed=5)
+        pair = solve_generalized_via_chunks(
+            inst, chunk_size=6, solver=solve_ovp_bruteforce
+        )
+        assert pair is not None and inst.is_orthogonal(*pair)
+
+    def test_bad_chunk_size(self):
+        inst = planted_ovp(10, 24, seed=6)
+        with pytest.raises(ParameterError):
+            solve_generalized_via_chunks(inst, chunk_size=0)

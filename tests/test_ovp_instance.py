@@ -1,0 +1,44 @@
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.ovp import OVPInstance
+
+
+class TestOVPInstance:
+    def test_basic_construction(self):
+        inst = OVPInstance(P=np.eye(3, dtype=int), Q=np.eye(3, dtype=int))
+        assert inst.n_p == inst.n_q == inst.d == 3
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            OVPInstance(P=np.ones((2, 3), dtype=int), Q=np.ones((2, 4), dtype=int))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(DomainError):
+            OVPInstance(P=np.full((2, 2), 2), Q=np.ones((2, 2), dtype=int))
+
+    def test_is_orthogonal(self):
+        P = np.array([[1, 0], [1, 1]])
+        Q = np.array([[0, 1], [1, 0]])
+        inst = OVPInstance(P=P, Q=Q)
+        assert inst.is_orthogonal(0, 0)
+        assert not inst.is_orthogonal(1, 0)
+
+    def test_planted_pair_validated(self):
+        P = np.array([[1, 0]])
+        Q = np.array([[1, 0]])
+        with pytest.raises(ValueError):
+            OVPInstance(P=P, Q=Q, planted_pair=(0, 0))
+
+    def test_planted_pair_bounds(self):
+        P = np.array([[1, 0]])
+        Q = np.array([[0, 1]])
+        with pytest.raises(ValueError):
+            OVPInstance(P=P, Q=Q, planted_pair=(5, 0))
+
+    def test_valid_planted_pair(self):
+        P = np.array([[1, 0]])
+        Q = np.array([[0, 1]])
+        inst = OVPInstance(P=P, Q=Q, planted_pair=(0, 0))
+        assert inst.planted_pair == (0, 0)

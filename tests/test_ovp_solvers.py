@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.datasets import planted_ovp
+from repro.ovp import (
+    OVPInstance,
+    solve_ovp_bitpacked,
+    solve_ovp_bruteforce,
+    solve_ovp_matmul,
+)
+from repro.ovp.solvers import count_orthogonal_pairs
+
+SOLVERS = [solve_ovp_bruteforce, solve_ovp_bitpacked, solve_ovp_matmul]
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestSolversAgainstPlanted:
+    def test_finds_planted_pair(self, solver):
+        inst = planted_ovp(40, 30, planted=True, seed=0)
+        pair = solver(inst)
+        assert pair is not None
+        assert inst.is_orthogonal(*pair)
+
+    def test_none_when_no_pair(self, solver):
+        inst = planted_ovp(40, 40, planted=False, seed=1)
+        assert solver(inst) is None
+
+    def test_unbalanced_instance(self, solver):
+        inst = planted_ovp(60, 30, planted=True, n_p=8, seed=2)
+        pair = solver(inst)
+        assert pair is not None and inst.is_orthogonal(*pair)
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_solvers_agree_on_existence(self, seed, rng):
+        P = (rng.random((25, 12)) < 0.35).astype(np.int64)
+        Q = (rng.random((25, 12)) < 0.35).astype(np.int64)
+        inst = OVPInstance(P=P, Q=Q)
+        answers = [solver(inst) is not None for solver in SOLVERS]
+        assert len(set(answers)) == 1
+
+    def test_first_pair_convention(self):
+        # Both the brute-force and bit-packed scans go in row-major order.
+        P = np.array([[1, 1], [1, 0]])
+        Q = np.array([[1, 1], [0, 1]])
+        inst = OVPInstance(P=P, Q=Q)
+        assert solve_ovp_bruteforce(inst) == solve_ovp_bitpacked(inst) == (1, 1)
+
+
+class TestCountPairs:
+    def test_identity_count(self):
+        inst = OVPInstance(P=np.eye(4, dtype=int), Q=np.eye(4, dtype=int))
+        # e_i . e_j = 0 exactly when i != j.
+        assert count_orthogonal_pairs(inst) == 12
+
+    def test_zero_count(self):
+        inst = OVPInstance(P=np.ones((3, 4), dtype=int), Q=np.ones((3, 4), dtype=int))
+        assert count_orthogonal_pairs(inst) == 0
+
+    def test_blocked_matches_direct(self, rng):
+        P = (rng.random((30, 10)) < 0.3).astype(np.int64)
+        Q = (rng.random((30, 10)) < 0.3).astype(np.int64)
+        inst = OVPInstance(P=P, Q=Q)
+        direct = int((P @ Q.T == 0).sum())
+        assert count_orthogonal_pairs(inst, block=7) == direct
+
+
+class TestMatmulBlocking:
+    def test_small_blocks_agree(self):
+        inst = planted_ovp(50, 24, planted=True, seed=3)
+        pair = solve_ovp_matmul(inst, block=13)
+        assert pair is not None and inst.is_orthogonal(*pair)

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis): gap embeddings on arbitrary inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings import (
+    ChebyshevSignEmbedding,
+    ChoppedBinaryEmbedding,
+    SignedCoordinateEmbedding,
+)
+
+MAX_EXAMPLES = 60
+
+
+def binary_vector(d):
+    return st.lists(st.integers(0, 1), min_size=d, max_size=d).map(
+        lambda bits: np.array(bits, dtype=np.int64)
+    )
+
+
+class TestSignedEmbeddingProperties:
+    @given(x=binary_vector(8), y=binary_vector(8))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_gap_guarantee(self, x, y):
+        emb = SignedCoordinateEmbedding(8)
+        assert emb.gap_holds(x, y)
+
+    @given(x=binary_vector(8), y=binary_vector(8))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_inner_product_closed_form(self, x, y):
+        emb = SignedCoordinateEmbedding(8)
+        value = emb.embed_left(x) @ emb.embed_right(y)
+        assert value == emb.embedded_inner_product(int(x @ y))
+
+    @given(x=binary_vector(8))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_output_alphabet(self, x):
+        emb = SignedCoordinateEmbedding(8)
+        assert set(np.unique(emb.embed_left(x))) <= {-1.0, 1.0}
+        assert set(np.unique(emb.embed_right(x))) <= {-1.0, 1.0}
+
+
+class TestChebyshevEmbeddingProperties:
+    @given(x=binary_vector(5), y=binary_vector(5))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_gap_guarantee(self, x, y):
+        emb = ChebyshevSignEmbedding(d=5, q=2)
+        assert emb.gap_holds(x, y)
+
+    @given(x=binary_vector(5), y=binary_vector(5))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_realizes_scaled_chebyshev(self, x, y):
+        emb = ChebyshevSignEmbedding(d=5, q=2)
+        value = emb.embed_left(x) @ emb.embed_right(y)
+        assert abs(value - emb.embedded_inner_product(int(x @ y))) < 1e-6
+
+    @given(x=binary_vector(5))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_output_alphabet(self, x):
+        emb = ChebyshevSignEmbedding(d=5, q=2)
+        assert set(np.unique(emb.embed_left(x))) <= {-1.0, 1.0}
+
+
+class TestChoppedEmbeddingProperties:
+    @given(x=binary_vector(10), y=binary_vector(10), k=st.integers(1, 5))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_gap_guarantee(self, x, y, k):
+        emb = ChoppedBinaryEmbedding(d=10, k=k)
+        assert emb.gap_holds(x, y)
+
+    @given(x=binary_vector(10), y=binary_vector(10), k=st.integers(1, 5))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_counts_clean_chunks(self, x, y, k):
+        emb = ChoppedBinaryEmbedding(d=10, k=k)
+        value = emb.embed_left(x) @ emb.embed_right(y)
+        assert value == emb.embedded_inner_product(x, y)
+
+    @given(x=binary_vector(10), k=st.integers(1, 5))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_output_alphabet(self, x, k):
+        emb = ChoppedBinaryEmbedding(d=10, k=k)
+        assert set(np.unique(emb.embed_left(x))) <= {0.0, 1.0}
+        assert set(np.unique(emb.embed_right(x))) <= {0.0, 1.0}
+
+    @given(x=binary_vector(10), y=binary_vector(10))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_orthogonality_detected_exactly(self, x, y):
+        # The k=d embedding value equals d iff the pair is orthogonal.
+        emb = ChoppedBinaryEmbedding(d=10, k=10)
+        value = emb.embed_left(x) @ emb.embed_right(y)
+        if int(x @ y) == 0:
+            assert value == 10.0
+        else:
+            assert value <= 9.0

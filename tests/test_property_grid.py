@@ -1,0 +1,53 @@
+"""Property-based tests: the Figure 1 grid partition on arbitrary sizes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds import lower_triangle_partition, square_containing
+from repro.lowerbounds.grid import grid_side, left_squares, top_squares
+
+
+class TestPartitionProperties:
+    @given(ell=st.integers(1, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_exact_cover(self, ell):
+        n = grid_side(ell)
+        covered = 0
+        seen = set()
+        for sq in lower_triangle_partition(ell):
+            for node in sq.nodes():
+                assert node not in seen
+                seen.add(node)
+                covered += 1
+        assert covered == n * (n + 1) // 2
+
+    @given(ell=st.integers(1, 7), data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_square_containing_consistent(self, ell, data):
+        n = grid_side(ell)
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(i, n - 1))
+        sq = square_containing(ell, i, j)
+        assert sq.contains(i, j)
+        assert sq in lower_triangle_partition(ell)
+
+    @given(ell=st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_left_and_top_regions_disjoint_from_square(self, ell):
+        for sq in lower_triangle_partition(ell):
+            own = set(sq.nodes())
+            for other in left_squares(ell, sq) + top_squares(ell, sq):
+                assert own.isdisjoint(set(other.nodes()))
+
+    @given(ell=st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_left_top_symmetry_counts(self, ell):
+        # The left and top sub-triangles are congruent: equal square counts.
+        for sq in lower_triangle_partition(ell):
+            assert len(left_squares(ell, sq)) == len(top_squares(ell, sq))
+
+    @given(ell=st.integers(1, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_total_square_count(self, ell):
+        # sum_r 2^{ell-r-1} = 2^ell - 1 squares in total.
+        assert len(lower_triangle_partition(ell)) == (1 << ell) - 1

@@ -1,0 +1,67 @@
+"""Property-based tests: the ⊕/⊗ inner-product calculus on arbitrary vectors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.embeddings.ops import (
+    concat_vectors,
+    repeat_vector,
+    tensor_vectors,
+)
+
+MAX_EXAMPLES = 80
+
+finite_floats = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+def vec(size):
+    return arrays(np.float64, size, elements=finite_floats)
+
+
+class TestInnerProductCalculus:
+    @given(x1=vec(4), x2=vec(3), y1=vec(4), y2=vec(3))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_tensor_multiplies(self, x1, x2, y1, y2):
+        lhs = tensor_vectors(x1, x2) @ tensor_vectors(y1, y2)
+        rhs = (x1 @ y1) * (x2 @ y2)
+        assert abs(lhs - rhs) <= 1e-6 * max(1.0, abs(rhs))
+
+    @given(x1=vec(4), x2=vec(3), y1=vec(4), y2=vec(3))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_concat_adds(self, x1, x2, y1, y2):
+        lhs = concat_vectors(x1, x2) @ concat_vectors(y1, y2)
+        rhs = x1 @ y1 + x2 @ y2
+        assert abs(lhs - rhs) <= 1e-6 * max(1.0, abs(rhs))
+
+    @given(x=vec(5), y=vec(5), n=st.integers(0, 6))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_repeat_scales(self, x, y, n):
+        lhs = repeat_vector(x, n) @ repeat_vector(y, n)
+        rhs = n * (x @ y)
+        assert abs(lhs - rhs) <= 1e-6 * max(1.0, abs(rhs))
+
+    @given(x=vec(3), y=vec(3), z=vec(3), w=vec(3))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_tensor_distributes_over_sums_of_products(self, x, y, z, w):
+        # <x⊗y ⊕ z⊗w, a⊗b ⊕ c⊗d> pattern used throughout Lemma 3:
+        # check with a = x, b = y, c = z, d = w.
+        left = concat_vectors(tensor_vectors(x, y), tensor_vectors(z, w))
+        value = left @ left
+        expected = (x @ x) * (y @ y) + (z @ z) * (w @ w)
+        assert abs(value - expected) <= 1e-6 * max(1.0, abs(expected))
+
+    @given(x=vec(4), y=vec(3))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_tensor_dimension(self, x, y):
+        assert tensor_vectors(x, y).size == 12
+
+    @given(x=vec(4), y=vec(4), scale=st.floats(-5, 5, allow_nan=False))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None)
+    def test_tensor_bilinearity(self, x, y, scale):
+        lhs = tensor_vectors(scale * x, y)
+        rhs = scale * tensor_vectors(x, y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-6)

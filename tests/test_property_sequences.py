@@ -1,0 +1,71 @@
+"""Property-based tests: hard sequences satisfy Lemma 4 for arbitrary params."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.lowerbounds import geometric_sequences, shifted_affine_sequences
+
+
+class TestGeometricProperties:
+    @given(
+        s=st.floats(0.005, 0.2),
+        c=st.floats(0.2, 0.8),
+        U=st.floats(1.0, 16.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_dimensional_always_valid(self, s, c, U):
+        assume(s <= c * U)
+        seqs = geometric_sequences(s=s, c=c, U=U, d=1)
+        ips = seqs.inner_products()
+        n = seqs.n
+        rows, cols = np.indices((n, n))
+        assert (ips[cols >= rows] >= seqs.s - 1e-9).all()
+        below = ips[cols < rows]
+        if below.size:
+            assert (np.abs(below) <= seqs.cs + 1e-9).all()
+
+    @given(
+        s=st.floats(0.002, 0.05),
+        c=st.floats(0.3, 0.7),
+        d_half=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_multidimensional_valid_when_constructible(self, s, c, d_half):
+        U = 2.0
+        try:
+            seqs = geometric_sequences(s=s, c=c, U=U, d=2 * d_half)
+        except ParameterError:
+            assume(False)
+        assert np.linalg.norm(seqs.P, axis=1).max() <= 1 + 1e-9
+        assert np.linalg.norm(seqs.Q, axis=1).max() <= U + 1e-9
+
+
+class TestAffineProperties:
+    @given(
+        s=st.floats(0.005, 0.1),
+        c=st.floats(0.2, 0.8),
+        U=st.floats(1.0, 8.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_dimensional_always_valid(self, s, c, U):
+        assume(s < U / 4)
+        seqs = shifted_affine_sequences(s=s, c=c, U=U, d=2)
+        ips = seqs.inner_products()
+        n = seqs.n
+        rows, cols = np.indices((n, n))
+        assert (ips[cols >= rows] >= seqs.s - 1e-9).all()
+        below = ips[cols < rows]
+        if below.size:
+            assert (below <= seqs.cs + 1e-9).all()
+
+    @given(s=st.floats(0.005, 0.05), c=st.floats(0.3, 0.7))
+    @settings(max_examples=30, deadline=None)
+    def test_length_lower_bound(self, s, c):
+        # n >= sqrt((U-s)/(s(1-c))) by construction.
+        U = 4.0
+        seqs = shifted_affine_sequences(s=s, c=c, U=U, d=2)
+        assert seqs.n >= math.sqrt((U - s) / (s * (1 - c))) - 1

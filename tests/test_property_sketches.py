@@ -1,0 +1,57 @@
+"""Property-based tests: sketch linearity and norm bracketing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sketches import LKappaSketch
+from repro.sketches.stable import kappa_norm, norm_ratio_bound
+
+N = 64
+finite = st.floats(min_value=-50, max_value=50, allow_nan=False, allow_infinity=False)
+
+
+def vector():
+    return arrays(np.float64, N, elements=finite)
+
+
+class TestSketchLinearity:
+    @given(x=vector(), y=vector(), a=st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_linear_map(self, x, y, a):
+        sk = LKappaSketch(N, 3.0, copies=3, seed=0)
+        np.testing.assert_allclose(
+            sk.apply(a * x + y), a * sk.apply(x) + sk.apply(y), atol=1e-6
+        )
+
+    @given(x=vector())
+    @settings(max_examples=40, deadline=None)
+    def test_homogeneous_estimate(self, x):
+        sk = LKappaSketch(N, 3.0, copies=5, seed=1)
+        e1 = sk.estimate(x)
+        e2 = sk.estimate(2.0 * x)
+        assert abs(e2 - 2.0 * e1) <= 1e-6 * max(1.0, e1)
+
+
+class TestNormBracketing:
+    @given(x=vector(), kappa=st.sampled_from([2.0, 3.0, 4.0, 8.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_kappa_norm_brackets_inf_norm(self, x, kappa):
+        inf_norm = float(np.abs(x).max(initial=0.0))
+        k_norm = kappa_norm(x, kappa)
+        assert inf_norm - 1e-9 <= k_norm <= norm_ratio_bound(N, kappa) * inf_norm + 1e-9
+
+    @given(x=vector())
+    @settings(max_examples=40, deadline=None)
+    def test_norms_decreasing_in_kappa(self, x):
+        norms = [kappa_norm(x, k) for k in (1.0, 2.0, 4.0, 16.0)]
+        for a, b in zip(norms, norms[1:]):
+            assert a >= b - 1e-9
+
+    @given(x=vector())
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, x):
+        y = np.roll(x, 1)
+        for kappa in (2.0, 3.0):
+            assert kappa_norm(x + y, kappa) <= kappa_norm(x, kappa) + kappa_norm(y, kappa) + 1e-9

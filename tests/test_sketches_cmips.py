@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.datasets import planted_mips
+from repro.errors import ParameterError
+from repro.sketches import SketchCMIPS
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_mips(256, 8, 24, s=0.9, c=0.3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def structure(instance):
+    return SketchCMIPS(instance.P, kappa=4.0, copies=9, seed=1)
+
+
+class TestSketchCMIPS:
+    def test_approximation_factor(self, structure, instance):
+        assert abs(structure.approximation_factor - instance.n ** -0.25) < 1e-12
+
+    def test_query_within_factor(self, structure, instance):
+        for qi in range(8):
+            q = instance.Q[qi]
+            opt = float(np.abs(instance.P @ q).max())
+            answer = structure.query(q)
+            assert answer.value >= structure.approximation_factor * opt / 4.0
+
+    def test_answer_value_exact(self, structure, instance):
+        q = instance.Q[0]
+        answer = structure.query(q)
+        assert abs(answer.value - abs(float(instance.P[answer.index] @ q))) < 1e-12
+
+    def test_norm_estimate_positive(self, structure, instance):
+        assert structure.query(instance.Q[0]).norm_estimate > 0
+
+    def test_search_promise_satisfied(self, structure, instance):
+        # Planted queries have a partner at s; search must return one
+        # clearing c*s with the structure's own approximation.
+        for qi in range(8):
+            idx = structure.search(instance.Q[qi], s=instance.s)
+            assert idx is not None
+            value = abs(float(instance.P[idx] @ instance.Q[qi]))
+            assert value >= structure.approximation_factor * instance.s
+
+    def test_search_none_when_hopeless(self, structure, instance):
+        assert structure.search(instance.Q[0], s=100.0) is None
+
+    def test_search_explicit_c(self, structure, instance):
+        idx = structure.search(instance.Q[0], s=instance.s, c=0.01)
+        assert idx is not None
+
+    def test_search_validates(self, structure, instance):
+        with pytest.raises(ParameterError):
+            structure.search(instance.Q[0], s=-1.0)
+        with pytest.raises(ParameterError):
+            structure.search(instance.Q[0], s=1.0, c=2.0)
+
+    def test_kappa_floor(self, instance):
+        with pytest.raises(ParameterError):
+            SketchCMIPS(instance.P, kappa=1.5)
+
+    def test_construction_cost_reported(self, structure):
+        assert structure.construction_cost() > 0
+
+    def test_higher_kappa_tighter_approximation(self, instance):
+        loose = SketchCMIPS(instance.P, kappa=2.0, copies=3, seed=2)
+        tight = SketchCMIPS(instance.P, kappa=8.0, copies=3, seed=2)
+        assert tight.approximation_factor > loose.approximation_factor

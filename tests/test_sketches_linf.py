@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sketches import LKappaSketch
+from repro.sketches.linf import default_rows
+from repro.sketches.stable import kappa_norm
+
+
+class TestDefaultRows:
+    def test_sublinear_for_kappa_above_two(self):
+        assert default_rows(10 ** 6, 4.0) < 10 ** 6
+
+    def test_capped_at_n(self):
+        assert default_rows(10, 4.0) <= 10
+
+    def test_grows_with_kappa(self):
+        assert default_rows(10 ** 6, 8.0) >= default_rows(10 ** 6, 3.0)
+
+    def test_bad_n(self):
+        with pytest.raises(ParameterError):
+            default_rows(0, 2.0)
+
+
+class TestLKappaSketch:
+    def test_shapes(self):
+        sk = LKappaSketch(100, 3.0, copies=5, seed=0)
+        assert sk.buckets.shape == (5, 100)
+        assert sk.weights.shape == (5, 100)
+
+    def test_apply_shape(self, rng):
+        sk = LKappaSketch(50, 3.0, copies=4, seed=1)
+        assert sk.apply(rng.normal(size=50)).shape == (4, sk.rows)
+
+    def test_linearity(self, rng):
+        sk = LKappaSketch(40, 3.0, copies=3, seed=2)
+        x, y = rng.normal(size=40), rng.normal(size=40)
+        np.testing.assert_allclose(
+            sk.apply(2 * x + y), 2 * sk.apply(x) + sk.apply(y), atol=1e-9
+        )
+
+    def test_estimate_within_constant_factor(self, rng):
+        sk = LKappaSketch(256, 3.0, copies=9, seed=3)
+        for _ in range(10):
+            x = rng.normal(size=256)
+            true = kappa_norm(x, 3.0)
+            assert 0.4 * true <= sk.estimate(x) <= 2.5 * true
+
+    def test_single_spike_estimated_well(self, rng):
+        # One heavy coordinate: ||x||_k ~ |spike| for every k.
+        sk = LKappaSketch(256, 4.0, copies=9, seed=4)
+        x = np.zeros(256)
+        x[137] = 5.0
+        assert 0.5 * 5.0 <= sk.estimate(x) <= 2.0 * 5.0
+
+    def test_sketch_matrix_consistent_with_apply(self, rng):
+        sk = LKappaSketch(30, 3.0, copies=3, seed=5)
+        A = rng.normal(size=(30, 6))
+        S = sk.sketch_matrix(A)
+        q = rng.normal(size=6)
+        np.testing.assert_allclose(S @ q, sk.apply(A @ q), atol=1e-9)
+
+    def test_estimate_from_values_validates_shape(self):
+        sk = LKappaSketch(10, 2.0, copies=2, seed=6)
+        with pytest.raises(ParameterError):
+            sk.estimate_from_values(np.zeros((3, sk.rows)))
+
+    def test_wrong_input_dimension(self):
+        sk = LKappaSketch(10, 2.0, seed=7)
+        with pytest.raises(ParameterError):
+            sk.apply(np.zeros(11))
+
+    def test_matrix_row_mismatch(self, rng):
+        sk = LKappaSketch(10, 2.0, seed=8)
+        with pytest.raises(ParameterError):
+            sk.sketch_matrix(rng.normal(size=(11, 3)))
+
+    def test_reproducible(self, rng):
+        a = LKappaSketch(20, 3.0, seed=9)
+        b = LKappaSketch(20, 3.0, seed=9)
+        x = rng.normal(size=20)
+        assert a.estimate(x) == b.estimate(x)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            LKappaSketch(0, 2.0)
+        with pytest.raises(ParameterError):
+            LKappaSketch(10, 2.0, copies=0)
+        with pytest.raises(ParameterError):
+            LKappaSketch(10, 2.0, rows=0)

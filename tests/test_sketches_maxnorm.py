@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sketches import MaxDotEstimator
+from repro.sketches.stable import kappa_norm
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    A = rng.normal(size=(400, 16))
+    return A / np.linalg.norm(A, axis=1, keepdims=True)
+
+
+class TestMaxDotEstimator:
+    def test_estimates_kappa_norm(self, data, rng):
+        est = MaxDotEstimator(data, kappa=3.0, copies=9, seed=1)
+        for _ in range(5):
+            q = rng.normal(size=16); q /= np.linalg.norm(q)
+            true = kappa_norm(data @ q, 3.0)
+            assert 0.4 * true <= est.estimate(q) <= 2.5 * true
+
+    def test_bracketed_by_approximation_factor(self, data, rng):
+        est = MaxDotEstimator(data, kappa=3.0, copies=9, seed=2)
+        slack = est.approximation_factor
+        for _ in range(5):
+            q = rng.normal(size=16); q /= np.linalg.norm(q)
+            true_inf = float(np.abs(data @ q).max())
+            value = est.estimate(q)
+            # Constant 2.5 accounts for the sketch's own (1 +- c0) noise.
+            assert value <= 2.5 * slack * true_inf
+            assert value >= true_inf / 2.5
+
+    def test_approximation_factor_formula(self, data):
+        est = MaxDotEstimator(data, kappa=4.0, seed=3)
+        assert abs(est.approximation_factor - 400 ** 0.25) < 1e-9
+
+    def test_sketch_cost_scaling(self, data):
+        # Cost must be copies * rows * d, strictly below n*d per copy at
+        # large n when kappa > 2.
+        est = MaxDotEstimator(data, kappa=3.0, copies=3, seed=4)
+        assert est.sketch_cost() == 3 * est.rows * 16
+
+    def test_query_dimension_validated(self, data):
+        est = MaxDotEstimator(data, kappa=3.0, seed=5)
+        with pytest.raises(ParameterError):
+            est.estimate(np.zeros(17))
+
+    def test_scaling_with_query_norm(self, data, rng):
+        # The estimator is homogeneous: estimate(2q) = 2 estimate(q).
+        est = MaxDotEstimator(data, kappa=3.0, copies=5, seed=6)
+        q = rng.normal(size=16)
+        assert abs(est.estimate(2 * q) - 2 * est.estimate(q)) < 1e-9

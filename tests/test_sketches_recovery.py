@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.datasets import planted_mips
+from repro.errors import ParameterError
+from repro.sketches import PrefixRecoveryIndex
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_mips(256, 8, 24, s=0.9, c=0.3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def index(instance):
+    return PrefixRecoveryIndex(instance.P, kappa=4.0, copies=9, seed=1)
+
+
+class TestPrefixRecoveryIndex:
+    def test_returns_valid_index_and_exact_value(self, index, instance):
+        q = instance.Q[0]
+        idx, value = index.query(q)
+        assert 0 <= idx < instance.n
+        assert abs(value - abs(float(instance.P[idx] @ q))) < 1e-12
+
+    def test_within_approximation_factor(self, index, instance):
+        # The returned value must be within ~n^{-1/kappa} of optimal
+        # (with generous slack for sketch constants).
+        slack = instance.n ** (-1.0 / 4.0) / 4.0
+        for qi in range(8):
+            q = instance.Q[qi]
+            opt = float(np.abs(instance.P @ q).max())
+            _, value = index.query(q)
+            assert value >= slack * opt
+
+    def test_planted_spikes_found_exactly(self, index, instance):
+        # Planted pairs dominate so strongly the descent finds them.
+        hits = 0
+        for qi in range(8):
+            idx, _ = index.query(instance.Q[qi])
+            if idx == instance.answers[qi]:
+                hits += 1
+        assert hits >= 6
+
+    def test_small_dataset_is_exact(self, rng):
+        A = rng.normal(size=(6, 4))
+        index = PrefixRecoveryIndex(A, leaf_size=8, seed=2)
+        q = rng.normal(size=4)
+        idx, value = index.query(q)
+        assert idx == int(np.argmax(np.abs(A @ q)))
+
+    def test_sketched_nodes_counted(self, index):
+        assert index.sketched_nodes > 0
+
+    def test_query_cost_positive(self, index):
+        assert index.query_cost() > 0
+
+    def test_wrong_query_dimension(self, index):
+        with pytest.raises(ParameterError):
+            index.query(np.zeros(3))
+
+    def test_bad_leaf_size(self, rng):
+        with pytest.raises(ParameterError):
+            PrefixRecoveryIndex(rng.normal(size=(4, 2)), leaf_size=0)

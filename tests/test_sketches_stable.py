@@ -1,0 +1,90 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sketches.stable import (
+    check_kappa,
+    exponential_scalers,
+    kappa_norm,
+    median_correction,
+    norm_ratio_bound,
+)
+
+
+class TestKappaNorm:
+    def test_matches_numpy_l2(self, rng):
+        x = rng.normal(size=20)
+        assert abs(kappa_norm(x, 2) - np.linalg.norm(x)) < 1e-9
+
+    def test_l1(self):
+        assert kappa_norm([1, -2, 3], 1) == 6.0
+
+    def test_inf_is_max(self):
+        assert kappa_norm([1, -5, 3], math.inf) == 5.0
+
+    def test_zero_vector(self):
+        assert kappa_norm(np.zeros(5), 3) == 0.0
+
+    def test_large_kappa_stable(self):
+        # Near-inf kappa must not overflow.
+        x = np.array([1e-8, 2e-8])
+        assert kappa_norm(x, 100) == pytest.approx(2e-8, rel=1e-3)
+
+    def test_monotone_decreasing_in_kappa(self, rng):
+        x = rng.normal(size=10)
+        norms = [kappa_norm(x, k) for k in (1, 2, 4, 8, math.inf)]
+        assert all(a >= b - 1e-12 for a, b in zip(norms, norms[1:]))
+
+    def test_bad_kappa(self):
+        with pytest.raises(ParameterError):
+            kappa_norm([1.0], 0.5)
+
+
+class TestExponentialScalers:
+    def test_max_stability_identity(self, rng):
+        # max_i |x_i| / E_i^{1/k} should distribute as ||x||_k / E^{1/k};
+        # check the medians agree across many draws.
+        kappa = 3.0
+        x = np.abs(rng.normal(size=30)) + 0.1
+        true_norm = kappa_norm(x, kappa)
+        maxima = []
+        for _ in range(3000):
+            scalers = exponential_scalers(30, kappa, rng)
+            maxima.append(np.max(np.abs(x) * scalers))
+        est = np.median(maxima) * median_correction(kappa)
+        assert abs(est - true_norm) / true_norm < 0.1
+
+    def test_inf_kappa_scalers_are_one(self, rng):
+        np.testing.assert_array_equal(exponential_scalers(5, math.inf, rng), 1.0)
+
+    def test_positive(self, rng):
+        assert (exponential_scalers(100, 2.0, rng) > 0).all()
+
+    def test_bad_n(self, rng):
+        with pytest.raises(ParameterError):
+            exponential_scalers(0, 2.0, rng)
+
+
+class TestHelpers:
+    def test_median_correction_inf(self):
+        assert median_correction(math.inf) == 1.0
+
+    def test_median_correction_value(self):
+        assert abs(median_correction(2.0) - math.sqrt(math.log(2))) < 1e-12
+
+    def test_norm_ratio_bound(self):
+        assert norm_ratio_bound(16, 2.0) == 4.0
+        assert norm_ratio_bound(16, 4.0) == 2.0
+        assert norm_ratio_bound(16, math.inf) == 1.0
+
+    def test_ratio_bound_is_tight(self):
+        # ||1^n||_k / ||1^n||_inf = n^{1/k} exactly.
+        x = np.ones(16)
+        assert abs(kappa_norm(x, 2) / kappa_norm(x, math.inf) - norm_ratio_bound(16, 2)) < 1e-9
+
+    def test_check_kappa(self):
+        assert check_kappa(2) == 2.0
+        with pytest.raises(ParameterError):
+            check_kappa(0.9)

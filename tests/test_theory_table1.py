@@ -1,0 +1,76 @@
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory import Table1Row, classify_approximation, table1_rows
+from repro.theory.table1 import (
+    SIGNED_PM1,
+    UNSIGNED_01,
+    UNSIGNED_PM1,
+    hard_c_threshold_unsigned_pm1,
+)
+
+
+class TestTable1Rows:
+    def test_three_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        assert [r.problem for r in rows] == [SIGNED_PM1, UNSIGNED_PM1, UNSIGNED_01]
+
+    def test_signed_row_hard_everywhere(self):
+        row = table1_rows()[0]
+        assert row.hard_c == "c > 0"
+        assert row.permissible_c == "-"
+
+    def test_every_row_has_witness(self):
+        for row in table1_rows():
+            assert len(row.witnesses) >= 1
+
+
+class TestHardThreshold:
+    def test_decreases_with_n(self):
+        assert hard_c_threshold_unsigned_pm1(10 ** 9) < hard_c_threshold_unsigned_pm1(10 ** 3)
+
+    def test_in_unit_interval(self):
+        for n in (100, 10 ** 6):
+            assert 0.0 < hard_c_threshold_unsigned_pm1(n) < 1.0
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ParameterError):
+            hard_c_threshold_unsigned_pm1(4)
+
+
+class TestClassification:
+    def test_signed_always_hard(self):
+        for c in (0.001, 0.5, 0.999):
+            assert classify_approximation(SIGNED_PM1, c, 10 ** 6) == "hard"
+
+    def test_unsigned_pm1_regimes(self):
+        n = 10 ** 6
+        assert classify_approximation(UNSIGNED_PM1, 0.9, n) == "hard"
+        assert classify_approximation(UNSIGNED_PM1, 1e-4, n) == "permissible"
+        boundary = hard_c_threshold_unsigned_pm1(n)
+        assert classify_approximation(UNSIGNED_PM1, boundary / 2, n) == "open"
+
+    def test_unsigned_01_regimes(self):
+        n = 10 ** 6
+        assert classify_approximation(UNSIGNED_01, 0.999, n) == "hard"
+        assert classify_approximation(UNSIGNED_01, 1e-4, n) == "permissible"
+        assert classify_approximation(UNSIGNED_01, 0.5, n) == "open"
+
+    def test_binary_domain_more_permissive_than_pm1(self):
+        # A c that is hard for ±1 can be open for {0,1} — the paper's
+        # point that the {0,1} hardness needs c -> 1.
+        n = 10 ** 6
+        c = 0.9
+        assert classify_approximation(UNSIGNED_PM1, c, n) == "hard"
+        assert classify_approximation(UNSIGNED_01, c, n) == "open"
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            classify_approximation("nonsense", 0.5, 100)
+        with pytest.raises(ParameterError):
+            classify_approximation(SIGNED_PM1, 1.5, 100)
+        with pytest.raises(ParameterError):
+            classify_approximation(SIGNED_PM1, 0.5, 2)

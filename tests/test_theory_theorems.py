@@ -1,0 +1,74 @@
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory import theorem1_hard_c, theorem2_hard_ratio, theorem3_gap_bounds
+
+
+class TestTheorem1:
+    def test_signed_boundary_zero(self):
+        assert theorem1_hard_c("signed {-1,1}", 10 ** 6)["boundary"] == 0.0
+
+    def test_unsigned_pm1_boundary(self):
+        out = theorem1_hard_c("unsigned {-1,1}", 10 ** 6)
+        log_n = math.log(10 ** 6)
+        expected = math.exp(-math.sqrt(log_n / math.log(log_n)))
+        assert abs(out["boundary"] - expected) < 1e-12
+
+    def test_unsigned_01_boundary_near_one(self):
+        out = theorem1_hard_c("unsigned {0,1}", 10 ** 6)
+        assert 0.9 < out["boundary"] < 1.0
+
+    def test_boundary_tends_to_one_for_01(self):
+        small = theorem1_hard_c("unsigned {0,1}", 10 ** 3)["boundary"]
+        large = theorem1_hard_c("unsigned {0,1}", 10 ** 9)["boundary"]
+        assert large > small
+
+    def test_unknown_domain(self):
+        with pytest.raises(ParameterError):
+            theorem1_hard_c("ternary", 100)
+
+
+class TestTheorem2:
+    def test_pm1_boundary_below_01_boundary(self):
+        n = 10 ** 6
+        pm1 = theorem2_hard_ratio("unsigned {-1,1}", n)["boundary"]
+        b01 = theorem2_hard_ratio("unsigned {0,1}", n)["boundary"]
+        # 1 - 1/sqrt(log n) < 1 - 1/log n.
+        assert pm1 < b01 < 1.0
+
+    def test_boundaries_approach_one(self):
+        small = theorem2_hard_ratio("unsigned {0,1}", 10 ** 2)["boundary"]
+        large = theorem2_hard_ratio("unsigned {0,1}", 10 ** 8)["boundary"]
+        assert large > small
+
+    def test_signed_not_covered(self):
+        with pytest.raises(ParameterError):
+            theorem2_hard_ratio("signed {-1,1}", 100)
+
+
+class TestTheorem3:
+    def test_all_cases_at_friendly_parameters(self):
+        bounds = theorem3_gap_bounds(s=0.01, c=0.5, U=4.0, d=4)
+        assert set(bounds) == {
+            "case1 (signed+unsigned)",
+            "case2 (signed only)",
+            "case3 (signed+unsigned)",
+        }
+        assert all(v > 0 for v in bounds.values())
+
+    def test_case2_gone_at_large_s(self):
+        bounds = theorem3_gap_bounds(s=0.4, c=0.5, U=4.0, d=8)
+        assert "case2 (signed only)" not in bounds
+
+    def test_case3_needs_headroom(self):
+        bounds = theorem3_gap_bounds(s=1.0, c=0.5, U=4.0, d=2)
+        assert "case3 (signed+unsigned)" not in bounds
+
+    def test_bounds_shrink_with_u(self):
+        small = theorem3_gap_bounds(s=0.001, c=0.5, U=4.0, d=2)
+        large = theorem3_gap_bounds(s=0.001, c=0.5, U=400.0, d=2)
+        for key in small:
+            if key in large:
+                assert large[key] <= small[key]

@@ -1,0 +1,83 @@
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.theory import (
+    hard_instance_signed_pm1,
+    hard_instance_table,
+    hard_instance_unsigned_01,
+    hard_instance_unsigned_pm1,
+)
+
+
+class TestSignedInstance:
+    def test_parameters(self):
+        inst = hard_instance_signed_pm1(1024, gamma=2.0)
+        assert inst.d_ovp == 20
+        assert inst.d_embedded == 76
+        assert inst.s == 4.0 and inst.cs == 0.0
+        assert inst.c == 0.0
+
+    def test_ratio_is_zero(self):
+        assert hard_instance_signed_pm1(1024).ratio == 0.0
+
+
+class TestUnsignedPM1Instance:
+    def test_c_close_to_one_scale(self):
+        # c = 1 / T_q(1 + 1/d); subconstant but not polynomially small.
+        inst = hard_instance_unsigned_pm1(2 ** 16, gamma=2.0)
+        assert 0.0 < inst.c < 1.0
+
+    def test_ratio_approaches_one(self):
+        # ratio = 1 - Theta(1/sqrt(d)); grows towards 1 with n.
+        small = hard_instance_unsigned_pm1(2 ** 10).ratio
+        large = hard_instance_unsigned_pm1(2 ** 26).ratio
+        assert small < large < 1.0
+
+    def test_ratio_formula(self):
+        inst = hard_instance_unsigned_pm1(2 ** 12)
+        expected = math.log(inst.s / inst.d_embedded) / math.log(inst.cs / inst.d_embedded)
+        assert abs(inst.ratio - expected) < 1e-12
+
+    def test_explicit_q(self):
+        inst = hard_instance_unsigned_pm1(2 ** 10, q=2)
+        assert inst.cs == (2 * inst.d_ovp) ** 2
+
+
+class TestUnsigned01Instance:
+    def test_k_equals_d_dimension_is_2d(self):
+        inst = hard_instance_unsigned_01(2 ** 12, gamma=2.0)
+        assert inst.d_embedded == 2 * inst.d_ovp
+
+    def test_c_is_one_minus_one_over_k(self):
+        inst = hard_instance_unsigned_01(2 ** 12)
+        assert abs(inst.c - (inst.s - 1) / inst.s) < 1e-12
+
+    def test_c_approaches_one(self):
+        small = hard_instance_unsigned_01(2 ** 8).c
+        large = hard_instance_unsigned_01(2 ** 24).c
+        assert small < large < 1.0
+
+    def test_ratio_approaches_one_faster_than_pm1(self):
+        n = 2 ** 16
+        r01 = hard_instance_unsigned_01(n).ratio
+        rpm1 = hard_instance_unsigned_pm1(n).ratio
+        assert r01 > rpm1  # 1 - o(1/log n) vs 1 - o(1/sqrt(log n))
+
+    def test_explicit_k_validated(self):
+        with pytest.raises(ParameterError):
+            hard_instance_unsigned_01(2 ** 10, k=10 ** 6)
+
+
+class TestTable:
+    def test_three_rows_per_n(self):
+        rows = hard_instance_table([2 ** 10, 2 ** 12])
+        assert len(rows) == 6
+        assert {r.problem for r in rows} == {
+            "signed {-1,1}", "unsigned {-1,1}", "unsigned {0,1}"
+        }
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ParameterError):
+            hard_instance_signed_pm1(4)

@@ -1,0 +1,62 @@
+import numpy as np
+import pytest
+
+from repro.utils.bits import (
+    bits_to_int,
+    int_to_bits,
+    pack_binary_rows,
+    packed_dot_is_zero,
+    prefixes,
+)
+
+
+class TestPacking:
+    def test_word_count(self):
+        packed = pack_binary_rows(np.zeros((3, 70), dtype=np.int64))
+        assert packed.shape == (3, 2)
+
+    def test_orthogonality_detected(self, rng):
+        a = np.zeros((1, 100), dtype=np.int64)
+        b = np.zeros((1, 100), dtype=np.int64)
+        a[0, :50] = 1
+        b[0, 50:] = 1
+        assert packed_dot_is_zero(pack_binary_rows(a)[0], pack_binary_rows(b)[0])
+
+    def test_overlap_detected(self):
+        a = np.zeros((1, 100), dtype=np.int64)
+        b = np.zeros((1, 100), dtype=np.int64)
+        a[0, 63] = 1
+        b[0, 63] = 1
+        assert not packed_dot_is_zero(pack_binary_rows(a)[0], pack_binary_rows(b)[0])
+
+    def test_agrees_with_dot_product(self, rng):
+        X = (rng.random((20, 130)) < 0.2).astype(np.int64)
+        Y = (rng.random((20, 130)) < 0.2).astype(np.int64)
+        PX, PY = pack_binary_rows(X), pack_binary_rows(Y)
+        for i in range(20):
+            for j in range(20):
+                assert packed_dot_is_zero(PX[i], PY[j]) == (int(X[i] @ Y[j]) == 0)
+
+
+class TestIndexCodec:
+    @pytest.mark.parametrize("value,width", [(0, 1), (5, 3), (255, 8), (1, 10)])
+    def test_roundtrip(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_msb_first(self):
+        assert int_to_bits(4, 3).tolist() == [1, 0, 0]
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_prefixes(self):
+        got = list(prefixes(0b101, 3))
+        assert got == [(1, 0b1), (2, 0b10), (3, 0b101)]
+
+    def test_prefixes_zero(self):
+        assert list(prefixes(0, 2)) == [(1, 0), (2, 0)]

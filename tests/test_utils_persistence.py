@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.datasets import planted_mips
+from repro.lsh import BatchSignIndex
+from repro.sketches import SketchCMIPS
+from repro.utils.persistence import (
+    FORMAT_VERSION,
+    PersistenceError,
+    load_structure,
+    save_structure,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_mips(150, 8, 24, s=0.85, c=0.4, seed=0)
+
+
+class TestRoundTrips:
+    def test_batch_index_roundtrip(self, tmp_path, instance):
+        idx = BatchSignIndex.for_datadep(
+            24, n_tables=8, bits_per_table=6, seed=1
+        ).build(instance.P)
+        path = tmp_path / "index.repro"
+        save_structure(idx, path)
+        loaded = load_structure(path, expected_type="BatchSignIndex")
+        q = instance.Q[0]
+        np.testing.assert_array_equal(
+            np.sort(idx.candidates(q)), np.sort(loaded.candidates(q))
+        )
+
+    def test_sketch_structure_roundtrip(self, tmp_path, instance):
+        structure = SketchCMIPS(instance.P, kappa=3.0, copies=5, seed=2)
+        path = tmp_path / "sketch.repro"
+        save_structure(structure, path)
+        loaded = load_structure(path)
+        q = instance.Q[0]
+        assert structure.query(q).index == loaded.query(q).index
+
+    def test_plain_array_roundtrip(self, tmp_path):
+        save_structure(np.arange(5), tmp_path / "a.repro")
+        np.testing.assert_array_equal(
+            load_structure(tmp_path / "a.repro"), np.arange(5)
+        )
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no structure file"):
+            load_structure(tmp_path / "absent.repro")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "corrupt.repro"
+        path.write_bytes(b"\x80\x04 garbage")
+        with pytest.raises(PersistenceError):
+            load_structure(path)
+
+    def test_non_repro_pickle(self, tmp_path):
+        import pickle
+        path = tmp_path / "plain.pkl"
+        path.write_bytes(pickle.dumps({"hello": 1}))
+        with pytest.raises(PersistenceError, match="not a repro structure"):
+            load_structure(path)
+
+    def test_type_check(self, tmp_path):
+        save_structure(np.arange(3), tmp_path / "a.repro")
+        with pytest.raises(PersistenceError, match="expected BatchSignIndex"):
+            load_structure(tmp_path / "a.repro", expected_type="BatchSignIndex")
+
+    def test_version_check(self, tmp_path):
+        import pickle
+        path = tmp_path / "old.repro"
+        payload = {
+            "magic": b"repro-structure",
+            "format_version": FORMAT_VERSION + 1,
+            "type": "X",
+            "object": 1,
+        }
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(PersistenceError, match="format version"):
+            load_structure(path)
