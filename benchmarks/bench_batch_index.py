@@ -1,11 +1,14 @@
 """Engineering ablation: vectorized batch index vs the generic per-vector
-index.
+index, and CSR vs dict bucket storage inside the batch index.
 
 Same scheme (DATA-DEP), same (L, k): the batch index hashes everything
 with two matrix products where the generic index makes one Python call
-per (vector, table, bit).  Prints build/query wall times and confirms
-equal recall — the speedup is pure engineering, not a different
-algorithm.
+per (vector, table, bit), and the CSR layout answers a whole query
+block with ``np.searchsorted`` per table where the dict layout walks a
+Python dict per (query, table).  Prints build/query wall times and
+confirms equal recall — the speedups are pure engineering, not a
+different algorithm.  (``tools/bench_perf.py`` runs the same
+comparison at n=100k and records it in ``BENCH_PR1.json``.)
 """
 
 import time
@@ -36,36 +39,69 @@ def test_batch_vs_generic_index(benchmark):
             if generic.query(inst.Q[qi], threshold=inst.cs) is not None
         )
         generic_query = time.perf_counter() - start
-
-        # Vectorized batch index.
-        start = time.perf_counter()
-        batch = BatchSignIndex.for_datadep(
-            32, n_tables=tables, bits_per_table=bits, seed=1
-        ).build(inst.P)
-        batch_build = time.perf_counter() - start
-        start = time.perf_counter()
-        batch_hits = sum(
-            1 for qi in range(24)
-            if batch.query(inst.Q[qi], threshold=inst.cs) is not None
-        )
-        batch_query = time.perf_counter() - start
-
         rows.append([
             "generic LSHIndex", f"{generic_build:.3f} s",
             f"{generic_query * 1e3:.1f} ms", f"{generic_hits / 24:.2f}",
         ])
+
+        # Vectorized batch index, both bucket layouts.
+        timings = {}
+        for layout in ("dict", "csr"):
+            start = time.perf_counter()
+            batch = BatchSignIndex.for_datadep(
+                32, n_tables=tables, bits_per_table=bits, seed=1, layout=layout
+            ).build(inst.P)
+            batch_build = time.perf_counter() - start
+            start = time.perf_counter()
+            batch_hits = sum(
+                1 for qi in range(24)
+                if batch.query(inst.Q[qi], threshold=inst.cs) is not None
+            )
+            batch_query = time.perf_counter() - start
+            timings[layout] = (batch_build, batch_query)
+            rows.append([
+                f"BatchSignIndex[{layout}]", f"{batch_build:.3f} s",
+                f"{batch_query * 1e3:.1f} ms", f"{batch_hits / 24:.2f}",
+            ])
+
         rows.append([
-            "BatchSignIndex", f"{batch_build:.3f} s",
-            f"{batch_query * 1e3:.1f} ms", f"{batch_hits / 24:.2f}",
-        ])
-        rows.append([
-            "speedup", f"{generic_build / batch_build:.0f}x",
-            f"{generic_query / batch_query:.0f}x", "-",
+            "speedup (csr vs generic)",
+            f"{generic_build / timings['csr'][0]:.0f}x",
+            f"{generic_query / timings['csr'][1]:.0f}x", "-",
         ])
         return format_table(["index", "build", "24 queries", "recall"], rows)
 
     text = benchmark.pedantic(build, rounds=1, iterations=1)
     emit("batch_vs_generic_index", text)
+
+
+def test_csr_vs_dict_candidates_batch(benchmark):
+    """Block candidate generation: CSR searchsorted vs dict walk."""
+    inst = planted_mips(4000, 30, 48, s=0.85, c=0.4, seed=4)
+    tables, bits = 16, 12
+
+    def build():
+        rows = []
+        lists = {}
+        for layout in ("dict", "csr"):
+            idx = BatchSignIndex.for_datadep(
+                48, n_tables=tables, bits_per_table=bits, seed=5, layout=layout
+            ).build(inst.P)
+            start = time.perf_counter()
+            for _ in range(5):
+                lists[layout] = idx.candidates_batch(inst.Q, n_probes=2)
+            elapsed = (time.perf_counter() - start) / 5
+            rows.append([layout, f"{elapsed * 1e3:.2f} ms",
+                         f"{idx.stats.candidates_per_query:.0f}"])
+        equal = all(
+            np.array_equal(a, b)
+            for a, b in zip(lists["dict"], lists["csr"])
+        )
+        rows.append(["identical candidates", str(equal), "-"])
+        return format_table(["layout", "30-query block", "cands/query"], rows)
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("csr_vs_dict_candidates", text)
 
 
 def test_batch_candidates_batch_api(benchmark):

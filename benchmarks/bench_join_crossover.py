@@ -14,7 +14,14 @@ import time
 import numpy as np
 
 from benchmarks.conftest import emit, format_table
-from repro.core import JoinSpec, brute_force_join, lsh_join, sketch_unsigned_join
+from repro.core import (
+    BatchIndexSpec,
+    JoinSpec,
+    brute_force_join,
+    lsh_join,
+    parallel_lsh_join,
+    sketch_unsigned_join,
+)
 from repro.datasets import planted_mips
 from repro.lsh import DataDepALSH
 
@@ -39,12 +46,25 @@ def test_join_crossover_table(benchmark):
                               n_tables=12, hashes_per_table=7, seed=1)
             timings["lsh"] = time.perf_counter() - start
 
+            # Same scheme through the CSR batch index + blocked verify
+            # (the executor's serial path; n_workers=1 is exact).
+            start = time.perf_counter()
+            batch = parallel_lsh_join(
+                inst.P, inst.Q, spec,
+                index_spec=BatchIndexSpec(
+                    d=d, scheme="datadep", n_tables=12, bits_per_table=7, seed=1,
+                ),
+                n_workers=1,
+            )
+            timings["lsh-csr"] = time.perf_counter() - start
+
             start = time.perf_counter()
             sketched = sketch_unsigned_join(inst.P, inst.Q, s=inst.s,
                                             kappa=3.0, copies=5, seed=2)
             timings["sketch"] = time.perf_counter() - start
 
-            for name, result in (("exact", exact), ("lsh", approx), ("sketch", sketched)):
+            for name, result in (("exact", exact), ("lsh", approx),
+                                 ("lsh-csr", batch), ("sketch", sketched)):
                 rows.append([
                     n, name,
                     f"{timings[name] * 1e3:.1f} ms",
@@ -83,5 +103,18 @@ def test_sketch_join_n1024(benchmark):
     benchmark.pedantic(
         lambda: sketch_unsigned_join(inst.P, inst.Q, s=inst.s,
                                      kappa=3.0, copies=5, seed=2),
+        rounds=3, iterations=1,
+    )
+
+
+def test_batch_lsh_join_n1024(benchmark):
+    inst = planted_mips(1024, 16, 24, s=0.85, c=0.4, seed=0)
+    spec = JoinSpec(s=inst.s, c=0.4)
+    index_spec = BatchIndexSpec(
+        d=24, scheme="datadep", n_tables=8, bits_per_table=7, seed=1
+    )
+    benchmark.pedantic(
+        lambda: parallel_lsh_join(inst.P, inst.Q, spec,
+                                  index_spec=index_spec, n_workers=1),
         rounds=3, iterations=1,
     )

@@ -14,6 +14,7 @@ from repro.core.brute_force import (
     brute_force_mips,
     brute_force_search,
 )
+from repro.core.executor import BatchIndexSpec, parallel_lsh_join
 from repro.core.join import signed_join, unsigned_join
 from repro.core.lsh_join import lsh_join
 from repro.core.norm_pruning import NormScanIndex, norm_pruned_join
@@ -22,6 +23,7 @@ from repro.core.scaling import cmips_via_search
 from repro.core.self_join import lsh_self_join, self_join
 from repro.core.sketch_join import sketch_unsigned_join
 from repro.core.topk import join_topk, lsh_join_topk, topk_recall
+from repro.core.verify import BlockVerification, verify_block, verify_candidates
 
 __all__ = [
     "JoinSpec",
@@ -43,4 +45,9 @@ __all__ = [
     "norm_pruned_join",
     "self_join",
     "lsh_self_join",
+    "BatchIndexSpec",
+    "parallel_lsh_join",
+    "BlockVerification",
+    "verify_block",
+    "verify_candidates",
 ]

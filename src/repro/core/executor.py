@@ -1,0 +1,226 @@
+"""Process-parallel join execution: shard query blocks across workers.
+
+Python's per-query overhead disappears into GEMMs with the blocked
+verification kernel, but one process still drives one core.  This module
+shards a filter-then-verify join over contiguous *query block* ranges
+and fans them out to a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Workers obtain the index one of two ways, both through pickle:
+
+* **Rebuild from a spec** — a :class:`BatchIndexSpec` (pure data, tiny
+  on the wire) is shipped to each worker, which rebuilds the index from
+  the same integer seed.  Identical seed ⇒ identical projections ⇒
+  identical tables in every worker.
+* **Receive prebuilt** — any picklable built index (a
+  :class:`~repro.lsh.batch.BatchSignIndex` pickles cleanly: numpy
+  arrays, CSR tables, and bound methods of importable transform classes)
+  is shipped once per worker via the pool initializer.
+
+Determinism contract: chunk boundaries are aligned to multiples of the
+verification ``block`` size, so the sequence of (candidate-generation,
+GEMM) calls inside any chunk is exactly the sequence the serial path
+would execute for those queries.  ``n_workers=1`` never spawns a pool —
+it runs the identical chunk function in-process — and ``n_workers=k``
+returns bit-identical matches for identical seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.verify import DEFAULT_BLOCK, verify_block
+from repro.errors import ParameterError
+from repro.lsh.batch import BatchSignIndex
+
+#: Schemes BatchIndexSpec can rebuild, mapping to BatchSignIndex constructors.
+SCHEMES = ("hyperplane", "datadep", "simple_lsh", "symmetric")
+
+
+@dataclass(frozen=True)
+class BatchIndexSpec:
+    """Picklable recipe for a :class:`~repro.lsh.batch.BatchSignIndex`.
+
+    Pure data — no callables, no arrays — so it crosses process
+    boundaries for pennies and two builds from the same spec (and data)
+    are identical.  ``seed`` must be a concrete integer: entropy-seeded
+    indexes cannot be reproduced in a worker.
+    """
+
+    d: int
+    scheme: str = "hyperplane"
+    n_tables: int = 16
+    bits_per_table: int = 12
+    seed: int = 0
+    layout: str = "csr"
+    query_radius: float = 1.0  # datadep only
+    eps: float = 0.05          # symmetric only
+
+    def __post_init__(self):
+        if self.scheme not in SCHEMES:
+            raise ParameterError(
+                f"scheme must be one of {SCHEMES}, got {self.scheme!r}"
+            )
+        if not isinstance(self.seed, (int, np.integer)):
+            raise ParameterError(
+                f"seed must be a concrete integer for reproducible worker "
+                f"rebuilds, got {type(self.seed).__name__}"
+            )
+
+    def build(self, P) -> BatchSignIndex:
+        """Construct and build the index over ``P``."""
+        common = dict(
+            n_tables=self.n_tables,
+            bits_per_table=self.bits_per_table,
+            seed=int(self.seed),
+            layout=self.layout,
+        )
+        if self.scheme == "hyperplane":
+            index = BatchSignIndex.for_hyperplane(self.d, **common)
+        elif self.scheme == "datadep":
+            index = BatchSignIndex.for_datadep(
+                self.d, query_radius=self.query_radius, **common
+            )
+        elif self.scheme == "simple_lsh":
+            index = BatchSignIndex.for_simple_lsh(self.d, **common)
+        else:
+            index = BatchSignIndex.for_symmetric(self.d, eps=self.eps, **common)
+        return index.build(P)
+
+
+# Per-worker state installed by the pool initializer: (index, P).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(payload, P) -> None:
+    index = payload.build(P) if hasattr(payload, "build") else payload
+    _WORKER_STATE["index"] = index
+    _WORKER_STATE["P"] = P
+
+
+def _join_chunk(
+    index, P, Q_chunk, signed: bool, cs: float, n_probes: int, block: int
+) -> Tuple[List[Optional[int]], int, int]:
+    """Run the filter+verify loop over one contiguous query chunk.
+
+    This is THE join inner loop — the serial path and every worker run
+    this exact function, which is what makes ``n_workers=1`` and
+    ``n_workers=k`` results identical.
+    """
+    candidates_before = index.stats.candidates
+    supports_probes = hasattr(index, "bits_per_table")
+    if n_probes and not supports_probes:
+        raise ParameterError(
+            f"index {type(index).__name__} does not support multiprobe"
+        )
+    matches: List[Optional[int]] = []
+    verified = 0
+    for q0 in range(0, Q_chunk.shape[0], block):
+        Q_block = Q_chunk[q0:q0 + block]
+        if hasattr(index, "candidates_batch"):
+            if supports_probes:
+                cand_lists = index.candidates_batch(Q_block, n_probes=n_probes)
+            else:
+                cand_lists = index.candidates_batch(Q_block)
+        else:
+            cand_lists = [index.candidates(Q_block[i]) for i in range(Q_block.shape[0])]
+        result = verify_block(P, Q_block, cand_lists, signed=signed)
+        verified += result.n_evaluated
+        matches.extend(
+            int(idx) if idx >= 0 and score >= cs else None
+            for idx, score in zip(result.best_index, result.best_score)
+        )
+    return matches, verified, index.stats.candidates - candidates_before
+
+
+def _run_chunk(Q_chunk, signed, cs, n_probes, block):
+    return _join_chunk(
+        _WORKER_STATE["index"], _WORKER_STATE["P"], Q_chunk, signed, cs, n_probes, block
+    )
+
+
+def _chunk_bounds(n_queries: int, block: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous [start, end) ranges aligned to ``block`` multiples."""
+    n_blocks = math.ceil(n_queries / block)
+    blocks_per_chunk = math.ceil(n_blocks / n_chunks)
+    step = blocks_per_chunk * block
+    return [
+        (start, min(n_queries, start + step))
+        for start in range(0, n_queries, step)
+    ]
+
+
+def parallel_lsh_join(
+    P,
+    Q,
+    spec: JoinSpec,
+    index_spec: Optional[BatchIndexSpec] = None,
+    index=None,
+    n_workers: int = 1,
+    n_probes: int = 0,
+    block: int = DEFAULT_BLOCK,
+) -> JoinResult:
+    """Filter-then-verify ``(cs, s)`` join sharded over query blocks.
+
+    Args:
+        P, Q: data and query matrices.
+        spec: the ``(cs, s)`` parameters.
+        index_spec: a :class:`BatchIndexSpec` (or any picklable object
+            with ``build(P) -> index``); workers rebuild from it.
+        index: alternatively a pre-built picklable index over ``P``;
+            shipped to workers as-is.  Exactly one of ``index_spec`` /
+            ``index`` must be given.
+        n_workers: process count.  ``1`` runs in-process and reproduces
+            the serial join exactly, seed for seed.
+        n_probes: multiprobe width (indexes that support it).
+        block: verification block size; chunk boundaries align to it so
+            worker-count changes never change results.
+    """
+    P, Q = validate_join_inputs(P, Q)
+    if (index_spec is None) == (index is None):
+        raise ParameterError("provide exactly one of index_spec or index")
+    if n_workers < 1:
+        raise ParameterError(f"n_workers must be >= 1, got {n_workers}")
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    payload = index_spec if index_spec is not None else index
+    if n_workers == 1:
+        built = payload.build(P) if hasattr(payload, "build") else payload
+        matches, verified, generated = _join_chunk(
+            built, P, Q, spec.signed, spec.cs, n_probes, block
+        )
+        return JoinResult(
+            matches=matches,
+            spec=spec,
+            inner_products_evaluated=verified,
+            candidates_generated=generated,
+        )
+    bounds = _chunk_bounds(Q.shape[0], block, n_workers)
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(bounds)),
+        initializer=_init_worker,
+        initargs=(payload, P),
+    ) as pool:
+        futures = [
+            pool.submit(_run_chunk, Q[start:end], spec.signed, spec.cs, n_probes, block)
+            for start, end in bounds
+        ]
+        chunk_results = [f.result() for f in futures]
+    matches: List[Optional[int]] = []
+    verified = 0
+    generated = 0
+    for chunk_matches, chunk_verified, chunk_generated in chunk_results:
+        matches.extend(chunk_matches)
+        verified += chunk_verified
+        generated += chunk_generated
+    return JoinResult(
+        matches=matches,
+        spec=spec,
+        inner_products_evaluated=verified,
+        candidates_generated=generated,
+    )

@@ -5,15 +5,24 @@ with a caller-chosen (A)LSH family and answers each query from its
 candidate set.  Work is measured in exact inner products evaluated — the
 quantity whose subquadratic growth the paper's upper bounds promise and
 its lower bounds constrain.
+
+Both the filter and verify stages run block-at-a-time: candidate
+generation goes through the index's ``candidates_batch`` (array-native
+for :class:`~repro.lsh.batch.BatchSignIndex`'s CSR tables) and
+verification through the one-GEMM-per-block kernel in
+:mod:`repro.core.verify`.  An index may be reused across calls: the join
+snapshots the index's :class:`~repro.lsh.index.QueryStats` counters and
+reports only this call's delta, so ``candidates_generated`` never
+over-counts on reuse.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.verify import DEFAULT_BLOCK, verify_block
+from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
 from repro.lsh.index import LSHIndex
 from repro.utils.rng import SeedLike
@@ -23,11 +32,13 @@ def lsh_join(
     P,
     Q,
     spec: JoinSpec,
-    family: AsymmetricLSHFamily,
+    family: Optional[AsymmetricLSHFamily],
     n_tables: int = 16,
     hashes_per_table: int = 4,
     seed: SeedLike = None,
-    index: Optional[LSHIndex] = None,
+    index=None,
+    n_probes: int = 0,
+    block: int = DEFAULT_BLOCK,
 ) -> JoinResult:
     """Approximate join through an LSH index.
 
@@ -37,34 +48,64 @@ def lsh_join(
             ``spec.cs`` exactly.
         family: the (A)LSH family to index with; must match the data
             domain (e.g. :class:`~repro.lsh.datadep.DataDepALSH` for
-            unit-ball data).
+            unit-ball data).  Ignored (may be ``None``) when ``index``
+            is given.
         n_tables / hashes_per_table / seed: index shape.
         index: optionally a pre-built index over ``P`` (reused across
             specs); when given, the other index parameters are ignored.
+            Anything exposing ``candidates_batch(Q)`` or ``candidates(q)``
+            works (:class:`~repro.lsh.index.LSHIndex`,
+            :class:`~repro.lsh.batch.BatchSignIndex`).
+        n_probes: multiprobe width per table, forwarded to indexes that
+            support it (:class:`~repro.lsh.batch.BatchSignIndex`).
+        block: query block size for candidate generation + verification.
     """
     P, Q = validate_join_inputs(P, Q)
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
     if index is None:
+        if family is None:
+            raise ParameterError("either an index or a family is required")
         index = LSHIndex(
             family,
             n_tables=n_tables,
             hashes_per_table=hashes_per_table,
             seed=seed,
         ).build(P)
+    candidates_before = index.stats.candidates
+    supports_probes = _supports_multiprobe(index)
+    if n_probes and not supports_probes:
+        raise ParameterError(
+            f"index {type(index).__name__} does not support multiprobe "
+            f"(n_probes={n_probes})"
+        )
     matches = []
     verified = 0
-    for q in Q:
-        candidates = index.candidates(q)
-        verified += candidates.size
-        if candidates.size == 0:
-            matches.append(None)
-            continue
-        values = P[candidates] @ q
-        scores = values if spec.signed else np.abs(values)
-        best = int(np.argmax(scores))
-        matches.append(int(candidates[best]) if scores[best] >= spec.cs else None)
+    for q0 in range(0, Q.shape[0], block):
+        Q_block = Q[q0:q0 + block]
+        cand_lists = _block_candidates(index, Q_block, n_probes, supports_probes)
+        result = verify_block(P, Q_block, cand_lists, signed=spec.signed)
+        verified += result.n_evaluated
+        matches.extend(
+            int(idx) if idx >= 0 and score >= spec.cs else None
+            for idx, score in zip(result.best_index, result.best_score)
+        )
     return JoinResult(
         matches=matches,
         spec=spec,
         inner_products_evaluated=verified,
-        candidates_generated=index.stats.candidates,
+        candidates_generated=index.stats.candidates - candidates_before,
     )
+
+
+def _supports_multiprobe(index) -> bool:
+    return hasattr(index, "bits_per_table")
+
+
+def _block_candidates(index, Q_block, n_probes: int, supports_probes: bool):
+    """Candidate lists for a block via the fastest API the index offers."""
+    if hasattr(index, "candidates_batch"):
+        if supports_probes:
+            return index.candidates_batch(Q_block, n_probes=n_probes)
+        return index.candidates_batch(Q_block)
+    return [index.candidates(Q_block[qi]) for qi in range(Q_block.shape[0])]

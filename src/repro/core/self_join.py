@@ -82,35 +82,51 @@ def lsh_self_join(
     spec: JoinSpec,
     index,
     match_duplicates: bool = True,
+    block: int = 256,
 ) -> JoinResult:
     """Approximate self-join through any candidates-providing index.
 
-    ``index`` must be built over ``P`` and expose ``candidates(q)``
-    (an :class:`~repro.lsh.index.LSHIndex` or
+    ``index`` must be built over ``P`` and expose ``candidates(q)`` or
+    ``candidates_batch(Q)`` (an :class:`~repro.lsh.index.LSHIndex` or
     :class:`~repro.lsh.batch.BatchSignIndex`).  A symmetric index built
     with :class:`~repro.lsh.symmetric.SymmetricIPSHash` is the natural
     choice — the self pair it cannot rank is excluded here anyway.
+
+    Candidates for a whole block of rows are generated at once and
+    verified through the one-GEMM-per-block kernel
+    (:mod:`repro.core.verify`); the self pair (and, when
+    ``match_duplicates`` is off, duplicate rows) is masked out of each
+    candidate list before verification.
     """
+    from repro.core.verify import verify_block
+
     P = check_matrix(P, "P")
     n = P.shape[0]
     if n < 2:
         raise ParameterError("self-join needs at least two vectors")
     matches: List[Optional[int]] = []
     verified = 0
-    for qi in range(n):
-        candidates = index.candidates(P[qi])
-        candidates = candidates[candidates != qi]
-        if not match_duplicates and candidates.size:
-            keep = ~np.all(P[candidates] == P[qi], axis=1)
-            candidates = candidates[keep]
-        if candidates.size == 0:
-            matches.append(None)
-            continue
-        values = P[candidates] @ P[qi]
-        scores = values if spec.signed else np.abs(values)
-        verified += candidates.size
-        best = int(np.argmax(scores))
-        matches.append(int(candidates[best]) if scores[best] >= spec.cs else None)
+    batched = hasattr(index, "candidates_batch")
+    for q0 in range(0, n, block):
+        Q_block = P[q0:q0 + block]
+        if batched:
+            cand_lists = index.candidates_batch(Q_block)
+        else:
+            cand_lists = [index.candidates(Q_block[i]) for i in range(Q_block.shape[0])]
+        filtered = []
+        for i, candidates in enumerate(cand_lists):
+            qi = q0 + i
+            candidates = candidates[candidates != qi]
+            if not match_duplicates and candidates.size:
+                keep = ~np.all(P[candidates] == P[qi], axis=1)
+                candidates = candidates[keep]
+            filtered.append(candidates)
+        result = verify_block(P, Q_block, filtered, signed=spec.signed)
+        verified += result.n_evaluated
+        matches.extend(
+            int(idx) if idx >= 0 and score >= spec.cs else None
+            for idx, score in zip(result.best_index, result.best_score)
+        )
     return JoinResult(
         matches=matches,
         spec=spec,

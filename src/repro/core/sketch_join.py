@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.verify import DEFAULT_BLOCK, verify_candidates
 from repro.errors import ParameterError
 from repro.sketches.cmips import SketchCMIPS
 from repro.utils.rng import SeedLike
@@ -25,11 +26,14 @@ def sketch_unsigned_join(
     copies: int = 7,
     seed: SeedLike = None,
     structure: SketchCMIPS = None,
+    block: int = DEFAULT_BLOCK,
 ) -> JoinResult:
     """Unsigned ``(cs, s)`` join with the sketch's own ``c = n^{-1/kappa}``.
 
     For each query, the c-MIPS structure proposes one data vector; the
-    proposal is verified exactly, and reported when it clears
+    proposals for a whole query block are then verified exactly through
+    the blocked kernel (:mod:`repro.core.verify` — one GEMM per block
+    rather than one dot product per query), and reported when they clear
     ``c * s``.  Queries whose best partner is below ``s`` carry no
     guarantee, as in Definition 1.
     """
@@ -39,12 +43,18 @@ def sketch_unsigned_join(
     if structure is None:
         structure = SketchCMIPS(P, kappa=kappa, copies=copies, seed=seed)
     spec = JoinSpec(s=s, c=structure.approximation_factor, signed=False)
-    matches = []
     evaluated = 0
+    proposals = []
+    empty = np.empty(0, dtype=np.int64)
     for q in Q:
         answer = structure.query(q)
         evaluated += structure.recovery.query_cost() // max(1, P.shape[1])
-        matches.append(answer.index if answer.value >= spec.cs else None)
+        proposals.append(
+            np.array([answer.index], dtype=np.int64) if answer.index >= 0 else empty
+        )
+    matches, _ = verify_candidates(
+        P, Q, proposals, threshold=spec.cs, signed=False, block=block
+    )
     return JoinResult(
         matches=matches,
         spec=spec,

@@ -8,6 +8,7 @@ generate Figure 2.
 
 from repro.lsh.amplification import AndConstruction, amplify_gap
 from repro.lsh.batch import BatchSignIndex
+from repro.lsh.csr import CSRBucketTable
 from repro.lsh.e2lsh import E2LSH
 from repro.lsh.empirical_rho import RhoEstimate, empirical_rho_curve, estimate_rho
 from repro.lsh.sign_alsh import SignALSH, rho_sign_alsh
@@ -52,6 +53,7 @@ __all__ = [
     "LSHIndex",
     "QueryStats",
     "BatchSignIndex",
+    "CSRBucketTable",
     "E2LSH",
     "RhoEstimate",
     "estimate_rho",

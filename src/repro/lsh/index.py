@@ -8,6 +8,12 @@ P2^k)`` the expected number of false candidates per query is
 ``n_tables * n * P2^k`` while a true neighbor is retrieved with
 probability ``1 - (1 - P1^k)^{n_tables}``.
 
+Buckets are stored in CSR form (:mod:`repro.lsh.csr`): hashing stays a
+Python call per (vector, table) — the family interface is arbitrary
+Python — but bucket contents are flat int64 arrays, candidate merging is
+one sort-based dedup, and candidate sets come out **sorted**, making query
+results and downstream argmax tie-breaks reproducible run to run.
+
 The index records per-query candidate counts, the quantity the paper's
 subquadratic claims are really about (candidate verification dominates the
 work of an LSH join).
@@ -15,8 +21,7 @@ work of an LSH join).
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -24,26 +29,73 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.lsh.amplification import AndConstruction
 from repro.lsh.base import AsymmetricLSHFamily
+from repro.lsh.csr import CSRBucketTable, sorted_unique
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix
 
 
 @dataclass
 class QueryStats:
-    """Work accounting for index queries."""
+    """Work accounting for index queries.
+
+    ``candidates`` counts every bucket member inspected (with multiplicity
+    across tables); ``unique_candidates`` counts them after per-query
+    deduplication.  When multiprobe is used, ``probe_candidates`` and
+    ``probed_buckets`` attribute the members and non-empty buckets that
+    came from *probed* (bit-flipped) keys rather than exact keys, so
+    ablation benches can report probe efficiency separately.
+    """
 
     queries: int = 0
     candidates: int = 0
     unique_candidates: int = 0
+    probe_candidates: int = 0
+    probed_buckets: int = 0
 
-    def record(self, n_candidates: int, n_unique: int) -> None:
+    def record(
+        self,
+        n_candidates: int,
+        n_unique: int,
+        n_probe_candidates: int = 0,
+        n_probed_buckets: int = 0,
+    ) -> None:
         self.queries += 1
         self.candidates += n_candidates
         self.unique_candidates += n_unique
+        self.probe_candidates += n_probe_candidates
+        self.probed_buckets += n_probed_buckets
+
+    def record_batch(
+        self,
+        n_queries: int,
+        n_candidates: int,
+        n_unique: int,
+        n_probe_candidates: int = 0,
+        n_probed_buckets: int = 0,
+    ) -> None:
+        """Accumulate one whole query block's worth of counts at once."""
+        self.queries += int(n_queries)
+        self.candidates += int(n_candidates)
+        self.unique_candidates += int(n_unique)
+        self.probe_candidates += int(n_probe_candidates)
+        self.probed_buckets += int(n_probed_buckets)
+
+    def reset(self) -> None:
+        """Zero all counters (an index reused across joins starts fresh)."""
+        self.queries = 0
+        self.candidates = 0
+        self.unique_candidates = 0
+        self.probe_candidates = 0
+        self.probed_buckets = 0
 
     @property
     def candidates_per_query(self) -> float:
         return self.candidates / self.queries if self.queries else 0.0
+
+    @property
+    def probe_fraction(self) -> float:
+        """Fraction of inspected candidates that multiprobe contributed."""
+        return self.probe_candidates / self.candidates if self.candidates else 0.0
 
 
 class LSHIndex:
@@ -73,7 +125,11 @@ class LSHIndex:
         rng = ensure_rng(seed)
         amplified = AndConstruction(family, hashes_per_table)
         self._pairs = [amplified.sample(rng) for _ in range(self.n_tables)]
-        self._tables: Optional[List[dict]] = None
+        #: Per table: hash key -> dense bucket id, resolved against the
+        #: CSR arrays below.  The dict maps the family's arbitrary
+        #: hashable keys onto int64 ids once at build time.
+        self._key_ids: Optional[List[dict]] = None
+        self._tables: Optional[List[CSRBucketTable]] = None
         self._data: Optional[np.ndarray] = None
         self.stats = QueryStats()
 
@@ -90,30 +146,59 @@ class LSHIndex:
     def build(self, P) -> "LSHIndex":
         """Hash every row of ``P`` into every table."""
         P = check_matrix(P, "P")
-        tables = []
+        key_ids: List[dict] = []
+        tables: List[CSRBucketTable] = []
         for pair in self._pairs:
-            buckets = defaultdict(list)
+            ids: dict = {}
+            row_keys = np.empty(P.shape[0], dtype=np.int64)
             for i, row in enumerate(P):
-                buckets[pair.hash_data(row)].append(i)
-            tables.append(dict(buckets))
+                key = pair.hash_data(row)
+                row_keys[i] = ids.setdefault(key, len(ids))
+            key_ids.append(ids)
+            tables.append(CSRBucketTable.from_keys(row_keys))
+        self._key_ids = key_ids
         self._tables = tables
         self._data = P
         return self
 
+    def _bucket_slices(self, q: np.ndarray):
+        """Per-table (indices, start, end) for the query's buckets."""
+        for pair, ids, table in zip(self._pairs, self._key_ids, self._tables):
+            bucket_id = ids.get(pair.hash_query(q), -1)
+            if bucket_id < 0:
+                continue
+            start = int(table.offsets[bucket_id])
+            end = int(table.offsets[bucket_id + 1])
+            if end > start:
+                yield table.indices[start:end]
+
     def candidates(self, q) -> np.ndarray:
-        """Union of bucket contents over all tables (deduplicated indices)."""
+        """Union of bucket contents over all tables, **sorted** ascending.
+
+        Sorted output makes the candidate order (and any downstream
+        argmax tie-break) deterministic, unlike a set-iteration order.
+        """
         if self._tables is None:
             raise ParameterError("index not built yet; call build() first")
         q = np.asarray(q, dtype=np.float64)
-        raw = 0
-        seen = set()
-        for pair, table in zip(self._pairs, self._tables):
-            bucket = table.get(pair.hash_query(q))
-            if bucket:
-                raw += len(bucket)
-                seen.update(bucket)
-        self.stats.record(raw, len(seen))
-        return np.fromiter(seen, dtype=np.int64, count=len(seen))
+        buckets = list(self._bucket_slices(q))
+        if not buckets:
+            self.stats.record(0, 0)
+            return np.empty(0, dtype=np.int64)
+        merged = sorted_unique(np.concatenate(buckets))
+        self.stats.record(sum(b.size for b in buckets), merged.size)
+        return merged
+
+    def candidates_batch(self, Q) -> List[np.ndarray]:
+        """Sorted candidate arrays for every row of ``Q``.
+
+        Hashing remains per-query Python (the family interface is a
+        Python callable) but bucket retrieval and merging run on the CSR
+        arrays; provided so joins can drive the generic index through
+        the same block-oriented path as :class:`repro.lsh.batch.BatchSignIndex`.
+        """
+        Q = check_matrix(Q, "Q")
+        return [self.candidates(Q[qi]) for qi in range(Q.shape[0])]
 
     def query(self, q, threshold: float, signed: bool = True) -> Optional[int]:
         """Best candidate with (absolute) inner product >= threshold, or None.

@@ -1,0 +1,71 @@
+"""Tier-1 smoke for the perf suite: quick mode completes, schema valid.
+
+``tools/bench_perf.py --quick`` is the CI guard for the fast paths: it
+runs a seconds-scale shrink of the full n=100k suite, asserts the
+equivalence checks inside it, and writes a schema-stable JSON artifact
+(the full run's ``BENCH_PR1.json`` lives at the repo root).
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOLS = os.path.join(REPO_ROOT, "tools")
+
+
+@pytest.fixture(scope="module")
+def quick_report(tmp_path_factory):
+    sys.path.insert(0, TOOLS)
+    try:
+        import bench_perf
+    finally:
+        sys.path.remove(TOOLS)
+    out = tmp_path_factory.mktemp("bench") / "bench_quick.json"
+    report = bench_perf.main(["--quick", "--out", str(out)])
+    return report, out, bench_perf
+
+
+def test_quick_suite_completes_and_validates(quick_report):
+    report, out, bench_perf = quick_report
+    assert out.exists()
+    on_disk = json.loads(out.read_text())
+    bench_perf.validate_schema(on_disk)
+    assert on_disk["meta"]["quick"] is True
+    assert on_disk["schema"] == bench_perf.SCHEMA
+
+
+def test_quick_suite_equivalence_checks_pass(quick_report):
+    report, _, _ = quick_report
+    assert all(report["checks"].values()), report["checks"]
+
+
+def test_timings_positive(quick_report):
+    report, _, _ = quick_report
+    for key, value in report["timings"].items():
+        if isinstance(value, dict):
+            assert all(v > 0 for v in value.values()), key
+        else:
+            assert value > 0, key
+
+
+def test_repo_artifact_when_present():
+    """BENCH_PR1.json at the repo root, when checked in, must be valid."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    sys.path.insert(0, TOOLS)
+    try:
+        import bench_perf
+    finally:
+        sys.path.remove(TOOLS)
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    assert report["meta"]["n"] == 100_000
+    assert report["meta"]["d"] == 64
+    assert report["speedups"]["candidates_csr_vs_dict"] >= 5.0
+    assert report["checks"]["parallel_matches_identical"]

@@ -1,0 +1,272 @@
+"""Seeded perf suite for the fast paths: CSR tables, blocked verify, executor.
+
+Runs a fixed, fully seeded sequence of build / candidate-generation /
+verification / join timings and writes the results as JSON (default
+``BENCH_PR1.json`` at the repo root), so successive PRs have a recorded
+baseline to beat.  Two modes:
+
+* full (default): n=100k, d=64 — the workload the ISSUE's >=5x
+  candidate-generation target refers to; takes a few minutes because
+  the *dict* reference path is slow (that is the point).
+* ``--quick``: a seconds-scale shrink of the same suite for CI smoke
+  (asserts the suite runs end to end and the schema is stable).
+
+What is measured:
+
+* build: dict-of-lists vs CSR bucket construction over the same keys.
+* candidates: ``candidates_batch`` over the whole query set, dict layout
+  vs CSR layout (identical candidate sets are asserted, with and
+  without multiprobe).
+* verify: per-query GEMV loop vs the one-GEMM-per-block kernel on the
+  same candidate lists.
+* join: ``parallel_lsh_join`` at 1/2/4 workers (identical matches are
+  asserted); wall-clock scaling is recorded together with
+  ``cpu_count`` — on a single-core machine the extra workers cannot
+  win, and the JSON says so rather than hiding it.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core import JoinSpec, parallel_lsh_join
+from repro.core.executor import BatchIndexSpec
+from repro.core.verify import verify_candidates
+from repro.datasets import random_unit
+from repro.lsh import BatchSignIndex
+
+SCHEMA = "repro-bench-perf/v1"
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+
+FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
+            n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
+QUICK = dict(n=4_000, d=32, n_queries=256, n_tables=8, bits_per_table=10,
+             n_probes=2, workers=(1, 2), block=128, seed=2016)
+
+
+def _timed(fn: Callable, repeats: int = 1):
+    """Best-of-``repeats`` wall time; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_same_candidates(a: List[np.ndarray], b: List[np.ndarray]) -> bool:
+    if len(a) != len(b):
+        return False
+    return all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def run_suite(quick: bool = False) -> dict:
+    cfg = QUICK if quick else FULL
+    n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
+    tables, bits, probes = cfg["n_tables"], cfg["bits_per_table"], cfg["n_probes"]
+    seed = cfg["seed"]
+    print(f"[bench_perf] workload: n={n} d={d} queries={nq} "
+          f"L={tables} k={bits} probes={probes} quick={quick}", flush=True)
+
+    P = random_unit(n, d, seed=seed) * 0.95
+    Q = random_unit(nq, d, seed=seed + 1) * 0.95
+
+    def make(layout: str) -> BatchSignIndex:
+        return BatchSignIndex.for_hyperplane(
+            d, n_tables=tables, bits_per_table=bits, seed=seed + 2, layout=layout
+        )
+
+    # --- build ---------------------------------------------------------
+    print("[bench_perf] build: dict vs csr ...", flush=True)
+    build_dict_s, idx_dict = _timed(lambda: make("dict").build(P))
+    build_csr_s, idx_csr = _timed(lambda: make("csr").build(P))
+
+    # --- candidate generation -----------------------------------------
+    print("[bench_perf] candidates: dict vs csr ...", flush=True)
+    cand_dict_s, cands_dict = _timed(lambda: idx_dict.candidates_batch(Q),
+                                     repeats=3)
+    cand_csr_s, cands_csr = _timed(lambda: idx_csr.candidates_batch(Q),
+                                   repeats=3)
+    sets_equal = _assert_same_candidates(cands_dict, cands_csr)
+
+    cand_dict_probe_s, probed_dict = _timed(
+        lambda: idx_dict.candidates_batch(Q, n_probes=probes), repeats=3)
+    cand_csr_probe_s, probed_csr = _timed(
+        lambda: idx_csr.candidates_batch(Q, n_probes=probes), repeats=3)
+    probe_sets_equal = _assert_same_candidates(probed_dict, probed_csr)
+
+    # --- verification --------------------------------------------------
+    # Two regimes: the LSH candidate lists themselves (sparse overlap on
+    # this uniform workload — the kernel's cost test picks gathered
+    # GEMVs) and a popularity-skewed workload where hot rows appear in
+    # most lists (the union-GEMM path fires and wins).
+    print("[bench_perf] verify: per-query loop vs blocked kernel ...", flush=True)
+    threshold = 0.6
+
+    def verify_loop(cand_lists):
+        matches = []
+        for qi, cands in enumerate(cand_lists):
+            if cands.size == 0:
+                matches.append(None)
+                continue
+            values = P[cands] @ Q[qi]
+            best = int(np.argmax(values))
+            matches.append(int(cands[best]) if values[best] >= threshold else None)
+        return matches
+
+    verify_loop_s, loop_matches = _timed(lambda: verify_loop(cands_csr), repeats=3)
+    verify_blocked_s, (blocked_matches, evaluated) = _timed(
+        lambda: verify_candidates(P, Q, cands_csr, threshold, block=cfg["block"]),
+        repeats=3)
+    verify_equal = loop_matches == blocked_matches
+
+    # Popularity-skewed lists: candidates concentrated on a hot-row set
+    # small enough (2x the per-query list size) that every hot row shows
+    # up in a large fraction of each block's lists — the regime the
+    # union-GEMM strategy is built for.
+    skew_rng = np.random.default_rng(seed + 3)
+    per_query = max(16, int(round(idx_csr.stats.candidates_per_query)))
+    hot = max(32, 2 * per_query)
+    skewed = [
+        np.unique(skew_rng.integers(0, hot, per_query).astype(np.int64))
+        for _ in range(nq)
+    ]
+    overlap_loop_s, overlap_loop_matches = _timed(
+        lambda: verify_loop(skewed), repeats=3)
+    overlap_blocked_s, (overlap_blocked_matches, _) = _timed(
+        lambda: verify_candidates(P, Q, skewed, threshold, block=cfg["block"]),
+        repeats=3)
+    overlap_equal = overlap_loop_matches == overlap_blocked_matches
+
+    # --- join: executor scaling ---------------------------------------
+    spec = JoinSpec(s=0.75, c=0.8)
+    index_spec = BatchIndexSpec(
+        d=d, scheme="hyperplane", n_tables=tables, bits_per_table=bits,
+        seed=seed + 2, layout="csr",
+    )
+    join_seconds = {}
+    join_results = {}
+    for workers in cfg["workers"]:
+        print(f"[bench_perf] join: {workers} worker(s) ...", flush=True)
+        secs, result = _timed(lambda w=workers: parallel_lsh_join(
+            P, Q, spec, index_spec=index_spec, n_workers=w, block=cfg["block"]))
+        join_seconds[str(workers)] = secs
+        join_results[workers] = result
+    base = join_results[cfg["workers"][0]]
+    parallel_identical = all(
+        r.matches == base.matches
+        and r.inner_products_evaluated == base.inner_products_evaluated
+        for r in join_results.values()
+    )
+
+    report = {
+        "schema": SCHEMA,
+        "meta": {
+            "quick": quick,
+            "n": n, "d": d, "n_queries": nq,
+            "n_tables": tables, "bits_per_table": bits, "n_probes": probes,
+            "block": cfg["block"], "seed": seed,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "timings": {
+            "build_dict_s": build_dict_s,
+            "build_csr_s": build_csr_s,
+            "candidates_dict_s": cand_dict_s,
+            "candidates_csr_s": cand_csr_s,
+            "candidates_multiprobe_dict_s": cand_dict_probe_s,
+            "candidates_multiprobe_csr_s": cand_csr_probe_s,
+            "verify_loop_s": verify_loop_s,
+            "verify_blocked_s": verify_blocked_s,
+            "verify_overlap_loop_s": overlap_loop_s,
+            "verify_overlap_blocked_s": overlap_blocked_s,
+            "join_workers_s": join_seconds,
+        },
+        "speedups": {
+            "build_csr_vs_dict": build_dict_s / build_csr_s,
+            "candidates_csr_vs_dict": cand_dict_s / cand_csr_s,
+            "candidates_multiprobe_csr_vs_dict": cand_dict_probe_s / cand_csr_probe_s,
+            "verify_blocked_vs_loop": verify_loop_s / verify_blocked_s,
+            "verify_overlap_blocked_vs_loop": overlap_loop_s / overlap_blocked_s,
+            "join_scaling_vs_1_worker": {
+                w: join_seconds[str(cfg["workers"][0])] / s
+                for w, s in join_seconds.items()
+            },
+        },
+        "work": {
+            "candidates_per_query_csr": idx_csr.stats.candidates_per_query,
+            "inner_products_verified": evaluated,
+            "join_matched": base.matched_count,
+            "join_inner_products_evaluated": base.inner_products_evaluated,
+        },
+        "checks": {
+            "candidate_sets_equal": sets_equal,
+            "multiprobe_candidate_sets_equal": probe_sets_equal,
+            "verify_matches_equal": verify_equal,
+            "verify_overlap_matches_equal": overlap_equal,
+            "parallel_matches_identical": parallel_identical,
+        },
+    }
+    return report
+
+
+def validate_schema(report: dict) -> None:
+    """Raise if ``report`` does not look like a bench_perf artifact."""
+    assert report.get("schema") == SCHEMA, "unknown schema"
+    for section in ("meta", "timings", "speedups", "work", "checks"):
+        assert isinstance(report.get(section), dict), f"missing section {section}"
+    for key in ("build_dict_s", "build_csr_s", "candidates_dict_s",
+                "candidates_csr_s", "verify_loop_s", "verify_blocked_s",
+                "join_workers_s"):
+        assert key in report["timings"], f"missing timing {key}"
+    for key in ("candidates_csr_vs_dict", "verify_blocked_vs_loop",
+                "join_scaling_vs_1_worker"):
+        assert key in report["speedups"], f"missing speedup {key}"
+    assert all(isinstance(v, bool) for v in report["checks"].values())
+
+
+def main(argv: Optional[List[str]] = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="seconds-scale CI smoke instead of the full n=100k run")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    out_dir = os.path.dirname(os.path.abspath(args.out))
+    if not os.path.isdir(out_dir):
+        parser.error(f"output directory does not exist: {out_dir}")
+    report = run_suite(quick=args.quick)
+    validate_schema(report)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    failed = [name for name, ok in report["checks"].items() if not ok]
+    print(f"[bench_perf] wrote {args.out}")
+    print(f"[bench_perf] candidates speedup (csr vs dict): "
+          f"{report['speedups']['candidates_csr_vs_dict']:.1f}x")
+    print(f"[bench_perf] verify speedup (blocked vs loop): "
+          f"{report['speedups']['verify_blocked_vs_loop']:.1f}x sparse, "
+          f"{report['speedups']['verify_overlap_blocked_vs_loop']:.1f}x overlapped")
+    if failed:
+        print(f"[bench_perf] FAILED checks: {failed}", file=sys.stderr)
+        raise SystemExit(1)
+    return report
+
+
+if __name__ == "__main__":
+    main()
