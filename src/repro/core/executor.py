@@ -93,6 +93,40 @@ class BatchIndexSpec:
         return index.build(P)
 
 
+@dataclass(frozen=True)
+class SketchStructureSpec:
+    """Picklable recipe for a :class:`~repro.sketches.cmips.SketchCMIPS`.
+
+    Pure data like :class:`BatchIndexSpec`: a concrete integer seed makes
+    every worker rebuild bit-identical sketches, so sharding the query
+    set cannot change which data vector a query's descent proposes.
+    """
+
+    kappa: float = 4.0
+    copies: int = 7
+    leaf_size: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if not isinstance(self.seed, (int, np.integer)):
+            raise ParameterError(
+                f"seed must be a concrete integer for reproducible worker "
+                f"rebuilds, got {type(self.seed).__name__}"
+            )
+
+    def build(self, P):
+        """Construct the c-MIPS structure over ``P``."""
+        from repro.sketches.cmips import SketchCMIPS
+
+        return SketchCMIPS(
+            P,
+            kappa=self.kappa,
+            copies=self.copies,
+            leaf_size=self.leaf_size,
+            seed=int(self.seed),
+        )
+
+
 # Per-worker state installed by the pool initializer: (index, P).
 _WORKER_STATE: dict = {}
 
@@ -223,4 +257,79 @@ def parallel_lsh_join(
         spec=spec,
         inner_products_evaluated=verified,
         candidates_generated=generated,
+    )
+
+
+def _sketch_chunk(structure, P, Q_chunk, s: float, block: int):
+    """Run the blocked sketch join over one contiguous query chunk."""
+    from repro.core.sketch_join import sketch_unsigned_join
+
+    result = sketch_unsigned_join(P, Q_chunk, s=s, structure=structure, block=block)
+    return result.matches, result.inner_products_evaluated
+
+
+def _run_sketch_chunk(Q_chunk, s, block):
+    return _sketch_chunk(
+        _WORKER_STATE["index"], _WORKER_STATE["P"], Q_chunk, s, block
+    )
+
+
+def parallel_sketch_join(
+    P,
+    Q,
+    s: float,
+    structure_spec: Optional[SketchStructureSpec] = None,
+    structure=None,
+    n_workers: int = 1,
+    block: int = DEFAULT_BLOCK,
+) -> JoinResult:
+    """The Section 4.3 sketch join sharded over query blocks.
+
+    The blocked :func:`repro.core.sketch_join.sketch_unsigned_join` is
+    block-local in the queries, so the same chunking contract as
+    :func:`parallel_lsh_join` applies: chunk boundaries align to
+    ``block`` multiples, every worker rebuilds (or receives) the same
+    structure, and ``n_workers=1`` reproduces the serial join exactly.
+    """
+    P, Q = validate_join_inputs(P, Q)
+    if (structure_spec is None) == (structure is None):
+        raise ParameterError("provide exactly one of structure_spec or structure")
+    if n_workers < 1:
+        raise ParameterError(f"n_workers must be >= 1, got {n_workers}")
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    payload = structure_spec if structure_spec is not None else structure
+    if n_workers == 1:
+        built = payload.build(P) if hasattr(payload, "build") else payload
+        from repro.core.sketch_join import sketch_unsigned_join
+
+        return sketch_unsigned_join(P, Q, s=s, structure=built, block=block)
+    if structure_spec is not None:
+        from repro.sketches.stable import norm_ratio_bound
+
+        c = 1.0 / norm_ratio_bound(P.shape[0], float(structure_spec.kappa))
+    else:
+        c = structure.approximation_factor
+    spec = JoinSpec(s=s, c=c, signed=False)
+    bounds = _chunk_bounds(Q.shape[0], block, n_workers)
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(bounds)),
+        initializer=_init_worker,
+        initargs=(payload, P),
+    ) as pool:
+        futures = [
+            pool.submit(_run_sketch_chunk, Q[start:end], s, block)
+            for start, end in bounds
+        ]
+        chunk_results = [f.result() for f in futures]
+    matches: List[Optional[int]] = []
+    evaluated = 0
+    for chunk_matches, chunk_evaluated in chunk_results:
+        matches.extend(chunk_matches)
+        evaluated += chunk_evaluated
+    return JoinResult(
+        matches=matches,
+        spec=spec,
+        inner_products_evaluated=evaluated,
+        candidates_generated=len(matches),
     )

@@ -21,7 +21,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from typing import Tuple
+
 from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.verify import GEMM_ADVANTAGE
 from repro.errors import ParameterError
 from repro.utils.validation import check_matrix, check_vector
 
@@ -82,29 +85,108 @@ class NormScanIndex:
             return None, best_value, work
         return best_index, best_value, work
 
+    def query_block(
+        self, Q_block, threshold: float, signed: bool = True, block: int = 256
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`query` over the rows of ``Q_block``.
+
+        Returns ``(indices, values, work)`` arrays; ``indices[i]`` is
+        ``-1`` on a miss.  Walks the norm-ordered data in the same
+        ``block``-sized prefix steps as the scalar scan, evaluating each
+        step as one GEMM over the still-active queries (falling back to
+        per-query GEMVs when per-query prefix limits make the shared GEMM
+        waste arithmetic, the :mod:`repro.core.verify` cost test).  A
+        query leaves the active set exactly when the scalar scan would
+        have stopped, so per-query work counts are preserved.
+        """
+        Q_block = check_matrix(Q_block, "Q", allow_empty=True)
+        b = Q_block.shape[0]
+        if b and Q_block.shape[1] != self.d:
+            raise ParameterError(
+                f"expected query dimension {self.d}, got {Q_block.shape[1]}"
+            )
+        best_values = np.full(b, -np.inf)
+        best_indices = np.full(b, -1, dtype=np.int64)
+        work = np.zeros(b, dtype=np.int64)
+        if b == 0:
+            return best_indices, best_values, work
+        q_norms = np.linalg.norm(Q_block, axis=1)
+        limits = np.array(
+            [self.prefix_length(float(qn), threshold) for qn in q_norms],
+            dtype=np.int64,
+        )
+        active = limits > 0
+        start = 0
+        max_limit = int(limits.max())
+        while start < max_limit and active.any():
+            stop = min(start + block, max_limit)
+            # The scalar scan checks its stopping rule *before* this step.
+            bound = self.norms[start] * q_norms
+            active &= ~((best_values >= threshold) & (best_values >= bound))
+            active &= limits > start
+            qidx = np.flatnonzero(active)
+            if qidx.size == 0:
+                start = stop
+                continue
+            stops = np.minimum(limits[qidx], stop)
+            evaluated = int((stops - start).sum())
+            work[qidx] += stops - start
+            if (stop - start) * qidx.size <= GEMM_ADVANTAGE * evaluated:
+                values = self.P_sorted[start:stop] @ Q_block[qidx].T
+                scores = values if signed else np.abs(values)
+                # Rows past a query's own prefix limit were never part of
+                # its scalar scan; mask them out of the argmax.
+                rows = np.arange(start, stop)[:, None]
+                scores = np.where(rows < stops[None, :], scores, -np.inf)
+                local = np.argmax(scores, axis=0)
+                local_scores = scores[local, np.arange(qidx.size)]
+            else:
+                local = np.empty(qidx.size, dtype=np.int64)
+                local_scores = np.empty(qidx.size)
+                for pos, (qi, q_stop) in enumerate(zip(qidx, stops)):
+                    vals = self.P_sorted[start:q_stop] @ Q_block[qi]
+                    sc = vals if signed else np.abs(vals)
+                    local[pos] = int(np.argmax(sc))
+                    local_scores[pos] = sc[local[pos]]
+            better = local_scores > best_values[qidx]
+            upd = qidx[better]
+            best_values[upd] = local_scores[better]
+            best_indices[upd] = self.order[start + local[better]]
+            start = stop
+        misses = best_values < threshold
+        best_indices[misses] = -1
+        return best_indices, best_values, work
+
 
 def norm_pruned_join(
     P,
     Q,
     spec: JoinSpec,
     block: int = 256,
+    query_block: int = 256,
 ) -> JoinResult:
     """Exact ``(cs, s)`` join with Cauchy-Schwarz norm pruning.
 
     Produces exactly the matches of :func:`repro.core.brute_force.
     brute_force_join` (same best-partner convention) while evaluating only
-    the norm-qualified prefixes.
+    the norm-qualified prefixes.  Queries are processed ``query_block``
+    at a time through :meth:`NormScanIndex.query_block`, turning the
+    per-query GEMV stream into shared prefix GEMMs without changing
+    matches or work counts.
     """
     P, Q = validate_join_inputs(P, Q)
     index = NormScanIndex(P)
     matches: List[Optional[int]] = []
     work = 0
-    for q in Q:
-        found, _, evaluated = index.query(
-            q, threshold=spec.cs, signed=spec.signed, block=block
+    for q0 in range(0, Q.shape[0], query_block):
+        indices, _, evaluated = index.query_block(
+            Q[q0:q0 + query_block],
+            threshold=spec.cs,
+            signed=spec.signed,
+            block=block,
         )
-        work += evaluated
-        matches.append(found)
+        work += int(evaluated.sum())
+        matches.extend(int(i) if i >= 0 else None for i in indices)
     return JoinResult(
         matches=matches,
         spec=spec,

@@ -30,11 +30,14 @@ def sketch_unsigned_join(
 ) -> JoinResult:
     """Unsigned ``(cs, s)`` join with the sketch's own ``c = n^{-1/kappa}``.
 
-    For each query, the c-MIPS structure proposes one data vector; the
-    proposals for a whole query block are then verified exactly through
-    the blocked kernel (:mod:`repro.core.verify` — one GEMM per block
-    rather than one dot product per query), and reported when they clear
-    ``c * s``.  Queries whose best partner is below ``s`` carry no
+    Runs block-at-a-time: each query block goes through one batched
+    c-MIPS descent (``SketchCMIPS.query_batch`` — stacked GEMMs instead
+    of per-query GEMVs), its proposals are verified exactly through the
+    blocked kernel (:mod:`repro.core.verify`), and matches are reported
+    when they clear ``c * s``.  Because every stage is block-local, the
+    query set can be sharded across processes
+    (:func:`repro.core.executor.parallel_sketch_join`) without changing
+    results.  Queries whose best partner is below ``s`` carry no
     guarantee, as in Definition 1.
     """
     P, Q = validate_join_inputs(P, Q)
@@ -43,18 +46,22 @@ def sketch_unsigned_join(
     if structure is None:
         structure = SketchCMIPS(P, kappa=kappa, copies=copies, seed=seed)
     spec = JoinSpec(s=s, c=structure.approximation_factor, signed=False)
+    per_query = structure.recovery.query_cost() // max(1, P.shape[1])
     evaluated = 0
-    proposals = []
+    matches = []
     empty = np.empty(0, dtype=np.int64)
-    for q in Q:
-        answer = structure.query(q)
-        evaluated += structure.recovery.query_cost() // max(1, P.shape[1])
-        proposals.append(
-            np.array([answer.index], dtype=np.int64) if answer.index >= 0 else empty
+    for q0 in range(0, Q.shape[0], block):
+        Q_block = Q[q0:q0 + block]
+        answers = structure.query_batch(Q_block)
+        evaluated += per_query * Q_block.shape[0]
+        proposals = [
+            np.array([idx], dtype=np.int64) if idx >= 0 else empty
+            for idx in answers.indices
+        ]
+        block_matches, _ = verify_candidates(
+            P, Q_block, proposals, threshold=spec.cs, signed=False, block=block
         )
-    matches, _ = verify_candidates(
-        P, Q, proposals, threshold=spec.cs, signed=False, block=block
-    )
+        matches.extend(block_matches)
     return JoinResult(
         matches=matches,
         spec=spec,

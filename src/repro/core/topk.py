@@ -14,6 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.problems import JoinSpec, validate_join_inputs
+from repro.core.verify import DEFAULT_BLOCK, candidate_values_block
 from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
 from repro.lsh.index import LSHIndex
@@ -59,12 +60,17 @@ def lsh_join_topk(
     n_tables: int = 16,
     hashes_per_table: int = 4,
     seed: SeedLike = None,
+    block: int = DEFAULT_BLOCK,
 ) -> List[List[int]]:
     """Approximate top-k join through an LSH index (generic or batch).
 
     ``index`` may be any object exposing ``candidates(q)`` over ``P``
     (an :class:`~repro.lsh.index.LSHIndex` or a
-    :class:`~repro.lsh.batch.BatchSignIndex`).
+    :class:`~repro.lsh.batch.BatchSignIndex`); indexes with
+    ``candidates_batch`` generate a whole query block's candidates at
+    once, and scoring runs through the blocked verification kernel
+    (:func:`repro.core.verify.candidate_values_block`) instead of one
+    GEMV per query.
     """
     P, Q = validate_join_inputs(P, Q)
     if k < 1:
@@ -75,14 +81,18 @@ def lsh_join_topk(
         index = LSHIndex(
             family, n_tables=n_tables, hashes_per_table=hashes_per_table, seed=seed
         ).build(P)
-    out = []
-    for q in Q:
-        candidates = index.candidates(q)
-        if candidates.size == 0:
-            out.append([])
-            continue
-        values = P[candidates] @ q
-        out.append(_rank_above(values, candidates, spec, k))
+    out: List[List[int]] = []
+    for q0 in range(0, Q.shape[0], block):
+        Q_block = Q[q0:q0 + block]
+        if hasattr(index, "candidates_batch"):
+            cand_lists = index.candidates_batch(Q_block)
+        else:
+            cand_lists = [index.candidates(q) for q in Q_block]
+        value_lists = candidate_values_block(P, Q_block, cand_lists)
+        out.extend(
+            _rank_above(values, candidates, spec, k) if candidates.size else []
+            for candidates, values in zip(cand_lists, value_lists)
+        )
     return out
 
 

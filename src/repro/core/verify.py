@@ -142,6 +142,55 @@ def verify_block(
     return BlockVerification(best_index, best_score, evaluated)
 
 
+def candidate_values_block(
+    P: np.ndarray,
+    Q_block: np.ndarray,
+    cand_lists: Sequence[np.ndarray],
+    signed: bool = True,
+) -> List[np.ndarray]:
+    """Exact candidate inner products for one query block, list-aligned.
+
+    The sibling of :func:`verify_block` for callers that need *all* the
+    values (top-k ranking, recall audits) rather than the per-query best.
+    Applies the same union-GEMM cost test, so the BLAS call pattern is a
+    pure function of the block's candidate lists.  ``out[i]`` has the
+    same length and order as ``cand_lists[i]``.
+    """
+    b = Q_block.shape[0]
+    sizes = np.array([int(c.size) for c in cand_lists], dtype=np.int64)
+    total = int(sizes.sum())
+    out: List[np.ndarray] = [np.empty(0, dtype=np.float64)] * b
+    if total == 0:
+        return out
+    qidx = np.flatnonzero(sizes)
+    union = None
+    all_cands = None
+    if int(sizes.max()) * b <= GEMM_ADVANTAGE * total:
+        all_cands = np.concatenate([cand_lists[i] for i in qidx])
+        if P.shape[0] <= 16 * total:
+            present = np.zeros(P.shape[0], dtype=bool)
+            present[all_cands] = True
+            union = np.flatnonzero(present)
+        else:
+            union = sorted_unique(all_cands)
+    if union is not None and union.size * b <= GEMM_ADVANTAGE * total:
+        gram = P[union] @ Q_block.T  # (|union|, b)
+        qrep = np.repeat(qidx, sizes[qidx])
+        inverse = np.empty(P.shape[0], dtype=np.int64)
+        inverse[union] = np.arange(union.size, dtype=np.int64)
+        values = gram.ravel()[inverse[all_cands] * b + qrep]
+        if not signed:
+            values = np.abs(values)
+        seg = np.cumsum(sizes[qidx]) - sizes[qidx]
+        for pos, i in enumerate(qidx):
+            out[i] = values[seg[pos] : seg[pos] + sizes[i]]
+    else:
+        for i in qidx:
+            values = P[cand_lists[i]] @ Q_block[i]
+            out[i] = values if signed else np.abs(values)
+    return out
+
+
 def verify_candidates(
     P: np.ndarray,
     Q: np.ndarray,

@@ -32,6 +32,17 @@ def _norm_check(x: np.ndarray, limit: float, name: str, atol: float = 1e-9) -> f
     return norm
 
 
+def _norms_check(X: np.ndarray, limit: float, name: str, atol: float = 1e-9) -> np.ndarray:
+    """Row norms of ``X``, raising like :func:`_norm_check` on the first
+    offending row so vectorized embeds fail identically to the row loop."""
+    norms = np.linalg.norm(X, axis=1)
+    over = norms > limit + atol
+    if over.any():
+        worst = float(norms[np.argmax(over)])
+        raise DomainError(f"{name} must have norm <= {limit}, got {worst:.6g}")
+    return norms
+
+
 class NeyshaburSrebroTransform:
     """Asymmetric ball-to-sphere map of [39] (used by Section 4.1).
 
@@ -66,11 +77,18 @@ class NeyshaburSrebroTransform:
 
     def embed_data_many(self, P) -> np.ndarray:
         P = check_matrix(P, "P")
-        return np.stack([self.embed_data(row) for row in P])
+        norms = _norms_check(P, 1.0, "p")
+        tails = np.sqrt(np.maximum(0.0, 1.0 - norms * norms))
+        zeros = np.zeros((P.shape[0], 1))
+        return np.concatenate([P, tails[:, None], zeros], axis=1)
 
     def embed_query_many(self, Q) -> np.ndarray:
         Q = check_matrix(Q, "Q")
-        return np.stack([self.embed_query(row) for row in Q])
+        norms = _norms_check(Q, self.query_radius, "q")
+        ratios = norms / self.query_radius
+        tails = np.sqrt(np.maximum(0.0, 1.0 - ratios * ratios))
+        zeros = np.zeros((Q.shape[0], 1))
+        return np.concatenate([Q / self.query_radius, zeros, tails[:, None]], axis=1)
 
     def inner_product_scale(self) -> float:
         """Embedded inner products equal original ones times this factor."""
@@ -107,11 +125,20 @@ class SimpleLSHTransform:
 
     def embed_data_many(self, P) -> np.ndarray:
         P = check_matrix(P, "P")
-        return np.stack([self.embed_data(row) for row in P])
+        norms = _norms_check(P, 1.0, "p")
+        tails = np.sqrt(np.maximum(0.0, 1.0 - norms * norms))
+        return np.concatenate([P, tails[:, None]], axis=1)
 
-    def embed_query_many(self, Q) -> np.ndarray:
+    def embed_query_many(self, Q, atol: float = 1e-6) -> np.ndarray:
         Q = check_matrix(Q, "Q")
-        return np.stack([self.embed_query(row) for row in Q])
+        norms = np.linalg.norm(Q, axis=1)
+        off = np.abs(norms - 1.0) > atol
+        if off.any():
+            worst = float(norms[np.argmax(off)])
+            raise DomainError(
+                f"SIMPLE-LSH queries must lie on the unit sphere; |q| = {worst:.6g}"
+            )
+        return np.concatenate([Q, np.zeros((Q.shape[0], 1))], axis=1)
 
 
 class L2ALSHTransform:
@@ -172,11 +199,32 @@ class L2ALSHTransform:
             raise DomainError("query must be non-zero")
         return np.concatenate([q / norm, np.full(self.m, 0.5)])
 
+    def embed_data_matrix(self, P, scale: float) -> np.ndarray:
+        """Vectorized :meth:`embed_data` at an explicit pre-fitted scale."""
+        P = check_matrix(P, "P")
+        X = P * float(scale)
+        _norms_check(X, 1.0, "scaled data vector")
+        norm_sq = np.einsum("ij,ij->i", X, X)
+        powers = np.empty((P.shape[0], self.m), dtype=np.float64)
+        value = norm_sq
+        for i in range(self.m):
+            powers[:, i] = value
+            value = value * value
+        return np.concatenate([X, powers], axis=1)
+
+    def embed_query_matrix(self, Q) -> np.ndarray:
+        """Vectorized :meth:`embed_query`."""
+        Q = check_matrix(Q, "Q")
+        norms = np.linalg.norm(Q, axis=1)
+        if (norms == 0).any():
+            raise DomainError("query must be non-zero")
+        return np.concatenate(
+            [Q / norms[:, None], np.full((Q.shape[0], self.m), 0.5)], axis=1
+        )
+
     def embed_data_many(self, P) -> np.ndarray:
         P = check_matrix(P, "P")
-        scale = self.fit_scale(P)
-        return np.stack([self.embed_data(row, scale) for row in P])
+        return self.embed_data_matrix(P, self.fit_scale(P))
 
     def embed_query_many(self, Q) -> np.ndarray:
-        Q = check_matrix(Q, "Q")
-        return np.stack([self.embed_query(row) for row in Q])
+        return self.embed_query_matrix(Q)

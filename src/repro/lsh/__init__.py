@@ -8,12 +8,22 @@ generate Figure 2.
 
 from repro.lsh.amplification import AndConstruction, amplify_gap
 from repro.lsh.batch import BatchSignIndex
+from repro.lsh.batch_hash import (
+    AsymmetricMinHashTables,
+    CrossPolytopeTables,
+    E2LSHTables,
+    GenericHashTables,
+    MinHashTables,
+    SignProjectionTables,
+)
 from repro.lsh.csr import CSRBucketTable
 from repro.lsh.e2lsh import E2LSH
 from repro.lsh.empirical_rho import RhoEstimate, empirical_rho_curve, estimate_rho
 from repro.lsh.sign_alsh import SignALSH, rho_sign_alsh
 from repro.lsh.base import (
+    MISS_KEY,
     AsymmetricLSHFamily,
+    BatchHashTables,
     HashFunctionPair,
     LSHFamily,
     estimate_collision_probability,
@@ -39,7 +49,15 @@ __all__ = [
     "LSHFamily",
     "AsymmetricLSHFamily",
     "HashFunctionPair",
+    "BatchHashTables",
+    "MISS_KEY",
     "estimate_collision_probability",
+    "SignProjectionTables",
+    "CrossPolytopeTables",
+    "E2LSHTables",
+    "MinHashTables",
+    "AsymmetricMinHashTables",
+    "GenericHashTables",
     "AndConstruction",
     "amplify_gap",
     "HyperplaneLSH",

@@ -42,6 +42,13 @@ class AndConstruction(AsymmetricLSHFamily):
 
         return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
 
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        # Widening each table by a factor of self.k draws the base family
+        # in exactly the nested per-vector order and fuses k * self.k
+        # components per key — the same bucket partition as tuples of
+        # tuples.
+        return self.base.sample_batch(rng, hashes_per_table * self.k, n_tables)
+
     @property
     def is_symmetric(self) -> bool:
         return self.base.is_symmetric

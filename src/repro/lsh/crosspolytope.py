@@ -10,10 +10,41 @@ exponent ``rho = 1 / (2 c'^2 - 1)``; we use the exact formula from [9] in
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.errors import ParameterError
 from repro.lsh.base import LSHFamily
+
+#: QR factorizations keyed by (dimension, generator state); bounded FIFO.
+_ROTATION_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_ROTATION_CACHE_MAX = 128
+
+
+def sample_rotation(rng: np.random.Generator, d: int) -> np.ndarray:
+    """Draw a random rotation (QR of a ``d x d`` Gaussian), caching the QR.
+
+    The Gaussian is *always* drawn so the generator stream advances
+    exactly as without the cache; only the O(d^3) factorization is reused
+    when the same (dimension, pre-draw generator state) recurs — e.g.
+    repeated ``sample()`` sweeps over identical seeds during
+    amplification studies.  The returned array is shared and marked
+    read-only.
+    """
+    state = rng.bit_generator.state
+    key = (int(d), repr(state))
+    gaussian = rng.normal(size=(d, d))
+    cached = _ROTATION_CACHE.get(key)
+    if cached is not None:
+        _ROTATION_CACHE.move_to_end(key)
+        return cached
+    rotation, _ = np.linalg.qr(gaussian)
+    rotation.flags.writeable = False
+    while len(_ROTATION_CACHE) >= _ROTATION_CACHE_MAX:
+        _ROTATION_CACHE.popitem(last=False)
+    _ROTATION_CACHE[key] = rotation
+    return rotation
 
 
 class CrossPolytopeLSH(LSHFamily):
@@ -29,8 +60,7 @@ class CrossPolytopeLSH(LSHFamily):
         self.d = int(d)
 
     def sample_function(self, rng: np.random.Generator):
-        gaussian = rng.normal(size=(self.d, self.d))
-        rotation, _ = np.linalg.qr(gaussian)
+        rotation = sample_rotation(rng, self.d)
 
         def h(x, _r=rotation):
             rotated = _r @ np.asarray(x, dtype=np.float64)
@@ -38,3 +68,10 @@ class CrossPolytopeLSH(LSHFamily):
             return 2 * i + (1 if rotated[i] < 0 else 0)
 
         return h
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import CrossPolytopeTables
+
+        count = n_tables * hashes_per_table
+        rotations = np.stack([sample_rotation(rng, self.d) for _ in range(count)])
+        return CrossPolytopeTables(rotations, n_tables, hashes_per_table)

@@ -60,3 +60,27 @@ class DataDepALSH(AsymmetricLSHFamily):
             return _h(self.transform.embed_query(np.asarray(q, dtype=np.float64)))
 
         return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import CrossPolytopeTables, SignProjectionTables
+        from repro.lsh.crosspolytope import sample_rotation
+
+        count = n_tables * hashes_per_table
+        sphere_dim = self.sphere_family.d
+        if isinstance(self.sphere_family, HyperplaneLSH):
+            projections = rng.normal(size=(count, sphere_dim))
+            return SignProjectionTables(
+                projections,
+                n_tables,
+                hashes_per_table,
+                data_transform=self.transform.embed_data_many,
+                query_transform=self.transform.embed_query_many,
+            )
+        rotations = np.stack([sample_rotation(rng, sphere_dim) for _ in range(count)])
+        return CrossPolytopeTables(
+            rotations,
+            n_tables,
+            hashes_per_table,
+            data_transform=self.transform.embed_data_many,
+            query_transform=self.transform.embed_query_many,
+        )

@@ -42,3 +42,16 @@ class E2LSH(LSHFamily):
             return int(math.floor((float(_a @ np.asarray(x, dtype=np.float64)) + _b) / _w))
 
         return h
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import E2LSHTables
+
+        count = n_tables * hashes_per_table
+        directions = np.empty((count, self.d))
+        offsets = np.empty(count)
+        # The per-function loop preserves the interleaved normal/uniform
+        # draw order of sample_function.
+        for f in range(count):
+            directions[f] = rng.normal(size=self.d)
+            offsets[f] = float(rng.uniform(0.0, self.w))
+        return E2LSHTables(directions, offsets, self.w, n_tables, hashes_per_table)

@@ -33,3 +33,10 @@ class HyperplaneLSH(LSHFamily):
             return bool(float(np.dot(_a, np.asarray(x, dtype=np.float64))) >= 0.0)
 
         return h
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import SignProjectionTables
+
+        # One (F, d) draw consumes the stream exactly like F size-d draws.
+        projections = rng.normal(size=(n_tables * hashes_per_table, self.d))
+        return SignProjectionTables(projections, n_tables, hashes_per_table)

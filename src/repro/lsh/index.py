@@ -8,11 +8,15 @@ P2^k)`` the expected number of false candidates per query is
 ``n_tables * n * P2^k`` while a true neighbor is retrieved with
 probability ``1 - (1 - P1^k)^{n_tables}``.
 
-Buckets are stored in CSR form (:mod:`repro.lsh.csr`): hashing stays a
-Python call per (vector, table) — the family interface is arbitrary
-Python — but bucket contents are flat int64 arrays, candidate merging is
-one sort-based dedup, and candidate sets come out **sorted**, making query
-results and downstream argmax tie-breaks reproducible run to run.
+Buckets are stored in CSR form (:mod:`repro.lsh.csr`) and hashing goes
+through the batch hashing protocol (:mod:`repro.lsh.base`): when the
+family implements ``sample_batch``, hashing a whole matrix is a few
+vectorized kernels; otherwise the generic per-row wrapper
+(:class:`repro.lsh.batch_hash.GenericHashTables`) calls the sampled
+closures one row at a time — same variates, same buckets, just slower.
+Candidate merging is one sort-based dedup, and candidate sets come out
+**sorted**, making query results and downstream argmax tie-breaks
+reproducible run to run.
 
 The index records per-query candidate counts, the quantity the paper's
 subquadratic claims are really about (candidate verification dominates the
@@ -27,9 +31,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.lsh.amplification import AndConstruction
 from repro.lsh.base import AsymmetricLSHFamily
-from repro.lsh.csr import CSRBucketTable, sorted_unique
+from repro.lsh.batch_hash import GenericHashTables
+from repro.lsh.csr import CSRBucketTable, merge_candidates_per_query
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix
 
@@ -106,6 +110,12 @@ class LSHIndex:
         n_tables: OR width ``L``.
         hashes_per_table: AND width ``k``.
         seed: reproducibility seed for the sampled hash functions.
+        use_batch: when True (default) use the family's native
+            ``sample_batch`` hasher if it provides one; False forces the
+            generic per-row closure path.  Both consume the seed's
+            variates in the same order, so the two modes build identical
+            buckets — the switch exists for equivalence tests and
+            benchmarks.
     """
 
     def __init__(
@@ -114,6 +124,7 @@ class LSHIndex:
         n_tables: int = 8,
         hashes_per_table: int = 4,
         seed: SeedLike = None,
+        use_batch: bool = True,
     ):
         if n_tables < 1:
             raise ParameterError(f"n_tables must be >= 1, got {n_tables}")
@@ -123,12 +134,10 @@ class LSHIndex:
         self.n_tables = int(n_tables)
         self.hashes_per_table = int(hashes_per_table)
         rng = ensure_rng(seed)
-        amplified = AndConstruction(family, hashes_per_table)
-        self._pairs = [amplified.sample(rng) for _ in range(self.n_tables)]
-        #: Per table: hash key -> dense bucket id, resolved against the
-        #: CSR arrays below.  The dict maps the family's arbitrary
-        #: hashable keys onto int64 ids once at build time.
-        self._key_ids: Optional[List[dict]] = None
+        hasher = family.sample_batch(rng, self.hashes_per_table, self.n_tables) if use_batch else None
+        if hasher is None:
+            hasher = GenericHashTables(family, rng, self.hashes_per_table, self.n_tables)
+        self._hasher = hasher
         self._tables: Optional[List[CSRBucketTable]] = None
         self._data: Optional[np.ndarray] = None
         self.stats = QueryStats()
@@ -136,6 +145,11 @@ class LSHIndex:
     @property
     def is_built(self) -> bool:
         return self._tables is not None
+
+    @property
+    def uses_batch_hashing(self) -> bool:
+        """True when hashing runs through a family-native vectorized path."""
+        return self._hasher.is_native
 
     @property
     def n(self) -> int:
@@ -146,31 +160,12 @@ class LSHIndex:
     def build(self, P) -> "LSHIndex":
         """Hash every row of ``P`` into every table."""
         P = check_matrix(P, "P")
-        key_ids: List[dict] = []
-        tables: List[CSRBucketTable] = []
-        for pair in self._pairs:
-            ids: dict = {}
-            row_keys = np.empty(P.shape[0], dtype=np.int64)
-            for i, row in enumerate(P):
-                key = pair.hash_data(row)
-                row_keys[i] = ids.setdefault(key, len(ids))
-            key_ids.append(ids)
-            tables.append(CSRBucketTable.from_keys(row_keys))
-        self._key_ids = key_ids
-        self._tables = tables
+        keys = self._hasher.hash_matrix(P, side="data")
+        self._tables = [
+            CSRBucketTable.from_keys(keys[:, t]) for t in range(self.n_tables)
+        ]
         self._data = P
         return self
-
-    def _bucket_slices(self, q: np.ndarray):
-        """Per-table (indices, start, end) for the query's buckets."""
-        for pair, ids, table in zip(self._pairs, self._key_ids, self._tables):
-            bucket_id = ids.get(pair.hash_query(q), -1)
-            if bucket_id < 0:
-                continue
-            start = int(table.offsets[bucket_id])
-            end = int(table.offsets[bucket_id + 1])
-            if end > start:
-                yield table.indices[start:end]
 
     def candidates(self, q) -> np.ndarray:
         """Union of bucket contents over all tables, **sorted** ascending.
@@ -178,27 +173,42 @@ class LSHIndex:
         Sorted output makes the candidate order (and any downstream
         argmax tie-break) deterministic, unlike a set-iteration order.
         """
-        if self._tables is None:
-            raise ParameterError("index not built yet; call build() first")
         q = np.asarray(q, dtype=np.float64)
-        buckets = list(self._bucket_slices(q))
-        if not buckets:
-            self.stats.record(0, 0)
-            return np.empty(0, dtype=np.int64)
-        merged = sorted_unique(np.concatenate(buckets))
-        self.stats.record(sum(b.size for b in buckets), merged.size)
-        return merged
+        return self.candidates_batch(q.reshape(1, -1))[0]
 
     def candidates_batch(self, Q) -> List[np.ndarray]:
         """Sorted candidate arrays for every row of ``Q``.
 
-        Hashing remains per-query Python (the family interface is a
-        Python callable) but bucket retrieval and merging run on the CSR
-        arrays; provided so joins can drive the generic index through
-        the same block-oriented path as :class:`repro.lsh.batch.BatchSignIndex`.
+        One ``hash_matrix`` call per block, then CSR lookups/gathers per
+        table and a single fused sort-based dedup — no Python loop per
+        query on native batch families.
         """
-        Q = check_matrix(Q, "Q")
-        return [self.candidates(Q[qi]) for qi in range(Q.shape[0])]
+        if self._tables is None:
+            raise ParameterError("index not built yet; call build() first")
+        Q = check_matrix(Q, "Q", allow_empty=True)
+        n_queries = Q.shape[0]
+        if n_queries == 0:
+            return []
+        query_keys = self._hasher.hash_matrix(Q, side="query")
+        all_rows = []
+        all_query_ids = []
+        query_range = np.arange(n_queries, dtype=np.int64)
+        for t, table in enumerate(self._tables):
+            starts, ends = table.lookup(query_keys[:, t])
+            rows, lengths = table.gather(starts, ends)
+            if rows.size:
+                all_rows.append(rows)
+                all_query_ids.append(np.repeat(query_range, lengths))
+        if not all_rows:
+            self.stats.record_batch(n_queries, 0, 0)
+            return [np.empty(0, dtype=np.int64)] * n_queries
+        rows = np.concatenate(all_rows)
+        query_ids = np.concatenate(all_query_ids)
+        merged = merge_candidates_per_query(query_ids, rows, n_queries, self.n)
+        self.stats.record_batch(
+            n_queries, rows.size, sum(c.size for c in merged)
+        )
+        return merged
 
     def query(self, q, threshold: float, signed: bool = True) -> Optional[int]:
         """Best candidate with (absolute) inner product >= threshold, or None.

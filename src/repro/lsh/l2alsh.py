@@ -81,3 +81,21 @@ class L2ALSH(AsymmetricLSHFamily):
             return int(math.floor((float(_a @ v) + _b) / self.w))
 
         return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import E2LSHTables
+
+        count = n_tables * hashes_per_table
+        extended_d = self.transform.output_dimension(self.d)
+        directions = np.empty((count, extended_d))
+        offsets = np.empty(count)
+        # The per-function loop preserves the interleaved normal/uniform
+        # draw order of sample().
+        for f in range(count):
+            directions[f] = rng.normal(size=extended_d)
+            offsets[f] = float(rng.uniform(0.0, self.w))
+        return E2LSHTables(
+            directions, offsets, self.w, n_tables, hashes_per_table,
+            data_transform=lambda P: self.transform.embed_data_matrix(P, self.scale),
+            query_transform=self.transform.embed_query_matrix,
+        )

@@ -58,6 +58,14 @@ class MinHash(LSHFamily):
 
         return h
 
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import MinHashTables
+
+        priorities = np.stack(
+            [rng.permutation(self.universe) for _ in range(n_tables * hashes_per_table)]
+        )
+        return MinHashTables(priorities, n_tables, hashes_per_table)
+
 
 class AsymmetricMinHash(AsymmetricLSHFamily):
     """MH-ALSH [46]: minwise hashing with dummy-padded data vectors.
@@ -98,6 +106,19 @@ class AsymmetricMinHash(AsymmetricLSHFamily):
             return _min_under(_pri, _support(q))
 
         return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import AsymmetricMinHashTables
+
+        priorities = np.stack(
+            [
+                rng.permutation(self.universe + self.max_norm)
+                for _ in range(n_tables * hashes_per_table)
+            ]
+        )
+        return AsymmetricMinHashTables(
+            priorities, self.universe, self.max_norm, n_tables, hashes_per_table
+        )
 
     @staticmethod
     def collision_probability(inner_product: int, query_weight: int, max_norm: int) -> float:

@@ -74,6 +74,30 @@ class SignALSHTransform:
             raise DomainError("query must be non-zero")
         return np.concatenate([q / norm, np.zeros(self.m)])
 
+    def embed_data_many(self, P, scale: float) -> np.ndarray:
+        """Vectorized :meth:`embed_data` over the rows of ``P``."""
+        P = check_matrix(P, "P")
+        V = P * float(scale)
+        norm_sq = np.einsum("ij,ij->i", V, V)
+        if norm_sq.max(initial=0.0) > 1.0 + 1e-9:
+            raise DomainError("scaled data vector escapes the unit ball")
+        tails = np.empty((P.shape[0], self.m))
+        power = norm_sq
+        for i in range(self.m):
+            tails[:, i] = 0.5 - power
+            power = power * power
+        return np.concatenate([V, tails], axis=1)
+
+    def embed_query_many(self, Q) -> np.ndarray:
+        """Vectorized :meth:`embed_query` over the rows of ``Q``."""
+        Q = check_matrix(Q, "Q")
+        norms = np.linalg.norm(Q, axis=1)
+        if (norms == 0).any():
+            raise DomainError("query must be non-zero")
+        return np.concatenate(
+            [Q / norms[:, None], np.zeros((Q.shape[0], self.m))], axis=1
+        )
+
 
 class SignALSH(AsymmetricLSHFamily):
     """Sign-ALSH hash family: the transform plus one hyperplane sign."""
@@ -110,6 +134,19 @@ class SignALSH(AsymmetricLSHFamily):
             return bool(float(_a @ v) >= 0.0)
 
         return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import SignProjectionTables
+
+        extended_d = self.transform.output_dimension(self.d)
+        projections = rng.normal(size=(n_tables * hashes_per_table, extended_d))
+        return SignProjectionTables(
+            projections,
+            n_tables,
+            hashes_per_table,
+            data_transform=lambda P: self.transform.embed_data_many(P, self.scale),
+            query_transform=self.transform.embed_query_many,
+        )
 
 
 def rho_sign_alsh(s: float, c: float, m: int = 2, u0: float = 0.75) -> float:

@@ -43,3 +43,15 @@ class SimpleALSH(AsymmetricLSHFamily):
             return bool(float(_a @ v) >= 0.0)
 
         return HashFunctionPair(hash_data=hash_data, hash_query=hash_query)
+
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import SignProjectionTables
+
+        projections = rng.normal(size=(n_tables * hashes_per_table, self.d + 1))
+        return SignProjectionTables(
+            projections,
+            n_tables,
+            hashes_per_table,
+            data_transform=self.transform.embed_data_many,
+            query_transform=self.transform.embed_query_many,
+        )

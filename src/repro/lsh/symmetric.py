@@ -67,6 +67,25 @@ class SymmetricIPSHash(LSHFamily):
 
         return hash_any
 
+    def sample_batch(self, rng: np.random.Generator, hashes_per_table: int, n_tables: int):
+        from repro.lsh.batch_hash import CrossPolytopeTables, SignProjectionTables
+        from repro.lsh.crosspolytope import sample_rotation
+
+        count = n_tables * hashes_per_table
+        sphere_dim = self.sphere_family.d
+        embed = self.completion.embed_many
+        if isinstance(self.sphere_family, HyperplaneLSH):
+            projections = rng.normal(size=(count, sphere_dim))
+            return SignProjectionTables(
+                projections, n_tables, hashes_per_table,
+                data_transform=embed, query_transform=embed,
+            )
+        rotations = np.stack([sample_rotation(rng, sphere_dim) for _ in range(count)])
+        return CrossPolytopeTables(
+            rotations, n_tables, hashes_per_table,
+            data_transform=embed, query_transform=embed,
+        )
+
 
 def query_is_self_match(P: np.ndarray, q: np.ndarray, s: float) -> bool:
     """The paper's pre-step: is the query itself an above-threshold answer?

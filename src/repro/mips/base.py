@@ -47,6 +47,18 @@ class MIPSEngine(abc.ABC):
     def query(self, q) -> MIPSAnswer:
         """Best (approximate) inner-product match for one query."""
 
+    def query_batch(self, Q) -> List[MIPSAnswer]:
+        """Answers for every row of ``Q``; entry ``j`` equals ``query(Q[j])``.
+
+        The default loops; engines with a vectorized path override it.
+        """
+        Q = check_matrix(Q, "Q", allow_empty=True)
+        if Q.shape[0] and Q.shape[1] != self.d:
+            raise ParameterError(
+                f"expected query dimension {self.d}, got {Q.shape[1]}"
+            )
+        return [self.query(q) for q in Q]
+
     def top_k(self, q, k: int) -> List[MIPSAnswer]:
         """Top-k retrieval; engines override when they can do better.
 

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+from typing import List
+
+from repro.errors import ParameterError
 from repro.mips.base import MIPSAnswer, MIPSEngine
 from repro.sketches.cmips import SketchCMIPS
 from repro.utils.rng import SeedLike
+from repro.utils.validation import check_matrix
+
+#: Queries per batched descent block; bounds the transient per-node value
+#: tensors while keeping the stacked GEMMs large enough to pay off.
+DEFAULT_QUERY_BLOCK = 1024
 
 
 class SketchMIPS(MIPSEngine):
@@ -28,3 +36,25 @@ class SketchMIPS(MIPSEngine):
         answer = self.structure.query(q)
         work = self.structure.recovery.query_cost() // max(1, self.d)
         return MIPSAnswer(index=answer.index, value=answer.value, work=work)
+
+    def query_batch(self, Q, block: int = DEFAULT_QUERY_BLOCK) -> List[MIPSAnswer]:
+        """Block-at-a-time :meth:`query`: one batched prefix-tree descent
+        and one stacked norm-estimate pass per ``block`` queries."""
+        Q = check_matrix(Q, "Q", allow_empty=True)
+        if Q.shape[0] and Q.shape[1] != self.d:
+            raise ParameterError(
+                f"expected query dimension {self.d}, got {Q.shape[1]}"
+            )
+        work = self.structure.recovery.query_cost() // max(1, self.d)
+        answers: List[MIPSAnswer] = []
+        for start in range(0, Q.shape[0], block):
+            batch = self.structure.query_batch(Q[start : start + block])
+            answers.extend(
+                MIPSAnswer(
+                    index=int(batch.indices[j]),
+                    value=float(batch.values[j]),
+                    work=work,
+                )
+                for j in range(len(batch))
+            )
+        return answers

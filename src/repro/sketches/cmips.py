@@ -37,6 +37,26 @@ class CMIPSAnswer:
     norm_estimate: float  # sketch estimate of ||A q||_kappa
 
 
+@dataclass(frozen=True)
+class CMIPSBatchAnswer:
+    """Columnar answers of a batched c-MIPS query (row ``j`` of the query
+    block maps to entry ``j`` of every array)."""
+
+    indices: np.ndarray         # int64 argmax indices
+    values: np.ndarray          # exact |p . q| of each returned vector
+    norm_estimates: np.ndarray  # sketch estimates of ||A q||_kappa
+
+    def __len__(self) -> int:
+        return self.indices.size
+
+    def __getitem__(self, j: int) -> CMIPSAnswer:
+        return CMIPSAnswer(
+            index=int(self.indices[j]),
+            value=float(self.values[j]),
+            norm_estimate=float(self.norm_estimates[j]),
+        )
+
+
 class SketchCMIPS:
     """Unsigned c-MIPS with sketch-backed sublinear queries.
 
@@ -80,6 +100,18 @@ class SketchCMIPS:
             index=index,
             value=value,
             norm_estimate=self.estimator.estimate(q),
+        )
+
+    def query_batch(self, Q) -> CMIPSBatchAnswer:
+        """Batched :meth:`query`: one recovery descent pass and one stacked
+        norm-estimate GEMM for the whole block.  Entry ``j`` equals
+        ``query(Q[j])`` field for field."""
+        Q = check_matrix(Q, "Q", allow_empty=True)
+        indices, values = self.recovery.query_batch(Q)
+        return CMIPSBatchAnswer(
+            indices=indices,
+            values=values,
+            norm_estimates=self.estimator.estimate_batch(Q),
         )
 
     def search(self, q, s: float, c: Optional[float] = None) -> Optional[int]:

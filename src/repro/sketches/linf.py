@@ -31,6 +31,23 @@ from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix, check_vector
 
 
+def _median_axis0(a: np.ndarray) -> np.ndarray:
+    """``np.median(a, axis=0)`` bit-for-bit, without its dispatch overhead.
+
+    The descent in :mod:`repro.sketches.recovery` takes medians over the
+    (small) copies axis thousands of times per query batch; a direct
+    partition is ~10x cheaper than ``np.median``'s generic machinery and
+    reproduces it exactly: the middle element for odd counts, the mean of
+    the two middles for even counts.
+    """
+    c = a.shape[0]
+    half = c // 2
+    if c % 2:
+        return np.partition(a, half, axis=0)[half]
+    part = np.partition(a, (half - 1, half), axis=0)
+    return (part[half - 1] + part[half]) / 2.0
+
+
 def default_rows(n: int, kappa: float, constant: float = 4.0) -> int:
     """``m = ceil(constant * n^{1-2/kappa} * (1 + ln n))``, floored at 1."""
     if n < 1:
@@ -97,6 +114,23 @@ class LKappaSketch:
             np.add.at(out[r], self.buckets[r], weighted[r])
         return out
 
+    def apply_matrix(self, X) -> np.ndarray:
+        """``Pi x`` for every *row* of ``X``; shape ``(copies, rows, len(X))``.
+
+        The batch counterpart of :meth:`apply`: one weighted scatter per
+        copy over the whole batch instead of one per input vector.
+        """
+        X = check_matrix(X, "X")
+        if X.shape[1] != self.n:
+            raise ParameterError(
+                f"expected row dimension {self.n}, got {X.shape[1]}"
+            )
+        out = np.zeros((self.copies, self.rows, X.shape[0]))
+        for r in range(self.copies):
+            weighted = (X * self.weights[r][None, :]).T  # (n, batch)
+            np.add.at(out[r], self.buckets[r], weighted)
+        return out
+
     def sketch_matrix(self, A) -> np.ndarray:
         """Precompute ``Pi A`` for all copies; shape ``(copies, rows, d)``.
 
@@ -125,6 +159,31 @@ class LKappaSketch:
         maxima = np.abs(values).max(axis=1)
         return float(np.median(maxima)) * self._correction
 
+    def estimates_from_values(self, values: np.ndarray) -> np.ndarray:
+        """Batch of norm estimates from ``(copies, rows, batch)`` values.
+
+        Entry ``j`` equals ``estimate_from_values(values[:, :, j])``
+        exactly: the max runs over the rows axis and the median over the
+        copies axis, both per batch column.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 3 or values.shape[:2] != (self.copies, self.rows):
+            raise ParameterError(
+                f"expected shape ({self.copies}, {self.rows}, batch), "
+                f"got {values.shape}"
+            )
+        # max_j |v_j| == max(max_j v_j, -min_j v_j), without materializing
+        # an |values|-sized temporary — this runs per tree node in the
+        # recovery descent, where values can be (copies, rows, n) sized.
+        maxima = np.maximum(
+            values.max(axis=1), -values.min(axis=1)
+        )  # (copies, batch)
+        return _median_axis0(maxima) * self._correction
+
     def estimate(self, x) -> float:
         """Direct estimate of ``||x||_kappa`` (sketch then read off)."""
         return self.estimate_from_values(self.apply(x))
+
+    def estimate_matrix(self, X) -> np.ndarray:
+        """Estimates of ``||x||_kappa`` for every row of ``X``; shape ``(len(X),)``."""
+        return self.estimates_from_values(self.apply_matrix(X))

@@ -19,6 +19,10 @@ from repro.sketches.stable import norm_ratio_bound
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_matrix, check_vector
 
+# Transient (copies, rows, chunk) value tensors in estimate_batch are kept
+# under this many elements (~64 MB of float64) by chunking the queries.
+_BATCH_VALUE_ELEMS = 1 << 23
+
 
 class MaxDotEstimator:
     """Sketch-backed estimator of ``max_p |p . q|`` over a data matrix.
@@ -45,6 +49,9 @@ class MaxDotEstimator:
         self.sketch = LKappaSketch(self.n, kappa, copies=copies, rows=rows, seed=seed)
         # (copies, rows, d): the only data-dependent state a query touches.
         self.compressed = self.sketch.sketch_matrix(A)
+        # Flattened to (copies * rows, d): one 2-D GEMM per query block
+        # instead of a broadcast loop of `copies` small GEMMs.
+        self._compressed2d = self.compressed.reshape(-1, self.d)
 
     @property
     def rows(self) -> int:
@@ -66,6 +73,38 @@ class MaxDotEstimator:
             raise ParameterError(f"expected query dimension {self.d}, got {q.size}")
         values = self.compressed @ q  # (copies, rows)
         return self.sketch.estimate_from_values(values)
+
+    def estimate_batch(self, Q) -> np.ndarray:
+        """Estimates for every row of ``Q``; shape ``(len(Q),)``.
+
+        One stacked GEMM per query chunk instead of one GEMV per query.
+        Chunking bounds the transient ``(copies, rows, chunk)`` value
+        tensor, which at root level would otherwise scale with ``n * m``.
+        """
+        Q = check_matrix(Q, "Q", allow_empty=True)
+        if Q.shape[1] != self.d and Q.shape[0] > 0:
+            raise ParameterError(
+                f"expected query dimension {self.d}, got {Q.shape[1]}"
+            )
+        m = Q.shape[0]
+        per_query = self.sketch.copies * self.sketch.rows
+        chunk = max(1, _BATCH_VALUE_ELEMS // max(1, per_query))
+        out = np.empty(m, dtype=np.float64)
+        for start in range(0, m, chunk):
+            out[start : start + chunk] = self._estimate_block(Q[start : start + chunk])
+        return out
+
+    def _estimate_block(self, block: np.ndarray) -> np.ndarray:
+        """Hot path for the recovery descent: no validation, no chunking.
+
+        ``block`` must already be a validated ``(b, d)`` float64 matrix
+        small enough that the ``(copies, rows, b)`` value tensor is fine
+        to materialize whole.
+        """
+        values = (self._compressed2d @ block.T).reshape(
+            self.sketch.copies, self.sketch.rows, -1
+        )
+        return self.sketch.estimates_from_values(values)
 
     def sketch_cost(self) -> int:
         """Multiply-adds per query: ``copies * rows * d`` (vs ``n * d`` exact)."""

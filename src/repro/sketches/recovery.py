@@ -117,6 +117,55 @@ class PrefixRecoveryIndex:
         best = int(np.argmax(values))
         return int(node.indices[best]), float(values[best])
 
+    def query_batch(self, Q) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`query`: ``(indices, values)`` arrays over rows of ``Q``.
+
+        Runs the greedy descent level-synchronously: a worklist of
+        ``(node, query ids)`` pairs is split per level by one batched
+        child-estimate comparison, so the tree is walked once per *node
+        population* rather than once per query.  Routing uses the same
+        ``left >= right`` comparison as :meth:`query` on the same
+        estimates, and leaves finish with the same exact scan.
+        """
+        Q = check_matrix(Q, "Q", allow_empty=True)
+        m = Q.shape[0]
+        if m and Q.shape[1] != self.d:
+            raise ParameterError(
+                f"expected query dimension {self.d}, got {Q.shape[1]}"
+            )
+        out_indices = np.empty(m, dtype=np.int64)
+        out_values = np.empty(m, dtype=np.float64)
+        worklist: List[Tuple[_Node, np.ndarray]] = (
+            [(self.root, np.arange(m, dtype=np.int64))] if m else []
+        )
+        while worklist:
+            next_level: List[Tuple[_Node, np.ndarray]] = []
+            for node, qids in worklist:
+                block = Q[qids]
+                if node.is_leaf:
+                    values = np.abs(self.A[node.indices] @ block.T)  # (leaf, b)
+                    best = np.argmax(values, axis=0)
+                    out_indices[qids] = node.indices[best]
+                    out_values[qids] = values[best, np.arange(qids.size)]
+                    continue
+                left_est = self._child_estimates(node.left, block)
+                right_est = self._child_estimates(node.right, block)
+                go_left = left_est >= right_est
+                if go_left.any():
+                    next_level.append((node.left, qids[go_left]))
+                if not go_left.all():
+                    next_level.append((node.right, qids[~go_left]))
+            worklist = next_level
+        return out_indices, out_values
+
+    def _child_estimates(self, child: _Node, block: np.ndarray) -> np.ndarray:
+        if child.estimator is not None:
+            # block was validated once at query_batch entry and descent
+            # blocks shrink level by level: take the no-validation,
+            # no-chunking fast path.
+            return child.estimator._estimate_block(block)
+        return np.abs(self.A[child.indices] @ block.T).max(axis=0, initial=0.0)
+
     def _exact_max(self, indices: np.ndarray, q: np.ndarray) -> float:
         return float(np.abs(self.A[indices] @ q).max(initial=0.0))
 

@@ -10,22 +10,45 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import DomainError, ValidationError
 from repro.utils.validation import check_binary, check_matrix
 
 WORD_BITS = 64
+
+#: Widths up to this take the vectorized shift path in the bit codecs;
+#: wider values need Python's arbitrary-precision integers.
+_NATIVE_BITS = 63
 
 
 def pack_binary_rows(X) -> np.ndarray:
     """Pack the rows of a binary matrix into ``uint64`` words.
 
     Returns an array of shape ``(n, ceil(d / 64))``; bit ``j`` of row ``i``
-    is stored in word ``j // 64`` at position ``j % 64``.
+    is stored in word ``j // 64`` at position ``j % 64``.  ``bool`` and
+    ``uint8`` inputs are packed directly — no int64 round-trip copy;
+    other dtypes go through full binary validation first.
     """
-    X = check_binary(check_matrix(X, "X", dtype=np.int64), "X")
-    n, d = X.shape
+    arr = np.asarray(X)
+    if arr.dtype in (np.dtype(np.bool_), np.dtype(np.uint8)):
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2:
+            raise ValidationError(f"X must be 2-dimensional, got shape {arr.shape}")
+        if arr.shape[0] == 0 or arr.shape[1] == 0:
+            raise ValidationError(f"X must be non-empty, got shape {arr.shape}")
+        if arr.dtype == np.uint8 and int(arr.max()) > 1:
+            raise DomainError("X must have entries in {0, 1}")
+        bits = arr
+    else:
+        bits = check_binary(check_matrix(X, "X", dtype=np.int64), "X")
+    n, d = bits.shape
     n_words = (d + WORD_BITS - 1) // WORD_BITS
-    padded = np.zeros((n, n_words * WORD_BITS), dtype=np.uint8)
-    padded[:, :d] = X.astype(np.uint8)
+    pad = n_words * WORD_BITS - d
+    if pad:
+        padded = np.zeros((n, n_words * WORD_BITS), dtype=np.uint8)
+        padded[:, :d] = bits
+    else:
+        padded = np.ascontiguousarray(bits, dtype=np.uint8)
     # np.packbits packs most-significant-bit first within bytes; the exact
     # layout is irrelevant as long as it is consistent for both operands.
     packed_bytes = np.packbits(padded, axis=1)
@@ -43,16 +66,35 @@ def int_to_bits(value: int, width: int) -> np.ndarray:
         raise ValueError(f"value must be non-negative, got {value}")
     if value >= (1 << width):
         raise ValueError(f"value {value} does not fit in {width} bits")
-    return np.array([(value >> (width - 1 - k)) & 1 for k in range(width)], dtype=np.int64)
+    if width <= _NATIVE_BITS:
+        shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+        return (np.int64(value) >> shifts) & np.int64(1)
+    # Values this wide exceed int64; peel them word by word with Python's
+    # arbitrary-precision shifts, vectorizing within each word.
+    out = np.empty(width, dtype=np.int64)
+    for start in range(0, width, _NATIVE_BITS):
+        span = min(_NATIVE_BITS, width - start)
+        word = (value >> (width - start - span)) & ((1 << span) - 1)
+        shifts = np.arange(span - 1, -1, -1, dtype=np.int64)
+        out[start:start + span] = (np.int64(word) >> shifts) & np.int64(1)
+    return out
 
 
 def bits_to_int(bits) -> int:
     """Inverse of :func:`int_to_bits` (MSB first)."""
+    arr = np.asarray(bits, dtype=np.int64)
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("bits must be 0/1")
     out = 0
-    for b in np.asarray(bits, dtype=np.int64):
-        if b not in (0, 1):
-            raise ValueError("bits must be 0/1")
-        out = (out << 1) | int(b)
+    # Fold 63-bit chunks: each chunk is one vectorized dot, and the
+    # chunk results combine with arbitrary-precision shifts so widths
+    # beyond 63 bits still round-trip.
+    for start in range(0, arr.size, _NATIVE_BITS):
+        chunk = arr[start:start + _NATIVE_BITS]
+        weights = np.left_shift(
+            np.int64(1), np.arange(chunk.size - 1, -1, -1, dtype=np.int64)
+        )
+        out = (out << chunk.size) | int(chunk @ weights)
     return out
 
 

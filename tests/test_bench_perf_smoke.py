@@ -52,16 +52,21 @@ def test_timings_positive(quick_report):
             assert value > 0, key
 
 
-def test_repo_artifact_when_present():
-    """BENCH_PR1.json at the repo root, when checked in, must be valid."""
-    path = os.path.join(REPO_ROOT, "BENCH_PR1.json")
-    if not os.path.exists(path):
-        pytest.skip("full-suite artifact not generated in this checkout")
+def _load_bench_perf():
     sys.path.insert(0, TOOLS)
     try:
         import bench_perf
     finally:
         sys.path.remove(TOOLS)
+    return bench_perf
+
+
+def test_repo_artifact_when_present():
+    """BENCH_PR1.json at the repo root, when checked in, must be valid."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
     with open(path) as handle:
         report = json.load(handle)
     bench_perf.validate_schema(report)
@@ -69,3 +74,25 @@ def test_repo_artifact_when_present():
     assert report["meta"]["d"] == 64
     assert report["speedups"]["candidates_csr_vs_dict"] >= 5.0
     assert report["checks"]["parallel_matches_identical"]
+
+
+def test_pr2_artifact_when_present():
+    """BENCH_PR2.json (batch hashing / sketch suites), when checked in."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR2.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    suites = report["meta"]["suites"]
+    assert "hash_batch_vs_generic" in suites
+    assert "sketch_batch_vs_loop" in suites
+    assert report["meta"]["hash_suite"]["n"] == 20_000
+    assert report["meta"]["sketch_suite"]["n"] == 20_000
+    for name in ("crosspolytope", "e2lsh"):
+        assert report["speedups"][f"hash_batch_vs_generic_{name}"] >= 10.0
+        assert report["checks"][f"hash_candidates_equal_{name}"]
+    assert report["speedups"]["sketch_join_blocked_vs_loop"] >= 5.0
+    assert report["checks"]["sketch_join_matches_equal"]
+    assert all(report["checks"].values()), report["checks"]

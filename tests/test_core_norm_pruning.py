@@ -104,3 +104,46 @@ class TestNormPrunedJoin:
         for qi in range(model.n_users):
             x, y = a.matches[qi], b.matches[qi]
             assert (x is None) == (y is None)
+
+
+class TestQueryBlock:
+    def test_blocked_equals_scalar_scan(self, model, rng):
+        index = NormScanIndex(model.items)
+        Q = model.users
+        for signed in (True, False):
+            for threshold in (0.1, 0.5, 2.0):
+                indices, values, work = index.query_block(
+                    Q, threshold=threshold, signed=signed, block=64
+                )
+                for qi, q in enumerate(Q):
+                    found, value, evaluated = index.query(
+                        q, threshold=threshold, signed=signed, block=64
+                    )
+                    assert int(indices[qi]) == (-1 if found is None else found)
+                    assert int(work[qi]) == evaluated
+                    assert values[qi] == pytest.approx(value, rel=1e-9, abs=1e-12)
+
+    def test_blocked_join_preserves_matches_and_work(self, model):
+        spec = JoinSpec(s=0.4, c=0.8)
+        blocked = norm_pruned_join(model.items, model.users, spec, block=32, query_block=7)
+        index = NormScanIndex(model.items)
+        work = 0
+        matches = []
+        for q in model.users:
+            found, _, evaluated = index.query(q, threshold=spec.cs, signed=True, block=32)
+            matches.append(found)
+            work += evaluated
+        assert blocked.matches == matches
+        assert blocked.inner_products_evaluated == work
+
+    def test_query_block_empty(self, model):
+        index = NormScanIndex(model.items)
+        indices, values, work = index.query_block(
+            np.empty((0, index.d)), threshold=0.5
+        )
+        assert indices.size == 0 and values.size == 0 and work.size == 0
+
+    def test_query_block_dimension_mismatch(self, model):
+        index = NormScanIndex(model.items)
+        with pytest.raises(ParameterError):
+            index.query_block(np.ones((2, index.d + 1)), threshold=0.5)

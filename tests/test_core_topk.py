@@ -89,3 +89,47 @@ class TestTopKRecall:
     def test_length_mismatch(self):
         with pytest.raises(ParameterError):
             topk_recall([[1]], [[1], [2]])
+
+
+class TestBlockedTopK:
+    def test_blocked_equals_per_query_reference(self, rng):
+        from repro.lsh import HyperplaneLSH, LSHIndex
+
+        P = rng.normal(size=(200, 12))
+        P /= np.linalg.norm(P, axis=1, keepdims=True) * 1.1
+        Q = rng.normal(size=(67, 12))
+        Q /= np.linalg.norm(Q, axis=1, keepdims=True)
+        spec = JoinSpec(s=0.5, c=0.6)
+        family = HyperplaneLSH(12)
+        blocked = lsh_join_topk(P, Q, spec, k=4, family=family, seed=11, block=16)
+        index = LSHIndex(family, n_tables=16, hashes_per_table=4, seed=11).build(P)
+        reference = []
+        for q in Q:
+            candidates = index.candidates(q)
+            if candidates.size == 0:
+                reference.append([])
+                continue
+            values = P[candidates] @ q
+            keep = values >= spec.cs
+            kept, scores = candidates[keep], values[keep]
+            order = np.argsort(-scores)[:4]
+            reference.append(kept[order].tolist())
+        assert blocked == reference
+
+    def test_candidate_values_block_alignment(self, rng):
+        from repro.core.verify import candidate_values_block
+
+        P = rng.normal(size=(50, 8))
+        Q = rng.normal(size=(9, 8))
+        cand_lists = [
+            np.sort(rng.choice(50, size=rng.integers(0, 20), replace=False)).astype(np.int64)
+            for _ in range(9)
+        ]
+        for signed in (True, False):
+            values = candidate_values_block(P, Q, cand_lists, signed=signed)
+            for i, cands in enumerate(cand_lists):
+                expected = P[cands] @ Q[i]
+                if not signed:
+                    expected = np.abs(expected)
+                assert values[i].shape == expected.shape
+                assert np.allclose(values[i], expected, rtol=1e-9, atol=1e-12)

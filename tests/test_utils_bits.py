@@ -60,3 +60,53 @@ class TestIndexCodec:
 
     def test_prefixes_zero(self):
         assert list(prefixes(0, 2)) == [(1, 0), (2, 0)]
+
+
+class TestPackingDtypes:
+    def test_uint8_and_bool_match_int64(self, rng):
+        X = rng.integers(0, 2, size=(9, 100))
+        baseline = pack_binary_rows(X)
+        assert np.array_equal(baseline, pack_binary_rows(X.astype(np.uint8)))
+        assert np.array_equal(baseline, pack_binary_rows(X.astype(bool)))
+
+    def test_word_aligned_width_no_padding_path(self, rng):
+        X = rng.integers(0, 2, size=(5, 128))
+        baseline = pack_binary_rows(X)
+        assert np.array_equal(baseline, pack_binary_rows(X.astype(bool)))
+        assert np.array_equal(baseline, pack_binary_rows(X.astype(np.uint8)))
+
+    def test_uint8_rejects_non_binary(self):
+        from repro.errors import DomainError
+
+        with pytest.raises(DomainError):
+            pack_binary_rows(np.array([[0, 2]], dtype=np.uint8))
+
+    def test_uint8_1d_promotes_to_row(self):
+        packed = pack_binary_rows(np.array([1, 0, 1], dtype=np.uint8))
+        assert packed.shape == (1, 1)
+
+
+class TestVectorizedCodec:
+    def test_matches_bit_by_bit_reference(self, rng):
+        for _ in range(30):
+            width = int(rng.integers(1, 130))
+            value = int(rng.integers(0, 2 ** min(width, 62)))
+            got = int_to_bits(value, width)
+            expected = [(value >> (width - 1 - k)) & 1 for k in range(width)]
+            assert got.tolist() == expected
+            assert got.dtype == np.int64
+            assert bits_to_int(got) == value
+
+    def test_wide_values_roundtrip(self):
+        value = (1 << 100) + 12345
+        bits = int_to_bits(value, 120)
+        assert bits.size == 120
+        assert bits_to_int(bits) == value
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0).size == 0
+        assert bits_to_int(np.empty(0, dtype=np.int64)) == 0
+
+    def test_bits_to_int_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])

@@ -5,28 +5,31 @@ verification / join timings and writes the results as JSON (default
 ``BENCH_PR1.json`` at the repo root), so successive PRs have a recorded
 baseline to beat.  Two modes:
 
-* full (default): n=100k, d=64 — the workload the ISSUE's >=5x
-  candidate-generation target refers to; takes a few minutes because
-  the *dict* reference path is slow (that is the point).
-* ``--quick``: a seconds-scale shrink of the same suite for CI smoke
-  (asserts the suite runs end to end and the schema is stable).
+* full (default): n=100k, d=64 for the core suite, n=20k, d=64 for the
+  batch-hashing and sketch suites; takes a few minutes because the
+  reference paths are slow (that is the point).
+* ``--quick``: a seconds-scale shrink of the same suites for CI smoke
+  (asserts the suites run end to end and the schema is stable).
 
-What is measured:
+Suites (select with ``--suites``):
 
-* build: dict-of-lists vs CSR bucket construction over the same keys.
-* candidates: ``candidates_batch`` over the whole query set, dict layout
-  vs CSR layout (identical candidate sets are asserted, with and
-  without multiprobe).
-* verify: per-query GEMV loop vs the one-GEMM-per-block kernel on the
-  same candidate lists.
-* join: ``parallel_lsh_join`` at 1/2/4 workers (identical matches are
-  asserted); wall-clock scaling is recorded together with
-  ``cpu_count`` — on a single-core machine the extra workers cannot
-  win, and the JSON says so rather than hiding it.
+* ``core``: dict-vs-CSR build and candidate generation, per-query GEMV
+  loop vs the blocked verification kernel, ``parallel_lsh_join``
+  worker scaling.
+* ``hash_batch_vs_generic``: the batch hashing protocol — family-native
+  ``hash_matrix`` vs the generic per-row closure path of ``LSHIndex``
+  for hyperplane, cross-polytope, and E2LSH, with identical candidate
+  sets asserted.  Exits non-zero if a family that should hash natively
+  silently fell back to the generic per-row loop.
+* ``sketch_batch_vs_loop``: the Section 4.3 sketch join — blocked
+  ``sketch_unsigned_join`` (batched c-MIPS descents) vs the per-query
+  ``SketchCMIPS.query`` loop on a shared structure, identical matches
+  asserted.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH]
+    PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH] \
+        [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop]
 """
 
 from __future__ import annotations
@@ -43,18 +46,38 @@ import numpy as np
 
 from repro.core import JoinSpec, parallel_lsh_join
 from repro.core.executor import BatchIndexSpec
+from repro.core.problems import JoinResult
+from repro.core.sketch_join import sketch_unsigned_join
 from repro.core.verify import verify_candidates
 from repro.datasets import random_unit
-from repro.lsh import BatchSignIndex
+from repro.lsh import BatchSignIndex, CrossPolytopeLSH, E2LSH, HyperplaneLSH, LSHIndex
+from repro.sketches import SketchCMIPS
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
 
+ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop")
+
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
 QUICK = dict(n=4_000, d=32, n_queries=256, n_tables=8, bits_per_table=10,
              n_probes=2, workers=(1, 2), block=128, seed=2016)
+
+HASH_FULL = dict(n=20_000, d=64, n_queries=2_000, n_tables=8,
+                 hashes_per_table=4, seed=2016)
+HASH_QUICK = dict(n=1_500, d=32, n_queries=200, n_tables=4,
+                  hashes_per_table=3, seed=2016)
+
+SKETCH_FULL = dict(n=20_000, d=64, n_queries=400, kappa=4.0, copies=5,
+                   leaf_size=16, s=4.0, block=512, seed=2016)
+SKETCH_QUICK = dict(n=1_000, d=32, n_queries=64, kappa=4.0, copies=5,
+                    leaf_size=16, s=3.0, block=128, seed=2016)
+
+#: Full-mode speedup floors; quick mode only checks correctness (the
+#: shrunken workloads are too small for stable ratios).
+HASH_SPEEDUP_FLOORS = {"crosspolytope": 10.0, "e2lsh": 10.0}
+SKETCH_JOIN_SPEEDUP_FLOOR = 5.0
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -74,7 +97,162 @@ def _assert_same_candidates(a: List[np.ndarray], b: List[np.ndarray]) -> bool:
     return all(np.array_equal(x, y) for x, y in zip(a, b))
 
 
-def run_suite(quick: bool = False) -> dict:
+def _run_hash_suite(quick: bool, timings: dict, speedups: dict,
+                    work: dict, checks: dict) -> dict:
+    """Family-native batch hashing vs the generic per-row closure path."""
+    cfg = HASH_QUICK if quick else HASH_FULL
+    n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
+    tables, k, seed = cfg["n_tables"], cfg["hashes_per_table"], cfg["seed"]
+    print(f"[bench_perf] hash suite: n={n} d={d} L={tables} k={k}", flush=True)
+    P = random_unit(n, d, seed=seed) * 0.95
+    Q = random_unit(nq, d, seed=seed + 1) * 0.95
+    families = {
+        "hyperplane": HyperplaneLSH(d),
+        "crosspolytope": CrossPolytopeLSH(d),
+        "e2lsh": E2LSH(d, w=2.0),
+    }
+    for name, family in families.items():
+        print(f"[bench_perf] hash: {name} batch vs generic ...", flush=True)
+        batch_index = LSHIndex(family, n_tables=tables, hashes_per_table=k,
+                               seed=seed + 2)
+        generic_index = LSHIndex(family, n_tables=tables, hashes_per_table=k,
+                                 seed=seed + 2, use_batch=False)
+        # A family advertised as native must actually hash natively; a
+        # silent fallback to the per-row loop is a failed check (and a
+        # non-zero exit).
+        checks[f"hash_native_path_{name}"] = batch_index.uses_batch_hashing
+        batch_s, _ = _timed(
+            lambda idx=batch_index: idx._hasher.hash_matrix(P, side="data"),
+            repeats=3)
+        generic_s, _ = _timed(
+            lambda idx=generic_index: idx._hasher.hash_matrix(P, side="data"))
+        timings[f"hash_batch_{name}_s"] = batch_s
+        timings[f"hash_generic_{name}_s"] = generic_s
+        speedups[f"hash_batch_vs_generic_{name}"] = generic_s / batch_s
+        batch_index.build(P)
+        generic_index.build(P)
+        batch_cands = batch_index.candidates_batch(Q)
+        generic_cands = generic_index.candidates_batch(Q)
+        checks[f"hash_candidates_equal_{name}"] = _assert_same_candidates(
+            batch_cands, generic_cands)
+        work[f"hash_candidates_per_query_{name}"] = (
+            batch_index.stats.candidates_per_query)
+        if not quick and name in HASH_SPEEDUP_FLOORS:
+            checks[f"hash_speedup_floor_{name}"] = (
+                speedups[f"hash_batch_vs_generic_{name}"]
+                >= HASH_SPEEDUP_FLOORS[name])
+    return cfg
+
+
+def _sketch_loop_join(P, Q, s: float, structure: SketchCMIPS,
+                      block: int) -> JoinResult:
+    """The pre-batch reference: one ``SketchCMIPS.query`` per query."""
+    spec = JoinSpec(s=s, c=structure.approximation_factor, signed=False)
+    evaluated = 0
+    proposals = []
+    empty = np.empty(0, dtype=np.int64)
+    for q in Q:
+        answer = structure.query(q)
+        evaluated += structure.recovery.query_cost() // max(1, P.shape[1])
+        proposals.append(
+            np.array([answer.index], dtype=np.int64) if answer.index >= 0 else empty
+        )
+    matches, _ = verify_candidates(
+        P, Q, proposals, threshold=spec.cs, signed=False, block=block
+    )
+    return JoinResult(
+        matches=matches,
+        spec=spec,
+        inner_products_evaluated=evaluated,
+        candidates_generated=len(matches),
+    )
+
+
+def _run_sketch_suite(quick: bool, timings: dict, speedups: dict,
+                      work: dict, checks: dict) -> dict:
+    """Blocked sketch join (batched c-MIPS descents) vs the query loop."""
+    cfg = SKETCH_QUICK if quick else SKETCH_FULL
+    n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
+    seed, s, block = cfg["seed"], cfg["s"], cfg["block"]
+    print(f"[bench_perf] sketch suite: n={n} d={d} queries={nq} "
+          f"kappa={cfg['kappa']}", flush=True)
+    rng = np.random.default_rng(seed)
+    P = rng.normal(size=(n, d))
+    Q = rng.normal(size=(nq, d))
+    print("[bench_perf] sketch: building structure ...", flush=True)
+    build_s, structure = _timed(lambda: SketchCMIPS(
+        P, kappa=cfg["kappa"], copies=cfg["copies"],
+        leaf_size=cfg["leaf_size"], seed=seed + 2))
+    print("[bench_perf] sketch: join loop vs blocked ...", flush=True)
+    loop_s, loop_result = _timed(
+        lambda: _sketch_loop_join(P, Q, s, structure, block))
+    blocked_s, blocked_result = _timed(
+        lambda: sketch_unsigned_join(P, Q, s=s, structure=structure,
+                                     block=block), repeats=2)
+    print("[bench_perf] sketch: query_batch vs query loop ...", flush=True)
+    query_loop_s, loop_answers = _timed(
+        lambda: [structure.query(q) for q in Q])
+    query_batch_s, batch_answers = _timed(
+        lambda: structure.query_batch(Q), repeats=2)
+    timings["sketch_build_s"] = build_s
+    timings["sketch_join_loop_s"] = loop_s
+    timings["sketch_join_blocked_s"] = blocked_s
+    timings["sketch_query_loop_s"] = query_loop_s
+    timings["sketch_query_batch_s"] = query_batch_s
+    speedups["sketch_join_blocked_vs_loop"] = loop_s / blocked_s
+    speedups["sketch_query_batch_vs_loop"] = query_loop_s / query_batch_s
+    work["sketch_join_matched"] = blocked_result.matched_count
+    work["sketch_join_inner_products_evaluated"] = (
+        blocked_result.inner_products_evaluated)
+    checks["sketch_join_matches_equal"] = (
+        blocked_result.matches == loop_result.matches
+        and blocked_result.inner_products_evaluated
+        == loop_result.inner_products_evaluated)
+    checks["sketch_query_indices_equal"] = (
+        [int(i) for i in batch_answers.indices]
+        == [a.index for a in loop_answers])
+    if not quick:
+        checks["sketch_join_speedup_floor"] = (
+            speedups["sketch_join_blocked_vs_loop"] >= SKETCH_JOIN_SPEEDUP_FLOOR)
+    return cfg
+
+
+def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
+    suites = tuple(suites)
+    unknown = [s for s in suites if s not in ALL_SUITES]
+    if unknown:
+        raise ValueError(f"unknown suites {unknown}; choose from {ALL_SUITES}")
+    timings: dict = {}
+    speedups: dict = {}
+    work: dict = {}
+    checks: dict = {}
+    report = {
+        "schema": SCHEMA,
+        "meta": {
+            "quick": quick,
+            "suites": list(suites),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "timings": timings,
+        "speedups": speedups,
+        "work": work,
+        "checks": checks,
+    }
+    if "core" in suites:
+        _run_core_suite(quick, report["meta"], timings, speedups, work, checks)
+    if "hash_batch_vs_generic" in suites:
+        hash_cfg = _run_hash_suite(quick, timings, speedups, work, checks)
+        report["meta"]["hash_suite"] = dict(hash_cfg)
+    if "sketch_batch_vs_loop" in suites:
+        sketch_cfg = _run_sketch_suite(quick, timings, speedups, work, checks)
+        report["meta"]["sketch_suite"] = dict(sketch_cfg)
+    return report
+
+
+def _run_core_suite(quick: bool, meta: dict, timings: dict, speedups: dict,
+                    work: dict, checks: dict) -> None:
     cfg = QUICK if quick else FULL
     n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
     tables, bits, probes = cfg["n_tables"], cfg["bits_per_table"], cfg["n_probes"]
@@ -173,56 +351,48 @@ def run_suite(quick: bool = False) -> dict:
         for r in join_results.values()
     )
 
-    report = {
-        "schema": SCHEMA,
-        "meta": {
-            "quick": quick,
-            "n": n, "d": d, "n_queries": nq,
-            "n_tables": tables, "bits_per_table": bits, "n_probes": probes,
-            "block": cfg["block"], "seed": seed,
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
+    meta.update({
+        "n": n, "d": d, "n_queries": nq,
+        "n_tables": tables, "bits_per_table": bits, "n_probes": probes,
+        "block": cfg["block"], "seed": seed,
+    })
+    timings.update({
+        "build_dict_s": build_dict_s,
+        "build_csr_s": build_csr_s,
+        "candidates_dict_s": cand_dict_s,
+        "candidates_csr_s": cand_csr_s,
+        "candidates_multiprobe_dict_s": cand_dict_probe_s,
+        "candidates_multiprobe_csr_s": cand_csr_probe_s,
+        "verify_loop_s": verify_loop_s,
+        "verify_blocked_s": verify_blocked_s,
+        "verify_overlap_loop_s": overlap_loop_s,
+        "verify_overlap_blocked_s": overlap_blocked_s,
+        "join_workers_s": join_seconds,
+    })
+    speedups.update({
+        "build_csr_vs_dict": build_dict_s / build_csr_s,
+        "candidates_csr_vs_dict": cand_dict_s / cand_csr_s,
+        "candidates_multiprobe_csr_vs_dict": cand_dict_probe_s / cand_csr_probe_s,
+        "verify_blocked_vs_loop": verify_loop_s / verify_blocked_s,
+        "verify_overlap_blocked_vs_loop": overlap_loop_s / overlap_blocked_s,
+        "join_scaling_vs_1_worker": {
+            w: join_seconds[str(cfg["workers"][0])] / s
+            for w, s in join_seconds.items()
         },
-        "timings": {
-            "build_dict_s": build_dict_s,
-            "build_csr_s": build_csr_s,
-            "candidates_dict_s": cand_dict_s,
-            "candidates_csr_s": cand_csr_s,
-            "candidates_multiprobe_dict_s": cand_dict_probe_s,
-            "candidates_multiprobe_csr_s": cand_csr_probe_s,
-            "verify_loop_s": verify_loop_s,
-            "verify_blocked_s": verify_blocked_s,
-            "verify_overlap_loop_s": overlap_loop_s,
-            "verify_overlap_blocked_s": overlap_blocked_s,
-            "join_workers_s": join_seconds,
-        },
-        "speedups": {
-            "build_csr_vs_dict": build_dict_s / build_csr_s,
-            "candidates_csr_vs_dict": cand_dict_s / cand_csr_s,
-            "candidates_multiprobe_csr_vs_dict": cand_dict_probe_s / cand_csr_probe_s,
-            "verify_blocked_vs_loop": verify_loop_s / verify_blocked_s,
-            "verify_overlap_blocked_vs_loop": overlap_loop_s / overlap_blocked_s,
-            "join_scaling_vs_1_worker": {
-                w: join_seconds[str(cfg["workers"][0])] / s
-                for w, s in join_seconds.items()
-            },
-        },
-        "work": {
-            "candidates_per_query_csr": idx_csr.stats.candidates_per_query,
-            "inner_products_verified": evaluated,
-            "join_matched": base.matched_count,
-            "join_inner_products_evaluated": base.inner_products_evaluated,
-        },
-        "checks": {
-            "candidate_sets_equal": sets_equal,
-            "multiprobe_candidate_sets_equal": probe_sets_equal,
-            "verify_matches_equal": verify_equal,
-            "verify_overlap_matches_equal": overlap_equal,
-            "parallel_matches_identical": parallel_identical,
-        },
-    }
-    return report
+    })
+    work.update({
+        "candidates_per_query_csr": idx_csr.stats.candidates_per_query,
+        "inner_products_verified": evaluated,
+        "join_matched": base.matched_count,
+        "join_inner_products_evaluated": base.inner_products_evaluated,
+    })
+    checks.update({
+        "candidate_sets_equal": sets_equal,
+        "multiprobe_candidate_sets_equal": probe_sets_equal,
+        "verify_matches_equal": verify_equal,
+        "verify_overlap_matches_equal": overlap_equal,
+        "parallel_matches_identical": parallel_identical,
+    })
 
 
 def validate_schema(report: dict) -> None:
@@ -230,13 +400,29 @@ def validate_schema(report: dict) -> None:
     assert report.get("schema") == SCHEMA, "unknown schema"
     for section in ("meta", "timings", "speedups", "work", "checks"):
         assert isinstance(report.get(section), dict), f"missing section {section}"
-    for key in ("build_dict_s", "build_csr_s", "candidates_dict_s",
-                "candidates_csr_s", "verify_loop_s", "verify_blocked_s",
-                "join_workers_s"):
-        assert key in report["timings"], f"missing timing {key}"
-    for key in ("candidates_csr_vs_dict", "verify_blocked_vs_loop",
-                "join_scaling_vs_1_worker"):
-        assert key in report["speedups"], f"missing speedup {key}"
+    # Pre-suite artifacts (PR 1) have no "suites" key and are all-core.
+    suites = report["meta"].get("suites", ["core"])
+    if "core" in suites:
+        for key in ("build_dict_s", "build_csr_s", "candidates_dict_s",
+                    "candidates_csr_s", "verify_loop_s", "verify_blocked_s",
+                    "join_workers_s"):
+            assert key in report["timings"], f"missing timing {key}"
+        for key in ("candidates_csr_vs_dict", "verify_blocked_vs_loop",
+                    "join_scaling_vs_1_worker"):
+            assert key in report["speedups"], f"missing speedup {key}"
+    if "hash_batch_vs_generic" in suites:
+        for name in ("hyperplane", "crosspolytope", "e2lsh"):
+            assert f"hash_batch_{name}_s" in report["timings"]
+            assert f"hash_batch_vs_generic_{name}" in report["speedups"]
+            assert f"hash_native_path_{name}" in report["checks"]
+            assert f"hash_candidates_equal_{name}" in report["checks"]
+    if "sketch_batch_vs_loop" in suites:
+        for key in ("sketch_build_s", "sketch_join_loop_s",
+                    "sketch_join_blocked_s", "sketch_query_batch_s"):
+            assert key in report["timings"], f"missing timing {key}"
+        assert "sketch_join_blocked_vs_loop" in report["speedups"]
+        assert "sketch_join_matches_equal" in report["checks"]
+        assert "sketch_query_indices_equal" in report["checks"]
     assert all(isinstance(v, bool) for v in report["checks"].values())
 
 
@@ -246,22 +432,39 @@ def main(argv: Optional[List[str]] = None) -> dict:
                         help="seconds-scale CI smoke instead of the full n=100k run")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--suites", default=",".join(ALL_SUITES),
+                        help="comma-separated subset of "
+                             f"{','.join(ALL_SUITES)} (default: all)")
     args = parser.parse_args(argv)
     out_dir = os.path.dirname(os.path.abspath(args.out))
     if not os.path.isdir(out_dir):
         parser.error(f"output directory does not exist: {out_dir}")
-    report = run_suite(quick=args.quick)
+    suites = tuple(s.strip() for s in args.suites.split(",") if s.strip())
+    unknown = [s for s in suites if s not in ALL_SUITES]
+    if unknown:
+        parser.error(f"unknown suites {unknown}; choose from {ALL_SUITES}")
+    report = run_suite(quick=args.quick, suites=suites)
     validate_schema(report)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
     failed = [name for name, ok in report["checks"].items() if not ok]
     print(f"[bench_perf] wrote {args.out}")
-    print(f"[bench_perf] candidates speedup (csr vs dict): "
-          f"{report['speedups']['candidates_csr_vs_dict']:.1f}x")
-    print(f"[bench_perf] verify speedup (blocked vs loop): "
-          f"{report['speedups']['verify_blocked_vs_loop']:.1f}x sparse, "
-          f"{report['speedups']['verify_overlap_blocked_vs_loop']:.1f}x overlapped")
+    if "core" in suites:
+        print(f"[bench_perf] candidates speedup (csr vs dict): "
+              f"{report['speedups']['candidates_csr_vs_dict']:.1f}x")
+        print(f"[bench_perf] verify speedup (blocked vs loop): "
+              f"{report['speedups']['verify_blocked_vs_loop']:.1f}x sparse, "
+              f"{report['speedups']['verify_overlap_blocked_vs_loop']:.1f}x overlapped")
+    if "hash_batch_vs_generic" in suites:
+        summary = ", ".join(
+            f"{name} {report['speedups'][f'hash_batch_vs_generic_{name}']:.1f}x"
+            for name in ("hyperplane", "crosspolytope", "e2lsh"))
+        print(f"[bench_perf] hash batch vs generic: {summary}")
+    if "sketch_batch_vs_loop" in suites:
+        print(f"[bench_perf] sketch join blocked vs loop: "
+              f"{report['speedups']['sketch_join_blocked_vs_loop']:.1f}x "
+              f"(query_batch {report['speedups']['sketch_query_batch_vs_loop']:.1f}x)")
     if failed:
         print(f"[bench_perf] FAILED checks: {failed}", file=sys.stderr)
         raise SystemExit(1)
