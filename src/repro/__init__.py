@@ -45,6 +45,7 @@ from repro.core import (
     signed_join,
     unsigned_join,
 )
+from repro import engine
 from repro.errors import (
     CapacityError,
     ConstructionError,
@@ -58,6 +59,7 @@ from repro.evaluation import EvaluationRecord, evaluate_joins, evaluation_table
 __version__ = "1.0.0"
 
 __all__ = [
+    "engine",
     "JoinSpec",
     "JoinResult",
     "MIPSResult",

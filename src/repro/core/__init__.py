@@ -8,17 +8,22 @@ embed-and-multiply baseline in the spirit of Valiant/Karppa et al.;
 top-level dispatch.
 """
 
+from repro.core.problems import JoinResult, JoinSpec, MIPSResult, QueryStats
 from repro.core.algebraic import chebyshev_expand_join
 from repro.core.brute_force import (
     brute_force_join,
     brute_force_mips,
     brute_force_search,
 )
-from repro.core.executor import BatchIndexSpec, parallel_lsh_join
+from repro.core.executor import (
+    BatchIndexSpec,
+    SketchStructureSpec,
+    parallel_lsh_join,
+    parallel_sketch_join,
+)
 from repro.core.join import signed_join, unsigned_join
 from repro.core.lsh_join import lsh_join
 from repro.core.norm_pruning import NormScanIndex, norm_pruned_join
-from repro.core.problems import JoinResult, JoinSpec, MIPSResult
 from repro.core.scaling import cmips_via_search
 from repro.core.self_join import lsh_self_join, self_join
 from repro.core.sketch_join import sketch_unsigned_join
@@ -29,6 +34,7 @@ __all__ = [
     "JoinSpec",
     "JoinResult",
     "MIPSResult",
+    "QueryStats",
     "brute_force_join",
     "brute_force_mips",
     "brute_force_search",
@@ -46,7 +52,9 @@ __all__ = [
     "self_join",
     "lsh_self_join",
     "BatchIndexSpec",
+    "SketchStructureSpec",
     "parallel_lsh_join",
+    "parallel_sketch_join",
     "BlockVerification",
     "verify_block",
     "verify_candidates",

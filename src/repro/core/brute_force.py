@@ -7,12 +7,56 @@ paper is measured against.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.problems import JoinResult, JoinSpec, MIPSResult, validate_join_inputs
+from repro.core.problems import (
+    JoinResult,
+    JoinSpec,
+    MIPSResult,
+    QueryStats,
+    validate_join_inputs,
+)
 from repro.utils.validation import check_matrix, check_vector
+
+
+def brute_force_chunk(
+    P,
+    Q_chunk,
+    signed: bool,
+    cs: float,
+    block: int,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """The blocked all-pairs scan over one contiguous query chunk.
+
+    Returns ``(matches, inner_products_evaluated, candidates_generated,
+    stats)``.  Matches are block-size independent (strict improvement
+    keeps the lowest-index maximizer), so chunking the query set never
+    changes results.
+    """
+    n, mc = P.shape[0], Q_chunk.shape[0]
+    best_value = np.full(mc, -np.inf)
+    best_index = np.full(mc, -1, dtype=np.int64)
+    for q0 in range(0, mc, block):
+        q_block = Q_chunk[q0:q0 + block]
+        for p0 in range(0, n, block):
+            ips = q_block @ P[p0:p0 + block].T  # (mb, nb)
+            scores = ips if signed else np.abs(ips)
+            local_best = np.argmax(scores, axis=1)
+            local_vals = scores[np.arange(scores.shape[0]), local_best]
+            improved = local_vals > best_value[q0:q0 + block]
+            rows = np.flatnonzero(improved) + q0
+            best_value[rows] = local_vals[improved]
+            best_index[rows] = local_best[improved] + p0
+    matches = [
+        int(best_index[i]) if best_value[i] >= cs else None for i in range(mc)
+    ]
+    evaluated = n * mc
+    stats = QueryStats(
+        queries=mc, candidates=evaluated, unique_candidates=evaluated
+    )
+    return matches, evaluated, evaluated, stats
 
 
 def brute_force_join(
@@ -29,28 +73,14 @@ def brute_force_join(
     partner makes the result canonical for comparisons.)
     """
     P, Q = validate_join_inputs(P, Q)
-    n, m = P.shape[0], Q.shape[0]
-    best_value = np.full(m, -np.inf)
-    best_index = np.full(m, -1, dtype=np.int64)
-    for q0 in range(0, m, block):
-        q_block = Q[q0:q0 + block]
-        for p0 in range(0, n, block):
-            ips = q_block @ P[p0:p0 + block].T  # (mb, nb)
-            scores = ips if spec.signed else np.abs(ips)
-            local_best = np.argmax(scores, axis=1)
-            local_vals = scores[np.arange(scores.shape[0]), local_best]
-            improved = local_vals > best_value[q0:q0 + block]
-            rows = np.flatnonzero(improved) + q0
-            best_value[rows] = local_vals[improved]
-            best_index[rows] = local_best[improved] + p0
-    matches = [
-        int(best_index[i]) if best_value[i] >= spec.cs else None for i in range(m)
-    ]
+    matches, evaluated, generated, _ = brute_force_chunk(
+        P, Q, spec.signed, spec.cs, block
+    )
     return JoinResult(
         matches=matches,
         spec=spec,
-        inner_products_evaluated=n * m,
-        candidates_generated=n * m,
+        inner_products_evaluated=evaluated,
+        candidates_generated=generated,
     )
 
 

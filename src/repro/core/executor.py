@@ -16,12 +16,21 @@ Workers obtain the index one of two ways, both through pickle:
   arrays, CSR tables, and bound methods of importable transform classes)
   is shipped once per worker via the pool initializer.
 
+All sharding funnels through ONE helper, :func:`map_query_chunks`: it
+builds (or receives) the payload, splits the query set into block-aligned
+contiguous chunks, runs a module-level chunk *runner* over each chunk —
+in-process for ``n_workers=1``, across a pool otherwise — and returns
+per-chunk results in query order.  The engine's parallel path
+(:func:`repro.engine.join` with ``n_workers=``), :func:`parallel_lsh_join`
+and :func:`parallel_sketch_join` are all thin wrappers over it.
+
 Determinism contract: chunk boundaries are aligned to multiples of the
 verification ``block`` size, so the sequence of (candidate-generation,
 GEMM) calls inside any chunk is exactly the sequence the serial path
 would execute for those queries.  ``n_workers=1`` never spawns a pool —
 it runs the identical chunk function in-process — and ``n_workers=k``
-returns bit-identical matches for identical seeds.
+returns bit-identical matches (and, via :meth:`QueryStats.merge`,
+identical stats) for identical seeds.
 """
 
 from __future__ import annotations
@@ -29,12 +38,17 @@ from __future__ import annotations
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
-from repro.core.verify import DEFAULT_BLOCK, verify_block
+from repro.core.problems import (
+    JoinResult,
+    JoinSpec,
+    QueryStats,
+    validate_join_inputs,
+)
+from repro.core.verify import DEFAULT_BLOCK
 from repro.errors import ParameterError
 from repro.lsh.batch import BatchSignIndex
 
@@ -127,54 +141,19 @@ class SketchStructureSpec:
         )
 
 
-# Per-worker state installed by the pool initializer: (index, P).
+# Per-worker state installed by the pool initializer: (structure, P).
 _WORKER_STATE: dict = {}
 
 
 def _init_worker(payload, P) -> None:
-    index = payload.build(P) if hasattr(payload, "build") else payload
-    _WORKER_STATE["index"] = index
+    structure = payload.build(P) if hasattr(payload, "build") else payload
+    _WORKER_STATE["structure"] = structure
     _WORKER_STATE["P"] = P
 
 
-def _join_chunk(
-    index, P, Q_chunk, signed: bool, cs: float, n_probes: int, block: int
-) -> Tuple[List[Optional[int]], int, int]:
-    """Run the filter+verify loop over one contiguous query chunk.
-
-    This is THE join inner loop — the serial path and every worker run
-    this exact function, which is what makes ``n_workers=1`` and
-    ``n_workers=k`` results identical.
-    """
-    candidates_before = index.stats.candidates
-    supports_probes = hasattr(index, "bits_per_table")
-    if n_probes and not supports_probes:
-        raise ParameterError(
-            f"index {type(index).__name__} does not support multiprobe"
-        )
-    matches: List[Optional[int]] = []
-    verified = 0
-    for q0 in range(0, Q_chunk.shape[0], block):
-        Q_block = Q_chunk[q0:q0 + block]
-        if hasattr(index, "candidates_batch"):
-            if supports_probes:
-                cand_lists = index.candidates_batch(Q_block, n_probes=n_probes)
-            else:
-                cand_lists = index.candidates_batch(Q_block)
-        else:
-            cand_lists = [index.candidates(Q_block[i]) for i in range(Q_block.shape[0])]
-        result = verify_block(P, Q_block, cand_lists, signed=signed)
-        verified += result.n_evaluated
-        matches.extend(
-            int(idx) if idx >= 0 and score >= cs else None
-            for idx, score in zip(result.best_index, result.best_score)
-        )
-    return matches, verified, index.stats.candidates - candidates_before
-
-
-def _run_chunk(Q_chunk, signed, cs, n_probes, block):
-    return _join_chunk(
-        _WORKER_STATE["index"], _WORKER_STATE["P"], Q_chunk, signed, cs, n_probes, block
+def _run_worker_chunk(runner, Q_chunk, start, args):
+    return runner(
+        _WORKER_STATE["structure"], _WORKER_STATE["P"], Q_chunk, start, args
     )
 
 
@@ -187,6 +166,115 @@ def _chunk_bounds(n_queries: int, block: int, n_chunks: int) -> List[Tuple[int, 
         (start, min(n_queries, start + step))
         for start in range(0, n_queries, step)
     ]
+
+
+def map_query_chunks(
+    payload,
+    P,
+    Q,
+    runner: Callable,
+    args: tuple,
+    n_workers: int = 1,
+    block: int = DEFAULT_BLOCK,
+) -> List[Any]:
+    """THE shared shard-and-run helper behind every parallel join path.
+
+    Args:
+        payload: either a built structure (shipped to workers as-is) or
+            a picklable recipe exposing ``build(P) -> structure``
+            (:class:`BatchIndexSpec`, :class:`SketchStructureSpec`, an
+            engine structure with a lazy ``build``); workers rebuild
+            from it, so entropy seeds are rejected at spec level, not
+            here.
+        P, Q: data and query matrices (already validated by the caller).
+        runner: a **module-level** (hence picklable-by-reference)
+            function ``runner(structure, P, Q_chunk, start, args)``
+            where ``start`` is the chunk's global query offset; it is
+            THE join inner loop for its algorithm — serial and parallel
+            paths run this exact function, which is what makes
+            ``n_workers=1`` and ``n_workers=k`` results identical.
+        args: extra picklable arguments forwarded to ``runner``.
+        n_workers: process count; ``1`` runs one chunk in-process and
+            never spawns a pool.
+        block: chunk boundaries align to multiples of this (the
+            verification block size), so worker-count changes never
+            change per-block call sequences.
+
+    Returns:
+        The per-chunk runner results, in query (chunk) order.
+    """
+    if n_workers < 1:
+        raise ParameterError(f"n_workers must be >= 1, got {n_workers}")
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    if n_workers == 1:
+        structure = payload.build(P) if hasattr(payload, "build") else payload
+        return [runner(structure, P, Q, 0, args)]
+    bounds = _chunk_bounds(Q.shape[0], block, n_workers)
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(bounds)),
+        initializer=_init_worker,
+        initargs=(payload, P),
+    ) as pool:
+        futures = [
+            pool.submit(_run_worker_chunk, runner, Q[start:end], start, args)
+            for start, end in bounds
+        ]
+        return [f.result() for f in futures]
+
+
+def _lsh_runner(index, P, Q_chunk, start, args):
+    """Chunk runner for LSH filter-then-verify joins."""
+    from repro.core.lsh_join import lsh_filter_verify_chunk
+
+    signed, cs, n_probes, block = args
+    return lsh_filter_verify_chunk(index, P, Q_chunk, signed, cs, n_probes, block)
+
+
+def _sketch_runner(structure, P, Q_chunk, start, args):
+    """Chunk runner for the Section 4.3 sketch join."""
+    from repro.core.sketch_join import sketch_filter_verify_chunk
+
+    cs, block = args
+    return sketch_filter_verify_chunk(structure, P, Q_chunk, cs, block)
+
+
+def _engine_runner(structure, P, Q_chunk, start, args):
+    """Chunk runner for the unified engine: dispatch to a named backend."""
+    from repro.engine.registry import get_backend
+
+    (backend_name,) = args
+    return get_backend(backend_name).run_chunk(structure, P, Q_chunk, start)
+
+
+def merge_join_chunks(
+    chunk_results: Sequence,
+    spec: JoinSpec,
+    backend: Optional[str] = None,
+) -> JoinResult:
+    """Combine per-chunk ``(matches, evaluated, generated, stats)`` tuples.
+
+    Matches concatenate in query order; work counters sum; stats merge
+    through the single :meth:`QueryStats.merge` implementation, so the
+    totals are independent of how the query set was chunked.
+    """
+    matches: List[Optional[int]] = []
+    evaluated = 0
+    generated = 0
+    stats = QueryStats()
+    for chunk_matches, chunk_evaluated, chunk_generated, chunk_stats in chunk_results:
+        matches.extend(chunk_matches)
+        evaluated += chunk_evaluated
+        generated += chunk_generated
+        stats = stats.merge(chunk_stats)
+    return JoinResult(
+        matches=matches,
+        spec=spec,
+        inner_products_evaluated=evaluated,
+        candidates_generated=generated,
+        backend=backend,
+        stats=stats,
+    )
 
 
 def parallel_lsh_join(
@@ -218,60 +306,12 @@ def parallel_lsh_join(
     P, Q = validate_join_inputs(P, Q)
     if (index_spec is None) == (index is None):
         raise ParameterError("provide exactly one of index_spec or index")
-    if n_workers < 1:
-        raise ParameterError(f"n_workers must be >= 1, got {n_workers}")
-    if block < 1:
-        raise ParameterError(f"block must be >= 1, got {block}")
     payload = index_spec if index_spec is not None else index
-    if n_workers == 1:
-        built = payload.build(P) if hasattr(payload, "build") else payload
-        matches, verified, generated = _join_chunk(
-            built, P, Q, spec.signed, spec.cs, n_probes, block
-        )
-        return JoinResult(
-            matches=matches,
-            spec=spec,
-            inner_products_evaluated=verified,
-            candidates_generated=generated,
-        )
-    bounds = _chunk_bounds(Q.shape[0], block, n_workers)
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(bounds)),
-        initializer=_init_worker,
-        initargs=(payload, P),
-    ) as pool:
-        futures = [
-            pool.submit(_run_chunk, Q[start:end], spec.signed, spec.cs, n_probes, block)
-            for start, end in bounds
-        ]
-        chunk_results = [f.result() for f in futures]
-    matches: List[Optional[int]] = []
-    verified = 0
-    generated = 0
-    for chunk_matches, chunk_verified, chunk_generated in chunk_results:
-        matches.extend(chunk_matches)
-        verified += chunk_verified
-        generated += chunk_generated
-    return JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=verified,
-        candidates_generated=generated,
+    chunks = map_query_chunks(
+        payload, P, Q, _lsh_runner, (spec.signed, spec.cs, n_probes, block),
+        n_workers=n_workers, block=block,
     )
-
-
-def _sketch_chunk(structure, P, Q_chunk, s: float, block: int):
-    """Run the blocked sketch join over one contiguous query chunk."""
-    from repro.core.sketch_join import sketch_unsigned_join
-
-    result = sketch_unsigned_join(P, Q_chunk, s=s, structure=structure, block=block)
-    return result.matches, result.inner_products_evaluated
-
-
-def _run_sketch_chunk(Q_chunk, s, block):
-    return _sketch_chunk(
-        _WORKER_STATE["index"], _WORKER_STATE["P"], Q_chunk, s, block
-    )
+    return merge_join_chunks(chunks, spec)
 
 
 def parallel_sketch_join(
@@ -285,25 +325,16 @@ def parallel_sketch_join(
 ) -> JoinResult:
     """The Section 4.3 sketch join sharded over query blocks.
 
-    The blocked :func:`repro.core.sketch_join.sketch_unsigned_join` is
-    block-local in the queries, so the same chunking contract as
-    :func:`parallel_lsh_join` applies: chunk boundaries align to
-    ``block`` multiples, every worker rebuilds (or receives) the same
-    structure, and ``n_workers=1`` reproduces the serial join exactly.
+    The blocked sketch kernel is block-local in the queries, so the same
+    chunking contract as :func:`parallel_lsh_join` applies: chunk
+    boundaries align to ``block`` multiples, every worker rebuilds (or
+    receives) the same structure, and ``n_workers=1`` reproduces the
+    serial join exactly.
     """
     P, Q = validate_join_inputs(P, Q)
     if (structure_spec is None) == (structure is None):
         raise ParameterError("provide exactly one of structure_spec or structure")
-    if n_workers < 1:
-        raise ParameterError(f"n_workers must be >= 1, got {n_workers}")
-    if block < 1:
-        raise ParameterError(f"block must be >= 1, got {block}")
     payload = structure_spec if structure_spec is not None else structure
-    if n_workers == 1:
-        built = payload.build(P) if hasattr(payload, "build") else payload
-        from repro.core.sketch_join import sketch_unsigned_join
-
-        return sketch_unsigned_join(P, Q, s=s, structure=built, block=block)
     if structure_spec is not None:
         from repro.sketches.stable import norm_ratio_bound
 
@@ -311,25 +342,8 @@ def parallel_sketch_join(
     else:
         c = structure.approximation_factor
     spec = JoinSpec(s=s, c=c, signed=False)
-    bounds = _chunk_bounds(Q.shape[0], block, n_workers)
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(bounds)),
-        initializer=_init_worker,
-        initargs=(payload, P),
-    ) as pool:
-        futures = [
-            pool.submit(_run_sketch_chunk, Q[start:end], s, block)
-            for start, end in bounds
-        ]
-        chunk_results = [f.result() for f in futures]
-    matches: List[Optional[int]] = []
-    evaluated = 0
-    for chunk_matches, chunk_evaluated in chunk_results:
-        matches.extend(chunk_matches)
-        evaluated += chunk_evaluated
-    return JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=evaluated,
-        candidates_generated=len(matches),
+    chunks = map_query_chunks(
+        payload, P, Q, _sketch_runner, (spec.cs, block),
+        n_workers=n_workers, block=block,
     )
+    return merge_join_chunks(chunks, spec)

@@ -4,6 +4,12 @@
 normalize the plumbing; the unsigned variant also exposes the paper's
 reduction of unsigned to signed join (run against ``Q`` and ``-Q``,
 keep pairs clearing the absolute threshold).
+
+Both are now thin shims over the unified engine
+(:func:`repro.engine.join`): the ``algorithm`` names map onto registered
+engine backends (``exact`` → ``brute_force``, ``lsh`` → ``lsh``,
+``sketch`` → ``sketch``), while ``via-signed`` composes two engine calls
+and stays here — it is a *reduction*, not a backend.
 """
 
 from __future__ import annotations
@@ -12,13 +18,28 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.brute_force import brute_force_join
-from repro.core.lsh_join import lsh_join
 from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
-from repro.core.sketch_join import sketch_unsigned_join
 from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
 from repro.utils.rng import SeedLike
+
+#: Legacy ``algorithm=`` names and the engine backend each maps to.
+ALGORITHM_BACKENDS = {
+    "exact": "brute_force",
+    "lsh": "lsh",
+    "sketch": "sketch",
+}
+
+
+def _engine_call(P, Q, spec, algorithm, family, seed, **kwargs) -> JoinResult:
+    from repro.engine.api import join as engine_join
+
+    backend = ALGORITHM_BACKENDS[algorithm]
+    if algorithm == "lsh":
+        if family is None and "index" not in kwargs:
+            raise ParameterError("algorithm='lsh' requires a hash family")
+        kwargs = dict(kwargs, family=family)
+    return engine_join(P, Q, spec, backend=backend, seed=seed, **kwargs)
 
 
 def signed_join(
@@ -36,16 +57,12 @@ def signed_join(
     Args:
         algorithm: ``"exact"`` (brute force) or ``"lsh"`` (requires
             ``family``).
-        kwargs: forwarded to the selected algorithm.
+        kwargs: forwarded to the selected engine backend.
     """
     spec = JoinSpec(s=s, c=c, signed=True)
-    if algorithm == "exact":
-        return brute_force_join(P, Q, spec, **kwargs)
-    if algorithm == "lsh":
-        if family is None:
-            raise ParameterError("algorithm='lsh' requires a hash family")
-        return lsh_join(P, Q, spec, family, seed=seed, **kwargs)
-    raise ParameterError(f"unknown signed join algorithm {algorithm!r}")
+    if algorithm not in ("exact", "lsh"):
+        raise ParameterError(f"unknown signed join algorithm {algorithm!r}")
+    return _engine_call(P, Q, spec, algorithm, family, seed, **kwargs)
 
 
 def unsigned_join(
@@ -67,17 +84,15 @@ def unsigned_join(
             against ``Q`` and ``-Q``).
     """
     spec = JoinSpec(s=s, c=c, signed=False)
-    if algorithm == "exact":
-        return brute_force_join(P, Q, spec, **kwargs)
-    if algorithm == "lsh":
-        if family is None:
-            raise ParameterError("algorithm='lsh' requires a hash family")
-        return lsh_join(P, Q, spec, family, seed=seed, **kwargs)
-    if algorithm == "sketch":
-        return sketch_unsigned_join(P, Q, s, seed=seed, **kwargs)
     if algorithm == "via-signed":
         return _unsigned_via_signed(P, Q, spec, family=family, seed=seed, **kwargs)
-    raise ParameterError(f"unknown unsigned join algorithm {algorithm!r}")
+    if algorithm == "sketch":
+        from repro.core.sketch_join import sketch_unsigned_join
+
+        return sketch_unsigned_join(P, Q, s, seed=seed, **kwargs)
+    if algorithm not in ("exact", "lsh"):
+        raise ParameterError(f"unknown unsigned join algorithm {algorithm!r}")
+    return _engine_call(P, Q, spec, algorithm, family, seed, **kwargs)
 
 
 def _unsigned_via_signed(
@@ -97,11 +112,12 @@ def _unsigned_via_signed(
     """
     P, Q = validate_join_inputs(P, Q)
     signed_spec = JoinSpec(s=spec.s, c=spec.c, signed=True)
+    algorithm = "exact" if family is None else "lsh"
 
     def run(queries):
-        if family is None:
-            return brute_force_join(P, queries, signed_spec, **kwargs)
-        return lsh_join(P, queries, signed_spec, family, seed=seed, **kwargs)
+        return _engine_call(
+            P, queries, signed_spec, algorithm, family, seed, **kwargs
+        )
 
     positive = run(Q)
     negative = run(-Q)

@@ -1,31 +1,64 @@
 """LSH-driven ``(cs, s)`` join: filter with an index, verify exactly.
 
-Builds a multi-table :class:`repro.lsh.index.LSHIndex` over the data set
-with a caller-chosen (A)LSH family and answers each query from its
-candidate set.  Work is measured in exact inner products evaluated — the
-quantity whose subquadratic growth the paper's upper bounds promise and
-its lower bounds constrain.
+:func:`lsh_filter_verify_chunk` is THE LSH join inner loop — candidate
+generation through the index's fastest API
+(:func:`repro.lsh.index.block_candidates`) and verification through the
+one-GEMM-per-block kernel in :mod:`repro.core.verify`, one query block
+at a time.  The serial engine path, every parallel worker, and the
+legacy entry points all execute this exact function, which is what makes
+results bit-identical across call paths and worker counts.
 
-Both the filter and verify stages run block-at-a-time: candidate
-generation goes through the index's ``candidates_batch`` (array-native
-for :class:`~repro.lsh.batch.BatchSignIndex`'s CSR tables) and
-verification through the one-GEMM-per-block kernel in
-:mod:`repro.core.verify`.  An index may be reused across calls: the join
-snapshots the index's :class:`~repro.lsh.index.QueryStats` counters and
-reports only this call's delta, so ``candidates_generated`` never
-over-counts on reuse.
+:func:`lsh_join` is the legacy entry point, now a thin shim over the
+unified engine (:func:`repro.engine.join` with ``backend="lsh"``).  An
+index may be reused across calls: the chunk snapshots the index's
+:class:`~repro.core.problems.QueryStats` counters and reports only this
+call's delta, so ``candidates_generated`` never over-counts on reuse.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
-from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.problems import JoinResult, JoinSpec, QueryStats
 from repro.core.verify import DEFAULT_BLOCK, verify_block
 from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
-from repro.lsh.index import LSHIndex
+from repro.lsh.index import block_candidates
 from repro.utils.rng import SeedLike
+
+
+def lsh_filter_verify_chunk(
+    index,
+    P,
+    Q_chunk,
+    signed: bool,
+    cs: float,
+    n_probes: int,
+    block: int,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Run the filter+verify loop over one contiguous query chunk.
+
+    Returns ``(matches, inner_products_evaluated, candidates_generated,
+    stats_delta)`` where ``stats_delta`` is this chunk's contribution to
+    the index's :class:`~repro.core.problems.QueryStats` (so reused
+    indexes never over-count).
+    """
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    before = index.stats.copy()
+    matches: List[Optional[int]] = []
+    verified = 0
+    for q0 in range(0, Q_chunk.shape[0], block):
+        Q_block = Q_chunk[q0:q0 + block]
+        cand_lists = block_candidates(index, Q_block, n_probes)
+        result = verify_block(P, Q_block, cand_lists, signed=signed)
+        verified += result.n_evaluated
+        matches.extend(
+            int(idx) if idx >= 0 and score >= cs else None
+            for idx, score in zip(result.best_index, result.best_score)
+        )
+    delta = index.stats.diff(before)
+    return matches, verified, delta.candidates, delta
 
 
 def lsh_join(
@@ -40,7 +73,7 @@ def lsh_join(
     n_probes: int = 0,
     block: int = DEFAULT_BLOCK,
 ) -> JoinResult:
-    """Approximate join through an LSH index.
+    """Approximate join through an LSH index (engine shim).
 
     Args:
         P, Q: data and query matrices.
@@ -60,52 +93,18 @@ def lsh_join(
             support it (:class:`~repro.lsh.batch.BatchSignIndex`).
         block: query block size for candidate generation + verification.
     """
-    P, Q = validate_join_inputs(P, Q)
-    if block < 1:
-        raise ParameterError(f"block must be >= 1, got {block}")
-    if index is None:
-        if family is None:
-            raise ParameterError("either an index or a family is required")
-        index = LSHIndex(
-            family,
-            n_tables=n_tables,
-            hashes_per_table=hashes_per_table,
-            seed=seed,
-        ).build(P)
-    candidates_before = index.stats.candidates
-    supports_probes = _supports_multiprobe(index)
-    if n_probes and not supports_probes:
-        raise ParameterError(
-            f"index {type(index).__name__} does not support multiprobe "
-            f"(n_probes={n_probes})"
-        )
-    matches = []
-    verified = 0
-    for q0 in range(0, Q.shape[0], block):
-        Q_block = Q[q0:q0 + block]
-        cand_lists = _block_candidates(index, Q_block, n_probes, supports_probes)
-        result = verify_block(P, Q_block, cand_lists, signed=spec.signed)
-        verified += result.n_evaluated
-        matches.extend(
-            int(idx) if idx >= 0 and score >= spec.cs else None
-            for idx, score in zip(result.best_index, result.best_score)
-        )
-    return JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=verified,
-        candidates_generated=index.stats.candidates - candidates_before,
+    from repro.engine.api import join as engine_join
+
+    return engine_join(
+        P,
+        Q,
+        spec,
+        backend="lsh",
+        seed=seed,
+        block=block,
+        family=family,
+        index=index,
+        n_tables=n_tables,
+        hashes_per_table=hashes_per_table,
+        n_probes=n_probes,
     )
-
-
-def _supports_multiprobe(index) -> bool:
-    return hasattr(index, "bits_per_table")
-
-
-def _block_candidates(index, Q_block, n_probes: int, supports_probes: bool):
-    """Candidate lists for a block via the fastest API the index offers."""
-    if hasattr(index, "candidates_batch"):
-        if supports_probes:
-            return index.candidates_batch(Q_block, n_probes=n_probes)
-        return index.candidates_batch(Q_block)
-    return [index.candidates(Q_block[qi]) for qi in range(Q_block.shape[0])]

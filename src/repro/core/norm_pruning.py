@@ -23,7 +23,7 @@ import numpy as np
 
 from typing import Tuple
 
-from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.problems import JoinResult, JoinSpec, QueryStats
 from repro.core.verify import GEMM_ADVANTAGE
 from repro.errors import ParameterError
 from repro.utils.validation import check_matrix, check_vector
@@ -158,6 +158,41 @@ class NormScanIndex:
         return best_indices, best_values, work
 
 
+def norm_scan_chunk(
+    index: NormScanIndex,
+    Q_chunk,
+    signed: bool,
+    cs: float,
+    scan_block: int,
+    block: int,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Prefix-pruned exact scan over one contiguous query chunk.
+
+    Returns ``(matches, inner_products_evaluated, candidates_generated,
+    stats)``.  ``block`` groups queries into the shared-GEMM batches of
+    :meth:`NormScanIndex.query_block`; ``scan_block`` is the prefix step
+    along the norm-sorted data.  Because the GEMM/GEMV cost test inside
+    ``query_block`` depends on which queries share a batch, chunk
+    boundaries must align to ``block`` multiples for results to be
+    independent of chunking — the same contract the executor enforces.
+    """
+    matches: List[Optional[int]] = []
+    work = 0
+    for q0 in range(0, Q_chunk.shape[0], block):
+        indices, _, evaluated = index.query_block(
+            Q_chunk[q0:q0 + block],
+            threshold=cs,
+            signed=signed,
+            block=scan_block,
+        )
+        work += int(evaluated.sum())
+        matches.extend(int(i) if i >= 0 else None for i in indices)
+    stats = QueryStats(
+        queries=len(matches), candidates=work, unique_candidates=work
+    )
+    return matches, work, work, stats
+
+
 def norm_pruned_join(
     P,
     Q,
@@ -169,27 +204,14 @@ def norm_pruned_join(
 
     Produces exactly the matches of :func:`repro.core.brute_force.
     brute_force_join` (same best-partner convention) while evaluating only
-    the norm-qualified prefixes.  Queries are processed ``query_block``
-    at a time through :meth:`NormScanIndex.query_block`, turning the
+    the norm-qualified prefixes.  A thin shim over the unified engine
+    (``backend="norm_pruned"``): queries are processed ``query_block`` at
+    a time through :meth:`NormScanIndex.query_block`, turning the
     per-query GEMV stream into shared prefix GEMMs without changing
     matches or work counts.
     """
-    P, Q = validate_join_inputs(P, Q)
-    index = NormScanIndex(P)
-    matches: List[Optional[int]] = []
-    work = 0
-    for q0 in range(0, Q.shape[0], query_block):
-        indices, _, evaluated = index.query_block(
-            Q[q0:q0 + query_block],
-            threshold=spec.cs,
-            signed=spec.signed,
-            block=block,
-        )
-        work += int(evaluated.sum())
-        matches.extend(int(i) if i >= 0 else None for i in indices)
-    return JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=work,
-        candidates_generated=work,
+    from repro.engine.api import join as engine_join
+
+    return engine_join(
+        P, Q, spec, backend="norm_pruned", block=query_block, scan_block=block
     )

@@ -10,8 +10,8 @@ answers and effort.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Iterable, List, Optional
 
 import numpy as np
 
@@ -23,25 +23,164 @@ from repro.utils.validation import (
 )
 
 
+@dataclass
+class QueryStats:
+    """Unified work accounting shared by every join backend and index.
+
+    ``candidates`` counts every candidate pair inspected (with
+    multiplicity across LSH tables; for exhaustive backends it equals the
+    pairs scanned); ``unique_candidates`` counts them after per-query
+    deduplication.  When multiprobe is used, ``probe_candidates`` and
+    ``probed_buckets`` attribute the members and non-empty buckets that
+    came from *probed* (bit-flipped) keys rather than exact keys, so
+    ablation benches can report probe efficiency separately.
+
+    Counters form a commutative monoid under :meth:`merge` (field-wise
+    sum, identity ``QueryStats()``), which is the ONE way chunk- and
+    worker-level stats combine: the engine merges per-chunk deltas in
+    query order, so serial and parallel runs report identical totals.
+    """
+
+    queries: int = 0
+    candidates: int = 0
+    unique_candidates: int = 0
+    probe_candidates: int = 0
+    probed_buckets: int = 0
+
+    def record(
+        self,
+        n_candidates: int,
+        n_unique: int,
+        n_probe_candidates: int = 0,
+        n_probed_buckets: int = 0,
+    ) -> None:
+        self.queries += 1
+        self.candidates += n_candidates
+        self.unique_candidates += n_unique
+        self.probe_candidates += n_probe_candidates
+        self.probed_buckets += n_probed_buckets
+
+    def record_batch(
+        self,
+        n_queries: int,
+        n_candidates: int,
+        n_unique: int,
+        n_probe_candidates: int = 0,
+        n_probed_buckets: int = 0,
+    ) -> None:
+        """Accumulate one whole query block's worth of counts at once."""
+        self.queries += int(n_queries)
+        self.candidates += int(n_candidates)
+        self.unique_candidates += int(n_unique)
+        self.probe_candidates += int(n_probe_candidates)
+        self.probed_buckets += int(n_probed_buckets)
+
+    def reset(self) -> None:
+        """Zero all counters (an index reused across joins starts fresh)."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def copy(self) -> "QueryStats":
+        """Snapshot of the current counters."""
+        return replace(self)
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Field-wise sum as a NEW ``QueryStats``; neither operand changes.
+
+        This is the single merge implementation every backend and the
+        parallel executor use; being a field-wise sum it is associative
+        and commutative, so chunk order and worker count cannot change
+        engine-level stats.
+        """
+        return QueryStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def diff(self, earlier: "QueryStats") -> "QueryStats":
+        """Field-wise ``self - earlier``: the delta since a snapshot."""
+        return QueryStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @staticmethod
+    def merge_all(parts: Iterable["QueryStats"]) -> "QueryStats":
+        """Merge any number of stats (skipping ``None``) into one total."""
+        total = QueryStats()
+        for part in parts:
+            if part is not None:
+                total = total.merge(part)
+        return total
+
+    @property
+    def candidates_per_query(self) -> float:
+        return self.candidates / self.queries if self.queries else 0.0
+
+    @property
+    def probe_fraction(self) -> float:
+        """Fraction of inspected candidates that multiprobe contributed."""
+        return self.probe_candidates / self.candidates if self.candidates else 0.0
+
+
 @dataclass(frozen=True)
 class JoinSpec:
     """Parameters of a ``(cs, s)`` join instance.
 
     ``c = 1`` (exact) is permitted; approximate joins need ``0 < c < 1``.
+
+    Beyond the paper's base problem the spec carries the engine-level
+    variants (one record describes the *whole* task, so a single
+    dispatch path can answer all of them):
+
+    * ``k``: when set, the top-``k`` variant of footnote 1 — return up
+      to ``k`` above-``cs`` partners per query instead of one.
+    * ``self_join``: the set is joined with itself; identity pairs are
+      excluded, and ``match_duplicates`` controls whether rows *equal*
+      to the query row (at distinct indices) count as partners
+      (Section 4.2's identical-pair caveat).
     """
 
     s: float
     c: float = 1.0
     signed: bool = True
+    k: Optional[int] = None
+    self_join: bool = False
+    match_duplicates: bool = True
 
     def __post_init__(self):
         check_threshold(self.s, "s")
         if self.c != 1.0:
             check_approximation_factor(self.c, "c")
+        if self.k is not None and self.k < 1:
+            raise ParameterError(f"k must be >= 1, got {self.k}")
+        if self.k is not None and self.self_join:
+            raise ParameterError("top-k self-joins are not supported")
 
     @property
     def cs(self) -> float:
         return self.c * self.s
+
+    @property
+    def is_topk(self) -> bool:
+        return self.k is not None
+
+    @property
+    def is_self(self) -> bool:
+        return self.self_join
+
+    @property
+    def variant(self) -> str:
+        """``"join"``, ``"topk"`` or ``"self"`` — the dispatch mode."""
+        if self.is_topk:
+            return "topk"
+        if self.is_self:
+            return "self"
+        return "join"
 
     def satisfied(self, value: float) -> bool:
         """Does an inner-product value clear the relaxed threshold ``cs``?"""
@@ -64,12 +203,22 @@ class JoinResult:
         candidates_generated: candidate pairs produced before verification
             (equals ``inner_products_evaluated`` for filter-verify
             algorithms, ``n*m`` for brute force).
+        topk: for ``spec.k`` tasks, ``topk[i]`` is the ranked list of up
+            to ``k`` above-``cs`` partners of query ``i`` (``matches[i]``
+            is then its first entry or ``None``); ``None`` otherwise.
+        backend: name of the engine backend that produced the result
+            (``None`` for results built outside the engine).
+        stats: unified per-backend :class:`QueryStats`, merged across
+            chunks/workers with :meth:`QueryStats.merge`.
     """
 
     matches: List[Optional[int]]
     spec: JoinSpec
     inner_products_evaluated: int = 0
     candidates_generated: int = 0
+    topk: Optional[List[List[int]]] = None
+    backend: Optional[str] = None
+    stats: Optional[QueryStats] = None
 
     @property
     def matched_count(self) -> int:

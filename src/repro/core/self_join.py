@@ -7,51 +7,55 @@ anything about *similar-but-distinct* pairs.  ``self_join`` therefore
 reports, per vector, the best *other* vector — with an option to also
 treat exact duplicates (equal rows at distinct indices) as matches or
 not.
+
+The inner loops live in :func:`self_scan_chunk` (exact) and
+:func:`lsh_self_chunk` (filter-then-verify): both take a contiguous
+*query* chunk of ``P`` plus its global ``start`` offset, so the engine
+can shard a self-join over query blocks exactly like a two-set join —
+the self pair is masked by global index, which a chunk knows from its
+offset.  ``self_join`` / ``lsh_self_join`` are the legacy entry points,
+now thin shims over :func:`repro.engine.join` with a ``self_join`` spec.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.problems import JoinResult, JoinSpec
+from repro.core.problems import JoinResult, JoinSpec, QueryStats
 from repro.errors import ParameterError
 from repro.utils.validation import check_matrix
 
 
-def self_join(
+def self_scan_chunk(
     P,
-    spec: JoinSpec,
-    match_duplicates: bool = True,
-    block: int = 512,
-) -> JoinResult:
-    """Exact self-join: best above-``cs`` partner per vector, self excluded.
+    Q_chunk,
+    start: int,
+    signed: bool,
+    cs: float,
+    match_duplicates: bool,
+    block: int,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Exact self-join scan over the chunk ``P[start:start+len(Q_chunk)]``.
 
-    Args:
-        P: the set, shape (n, d); each row is both data and query.
-        spec: the ``(cs, s)`` parameters.
-        match_duplicates: when False, rows identical to the query row are
-            excluded along with the query itself (the strict reading of
-            "distinct vectors"; Section 4.2's guarantee covers only
-            ``p != q`` as *vectors*, not as indices).
-        block: matmul block size.
+    Returns ``(matches, inner_products_evaluated, candidates_generated,
+    stats)``; the self pair (and, when ``match_duplicates`` is off,
+    duplicate rows) is masked by *global* row index, so chunking never
+    changes which pairs compete.
     """
-    P = check_matrix(P, "P")
     n = P.shape[0]
-    if n < 2:
-        raise ParameterError("self-join needs at least two vectors")
-    matches: List[Optional[int]] = []
-    best_value = np.full(n, -np.inf)
-    best_index = np.full(n, -1, dtype=np.int64)
-    for q0 in range(0, n, block):
-        q_block = P[q0:q0 + block]
+    mc = Q_chunk.shape[0]
+    best_value = np.full(mc, -np.inf)
+    best_index = np.full(mc, -1, dtype=np.int64)
+    for q0 in range(0, mc, block):
+        q_block = Q_chunk[q0:q0 + block]
         for p0 in range(0, n, block):
             ips = q_block @ P[p0:p0 + block].T
-            scores = ips if spec.signed else np.abs(ips)
+            scores = ips if signed else np.abs(ips)
             # Mask the diagonal (self pairs) of the global matrix.
             for qi in range(q_block.shape[0]):
-                global_q = q0 + qi
+                global_q = start + q0 + qi
                 lo, hi = p0, p0 + ips.shape[1]
                 if lo <= global_q < hi:
                     scores[qi, global_q - lo] = -np.inf
@@ -67,13 +71,100 @@ def self_join(
             best_value[rows] = local_vals[improved]
             best_index[rows] = local_best[improved] + p0
     matches = [
-        int(best_index[i]) if best_value[i] >= spec.cs else None for i in range(n)
+        int(best_index[i]) if best_value[i] >= cs else None for i in range(mc)
     ]
-    return JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=n * n,
-        candidates_generated=n * (n - 1),
+    evaluated = n * mc
+    generated = (n - 1) * mc
+    stats = QueryStats(
+        queries=mc, candidates=generated, unique_candidates=generated
+    )
+    return matches, evaluated, generated, stats
+
+
+def lsh_self_chunk(
+    index,
+    P,
+    Q_chunk,
+    start: int,
+    signed: bool,
+    cs: float,
+    match_duplicates: bool,
+    block: int,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Filter-then-verify self-join over one contiguous chunk of ``P``.
+
+    Candidates for a whole block of rows are generated at once
+    (:func:`repro.lsh.index.block_candidates`) and verified through the
+    one-GEMM-per-block kernel (:mod:`repro.core.verify`); the self pair
+    (and optionally duplicate rows) is masked out of each candidate list
+    by global index before verification.
+    """
+    from repro.core.verify import verify_block
+    from repro.lsh.index import block_candidates
+
+    before = index.stats.copy()
+    matches: List[Optional[int]] = []
+    verified = 0
+    for q0 in range(0, Q_chunk.shape[0], block):
+        Q_block = Q_chunk[q0:q0 + block]
+        cand_lists = block_candidates(index, Q_block)
+        filtered = []
+        for i, candidates in enumerate(cand_lists):
+            qi = start + q0 + i
+            candidates = candidates[candidates != qi]
+            if not match_duplicates and candidates.size:
+                keep = ~np.all(P[candidates] == P[qi], axis=1)
+                candidates = candidates[keep]
+            filtered.append(candidates)
+        result = verify_block(P, Q_block, filtered, signed=signed)
+        verified += result.n_evaluated
+        matches.extend(
+            int(idx) if idx >= 0 and score >= cs else None
+            for idx, score in zip(result.best_index, result.best_score)
+        )
+    delta = index.stats.diff(before)
+    return matches, verified, verified, delta
+
+
+def _self_spec(spec: JoinSpec, match_duplicates: bool) -> JoinSpec:
+    """The engine-level spec for a legacy self-join call."""
+    return JoinSpec(
+        s=spec.s,
+        c=spec.c,
+        signed=spec.signed,
+        self_join=True,
+        match_duplicates=match_duplicates,
+    )
+
+
+def self_join(
+    P,
+    spec: JoinSpec,
+    match_duplicates: bool = True,
+    block: int = 512,
+) -> JoinResult:
+    """Exact self-join: best above-``cs`` partner per vector, self excluded.
+
+    A thin shim over the unified engine (``backend="brute_force"`` with a
+    ``self_join`` spec).
+
+    Args:
+        P: the set, shape (n, d); each row is both data and query.
+        spec: the ``(cs, s)`` parameters.
+        match_duplicates: when False, rows identical to the query row are
+            excluded along with the query itself (the strict reading of
+            "distinct vectors"; Section 4.2's guarantee covers only
+            ``p != q`` as *vectors*, not as indices).
+        block: matmul block size.
+    """
+    from repro.engine.api import join as engine_join
+
+    P = check_matrix(P, "P")
+    if P.shape[0] < 2:
+        raise ParameterError("self-join needs at least two vectors")
+    return engine_join(
+        P, None, _self_spec(spec, match_duplicates),
+        backend="brute_force", block=block,
     )
 
 
@@ -92,44 +183,15 @@ def lsh_self_join(
     with :class:`~repro.lsh.symmetric.SymmetricIPSHash` is the natural
     choice — the self pair it cannot rank is excluded here anyway.
 
-    Candidates for a whole block of rows are generated at once and
-    verified through the one-GEMM-per-block kernel
-    (:mod:`repro.core.verify`); the self pair (and, when
-    ``match_duplicates`` is off, duplicate rows) is masked out of each
-    candidate list before verification.
+    A thin shim over the unified engine (``backend="lsh"`` with a
+    ``self_join`` spec).
     """
-    from repro.core.verify import verify_block
+    from repro.engine.api import join as engine_join
 
     P = check_matrix(P, "P")
-    n = P.shape[0]
-    if n < 2:
+    if P.shape[0] < 2:
         raise ParameterError("self-join needs at least two vectors")
-    matches: List[Optional[int]] = []
-    verified = 0
-    batched = hasattr(index, "candidates_batch")
-    for q0 in range(0, n, block):
-        Q_block = P[q0:q0 + block]
-        if batched:
-            cand_lists = index.candidates_batch(Q_block)
-        else:
-            cand_lists = [index.candidates(Q_block[i]) for i in range(Q_block.shape[0])]
-        filtered = []
-        for i, candidates in enumerate(cand_lists):
-            qi = q0 + i
-            candidates = candidates[candidates != qi]
-            if not match_duplicates and candidates.size:
-                keep = ~np.all(P[candidates] == P[qi], axis=1)
-                candidates = candidates[keep]
-            filtered.append(candidates)
-        result = verify_block(P, Q_block, filtered, signed=spec.signed)
-        verified += result.n_evaluated
-        matches.extend(
-            int(idx) if idx >= 0 and score >= spec.cs else None
-            for idx, score in zip(result.best_index, result.best_score)
-        )
-    return JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=verified,
-        candidates_generated=verified,
+    return engine_join(
+        P, None, _self_spec(spec, match_duplicates),
+        backend="lsh", index=index, block=block,
     )

@@ -5,17 +5,71 @@ and queries it for every row of ``Q``: total time ``O~(d n^{2-2/kappa})``
 for ``|P| = |Q| = n``, approximation ``c = Theta(n^{-1/kappa})`` — truly
 subquadratic for every ``kappa > 2``, with no fast matrix multiplication,
 which is exactly the point the paper makes against [29].
+
+:func:`sketch_filter_verify_chunk` is THE sketch join inner loop: each
+query block goes through one batched c-MIPS descent
+(``SketchCMIPS.query_batch`` — stacked GEMMs instead of per-query
+GEMVs), its proposals are verified exactly through the blocked kernel
+(:mod:`repro.core.verify`), and matches are reported when they clear
+``c * s``.  Because every stage is block-local, the query set can be
+sharded across processes without changing results; the engine's serial
+path, every parallel worker, and the legacy entry point all run this
+exact function.  :func:`sketch_unsigned_join` is the legacy entry
+point, now a thin shim over :func:`repro.engine.join` with
+``backend="sketch"``.
 """
 
 from __future__ import annotations
 
+from typing import List, Optional, Tuple
+
 import numpy as np
 
-from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.problems import JoinResult, QueryStats
 from repro.core.verify import DEFAULT_BLOCK, verify_candidates
 from repro.errors import ParameterError
 from repro.sketches.cmips import SketchCMIPS
 from repro.utils.rng import SeedLike
+
+
+def sketch_filter_verify_chunk(
+    structure: SketchCMIPS,
+    P,
+    Q_chunk,
+    cs: float,
+    block: int,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Run the blocked sketch descent + verify over one query chunk.
+
+    Returns ``(matches, inner_products_evaluated, candidates_generated,
+    stats)``.  Queries whose best partner is below ``s`` carry no
+    guarantee, as in Definition 1.
+    """
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    per_query = structure.recovery.query_cost() // max(1, P.shape[1])
+    evaluated = 0
+    matches: List[Optional[int]] = []
+    empty = np.empty(0, dtype=np.int64)
+    for q0 in range(0, Q_chunk.shape[0], block):
+        Q_block = Q_chunk[q0:q0 + block]
+        answers = structure.query_batch(Q_block)
+        evaluated += per_query * Q_block.shape[0]
+        proposals = [
+            np.array([idx], dtype=np.int64) if idx >= 0 else empty
+            for idx in answers.indices
+        ]
+        block_matches, _ = verify_candidates(
+            P, Q_block, proposals, threshold=cs, signed=False, block=block
+        )
+        matches.extend(block_matches)
+    generated = len(matches)
+    stats = QueryStats(
+        queries=len(matches),
+        candidates=generated,
+        unique_candidates=generated,
+    )
+    return matches, evaluated, generated, stats
 
 
 def sketch_unsigned_join(
@@ -30,41 +84,21 @@ def sketch_unsigned_join(
 ) -> JoinResult:
     """Unsigned ``(cs, s)`` join with the sketch's own ``c = n^{-1/kappa}``.
 
-    Runs block-at-a-time: each query block goes through one batched
-    c-MIPS descent (``SketchCMIPS.query_batch`` — stacked GEMMs instead
-    of per-query GEMVs), its proposals are verified exactly through the
-    blocked kernel (:mod:`repro.core.verify`), and matches are reported
-    when they clear ``c * s``.  Because every stage is block-local, the
-    query set can be sharded across processes
-    (:func:`repro.core.executor.parallel_sketch_join`) without changing
-    results.  Queries whose best partner is below ``s`` carry no
-    guarantee, as in Definition 1.
+    A thin shim over the unified engine (``backend="sketch"``); the
+    returned spec carries the structure's own approximation factor.
     """
-    P, Q = validate_join_inputs(P, Q)
-    if s <= 0:
-        raise ParameterError(f"s must be positive, got {s}")
-    if structure is None:
-        structure = SketchCMIPS(P, kappa=kappa, copies=copies, seed=seed)
-    spec = JoinSpec(s=s, c=structure.approximation_factor, signed=False)
-    per_query = structure.recovery.query_cost() // max(1, P.shape[1])
-    evaluated = 0
-    matches = []
-    empty = np.empty(0, dtype=np.int64)
-    for q0 in range(0, Q.shape[0], block):
-        Q_block = Q[q0:q0 + block]
-        answers = structure.query_batch(Q_block)
-        evaluated += per_query * Q_block.shape[0]
-        proposals = [
-            np.array([idx], dtype=np.int64) if idx >= 0 else empty
-            for idx in answers.indices
-        ]
-        block_matches, _ = verify_candidates(
-            P, Q_block, proposals, threshold=spec.cs, signed=False, block=block
-        )
-        matches.extend(block_matches)
-    return JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=evaluated,
-        candidates_generated=len(matches),
+    from repro.core.problems import JoinSpec
+    from repro.engine.api import join as engine_join
+
+    spec = JoinSpec(s=s, signed=False)
+    return engine_join(
+        P,
+        Q,
+        spec,
+        backend="sketch",
+        seed=seed,
+        block=block,
+        kappa=kappa,
+        copies=copies,
+        structure=structure,
     )

@@ -5,29 +5,98 @@ the number of occurrences of each tuple in a join result to a given
 number k".  These functions return, per query, up to ``k`` data indices
 clearing the ``cs`` threshold, ordered by decreasing (absolute) inner
 product — exact or through an LSH index.
+
+The inner loops are :func:`topk_chunk` (exact) and
+:func:`lsh_topk_chunk` (filter-then-verify); both operate on a
+contiguous query chunk, so the unified engine shards top-k joins through
+the same executor path as threshold joins.  :func:`join_topk` and
+:func:`lsh_join_topk` are the legacy entry points, now thin shims over
+:func:`repro.engine.join` with ``spec.k`` set.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import replace
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.problems import JoinSpec, validate_join_inputs
+from repro.core.problems import JoinSpec, QueryStats
 from repro.core.verify import DEFAULT_BLOCK, candidate_values_block
 from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
-from repro.lsh.index import LSHIndex
 from repro.utils.rng import SeedLike
 
 
-def _rank_above(values: np.ndarray, indices: np.ndarray, spec: JoinSpec, k: int):
-    scores = values if spec.signed else np.abs(values)
-    keep = scores >= spec.cs
+def _rank_above(values: np.ndarray, indices: np.ndarray, signed: bool, cs: float, k: int):
+    scores = values if signed else np.abs(values)
+    keep = scores >= cs
     indices = indices[keep]
     scores = scores[keep]
     order = np.argsort(-scores)[:k]
     return indices[order].tolist()
+
+
+def topk_chunk(
+    P,
+    Q_chunk,
+    signed: bool,
+    cs: float,
+    k: int,
+    block: int,
+) -> Tuple[List[List[int]], int, int, QueryStats]:
+    """Exact top-k lists for one contiguous query chunk.
+
+    Returns ``(topk_lists, inner_products_evaluated,
+    candidates_generated, stats)``.
+    """
+    out: List[List[int]] = []
+    all_indices = np.arange(P.shape[0])
+    for q0 in range(0, Q_chunk.shape[0], block):
+        values = Q_chunk[q0:q0 + block] @ P.T
+        for row in values:
+            out.append(_rank_above(row, all_indices, signed, cs, k))
+    evaluated = P.shape[0] * Q_chunk.shape[0]
+    stats = QueryStats(
+        queries=len(out), candidates=evaluated, unique_candidates=evaluated
+    )
+    return out, evaluated, evaluated, stats
+
+
+def lsh_topk_chunk(
+    index,
+    P,
+    Q_chunk,
+    signed: bool,
+    cs: float,
+    k: int,
+    block: int,
+) -> Tuple[List[List[int]], int, int, QueryStats]:
+    """Filter-then-rank top-k lists for one contiguous query chunk.
+
+    Candidates come from the index's fastest API
+    (:func:`repro.lsh.index.block_candidates`), scores from the blocked
+    verification kernel, and per-query ranking from the same
+    ``_rank_above`` as the exact path.  Returns the same tuple shape as
+    :func:`topk_chunk`; stats are this chunk's delta of the index's
+    counters.
+    """
+    from repro.lsh.index import block_candidates
+
+    before = index.stats.copy()
+    out: List[List[int]] = []
+    scored = 0
+    for q0 in range(0, Q_chunk.shape[0], block):
+        Q_block = Q_chunk[q0:q0 + block]
+        cand_lists = block_candidates(index, Q_block)
+        value_lists = candidate_values_block(P, Q_block, cand_lists)
+        scored += sum(candidates.size for candidates in cand_lists)
+        out.extend(
+            _rank_above(values, candidates, signed, cs, k) if candidates.size else []
+            for candidates, values in zip(cand_lists, value_lists)
+        )
+    delta = index.stats.diff(before)
+    return out, scored, delta.candidates, delta
 
 
 def join_topk(
@@ -37,17 +106,17 @@ def join_topk(
     k: int,
     block: int = 1024,
 ) -> List[List[int]]:
-    """Exact top-k join: the k best above-``cs`` partners per query."""
-    P, Q = validate_join_inputs(P, Q)
-    if k < 1:
-        raise ParameterError(f"k must be >= 1, got {k}")
-    out = []
-    all_indices = np.arange(P.shape[0])
-    for q0 in range(0, Q.shape[0], block):
-        values = Q[q0:q0 + block] @ P.T
-        for row in values:
-            out.append(_rank_above(row, all_indices, spec, k))
-    return out
+    """Exact top-k join: the k best above-``cs`` partners per query.
+
+    A thin shim over the unified engine (``backend="brute_force"`` with
+    ``spec.k`` set).
+    """
+    from repro.engine.api import join as engine_join
+
+    result = engine_join(
+        P, Q, replace(spec, k=k), backend="brute_force", block=block
+    )
+    return result.topk
 
 
 def lsh_join_topk(
@@ -70,30 +139,26 @@ def lsh_join_topk(
     ``candidates_batch`` generate a whole query block's candidates at
     once, and scoring runs through the blocked verification kernel
     (:func:`repro.core.verify.candidate_values_block`) instead of one
-    GEMV per query.
+    GEMV per query.  A thin shim over the unified engine
+    (``backend="lsh"`` with ``spec.k`` set).
     """
-    P, Q = validate_join_inputs(P, Q)
-    if k < 1:
-        raise ParameterError(f"k must be >= 1, got {k}")
-    if index is None:
-        if family is None:
-            raise ParameterError("either an index or a family is required")
-        index = LSHIndex(
-            family, n_tables=n_tables, hashes_per_table=hashes_per_table, seed=seed
-        ).build(P)
-    out: List[List[int]] = []
-    for q0 in range(0, Q.shape[0], block):
-        Q_block = Q[q0:q0 + block]
-        if hasattr(index, "candidates_batch"):
-            cand_lists = index.candidates_batch(Q_block)
-        else:
-            cand_lists = [index.candidates(q) for q in Q_block]
-        value_lists = candidate_values_block(P, Q_block, cand_lists)
-        out.extend(
-            _rank_above(values, candidates, spec, k) if candidates.size else []
-            for candidates, values in zip(cand_lists, value_lists)
-        )
-    return out
+    from repro.engine.api import join as engine_join
+
+    if index is None and family is None:
+        raise ParameterError("either an index or a family is required")
+    result = engine_join(
+        P,
+        Q,
+        replace(spec, k=k),
+        backend="lsh",
+        seed=seed,
+        block=block,
+        family=family,
+        index=index,
+        n_tables=n_tables,
+        hashes_per_table=hashes_per_table,
+    )
+    return result.topk
 
 
 def topk_recall(approx: List[List[int]], exact: List[List[int]]) -> float:

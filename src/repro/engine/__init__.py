@@ -1,0 +1,46 @@
+"""Unified join engine: registry, cost-model planner, one dispatch path.
+
+``repro.engine.join(P, Q, spec)`` answers every IPS join variant the
+repository implements through one code path; ``backend="auto"`` asks the
+cost-model planner to pick among the registered backends, and
+``n_workers=`` shards the query set across processes without changing
+results.  See :mod:`repro.engine.protocol` for the backend contract and
+``docs/ARCHITECTURE.md`` for the layer map.
+"""
+
+from repro.engine.api import join, plan
+from repro.engine.backends import (
+    BruteForceBackend,
+    LSHBackend,
+    NormPrunedBackend,
+    SketchBackend,
+)
+from repro.engine.planner import CostModel, JoinPlan, plan_join
+from repro.engine.protocol import ChunkResult, CostEstimate, JoinBackend
+from repro.engine.registry import available_backends, get_backend, register
+
+# Built-in backends register on import, exact ones first: planner ties
+# resolve toward the stronger (exact) guarantee.
+if "brute_force" not in available_backends():
+    register(BruteForceBackend())
+    register(NormPrunedBackend())
+    register(LSHBackend())
+    register(SketchBackend())
+
+__all__ = [
+    "join",
+    "plan",
+    "plan_join",
+    "JoinBackend",
+    "ChunkResult",
+    "CostEstimate",
+    "CostModel",
+    "JoinPlan",
+    "register",
+    "get_backend",
+    "available_backends",
+    "BruteForceBackend",
+    "NormPrunedBackend",
+    "LSHBackend",
+    "SketchBackend",
+]

@@ -1,0 +1,133 @@
+"""The one dispatch path for every IPS join: ``repro.engine.join``.
+
+Every join the repository can answer — signed or unsigned, threshold,
+top-k or self, exact or approximate, serial or process-parallel — runs
+through this function:
+
+1. normalize inputs (``Q=None`` means a self-join of ``P``);
+2. resolve the backend: an explicit registry name, or ``"auto"`` to let
+   the cost-model planner (:mod:`repro.engine.planner`) pick;
+3. ``backend.prepare`` turns options into a picklable structure payload
+   and the final spec;
+4. the executor (:func:`repro.core.executor.map_query_chunks`) shards
+   the query set into block-aligned chunks and runs the backend's
+   ``run_chunk`` over each — in-process for ``n_workers=1``, across a
+   process pool otherwise;
+5. chunk results merge in query order through the executor's single
+   merge path (:func:`repro.core.executor.merge_join_chunks` +
+   :meth:`~repro.core.problems.QueryStats.merge`).
+
+Because serial execution is literally the one-chunk case of the same
+code, ``n_workers`` is an orthogonal knob: it never changes matches,
+work counters, or stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.executor import (
+    _engine_runner,
+    map_query_chunks,
+    merge_join_chunks,
+)
+from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.verify import DEFAULT_BLOCK
+from repro.engine.planner import CostModel, JoinPlan, plan_join
+from repro.engine.registry import get_backend
+from repro.errors import ParameterError
+from repro.utils.validation import check_matrix
+
+
+def _normalize_inputs(P, Q, spec: JoinSpec):
+    """Resolve the (P, Q, spec) triangle for all variants."""
+    if Q is None:
+        spec = spec if spec.self_join else replace(spec, self_join=True)
+        P = check_matrix(P, "P")
+        if P.shape[0] < 2:
+            raise ParameterError("self-join needs at least two vectors")
+        return P, P, spec
+    if spec.self_join:
+        raise ParameterError(
+            "self-join specs take a single set: pass Q=None"
+        )
+    return (*validate_join_inputs(P, Q), spec)
+
+
+def plan(
+    P,
+    Q,
+    spec: JoinSpec,
+    model: Optional[CostModel] = None,
+) -> JoinPlan:
+    """Rank backends for this instance without running anything.
+
+    The same planner call ``backend="auto"`` uses; exposed so callers
+    (and the dispatch bench) can inspect *why* a backend was chosen.
+    """
+    P, Q, spec = _normalize_inputs(P, Q, spec)
+    return plan_join(P.shape[0], Q.shape[0], P.shape[1], spec, model)
+
+
+def join(
+    P,
+    Q,
+    spec: JoinSpec,
+    *,
+    backend: str = "auto",
+    seed=None,
+    n_workers: int = 1,
+    block: int = DEFAULT_BLOCK,
+    model: Optional[CostModel] = None,
+    **options,
+) -> JoinResult:
+    """Answer a ``(cs, s)`` join (any variant) through one dispatch path.
+
+    Args:
+        P: data matrix, shape (n, d).
+        Q: query matrix, shape (m, d); ``None`` for a self-join of ``P``.
+        spec: the problem record — thresholds, signedness, and the
+            top-k / self variants (:class:`~repro.core.problems.JoinSpec`).
+        backend: a registered backend name (``brute_force``,
+            ``norm_pruned``, ``lsh``, ``sketch``, ...) or ``"auto"`` to
+            let the cost-model planner choose.
+        seed: reproducibility seed for backends that build randomized
+            structures; must be a concrete integer when combined with
+            ``n_workers > 1`` (workers rebuild from it).
+        n_workers: process count — an orthogonal execution knob routed
+            through :mod:`repro.core.executor`; results are identical
+            for any value.
+        block: query block size; chunk boundaries align to it.
+        model: optional calibrated :class:`~repro.engine.planner.CostModel`
+            for ``backend="auto"``.
+        options: backend-specific options (``family=...``, ``index=...``,
+            ``kappa=...``, ``scan_block=...``, ...), validated by the
+            chosen backend's ``prepare``.
+
+    Returns:
+        A :class:`~repro.core.problems.JoinResult` carrying matches (and
+        ``topk`` lists for ``spec.k`` tasks), work counters, the backend
+        name, and merged :class:`~repro.core.problems.QueryStats`.
+    """
+    P, Q, spec = _normalize_inputs(P, Q, spec)
+    if backend == "auto":
+        backend = plan_join(
+            P.shape[0], Q.shape[0], P.shape[1], spec, model
+        ).backend
+    impl = get_backend(backend)
+    payload, final_spec = impl.prepare(
+        P, spec, seed=seed, block=block, n_workers=n_workers, **options
+    )
+    chunks = map_query_chunks(
+        payload, P, Q, _engine_runner, (backend,),
+        n_workers=n_workers, block=block,
+    )
+    result = merge_join_chunks(
+        [(c.matches, c.evaluated, c.generated, c.stats) for c in chunks],
+        final_spec,
+        backend=backend,
+    )
+    if final_spec.is_topk:
+        result.topk = [lst for c in chunks for lst in (c.topk or [])]
+    return result

@@ -1,0 +1,216 @@
+"""Cost-model planner: pick a backend for a join instance.
+
+Extends the index-level (k, L) theory of :mod:`repro.lsh.planner` one
+level up: given instance shape ``(n, m, d)`` and a
+:class:`~repro.core.problems.JoinSpec`, ask every registered backend for
+a :class:`~repro.engine.protocol.CostEstimate` under one
+:class:`CostModel` and rank the feasible ones by predicted total ops.
+``repro.engine.join(..., backend="auto")`` executes the winner.
+
+The model's constants are *relative* op weights (a GEMM multiply-add is
+the unit).  The defaults are deliberately conservative about the
+probabilistic backends: fixed build charges (``lsh_fixed_build``,
+``sketch_fixed_build``) price in Python/index constant factors, so on
+small instances the planner always lands on an exact backend — which is
+also what makes ``auto`` results deterministic and testable against
+brute force there.  For machine-specific planning the constants can be
+calibrated from a ``BENCH_*.json`` produced by ``tools/bench_perf.py``
+via :meth:`CostModel.from_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.problems import JoinSpec
+from repro.engine.protocol import CostEstimate
+from repro.errors import ParameterError
+
+#: Reference throughput used by ``from_bench`` to turn measured seconds
+#: into relative op weights: ops-per-second of the machine the default
+#: constants were tuned on.  Only ratios matter.
+_REFERENCE_GEMM_OPS_PER_S = 5e9
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative operation weights for backend cost estimates.
+
+    All weights are in units of one dense GEMM multiply-add
+    (``gemm_op = 1``).  ``hash_op`` is per *bit* of hashing work before
+    the factor-64 bit-packing discount applied in the backends;
+    ``candidate_op`` prices bucket bookkeeping per candidate;
+    ``row_op`` prices per-query Python/dispatch overhead; the
+    ``*_fixed_build`` charges price index-construction constant factors
+    that op counts alone miss.
+    """
+
+    gemm_op: float = 1.0
+    gemv_op: float = 4.0
+    hash_op: float = 2.0
+    candidate_op: float = 8.0
+    row_op: float = 200.0
+    norm_fixed_build: float = 2e4
+    lsh_fixed_build: float = 5e5
+    sketch_fixed_build: float = 2e6
+    #: Fraction of the data a norm-pruned scan is expected to touch.
+    norm_prefix_fraction: float = 0.35
+    #: Fallback candidate fraction when no (k, L) plan is derivable.
+    lsh_candidate_fraction: float = 0.05
+    #: Bounds for the sketch trade-off knob when derived from ``c``.
+    min_kappa: float = 2.1
+    max_kappa: float = 16.0
+
+    def lsh_plan(self, n: int, spec: JoinSpec):
+        """A (k, L) plan for this instance, or ``None`` when underivable.
+
+        Uses the hyperplane collision form (the scheme the engine
+        auto-builds); thresholds are interpreted as cosines, clamped
+        into the valid range, so out-of-range specs simply fall back to
+        the generic candidate-fraction model instead of failing.
+        """
+        from repro.lsh.planner import plan
+        from repro.lsh.rho import collision_prob_hyperplane
+
+        try:
+            s_ratio = min(abs(spec.s), 0.999)
+            p1 = collision_prob_hyperplane(s_ratio)
+            p2 = collision_prob_hyperplane(spec.c * s_ratio)
+            return plan(max(n, 2), p1, p2)
+        except ParameterError:
+            return None
+
+    def sketch_kappa(self, n: int, c: float) -> float:
+        """The ``kappa`` for which ``n^{-1/kappa} = c``, clamped sane."""
+        if n < 2 or not 0.0 < c < 1.0:
+            return self.min_kappa
+        kappa = math.log(n) / math.log(1.0 / c)
+        return min(self.max_kappa, max(self.min_kappa, kappa))
+
+    @classmethod
+    def from_bench(cls, source) -> "CostModel":
+        """Calibrate op weights from a ``BENCH_*.json`` measurement file.
+
+        ``source`` is a path or an already-parsed dict with the bench
+        schema's ``timings`` / ``work`` sections.  Uses whatever signals
+        are present — a missing key leaves the default weight — so
+        calibration degrades gracefully across bench generations:
+
+        * verified inner products per second (``verify_blocked_s`` +
+          ``inner_products_verified``) recalibrate ``gemm_op``;
+        * batched hashing seconds per (query x table x bit)
+          (``hash_batch_hyperplane_s``) recalibrate ``hash_op``;
+        * candidate gathering (``hash_candidates_per_query_*``)
+          recalibrates ``candidate_op``.
+        """
+        if isinstance(source, (str, bytes)):
+            with open(source) as fh:
+                payload = json.load(fh)
+        else:
+            payload = source
+        if not isinstance(payload, dict):
+            raise ParameterError("bench source must be a path or a dict")
+        timings: Dict[str, float] = payload.get("timings", {})
+        work: Dict[str, float] = payload.get("work", {})
+        meta: Dict[str, dict] = payload.get("meta", {})
+        updates: Dict[str, float] = {}
+
+        verified = work.get("inner_products_verified")
+        verify_s = timings.get("verify_blocked_s")
+        if verified and verify_s:
+            ops_per_s = float(verified) / float(verify_s)
+            updates["gemm_op"] = _REFERENCE_GEMM_OPS_PER_S / ops_per_s
+
+        hash_s = timings.get("hash_batch_hyperplane_s")
+        hash_meta = meta.get("hash_suite", {})
+        if hash_s and hash_meta:
+            bits = (
+                hash_meta.get("n_queries", 0)
+                * hash_meta.get("n_tables", 0)
+                * hash_meta.get("hashes_per_table", 0)
+                * hash_meta.get("d", 0)
+            )
+            if bits:
+                per_bit_s = float(hash_s) / bits
+                updates["hash_op"] = (
+                    per_bit_s * _REFERENCE_GEMM_OPS_PER_S
+                )
+
+        gemm = updates.get("gemm_op", cls.gemm_op)
+        if gemm > 0:
+            # Keep weights relative: everything is priced against GEMM.
+            for key in list(updates):
+                if key != "gemm_op":
+                    updates[key] = updates[key] / gemm
+            updates["gemm_op"] = 1.0
+        return replace(cls(), **updates)
+
+
+#: The process-wide default model (uncalibrated).
+DEFAULT_MODEL = CostModel()
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """The planner's ranked view of one join instance."""
+
+    n: int
+    m: int
+    d: int
+    spec: JoinSpec
+    estimates: List[CostEstimate] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> List[CostEstimate]:
+        return [e for e in self.estimates if e.feasible]
+
+    @property
+    def best(self) -> CostEstimate:
+        feasible = self.feasible
+        if not feasible:
+            reasons = "; ".join(
+                f"{e.backend}: {e.reason}" for e in self.estimates
+            )
+            raise ParameterError(f"no feasible backend ({reasons})")
+        return feasible[0]
+
+    @property
+    def backend(self) -> str:
+        return self.best.backend
+
+
+def plan_join(
+    n: int,
+    m: int,
+    d: int,
+    spec: JoinSpec,
+    model: Optional[CostModel] = None,
+) -> JoinPlan:
+    """Rank every registered backend for an ``(n, d) x (m, d)`` instance.
+
+    Feasible estimates come first, cheapest first (ties broken by
+    registration order — exact backends register before probabilistic
+    ones, so a tie resolves to the stronger guarantee); infeasible ones
+    follow, carrying their reasons for diagnostics.
+    """
+    from repro.engine.registry import available_backends, get_backend
+
+    if n < 1 or m < 1 or d < 1:
+        raise ParameterError(
+            f"instance shape must be positive, got n={n}, m={m}, d={d}"
+        )
+    model = model or DEFAULT_MODEL
+    estimates = [
+        get_backend(name).estimate_cost(n, m, d, spec, model)
+        for name in available_backends()
+    ]
+    order = sorted(
+        range(len(estimates)),
+        key=lambda i: (not estimates[i].feasible, estimates[i].total_ops, i),
+    )
+    return JoinPlan(
+        n=n, m=m, d=d, spec=spec, estimates=[estimates[i] for i in order]
+    )

@@ -1,0 +1,51 @@
+"""Backend registry: name -> :class:`~repro.engine.protocol.JoinBackend`.
+
+The registry is the engine's one source of truth for what algorithms
+exist.  The four built-in backends register on import of
+:mod:`repro.engine`; external code can add more with :func:`register`
+(a norms-aware hybrid, a GPU scan, ...) and they immediately become
+valid ``backend=`` names for :func:`repro.engine.join` and candidates
+for the planner's ``backend="auto"`` ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.engine.protocol import JoinBackend
+from repro.errors import ParameterError
+
+_REGISTRY: Dict[str, JoinBackend] = {}
+
+
+def register(backend: JoinBackend, replace: bool = False) -> JoinBackend:
+    """Register ``backend`` under ``backend.name``.
+
+    Raises :class:`~repro.errors.ParameterError` on duplicate names
+    unless ``replace=True`` (so accidental shadowing is loud).
+    """
+    name = getattr(backend, "name", "")
+    if not name:
+        raise ParameterError("backend must define a non-empty name")
+    if name in _REGISTRY and not replace:
+        raise ParameterError(
+            f"backend {name!r} is already registered; pass replace=True "
+            f"to shadow it"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: str) -> JoinBackend:
+    """Look up a backend by name, with a helpful error on misses."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown backend {name!r}; registered: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)

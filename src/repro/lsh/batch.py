@@ -42,8 +42,8 @@ from repro.embeddings.mips_reductions import (
     SimpleLSHTransform,
 )
 from repro.errors import ParameterError
+from repro.core.problems import QueryStats
 from repro.lsh.csr import CSRBucketTable, merge_candidates_per_query
-from repro.lsh.index import QueryStats
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix
 

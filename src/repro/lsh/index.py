@@ -25,11 +25,14 @@ work of an LSH join).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+# QueryStats is defined with the problem records so every backend (LSH
+# or not) shares one stats type and one merge(); re-exported here for
+# backwards compatibility.
+from repro.core.problems import QueryStats
 from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
 from repro.lsh.batch_hash import GenericHashTables
@@ -38,68 +41,31 @@ from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix
 
 
-@dataclass
-class QueryStats:
-    """Work accounting for index queries.
+def supports_multiprobe(index) -> bool:
+    """Does ``index`` accept ``n_probes`` in ``candidates_batch``?"""
+    return hasattr(index, "bits_per_table")
 
-    ``candidates`` counts every bucket member inspected (with multiplicity
-    across tables); ``unique_candidates`` counts them after per-query
-    deduplication.  When multiprobe is used, ``probe_candidates`` and
-    ``probed_buckets`` attribute the members and non-empty buckets that
-    came from *probed* (bit-flipped) keys rather than exact keys, so
-    ablation benches can report probe efficiency separately.
+
+def block_candidates(index, Q_block, n_probes: int = 0) -> List[np.ndarray]:
+    """Candidate lists for a query block via the fastest API ``index`` offers.
+
+    The one place that knows the candidate-provider surface: batch CSR
+    indexes get one ``candidates_batch`` call (with multiprobe when they
+    support it), anything else falls back to per-row ``candidates``.
+    Raises :class:`~repro.errors.ParameterError` when ``n_probes`` is
+    requested from an index that cannot multiprobe.
     """
-
-    queries: int = 0
-    candidates: int = 0
-    unique_candidates: int = 0
-    probe_candidates: int = 0
-    probed_buckets: int = 0
-
-    def record(
-        self,
-        n_candidates: int,
-        n_unique: int,
-        n_probe_candidates: int = 0,
-        n_probed_buckets: int = 0,
-    ) -> None:
-        self.queries += 1
-        self.candidates += n_candidates
-        self.unique_candidates += n_unique
-        self.probe_candidates += n_probe_candidates
-        self.probed_buckets += n_probed_buckets
-
-    def record_batch(
-        self,
-        n_queries: int,
-        n_candidates: int,
-        n_unique: int,
-        n_probe_candidates: int = 0,
-        n_probed_buckets: int = 0,
-    ) -> None:
-        """Accumulate one whole query block's worth of counts at once."""
-        self.queries += int(n_queries)
-        self.candidates += int(n_candidates)
-        self.unique_candidates += int(n_unique)
-        self.probe_candidates += int(n_probe_candidates)
-        self.probed_buckets += int(n_probed_buckets)
-
-    def reset(self) -> None:
-        """Zero all counters (an index reused across joins starts fresh)."""
-        self.queries = 0
-        self.candidates = 0
-        self.unique_candidates = 0
-        self.probe_candidates = 0
-        self.probed_buckets = 0
-
-    @property
-    def candidates_per_query(self) -> float:
-        return self.candidates / self.queries if self.queries else 0.0
-
-    @property
-    def probe_fraction(self) -> float:
-        """Fraction of inspected candidates that multiprobe contributed."""
-        return self.probe_candidates / self.candidates if self.candidates else 0.0
+    probing = supports_multiprobe(index)
+    if n_probes and not probing:
+        raise ParameterError(
+            f"index {type(index).__name__} does not support multiprobe "
+            f"(n_probes={n_probes})"
+        )
+    if hasattr(index, "candidates_batch"):
+        if probing:
+            return index.candidates_batch(Q_block, n_probes=n_probes)
+        return index.candidates_batch(Q_block)
+    return [index.candidates(Q_block[qi]) for qi in range(Q_block.shape[0])]
 
 
 class LSHIndex:

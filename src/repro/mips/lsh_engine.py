@@ -63,8 +63,25 @@ class LSHMIPS(MIPSEngine):
             work=int(candidates.size),
         )
 
+    def join(self, Q, spec, n_workers: int = 1, block: int = DEFAULT_BLOCK):
+        """Answer a ``(cs, s)`` join over this engine's data and index.
+
+        Delegates to the unified engine
+        (:func:`repro.engine.join` with ``backend="lsh"``), reusing the
+        already-built index; ``n_workers`` shards the query set without
+        changing results.
+        """
+        from repro.engine.api import join as engine_join
+
+        return engine_join(
+            self._P, Q, spec, backend="lsh", index=self.index,
+            n_workers=n_workers, block=block,
+        )
+
     def query_batch(self, Q, block: int = DEFAULT_BLOCK) -> List[MIPSAnswer]:
         """One answer per row of ``Q``, verified block-at-a-time."""
+        from repro.lsh.index import block_candidates
+
         Q = check_matrix(Q, "Q")
         if Q.shape[1] != self.d:
             raise ParameterError(
@@ -73,7 +90,7 @@ class LSHMIPS(MIPSEngine):
         answers: List[MIPSAnswer] = []
         for q0 in range(0, Q.shape[0], block):
             Q_block = Q[q0:q0 + block]
-            cand_lists = self.index.candidates_batch(Q_block)
+            cand_lists = block_candidates(self.index, Q_block)
             result = verify_block(self._P, Q_block, cand_lists, signed=True)
             misses = [i for i in range(Q_block.shape[0]) if result.best_index[i] < 0]
             if misses:

@@ -96,3 +96,25 @@ def test_pr2_artifact_when_present():
     assert report["speedups"]["sketch_join_blocked_vs_loop"] >= 5.0
     assert report["checks"]["sketch_join_matches_equal"]
     assert all(report["checks"].values()), report["checks"]
+
+
+def test_pr3_artifact_when_present():
+    """BENCH_PR3.json (planner/dispatch suite), when checked in."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    assert "planner_dispatch" in report["meta"]["suites"]
+    assert report["meta"]["planner_suite"]["n"] == 20_000
+    picks = report["work"]["planner_picks"]
+    assert picks["tiny_signed"] in ("brute_force", "norm_pruned")
+    assert picks["large_gap_signed"] in ("lsh", "sketch")
+    ceiling = bench_perf.DISPATCH_OVERHEAD_CEILING
+    assert report["work"]["dispatch_overhead_brute_force"] <= ceiling
+    assert report["work"]["dispatch_overhead_lsh"] <= ceiling
+    assert report["checks"]["dispatch_brute_matches_equal"]
+    assert report["checks"]["dispatch_lsh_matches_equal"]
+    assert all(report["checks"].values()), report["checks"]

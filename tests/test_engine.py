@@ -1,0 +1,447 @@
+"""The unified join engine: backends, planner, dispatch, and stats.
+
+Two contracts are enforced here.  *Equivalence*: ``repro.engine.join``
+with an explicit backend is bit-identical to the legacy entry point for
+every variant (signed/unsigned threshold, top-k, self), and
+``backend="auto"`` returns a valid exact answer matching brute force on
+small inputs (where the planner's fixed build charges always select an
+exact backend).  *Stats*: :class:`QueryStats` merging is a single
+field-wise monoid, and engine-level stats are identical serial vs
+parallel.
+"""
+
+import numpy as np
+import pytest
+
+from repro import engine
+from repro.core import (
+    BatchIndexSpec,
+    JoinSpec,
+    QueryStats,
+    SketchStructureSpec,
+    brute_force_join,
+    join_topk,
+    lsh_join,
+    lsh_join_topk,
+    lsh_self_join,
+    norm_pruned_join,
+    self_join,
+    signed_join,
+    sketch_unsigned_join,
+    unsigned_join,
+)
+from repro.datasets import planted_mips
+from repro.engine import (
+    CostEstimate,
+    CostModel,
+    available_backends,
+    get_backend,
+    plan_join,
+    register,
+)
+from repro.errors import ParameterError
+from repro.lsh import BatchSignIndex, DataDepALSH, LSHIndex
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return planted_mips(600, 24, 32, s=0.85, c=0.5, seed=7)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return JoinSpec(s=0.85, c=0.5, signed=True)
+
+
+class TestBackendEquivalence:
+    """engine.join(backend=...) == the legacy entry point, bit for bit."""
+
+    def test_brute_force_signed(self, instance, spec):
+        legacy = brute_force_join(instance.P, instance.Q, spec)
+        result = engine.join(instance.P, instance.Q, spec, backend="brute_force")
+        assert result.matches == legacy.matches
+        assert result.inner_products_evaluated == legacy.inner_products_evaluated
+        assert result.candidates_generated == legacy.candidates_generated
+        assert result.backend == "brute_force"
+
+    def test_brute_force_unsigned(self, instance):
+        uspec = JoinSpec(s=0.85, c=0.5, signed=False)
+        legacy = brute_force_join(instance.P, instance.Q, uspec)
+        result = engine.join(instance.P, instance.Q, uspec, backend="brute_force")
+        assert result.matches == legacy.matches
+
+    def test_norm_pruned(self, instance, spec):
+        legacy = norm_pruned_join(instance.P, instance.Q, spec)
+        result = engine.join(instance.P, instance.Q, spec, backend="norm_pruned")
+        assert result.matches == legacy.matches
+        assert result.inner_products_evaluated == legacy.inner_products_evaluated
+        # Norm pruning is exact: it must reproduce brute force too.
+        assert result.matches == brute_force_join(instance.P, instance.Q, spec).matches
+
+    @pytest.mark.parametrize("signed", [True, False])
+    def test_lsh_prebuilt_index(self, instance, signed):
+        jspec = JoinSpec(s=0.85, c=0.5, signed=signed)
+        index = BatchSignIndex.for_datadep(
+            32, n_tables=10, bits_per_table=8, seed=3
+        ).build(instance.P)
+        legacy = lsh_join(instance.P, instance.Q, jspec, family=None, index=index)
+        result = engine.join(
+            instance.P, instance.Q, jspec, backend="lsh", index=index
+        )
+        assert result.matches == legacy.matches
+        assert result.candidates_generated == legacy.candidates_generated
+
+    def test_lsh_family_seeded(self, instance, spec):
+        family = DataDepALSH(32)
+        legacy = lsh_join(
+            instance.P, instance.Q, spec, family,
+            n_tables=10, hashes_per_table=5, seed=11,
+        )
+        result = engine.join(
+            instance.P, instance.Q, spec, backend="lsh", family=family,
+            n_tables=10, hashes_per_table=5, seed=11,
+        )
+        assert result.matches == legacy.matches
+
+    def test_lsh_matches_direct_index_construction(self, instance, spec):
+        """Same seed ⇒ the engine builds the same LSHIndex the legacy path did."""
+        family = DataDepALSH(32)
+        index = LSHIndex(
+            family, n_tables=10, hashes_per_table=5, seed=11
+        ).build(instance.P)
+        from repro.core.lsh_join import lsh_filter_verify_chunk
+
+        matches, _, _, _ = lsh_filter_verify_chunk(
+            index, instance.P, instance.Q, spec.signed, spec.cs, 0, 1024
+        )
+        result = engine.join(
+            instance.P, instance.Q, spec, backend="lsh", family=family,
+            n_tables=10, hashes_per_table=5, seed=11,
+        )
+        assert result.matches == matches
+
+    def test_sketch(self, instance):
+        legacy = sketch_unsigned_join(
+            instance.P, instance.Q, s=0.85, kappa=3.0, copies=5, seed=5
+        )
+        result = engine.join(
+            instance.P, instance.Q, JoinSpec(s=0.85, signed=False),
+            backend="sketch", kappa=3.0, copies=5, seed=5,
+        )
+        assert result.matches == legacy.matches
+        assert result.spec.c == legacy.spec.c  # the structure's n^{-1/kappa}
+
+    def test_topk_exact(self, instance):
+        tspec = JoinSpec(s=0.3, c=0.9, signed=True)
+        legacy = join_topk(instance.P, instance.Q, tspec, k=4)
+        result = engine.join(
+            instance.P, instance.Q,
+            JoinSpec(s=0.3, c=0.9, signed=True, k=4),
+            backend="brute_force", block=1024,
+        )
+        assert result.topk == legacy
+        assert result.matches == [lst[0] if lst else None for lst in legacy]
+
+    def test_topk_lsh(self, instance):
+        tspec = JoinSpec(s=0.3, c=0.9, signed=True)
+        index = BatchSignIndex.for_datadep(
+            32, n_tables=10, bits_per_table=8, seed=3
+        ).build(instance.P)
+        legacy = lsh_join_topk(instance.P, instance.Q, tspec, k=4, index=index)
+        result = engine.join(
+            instance.P, instance.Q,
+            JoinSpec(s=0.3, c=0.9, signed=True, k=4),
+            backend="lsh", index=index,
+        )
+        assert result.topk == legacy
+
+    @pytest.mark.parametrize("match_duplicates", [True, False])
+    def test_self_exact(self, instance, spec, match_duplicates):
+        legacy = self_join(instance.P, spec, match_duplicates=match_duplicates)
+        result = engine.join(
+            instance.P, None,
+            JoinSpec(s=0.85, c=0.5, self_join=True,
+                     match_duplicates=match_duplicates),
+            backend="brute_force", block=512,
+        )
+        assert result.matches == legacy.matches
+        assert result.inner_products_evaluated == legacy.inner_products_evaluated
+        assert result.candidates_generated == legacy.candidates_generated
+
+    def test_self_lsh(self, instance, spec):
+        index = BatchSignIndex.for_hyperplane(
+            32, n_tables=10, bits_per_table=8, seed=3
+        ).build(instance.P)
+        legacy = lsh_self_join(instance.P, spec, index, block=256)
+        result = engine.join(
+            instance.P, None, JoinSpec(s=0.85, c=0.5, self_join=True),
+            backend="lsh", index=index, block=256,
+        )
+        assert result.matches == legacy.matches
+
+    def test_signed_join_shim_routes_through_engine(self, instance):
+        result = signed_join(instance.P, instance.Q, s=0.85)
+        assert result.backend == "brute_force"
+        assert result.stats is not None and result.stats.queries == 24
+
+    def test_unsigned_join_shim_routes_through_engine(self, instance):
+        result = unsigned_join(instance.P, instance.Q, s=0.85)
+        assert result.backend == "brute_force"
+
+
+class TestAutoDispatch:
+    """backend="auto": valid results, exact on small inputs."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("signed", [True, False])
+    def test_auto_matches_brute_force_on_small_inputs(self, seed, signed):
+        rng = np.random.default_rng(seed)
+        P = rng.standard_normal((200, 16))
+        P /= np.linalg.norm(P, axis=1, keepdims=True)
+        Q = rng.standard_normal((50, 16))
+        Q /= np.linalg.norm(Q, axis=1, keepdims=True)
+        jspec = JoinSpec(s=0.6, c=0.7, signed=signed)
+        reference = brute_force_join(P, Q, jspec)
+        result = engine.join(P, Q, jspec, backend="auto")
+        # On instances this small the planner's fixed build charges make
+        # probabilistic backends uncompetitive: the winner is exact.
+        assert result.backend in ("brute_force", "norm_pruned")
+        assert result.matches == reference.matches
+
+    def test_auto_self_join_small(self):
+        rng = np.random.default_rng(3)
+        P = rng.standard_normal((120, 12))
+        reference = self_join(P, JoinSpec(s=0.5, c=0.8))
+        result = engine.join(
+            P, None, JoinSpec(s=0.5, c=0.8, self_join=True), backend="auto"
+        )
+        assert result.matches == reference.matches
+
+    def test_auto_result_is_valid(self, instance, spec):
+        """Every reported match really clears cs (Definition 1)."""
+        result = engine.join(instance.P, instance.Q, spec, backend="auto")
+        for i, match in enumerate(result.matches):
+            if match is not None:
+                assert float(instance.P[match] @ instance.Q[i]) >= spec.cs
+
+
+class TestPlanner:
+    def test_small_instances_prefer_exact(self):
+        plan = plan_join(100, 20, 16, JoinSpec(s=0.8, c=0.5))
+        assert plan.backend in ("brute_force", "norm_pruned")
+
+    def test_large_gap_instances_prefer_lsh(self):
+        plan = plan_join(2_000_000, 2_000_000, 32, JoinSpec(s=0.9, c=0.3))
+        assert plan.backend == "lsh"
+
+    def test_sketch_feasible_only_unsigned(self):
+        ranked = {
+            e.backend: e
+            for e in plan_join(1000, 100, 16, JoinSpec(s=0.8, c=0.5)).estimates
+        }
+        assert not ranked["sketch"].feasible
+        ranked_u = {
+            e.backend: e
+            for e in plan_join(
+                1000, 100, 16, JoinSpec(s=0.8, c=0.5, signed=False)
+            ).estimates
+        }
+        assert ranked_u["sketch"].feasible
+
+    def test_exact_demand_rules_out_probabilistic(self):
+        ranked = {
+            e.backend: e
+            for e in plan_join(1000, 100, 16, JoinSpec(s=0.8, c=1.0)).estimates
+        }
+        assert not ranked["lsh"].feasible
+        assert not ranked["sketch"].feasible
+        assert ranked["brute_force"].feasible
+
+    def test_topk_variant_feasibility(self):
+        ranked = {
+            e.backend: e
+            for e in plan_join(
+                1000, 100, 16, JoinSpec(s=0.8, c=0.5, k=3)
+            ).estimates
+        }
+        assert ranked["brute_force"].feasible
+        assert not ranked["norm_pruned"].feasible
+        assert not ranked["sketch"].feasible
+
+    def test_estimates_sorted_feasible_then_cheapest(self):
+        plan = plan_join(5000, 500, 32, JoinSpec(s=0.8, c=0.5, signed=False))
+        feasible = [e for e in plan.estimates if e.feasible]
+        assert feasible == sorted(feasible, key=lambda e: e.total_ops)
+        assert plan.estimates[: len(feasible)] == feasible
+
+    def test_engine_plan_entry_point(self, instance, spec):
+        plan = engine.plan(instance.P, instance.Q, spec)
+        assert plan.n == 600 and plan.m == 24 and plan.d == 32
+        assert plan.backend == engine.join(
+            instance.P, instance.Q, spec, backend="auto"
+        ).backend
+
+    def test_calibration_from_bench_dict(self):
+        base = CostModel()
+        calibrated = CostModel.from_bench(
+            {
+                "timings": {"verify_blocked_s": 0.5},
+                "work": {"inner_products_verified": 1_000_000},
+                "meta": {},
+            }
+        )
+        # gemm_op renormalizes to 1; other weights stay relative.
+        assert calibrated.gemm_op == 1.0
+        assert calibrated.hash_op == base.hash_op
+        plan = plan_join(100, 20, 16, JoinSpec(s=0.8, c=0.5), model=calibrated)
+        assert plan.backend in ("brute_force", "norm_pruned")
+
+    def test_calibration_rejects_garbage(self):
+        with pytest.raises(ParameterError):
+            CostModel.from_bench(42)
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        assert available_backends()[:4] == [
+            "brute_force", "norm_pruned", "lsh", "sketch",
+        ]
+
+    def test_unknown_backend_is_loud(self, instance, spec):
+        with pytest.raises(ParameterError, match="unknown backend"):
+            engine.join(instance.P, instance.Q, spec, backend="quantum")
+
+    def test_duplicate_registration_is_loud(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register(get_backend("brute_force"))
+        # Explicit replacement is allowed (and restores the original).
+        register(get_backend("brute_force"), replace=True)
+
+    def test_unnamed_backend_rejected(self):
+        class Nameless(type(get_backend("brute_force"))):
+            name = ""
+
+        with pytest.raises(ParameterError, match="non-empty name"):
+            register(Nameless())
+
+
+class TestOptionValidation:
+    def test_unknown_options_rejected(self, instance, spec):
+        with pytest.raises(ParameterError, match="no extra options"):
+            engine.join(
+                instance.P, instance.Q, spec,
+                backend="brute_force", warp_speed=True,
+            )
+
+    def test_sketch_rejects_signed(self, instance, spec):
+        with pytest.raises(ParameterError, match="unsigned-only"):
+            engine.join(instance.P, instance.Q, spec, backend="sketch")
+
+    def test_norm_pruned_rejects_topk(self, instance):
+        with pytest.raises(ParameterError, match="does not answer"):
+            engine.join(
+                instance.P, instance.Q, JoinSpec(s=0.8, c=0.5, k=2),
+                backend="norm_pruned",
+            )
+
+    def test_self_spec_requires_q_none(self, instance):
+        with pytest.raises(ParameterError, match="pass Q=None"):
+            engine.join(
+                instance.P, instance.Q,
+                JoinSpec(s=0.8, c=0.5, self_join=True),
+            )
+
+    def test_parallel_family_requires_concrete_seed(self, instance, spec):
+        with pytest.raises(ParameterError, match="concrete integer seed"):
+            engine.join(
+                instance.P, instance.Q, spec, backend="lsh",
+                family=DataDepALSH(32), n_workers=2, seed=None,
+            )
+
+
+class TestQueryStatsMerge:
+    def test_merge_is_fieldwise_sum(self):
+        a = QueryStats(queries=2, candidates=10, unique_candidates=7,
+                       probe_candidates=3, probed_buckets=1)
+        b = QueryStats(queries=5, candidates=1, unique_candidates=1)
+        merged = a.merge(b)
+        assert merged == QueryStats(
+            queries=7, candidates=11, unique_candidates=8,
+            probe_candidates=3, probed_buckets=1,
+        )
+        # Monoid laws: commutative, identity.
+        assert b.merge(a) == merged
+        assert a.merge(QueryStats()) == a
+        # Operands unchanged.
+        assert a.queries == 2 and b.queries == 5
+
+    def test_merge_all_skips_none(self):
+        parts = [QueryStats(queries=1), None, QueryStats(candidates=4)]
+        assert QueryStats.merge_all(parts) == QueryStats(queries=1, candidates=4)
+
+    def test_diff_inverts_merge(self):
+        a = QueryStats(queries=2, candidates=10)
+        b = QueryStats(queries=5, candidates=3, probed_buckets=2)
+        assert a.merge(b).diff(a) == b
+
+    @pytest.mark.parametrize("n_workers", [2, 3])
+    def test_engine_stats_identical_serial_vs_parallel(self, instance, spec, n_workers):
+        index_spec = BatchIndexSpec(
+            d=32, scheme="datadep", n_tables=10, bits_per_table=8, seed=3
+        )
+        serial = engine.join(
+            instance.P, instance.Q, spec, backend="lsh",
+            index_spec=index_spec, n_workers=1,
+        )
+        parallel = engine.join(
+            instance.P, instance.Q, spec, backend="lsh",
+            index_spec=index_spec, n_workers=n_workers,
+        )
+        assert parallel.matches == serial.matches
+        assert parallel.stats == serial.stats
+        assert parallel.inner_products_evaluated == serial.inner_products_evaluated
+        assert parallel.candidates_generated == serial.candidates_generated
+
+    def test_brute_force_stats_identical_serial_vs_parallel(self, instance, spec):
+        serial = engine.join(
+            instance.P, instance.Q, spec, backend="brute_force", n_workers=1
+        )
+        parallel = engine.join(
+            instance.P, instance.Q, spec, backend="brute_force", n_workers=3
+        )
+        assert parallel.matches == serial.matches
+        assert parallel.stats == serial.stats
+
+    def test_sketch_stats_identical_serial_vs_parallel(self, instance):
+        uspec = JoinSpec(s=0.85, signed=False)
+        serial = engine.join(
+            instance.P, instance.Q, uspec, backend="sketch",
+            seed=9, n_workers=1,
+        )
+        parallel = engine.join(
+            instance.P, instance.Q, uspec, backend="sketch",
+            seed=9, n_workers=2,
+        )
+        assert parallel.matches == serial.matches
+        assert parallel.stats == serial.stats
+
+
+class TestMIPSEngineJoins:
+    def test_lsh_mips_join_delegates(self, instance, spec):
+        from repro.mips.lsh_engine import LSHMIPS
+
+        mips = LSHMIPS(instance.P, n_tables=10, hashes_per_table=5, seed=11)
+        result = mips.join(instance.Q, spec)
+        assert result.backend == "lsh"
+        direct = engine.join(
+            instance.P, instance.Q, spec, backend="lsh", index=mips.index
+        )
+        assert result.matches == direct.matches
+
+    def test_sketch_mips_join_delegates(self, instance):
+        from repro.mips.sketch_engine import SketchMIPS
+
+        mips = SketchMIPS(instance.P, kappa=3.0, copies=5, seed=5)
+        result = mips.join(instance.Q, s=0.85)
+        assert result.backend == "sketch"
+        assert result.spec.c == pytest.approx(mips.approximation_factor)

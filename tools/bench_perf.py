@@ -25,11 +25,18 @@ Suites (select with ``--suites``):
   ``sketch_unsigned_join`` (batched c-MIPS descents) vs the per-query
   ``SketchCMIPS.query`` loop on a shared structure, identical matches
   asserted.
+* ``planner_dispatch``: the unified engine — the cost-model planner's
+  backend picks across a small (n, d, spec) grid (sanity-checked:
+  small/exact instances pick exact backends, large gapped instances
+  pick approximate ones), and the dispatch overhead of
+  ``repro.engine.join`` vs calling the underlying kernel directly,
+  identical matches asserted.  Full mode fails when the overhead
+  exceeds ``DISPATCH_OVERHEAD_CEILING`` (5%).
 
 Usage::
 
     PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH] \
-        [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop]
+        [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop,planner_dispatch]
 """
 
 from __future__ import annotations
@@ -45,19 +52,24 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.core import JoinSpec, parallel_lsh_join
+from repro.core.brute_force import brute_force_join
 from repro.core.executor import BatchIndexSpec
+from repro.core.lsh_join import lsh_filter_verify_chunk
 from repro.core.problems import JoinResult
 from repro.core.sketch_join import sketch_unsigned_join
 from repro.core.verify import verify_candidates
 from repro.datasets import random_unit
+from repro.engine import join as engine_join
+from repro.engine import plan_join
 from repro.lsh import BatchSignIndex, CrossPolytopeLSH, E2LSH, HyperplaneLSH, LSHIndex
 from repro.sketches import SketchCMIPS
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR3.json")
 
-ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop")
+ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop",
+              "planner_dispatch")
 
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
@@ -74,10 +86,20 @@ SKETCH_FULL = dict(n=20_000, d=64, n_queries=400, kappa=4.0, copies=5,
 SKETCH_QUICK = dict(n=1_000, d=32, n_queries=64, kappa=4.0, copies=5,
                     leaf_size=16, s=3.0, block=128, seed=2016)
 
+PLANNER_FULL = dict(n=20_000, d=64, n_queries=1_000, s=0.75, c=0.8,
+                    n_tables=8, bits_per_table=10, block=256, repeats=9,
+                    seed=2016)
+PLANNER_QUICK = dict(n=2_000, d=32, n_queries=200, s=0.75, c=0.8,
+                     n_tables=4, bits_per_table=8, block=128, repeats=3,
+                     seed=2016)
+
 #: Full-mode speedup floors; quick mode only checks correctness (the
 #: shrunken workloads are too small for stable ratios).
 HASH_SPEEDUP_FLOORS = {"crosspolytope": 10.0, "e2lsh": 10.0}
 SKETCH_JOIN_SPEEDUP_FLOOR = 5.0
+#: Max tolerated relative wall-time overhead of ``repro.engine.join``
+#: over calling the underlying kernel directly (full mode only).
+DISPATCH_OVERHEAD_CEILING = 0.05
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -89,6 +111,26 @@ def _timed(fn: Callable, repeats: int = 1):
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _timed_pair(fn_a: Callable, fn_b: Callable, repeats: int = 1):
+    """Best-of wall times for two functions with interleaved repetitions.
+
+    Alternating a/b within each repetition keeps slow machine-load drift
+    from landing entirely on one side of the ratio — essential when the
+    quantity of interest (dispatch overhead) is a few percent.
+    Returns (seconds_a, seconds_b, last_result_a, last_result_b).
+    """
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result_a = fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        result_b = fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b, result_a, result_b
 
 
 def _assert_same_candidates(a: List[np.ndarray], b: List[np.ndarray]) -> bool:
@@ -217,6 +259,89 @@ def _run_sketch_suite(quick: bool, timings: dict, speedups: dict,
     return cfg
 
 
+#: Exact backends: a planner pick from this set means "no approximation".
+_EXACT_BACKENDS = ("brute_force", "norm_pruned")
+
+#: Dimension-only planner grid: (label, n, m, d, spec).  No data is
+#: materialized; ``plan_join`` ranks backends from the cost model alone.
+_PLANNER_GRID = (
+    ("tiny_signed", 200, 100, 32, JoinSpec(s=0.8, c=0.5)),
+    ("exact_demand_c1", 50_000, 50_000, 64, JoinSpec(s=0.8, c=1.0)),
+    ("large_gap_signed", 2_000_000, 2_000_000, 32, JoinSpec(s=0.9, c=0.3)),
+    ("large_gap_unsigned", 2_000_000, 2_000_000, 32,
+     JoinSpec(s=0.9, c=0.3, signed=False)),
+    ("topk_small", 5_000, 500, 32, JoinSpec(s=0.3, c=0.9, k=4)),
+)
+
+
+def _run_planner_suite(quick: bool, timings: dict, speedups: dict,
+                       work: dict, checks: dict) -> dict:
+    """Planner picks over a (n, m, d, spec) grid + engine dispatch overhead."""
+    cfg = PLANNER_QUICK if quick else PLANNER_FULL
+    n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
+    seed, block, repeats = cfg["seed"], cfg["block"], cfg["repeats"]
+    print(f"[bench_perf] planner suite: n={n} d={d} queries={nq} "
+          f"repeats={repeats}", flush=True)
+
+    # --- planner picks (dimension-only, no data) ----------------------
+    picks = {}
+    for label, gn, gm, gd, gspec in _PLANNER_GRID:
+        plan = plan_join(gn, gm, gd, gspec)
+        picks[label] = plan.backend
+    work["planner_picks"] = picks
+    checks["planner_tiny_picks_exact"] = picks["tiny_signed"] in _EXACT_BACKENDS
+    checks["planner_exact_demand_picks_exact"] = (
+        picks["exact_demand_c1"] in _EXACT_BACKENDS)
+    checks["planner_large_gap_picks_approximate"] = (
+        picks["large_gap_signed"] in ("lsh", "sketch")
+        and picks["large_gap_unsigned"] in ("lsh", "sketch"))
+
+    # --- dispatch overhead: engine.join vs the bare kernel ------------
+    spec = JoinSpec(s=cfg["s"], c=cfg["c"])
+    P = random_unit(n, d, seed=seed) * 0.95
+    Q = random_unit(nq, d, seed=seed + 1) * 0.95
+
+    print("[bench_perf] dispatch: brute_force engine vs kernel ...", flush=True)
+    direct_brute_s, engine_brute_s, direct_brute, engine_brute = _timed_pair(
+        lambda: brute_force_join(P, Q, spec, block=block),
+        lambda: engine_join(P, Q, spec, backend="brute_force", block=block),
+        repeats=repeats)
+
+    print("[bench_perf] dispatch: lsh engine vs kernel ...", flush=True)
+    index = BatchSignIndex.for_hyperplane(
+        d, n_tables=cfg["n_tables"], bits_per_table=cfg["bits_per_table"],
+        seed=seed + 2).build(P)
+    direct_lsh_s, engine_lsh_s, direct_lsh, engine_lsh = _timed_pair(
+        lambda: lsh_filter_verify_chunk(index, P, Q, True, spec.cs, 0, block),
+        lambda: engine_join(P, Q, spec, backend="lsh", index=index, block=block),
+        repeats=repeats)
+
+    overhead_brute = engine_brute_s / direct_brute_s - 1.0
+    overhead_lsh = engine_lsh_s / direct_lsh_s - 1.0
+    timings["dispatch_brute_kernel_s"] = direct_brute_s
+    timings["dispatch_brute_engine_s"] = engine_brute_s
+    timings["dispatch_lsh_kernel_s"] = direct_lsh_s
+    timings["dispatch_lsh_engine_s"] = engine_lsh_s
+    speedups["engine_vs_kernel_brute_force"] = direct_brute_s / engine_brute_s
+    speedups["engine_vs_kernel_lsh"] = direct_lsh_s / engine_lsh_s
+    work["dispatch_overhead_brute_force"] = overhead_brute
+    work["dispatch_overhead_lsh"] = overhead_lsh
+    work["dispatch_matched"] = engine_brute.matched_count
+    checks["dispatch_brute_matches_equal"] = (
+        engine_brute.matches == direct_brute.matches
+        and engine_brute.inner_products_evaluated
+        == direct_brute.inner_products_evaluated)
+    checks["dispatch_lsh_matches_equal"] = (
+        engine_lsh.matches == direct_lsh[0]
+        and engine_lsh.inner_products_evaluated == direct_lsh[1])
+    if not quick:
+        checks["dispatch_overhead_brute_within_ceiling"] = (
+            overhead_brute <= DISPATCH_OVERHEAD_CEILING)
+        checks["dispatch_overhead_lsh_within_ceiling"] = (
+            overhead_lsh <= DISPATCH_OVERHEAD_CEILING)
+    return cfg
+
+
 def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     suites = tuple(suites)
     unknown = [s for s in suites if s not in ALL_SUITES]
@@ -248,6 +373,9 @@ def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     if "sketch_batch_vs_loop" in suites:
         sketch_cfg = _run_sketch_suite(quick, timings, speedups, work, checks)
         report["meta"]["sketch_suite"] = dict(sketch_cfg)
+    if "planner_dispatch" in suites:
+        planner_cfg = _run_planner_suite(quick, timings, speedups, work, checks)
+        report["meta"]["planner_suite"] = dict(planner_cfg)
     return report
 
 
@@ -423,6 +551,19 @@ def validate_schema(report: dict) -> None:
         assert "sketch_join_blocked_vs_loop" in report["speedups"]
         assert "sketch_join_matches_equal" in report["checks"]
         assert "sketch_query_indices_equal" in report["checks"]
+    if "planner_dispatch" in suites:
+        for key in ("dispatch_brute_kernel_s", "dispatch_brute_engine_s",
+                    "dispatch_lsh_kernel_s", "dispatch_lsh_engine_s"):
+            assert key in report["timings"], f"missing timing {key}"
+        for key in ("engine_vs_kernel_brute_force", "engine_vs_kernel_lsh"):
+            assert key in report["speedups"], f"missing speedup {key}"
+        assert isinstance(report["work"].get("planner_picks"), dict)
+        for key in ("planner_tiny_picks_exact",
+                    "planner_exact_demand_picks_exact",
+                    "planner_large_gap_picks_approximate",
+                    "dispatch_brute_matches_equal",
+                    "dispatch_lsh_matches_equal"):
+            assert key in report["checks"], f"missing check {key}"
     assert all(isinstance(v, bool) for v in report["checks"].values())
 
 
@@ -465,6 +606,14 @@ def main(argv: Optional[List[str]] = None) -> dict:
         print(f"[bench_perf] sketch join blocked vs loop: "
               f"{report['speedups']['sketch_join_blocked_vs_loop']:.1f}x "
               f"(query_batch {report['speedups']['sketch_query_batch_vs_loop']:.1f}x)")
+    if "planner_dispatch" in suites:
+        picks = ", ".join(f"{k}={v}"
+                          for k, v in report["work"]["planner_picks"].items())
+        print(f"[bench_perf] planner picks: {picks}")
+        print(f"[bench_perf] dispatch overhead: brute "
+              f"{report['work']['dispatch_overhead_brute_force'] * 100:+.1f}%, "
+              f"lsh {report['work']['dispatch_overhead_lsh'] * 100:+.1f}% "
+              f"(ceiling {DISPATCH_OVERHEAD_CEILING * 100:.0f}%, full mode)")
     if failed:
         print(f"[bench_perf] FAILED checks: {failed}", file=sys.stderr)
         raise SystemExit(1)
