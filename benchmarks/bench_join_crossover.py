@@ -23,7 +23,14 @@ from repro.core import (
     sketch_unsigned_join,
 )
 from repro.datasets import planted_mips
+from repro.engine import join as engine_join
 from repro.lsh import DataDepALSH
+from repro.obs import (
+    PlannerLog,
+    format_pick_distribution,
+    format_regret_table,
+    use_planner_log,
+)
 
 
 def test_join_crossover_table(benchmark):
@@ -79,6 +86,37 @@ def test_join_crossover_table(benchmark):
 
     text = benchmark.pedantic(build, rounds=1, iterations=1)
     emit("join_crossover", text)
+
+
+def test_planner_pick_distribution(benchmark):
+    """Run a sweep under every backend + auto; report planner regret.
+
+    Every engine join appends to the active
+    :class:`~repro.obs.planner_log.PlannerLog`; running the same
+    instance under each explicit backend gives regret its measured
+    denominators, and the auto rows show what the planner picked and
+    what it cost relative to the measured-fastest backend.
+    """
+    d = 24
+
+    def build():
+        log = PlannerLog()
+        with use_planner_log(log):
+            for n in (256, 512, 1024, 2048):
+                inst = planted_mips(n, 16, d, s=0.85, c=0.4, seed=n)
+                spec = JoinSpec(s=inst.s, c=0.4, signed=False)
+                for backend in ("brute_force", "norm_pruned", "lsh", "sketch"):
+                    engine_join(inst.P, inst.Q, spec, backend=backend, seed=1)
+                engine_join(inst.P, inst.Q, spec, backend="auto", seed=1)
+        return (
+            "== planner regret ==\n"
+            + format_regret_table(log)
+            + "\n\n== auto pick distribution ==\n"
+            + format_pick_distribution(log)
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("planner_pick_distribution", text)
 
 
 def test_exact_join_n1024(benchmark):

@@ -18,6 +18,7 @@ from repro.core.problems import (
     QueryStats,
     validate_join_inputs,
 )
+from repro.obs.trace import span
 from repro.utils.validation import check_matrix, check_vector
 
 
@@ -40,15 +41,16 @@ def brute_force_chunk(
     best_index = np.full(mc, -1, dtype=np.int64)
     for q0 in range(0, mc, block):
         q_block = Q_chunk[q0:q0 + block]
-        for p0 in range(0, n, block):
-            ips = q_block @ P[p0:p0 + block].T  # (mb, nb)
-            scores = ips if signed else np.abs(ips)
-            local_best = np.argmax(scores, axis=1)
-            local_vals = scores[np.arange(scores.shape[0]), local_best]
-            improved = local_vals > best_value[q0:q0 + block]
-            rows = np.flatnonzero(improved) + q0
-            best_value[rows] = local_vals[improved]
-            best_index[rows] = local_best[improved] + p0
+        with span("scan", n_queries=q_block.shape[0]):
+            for p0 in range(0, n, block):
+                ips = q_block @ P[p0:p0 + block].T  # (mb, nb)
+                scores = ips if signed else np.abs(ips)
+                local_best = np.argmax(scores, axis=1)
+                local_vals = scores[np.arange(scores.shape[0]), local_best]
+                improved = local_vals > best_value[q0:q0 + block]
+                rows = np.flatnonzero(improved) + q0
+                best_value[rows] = local_vals[improved]
+                best_index[rows] = local_best[improved] + p0
     matches = [
         int(best_index[i]) if best_value[i] >= cs else None for i in range(mc)
     ]

@@ -240,11 +240,38 @@ def _sketch_runner(structure, P, Q_chunk, start, args):
 
 
 def _engine_runner(structure, P, Q_chunk, start, args):
-    """Chunk runner for the unified engine: dispatch to a named backend."""
+    """Chunk runner for the unified engine: dispatch to a named backend.
+
+    ``args`` is ``(backend_name,)`` or ``(backend_name, observe)``.  With
+    ``observe`` set, the chunk runs under a fresh tracer + metrics
+    registry — in *every* execution mode, so a serial join and each
+    parallel worker produce the same detached per-chunk span tree — and
+    ships them back on the :class:`~repro.engine.protocol.ChunkResult`
+    (spans as plain dataclasses, metrics as a snapshot dict; both
+    pickle).  The parent stitches chunk trees under its ``run`` span and
+    merges metric snapshots in chunk order, which keeps parallel totals
+    bit-identical to serial ones.
+    """
     from repro.engine.registry import get_backend
 
-    (backend_name,) = args
-    return get_backend(backend_name).run_chunk(structure, P, Q_chunk, start)
+    backend_name, observe = args if len(args) == 2 else (args[0], False)
+    backend = get_backend(backend_name)
+    if not observe:
+        return backend.run_chunk(structure, P, Q_chunk, start)
+
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs import observe as activate_obs
+
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry(enabled=True)
+    with activate_obs(tracer, registry):
+        with tracer.span(
+            "run_chunk", start=int(start), n_queries=int(Q_chunk.shape[0])
+        ):
+            result = backend.run_chunk(structure, P, Q_chunk, start)
+    result.trace = tracer.take()
+    result.metrics = registry.snapshot()
+    return result
 
 
 def merge_join_chunks(

@@ -24,6 +24,7 @@ from repro.core.verify import DEFAULT_BLOCK, verify_block
 from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
 from repro.lsh.index import block_candidates
+from repro.obs.trace import span
 from repro.utils.rng import SeedLike
 
 
@@ -50,8 +51,10 @@ def lsh_filter_verify_chunk(
     verified = 0
     for q0 in range(0, Q_chunk.shape[0], block):
         Q_block = Q_chunk[q0:q0 + block]
-        cand_lists = block_candidates(index, Q_block, n_probes)
-        result = verify_block(P, Q_block, cand_lists, signed=signed)
+        with span("candidates", n_queries=Q_block.shape[0]):
+            cand_lists = block_candidates(index, Q_block, n_probes)
+        with span("verify"):
+            result = verify_block(P, Q_block, cand_lists, signed=signed)
         verified += result.n_evaluated
         matches.extend(
             int(idx) if idx >= 0 and score >= cs else None

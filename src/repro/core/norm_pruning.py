@@ -26,6 +26,7 @@ from typing import Tuple
 from repro.core.problems import JoinResult, JoinSpec, QueryStats
 from repro.core.verify import GEMM_ADVANTAGE
 from repro.errors import ParameterError
+from repro.obs.trace import span
 from repro.utils.validation import check_matrix, check_vector
 
 
@@ -179,12 +180,13 @@ def norm_scan_chunk(
     matches: List[Optional[int]] = []
     work = 0
     for q0 in range(0, Q_chunk.shape[0], block):
-        indices, _, evaluated = index.query_block(
-            Q_chunk[q0:q0 + block],
-            threshold=cs,
-            signed=signed,
-            block=scan_block,
-        )
+        with span("scan", n_queries=min(block, Q_chunk.shape[0] - q0)):
+            indices, _, evaluated = index.query_block(
+                Q_chunk[q0:q0 + block],
+                threshold=cs,
+                signed=signed,
+                block=scan_block,
+            )
         work += int(evaluated.sum())
         matches.extend(int(i) if i >= 0 else None for i in indices)
     stats = QueryStats(

@@ -210,6 +210,15 @@ class JoinResult:
             (``None`` for results built outside the engine).
         stats: unified per-backend :class:`QueryStats`, merged across
             chunks/workers with :meth:`QueryStats.merge`.
+        trace: when the engine ran with ``trace=True``, the root
+            :class:`~repro.obs.trace.Span` of the join's span tree
+            (planner / prepare / per-chunk / merge); ``None`` otherwise.
+        metrics: when the engine ran with ``trace=True``, the join's
+            :class:`~repro.obs.metrics.MetricsRegistry` (worker
+            snapshots merged in chunk order, ``QueryStats`` folded in);
+            ``None`` otherwise.
+        wall_s: wall-clock seconds of the engine dispatch (always
+            recorded; feeds :class:`~repro.obs.planner_log.PlannerLog`).
     """
 
     matches: List[Optional[int]]
@@ -219,6 +228,9 @@ class JoinResult:
     topk: Optional[List[List[int]]] = None
     backend: Optional[str] = None
     stats: Optional[QueryStats] = None
+    trace: Optional[object] = None
+    metrics: Optional[object] = None
+    wall_s: float = 0.0
 
     @property
     def matched_count(self) -> int:

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.problems import JoinResult, QueryStats
 from repro.core.verify import DEFAULT_BLOCK, verify_candidates
 from repro.errors import ParameterError
+from repro.obs.trace import span
 from repro.sketches.cmips import SketchCMIPS
 from repro.utils.rng import SeedLike
 
@@ -53,15 +54,17 @@ def sketch_filter_verify_chunk(
     empty = np.empty(0, dtype=np.int64)
     for q0 in range(0, Q_chunk.shape[0], block):
         Q_block = Q_chunk[q0:q0 + block]
-        answers = structure.query_batch(Q_block)
+        with span("sketch_propose", n_queries=Q_block.shape[0]):
+            answers = structure.query_batch(Q_block)
         evaluated += per_query * Q_block.shape[0]
         proposals = [
             np.array([idx], dtype=np.int64) if idx >= 0 else empty
             for idx in answers.indices
         ]
-        block_matches, _ = verify_candidates(
-            P, Q_block, proposals, threshold=cs, signed=False, block=block
-        )
+        with span("verify"):
+            block_matches, _ = verify_candidates(
+                P, Q_block, proposals, threshold=cs, signed=False, block=block
+            )
         matches.extend(block_matches)
     generated = len(matches)
     stats = QueryStats(

@@ -43,6 +43,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.lsh.csr import sorted_unique
+from repro.obs.metrics import current_metrics
 
 DEFAULT_BLOCK = 256
 
@@ -105,7 +106,13 @@ def verify_block(
             union = np.flatnonzero(present)
         else:
             union = sorted_unique(all_cands)
+    metrics = current_metrics()
+    if metrics.enabled:
+        metrics.counter("verify.pairs_evaluated").inc(evaluated)
     if union is not None and union.size * b <= GEMM_ADVANTAGE * evaluated:
+        if metrics.enabled:
+            metrics.counter("verify.gemm_blocks").inc()
+            metrics.histogram("verify.gemm_union_rows").observe(int(union.size))
         # Overlapping block: one GEMM covers every (query, candidate)
         # pair, and the per-query maxima come out of one segmented
         # reduction — no Python executes per query.
@@ -131,6 +138,8 @@ def verify_block(
     else:
         # Sparse-overlap block: the union GEMM would waste arithmetic;
         # one gathered GEMV per non-empty candidate list is cheaper.
+        if metrics.enabled:
+            metrics.counter("verify.gemv_blocks").inc()
         for qi, cands in enumerate(cand_lists):
             if cands.size == 0:
                 continue

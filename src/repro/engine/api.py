@@ -20,10 +20,25 @@ through this function:
 Because serial execution is literally the one-chunk case of the same
 code, ``n_workers`` is an orthogonal knob: it never changes matches,
 work counters, or stats.
+
+Observability (:mod:`repro.obs`) hangs off the same path.  With
+``trace=True`` the dispatch runs under a span tracer — ``planner``,
+``prepare`` (with the index/sketch ``build``), one ``run_chunk`` tree
+per chunk (stitched back from workers when ``n_workers > 1``), and
+``merge`` — and a metrics registry that folds in the merged
+:class:`~repro.core.problems.QueryStats` plus the kernels' GEMM/bucket
+instruments; both land on the returned ``JoinResult``.  Independently of
+tracing, every dispatch appends one
+:class:`~repro.obs.planner_log.PlannerRecord` (predictions for auto
+picks, measured wall time for all) to the process-current
+:class:`~repro.obs.planner_log.PlannerLog` for regret analysis and
+cost-model recalibration.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Optional
 
@@ -37,6 +52,8 @@ from repro.core.verify import DEFAULT_BLOCK
 from repro.engine.planner import CostModel, JoinPlan, plan_join
 from repro.engine.registry import get_backend
 from repro.errors import ParameterError
+from repro.obs import MetricsRegistry, Tracer, observe
+from repro.obs.planner_log import PlannerRecord, current_log
 from repro.utils.validation import check_matrix
 
 
@@ -70,6 +87,24 @@ def plan(
     return plan_join(P.shape[0], Q.shape[0], P.shape[1], spec, model)
 
 
+def _fold_stats_metrics(registry: MetricsRegistry, result: JoinResult) -> None:
+    """Mirror the merged work counters into engine-level metric names."""
+    registry.counter("engine.joins").inc()
+    registry.counter("engine.inner_products_evaluated").inc(
+        result.inner_products_evaluated
+    )
+    registry.counter("engine.candidates_generated").inc(
+        result.candidates_generated
+    )
+    stats = result.stats
+    if stats is not None:
+        registry.counter("engine.queries").inc(stats.queries)
+        registry.counter("engine.candidates").inc(stats.candidates)
+        registry.counter("engine.unique_candidates").inc(stats.unique_candidates)
+        registry.counter("engine.probe_candidates").inc(stats.probe_candidates)
+        registry.counter("engine.probed_buckets").inc(stats.probed_buckets)
+
+
 def join(
     P,
     Q,
@@ -80,6 +115,7 @@ def join(
     n_workers: int = 1,
     block: int = DEFAULT_BLOCK,
     model: Optional[CostModel] = None,
+    trace: bool = False,
     **options,
 ) -> JoinResult:
     """Answer a ``(cs, s)`` join (any variant) through one dispatch path.
@@ -100,7 +136,13 @@ def join(
             for any value.
         block: query block size; chunk boundaries align to it.
         model: optional calibrated :class:`~repro.engine.planner.CostModel`
-            for ``backend="auto"``.
+            for ``backend="auto"``; when omitted, the persisted
+            calibration cache is consulted
+            (:func:`~repro.engine.planner.default_model`).
+        trace: record a span trace and metrics for this join; the
+            result's ``trace``/``metrics`` fields carry them.  Off by
+            default — the disabled instrumentation path costs < 2% (the
+            ``obs_overhead`` bench enforces it).
         options: backend-specific options (``family=...``, ``index=...``,
             ``kappa=...``, ``scan_block=...``, ...), validated by the
             chosen backend's ``prepare``.
@@ -108,26 +150,93 @@ def join(
     Returns:
         A :class:`~repro.core.problems.JoinResult` carrying matches (and
         ``topk`` lists for ``spec.k`` tasks), work counters, the backend
-        name, and merged :class:`~repro.core.problems.QueryStats`.
+        name, merged :class:`~repro.core.problems.QueryStats`, and — for
+        traced joins — the span tree and metrics registry.
     """
     P, Q, spec = _normalize_inputs(P, Q, spec)
-    if backend == "auto":
-        backend = plan_join(
-            P.shape[0], Q.shape[0], P.shape[1], spec, model
-        ).backend
-    impl = get_backend(backend)
-    payload, final_spec = impl.prepare(
-        P, spec, seed=seed, block=block, n_workers=n_workers, **options
+    tracer = Tracer(enabled=trace)
+    registry = MetricsRegistry(enabled=trace)
+    requested = backend
+    wall_start = time.perf_counter()
+    # Activating the tracer/registry as process-current lets kernel-level
+    # instrumentation inside prepare/build attach to this join's tree.
+    obs_ctx = observe(tracer, registry) if trace else nullcontext()
+    with obs_ctx, tracer.span(
+        "engine.join",
+        backend=requested,
+        n=int(P.shape[0]),
+        m=int(Q.shape[0]),
+        d=int(P.shape[1]),
+        variant=spec.variant,
+        n_workers=int(n_workers),
+    ):
+        join_plan = None
+        with tracer.span("planner") as planner_span:
+            if backend == "auto":
+                join_plan = plan_join(
+                    P.shape[0], Q.shape[0], P.shape[1], spec, model
+                )
+                backend = join_plan.backend
+                if planner_span is not None:
+                    planner_span.attrs.update(
+                        picked=backend,
+                        ranking=[
+                            (e.backend, e.total_ops)
+                            for e in join_plan.feasible
+                        ],
+                    )
+            elif planner_span is not None:
+                planner_span.attrs.update(picked=backend, source="explicit")
+        impl = get_backend(backend)
+        with tracer.span("prepare", backend=backend):
+            payload, final_spec = impl.prepare(
+                P, spec, seed=seed, block=block, n_workers=n_workers, **options
+            )
+            if trace and n_workers == 1 and hasattr(payload, "build"):
+                # Serial runs build here so the trace prices construction;
+                # parallel runs keep the payload lazy (workers rebuild).
+                with tracer.span("build"):
+                    payload = payload.build(P)
+        with tracer.span("run") as run_span:
+            chunks = map_query_chunks(
+                payload, P, Q, _engine_runner, (backend, trace),
+                n_workers=n_workers, block=block,
+            )
+        if run_span is not None:
+            run_span.children.extend(c.trace for c in chunks if c.trace)
+        with tracer.span("merge"):
+            result = merge_join_chunks(
+                [(c.matches, c.evaluated, c.generated, c.stats) for c in chunks],
+                final_spec,
+                backend=backend,
+            )
+            if final_spec.is_topk:
+                result.topk = [lst for c in chunks for lst in (c.topk or [])]
+    result.wall_s = time.perf_counter() - wall_start
+    if trace:
+        for c in chunks:
+            registry.merge_snapshot(c.metrics)
+        _fold_stats_metrics(registry, result)
+        result.trace = tracer.take()
+        result.metrics = registry
+    current_log().record(
+        PlannerRecord(
+            n=int(P.shape[0]),
+            m=int(Q.shape[0]),
+            d=int(P.shape[1]),
+            s=float(spec.s),
+            c=float(spec.c),
+            signed=bool(spec.signed),
+            variant=spec.variant,
+            mode="auto" if requested == "auto" else "explicit",
+            picked=backend,
+            wall_s=result.wall_s,
+            predicted={
+                e.backend: e.total_ops for e in join_plan.feasible
+            } if join_plan is not None else {},
+            evaluated=int(result.inner_products_evaluated),
+            generated=int(result.candidates_generated),
+            n_workers=int(n_workers),
+        )
     )
-    chunks = map_query_chunks(
-        payload, P, Q, _engine_runner, (backend,),
-        n_workers=n_workers, block=block,
-    )
-    result = merge_join_chunks(
-        [(c.matches, c.evaluated, c.generated, c.stats) for c in chunks],
-        final_spec,
-        backend=backend,
-    )
-    if final_spec.is_topk:
-        result.topk = [lst for c in chunks for lst in (c.topk or [])]
     return result

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field, replace
+import os
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, List, Optional
 
 from repro.core.problems import JoinSpec
@@ -148,9 +149,144 @@ class CostModel:
             updates["gemm_op"] = 1.0
         return replace(cls(), **updates)
 
+    @classmethod
+    def from_planner_log(cls, source) -> "CostModel":
+        """Calibrate op weights from measured joins in a planner log.
+
+        The sibling of :meth:`from_bench` fed by production telemetry
+        instead of a synthetic micro-bench: ``source`` is a
+        :class:`~repro.obs.planner_log.PlannerLog` (or a path to one
+        saved as JSONL).  Every record carries the instance shape, the
+        backend that ran, measured wall seconds, and the join's work
+        counters, which is enough to re-fit the signals the estimates
+        are most sensitive to — missing signals leave defaults, so a log
+        with only one backend still calibrates what it can:
+
+        * ``brute_force`` records re-fit ``gemm_op`` from achieved
+          multiply-adds per second (``n * m * d / wall``);
+        * ``norm_pruned`` records re-fit ``norm_prefix_fraction`` from
+          the fraction of the quadratic pair count actually evaluated;
+        * ``lsh`` records re-fit ``lsh_candidate_fraction`` from
+          candidates generated per (query, data) pair.
+        """
+        from repro.obs.planner_log import PlannerLog
+
+        log = PlannerLog.load(source) if isinstance(source, (str, bytes)) else source
+        updates: Dict[str, float] = {}
+        gemm_rates = [
+            r.n * r.m * r.d / r.wall_s
+            for r in log
+            if r.picked == "brute_force" and r.wall_s > 0
+        ]
+        if gemm_rates:
+            # The best rate is the least noise-inflated estimate of
+            # sustained GEMM throughput (slower runs include warm-up).
+            updates["gemm_op"] = _REFERENCE_GEMM_OPS_PER_S / max(gemm_rates)
+        prefix_fracs = [
+            r.evaluated / (r.n * r.m)
+            for r in log
+            if r.picked == "norm_pruned" and r.evaluated > 0
+        ]
+        if prefix_fracs:
+            updates["norm_prefix_fraction"] = min(
+                1.0, sum(prefix_fracs) / len(prefix_fracs)
+            )
+        cand_fracs = [
+            r.generated / (r.n * r.m)
+            for r in log
+            if r.picked == "lsh" and r.generated > 0
+        ]
+        if cand_fracs:
+            updates["lsh_candidate_fraction"] = min(
+                1.0, sum(cand_fracs) / len(cand_fracs)
+            )
+        if "gemm_op" in updates and updates["gemm_op"] > 0:
+            # Like from_bench: weights are relative, GEMM is the unit.
+            # The fraction fields are dimensionless and stay as fitted.
+            updates["gemm_op"] = 1.0
+        return replace(cls(), **updates)
+
+    def save(self, path: str) -> str:
+        """Persist this model as JSON; returns the written path.
+
+        The default location ``~/.repro/costmodel.json`` is what
+        :func:`default_model` (hence ``backend="auto"``) picks up on the
+        next process start.
+        """
+        payload = {"format": "repro-costmodel-v1", **asdict(self)}
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "CostModel":
+        """Read a model written by :meth:`save` (unknown keys ignored)."""
+        with open(path) as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict):
+            raise ParameterError(f"{path}: cost model file must hold an object")
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for key, value in payload.items():
+            if key not in known:
+                continue
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ParameterError(
+                    f"{path}: field {key!r} must be a number, got {value!r}"
+                )
+            kwargs[key] = float(value)
+        return cls(**kwargs)
+
 
 #: The process-wide default model (uncalibrated).
 DEFAULT_MODEL = CostModel()
+
+#: Where :func:`default_model` looks for a persisted calibration unless
+#: the ``REPRO_COSTMODEL`` environment variable overrides it.
+DEFAULT_MODEL_PATH = os.path.join("~", ".repro", "costmodel.json")
+
+#: One-entry cache for :func:`default_model`: (path, mtime_ns, model).
+_MODEL_CACHE: Optional[tuple] = None
+
+
+def default_model() -> CostModel:
+    """The model ``backend="auto"`` uses when none is passed explicitly.
+
+    Resolution order:
+
+    1. ``REPRO_COSTMODEL`` set to a non-empty path — load that file;
+    2. ``REPRO_COSTMODEL`` set but empty — the builtin
+       :data:`DEFAULT_MODEL` (an explicit opt-out, used by the test
+       suite for isolation from developer machines);
+    3. unset — ``~/.repro/costmodel.json`` when present (written by
+       :meth:`CostModel.save`, e.g. via ``tools/planner_report.py
+       --write-model``).
+
+    A missing or unreadable file silently falls back to the builtin
+    defaults: a stale calibration must never break joins.  Loads are
+    cached on ``(path, mtime)``, so the per-join cost is one ``stat``.
+    """
+    global _MODEL_CACHE
+    env = os.environ.get("REPRO_COSTMODEL")
+    if env is not None and not env:
+        return DEFAULT_MODEL
+    path = os.path.expanduser(env if env else DEFAULT_MODEL_PATH)
+    try:
+        mtime = os.stat(path).st_mtime_ns
+    except OSError:
+        return DEFAULT_MODEL
+    cached = _MODEL_CACHE
+    if cached is not None and cached[0] == path and cached[1] == mtime:
+        return cached[2]
+    try:
+        model = CostModel.load(path)
+    except (OSError, ValueError, ParameterError):
+        return DEFAULT_MODEL
+    _MODEL_CACHE = (path, mtime, model)
+    return model
 
 
 @dataclass(frozen=True)
@@ -202,7 +338,7 @@ def plan_join(
         raise ParameterError(
             f"instance shape must be positive, got n={n}, m={m}, d={d}"
         )
-    model = model or DEFAULT_MODEL
+    model = model or default_model()
     estimates = [
         get_backend(name).estimate_cost(n, m, d, spec, model)
         for name in available_backends()

@@ -66,6 +66,13 @@ class ChunkResult:
     is this chunk's :class:`~repro.core.problems.QueryStats` *delta*
     (reused index counters are snapshot-diffed by the kernels), so
     chunk results merge with plain sums and :meth:`QueryStats.merge`.
+
+    When the engine runs with observability on, the executor's runner
+    also fills ``trace`` (this chunk's detached
+    :class:`~repro.obs.trace.Span` tree) and ``metrics`` (a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict); both are
+    plain data, so they cross process boundaries with the rest of the
+    result and stitch deterministically in chunk order.
     """
 
     matches: List[Optional[int]]
@@ -73,6 +80,8 @@ class ChunkResult:
     generated: int = 0
     stats: QueryStats = field(default_factory=QueryStats)
     topk: Optional[List[List[int]]] = None
+    trace: Any = None
+    metrics: Optional[dict] = None
 
 
 class JoinBackend(ABC):

@@ -44,6 +44,8 @@ from repro.embeddings.mips_reductions import (
 from repro.errors import ParameterError
 from repro.core.problems import QueryStats
 from repro.lsh.csr import CSRBucketTable, merge_candidates_per_query
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import span
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix
 
@@ -173,7 +175,8 @@ class BatchSignIndex:
 
     def build(self, P) -> "BatchSignIndex":
         P = check_matrix(P, "P")
-        keys = self._keys(self.data_transform(P))
+        with span("hash", side="data", n_rows=P.shape[0]):
+            keys = self._keys(self.data_transform(P))
         if self.layout == "csr":
             # Table-major flat layout: keys grouped by table, row ids
             # ascending inside each table, so the stable bucket sort
@@ -182,6 +185,11 @@ class BatchSignIndex:
             rows = np.tile(np.arange(P.shape[0], dtype=np.int64), self.n_tables)
             table = CSRBucketTable.from_keys(fused, rows=rows)
             self._tables = table
+            metrics = current_metrics()
+            if metrics.enabled:
+                metrics.histogram("lsh.bucket_occupancy").observe_array(
+                    np.diff(table.offsets)
+                )
             space = self.n_tables << self.bits_per_table
             if space <= DENSE_LOOKUP_MAX:
                 starts = np.zeros(space, dtype=np.int64)
@@ -225,8 +233,9 @@ class BatchSignIndex:
         Q = check_matrix(Q, "Q", allow_empty=True)
         if Q.shape[0] == 0:
             return []
-        values = self._projections_of(self.query_transform(Q))  # (n, L, k)
-        keys = self._pack(values, self._weights)
+        with span("hash", side="query", n_rows=Q.shape[0]):
+            values = self._projections_of(self.query_transform(Q))  # (n, L, k)
+            keys = self._pack(values, self._weights)
         if self.layout == "csr":
             return self._candidates_batch_csr(keys, values, n_probes)
         return self._candidates_batch_dict(keys, values, n_probes)

@@ -37,6 +37,8 @@ from repro.errors import ParameterError
 from repro.lsh.base import AsymmetricLSHFamily
 from repro.lsh.batch_hash import GenericHashTables
 from repro.lsh.csr import CSRBucketTable, merge_candidates_per_query
+from repro.obs.metrics import current_metrics
+from repro.obs.trace import span
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_matrix
 
@@ -126,10 +128,16 @@ class LSHIndex:
     def build(self, P) -> "LSHIndex":
         """Hash every row of ``P`` into every table."""
         P = check_matrix(P, "P")
-        keys = self._hasher.hash_matrix(P, side="data")
+        with span("hash", side="data", n_rows=P.shape[0]):
+            keys = self._hasher.hash_matrix(P, side="data")
         self._tables = [
             CSRBucketTable.from_keys(keys[:, t]) for t in range(self.n_tables)
         ]
+        metrics = current_metrics()
+        if metrics.enabled:
+            occupancy = metrics.histogram("lsh.bucket_occupancy")
+            for table in self._tables:
+                occupancy.observe_array(np.diff(table.offsets))
         self._data = P
         return self
 
@@ -155,7 +163,8 @@ class LSHIndex:
         n_queries = Q.shape[0]
         if n_queries == 0:
             return []
-        query_keys = self._hasher.hash_matrix(Q, side="query")
+        with span("hash", side="query", n_rows=n_queries):
+            query_keys = self._hasher.hash_matrix(Q, side="query")
         all_rows = []
         all_query_ids = []
         query_range = np.arange(n_queries, dtype=np.int64)

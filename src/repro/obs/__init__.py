@@ -1,0 +1,72 @@
+"""Observability: span tracing, metrics, exporters, planner regret.
+
+The telemetry layer under ``repro.engine.join(..., trace=True)``:
+
+* :mod:`repro.obs.trace` — nested spans (``perf_counter_ns``) with a
+  near-zero-cost disabled path; worker span trees pickle back to the
+  parent and stitch into one trace.
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms whose
+  parallel merges are bit-identical to serial runs.
+* :mod:`repro.obs.export` — JSON and Prometheus-text exporters plus the
+  human-readable :func:`~repro.obs.export.trace_summary`.
+* :mod:`repro.obs.planner_log` — per-join records of planner
+  predictions vs measured wall time, regret scoring, and the feedback
+  path into :meth:`repro.engine.planner.CostModel.from_planner_log`.
+
+See ``docs/OBSERVABILITY.md`` for the guide.
+"""
+
+from contextlib import contextmanager
+
+from repro.obs.export import (
+    metrics_to_json,
+    metrics_to_prometheus,
+    trace_summary,
+    trace_to_json,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    use_metrics,
+)
+from repro.obs.planner_log import (
+    PlannerLog,
+    PlannerRecord,
+    current_log,
+    format_pick_distribution,
+    format_regret_table,
+    use_planner_log,
+)
+from repro.obs.trace import Span, Tracer, current_tracer, span, use_tracer
+
+
+@contextmanager
+def observe(tracer: Tracer, metrics: MetricsRegistry):
+    """Activate a tracer and a registry together for one block of work."""
+    with use_tracer(tracer), use_metrics(metrics):
+        yield tracer, metrics
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "use_tracer",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "use_metrics",
+    "observe",
+    "trace_to_json",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "trace_summary",
+    "PlannerLog",
+    "PlannerRecord",
+    "current_log",
+    "use_planner_log",
+    "format_regret_table",
+    "format_pick_distribution",
+]

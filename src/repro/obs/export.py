@@ -1,0 +1,146 @@
+"""Exporters: traces and metrics as JSON, Prometheus text, and prose.
+
+Three consumers, three formats:
+
+* :func:`trace_to_json` / :func:`metrics_to_json` — machine-readable
+  artifacts (benchmark records, CI uploads, offline diffing).
+* :func:`metrics_to_prometheus` — the Prometheus text exposition format
+  (one scrape's worth; counters, gauges, and cumulative-bucket
+  histograms), so a serving deployment can lift the registry straight
+  onto a ``/metrics`` endpoint.
+* :func:`trace_summary` — the human-readable report: the span tree with
+  sibling spans of one name aggregated (a 400-chunk join prints one
+  ``run_chunk x400`` line, not 400 lines), percentages against the
+  parent, and the registry's headline numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+#: Metric names are dotted (``verify.gemm_blocks``); Prometheus wants
+#: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+_PROM_BAD = str.maketrans({".": "_", "-": "_", " ": "_", "/": "_"})
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    return f"{prefix}_{name}".translate(_PROM_BAD)
+
+
+def trace_to_json(trace: Span, indent: Optional[int] = None) -> str:
+    """One span tree as a JSON document."""
+    return json.dumps(trace.to_dict(), indent=indent, sort_keys=False)
+
+
+def metrics_to_json(
+    metrics: Union[MetricsRegistry, dict], indent: Optional[int] = None
+) -> str:
+    """A registry (or a registry snapshot) as a JSON document."""
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def metrics_to_prometheus(
+    metrics: Union[MetricsRegistry, dict], prefix: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Histograms follow the convention: cumulative ``_bucket`` series with
+    ``le`` labels (ending at ``le="+Inf"``), plus ``_sum`` and
+    ``_count``.
+    """
+    snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {snapshot['gauges'][name]}")
+    for name in sorted(snapshot.get("histograms", {})):
+        payload = snapshot["histograms"][name]
+        metric = _prom_name(prefix, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += count
+            label = f"{bound:g}"
+            lines.append(f'{metric}_bucket{{le="{label}"}} {cumulative}')
+        cumulative += payload["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {payload['sum']}")
+        lines.append(f"{metric}_count {payload['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _format_ms(ns: int) -> str:
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.1f}ms"
+    return f"{ns / 1e3:.0f}us"
+
+
+def _render_group(
+    name: str,
+    spans: List[Span],
+    parent_ns: int,
+    depth: int,
+    lines: List[str],
+) -> None:
+    total_ns = sum(s.duration_ns for s in spans)
+    share = f" ({100.0 * total_ns / parent_ns:.0f}%)" if parent_ns else ""
+    mult = f" x{len(spans)}" if len(spans) > 1 else ""
+    attrs = ""
+    if len(spans) == 1 and spans[0].attrs:
+        rendered = ", ".join(f"{k}={v}" for k, v in spans[0].attrs.items())
+        attrs = f"  [{rendered}]"
+    lines.append(
+        f"{'  ' * depth}{name}{mult}: {_format_ms(total_ns)}{share}{attrs}"
+    )
+    # Aggregate the children of every span in the group by name, in
+    # first-appearance order, and recurse on the merged groups.
+    groups: dict = {}
+    for parent in spans:
+        for child in parent.children:
+            groups.setdefault(child.name, []).append(child)
+    for child_name, members in groups.items():
+        _render_group(child_name, members, total_ns, depth + 1, lines)
+
+
+def trace_summary(
+    trace: Span,
+    metrics: Union[MetricsRegistry, dict, None] = None,
+    max_metrics: int = 30,
+) -> str:
+    """Human-readable report for one trace (and optionally its metrics)."""
+    lines: List[str] = []
+    _render_group(trace.name, [trace], 0, 0, lines)
+    if metrics is not None:
+        snapshot = (
+            metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+        )
+        rows: List[str] = []
+        for name in sorted(snapshot.get("counters", {})):
+            rows.append(f"  {name} = {snapshot['counters'][name]}")
+        for name in sorted(snapshot.get("gauges", {})):
+            rows.append(f"  {name} = {snapshot['gauges'][name]}")
+        for name in sorted(snapshot.get("histograms", {})):
+            payload = snapshot["histograms"][name]
+            mean = payload["sum"] / payload["count"] if payload["count"] else 0.0
+            rows.append(
+                f"  {name}: count={payload['count']} mean={mean:.1f} "
+                f"sum={payload['sum']}"
+            )
+        if rows:
+            lines.append("metrics:")
+            lines.extend(rows[:max_metrics])
+            if len(rows) > max_metrics:
+                lines.append(f"  ... and {len(rows) - max_metrics} more")
+    return "\n".join(lines)

@@ -1,0 +1,205 @@
+"""Named counters, gauges, and histograms for the join engine.
+
+A :class:`MetricsRegistry` is a flat name -> instrument map.  Like the
+tracer (:mod:`repro.obs.trace`), the process-current registry is
+disabled by default and instrumentation sites guard on ``.enabled``, so
+the hooks in hot kernels (:mod:`repro.core.verify`,
+:mod:`repro.lsh.index`) cost one attribute check when observability is
+off.
+
+Determinism contract: every instrument merges with integer (or exact
+float) sums, and the engine merges worker snapshots in chunk order —
+so a parallel join reports metric totals bit-identical to the serial
+run, the same guarantee :meth:`repro.core.problems.QueryStats.merge`
+gives the work counters.
+
+Histograms use *fixed* bucket bounds chosen at first observation
+(power-of-two by default), never adaptive ones: two registries can only
+merge when their bucket layouts agree, and fixed bounds make layouts a
+pure function of the instrument name.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Default histogram upper bounds: powers of two through 2^24, matching
+#: the dynamic range of candidate-list sizes, bucket occupancies, and
+#: GEMM union sizes this library produces.
+POW2_BOUNDS: Tuple[float, ...] = tuple(float(2 ** e) for e in range(25))
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound histogram with exact ``count``/``sum`` side totals.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in an implicit overflow bucket, so ``len(counts) ==
+    len(bounds) + 1``.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Sequence[float] = POW2_BOUNDS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ParameterError("histogram bounds must be non-empty ascending")
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value) -> None:
+        self.counts[self._bucket(value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def observe_array(self, values: np.ndarray) -> None:
+        """Vectorized :meth:`observe` over a flat numeric array."""
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        buckets = np.searchsorted(self.bounds, values, side="left")
+        for b, c in zip(*np.unique(buckets, return_counts=True)):
+            self.counts[int(b)] += int(c)
+        self.count += int(values.size)
+        # Sum in int space when possible so parallel merges stay exact.
+        total = values.sum()
+        self.sum += int(total) if np.issubdtype(values.dtype, np.integer) else float(total)
+
+    def _bucket(self, value) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Flat name -> instrument map with snapshot/merge for worker fan-in."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) ---------------------
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(self, name: str, bounds: Sequence[float] = POW2_BOUNDS) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            h = self._histograms[name] = Histogram(bounds)
+            return h
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument (picklable, mergeable)."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Optional[dict]) -> None:
+        """Fold a :meth:`snapshot` into this registry (sums; gauges last-write)."""
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            h = self.histogram(name, payload["bounds"])
+            if list(h.bounds) != list(payload["bounds"]):
+                raise ParameterError(
+                    f"histogram {name!r} bucket layouts disagree; cannot merge"
+                )
+            for i, c in enumerate(payload["counts"]):
+                h.counts[i] += c
+            h.count += payload["count"]
+            h.sum += payload["sum"]
+
+    def names(self) -> List[str]:
+        return sorted(
+            list(self._counters) + list(self._gauges) + list(self._histograms)
+        )
+
+
+#: The process-current registry; disabled by default (see module doc).
+_DISABLED = MetricsRegistry(enabled=False)
+_CURRENT: MetricsRegistry = _DISABLED
+
+
+def current_metrics() -> MetricsRegistry:
+    return _CURRENT
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` the process-current registry within the block."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = registry
+    try:
+        yield registry
+    finally:
+        _CURRENT = previous

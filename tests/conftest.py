@@ -4,6 +4,18 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _builtin_cost_model(monkeypatch):
+    """Isolate tests from any persisted ``~/.repro/costmodel.json``.
+
+    An empty ``REPRO_COSTMODEL`` tells
+    :func:`repro.engine.planner.default_model` to use the builtin
+    defaults, so planner-dependent tests behave the same on every
+    machine regardless of local calibration state.
+    """
+    monkeypatch.setenv("REPRO_COSTMODEL", "")
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""

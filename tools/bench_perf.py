@@ -32,11 +32,20 @@ Suites (select with ``--suites``):
   ``repro.engine.join`` vs calling the underlying kernel directly,
   identical matches asserted.  Full mode fails when the overhead
   exceeds ``DISPATCH_OVERHEAD_CEILING`` (5%).
+* ``obs_overhead``: the observability hooks — the instrumented LSH
+  kernel (``span()`` calls present, tracing disabled, the default
+  state every kernel now runs in) vs an inline span-free twin of the
+  same loop, paired interleaved timing, identical matches asserted.
+  Full mode fails when the disabled-hook overhead exceeds
+  ``OBS_OVERHEAD_CEILING`` (2%).  Also records the informational cost
+  of ``trace=True`` through the engine and the per-call price of a
+  disabled ``span()``.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH] \
-        [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop,planner_dispatch]
+        [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop,\
+planner_dispatch,obs_overhead]
 """
 
 from __future__ import annotations
@@ -57,19 +66,21 @@ from repro.core.executor import BatchIndexSpec
 from repro.core.lsh_join import lsh_filter_verify_chunk
 from repro.core.problems import JoinResult
 from repro.core.sketch_join import sketch_unsigned_join
-from repro.core.verify import verify_candidates
+from repro.core.verify import verify_block, verify_candidates
 from repro.datasets import random_unit
 from repro.engine import join as engine_join
 from repro.engine import plan_join
 from repro.lsh import BatchSignIndex, CrossPolytopeLSH, E2LSH, HyperplaneLSH, LSHIndex
+from repro.lsh.index import block_candidates
+from repro.obs.trace import span
 from repro.sketches import SketchCMIPS
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR4.json")
 
 ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop",
-              "planner_dispatch")
+              "planner_dispatch", "obs_overhead")
 
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
@@ -87,11 +98,16 @@ SKETCH_QUICK = dict(n=1_000, d=32, n_queries=64, kappa=4.0, copies=5,
                     leaf_size=16, s=3.0, block=128, seed=2016)
 
 PLANNER_FULL = dict(n=20_000, d=64, n_queries=1_000, s=0.75, c=0.8,
-                    n_tables=8, bits_per_table=10, block=256, repeats=9,
+                    n_tables=8, bits_per_table=10, block=256, repeats=21,
                     seed=2016)
 PLANNER_QUICK = dict(n=2_000, d=32, n_queries=200, s=0.75, c=0.8,
                      n_tables=4, bits_per_table=8, block=128, repeats=3,
                      seed=2016)
+
+OBS_FULL = dict(n=50_000, d=64, n_queries=10_000, s=0.75, c=0.8, n_tables=8,
+                bits_per_table=10, block=256, repeats=21, seed=2016)
+OBS_QUICK = dict(n=2_000, d=32, n_queries=256, s=0.75, c=0.8, n_tables=4,
+                 bits_per_table=8, block=128, repeats=3, seed=2016)
 
 #: Full-mode speedup floors; quick mode only checks correctness (the
 #: shrunken workloads are too small for stable ratios).
@@ -100,6 +116,10 @@ SKETCH_JOIN_SPEEDUP_FLOOR = 5.0
 #: Max tolerated relative wall-time overhead of ``repro.engine.join``
 #: over calling the underlying kernel directly (full mode only).
 DISPATCH_OVERHEAD_CEILING = 0.05
+#: Max tolerated relative wall-time overhead of the disabled
+#: observability hooks: the instrumented kernel vs a span-free twin of
+#: the same loop (full mode only).
+OBS_OVERHEAD_CEILING = 0.02
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -117,20 +137,22 @@ def _timed_pair(fn_a: Callable, fn_b: Callable, repeats: int = 1):
     """Best-of wall times for two functions with interleaved repetitions.
 
     Alternating a/b within each repetition keeps slow machine-load drift
-    from landing entirely on one side of the ratio — essential when the
-    quantity of interest (dispatch overhead) is a few percent.
+    from landing entirely on one side of the ratio, and alternating
+    which side runs *first* across repetitions cancels position bias
+    (the first run of a round pays cold caches / allocator growth for
+    both) — essential when the quantity of interest (dispatch or
+    observability overhead) is a few percent.
     Returns (seconds_a, seconds_b, last_result_a, last_result_b).
     """
-    best_a = best_b = float("inf")
-    result_a = result_b = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result_a = fn_a()
-        best_a = min(best_a, time.perf_counter() - start)
-        start = time.perf_counter()
-        result_b = fn_b()
-        best_b = min(best_b, time.perf_counter() - start)
-    return best_a, best_b, result_a, result_b
+    best = {"a": float("inf"), "b": float("inf")}
+    results = {"a": None, "b": None}
+    labelled = (("a", fn_a), ("b", fn_b))
+    for i in range(repeats):
+        for label, fn in labelled if i % 2 == 0 else labelled[::-1]:
+            start = time.perf_counter()
+            results[label] = fn()
+            best[label] = min(best[label], time.perf_counter() - start)
+    return best["a"], best["b"], results["a"], results["b"]
 
 
 def _assert_same_candidates(a: List[np.ndarray], b: List[np.ndarray]) -> bool:
@@ -342,6 +364,94 @@ def _run_planner_suite(quick: bool, timings: dict, speedups: dict,
     return cfg
 
 
+def _lsh_chunk_span_free(index, P, Q_chunk, signed: bool, cs: float,
+                         block: int):
+    """:func:`lsh_filter_verify_chunk` with the ``span()`` calls removed.
+
+    Kept line-for-line in sync with the kernel so the timed pair differs
+    only in the observability hooks — the quantity the ``obs_overhead``
+    suite exists to bound.
+    """
+    before = index.stats.copy()
+    matches: List[Optional[int]] = []
+    verified = 0
+    for q0 in range(0, Q_chunk.shape[0], block):
+        Q_block = Q_chunk[q0:q0 + block]
+        cand_lists = block_candidates(index, Q_block, 0)
+        result = verify_block(P, Q_block, cand_lists, signed=signed)
+        verified += result.n_evaluated
+        matches.extend(
+            int(idx) if idx >= 0 and score >= cs else None
+            for idx, score in zip(result.best_index, result.best_score)
+        )
+    delta = index.stats.diff(before)
+    return matches, verified, delta.candidates, delta
+
+
+def _run_obs_suite(quick: bool, timings: dict, speedups: dict,
+                   work: dict, checks: dict) -> dict:
+    """Cost of the observability hooks, disabled (ceiling) and enabled."""
+    cfg = OBS_QUICK if quick else OBS_FULL
+    n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
+    seed, block, repeats = cfg["seed"], cfg["block"], cfg["repeats"]
+    print(f"[bench_perf] obs suite: n={n} d={d} queries={nq} "
+          f"repeats={repeats}", flush=True)
+    spec = JoinSpec(s=cfg["s"], c=cfg["c"])
+    P = random_unit(n, d, seed=seed) * 0.95
+    Q = random_unit(nq, d, seed=seed + 1) * 0.95
+    index = BatchSignIndex.for_hyperplane(
+        d, n_tables=cfg["n_tables"], bits_per_table=cfg["bits_per_table"],
+        seed=seed + 2).build(P)
+
+    # --- disabled hooks: instrumented kernel vs span-free twin --------
+    print("[bench_perf] obs: instrumented kernel vs span-free twin ...",
+          flush=True)
+    bare_s, hooked_s, bare, hooked = _timed_pair(
+        lambda: _lsh_chunk_span_free(index, P, Q, True, spec.cs, block),
+        lambda: lsh_filter_verify_chunk(index, P, Q, True, spec.cs, 0, block),
+        repeats=repeats)
+    overhead_disabled = hooked_s / bare_s - 1.0
+
+    # --- enabled hooks: traced vs untraced engine join (informational)
+    print("[bench_perf] obs: engine join traced vs untraced ...", flush=True)
+    untraced_s, traced_s, untraced, traced = _timed_pair(
+        lambda: engine_join(P, Q, spec, backend="lsh", index=index,
+                            block=block),
+        lambda: engine_join(P, Q, spec, backend="lsh", index=index,
+                            block=block, trace=True),
+        repeats=repeats)
+    overhead_traced = traced_s / untraced_s - 1.0
+
+    # --- microbench: per-call price of a disabled span() --------------
+    calls = 20_000 if quick else 200_000
+    span_s, _ = _timed(
+        lambda: [span("bench") for _ in range(calls)], repeats=3)
+
+    timings["obs_kernel_span_free_s"] = bare_s
+    timings["obs_kernel_instrumented_s"] = hooked_s
+    timings["obs_engine_untraced_s"] = untraced_s
+    timings["obs_engine_traced_s"] = traced_s
+    timings["obs_span_disabled_ns"] = span_s / calls * 1e9
+    speedups["obs_span_free_vs_instrumented"] = hooked_s / bare_s
+    work["obs_overhead_disabled"] = overhead_disabled
+    work["obs_overhead_traced"] = overhead_traced
+    def count_spans(node):
+        return 1 + sum(count_spans(c) for c in node.children)
+
+    work["obs_traced_span_count"] = (
+        count_spans(traced.trace) if traced.trace is not None else 0)
+    checks["obs_matches_equal"] = (
+        hooked[0] == bare[0] and hooked[1] == bare[1]
+        and traced.matches == untraced.matches
+        and traced.matches == hooked[0])
+    checks["obs_trace_present_when_requested"] = (
+        traced.trace is not None and untraced.trace is None)
+    if not quick:
+        checks["obs_overhead_disabled_within_ceiling"] = (
+            overhead_disabled <= OBS_OVERHEAD_CEILING)
+    return cfg
+
+
 def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     suites = tuple(suites)
     unknown = [s for s in suites if s not in ALL_SUITES]
@@ -365,6 +475,16 @@ def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
         "work": work,
         "checks": checks,
     }
+    # The overhead suites (few-percent paired ratios) run FIRST: after
+    # the n=100k core workload has fragmented the allocator, the
+    # engine-side extra allocations price 2-3 points higher than in a
+    # fresh process, which is heap state, not dispatch cost.
+    if "planner_dispatch" in suites:
+        planner_cfg = _run_planner_suite(quick, timings, speedups, work, checks)
+        report["meta"]["planner_suite"] = dict(planner_cfg)
+    if "obs_overhead" in suites:
+        obs_cfg = _run_obs_suite(quick, timings, speedups, work, checks)
+        report["meta"]["obs_suite"] = dict(obs_cfg)
     if "core" in suites:
         _run_core_suite(quick, report["meta"], timings, speedups, work, checks)
     if "hash_batch_vs_generic" in suites:
@@ -373,9 +493,6 @@ def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     if "sketch_batch_vs_loop" in suites:
         sketch_cfg = _run_sketch_suite(quick, timings, speedups, work, checks)
         report["meta"]["sketch_suite"] = dict(sketch_cfg)
-    if "planner_dispatch" in suites:
-        planner_cfg = _run_planner_suite(quick, timings, speedups, work, checks)
-        report["meta"]["planner_suite"] = dict(planner_cfg)
     return report
 
 
@@ -564,6 +681,16 @@ def validate_schema(report: dict) -> None:
                     "dispatch_brute_matches_equal",
                     "dispatch_lsh_matches_equal"):
             assert key in report["checks"], f"missing check {key}"
+    if "obs_overhead" in suites:
+        for key in ("obs_kernel_span_free_s", "obs_kernel_instrumented_s",
+                    "obs_engine_untraced_s", "obs_engine_traced_s",
+                    "obs_span_disabled_ns"):
+            assert key in report["timings"], f"missing timing {key}"
+        for key in ("obs_overhead_disabled", "obs_overhead_traced",
+                    "obs_traced_span_count"):
+            assert key in report["work"], f"missing work {key}"
+        for key in ("obs_matches_equal", "obs_trace_present_when_requested"):
+            assert key in report["checks"], f"missing check {key}"
     assert all(isinstance(v, bool) for v in report["checks"].values())
 
 
@@ -614,6 +741,14 @@ def main(argv: Optional[List[str]] = None) -> dict:
               f"{report['work']['dispatch_overhead_brute_force'] * 100:+.1f}%, "
               f"lsh {report['work']['dispatch_overhead_lsh'] * 100:+.1f}% "
               f"(ceiling {DISPATCH_OVERHEAD_CEILING * 100:.0f}%, full mode)")
+    if "obs_overhead" in suites:
+        print(f"[bench_perf] obs overhead: disabled "
+              f"{report['work']['obs_overhead_disabled'] * 100:+.2f}% "
+              f"(ceiling {OBS_OVERHEAD_CEILING * 100:.0f}%, full mode), "
+              f"traced {report['work']['obs_overhead_traced'] * 100:+.1f}% "
+              f"({report['work']['obs_traced_span_count']} spans, "
+              f"disabled span() "
+              f"{report['timings']['obs_span_disabled_ns']:.0f} ns)")
     if failed:
         print(f"[bench_perf] FAILED checks: {failed}", file=sys.stderr)
         raise SystemExit(1)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Planner regret report: score ``backend="auto"`` against measurements.
+
+Reads a planner log saved as JSONL (``PlannerLog.save``) — typically
+produced by a sweep that runs each instance under every explicit backend
+plus ``"auto"``, e.g.::
+
+    PYTHONPATH=src python benchmarks/bench_join_crossover.py \
+        --planner-log planner_log.jsonl
+    PYTHONPATH=src python tools/planner_report.py planner_log.jsonl
+
+and prints, per auto-dispatched join, the backend the planner picked,
+the measured-fastest backend for that instance, both wall times, and the
+regret (``wall(picked) / wall(fastest) - 1``), plus the overall pick
+distribution.
+
+``--write-model`` closes the loop: it re-fits the cost model from the
+measured records (:meth:`repro.engine.planner.CostModel.from_planner_log`)
+and persists it where ``backend="auto"`` looks on the next process start
+(``~/.repro/costmodel.json``, or the ``REPRO_COSTMODEL`` path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.engine.planner import DEFAULT_MODEL_PATH, CostModel  # noqa: E402
+from repro.obs.planner_log import (  # noqa: E402
+    PlannerLog,
+    format_pick_distribution,
+    format_regret_table,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("log", help="planner log (JSONL, from PlannerLog.save)")
+    parser.add_argument(
+        "--write-model",
+        nargs="?",
+        const=os.path.expanduser(DEFAULT_MODEL_PATH),
+        default=None,
+        metavar="PATH",
+        help="re-fit the cost model from the log's measurements and save "
+        "it (default path: %(const)s)",
+    )
+    args = parser.parse_args(argv)
+
+    log = PlannerLog.load(args.log)
+    print(f"planner log: {args.log} ({len(log)} records)")
+    print()
+    print("== regret (auto picks vs measured fastest) ==")
+    print(format_regret_table(log))
+    print()
+    print("== auto pick distribution ==")
+    print(format_pick_distribution(log))
+
+    if args.write_model:
+        model = CostModel.from_planner_log(log)
+        path = model.save(args.write_model)
+        print()
+        print(f"calibrated cost model written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
