@@ -33,14 +33,24 @@ from repro.obs import (
 )
 
 
-def test_join_crossover_table(benchmark):
-    d = 24
+#: The sweep grid: (n, d, s, c).  The n-sweep at the reference shape
+#: carries the asymptotic crossover; the d/s/c spokes show how the
+#: picture moves with dimension, threshold, and approximation factor.
+CROSSOVER_GRID = (
+    *((n, 24, 0.85, 0.4) for n in (256, 512, 1024, 2048, 4096)),
+    *((n, 20, 0.85, 0.4) for n in (512, 2048)),
+    *((n, 48, 0.85, 0.4) for n in (512, 2048)),
+    *((n, 24, 0.90, 0.6) for n in (512, 2048)),
+    *((n, 24, 0.75, 0.3) for n in (512, 2048)),
+)
 
+
+def test_join_crossover_table(benchmark):
     def build():
         rows = []
-        for n in (256, 512, 1024, 2048):
-            inst = planted_mips(n, 16, d, s=0.85, c=0.4, seed=n)
-            spec = JoinSpec(s=inst.s, c=0.4)
+        for n, d, s, c in CROSSOVER_GRID:
+            inst = planted_mips(n, 16, d, s=s, c=c, seed=n + d)
+            spec = JoinSpec(s=inst.s, c=c)
             timings = {}
 
             start = time.perf_counter()
@@ -73,14 +83,15 @@ def test_join_crossover_table(benchmark):
             for name, result in (("exact", exact), ("lsh", approx),
                                  ("lsh-csr", batch), ("sketch", sketched)):
                 rows.append([
-                    n, name,
+                    n, d, f"{s:g}", f"{c:g}", name,
                     f"{timings[name] * 1e3:.1f} ms",
                     result.inner_products_evaluated,
                     f"{result.inner_products_evaluated / (n * 16):.4f}",
                     f"{result.recall_against(exact):.2f}",
                 ])
         return format_table(
-            ["n", "algorithm", "wall time", "pairs verified", "fraction of n*m", "recall"],
+            ["n", "d", "s", "c", "algorithm", "wall time", "pairs verified",
+             "fraction of n*m", "recall"],
             rows,
         )
 
@@ -97,14 +108,12 @@ def test_planner_pick_distribution(benchmark):
     denominators, and the auto rows show what the planner picked and
     what it cost relative to the measured-fastest backend.
     """
-    d = 24
-
     def build():
         log = PlannerLog()
         with use_planner_log(log):
-            for n in (256, 512, 1024, 2048):
-                inst = planted_mips(n, 16, d, s=0.85, c=0.4, seed=n)
-                spec = JoinSpec(s=inst.s, c=0.4, signed=False)
+            for n, d, s, c in CROSSOVER_GRID:
+                inst = planted_mips(n, 16, d, s=s, c=c, seed=n + d)
+                spec = JoinSpec(s=inst.s, c=c, signed=False)
                 for backend in ("brute_force", "norm_pruned", "lsh", "sketch"):
                     engine_join(inst.P, inst.Q, spec, backend=backend, seed=1)
                 engine_join(inst.P, inst.Q, spec, backend="auto", seed=1)

@@ -242,19 +242,25 @@ def _sketch_runner(structure, P, Q_chunk, start, args):
 def _engine_runner(structure, P, Q_chunk, start, args):
     """Chunk runner for the unified engine: dispatch to a named backend.
 
-    ``args`` is ``(backend_name,)`` or ``(backend_name, observe)``.  With
-    ``observe`` set, the chunk runs under a fresh tracer + metrics
-    registry — in *every* execution mode, so a serial join and each
-    parallel worker produce the same detached per-chunk span tree — and
-    ships them back on the :class:`~repro.engine.protocol.ChunkResult`
-    (spans as plain dataclasses, metrics as a snapshot dict; both
-    pickle).  The parent stitches chunk trees under its ``run`` span and
-    merges metric snapshots in chunk order, which keeps parallel totals
-    bit-identical to serial ones.
+    ``args`` is ``(backend_name,)``, ``(backend_name, observe)`` or
+    ``(backend_name, observe, stage_label)``.  With ``observe`` set, the
+    chunk runs under a fresh tracer + metrics registry — in *every*
+    execution mode, so a serial join and each parallel worker produce
+    the same detached per-chunk span tree — and ships them back on the
+    :class:`~repro.engine.protocol.ChunkResult` (spans as plain
+    dataclasses, metrics as a snapshot dict; both pickle).  The parent
+    stitches chunk trees under its ``run`` span and merges metric
+    snapshots in chunk order, which keeps parallel totals bit-identical
+    to serial ones.  ``stage_label`` (multi-stage plans) is stamped on
+    the ``run_chunk`` span so detached chunk trees stay attributable to
+    their stage; one-stage joins omit it and keep the pre-Plan-IR span
+    shape.
     """
     from repro.engine.registry import get_backend
 
-    backend_name, observe = args if len(args) == 2 else (args[0], False)
+    backend_name = args[0]
+    observe = args[1] if len(args) > 1 else False
+    stage_label = args[2] if len(args) > 2 else ""
     backend = get_backend(backend_name)
     if not observe:
         return backend.run_chunk(structure, P, Q_chunk, start)
@@ -262,12 +268,13 @@ def _engine_runner(structure, P, Q_chunk, start, args):
     from repro.obs import MetricsRegistry, Tracer
     from repro.obs import observe as activate_obs
 
+    attrs = dict(start=int(start), n_queries=int(Q_chunk.shape[0]))
+    if stage_label:
+        attrs["stage"] = stage_label
     tracer = Tracer(enabled=True)
     registry = MetricsRegistry(enabled=True)
     with activate_obs(tracer, registry):
-        with tracer.span(
-            "run_chunk", start=int(start), n_queries=int(Q_chunk.shape[0])
-        ):
+        with tracer.span("run_chunk", **attrs):
             result = backend.run_chunk(structure, P, Q_chunk, start)
     result.trace = tracer.take()
     result.metrics = registry.snapshot()

@@ -158,6 +158,127 @@ class NormScanIndex:
         best_indices[misses] = -1
         return best_indices, best_values, work
 
+    def _collect_topk(self, buf, scores, start: int, threshold: float, k: int):
+        """Merge one prefix step's above-threshold scores into a top-k buffer.
+
+        ``buf`` holds ``(score, global_index)`` pairs ranked by
+        ``(-score, index)`` — the deterministic tie order the top-k scan
+        reports — and is kept truncated to ``k``.
+        """
+        for local in np.flatnonzero(scores >= threshold):
+            buf.append((float(scores[local]), int(self.order[start + local])))
+        buf.sort(key=lambda entry: (-entry[0], entry[1]))
+        del buf[k:]
+
+    def topk_block(
+        self,
+        Q_block,
+        threshold: float,
+        k: int,
+        signed: bool = True,
+        block: int = 256,
+    ) -> Tuple[List[List[int]], np.ndarray]:
+        """Top-k-above-threshold lists for the rows of ``Q_block``.
+
+        The LEMP-style extension of :meth:`query_block`: the same
+        norm-ordered prefix walk, but each query keeps its ``k`` best
+        above-``threshold`` scores instead of a single champion.  A query
+        leaves the active set once its k-th best score reaches the
+        ``|p| |q|`` bound of the next prefix step — no later vector can
+        then displace any of its current top k.  Ties rank by
+        ``(-score, index)``.  Returns ``(topk_lists, work)``.
+        """
+        Q_block = check_matrix(Q_block, "Q", allow_empty=True)
+        b = Q_block.shape[0]
+        if b and Q_block.shape[1] != self.d:
+            raise ParameterError(
+                f"expected query dimension {self.d}, got {Q_block.shape[1]}"
+            )
+        work = np.zeros(b, dtype=np.int64)
+        buffers: List[List[Tuple[float, int]]] = [[] for _ in range(b)]
+        if b == 0:
+            return [], work
+        # k-th best collected score per query; -inf until k entries clear
+        # the threshold, so the stop rule below cannot fire early.
+        kth_best = np.full(b, -np.inf)
+        q_norms = np.linalg.norm(Q_block, axis=1)
+        limits = np.array(
+            [self.prefix_length(float(qn), threshold) for qn in q_norms],
+            dtype=np.int64,
+        )
+        active = limits > 0
+        start = 0
+        max_limit = int(limits.max())
+        while start < max_limit and active.any():
+            stop = min(start + block, max_limit)
+            bound = self.norms[start] * q_norms
+            active &= ~(kth_best >= bound)
+            active &= limits > start
+            qidx = np.flatnonzero(active)
+            if qidx.size == 0:
+                start = stop
+                continue
+            stops = np.minimum(limits[qidx], stop)
+            evaluated = int((stops - start).sum())
+            work[qidx] += stops - start
+            if (stop - start) * qidx.size <= GEMM_ADVANTAGE * evaluated:
+                values = self.P_sorted[start:stop] @ Q_block[qidx].T
+                scores = values if signed else np.abs(values)
+                rows = np.arange(start, stop)[:, None]
+                scores = np.where(rows < stops[None, :], scores, -np.inf)
+                for pos, qi in enumerate(qidx):
+                    self._collect_topk(
+                        buffers[qi], scores[:, pos], start, threshold, k
+                    )
+            else:
+                for qi, q_stop in zip(qidx, stops):
+                    vals = self.P_sorted[start:q_stop] @ Q_block[qi]
+                    sc = vals if signed else np.abs(vals)
+                    self._collect_topk(buffers[qi], sc, start, threshold, k)
+            for qi in qidx:
+                if len(buffers[qi]) == k:
+                    kth_best[qi] = buffers[qi][-1][0]
+            start = stop
+        lists = [[gidx for _, gidx in buf] for buf in buffers]
+        return lists, work
+
+
+def norm_scan_topk_chunk(
+    index: NormScanIndex,
+    Q_chunk,
+    signed: bool,
+    cs: float,
+    k: int,
+    scan_block: int,
+    block: int,
+) -> Tuple[List[List[int]], int, int, QueryStats]:
+    """Prefix-pruned exact top-k over one contiguous query chunk.
+
+    Returns ``(topk_lists, inner_products_evaluated,
+    candidates_generated, stats)`` — the same tuple shape as
+    :func:`repro.core.topk.topk_chunk`, and the same lists on tie-free
+    data, evaluating only the norm-qualified prefixes.  Chunk boundaries
+    must align to ``block`` multiples (the executor's contract), for the
+    same GEMM/GEMV cost-test reason as :func:`norm_scan_chunk`.
+    """
+    out: List[List[int]] = []
+    work = 0
+    for q0 in range(0, Q_chunk.shape[0], block):
+        with span("scan", n_queries=min(block, Q_chunk.shape[0] - q0)):
+            lists, evaluated = index.topk_block(
+                Q_chunk[q0:q0 + block],
+                threshold=cs,
+                k=k,
+                signed=signed,
+                block=scan_block,
+            )
+        work += int(evaluated.sum())
+        out.extend(lists)
+    stats = QueryStats(
+        queries=len(out), candidates=work, unique_candidates=work
+    )
+    return out, work, work, stats
+
 
 def norm_scan_chunk(
     index: NormScanIndex,

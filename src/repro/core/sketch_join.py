@@ -75,6 +75,55 @@ def sketch_filter_verify_chunk(
     return matches, evaluated, generated, stats
 
 
+def sketch_self_chunk(
+    structure: SketchCMIPS,
+    P,
+    Q_chunk,
+    start: int,
+    cs: float,
+    block: int,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Sketch self-join over the chunk ``P[start:start+len(Q_chunk)]``.
+
+    The self-join variant of :func:`sketch_filter_verify_chunk`: each
+    query is a row of ``P``, and its identical pair is masked *inside*
+    the recovery descent (``query_batch(..., exclude=...)``) rather than
+    filtered afterwards — the descent itself proposes the best *other*
+    vector, so the single-proposal-per-query shape is preserved.  The
+    tuple shape and the verify path match the two-set chunk.
+    """
+    if block < 1:
+        raise ParameterError(f"block must be >= 1, got {block}")
+    per_query = structure.recovery.query_cost() // max(1, P.shape[1])
+    evaluated = 0
+    matches: List[Optional[int]] = []
+    empty = np.empty(0, dtype=np.int64)
+    for q0 in range(0, Q_chunk.shape[0], block):
+        Q_block = Q_chunk[q0:q0 + block]
+        exclude = np.arange(
+            start + q0, start + q0 + Q_block.shape[0], dtype=np.int64
+        )
+        with span("sketch_propose", n_queries=Q_block.shape[0]):
+            answers = structure.query_batch(Q_block, exclude=exclude)
+        evaluated += per_query * Q_block.shape[0]
+        proposals = [
+            np.array([idx], dtype=np.int64) if idx >= 0 else empty
+            for idx in answers.indices
+        ]
+        with span("verify"):
+            block_matches, _ = verify_candidates(
+                P, Q_block, proposals, threshold=cs, signed=False, block=block
+            )
+        matches.extend(block_matches)
+    generated = len(matches)
+    stats = QueryStats(
+        queries=len(matches),
+        candidates=generated,
+        unique_candidates=generated,
+    )
+    return matches, evaluated, generated, stats
+
+
 def sketch_unsigned_join(
     P,
     Q,

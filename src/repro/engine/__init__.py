@@ -2,10 +2,11 @@
 
 ``repro.engine.join(P, Q, spec)`` answers every IPS join variant the
 repository implements through one code path; ``backend="auto"`` asks the
-cost-model planner to pick among the registered backends, and
-``n_workers=`` shards the query set across processes without changing
-results.  See :mod:`repro.engine.protocol` for the backend contract and
-``docs/ARCHITECTURE.md`` for the layer map.
+cost-model planner to pick among single-stage plans and two-stage
+hybrids (:mod:`repro.engine.plan`), and ``n_workers=`` shards the query
+set across processes without changing results.  See
+:mod:`repro.engine.protocol` for the backend contract and
+``docs/ARCHITECTURE.md`` for the layer map and the Plan IR.
 """
 
 from repro.engine.api import join, plan
@@ -15,9 +16,20 @@ from repro.engine.backends import (
     NormPrunedBackend,
     SketchBackend,
 )
-from repro.engine.planner import CostModel, JoinPlan, plan_join
+from repro.engine.plan import (
+    Plan,
+    Stage,
+    norm_prefix_lsh_plan,
+    sketch_fallback_plan,
+)
+from repro.engine.planner import CostModel, JoinPlan, PlanEstimate, plan_join
 from repro.engine.protocol import ChunkResult, CostEstimate, JoinBackend
-from repro.engine.registry import available_backends, get_backend, register
+from repro.engine.registry import (
+    available_backends,
+    backends_for_variant,
+    get_backend,
+    register,
+)
 
 # Built-in backends register on import, exact ones first: planner ties
 # resolve toward the stronger (exact) guarantee.
@@ -31,6 +43,11 @@ __all__ = [
     "join",
     "plan",
     "plan_join",
+    "Plan",
+    "Stage",
+    "norm_prefix_lsh_plan",
+    "sketch_fallback_plan",
+    "PlanEstimate",
     "JoinBackend",
     "ChunkResult",
     "CostEstimate",
@@ -39,6 +56,7 @@ __all__ = [
     "register",
     "get_backend",
     "available_backends",
+    "backends_for_variant",
     "BruteForceBackend",
     "NormPrunedBackend",
     "LSHBackend",

@@ -5,32 +5,43 @@ top-k or self, exact or approximate, serial or process-parallel — runs
 through this function:
 
 1. normalize inputs (``Q=None`` means a self-join of ``P``);
-2. resolve the backend: an explicit registry name, or ``"auto"`` to let
-   the cost-model planner (:mod:`repro.engine.planner`) pick;
-3. ``backend.prepare`` turns options into a picklable structure payload
-   and the final spec;
-4. the executor (:func:`repro.core.executor.map_query_chunks`) shards
-   the query set into block-aligned chunks and runs the backend's
+2. resolve the request into a :class:`~repro.engine.plan.Plan`: an
+   explicit registry name becomes the one-stage special case, a
+   :class:`~repro.engine.plan.Plan` instance is executed as-is, and
+   ``"auto"`` lets the cost-model planner (:mod:`repro.engine.planner`)
+   rank single-stage plans *and* two-stage hybrids;
+3. execution walks the plan's stages under one ``JoinResult``: each
+   stage's ``backend.prepare`` turns its options into a picklable
+   structure payload over the stage's point subset, and the executor
+   (:func:`repro.core.executor.map_query_chunks`) shards the stage's
+   query subset into block-aligned chunks and runs the backend's
    ``run_chunk`` over each — in-process for ``n_workers=1``, across a
    process pool otherwise;
-5. chunk results merge in query order through the executor's single
+4. chunk results merge in query order through the executor's single
    merge path (:func:`repro.core.executor.merge_join_chunks` +
-   :meth:`~repro.core.problems.QueryStats.merge`).
+   :meth:`~repro.core.problems.QueryStats.merge`); for multi-stage
+   plans the merged stage results fold into the global match arrays,
+   and the unanswered-query mask flows to the next stage.
 
 Because serial execution is literally the one-chunk case of the same
 code, ``n_workers`` is an orthogonal knob: it never changes matches,
-work counters, or stats.
+work counters, or stats — and because each stage's unanswered mask is
+computed from its *fully merged* result, that holds stage by stage for
+multi-stage plans too.
 
 Observability (:mod:`repro.obs`) hangs off the same path.  With
 ``trace=True`` the dispatch runs under a span tracer — ``planner``,
-``prepare`` (with the index/sketch ``build``), one ``run_chunk`` tree
-per chunk (stitched back from workers when ``n_workers > 1``), and
-``merge`` — and a metrics registry that folds in the merged
-:class:`~repro.core.problems.QueryStats` plus the kernels' GEMM/bucket
-instruments; both land on the returned ``JoinResult``.  Independently of
-tracing, every dispatch appends one
+then for one-stage plans ``prepare`` (with the index/sketch ``build``),
+one ``run_chunk`` tree per chunk (stitched back from workers when
+``n_workers > 1``), and ``merge``; multi-stage plans get one ``stage``
+span per stage (each containing that stage's ``prepare``/``run``/
+``merge``) plus a final top-level ``merge`` — and a metrics registry
+that folds in the merged :class:`~repro.core.problems.QueryStats` plus
+the kernels' GEMM/bucket instruments; both land on the returned
+``JoinResult``.  Independently of tracing, every dispatch appends one
 :class:`~repro.obs.planner_log.PlannerRecord` (predictions for auto
-picks, measured wall time for all) to the process-current
+picks, measured wall time for all, one ``stages`` entry per executed
+stage) to the process-current
 :class:`~repro.obs.planner_log.PlannerLog` for regret analysis and
 cost-model recalibration.
 """
@@ -40,15 +51,23 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import replace
-from typing import Optional
+from typing import List, Optional, Union
+
+import numpy as np
 
 from repro.core.executor import (
     _engine_runner,
     map_query_chunks,
     merge_join_chunks,
 )
-from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.problems import (
+    JoinResult,
+    JoinSpec,
+    QueryStats,
+    validate_join_inputs,
+)
 from repro.core.verify import DEFAULT_BLOCK
+from repro.engine.plan import Plan, stage_point_indices
 from repro.engine.planner import CostModel, JoinPlan, plan_join
 from repro.engine.registry import get_backend
 from repro.errors import ParameterError
@@ -77,14 +96,18 @@ def plan(
     Q,
     spec: JoinSpec,
     model: Optional[CostModel] = None,
+    include_hybrids: bool = True,
 ) -> JoinPlan:
-    """Rank backends for this instance without running anything.
+    """Rank candidate plans for this instance without running anything.
 
     The same planner call ``backend="auto"`` uses; exposed so callers
-    (and the dispatch bench) can inspect *why* a backend was chosen.
+    (and the dispatch bench) can inspect *why* a plan was chosen.
     """
     P, Q, spec = _normalize_inputs(P, Q, spec)
-    return plan_join(P.shape[0], Q.shape[0], P.shape[1], spec, model)
+    return plan_join(
+        P.shape[0], Q.shape[0], P.shape[1], spec, model,
+        include_hybrids=include_hybrids,
+    )
 
 
 def _fold_stats_metrics(registry: MetricsRegistry, result: JoinResult) -> None:
@@ -105,12 +128,196 @@ def _fold_stats_metrics(registry: MetricsRegistry, result: JoinResult) -> None:
         registry.counter("engine.probed_buckets").inc(stats.probed_buckets)
 
 
+def _fold_stage_matches(
+    matches: List[Optional[int]],
+    topk: Optional[List[List[int]]],
+    answered: np.ndarray,
+    stage_result: JoinResult,
+    q_idx: np.ndarray,
+    point_idx: Optional[np.ndarray],
+    P,
+    Q,
+    spec: JoinSpec,
+    stage_spec: JoinSpec,
+):
+    """Fold one stage's (stage-local) results into the global arrays.
+
+    ``q_idx``/``point_idx`` map stage-local query/data positions back to
+    global indices.  A query counts as *answered* when it gains a match
+    (for top-k: a non-empty list); answered queries are never
+    overwritten, so the first stage to answer wins deterministically.
+    A stage that ran under a weaker final spec (the sketch substitutes
+    its own ``c``) gets its matches re-verified at the caller's ``cs``
+    before the query counts as answered — the extra dot products are
+    returned so the engine can bill them.  Returns
+    ``(newly_answered, extra_evaluated)``.
+    """
+    newly = 0
+    extra_eval = 0
+    if spec.is_topk:
+        for qpos, lst in enumerate(stage_result.topk or []):
+            gq = int(q_idx[qpos])
+            if answered[gq] or not lst:
+                continue
+            if point_idx is not None:
+                lst = [int(point_idx[li]) for li in lst]
+            else:
+                lst = [int(li) for li in lst]
+            topk[gq] = lst
+            matches[gq] = lst[0]
+            answered[gq] = True
+            newly += 1
+        return newly, extra_eval
+    reverify = stage_spec.cs < spec.cs
+    for qpos, local in enumerate(stage_result.matches):
+        if local is None:
+            continue
+        gq = int(q_idx[qpos])
+        if answered[gq]:
+            continue
+        gi = int(point_idx[local]) if point_idx is not None else int(local)
+        if reverify:
+            value = float(P[gi] @ Q[gq])
+            extra_eval += 1
+            score = value if spec.signed else abs(value)
+            if score < spec.cs:
+                continue
+        matches[gq] = gi
+        answered[gq] = True
+        newly += 1
+    return newly, extra_eval
+
+
+def _run_stage_plan(
+    the_plan: Plan,
+    P,
+    Q,
+    spec: JoinSpec,
+    *,
+    seed,
+    n_workers: int,
+    block: int,
+    trace: bool,
+    tracer: Tracer,
+):
+    """Walk a multi-stage plan's stages under one global result.
+
+    Each stage runs the standard ``prepare``/``run``/``merge`` pipeline
+    on its point/query subset under a ``stage`` span; the unanswered
+    mask is recomputed from the fully merged stage result, so worker
+    count cannot change what the next stage sees.  Returns
+    ``(result, chunks, stage_records)``.
+    """
+    m = Q.shape[0]
+    matches: List[Optional[int]] = [None] * m
+    topk: Optional[List[List[int]]] = (
+        [[] for _ in range(m)] if spec.is_topk else None
+    )
+    answered = np.zeros(m, dtype=bool)
+    evaluated = 0
+    generated = 0
+    merged_stats = QueryStats()
+    all_chunks = []
+    stage_records: List[dict] = []
+    for i, stage in enumerate(the_plan.stages):
+        stage_wall = time.perf_counter()
+        label = stage.label or stage.backend
+        with tracer.span(
+            "stage",
+            index=i,
+            backend=stage.backend,
+            label=label,
+            queries=stage.queries,
+            points=stage.points,
+        ) as stage_span:
+            point_idx = stage_point_indices(stage, P)
+            P_stage = P if point_idx is None else P[point_idx]
+            if stage.queries == "all":
+                q_idx = np.arange(m, dtype=np.int64)
+            else:
+                q_idx = np.flatnonzero(~answered)
+            record = dict(
+                index=i, backend=stage.backend,
+                n=int(P_stage.shape[0]), m=int(q_idx.size),
+                wall_s=0.0, evaluated=0, generated=0, answered=0,
+            )
+            if stage_span is not None:
+                stage_span.attrs.update(n=int(P_stage.shape[0]), m=int(q_idx.size))
+            if q_idx.size == 0:
+                # Every query already answered: the stage is a no-op, but
+                # it still shows up in spans and stage records so regret
+                # attribution sees the plan shape that actually ran.
+                record["wall_s"] = time.perf_counter() - stage_wall
+                stage_records.append(record)
+                continue
+            Q_stage = Q[q_idx]
+            impl = get_backend(stage.backend)
+            stage_seed = None if seed is None else seed + i
+            with tracer.span("prepare", backend=stage.backend):
+                payload, stage_spec = impl.prepare(
+                    P_stage, spec, seed=stage_seed, block=block,
+                    n_workers=n_workers, **stage.options,
+                )
+                if trace and n_workers == 1 and hasattr(payload, "build"):
+                    with tracer.span("build"):
+                        payload = payload.build(P_stage)
+            with tracer.span("run") as run_span:
+                chunks = map_query_chunks(
+                    payload, P_stage, Q_stage, _engine_runner,
+                    (stage.backend, trace, label),
+                    n_workers=n_workers, block=block,
+                )
+            if run_span is not None:
+                run_span.children.extend(c.trace for c in chunks if c.trace)
+            with tracer.span("merge"):
+                stage_result = merge_join_chunks(
+                    [
+                        (c.matches, c.evaluated, c.generated, c.stats)
+                        for c in chunks
+                    ],
+                    stage_spec,
+                    backend=stage.backend,
+                )
+                if stage_spec.is_topk:
+                    stage_result.topk = [
+                        lst for c in chunks for lst in (c.topk or [])
+                    ]
+                newly, extra_eval = _fold_stage_matches(
+                    matches, topk, answered, stage_result,
+                    q_idx, point_idx, P, Q, spec, stage_spec,
+                )
+            all_chunks.extend(chunks)
+            stage_eval = stage_result.inner_products_evaluated + extra_eval
+            evaluated += stage_eval
+            generated += stage_result.candidates_generated
+            merged_stats = merged_stats.merge(stage_result.stats)
+            record.update(
+                wall_s=time.perf_counter() - stage_wall,
+                evaluated=int(stage_eval),
+                generated=int(stage_result.candidates_generated),
+                answered=int(newly),
+            )
+            stage_records.append(record)
+            if stage_span is not None:
+                stage_span.attrs.update(answered=int(newly))
+    result = JoinResult(
+        matches=matches,
+        spec=spec,
+        inner_products_evaluated=int(evaluated),
+        candidates_generated=int(generated),
+        topk=topk,
+        backend=the_plan.backend,
+        stats=merged_stats,
+    )
+    return result, all_chunks, stage_records
+
+
 def join(
     P,
     Q,
     spec: JoinSpec,
     *,
-    backend: str = "auto",
+    backend: Union[str, Plan] = "auto",
     seed=None,
     n_workers: int = 1,
     block: int = DEFAULT_BLOCK,
@@ -126,14 +333,17 @@ def join(
         spec: the problem record — thresholds, signedness, and the
             top-k / self variants (:class:`~repro.core.problems.JoinSpec`).
         backend: a registered backend name (``brute_force``,
-            ``norm_pruned``, ``lsh``, ``sketch``, ...) or ``"auto"`` to
-            let the cost-model planner choose.
+            ``norm_pruned``, ``lsh``, ``sketch``, ...), a
+            :class:`~repro.engine.plan.Plan` to execute as-is, or
+            ``"auto"`` to let the cost-model planner choose among
+            single-stage plans and two-stage hybrids.
         seed: reproducibility seed for backends that build randomized
             structures; must be a concrete integer when combined with
-            ``n_workers > 1`` (workers rebuild from it).
+            ``n_workers > 1`` (workers rebuild from it).  Stage ``i`` of
+            a multi-stage plan derives its own seed as ``seed + i``.
         n_workers: process count — an orthogonal execution knob routed
             through :mod:`repro.core.executor`; results are identical
-            for any value.
+            for any value, stage by stage.
         block: query block size; chunk boundaries align to it.
         model: optional calibrated :class:`~repro.engine.planner.CostModel`
             for ``backend="auto"``; when omitted, the persisted
@@ -145,18 +355,22 @@ def join(
             ``obs_overhead`` bench enforces it).
         options: backend-specific options (``family=...``, ``index=...``,
             ``kappa=...``, ``scan_block=...``, ...), validated by the
-            chosen backend's ``prepare``.
+            chosen backend's ``prepare``.  They bind to a *single*
+            backend: with ``backend="auto"`` they restrict the planner
+            to single-stage plans, and they cannot accompany an explicit
+            ``Plan`` (whose stages carry their own options).
 
     Returns:
         A :class:`~repro.core.problems.JoinResult` carrying matches (and
-        ``topk`` lists for ``spec.k`` tasks), work counters, the backend
-        name, merged :class:`~repro.core.problems.QueryStats`, and — for
-        traced joins — the span tree and metrics registry.
+        ``topk`` lists for ``spec.k`` tasks), work counters, the plan's
+        backend name (stage names joined by ``+`` for hybrids), merged
+        :class:`~repro.core.problems.QueryStats`, and — for traced
+        joins — the span tree and metrics registry.
     """
     P, Q, spec = _normalize_inputs(P, Q, spec)
     tracer = Tracer(enabled=trace)
     registry = MetricsRegistry(enabled=trace)
-    requested = backend
+    requested = backend.backend if isinstance(backend, Plan) else backend
     wall_start = time.perf_counter()
     # Activating the tracer/registry as process-current lets kernel-level
     # instrumentation inside prepare/build attach to this join's tree.
@@ -171,48 +385,112 @@ def join(
         n_workers=int(n_workers),
     ):
         join_plan = None
+        best_estimate = None
         with tracer.span("planner") as planner_span:
-            if backend == "auto":
-                join_plan = plan_join(
-                    P.shape[0], Q.shape[0], P.shape[1], spec, model
-                )
-                backend = join_plan.backend
+            if isinstance(backend, Plan):
+                if options:
+                    raise ParameterError(
+                        f"an explicit Plan carries per-stage options; got "
+                        f"engine-level options {sorted(options)}"
+                    )
+                the_plan = backend
                 if planner_span is not None:
                     planner_span.attrs.update(
-                        picked=backend,
+                        picked=the_plan.backend, source="explicit"
+                    )
+            elif backend == "auto":
+                # Caller options bind to one backend's prepare, so the
+                # ranking is restricted to single-stage plans when any
+                # are present.
+                join_plan = plan_join(
+                    P.shape[0], Q.shape[0], P.shape[1], spec, model,
+                    include_hybrids=not options,
+                )
+                best_estimate = join_plan.best_plan
+                the_plan = best_estimate.plan
+                if planner_span is not None:
+                    planner_span.attrs.update(
+                        picked=the_plan.backend,
                         ranking=[
-                            (e.backend, e.total_ops)
-                            for e in join_plan.feasible
+                            (pe.backend, pe.total_ops)
+                            for pe in join_plan.feasible_plans
                         ],
                     )
-            elif planner_span is not None:
-                planner_span.attrs.update(picked=backend, source="explicit")
-        impl = get_backend(backend)
-        with tracer.span("prepare", backend=backend):
-            payload, final_spec = impl.prepare(
-                P, spec, seed=seed, block=block, n_workers=n_workers, **options
+            else:
+                the_plan = Plan.single(backend)
+                if planner_span is not None:
+                    planner_span.attrs.update(picked=backend, source="explicit")
+        stages = the_plan.stages
+        if len(stages) == 1 and not stages[0].is_partitioned:
+            # One-stage fast path: the pre-Plan-IR dispatch, bit for bit
+            # (same spans, same payload flow, result spec = the
+            # backend's final spec).
+            stage = stages[0]
+            backend_name = stage.backend
+            impl = get_backend(backend_name)
+            stage_options = {**stage.options, **options}
+            with tracer.span("prepare", backend=backend_name):
+                payload, final_spec = impl.prepare(
+                    P, spec, seed=seed, block=block, n_workers=n_workers,
+                    **stage_options,
+                )
+                if trace and n_workers == 1 and hasattr(payload, "build"):
+                    # Serial runs build here so the trace prices
+                    # construction; parallel runs keep the payload lazy
+                    # (workers rebuild).
+                    with tracer.span("build"):
+                        payload = payload.build(P)
+            with tracer.span("run") as run_span:
+                chunks = map_query_chunks(
+                    payload, P, Q, _engine_runner, (backend_name, trace),
+                    n_workers=n_workers, block=block,
+                )
+            if run_span is not None:
+                run_span.children.extend(c.trace for c in chunks if c.trace)
+            with tracer.span("merge"):
+                result = merge_join_chunks(
+                    [
+                        (c.matches, c.evaluated, c.generated, c.stats)
+                        for c in chunks
+                    ],
+                    final_spec,
+                    backend=backend_name,
+                )
+                if final_spec.is_topk:
+                    result.topk = [lst for c in chunks for lst in (c.topk or [])]
+            stage_records = [
+                dict(
+                    index=0, backend=backend_name,
+                    n=int(P.shape[0]), m=int(Q.shape[0]), wall_s=0.0,
+                    evaluated=int(result.inner_products_evaluated),
+                    generated=int(result.candidates_generated),
+                    answered=int(result.matched_count),
+                )
+            ]
+        else:
+            if options:
+                raise ParameterError(
+                    f"multi-stage plans carry per-stage options; got "
+                    f"engine-level options {sorted(options)}"
+                )
+            if spec.variant not in ("join", "topk"):
+                raise ParameterError(
+                    f"multi-stage plans answer the 'join' and 'topk' "
+                    f"variants, not {spec.variant!r}"
+                )
+            result, chunks, stage_records = _run_stage_plan(
+                the_plan, P, Q, spec,
+                seed=seed, n_workers=n_workers, block=block,
+                trace=trace, tracer=tracer,
             )
-            if trace and n_workers == 1 and hasattr(payload, "build"):
-                # Serial runs build here so the trace prices construction;
-                # parallel runs keep the payload lazy (workers rebuild).
-                with tracer.span("build"):
-                    payload = payload.build(P)
-        with tracer.span("run") as run_span:
-            chunks = map_query_chunks(
-                payload, P, Q, _engine_runner, (backend, trace),
-                n_workers=n_workers, block=block,
-            )
-        if run_span is not None:
-            run_span.children.extend(c.trace for c in chunks if c.trace)
-        with tracer.span("merge"):
-            result = merge_join_chunks(
-                [(c.matches, c.evaluated, c.generated, c.stats) for c in chunks],
-                final_spec,
-                backend=backend,
-            )
-            if final_spec.is_topk:
-                result.topk = [lst for c in chunks for lst in (c.topk or [])]
+            with tracer.span("merge", stages=len(stage_records)):
+                pass
     result.wall_s = time.perf_counter() - wall_start
+    if stage_records and stage_records[0]["wall_s"] == 0.0 and len(stage_records) == 1:
+        stage_records[0]["wall_s"] = result.wall_s
+    if best_estimate is not None:
+        for record, est in zip(stage_records, best_estimate.stage_estimates):
+            record["predicted_ops"] = est.total_ops
     if trace:
         for c in chunks:
             registry.merge_snapshot(c.metrics)
@@ -229,14 +507,15 @@ def join(
             signed=bool(spec.signed),
             variant=spec.variant,
             mode="auto" if requested == "auto" else "explicit",
-            picked=backend,
+            picked=result.backend,
             wall_s=result.wall_s,
             predicted={
-                e.backend: e.total_ops for e in join_plan.feasible
+                pe.backend: pe.total_ops for pe in join_plan.feasible_plans
             } if join_plan is not None else {},
             evaluated=int(result.inner_products_evaluated),
             generated=int(result.candidates_generated),
             n_workers=int(n_workers),
+            stages=stage_records,
         )
     )
     return result

@@ -7,12 +7,17 @@ Each backend adapts one existing kernel family to the
   (:mod:`repro.core.brute_force`, :mod:`repro.core.topk`,
   :mod:`repro.core.self_join`); answers every variant.
 * ``norm_pruned`` — the LEMP-style Cauchy-Schwarz prefix scan
-  (:mod:`repro.core.norm_pruning`); exact, threshold joins only.
+  (:mod:`repro.core.norm_pruning`); exact, threshold and top-k joins.
 * ``lsh`` — filter-then-verify through any candidates-providing index
   (:mod:`repro.core.lsh_join`); threshold, top-k and self variants.
 * ``sketch`` — the Section 4.3 linear-sketch join
-  (:mod:`repro.core.sketch_join`); unsigned threshold joins, with the
-  structure's own ``c = n^{-1/kappa}``.
+  (:mod:`repro.core.sketch_join`); unsigned threshold and self joins,
+  with the structure's own ``c = n^{-1/kappa}``.
+
+Each backend declares the spec variants it answers (``variants``); the
+registry exposes the mapping (:func:`repro.engine.registry.
+backends_for_variant`) so the planner only assembles plans whose stages
+can actually serve the request.
 
 The *structures* here are small picklable dataclasses wrapping either a
 built index or the recipe to build one: the executor's worker
@@ -73,6 +78,7 @@ class BruteForceBackend(JoinBackend):
     """Exact blocked all-pairs scan; the reference answer for every variant."""
 
     name = "brute_force"
+    variants = ("join", "topk", "self")
 
     def prepare(self, P, spec, *, seed=None, block, n_workers=1, **options):
         if options:
@@ -135,9 +141,10 @@ class NormStructure:
 
 
 class NormPrunedBackend(JoinBackend):
-    """Exact Cauchy-Schwarz prefix scan (LEMP-style); threshold joins only."""
+    """Exact Cauchy-Schwarz prefix scan (LEMP-style); threshold and top-k."""
 
     name = "norm_pruned"
+    variants = ("join", "topk")
 
     def prepare(self, P, spec, *, seed=None, block, n_workers=1,
                 scan_block: int = 256, **options):
@@ -145,13 +152,20 @@ class NormPrunedBackend(JoinBackend):
             raise ParameterError(
                 f"norm_pruned takes only scan_block, got {sorted(options)}"
             )
-        _require_variant(spec, self.name, ("join",))
+        _require_variant(spec, self.name, self.variants)
         return NormStructure(spec=spec, scan_block=scan_block, block=block), spec
 
     def run_chunk(self, structure, P, Q_chunk, start):
-        from repro.core.norm_pruning import norm_scan_chunk
+        from repro.core.norm_pruning import norm_scan_chunk, norm_scan_topk_chunk
 
         spec = structure.spec
+        if spec.is_topk:
+            lists, evaluated, generated, stats = norm_scan_topk_chunk(
+                structure.index, Q_chunk, spec.signed, spec.cs, spec.k,
+                structure.scan_block, structure.block,
+            )
+            matches = [int(lst[0]) if lst else None for lst in lists]
+            return ChunkResult(matches, evaluated, generated, stats, topk=lists)
         matches, evaluated, generated, stats = norm_scan_chunk(
             structure.index, Q_chunk, spec.signed, spec.cs,
             structure.scan_block, structure.block,
@@ -159,7 +173,7 @@ class NormPrunedBackend(JoinBackend):
         return ChunkResult(matches, evaluated, generated, stats)
 
     def estimate_cost(self, n, m, d, spec, model):
-        if spec.variant != "join":
+        if spec.variant not in self.variants:
             return CostEstimate(
                 backend=self.name, feasible=False,
                 reason=f"no {spec.variant} variant",
@@ -221,6 +235,7 @@ class LSHBackend(JoinBackend):
     """Filter-then-verify through any candidates-providing index."""
 
     name = "lsh"
+    variants = ("join", "topk", "self")
 
     def prepare(self, P, spec, *, seed=None, block, n_workers=1,
                 index=None, index_spec=None, family=None,
@@ -231,7 +246,7 @@ class LSHBackend(JoinBackend):
                 f"unknown lsh options: {sorted(options)} (valid: index, "
                 f"index_spec, family, n_tables, hashes_per_table, n_probes)"
             )
-        _require_variant(spec, self.name, ("join", "topk", "self"))
+        _require_variant(spec, self.name, self.variants)
         if n_probes and spec.variant != "join":
             raise ParameterError(
                 "multiprobe (n_probes) is only supported for threshold joins"
@@ -346,9 +361,10 @@ class SketchStructure:
 
 
 class SketchBackend(JoinBackend):
-    """The Section 4.3 linear-sketch join; unsigned threshold joins only."""
+    """The Section 4.3 linear-sketch join; unsigned threshold and self joins."""
 
     name = "sketch"
+    variants = ("join", "self")
 
     def prepare(self, P, spec, *, seed=None, block, n_workers=1,
                 structure=None, kappa: float = 4.0, copies: int = 7,
@@ -358,11 +374,17 @@ class SketchBackend(JoinBackend):
                 f"unknown sketch options: {sorted(options)} (valid: "
                 f"structure, kappa, copies, leaf_size)"
             )
-        _require_variant(spec, self.name, ("join",))
+        _require_variant(spec, self.name, self.variants)
         if spec.signed:
             raise ParameterError(
                 "the sketch join is unsigned-only (Section 4.3 recovers "
                 "|inner product|)"
+            )
+        if spec.is_self and not spec.match_duplicates:
+            raise ParameterError(
+                "the sketch self-join masks identical pairs by index "
+                "inside the recovery descent; it cannot also exclude "
+                "duplicate rows (match_duplicates=False)"
             )
         if structure is not None:
             c = structure.approximation_factor
@@ -387,16 +409,25 @@ class SketchBackend(JoinBackend):
         return payload, final
 
     def run_chunk(self, structure, P, Q_chunk, start):
-        from repro.core.sketch_join import sketch_filter_verify_chunk
+        from repro.core.sketch_join import (
+            sketch_filter_verify_chunk,
+            sketch_self_chunk,
+        )
 
         spec = structure.spec
-        matches, evaluated, generated, stats = sketch_filter_verify_chunk(
-            structure.structure, P, Q_chunk, spec.cs, structure.block
-        )
+        if spec.is_self:
+            matches, evaluated, generated, stats = sketch_self_chunk(
+                structure.structure, P, Q_chunk, start, spec.cs,
+                structure.block,
+            )
+        else:
+            matches, evaluated, generated, stats = sketch_filter_verify_chunk(
+                structure.structure, P, Q_chunk, spec.cs, structure.block
+            )
         return ChunkResult(matches, evaluated, generated, stats)
 
     def estimate_cost(self, n, m, d, spec, model):
-        if spec.variant != "join":
+        if spec.variant not in self.variants:
             return CostEstimate(
                 backend=self.name, feasible=False,
                 reason=f"no {spec.variant} variant",
@@ -410,6 +441,20 @@ class SketchBackend(JoinBackend):
             return CostEstimate(
                 backend=self.name, feasible=False,
                 reason="no approximation gap (c = 1)",
+            )
+        # The sketch's approximation is c = n^{-1/kappa}: reaching the
+        # caller's c needs kappa = ln(n) / ln(1/c), and the model caps
+        # the kappa it will spend (query time grows as n^{1-2/kappa}).
+        required = math.log(max(n, 2)) / math.log(1.0 / spec.c)
+        if required > model.max_kappa:
+            achievable = float(max(n, 2)) ** (-1.0 / model.max_kappa)
+            return CostEstimate(
+                backend=self.name, feasible=False,
+                reason=(
+                    f"c = {spec.c:g} needs kappa = {required:.1f} > "
+                    f"max_kappa = {model.max_kappa:g} at n = {n} "
+                    f"(achievable c = {achievable:.3g})"
+                ),
             )
         kappa = model.sketch_kappa(n, spec.c)
         copies = 7

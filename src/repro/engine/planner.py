@@ -16,6 +16,15 @@ also what makes ``auto`` results deterministic and testable against
 brute force there.  For machine-specific planning the constants can be
 calibrated from a ``BENCH_*.json`` produced by ``tools/bench_perf.py``
 via :meth:`CostModel.from_bench`.
+
+Since the Plan IR landed, the planner ranks *plans*, not backends: every
+single-backend estimate becomes a one-stage :class:`PlanEstimate`, and
+two-stage hybrids (norm-pruned prefix + LSH tail; sketch + exact
+fallback, :mod:`repro.engine.plan`) are scored alongside them under the
+same model — a hybrid's cost is the sum of its per-stage estimates on
+the point/query subsets the model expects each stage to handle
+(``hybrid_prefix_fraction``, ``hybrid_tail_query_fraction``,
+``sketch_fallback_query_fraction``).
 """
 
 from __future__ import annotations
@@ -24,9 +33,15 @@ import json
 import math
 import os
 from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.problems import JoinSpec
+from repro.engine.plan import (
+    Plan,
+    norm_prefix_lsh_plan,
+    norm_split_size,
+    sketch_fallback_plan,
+)
 from repro.engine.protocol import CostEstimate
 from repro.errors import ParameterError
 
@@ -64,6 +79,12 @@ class CostModel:
     #: Bounds for the sketch trade-off knob when derived from ``c``.
     min_kappa: float = 2.1
     max_kappa: float = 16.0
+    #: Data fraction the norm-pruned stage of a hybrid plan covers.
+    hybrid_prefix_fraction: float = 0.2
+    #: Query fraction expected to fall through to a hybrid's LSH tail.
+    hybrid_tail_query_fraction: float = 0.5
+    #: Query fraction expected to need the sketch hybrid's exact fallback.
+    sketch_fallback_query_fraction: float = 0.3
 
     def lsh_plan(self, n: int, spec: JoinSpec):
         """A (k, L) plan for this instance, or ``None`` when underivable.
@@ -290,32 +311,163 @@ def default_model() -> CostModel:
 
 
 @dataclass(frozen=True)
+class PlanEstimate:
+    """Predicted cost of one candidate :class:`~repro.engine.plan.Plan`.
+
+    ``stage_estimates`` holds one :class:`CostEstimate` per stage,
+    evaluated on the point/query subset the model expects that stage to
+    handle; the plan's total is their sum.  A plan is feasible only when
+    every stage is.
+    """
+
+    plan: Plan
+    stage_estimates: Tuple[CostEstimate, ...]
+    feasible: bool
+    reason: str = ""
+
+    @property
+    def backend(self) -> str:
+        return self.plan.backend
+
+    @property
+    def total_ops(self) -> float:
+        return sum(e.total_ops for e in self.stage_estimates)
+
+
+@dataclass(frozen=True)
 class JoinPlan:
-    """The planner's ranked view of one join instance."""
+    """The planner's ranked view of one join instance.
+
+    ``estimates`` keeps the pre-IR single-backend ranking (one
+    :class:`CostEstimate` per registered backend); ``plans`` ranks the
+    full candidate set — every single-backend plan plus the two-stage
+    hybrids — and is what ``backend="auto"`` executes.
+    """
 
     n: int
     m: int
     d: int
     spec: JoinSpec
     estimates: List[CostEstimate] = field(default_factory=list)
+    plans: List[PlanEstimate] = field(default_factory=list)
 
     @property
     def feasible(self) -> List[CostEstimate]:
         return [e for e in self.estimates if e.feasible]
 
     @property
+    def feasible_plans(self) -> List[PlanEstimate]:
+        return [p for p in self.plans if p.feasible]
+
+    def _no_feasible_error(self) -> ParameterError:
+        # Every backend's own reason, so the caller learns exactly what
+        # ruled each one out rather than a bare "no feasible backend".
+        detail = "; ".join(
+            f"{e.backend}: {e.reason or 'infeasible'}"
+            for e in self.estimates
+            if not e.feasible
+        )
+        return ParameterError(
+            f"no feasible plan for the {self.spec.variant!r} variant on "
+            f"(n={self.n}, m={self.m}, d={self.d}): {detail}"
+        )
+
+    @property
     def best(self) -> CostEstimate:
         feasible = self.feasible
         if not feasible:
-            reasons = "; ".join(
-                f"{e.backend}: {e.reason}" for e in self.estimates
-            )
-            raise ParameterError(f"no feasible backend ({reasons})")
+            raise self._no_feasible_error()
+        return feasible[0]
+
+    @property
+    def best_plan(self) -> PlanEstimate:
+        feasible = self.feasible_plans
+        if not feasible:
+            raise self._no_feasible_error()
         return feasible[0]
 
     @property
     def backend(self) -> str:
-        return self.best.backend
+        return self.best_plan.backend
+
+
+def _hybrid_candidates(
+    n: int, m: int, d: int, spec: JoinSpec, model: CostModel
+) -> List[PlanEstimate]:
+    """Score the two-stage hybrid shapes for this instance.
+
+    Each hybrid's stage costs come from the member backends' own
+    ``estimate_cost`` on the subset sizes the model expects: the
+    norm-pruned prefix covers ``hybrid_prefix_fraction`` of the data
+    with every query, the LSH tail covers the rest of the data for
+    ``hybrid_tail_query_fraction`` of the queries, and the sketch
+    fallback re-scans ``sketch_fallback_query_fraction`` of the queries
+    exactly.
+    """
+    from repro.engine.registry import available_backends, get_backend
+
+    names = set(available_backends())
+    candidates: List[PlanEstimate] = []
+
+    # Norm-pruned prefix + LSH tail: threshold and top-k joins over a
+    # splittable data set.
+    if (
+        spec.variant in ("join", "topk")
+        and n >= 2
+        and {"norm_pruned", "lsh"} <= names
+    ):
+        f = model.hybrid_prefix_fraction
+        n_top = norm_split_size(n, f)
+        m_tail = max(1, math.ceil(model.hybrid_tail_query_fraction * m))
+        head = get_backend("norm_pruned").estimate_cost(n_top, m, d, spec, model)
+        tail = get_backend("lsh").estimate_cost(n - n_top, m_tail, d, spec, model)
+        infeasible = next((e for e in (head, tail) if not e.feasible), None)
+        candidates.append(PlanEstimate(
+            plan=norm_prefix_lsh_plan(prefix_fraction=f),
+            stage_estimates=(head, tail),
+            feasible=infeasible is None,
+            reason=(
+                f"{infeasible.backend} stage: {infeasible.reason}"
+                if infeasible is not None else ""
+            ),
+        ))
+
+    # Sketch + exact fallback: unsigned threshold joins with a gap.  The
+    # sketch stage runs at the best approximation it can actually reach
+    # (``kappa`` capped by the model, so ``c`` no stronger than
+    # ``n^{-1/max_kappa}``), and the fallback patches whatever that
+    # weaker ``c`` misses — so the sketch estimate is taken at the
+    # achievable ``c``, not the caller's.  The 0.999 nudge keeps the
+    # derived kappa strictly under the cap despite float rounding.
+    if (
+        spec.variant == "join"
+        and not spec.signed
+        and 0.0 < spec.c < 1.0
+        and n >= 2
+        and {"sketch", "brute_force"} <= names
+    ):
+        c_achievable = 0.999 * float(n) ** (-1.0 / model.max_kappa)
+        spec_eff = replace(spec, c=min(spec.c, c_achievable))
+        m_fall = max(1, math.ceil(model.sketch_fallback_query_fraction * m))
+        propose = get_backend("sketch").estimate_cost(n, m, d, spec_eff, model)
+        fallback = get_backend("brute_force").estimate_cost(
+            n, m_fall, d, spec, model
+        )
+        infeasible = next(
+            (e for e in (propose, fallback) if not e.feasible), None
+        )
+        candidates.append(PlanEstimate(
+            plan=sketch_fallback_plan(
+                sketch_options={"kappa": model.sketch_kappa(n, spec.c)},
+            ),
+            stage_estimates=(propose, fallback),
+            feasible=infeasible is None,
+            reason=(
+                f"{infeasible.backend} stage: {infeasible.reason}"
+                if infeasible is not None else ""
+            ),
+        ))
+    return candidates
 
 
 def plan_join(
@@ -324,13 +476,18 @@ def plan_join(
     d: int,
     spec: JoinSpec,
     model: Optional[CostModel] = None,
+    include_hybrids: bool = True,
 ) -> JoinPlan:
-    """Rank every registered backend for an ``(n, d) x (m, d)`` instance.
+    """Rank every candidate plan for an ``(n, d) x (m, d)`` instance.
 
-    Feasible estimates come first, cheapest first (ties broken by
+    Feasible plans come first, cheapest first (ties broken by
     registration order — exact backends register before probabilistic
-    ones, so a tie resolves to the stronger guarantee); infeasible ones
+    ones, and single-stage plans before hybrids, so a tie resolves to
+    the stronger guarantee and the simpler plan); infeasible ones
     follow, carrying their reasons for diagnostics.
+    ``include_hybrids=False`` restricts the ranking to single-stage
+    plans (the engine does this when backend-specific options were
+    passed, since those bind to one backend).
     """
     from repro.engine.registry import available_backends, get_backend
 
@@ -343,10 +500,27 @@ def plan_join(
         get_backend(name).estimate_cost(n, m, d, spec, model)
         for name in available_backends()
     ]
-    order = sorted(
+    plans = [
+        PlanEstimate(
+            plan=Plan.single(e.backend),
+            stage_estimates=(e,),
+            feasible=e.feasible,
+            reason=e.reason,
+        )
+        for e in estimates
+    ]
+    if include_hybrids:
+        plans.extend(_hybrid_candidates(n, m, d, spec, model))
+    est_order = sorted(
         range(len(estimates)),
         key=lambda i: (not estimates[i].feasible, estimates[i].total_ops, i),
     )
+    plan_order = sorted(
+        range(len(plans)),
+        key=lambda i: (not plans[i].feasible, plans[i].total_ops, i),
+    )
     return JoinPlan(
-        n=n, m=m, d=d, spec=spec, estimates=[estimates[i] for i in order]
+        n=n, m=m, d=d, spec=spec,
+        estimates=[estimates[i] for i in est_order],
+        plans=[plans[i] for i in plan_order],
     )

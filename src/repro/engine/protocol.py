@@ -90,6 +90,11 @@ class JoinBackend(ABC):
     #: Registry name; also reported in ``JoinResult.backend``.
     name: str = ""
 
+    #: Problem variants (:attr:`JoinSpec.variant` values) this backend
+    #: answers.  The planner and the Plan IR consult this to decide which
+    #: backends can serve as stages for a given spec.
+    variants: Tuple[str, ...] = ()
+
     @abstractmethod
     def prepare(
         self,

@@ -49,3 +49,12 @@ def get_backend(name: str) -> JoinBackend:
 def available_backends() -> List[str]:
     """Registered backend names, in registration order."""
     return list(_REGISTRY)
+
+
+def backends_for_variant(variant: str) -> List[str]:
+    """Names of registered backends that answer ``variant``, in order."""
+    return [
+        name
+        for name, backend in _REGISTRY.items()
+        if variant in getattr(backend, "variants", ())
+    ]

@@ -36,6 +36,7 @@ from repro.obs.planner_log import (
     current_log,
     format_pick_distribution,
     format_regret_table,
+    format_stage_table,
     use_planner_log,
 )
 from repro.obs.trace import Span, Tracer, current_tracer, span, use_tracer
@@ -69,4 +70,5 @@ __all__ = [
     "use_planner_log",
     "format_regret_table",
     "format_pick_distribution",
+    "format_stage_table",
 ]

@@ -47,11 +47,17 @@ class PlannerRecord:
     #: The backend that actually ran.
     picked: str
     wall_s: float
-    #: Planner-predicted total ops per feasible backend (auto mode only).
+    #: Planner-predicted total ops per feasible plan (auto mode only).
     predicted: Dict[str, float] = field(default_factory=dict)
     evaluated: int = 0
     generated: int = 0
     n_workers: int = 1
+    #: One dict per executed plan stage (``index``, ``backend``, ``n``,
+    #: ``m``, ``wall_s``, ``evaluated``, ``generated``, ``answered``,
+    #: and — for auto picks — ``predicted_ops``), so regret attributes
+    #: to stages, not just whole plans.  Single-backend joins carry one
+    #: entry.
+    stages: List[dict] = field(default_factory=list)
 
     def key(self) -> Tuple:
         """Instance identity: rows sharing a key answered the same problem."""
@@ -184,6 +190,20 @@ class PlannerLog:
             )
         return rows
 
+    def stage_rows(self) -> List[Tuple[Tuple, str, dict]]:
+        """Flatten every record's stage entries for per-stage attribution.
+
+        Returns ``(instance key, plan backend, stage dict)`` triples in
+        record order — the raw material for asking *which stage* of a
+        hybrid plan spent the time (or did the answering), rather than
+        scoring whole plans only.
+        """
+        rows: List[Tuple[Tuple, str, dict]] = []
+        for rec in self._records:
+            for stage in rec.stages:
+                rows.append((rec.key(), rec.picked, dict(stage)))
+        return rows
+
     def pick_distribution(self) -> Dict[str, int]:
         """How often each backend was picked by ``backend="auto"``."""
         counts: Dict[str, int] = {}
@@ -223,6 +243,43 @@ def format_regret_table(log: PlannerLog) -> str:
         f"{mean_regret * 100:.1f}%, max regret "
         f"{max(r.regret for r in rows) * 100:.1f}%"
     )
+    return "\n".join(lines)
+
+
+def format_stage_table(log: PlannerLog, multi_stage_only: bool = True) -> str:
+    """Per-stage wall/work attribution as aligned text.
+
+    One row per executed stage; by default only plans with more than one
+    stage are shown (single-backend joins add nothing over the regret
+    table).  ``predicted_ops`` is blank for explicit picks.
+    """
+    triples = [
+        (key, plan, stage)
+        for key, plan, stage in log.stage_rows()
+        if not multi_stage_only or "+" in plan
+    ]
+    if not triples:
+        return "no multi-stage plans recorded"
+    header = ["n", "m", "d", "plan", "stage", "backend", "sub_n", "sub_m",
+              "wall", "answered", "evaluated", "pred_ops"]
+    table: List[List[str]] = []
+    for key, plan, stage in triples:
+        n, m, d = key[0], key[1], key[2]
+        predicted = stage.get("predicted_ops")
+        table.append([
+            str(n), str(m), str(d), plan, str(stage.get("index", "?")),
+            str(stage.get("backend", "?")),
+            str(stage.get("n", "?")), str(stage.get("m", "?")),
+            f"{stage.get('wall_s', 0.0) * 1e3:.1f}ms",
+            str(stage.get("answered", 0)),
+            str(stage.get("evaluated", 0)),
+            f"{predicted:.3g}" if predicted is not None else "-",
+        ])
+    widths = [max(len(header[i]), max(len(r[i]) for r in table))
+              for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in table)
     return "\n".join(lines)
 
 

@@ -102,12 +102,14 @@ class SketchCMIPS:
             norm_estimate=self.estimator.estimate(q),
         )
 
-    def query_batch(self, Q) -> CMIPSBatchAnswer:
+    def query_batch(self, Q, exclude=None) -> CMIPSBatchAnswer:
         """Batched :meth:`query`: one recovery descent pass and one stacked
         norm-estimate GEMM for the whole block.  Entry ``j`` equals
-        ``query(Q[j])`` field for field."""
+        ``query(Q[j])`` field for field.  ``exclude`` (one data index per
+        query) masks a self-join's identical pairs inside the descent —
+        see :meth:`PrefixRecoveryIndex.query_batch`."""
         Q = check_matrix(Q, "Q", allow_empty=True)
-        indices, values = self.recovery.query_batch(Q)
+        indices, values = self.recovery.query_batch(Q, exclude=exclude)
         return CMIPSBatchAnswer(
             indices=indices,
             values=values,

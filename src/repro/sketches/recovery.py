@@ -117,7 +117,9 @@ class PrefixRecoveryIndex:
         best = int(np.argmax(values))
         return int(node.indices[best]), float(values[best])
 
-    def query_batch(self, Q) -> Tuple[np.ndarray, np.ndarray]:
+    def query_batch(
+        self, Q, exclude: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Batched :meth:`query`: ``(indices, values)`` arrays over rows of ``Q``.
 
         Runs the greedy descent level-synchronously: a worklist of
@@ -126,6 +128,17 @@ class PrefixRecoveryIndex:
         population* rather than once per query.  Routing uses the same
         ``left >= right`` comparison as :meth:`query` on the same
         estimates, and leaves finish with the same exact scan.
+
+        ``exclude`` (shape ``(m,)`` int64, one global data index per
+        query) masks the identical pair of a self-join *inside* the
+        descent: the excluded index is removed from every exact scan —
+        final leaves and small-subset child estimates — so the returned
+        argmax is the best *other* vector.  Sketched child estimates
+        cannot unmix one row and are left as-is; that only perturbs
+        routing, never the exactness of the reported value.  A query
+        whose final leaf holds only its excluded row reports index
+        ``-1``.  ``exclude=None`` is bit-identical to the pre-masking
+        descent.
         """
         Q = check_matrix(Q, "Q", allow_empty=True)
         m = Q.shape[0]
@@ -133,6 +146,13 @@ class PrefixRecoveryIndex:
             raise ParameterError(
                 f"expected query dimension {self.d}, got {Q.shape[1]}"
             )
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.int64)
+            if exclude.shape != (m,):
+                raise ParameterError(
+                    f"exclude must hold one data index per query "
+                    f"(shape ({m},)), got {exclude.shape}"
+                )
         out_indices = np.empty(m, dtype=np.int64)
         out_values = np.empty(m, dtype=np.float64)
         worklist: List[Tuple[_Node, np.ndarray]] = (
@@ -142,14 +162,24 @@ class PrefixRecoveryIndex:
             next_level: List[Tuple[_Node, np.ndarray]] = []
             for node, qids in worklist:
                 block = Q[qids]
+                excl = exclude[qids] if exclude is not None else None
                 if node.is_leaf:
                     values = np.abs(self.A[node.indices] @ block.T)  # (leaf, b)
+                    if excl is not None:
+                        hit = node.indices[:, None] == excl[None, :]
+                        values = np.where(hit, -np.inf, values)
                     best = np.argmax(values, axis=0)
-                    out_indices[qids] = node.indices[best]
-                    out_values[qids] = values[best, np.arange(qids.size)]
+                    leaf_indices = node.indices[best]
+                    leaf_values = values[best, np.arange(qids.size)]
+                    if excl is not None:
+                        dead = np.isneginf(leaf_values)
+                        leaf_indices = np.where(dead, -1, leaf_indices)
+                        leaf_values = np.where(dead, 0.0, leaf_values)
+                    out_indices[qids] = leaf_indices
+                    out_values[qids] = leaf_values
                     continue
-                left_est = self._child_estimates(node.left, block)
-                right_est = self._child_estimates(node.right, block)
+                left_est = self._child_estimates(node.left, block, excl)
+                right_est = self._child_estimates(node.right, block, excl)
                 go_left = left_est >= right_est
                 if go_left.any():
                     next_level.append((node.left, qids[go_left]))
@@ -158,13 +188,23 @@ class PrefixRecoveryIndex:
             worklist = next_level
         return out_indices, out_values
 
-    def _child_estimates(self, child: _Node, block: np.ndarray) -> np.ndarray:
+    def _child_estimates(
+        self,
+        child: _Node,
+        block: np.ndarray,
+        excl: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         if child.estimator is not None:
             # block was validated once at query_batch entry and descent
             # blocks shrink level by level: take the no-validation,
-            # no-chunking fast path.
+            # no-chunking fast path.  A sketch cannot unmix a single row,
+            # so self-join exclusion does not apply here.
             return child.estimator._estimate_block(block)
-        return np.abs(self.A[child.indices] @ block.T).max(axis=0, initial=0.0)
+        values = np.abs(self.A[child.indices] @ block.T)
+        if excl is not None:
+            hit = child.indices[:, None] == excl[None, :]
+            values = np.where(hit, -np.inf, values)
+        return values.max(axis=0, initial=0.0)
 
     def _exact_max(self, indices: np.ndarray, q: np.ndarray) -> float:
         return float(np.abs(self.A[indices] @ q).max(initial=0.0))

@@ -118,3 +118,24 @@ def test_pr3_artifact_when_present():
     assert report["checks"]["dispatch_brute_matches_equal"]
     assert report["checks"]["dispatch_lsh_matches_equal"]
     assert all(report["checks"].values()), report["checks"]
+
+
+def test_pr5_artifact_when_present():
+    """BENCH_PR5.json (hybrid plan suite), when checked in."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    assert "hybrid_vs_single" in report["meta"]["suites"]
+    assert report["meta"]["hybrid_suite"]["n"] == 30_000
+    assert report["speedups"]["hybrid_vs_best_single"] > 1.0
+    assert report["work"]["hybrid_coverage_vs_brute"] >= \
+        bench_perf.HYBRID_COVERAGE_FLOOR
+    assert report["work"]["plan_dispatch_overhead"] <= \
+        bench_perf.PLAN_DISPATCH_OVERHEAD_CEILING
+    assert report["checks"]["hybrid_backend_is_plan"]
+    assert report["checks"]["hybrid_parallel_identical"]
+    assert all(report["checks"].values()), report["checks"]

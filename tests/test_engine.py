@@ -265,7 +265,7 @@ class TestPlanner:
             ).estimates
         }
         assert ranked["brute_force"].feasible
-        assert not ranked["norm_pruned"].feasible
+        assert ranked["norm_pruned"].feasible
         assert not ranked["sketch"].feasible
 
     def test_estimates_sorted_feasible_then_cheapest(self):
@@ -337,12 +337,20 @@ class TestOptionValidation:
         with pytest.raises(ParameterError, match="unsigned-only"):
             engine.join(instance.P, instance.Q, spec, backend="sketch")
 
-    def test_norm_pruned_rejects_topk(self, instance):
+    def test_norm_pruned_rejects_self(self, instance):
         with pytest.raises(ParameterError, match="does not answer"):
             engine.join(
-                instance.P, instance.Q, JoinSpec(s=0.8, c=0.5, k=2),
+                instance.P, None, JoinSpec(s=0.8, c=0.5),
                 backend="norm_pruned",
             )
+
+    def test_norm_pruned_topk_matches_brute(self, instance):
+        spec = JoinSpec(s=0.8, c=0.5, k=2)
+        exact = engine.join(instance.P, instance.Q, spec, backend="brute_force")
+        pruned = engine.join(instance.P, instance.Q, spec, backend="norm_pruned")
+        assert pruned.topk == exact.topk
+        assert pruned.matches == exact.matches
+        assert pruned.inner_products_evaluated <= exact.inner_products_evaluated
 
     def test_self_spec_requires_q_none(self, instance):
         with pytest.raises(ParameterError, match="pass Q=None"):
@@ -445,3 +453,296 @@ class TestMIPSEngineJoins:
         result = mips.join(instance.Q, s=0.85)
         assert result.backend == "sketch"
         assert result.spec.c == pytest.approx(mips.approximation_factor)
+
+
+class TestPlanIR:
+    """Plan construction, one-stage equality, and hybrid execution."""
+
+    def test_stage_validation(self):
+        from repro.engine import Plan, Stage
+
+        with pytest.raises(ParameterError, match="query rule"):
+            Stage(backend="lsh", queries="leftover")
+        with pytest.raises(ParameterError, match="point rule"):
+            Stage(backend="lsh", points="low_norm")
+        with pytest.raises(ParameterError, match="fraction"):
+            Stage(backend="lsh", points="norm_top")
+        with pytest.raises(ParameterError, match="fraction only applies"):
+            Stage(backend="lsh", fraction=0.5)
+        with pytest.raises(ParameterError, match="at least one stage"):
+            Plan(stages=())
+
+    def test_norm_partition_is_deterministic_and_sorted(self):
+        from repro.engine.plan import norm_partition, norm_split_size
+
+        rng = np.random.default_rng(3)
+        P = rng.normal(size=(50, 8))
+        top, tail = norm_partition(P, 0.2)
+        assert top.size == norm_split_size(50, 0.2) == 10
+        assert np.all(np.diff(top) > 0) and np.all(np.diff(tail) > 0)
+        norms = np.linalg.norm(P, axis=1)
+        assert norms[top].min() >= norms[tail].max()
+        top2, tail2 = norm_partition(P, 0.2)
+        assert np.array_equal(top, top2) and np.array_equal(tail, tail2)
+
+    def test_one_stage_plan_bit_equality(self, instance, spec):
+        from repro.engine import Plan
+
+        by_name = engine.join(instance.P, instance.Q, spec, backend="norm_pruned")
+        by_plan = engine.join(
+            instance.P, instance.Q, spec, backend=Plan.single("norm_pruned")
+        )
+        assert by_plan.matches == by_name.matches
+        assert by_plan.backend == by_name.backend == "norm_pruned"
+        assert (
+            by_plan.inner_products_evaluated == by_name.inner_products_evaluated
+        )
+        assert by_plan.stats == by_name.stats
+        assert by_plan.spec == by_name.spec
+
+    def test_norm_prefix_lsh_hybrid_properties(self, instance, spec):
+        from repro.engine import norm_prefix_lsh_plan
+        from repro.engine.plan import norm_partition
+
+        plan = norm_prefix_lsh_plan(prefix_fraction=0.25)
+        result = engine.join(instance.P, instance.Q, spec, backend=plan, seed=9)
+        assert result.backend == "norm_pruned+lsh"
+        assert result.spec == spec
+        cs = spec.cs
+        for qi, mi in enumerate(result.matches):
+            if mi is not None:
+                assert float(instance.P[mi] @ instance.Q[qi]) >= cs - 1e-9
+        # Stage 1 is exact over the high-norm prefix: any query answerable
+        # from the prefix must be answered.
+        top, _ = norm_partition(instance.P, 0.25)
+        prefix_best = (instance.Q @ instance.P[top].T).max(axis=1)
+        for qi in np.flatnonzero(prefix_best >= cs):
+            assert result.matches[qi] is not None
+
+    def test_norm_prefix_lsh_hybrid_parallel_stitching(self, instance, spec):
+        from repro.engine import norm_prefix_lsh_plan
+
+        plan = norm_prefix_lsh_plan(prefix_fraction=0.25)
+        serial = engine.join(
+            instance.P, instance.Q, spec, backend=plan, seed=9, block=32
+        )
+        for workers in (2, 3):
+            parallel = engine.join(
+                instance.P, instance.Q, spec, backend=plan, seed=9,
+                block=32, n_workers=workers,
+            )
+            assert parallel.matches == serial.matches
+            assert (
+                parallel.inner_products_evaluated
+                == serial.inner_products_evaluated
+            )
+            assert parallel.stats == serial.stats
+
+    def test_sketch_fallback_hybrid_matches_brute_matched_set(self, instance):
+        from repro.engine import sketch_fallback_plan
+
+        spec = JoinSpec(s=0.85, c=0.5, signed=False)
+        plan = sketch_fallback_plan(sketch_options={"kappa": 3.0})
+        hybrid = engine.join(instance.P, instance.Q, spec, backend=plan, seed=3)
+        exact = engine.join(instance.P, instance.Q, spec, backend="brute_force")
+        assert hybrid.backend == "sketch+brute_force"
+        mine = {i for i, v in enumerate(hybrid.matches) if v is not None}
+        ref = {i for i, v in enumerate(exact.matches) if v is not None}
+        # The exact fallback re-answers every query the (re-verified)
+        # sketch stage missed, so the matched-query sets coincide.
+        assert mine == ref
+        for qi, mi in enumerate(hybrid.matches):
+            if mi is not None:
+                assert abs(float(instance.P[mi] @ instance.Q[qi])) >= spec.cs - 1e-9
+
+    def test_sketch_fallback_hybrid_parallel_stitching(self, instance):
+        from repro.engine import sketch_fallback_plan
+
+        spec = JoinSpec(s=0.85, c=0.5, signed=False)
+        plan = sketch_fallback_plan(sketch_options={"kappa": 3.0})
+        serial = engine.join(
+            instance.P, instance.Q, spec, backend=plan, seed=3, block=32
+        )
+        for workers in (2, 3):
+            parallel = engine.join(
+                instance.P, instance.Q, spec, backend=plan, seed=3,
+                block=32, n_workers=workers,
+            )
+            assert parallel.matches == serial.matches
+            assert (
+                parallel.inner_products_evaluated
+                == serial.inner_products_evaluated
+            )
+
+    def test_topk_hybrid_entries_clear_threshold(self, instance):
+        from repro.engine import norm_prefix_lsh_plan
+
+        spec = JoinSpec(s=0.85, c=0.5, k=2)
+        plan = norm_prefix_lsh_plan(prefix_fraction=0.25)
+        result = engine.join(instance.P, instance.Q, spec, backend=plan, seed=9)
+        assert result.backend == "norm_pruned+lsh"
+        for qi, lst in enumerate(result.topk):
+            for mi in lst:
+                assert float(instance.P[mi] @ instance.Q[qi]) >= spec.cs - 1e-9
+            assert result.matches[qi] == (lst[0] if lst else None)
+
+    def test_multi_stage_rejects_self_variant(self, instance):
+        from repro.engine import sketch_fallback_plan
+
+        with pytest.raises(ParameterError, match="multi-stage plans answer"):
+            engine.join(
+                instance.P, None, JoinSpec(s=0.85, c=0.5, signed=False),
+                backend=sketch_fallback_plan(),
+            )
+
+    def test_plan_rejects_engine_level_options(self, instance, spec):
+        from repro.engine import norm_prefix_lsh_plan
+
+        with pytest.raises(ParameterError, match="per-stage options"):
+            engine.join(
+                instance.P, instance.Q, spec,
+                backend=norm_prefix_lsh_plan(), scan_block=64,
+            )
+
+
+class TestAutoHybrids:
+    """backend="auto" can pick — and correctly execute — hybrid plans."""
+
+    def test_auto_picks_and_runs_norm_lsh_hybrid(self):
+        model = CostModel(
+            hybrid_prefix_fraction=0.1, hybrid_tail_query_fraction=0.1
+        )
+        spec = JoinSpec(s=0.9, c=0.7)
+        ranked = plan_join(4000, 1000, 32, spec, model=model)
+        assert ranked.backend == "norm_pruned+lsh"
+        assert ranked.best_plan.plan.is_multi_stage
+        rng = np.random.default_rng(1)
+        P, Q = rng.normal(size=(4000, 32)), rng.normal(size=(1000, 32))
+        result = engine.join(P, Q, spec, backend="auto", model=model, seed=5)
+        assert result.backend == "norm_pruned+lsh"
+        for qi, mi in enumerate(result.matches):
+            if mi is not None:
+                assert float(P[mi] @ Q[qi]) >= spec.cs - 1e-9
+
+    def test_auto_picks_and_runs_sketch_fallback_hybrid(self):
+        model = CostModel(
+            max_kappa=2.5, sketch_fixed_build=0.0, lsh_fixed_build=1e9,
+            norm_prefix_fraction=0.9, sketch_fallback_query_fraction=0.3,
+        )
+        spec = JoinSpec(s=0.8, c=0.5, signed=False)
+        ranked = plan_join(2000, 400, 16, spec, model=model)
+        assert ranked.backend == "sketch+brute_force"
+        rng = np.random.default_rng(2)
+        P, Q = rng.normal(size=(2000, 16)), rng.normal(size=(400, 16))
+        result = engine.join(P, Q, spec, backend="auto", model=model, seed=5)
+        assert result.backend == "sketch+brute_force"
+        exact = engine.join(P, Q, spec, backend="brute_force")
+        mine = {i for i, v in enumerate(result.matches) if v is not None}
+        ref = {i for i, v in enumerate(exact.matches) if v is not None}
+        assert mine == ref
+
+    def test_auto_with_options_stays_single_stage(self):
+        model = CostModel(
+            hybrid_prefix_fraction=0.1, hybrid_tail_query_fraction=0.1
+        )
+        spec = JoinSpec(s=0.9, c=0.7)
+        rng = np.random.default_rng(1)
+        P, Q = rng.normal(size=(4000, 32)), rng.normal(size=(1000, 32))
+        ranked = plan_join(4000, 1000, 32, spec, model=model,
+                           include_hybrids=False)
+        assert all(not pe.plan.is_multi_stage for pe in ranked.plans)
+        result = engine.join(
+            P, Q, spec, backend="auto", model=model, seed=5, n_tables=8
+        )
+        # Engine-level options bind to one backend's prepare, so hybrids
+        # are excluded from the ranking and a plain single backend runs.
+        assert "+" not in result.backend
+
+    def test_hybrid_auto_parallel_identical(self):
+        model = CostModel(
+            hybrid_prefix_fraction=0.1, hybrid_tail_query_fraction=0.1
+        )
+        spec = JoinSpec(s=0.9, c=0.7)
+        rng = np.random.default_rng(1)
+        P, Q = rng.normal(size=(2000, 24)), rng.normal(size=(500, 24))
+        serial = engine.join(P, Q, spec, backend="auto", model=model, seed=5)
+        parallel = engine.join(
+            P, Q, spec, backend="auto", model=model, seed=5, n_workers=2
+        )
+        assert serial.backend == parallel.backend
+        assert serial.matches == parallel.matches
+
+    def test_no_feasible_plan_error_lists_every_reason(self):
+        from repro.engine.planner import JoinPlan
+
+        ranked = JoinPlan(
+            n=10, m=10, d=4, spec=JoinSpec(s=0.8, c=0.5, signed=False),
+            estimates=[
+                CostEstimate(backend="lsh", feasible=False, reason="no gap"),
+                CostEstimate(
+                    backend="sketch", feasible=False, reason="unsigned only"
+                ),
+            ],
+        )
+        with pytest.raises(ParameterError) as err:
+            ranked.best_plan
+        message = str(err.value)
+        assert "lsh: no gap" in message
+        assert "sketch: unsigned only" in message
+        assert "n=10" in message
+
+
+class TestSketchSelfJoin:
+    """The sketch backend's self variant: identity masked in the descent."""
+
+    def test_self_never_matches_identity(self, instance):
+        spec = JoinSpec(s=0.85, c=0.4, signed=False)
+        result = engine.join(instance.P, None, spec, backend="sketch", seed=3)
+        assert result.backend == "sketch"
+        for qi, mi in enumerate(result.matches):
+            assert mi != qi
+            if mi is not None:
+                assert abs(float(instance.P[mi] @ instance.P[qi])) >= \
+                    result.spec.cs - 1e-9
+
+    def test_self_parallel_identical(self, instance):
+        spec = JoinSpec(s=0.85, c=0.4, signed=False)
+        serial = engine.join(
+            instance.P, None, spec, backend="sketch", seed=3, block=64
+        )
+        parallel = engine.join(
+            instance.P, None, spec, backend="sketch", seed=3, block=64,
+            n_workers=2,
+        )
+        assert serial.matches == parallel.matches
+
+    def test_self_rejects_duplicate_exclusion(self, instance):
+        spec = JoinSpec(
+            s=0.85, c=0.4, signed=False, self_join=True, match_duplicates=False
+        )
+        with pytest.raises(ParameterError, match="match_duplicates"):
+            engine.join(instance.P, None, spec, backend="sketch", seed=3)
+
+    def test_exclude_none_descent_unchanged(self, instance):
+        from repro.sketches.recovery import PrefixRecoveryIndex
+
+        index = PrefixRecoveryIndex(instance.P, kappa=3.0, seed=11)
+        plain = index.query_batch(instance.Q)
+        with_kw = index.query_batch(instance.Q, exclude=None)
+        assert np.array_equal(plain[0], with_kw[0])
+        assert np.array_equal(plain[1], with_kw[1])
+
+    def test_exclude_masks_identity_in_descent(self, instance):
+        from repro.sketches.recovery import PrefixRecoveryIndex
+
+        index = PrefixRecoveryIndex(instance.P, kappa=3.0, seed=11)
+        n = instance.P.shape[0]
+        exclude = np.arange(n, dtype=np.int64)
+        indices, values = index.query_batch(instance.P, exclude=exclude)
+        assert np.all(indices != exclude)
+        # returned values are the exact |ip| of the returned index
+        valid = indices >= 0
+        picked = np.einsum(
+            "ij,ij->i", instance.P[indices[valid]], instance.P[valid]
+        )
+        assert np.allclose(np.abs(picked), values[valid])

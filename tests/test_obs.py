@@ -493,3 +493,160 @@ class TestCostModelPersistence:
         result = join(instance.P, instance.Q, spec, backend="auto", seed=1)
         assert result.backend != "norm_pruned"
         assert builtin_pick == "norm_pruned"  # the flip was real
+
+
+class TestHybridTraceShape:
+    """Multi-stage plans expose one span per stage, run_chunks labelled."""
+
+    def _hybrid(self, instance, *, n_workers=1, trace=True):
+        from repro.engine import norm_prefix_lsh_plan
+
+        return join(
+            instance.P, instance.Q, JoinSpec(s=0.85, c=0.4),
+            backend=norm_prefix_lsh_plan(prefix_fraction=0.25),
+            seed=1, block=32, n_workers=n_workers, trace=trace,
+        )
+
+    def test_stage_spans_nest_prepare_run_merge(self, instance):
+        root = self._hybrid(instance).trace
+        assert root is not None and root.name == "engine.join"
+        names = [c.name for c in root.children]
+        assert names == ["planner", "stage", "stage", "merge"]
+        stages = root.find("stage")
+        for i, stage_span in enumerate(stages):
+            assert stage_span.attrs["index"] == i
+            inner = [c.name for c in stage_span.children]
+            assert inner.count("prepare") == 1
+            assert inner.count("run") == 1
+            assert inner.count("merge") == 1
+            assert stage_span.attrs["n"] > 0
+        assert stages[0].attrs["backend"] == "norm_pruned"
+        assert stages[0].attrs["label"] == "prefix"
+        assert stages[0].attrs["points"] == "norm_top"
+        assert stages[1].attrs["backend"] == "lsh"
+        assert stages[1].attrs["label"] == "tail"
+        assert stages[1].attrs["queries"] == "unanswered"
+        # Stage 2 only sees what stage 1 left unanswered.
+        assert stages[1].attrs["m"] == \
+            instance.Q.shape[0] - stages[0].attrs["answered"]
+        assert root.child("merge").attrs["stages"] == 2
+
+    def test_stage_run_chunks_carry_stage_label(self, instance):
+        root = self._hybrid(instance, n_workers=2).trace
+        for stage_span in root.find("stage"):
+            chunks = stage_span.child("run").find("run_chunk")
+            assert chunks, "each stage shards its query subset"
+            for chunk in chunks:
+                assert chunk.attrs["stage"] == stage_span.attrs["label"]
+            starts = [c.attrs["start"] for c in chunks]
+            assert starts == sorted(starts) and starts[0] == 0
+            assert sum(c.attrs["n_queries"] for c in chunks) == \
+                stage_span.attrs["m"]
+
+    def test_hybrid_trace_serial_parallel_same_shape(self, instance):
+        serial = self._hybrid(instance, n_workers=1).trace
+        parallel = self._hybrid(instance, n_workers=2).trace
+        assert [c.name for c in serial.children] == \
+            [c.name for c in parallel.children]
+        for a, b in zip(serial.find("stage"), parallel.find("stage")):
+            assert a.attrs["answered"] == b.attrs["answered"]
+            assert a.attrs["m"] == b.attrs["m"]
+
+
+class TestPlannerLogStages:
+    """Every record carries per-stage attribution rows."""
+
+    def test_single_backend_record_has_one_stage(self, instance):
+        log = PlannerLog()
+        spec = JoinSpec(s=0.85, c=0.4)
+        with use_planner_log(log):
+            join(instance.P, instance.Q, spec, backend="norm_pruned")
+        (record,) = log.records
+        assert len(record.stages) == 1
+        stage = record.stages[0]
+        assert stage["backend"] == "norm_pruned"
+        assert stage["index"] == 0
+        assert stage["n"] == instance.P.shape[0]
+        assert stage["m"] == instance.Q.shape[0]
+        assert stage["wall_s"] == record.wall_s
+        assert stage["evaluated"] == record.evaluated
+
+    def test_hybrid_record_attributes_per_stage(self, instance):
+        from repro.engine import norm_prefix_lsh_plan
+
+        log = PlannerLog()
+        spec = JoinSpec(s=0.85, c=0.4)
+        with use_planner_log(log):
+            join(
+                instance.P, instance.Q, spec,
+                backend=norm_prefix_lsh_plan(prefix_fraction=0.25), seed=1,
+            )
+        (record,) = log.records
+        assert record.picked == "norm_pruned+lsh"
+        assert [s["backend"] for s in record.stages] == ["norm_pruned", "lsh"]
+        assert record.stages[0]["m"] == instance.Q.shape[0]
+        assert record.stages[1]["m"] == \
+            instance.Q.shape[0] - record.stages[0]["answered"]
+        assert sum(s["evaluated"] for s in record.stages) <= record.evaluated
+        assert all(s["wall_s"] >= 0 for s in record.stages)
+        # Explicit plans carry no predictions.
+        assert all("predicted_ops" not in s for s in record.stages)
+
+    def test_auto_hybrid_stages_carry_predicted_ops(self, instance):
+        model = CostModel(
+            hybrid_prefix_fraction=0.1, hybrid_tail_query_fraction=0.1
+        )
+        spec = JoinSpec(s=0.9, c=0.7)
+        rng = np.random.default_rng(1)
+        P, Q = rng.normal(size=(4000, 32)), rng.normal(size=(1000, 32))
+        assert plan_join(4000, 1000, 32, spec, model=model).backend == \
+            "norm_pruned+lsh"
+        log = PlannerLog()
+        with use_planner_log(log):
+            join(P, Q, spec, backend="auto", model=model, seed=5)
+        (record,) = log.records
+        assert record.mode == "auto"
+        assert record.picked == "norm_pruned+lsh"
+        assert len(record.stages) == 2
+        for stage in record.stages:
+            assert stage["predicted_ops"] > 0
+        assert "norm_pruned+lsh" in record.predicted
+
+    def test_stage_rows_and_table(self, instance):
+        from repro.engine import norm_prefix_lsh_plan
+        from repro.obs import format_stage_table
+
+        log = PlannerLog()
+        spec = JoinSpec(s=0.85, c=0.4)
+        with use_planner_log(log):
+            join(instance.P, instance.Q, spec, backend="brute_force")
+            join(
+                instance.P, instance.Q, spec,
+                backend=norm_prefix_lsh_plan(prefix_fraction=0.25), seed=1,
+            )
+        rows = log.stage_rows()
+        assert len(rows) == 3  # 1 single + 2 hybrid stages
+        table = format_stage_table(log)
+        assert "norm_pruned+lsh" in table
+        assert "prefix" not in table or True  # labels not in table columns
+        assert "brute_force" not in table  # single-stage filtered by default
+        full = format_stage_table(log, multi_stage_only=False)
+        assert "brute_force" in full
+        empty = format_stage_table(PlannerLog())
+        assert empty == "no multi-stage plans recorded"
+
+    def test_jsonl_roundtrip_preserves_stages(self, instance, tmp_path):
+        from repro.engine import norm_prefix_lsh_plan
+
+        log = PlannerLog()
+        spec = JoinSpec(s=0.85, c=0.4)
+        with use_planner_log(log):
+            join(
+                instance.P, instance.Q, spec,
+                backend=norm_prefix_lsh_plan(prefix_fraction=0.25), seed=1,
+            )
+        path = tmp_path / "stages.jsonl"
+        log.save(path)
+        loaded = PlannerLog.load(path)
+        assert loaded.records[0].stages == log.records[0].stages
+        assert loaded.records[0].to_dict() == log.records[0].to_dict()
