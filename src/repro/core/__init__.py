@@ -18,8 +18,13 @@ from repro.core.brute_force import (
 from repro.core.executor import (
     BatchIndexSpec,
     SketchStructureSpec,
+    WorkerPool,
+    close_pools,
+    get_pool,
+    map_query_chunks,
     parallel_lsh_join,
     parallel_sketch_join,
+    resolve_workers,
 )
 from repro.core.join import signed_join, unsigned_join
 from repro.core.lsh_join import lsh_join
@@ -53,8 +58,13 @@ __all__ = [
     "lsh_self_join",
     "BatchIndexSpec",
     "SketchStructureSpec",
+    "WorkerPool",
+    "close_pools",
+    "get_pool",
+    "map_query_chunks",
     "parallel_lsh_join",
     "parallel_sketch_join",
+    "resolve_workers",
     "BlockVerification",
     "verify_block",
     "verify_candidates",

@@ -24,6 +24,7 @@ from repro.engine.plan import (
 )
 from repro.engine.planner import CostModel, JoinPlan, PlanEstimate, plan_join
 from repro.engine.protocol import ChunkResult, CostEstimate, JoinBackend
+from repro.engine.sharding import shard_bounds, sharded_join
 from repro.engine.registry import (
     available_backends,
     backends_for_variant,
@@ -43,6 +44,8 @@ __all__ = [
     "join",
     "plan",
     "plan_join",
+    "sharded_join",
+    "shard_bounds",
     "Plan",
     "Stage",
     "norm_prefix_lsh_plan",

@@ -56,9 +56,11 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.core.executor import (
+    WorkerPool,
     _engine_runner,
     map_query_chunks,
     merge_join_chunks,
+    resolve_workers,
 )
 from repro.core.problems import (
     JoinResult,
@@ -97,16 +99,20 @@ def plan(
     spec: JoinSpec,
     model: Optional[CostModel] = None,
     include_hybrids: bool = True,
+    n_workers: Union[int, str] = 1,
 ) -> JoinPlan:
     """Rank candidate plans for this instance without running anything.
 
     The same planner call ``backend="auto"`` uses; exposed so callers
     (and the dispatch bench) can inspect *why* a plan was chosen.
+    ``n_workers`` re-prices estimates for parallel execution
+    (:meth:`~repro.engine.planner.CostModel.parallelize`).
     """
     P, Q, spec = _normalize_inputs(P, Q, spec)
     return plan_join(
         P.shape[0], Q.shape[0], P.shape[1], spec, model,
         include_hybrids=include_hybrids,
+        n_workers=resolve_workers(n_workers),
     )
 
 
@@ -199,6 +205,9 @@ def _run_stage_plan(
     block: int,
     trace: bool,
     tracer: Tracer,
+    pool: str,
+    executor: Optional[WorkerPool],
+    blas_threads: Optional[int],
 ):
     """Walk a multi-stage plan's stages under one global result.
 
@@ -258,7 +267,10 @@ def _run_stage_plan(
                     P_stage, spec, seed=stage_seed, block=block,
                     n_workers=n_workers, **stage.options,
                 )
-                if trace and n_workers == 1 and hasattr(payload, "build"):
+                if trace and hasattr(payload, "build"):
+                    # The zero-copy executor builds in the parent for
+                    # every worker count, so the trace can always price
+                    # construction here (engine builds are idempotent).
                     with tracer.span("build"):
                         payload = payload.build(P_stage)
             with tracer.span("run") as run_span:
@@ -266,6 +278,7 @@ def _run_stage_plan(
                     payload, P_stage, Q_stage, _engine_runner,
                     (stage.backend, trace, label),
                     n_workers=n_workers, block=block,
+                    pool=pool, executor=executor, blas_threads=blas_threads,
                 )
             if run_span is not None:
                 run_span.children.extend(c.trace for c in chunks if c.trace)
@@ -319,10 +332,13 @@ def join(
     *,
     backend: Union[str, Plan] = "auto",
     seed=None,
-    n_workers: int = 1,
+    n_workers: Union[int, str] = 1,
     block: int = DEFAULT_BLOCK,
     model: Optional[CostModel] = None,
     trace: bool = False,
+    pool: str = "process",
+    executor: Optional[WorkerPool] = None,
+    blas_threads: Optional[int] = None,
     **options,
 ) -> JoinResult:
     """Answer a ``(cs, s)`` join (any variant) through one dispatch path.
@@ -341,9 +357,10 @@ def join(
             structures; must be a concrete integer when combined with
             ``n_workers > 1`` (workers rebuild from it).  Stage ``i`` of
             a multi-stage plan derives its own seed as ``seed + i``.
-        n_workers: process count — an orthogonal execution knob routed
+        n_workers: worker count or ``"auto"`` (cpu_count capped by
+            ``REPRO_MAX_WORKERS``) — an orthogonal execution knob routed
             through :mod:`repro.core.executor`; results are identical
-            for any value, stage by stage.
+            for any value, stage by stage, in every pool kind.
         block: query block size; chunk boundaries align to it.
         model: optional calibrated :class:`~repro.engine.planner.CostModel`
             for ``backend="auto"``; when omitted, the persisted
@@ -353,6 +370,16 @@ def join(
             result's ``trace``/``metrics`` fields carry them.  Off by
             default — the disabled instrumentation path costs < 2% (the
             ``obs_overhead`` bench enforces it).
+        pool: parallel execution flavour — ``"process"`` (shared-memory
+            arena, persistent process pool) or ``"thread"`` (BLAS
+            releases the GIL inside the chunk GEMMs; zero
+            serialization).  Ignored when ``n_workers`` resolves to 1.
+        executor: a caller-managed
+            :class:`~repro.core.executor.WorkerPool` to run on instead
+            of the persistent registry pool.
+        blas_threads: BLAS threads per worker (default: the fair share
+            ``cpu_count // n_workers``), preventing k workers x m BLAS
+            threads oversubscription.
         options: backend-specific options (``family=...``, ``index=...``,
             ``kappa=...``, ``scan_block=...``, ...), validated by the
             chosen backend's ``prepare``.  They bind to a *single*
@@ -368,6 +395,7 @@ def join(
         joins — the span tree and metrics registry.
     """
     P, Q, spec = _normalize_inputs(P, Q, spec)
+    n_workers = resolve_workers(n_workers)
     tracer = Tracer(enabled=trace)
     registry = MetricsRegistry(enabled=trace)
     requested = backend.backend if isinstance(backend, Plan) else backend
@@ -405,6 +433,7 @@ def join(
                 join_plan = plan_join(
                     P.shape[0], Q.shape[0], P.shape[1], spec, model,
                     include_hybrids=not options,
+                    n_workers=n_workers,
                 )
                 best_estimate = join_plan.best_plan
                 the_plan = best_estimate.plan
@@ -434,16 +463,18 @@ def join(
                     P, spec, seed=seed, block=block, n_workers=n_workers,
                     **stage_options,
                 )
-                if trace and n_workers == 1 and hasattr(payload, "build"):
-                    # Serial runs build here so the trace prices
-                    # construction; parallel runs keep the payload lazy
-                    # (workers rebuild).
+                if trace and hasattr(payload, "build"):
+                    # The zero-copy executor builds in the parent for
+                    # every worker count, so the trace can always price
+                    # construction here (engine builds are idempotent;
+                    # workers receive the built structure, not a recipe).
                     with tracer.span("build"):
                         payload = payload.build(P)
             with tracer.span("run") as run_span:
                 chunks = map_query_chunks(
                     payload, P, Q, _engine_runner, (backend_name, trace),
                     n_workers=n_workers, block=block,
+                    pool=pool, executor=executor, blas_threads=blas_threads,
                 )
             if run_span is not None:
                 run_span.children.extend(c.trace for c in chunks if c.trace)
@@ -482,6 +513,7 @@ def join(
                 the_plan, P, Q, spec,
                 seed=seed, n_workers=n_workers, block=block,
                 trace=trace, tracer=tracer,
+                pool=pool, executor=executor, blas_threads=blas_threads,
             )
             with tracer.span("merge", stages=len(stage_records)):
                 pass

@@ -1,0 +1,193 @@
+"""Data-sharded joins: split ``P``, join per shard, merge per-query bests.
+
+The executor (:mod:`repro.core.executor`) parallelizes over *queries*;
+this module parallelizes over *data* — the first step toward the
+ROADMAP's multi-machine sharding, where each shard's join would run on a
+different box.  ``P`` is split into ``n_shards`` contiguous row shards,
+each shard answers the full query set through the normal engine dispatch
+(:func:`repro.engine.join`, so any backend, any worker count, any pool
+kind applies per shard), and the per-shard answers are merged per query:
+
+* **threshold joins** — each shard reports at most one above-threshold
+  partner per query; the merge recomputes the shard winners' scores and
+  keeps the best (ties to the lowest global index).  For exact backends
+  this reproduces the unsharded result: the unsharded scan keeps the
+  lowest-index maximizer, and every shard winner is its shard's
+  maximizer, so the global best survives in its own shard.  Scores are
+  recomputed from one extra dot product per shard winner (billed in
+  ``inner_products_evaluated``) because :class:`JoinResult` carries
+  indices, not scores.
+* **top-k joins** — per-shard ranked lists merge by ``(-score, index)``
+  and truncate to ``k``: a streaming merge of per-shard heaps.
+* **stats** — work counters sum and :class:`QueryStats` merge through
+  the same monoid the executor uses, so sharded totals remain exact.
+
+Determinism: exact backends (``brute_force``, ``norm_pruned``) give
+bit-identical matches to the unsharded join for any ``n_shards`` (up to
+measure-zero score ties, resolved to the lowest index).  Probabilistic
+backends are deterministic *given* ``(seed, n_shards)`` — shard ``i``
+derives its seed as ``seed + i`` — but changing the shard count changes
+which structure each shard builds, exactly like changing ``seed``.
+
+Self-joins are excluded: identity-pair masking is an intra-shard notion
+and cannot be reconstructed across shards without global indices inside
+the kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.problems import JoinResult, JoinSpec, QueryStats, validate_join_inputs
+from repro.errors import ParameterError
+
+
+def shard_bounds(n: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` row ranges of ``n_shards`` near-equal shards.
+
+    The first ``n % n_shards`` shards get one extra row; shard count is
+    capped at ``n`` so no shard is empty.
+    """
+    if n < 1:
+        raise ParameterError(f"cannot shard an empty data set (n={n})")
+    if n_shards < 1:
+        raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+    shards = min(n_shards, n)
+    base, extra = divmod(n, shards)
+    bounds = []
+    start = 0
+    for i in range(shards):
+        end = start + base + (1 if i < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+def _merge_threshold(
+    shard_results: List[JoinResult],
+    offsets: List[int],
+    P,
+    Q,
+    spec: JoinSpec,
+) -> Tuple[List[Optional[int]], int]:
+    """Merge per-shard single-best matches; returns (matches, extra_evals).
+
+    Every shard winner's score is recomputed with one dot product; the
+    best (highest score, ties to lowest global index) wins the query.
+    """
+    m = Q.shape[0]
+    matches: List[Optional[int]] = [None] * m
+    extra = 0
+    best_scores = np.full(m, -np.inf)
+    for offset, result in zip(offsets, shard_results):
+        for q, local in enumerate(result.matches):
+            if local is None:
+                continue
+            gi = offset + int(local)
+            value = float(P[gi] @ Q[q])
+            extra += 1
+            score = value if spec.signed else abs(value)
+            current = matches[q]
+            if (
+                current is None
+                or score > best_scores[q]
+                or (score == best_scores[q] and gi < current)
+            ):
+                matches[q] = gi
+                best_scores[q] = score
+    return matches, extra
+
+
+def _merge_topk(
+    shard_results: List[JoinResult],
+    offsets: List[int],
+    P,
+    Q,
+    spec: JoinSpec,
+) -> Tuple[List[Optional[int]], List[List[int]], int]:
+    """Merge per-shard ranked lists by ``(-score, index)``, truncated to k."""
+    m = Q.shape[0]
+    topk: List[List[int]] = [[] for _ in range(m)]
+    matches: List[Optional[int]] = [None] * m
+    extra = 0
+    for q in range(m):
+        scored: List[Tuple[float, int]] = []
+        for offset, result in zip(offsets, shard_results):
+            lists = result.topk or []
+            if q >= len(lists):
+                continue
+            for local in lists[q]:
+                gi = offset + int(local)
+                value = float(P[gi] @ Q[q])
+                extra += 1
+                score = value if spec.signed else abs(value)
+                scored.append((-score, gi))
+        scored.sort()
+        topk[q] = [gi for _, gi in scored[: spec.k]]
+        matches[q] = topk[q][0] if topk[q] else None
+    return matches, topk, extra
+
+
+def sharded_join(
+    P,
+    Q,
+    spec: JoinSpec,
+    n_shards: int,
+    **join_options,
+) -> JoinResult:
+    """Split ``P`` into shards, join each, merge per-query bests.
+
+    Args:
+        P, Q: data and query matrices.
+        spec: the problem record; ``join`` and ``topk`` variants only
+            (self-joins cannot be sharded — see module docs).
+        n_shards: contiguous row shards of ``P`` (capped at ``n``).
+        join_options: forwarded verbatim to :func:`repro.engine.join`
+            for every shard — ``backend=``, ``n_workers=``, ``pool=``,
+            ``seed=`` (shard ``i`` runs with ``seed + i``), ...
+
+    Returns:
+        A merged :class:`~repro.core.problems.JoinResult` whose
+        ``backend`` is the shard backend tagged ``@{n_shards}shards``.
+    """
+    from repro.engine.api import join
+
+    P, Q = validate_join_inputs(P, Q)
+    if spec.variant not in ("join", "topk"):
+        raise ParameterError(
+            f"sharded_join answers the 'join' and 'topk' variants, "
+            f"not {spec.variant!r}"
+        )
+    bounds = shard_bounds(P.shape[0], n_shards)
+    seed = join_options.pop("seed", None)
+    shard_results: List[JoinResult] = []
+    offsets: List[int] = []
+    for i, (start, end) in enumerate(bounds):
+        shard_seed = None if seed is None else seed + i
+        shard_results.append(
+            join(P[start:end], Q, spec, seed=shard_seed, **join_options)
+        )
+        offsets.append(start)
+    evaluated = sum(r.inner_products_evaluated for r in shard_results)
+    generated = sum(r.candidates_generated for r in shard_results)
+    stats = QueryStats()
+    for r in shard_results:
+        if r.stats is not None:
+            stats = stats.merge(r.stats)
+    if spec.is_topk:
+        matches, topk, extra = _merge_topk(shard_results, offsets, P, Q, spec)
+    else:
+        topk = None
+        matches, extra = _merge_threshold(shard_results, offsets, P, Q, spec)
+    backend = shard_results[0].backend or "?"
+    return JoinResult(
+        matches=matches,
+        spec=shard_results[0].spec,
+        inner_products_evaluated=evaluated + extra,
+        candidates_generated=generated,
+        topk=topk,
+        backend=f"{backend}@{len(bounds)}shards",
+        stats=stats,
+    )

@@ -22,6 +22,7 @@ pure function of the instrument name.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -184,22 +185,24 @@ class MetricsRegistry:
         )
 
 
-#: The process-current registry; disabled by default (see module doc).
+#: The context-current registry; disabled by default (see module doc).
+#: A ``ContextVar`` so the thread-pool execution path can give each
+#: worker thread its own per-chunk registry without racing siblings.
 _DISABLED = MetricsRegistry(enabled=False)
-_CURRENT: MetricsRegistry = _DISABLED
+_CURRENT: ContextVar[MetricsRegistry] = ContextVar(
+    "repro_metrics", default=_DISABLED
+)
 
 
 def current_metrics() -> MetricsRegistry:
-    return _CURRENT
+    return _CURRENT.get()
 
 
 @contextmanager
 def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
-    """Make ``registry`` the process-current registry within the block."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = registry
+    """Make ``registry`` the context-current registry within the block."""
+    token = _CURRENT.set(registry)
     try:
         yield registry
     finally:
-        _CURRENT = previous
+        _CURRENT.reset(token)

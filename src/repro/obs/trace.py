@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -166,34 +167,35 @@ class Tracer:
         return root
 
 
-#: The process-current tracer.  Disabled by default; the engine swaps an
+#: The context-current tracer.  Disabled by default; the engine swaps an
 #: enabled tracer in for the duration of a traced join (and each worker
-#: process activates its own around its chunk).
+#: process activates its own around its chunk).  A ``ContextVar`` rather
+#: than a module global so the thread-pool execution path works: each
+#: worker thread starts from the default (disabled) value and activates
+#: its own per-chunk tracer without racing siblings or the parent.
 _DISABLED = Tracer(enabled=False)
-_CURRENT: Tracer = _DISABLED
+_CURRENT: ContextVar[Tracer] = ContextVar("repro_tracer", default=_DISABLED)
 
 
 def current_tracer() -> Tracer:
-    return _CURRENT
+    return _CURRENT.get()
 
 
 def span(name: str, **attrs):
-    """Open a span on the process-current tracer.
+    """Open a span on the context-current tracer.
 
     THE instrumentation entry point for kernel code: resolves the
     current tracer at call time, so modules can bind this function at
     import and still observe tracer activation.
     """
-    return _CURRENT.span(name, **attrs)
+    return _CURRENT.get().span(name, **attrs)
 
 
 @contextmanager
 def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
-    """Make ``tracer`` the process-current tracer within the block."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = tracer
+    """Make ``tracer`` the context-current tracer within the block."""
+    token = _CURRENT.set(tracer)
     try:
         yield tracer
     finally:
-        _CURRENT = previous
+        _CURRENT.reset(token)

@@ -1,0 +1,211 @@
+"""BLAS thread-count control without threadpoolctl.
+
+Every chunk kernel bottoms out in a GEMM, and BLAS libraries default to
+one thread per core.  Run ``k`` worker processes (or threads) on top of
+that and you get ``k x cores`` BLAS threads thrashing each other —
+oversubscription is a big slice of why the old process path ran at
+0.23x serial.  The fix is standard: each worker pins its BLAS pool to
+``total_cores // n_workers`` (at least 1) threads.
+
+threadpoolctl is not a dependency of this repo, so this module speaks to
+the BLAS runtime directly:
+
+* :func:`set_blas_threads` / :func:`get_blas_threads` — resolve the
+  ``*_set_num_threads`` / ``*_get_num_threads`` symbols in the BLAS
+  shared object numpy is linked against (OpenBLAS spellings vary by
+  build: plain, ``64_``-suffixed ILP64, and scipy-openblas-vendored
+  variants are all probed) and call them via ctypes.  Takes effect
+  immediately in the current process — the right tool for thread-pool
+  workers and the serial path.
+* :func:`blas_threads` — context manager: pin inside, restore on exit.
+* :func:`blas_env` — the corresponding environment variables
+  (``OMP_NUM_THREADS`` etc.).  Only effective if set *before* the BLAS
+  library loads, i.e. before numpy is imported — the right tool for
+  spawn-context worker processes, where the executor injects them into
+  the child's environment ahead of interpreter start.
+* :func:`worker_blas_threads` — the per-worker pin policy in one place.
+
+If no known BLAS symbol resolves (unusual static builds), the setters
+are no-ops that return ``False``/``0`` rather than raising: pinning is a
+performance measure, never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.errors import ParameterError
+
+#: Environment variables that cap BLAS/OpenMP pools when set before the
+#: library loads.  Ordered: generic OpenMP first, then each BLAS family.
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "BLIS_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+#: set/get symbol spellings, most specific first.  scipy-openblas wheels
+#: (what manylinux numpy ships) prefix with ``scipy_openblas`` and
+#: suffix ILP64 builds with ``64_``.
+_SET_SYMBOLS = (
+    "scipy_openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads_64_",
+    "scipy_openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "openblas_set_num_threads_64_",
+    "openblas_set_num_threads",
+    "MKL_Set_Num_Threads",
+    "bli_thread_set_num_threads",
+)
+_GET_SYMBOLS = (
+    "scipy_openblas_get_num_threads64_",
+    "scipy_openblas_get_num_threads_64_",
+    "scipy_openblas_get_num_threads",
+    "openblas_get_num_threads64_",
+    "openblas_get_num_threads_64_",
+    "openblas_get_num_threads",
+    "mkl_get_max_threads",
+    "bli_thread_get_num_threads",
+)
+
+# Resolved (setter, getter) ctypes functions; None until probed, a
+# (None, None) pair if probing found nothing.
+_RESOLVED: Optional[tuple] = None
+
+
+def _candidate_libraries():
+    """Shared objects that might expose BLAS thread controls.
+
+    numpy's multiarray extension links the BLAS, so the loaded library
+    is findable from numpy's vendored ``.libs`` directory; fall back to
+    the process image itself (``None`` handle), which covers BLAS
+    linked into the main binary.
+    """
+    import numpy as np
+
+    seen = []
+    base = os.path.dirname(os.path.dirname(np.__file__))
+    for libs_dir in (
+        os.path.join(base, "numpy.libs"),
+        os.path.join(os.path.dirname(np.__file__), ".libs"),
+    ):
+        if not os.path.isdir(libs_dir):
+            continue
+        for entry in sorted(os.listdir(libs_dir)):
+            lower = entry.lower()
+            if any(tag in lower for tag in ("openblas", "blas", "mkl", "blis")):
+                seen.append(os.path.join(libs_dir, entry))
+    return seen
+
+
+def _resolve() -> tuple:
+    """Locate (setter, getter) once per process."""
+    global _RESOLVED
+    if _RESOLVED is not None:
+        return _RESOLVED
+    handles = []
+    for path in _candidate_libraries():
+        try:
+            handles.append(ctypes.CDLL(path, mode=ctypes.RTLD_GLOBAL))
+        except OSError:
+            continue
+    try:
+        handles.append(ctypes.CDLL(None))  # symbols already in-process
+    except (OSError, TypeError):  # pragma: no cover - platform quirk
+        pass
+    setter = getter = None
+    for handle in handles:
+        if setter is None:
+            for name in _SET_SYMBOLS:
+                fn = getattr(handle, name, None)
+                if fn is not None:
+                    fn.argtypes = [ctypes.c_int]
+                    fn.restype = None
+                    setter = fn
+                    break
+        if getter is None:
+            for name in _GET_SYMBOLS:
+                fn = getattr(handle, name, None)
+                if fn is not None:
+                    fn.argtypes = []
+                    fn.restype = ctypes.c_int
+                    getter = fn
+                    break
+        if setter is not None and getter is not None:
+            break
+    _RESOLVED = (setter, getter)
+    return _RESOLVED
+
+
+def blas_available() -> bool:
+    """Whether a runtime thread-count setter was found."""
+    return _resolve()[0] is not None
+
+
+def get_blas_threads() -> int:
+    """Current BLAS thread count, or ``0`` if no getter resolved."""
+    getter = _resolve()[1]
+    if getter is None:
+        return 0
+    return int(getter())
+
+
+def set_blas_threads(n: int) -> bool:
+    """Pin the BLAS pool to ``n`` threads; ``True`` if a setter ran."""
+    if n < 1:
+        raise ParameterError(f"BLAS thread count must be >= 1, got {n}")
+    setter = _resolve()[0]
+    if setter is None:
+        return False
+    setter(int(n))
+    return True
+
+
+@contextmanager
+def blas_threads(n: int) -> Iterator[bool]:
+    """Pin BLAS to ``n`` threads inside the block, restoring on exit.
+
+    Yields whether the pin took effect.  Restoration needs a working
+    getter; without one the previous count is unknowable and the pin is
+    left in place (documented, not silent: yields ``False`` then too).
+    """
+    previous = get_blas_threads()
+    applied = previous > 0 and set_blas_threads(n)
+    try:
+        yield applied
+    finally:
+        if applied:
+            set_blas_threads(previous)
+
+
+def blas_env(n: int) -> Dict[str, str]:
+    """Environment mapping that caps BLAS pools at ``n`` threads.
+
+    Must reach the process before its BLAS loads — pass to spawn-context
+    worker initializers or ``subprocess`` env, not the current process.
+    """
+    if n < 1:
+        raise ParameterError(f"BLAS thread count must be >= 1, got {n}")
+    return {name: str(n) for name in BLAS_ENV_VARS}
+
+
+def worker_blas_threads(n_workers: int, requested: Optional[int] = None) -> int:
+    """Per-worker BLAS thread budget: explicit request, else fair share.
+
+    The fair share is ``cpu_count // n_workers`` floored at 1 — with it,
+    ``k`` workers never field more than ``cpu_count`` BLAS threads
+    between them.
+    """
+    if requested is not None:
+        if requested < 1:
+            raise ParameterError(
+                f"blas_threads must be >= 1, got {requested}"
+            )
+        return int(requested)
+    cores = os.cpu_count() or 1
+    return max(1, cores // max(1, n_workers))

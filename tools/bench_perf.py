@@ -48,12 +48,22 @@ Suites (select with ``--suites``):
   overhead (vs the string-backend path) stays within
   ``PLAN_DISPATCH_OVERHEAD_CEILING`` (5%).  Both modes assert match
   soundness, near-brute coverage, and serial/parallel bit-identity.
+* ``parallel_scaling``: the zero-copy executor — serial vs the
+  shared-memory process pool, the GIL-free thread pool, and an inline
+  reproduction of the legacy pickle-per-chunk executor at each worker
+  count, all bit-identical by assertion.  The gates are cores-aware
+  (``meta.cpu_count`` records the machine): with >= 2 cores the quick
+  gate fails when 2 workers run below 1.0x serial; on a single core —
+  where true parallel speedup is physically impossible — it gates on
+  the zero-copy path beating the legacy executor instead (pure
+  serialization savings, core-count independent).  Full mode adds the
+  2.0x @ 4 workers floor on machines with >= 4 cores.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH] \
         [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop,\
-planner_dispatch,obs_overhead,hybrid_vs_single]
+planner_dispatch,obs_overhead,hybrid_vs_single,parallel_scaling]
 """
 
 from __future__ import annotations
@@ -68,9 +78,9 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.core import JoinSpec, parallel_lsh_join
+from repro.core import JoinSpec, close_pools, parallel_lsh_join
 from repro.core.brute_force import brute_force_join
-from repro.core.executor import BatchIndexSpec
+from repro.core.executor import BatchIndexSpec, _chunk_bounds, merge_join_chunks
 from repro.core.lsh_join import lsh_filter_verify_chunk
 from repro.core.problems import JoinResult
 from repro.core.sketch_join import sketch_unsigned_join
@@ -86,10 +96,11 @@ from repro.sketches import SketchCMIPS
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
 
 ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop",
-              "planner_dispatch", "obs_overhead", "hybrid_vs_single")
+              "planner_dispatch", "obs_overhead", "hybrid_vs_single",
+              "parallel_scaling")
 
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
@@ -129,6 +140,13 @@ HYBRID_QUICK = dict(n=3_000, d=32, n_queries=600, hub_fraction=0.02,
                     dispatch_n=1_500, dispatch_queries=200,
                     dispatch_repeats=3, seed=2016)
 
+PARALLEL_FULL = dict(n=40_000, d=64, n_queries=2_048, n_tables=10,
+                     bits_per_table=12, block=256, workers=(2, 4),
+                     repeats=2, seed=2016)
+PARALLEL_QUICK = dict(n=4_000, d=32, n_queries=384, n_tables=6,
+                      bits_per_table=9, block=128, workers=(2,),
+                      repeats=3, seed=2016)
+
 #: Full-mode speedup floors; quick mode only checks correctness (the
 #: shrunken workloads are too small for stable ratios).
 HASH_SPEEDUP_FLOORS = {"crosspolytope": 10.0, "e2lsh": 10.0}
@@ -151,6 +169,10 @@ PLAN_DISPATCH_OVERHEAD_CEILING = 0.05
 #: Full-mode floor on the hybrid's matched-query coverage relative to
 #: brute force (the hybrid's LSH tail is approximate).
 HYBRID_COVERAGE_FLOOR = 0.95
+#: Full-mode parallel-scaling floor at 4 workers, enforced only on
+#: machines with >= 4 cores (``meta.cpu_count`` records the machine a
+#: given artifact measured).
+PARALLEL_4W_SPEEDUP_FLOOR = 2.0
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -613,6 +635,115 @@ def _run_hybrid_suite(quick: bool, timings: dict, speedups: dict,
     return cfg
 
 
+def _legacy_parallel_lsh_join(P, Q, spec: JoinSpec, index_spec,
+                              n_workers: int, block: int) -> JoinResult:
+    """The pre-arena executor, reproduced inline as the bench baseline.
+
+    A fresh process pool per call, the ``(index_spec, P)`` payload
+    pickled into every worker's initializer (with a per-worker index
+    rebuild), and every ``Q`` chunk pickled per task — exactly the data
+    movement the shared-memory arena eliminated.  Results are
+    bit-identical to the zero-copy path; only the transport differs.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.core.executor import _init_worker, _lsh_runner, _run_worker_chunk
+
+    bounds = _chunk_bounds(Q.shape[0], block, n_workers)
+    args = (spec.signed, spec.cs, 0, block)
+    with ProcessPoolExecutor(max_workers=n_workers, initializer=_init_worker,
+                             initargs=(index_spec, P)) as ex:
+        futures = [ex.submit(_run_worker_chunk, _lsh_runner, Q[s:e], s, args)
+                   for s, e in bounds]
+        chunks = [f.result() for f in futures]
+    return merge_join_chunks(chunks, spec)
+
+
+def _run_parallel_suite(quick: bool, timings: dict, speedups: dict,
+                        work: dict, checks: dict) -> dict:
+    """Zero-copy process/thread pools vs serial and the legacy executor."""
+    cfg = PARALLEL_QUICK if quick else PARALLEL_FULL
+    n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
+    seed, block, repeats = cfg["seed"], cfg["block"], cfg["repeats"]
+    cores = os.cpu_count() or 1
+    print(f"[bench_perf] parallel suite: n={n} d={d} queries={nq} "
+          f"workers={cfg['workers']} cores={cores}", flush=True)
+    P = random_unit(n, d, seed=seed) * 0.95
+    Q = random_unit(nq, d, seed=seed + 1) * 0.95
+    spec = JoinSpec(s=0.75, c=0.8)
+    index_spec = BatchIndexSpec(
+        d=d, scheme="hyperplane", n_tables=cfg["n_tables"],
+        bits_per_table=cfg["bits_per_table"], seed=seed + 2, layout="csr")
+
+    def result_key(r: JoinResult):
+        s = r.stats
+        return (r.matches, r.inner_products_evaluated,
+                r.candidates_generated, s.queries, s.candidates,
+                s.unique_candidates, s.probed_buckets)
+
+    serial_s, serial = _timed(
+        lambda: parallel_lsh_join(P, Q, spec, index_spec=index_spec,
+                                  n_workers=1, block=block),
+        repeats=repeats)
+    timings["parallel_serial_s"] = serial_s
+
+    scaling = {"process": {}, "thread": {}, "legacy": {}}
+    zero_copy_vs_legacy = {}
+    identical = True
+    for w in cfg["workers"]:
+        print(f"[bench_perf] parallel: {w} workers "
+              f"(process / thread / legacy) ...", flush=True)
+        process_s, process = _timed(
+            lambda w=w: parallel_lsh_join(
+                P, Q, spec, index_spec=index_spec, n_workers=w,
+                block=block, pool="process"),
+            repeats=repeats)
+        thread_s, threaded = _timed(
+            lambda w=w: parallel_lsh_join(
+                P, Q, spec, index_spec=index_spec, n_workers=w,
+                block=block, pool="thread"),
+            repeats=repeats)
+        legacy_s, legacy = _timed(
+            lambda w=w: _legacy_parallel_lsh_join(
+                P, Q, spec, index_spec, w, block),
+            repeats=repeats)
+        timings[f"parallel_process_{w}w_s"] = process_s
+        timings[f"parallel_thread_{w}w_s"] = thread_s
+        timings[f"parallel_legacy_{w}w_s"] = legacy_s
+        scaling["process"][str(w)] = serial_s / process_s
+        scaling["thread"][str(w)] = serial_s / thread_s
+        scaling["legacy"][str(w)] = serial_s / legacy_s
+        zero_copy_vs_legacy[str(w)] = legacy_s / process_s
+        identical = identical and (
+            result_key(process) == result_key(serial)
+            and result_key(threaded) == result_key(serial)
+            and result_key(legacy) == result_key(serial))
+    speedups["parallel_scaling_vs_serial"] = scaling
+    speedups["parallel_zero_copy_vs_legacy"] = zero_copy_vs_legacy
+    work["parallel_join_matched"] = serial.matched_count
+    work["parallel_cpu_count"] = cores
+    checks["parallel_modes_identical"] = identical
+
+    # Cores-aware gates: a 1-core machine cannot speed anything up by
+    # adding workers, so the regression gate there is the thing that IS
+    # core-count independent — the zero-copy transport must beat the
+    # legacy pickle-per-chunk transport at the same worker count.
+    w0 = str(cfg["workers"][0])
+    if cores >= 2:
+        checks["parallel_2w_speedup_floor"] = (
+            max(scaling["process"][w0], scaling["thread"][w0]) >= 1.0)
+    else:
+        checks["parallel_zero_copy_beats_legacy"] = (
+            zero_copy_vs_legacy[w0] >= 1.0)
+    if not quick and cores >= 4 and 4 in cfg["workers"]:
+        checks["parallel_4w_speedup_floor"] = (
+            max(scaling["process"]["4"], scaling["thread"]["4"])
+            >= PARALLEL_4W_SPEEDUP_FLOOR)
+    # Leave no persistent pools (or /dev/shm segments) behind.
+    close_pools()
+    return cfg
+
+
 def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     suites = tuple(suites)
     unknown = [s for s in suites if s not in ALL_SUITES]
@@ -657,6 +788,10 @@ def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     if "hybrid_vs_single" in suites:
         hybrid_cfg = _run_hybrid_suite(quick, timings, speedups, work, checks)
         report["meta"]["hybrid_suite"] = dict(hybrid_cfg)
+    if "parallel_scaling" in suites:
+        parallel_cfg = _run_parallel_suite(quick, timings, speedups, work,
+                                           checks)
+        report["meta"]["parallel_suite"] = dict(parallel_cfg)
     return report
 
 
@@ -858,6 +993,20 @@ def validate_schema(report: dict) -> None:
                     "hybrid_coverage_floor", "hybrid_parallel_identical",
                     "plan_dispatch_matches_equal"):
             assert key in report["checks"], f"missing check {key}"
+    if "parallel_scaling" in suites:
+        assert "parallel_serial_s" in report["timings"]
+        workers = report["meta"]["parallel_suite"]["workers"]
+        for w in workers:
+            for mode in ("process", "thread", "legacy"):
+                assert f"parallel_{mode}_{w}w_s" in report["timings"]
+        scaling = report["speedups"].get("parallel_scaling_vs_serial")
+        assert isinstance(scaling, dict)
+        for mode in ("process", "thread", "legacy"):
+            assert set(scaling[mode]) == {str(w) for w in workers}
+        assert isinstance(
+            report["speedups"].get("parallel_zero_copy_vs_legacy"), dict)
+        assert "parallel_cpu_count" in report["work"]
+        assert "parallel_modes_identical" in report["checks"]
     if "obs_overhead" in suites:
         for key in ("obs_kernel_span_free_s", "obs_kernel_instrumented_s",
                     "obs_engine_untraced_s", "obs_engine_traced_s",
@@ -934,6 +1083,18 @@ def main(argv: Optional[List[str]] = None) -> dict:
               f"plan dispatch overhead "
               f"{report['work']['plan_dispatch_overhead'] * 100:+.1f}% "
               f"(ceiling {PLAN_DISPATCH_OVERHEAD_CEILING * 100:.0f}%, full mode)")
+    if "parallel_scaling" in suites:
+        scaling = report["speedups"]["parallel_scaling_vs_serial"]
+        per_w = ", ".join(
+            f"{w}w process {scaling['process'][w]:.2f}x / "
+            f"thread {scaling['thread'][w]:.2f}x / "
+            f"legacy {scaling['legacy'][w]:.2f}x"
+            for w in sorted(scaling["process"]))
+        zc = report["speedups"]["parallel_zero_copy_vs_legacy"]
+        zc_summary = ", ".join(f"{w}w {v:.2f}x" for w, v in sorted(zc.items()))
+        print(f"[bench_perf] parallel scaling vs serial "
+              f"({report['work']['parallel_cpu_count']} cores): {per_w}")
+        print(f"[bench_perf] zero-copy vs legacy executor: {zc_summary}")
     if failed:
         print(f"[bench_perf] FAILED checks: {failed}", file=sys.stderr)
         raise SystemExit(1)
