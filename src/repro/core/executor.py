@@ -7,7 +7,8 @@ and fans them out to a persistent worker pool.  Three execution paths,
 one dispatch helper (:func:`map_query_chunks`), identical results:
 
 * **Serial** (``n_workers=1``): build the structure in-process, run one
-  chunk.  Never touches a pool.
+  chunk.  Never touches a pool; an explicit ``blas_threads=`` pin is
+  still honored for the duration of the run.
 * **Process pool** (``pool="process"``): the structure is built ONCE in
   the parent, then its large arrays — together with ``P`` and ``Q`` —
   are placed in a :class:`~repro.core.arena.SharedArena` (POSIX shared
@@ -539,7 +540,14 @@ def map_query_chunks(
         raise ParameterError(f"block must be >= 1, got {block}")
     structure = payload.build(P) if hasattr(payload, "build") else payload
     if workers == 1:
-        return [runner(structure, P, Q, 0, args)]
+        if blas_threads is None:
+            return [runner(structure, P, Q, 0, args)]
+        # Serial path honors the pin too: callers asking for a fixed BLAS
+        # budget get it regardless of worker count.
+        with blasctl.blas_threads(
+            blasctl.worker_blas_threads(1, blas_threads)
+        ):
+            return [runner(structure, P, Q, 0, args)]
     if executor is not None:
         wp = executor
     else:

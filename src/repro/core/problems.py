@@ -219,6 +219,12 @@ class JoinResult:
             ``None`` otherwise.
         wall_s: wall-clock seconds of the engine dispatch (always
             recorded; feeds :class:`~repro.obs.planner_log.PlannerLog`).
+        error_bound: guaranteed-recall knob of the compact tier — the
+            largest additive inner-product slack any candidate filter
+            granted while producing this result (the quantized scan's
+            analytic error bound, or the sketch filter's confidence
+            margin).  ``None`` for backends that never approximate a
+            score before verification.
     """
 
     matches: List[Optional[int]]
@@ -231,6 +237,7 @@ class JoinResult:
     trace: Optional[object] = None
     metrics: Optional[object] = None
     wall_s: float = 0.0
+    error_bound: Optional[float] = None
 
     @property
     def matched_count(self) -> int:

@@ -20,6 +20,7 @@ from repro.engine.plan import (
     Plan,
     Stage,
     norm_prefix_lsh_plan,
+    quantized_filter_plan,
     sketch_fallback_plan,
 )
 from repro.engine.planner import CostModel, JoinPlan, PlanEstimate, plan_join
@@ -31,14 +32,19 @@ from repro.engine.registry import (
     get_backend,
     register,
 )
+from repro.quant.backend import IPFilterBackend, QuantizedBackend
 
 # Built-in backends register on import, exact ones first: planner ties
-# resolve toward the stronger (exact) guarantee.
+# resolve toward the stronger (exact) guarantee.  The compact tier
+# appends after the originals so registration order (and the
+# index-based planner tie-break) is stable across releases.
 if "brute_force" not in available_backends():
     register(BruteForceBackend())
     register(NormPrunedBackend())
     register(LSHBackend())
     register(SketchBackend())
+    register(QuantizedBackend())
+    register(IPFilterBackend())
 
 __all__ = [
     "join",
@@ -49,6 +55,7 @@ __all__ = [
     "Plan",
     "Stage",
     "norm_prefix_lsh_plan",
+    "quantized_filter_plan",
     "sketch_fallback_plan",
     "PlanEstimate",
     "JoinBackend",
@@ -64,4 +71,6 @@ __all__ = [
     "NormPrunedBackend",
     "LSHBackend",
     "SketchBackend",
+    "QuantizedBackend",
+    "IPFilterBackend",
 ]

@@ -228,6 +228,7 @@ def _run_stage_plan(
     merged_stats = QueryStats()
     all_chunks = []
     stage_records: List[dict] = []
+    pending_proposals = None
     for i, stage in enumerate(the_plan.stages):
         stage_wall = time.perf_counter()
         label = stage.label or stage.backend
@@ -261,11 +262,25 @@ def _run_stage_plan(
                 continue
             Q_stage = Q[q_idx]
             impl = get_backend(stage.backend)
+            is_filter = bool(getattr(impl, "is_filter", False))
+            if is_filter != (stage.kind == "filter"):
+                raise ParameterError(
+                    f"backend {stage.backend!r} "
+                    + ("is a filter stage and needs kind='filter'"
+                       if is_filter else
+                       f"cannot run as a kind={stage.kind!r} stage")
+                )
+            stage_options = dict(stage.options)
+            if pending_proposals is not None:
+                # The previous stage was a filter: hand its survivor
+                # lists to this stage's prepare as candidate proposals.
+                stage_options["proposals"] = pending_proposals
+                pending_proposals = None
             stage_seed = None if seed is None else seed + i
             with tracer.span("prepare", backend=stage.backend):
                 payload, stage_spec = impl.prepare(
                     P_stage, spec, seed=stage_seed, block=block,
-                    n_workers=n_workers, **stage.options,
+                    n_workers=n_workers, **stage_options,
                 )
                 if trace and hasattr(payload, "build"):
                     # The zero-copy executor builds in the parent for
@@ -295,10 +310,23 @@ def _run_stage_plan(
                     stage_result.topk = [
                         lst for c in chunks for lst in (c.topk or [])
                     ]
-                newly, extra_eval = _fold_stage_matches(
-                    matches, topk, answered, stage_result,
-                    q_idx, point_idx, P, Q, spec, stage_spec,
-                )
+                if is_filter:
+                    # Filter stages answer nothing: concatenate the
+                    # per-chunk survivor lists (chunk order = query
+                    # order) and remap structure-local point indices to
+                    # global ones for the consuming stage.
+                    proposals = [
+                        lst for c in chunks for lst in (c.proposals or [])
+                    ]
+                    if point_idx is not None:
+                        proposals = [point_idx[lst] for lst in proposals]
+                    pending_proposals = proposals
+                    newly, extra_eval = 0, 0
+                else:
+                    newly, extra_eval = _fold_stage_matches(
+                        matches, topk, answered, stage_result,
+                        q_idx, point_idx, P, Q, spec, stage_spec,
+                    )
             all_chunks.extend(chunks)
             stage_eval = stage_result.inner_products_evaluated + extra_eval
             evaluated += stage_eval
@@ -457,6 +485,12 @@ def join(
             stage = stages[0]
             backend_name = stage.backend
             impl = get_backend(backend_name)
+            if getattr(impl, "is_filter", False):
+                raise ParameterError(
+                    f"backend {backend_name!r} is a filter stage: it only "
+                    "proposes candidates and cannot answer a join on its "
+                    "own (see quantized_filter_plan)"
+                )
             stage_options = {**stage.options, **options}
             with tracer.span("prepare", backend=backend_name):
                 payload, final_spec = impl.prepare(
@@ -518,6 +552,9 @@ def join(
             with tracer.span("merge", stages=len(stage_records)):
                 pass
     result.wall_s = time.perf_counter() - wall_start
+    bounds = [c.error_bound for c in chunks if c.error_bound is not None]
+    if bounds:
+        result.error_bound = max(bounds)
     if stage_records and stage_records[0]["wall_s"] == 0.0 and len(stage_records) == 1:
         stage_records[0]["wall_s"] = result.wall_s
     if best_estimate is not None:

@@ -111,11 +111,13 @@ class BruteForceBackend(JoinBackend):
         return ChunkResult(matches, evaluated, generated, stats)
 
     def estimate_cost(self, n, m, d, spec, model):
+        scan = n * m * d * model.gemm_op
+        scan *= model.memory_factor(8.0 * d, n)
         return CostEstimate(
             backend=self.name,
             feasible=True,
             build_ops=0.0,
-            query_ops=n * m * d * model.gemm_op + m * model.row_op,
+            query_ops=scan + m * model.row_op,
         )
 
 
@@ -182,6 +184,7 @@ class NormPrunedBackend(JoinBackend):
         build += n * math.log2(max(n, 2)) * model.row_op / 64.0
         query = (
             model.norm_prefix_fraction * n * m * d * model.gemm_op
+            * model.memory_factor(8.0 * d, n)
             + m * model.row_op
         )
         return CostEstimate(

@@ -40,6 +40,7 @@ from repro.engine.plan import (
     Plan,
     norm_prefix_lsh_plan,
     norm_split_size,
+    quantized_filter_plan,
     sketch_fallback_plan,
 )
 from repro.engine.protocol import CostEstimate
@@ -85,6 +86,28 @@ class CostModel:
     hybrid_tail_query_fraction: float = 0.5
     #: Query fraction expected to need the sketch hybrid's exact fallback.
     sketch_fallback_query_fraction: float = 0.3
+    #: Per-coordinate weight of the int8 code-product scan relative to a
+    #: float64 GEMM multiply-add.  Kept above ``norm_prefix_fraction``:
+    #: on unconstrained memory the norm-pruned scan stays the preferred
+    #: exact backend, and the compact tier wins through the memory term.
+    quant_scan_op: float = 0.5
+    #: Fixed cost of quantizing the data matrix.
+    quant_fixed_build: float = 5e4
+    #: Expected fraction of pairs surviving the quantized scan bound.
+    quant_verify_fraction: float = 0.02
+    #: Sketch dimensions the planner assumes for the ip_filter stage.
+    filter_dims: float = 32.0
+    #: Expected fraction of pairs surviving the sketch filter.
+    filter_selectivity: float = 0.02
+    #: Fixed cost of projecting + quantizing the filter sketches.
+    filter_fixed_build: float = 1e5
+    #: Bytes of data-structure working set the scan tier may use before
+    #: the memory penalty kicks in; ``0`` disables the memory term.
+    mem_budget_bytes: float = 0.0
+    #: Multiplier applied to scan work whose working set exceeds the
+    #: budget (cache/RAM spill: bandwidth-bound scans slow down by about
+    #: the bytes-per-row ratio, which the penalty approximates).
+    mem_over_budget_penalty: float = 8.0
     #: Marginal speedup per additional worker (0..1): worker ``i`` adds
     #: ``parallel_efficiency`` of a core's throughput.  Below 1 because
     #: chunks share memory bandwidth and the merge is serial.
@@ -115,6 +138,22 @@ class CostModel:
             return 1.0
         w = min(float(n_workers), self.effective_cores())
         return max(1.0, 1.0 + (w - 1.0) * self.parallel_efficiency)
+
+    def memory_factor(self, row_bytes: float, n: int) -> float:
+        """Scan-work multiplier for a structure of ``row_bytes * n`` bytes.
+
+        ``1.0`` when the memory term is off (``mem_budget_bytes == 0``)
+        or the working set fits the budget; ``mem_over_budget_penalty``
+        when it spills.  Backends multiply their bandwidth-bound scan
+        terms by this, which is how ``backend="auto"`` learns to prefer
+        the compact tier (about ``d + 24`` bytes per row) over float64
+        scans (``8 d`` bytes per row) on memory-constrained instances.
+        """
+        if self.mem_budget_bytes <= 0.0:
+            return 1.0
+        if row_bytes * float(n) <= self.mem_budget_bytes:
+            return 1.0
+        return self.mem_over_budget_penalty
 
     def parallelize(self, estimate: "CostEstimate", n_workers: int) -> "CostEstimate":
         """Re-price a backend estimate for parallel execution.
@@ -515,6 +554,46 @@ def _hybrid_candidates(
                 f"{infeasible.backend} stage: {infeasible.reason}"
                 if infeasible is not None else ""
             ),
+        ))
+
+    # Sketch filter + quantized verify: threshold/top-k joins with an
+    # approximation gap (the filter's z-sigma margin needs slack below
+    # the threshold to be selective; at c = 1 any miss violates
+    # exactness, so the shape is offered only for approximate requests).
+    # ip_filter.estimate_cost is standalone-infeasible by design, so the
+    # filter stage is priced inline: project queries, scan int8 sketches
+    # of filter_dims coordinates, verify the surviving fraction exactly.
+    if (
+        spec.variant in ("join", "topk")
+        and 0.0 < spec.c < 1.0
+        and {"ip_filter", "quantized"} <= names
+    ):
+        k_dims = model.filter_dims
+        filter_build = (
+            model.filter_fixed_build + n * k_dims * d * model.gemm_op
+        )
+        filter_query = (
+            m * k_dims * d * model.gemm_op
+            + n * m * k_dims * model.quant_scan_op
+            * model.memory_factor(k_dims + 24.0, n)
+            + model.filter_selectivity * n * m * model.candidate_op
+        )
+        filter_est = CostEstimate(
+            backend="ip_filter", feasible=True,
+            build_ops=filter_build, query_ops=filter_query,
+        )
+        verify_est = CostEstimate(
+            backend="quantized", feasible=True,
+            build_ops=0.0,
+            query_ops=(
+                model.filter_selectivity * n * m * d * model.gemm_op
+                + m * model.row_op
+            ),
+        )
+        candidates.append(PlanEstimate(
+            plan=quantized_filter_plan(),
+            stage_estimates=(filter_est, verify_est),
+            feasible=True,
         ))
     return candidates
 

@@ -82,6 +82,16 @@ class ChunkResult:
     topk: Optional[List[List[int]]] = None
     trace: Any = None
     metrics: Optional[dict] = None
+    #: Filter stages only: one ascending array of surviving point
+    #: indices per chunk query (chunk-local query order, structure-local
+    #: point indices).  The engine remaps and hands them to the next
+    #: stage as its ``proposals`` option.
+    proposals: Optional[List[Any]] = None
+    #: Guaranteed-recall knob: the largest additive inner-product error
+    #: bound (quantization) or confidence margin (sketch filter) granted
+    #: to any pair in this chunk.  Max-merged into
+    #: ``JoinResult.error_bound``.
+    error_bound: Optional[float] = None
 
 
 class JoinBackend(ABC):
@@ -94,6 +104,11 @@ class JoinBackend(ABC):
     #: answers.  The planner and the Plan IR consult this to decide which
     #: backends can serve as stages for a given spec.
     variants: Tuple[str, ...] = ()
+
+    #: Filter backends propose survivors instead of answering queries;
+    #: they may only run as ``kind="filter"`` Plan stages, never as a
+    #: standalone backend (the engine enforces the match both ways).
+    is_filter: bool = False
 
     @abstractmethod
     def prepare(

@@ -43,6 +43,53 @@ import numpy as np
 from repro.core.problems import JoinResult, JoinSpec, QueryStats, validate_join_inputs
 from repro.errors import ParameterError
 
+# Engine-level keywords of repro.engine.join; everything else in
+# ``join_options`` is a backend option that prepare() must accept.
+_ENGINE_KWARGS = frozenset(
+    {"backend", "n_workers", "block", "model", "trace", "pool",
+     "executor", "blas_threads"}
+)
+
+
+def _preflight_options(P, spec: JoinSpec, seed, join_options) -> None:
+    """Validate engine/backend options ONCE, before any shard runs.
+
+    Per-shard joins would re-raise the same error on shard 0 anyway, but
+    only after re-validating per shard; a bad option must fail fast and
+    must never leave a partial run where some shards executed.  Mirrors
+    the checks :func:`repro.engine.join` performs up front: worker
+    resolution, pool kind, backend lookup, and a discarded dry-run of
+    the backend's ``prepare`` (structures build lazily, so this costs a
+    dictionary's worth of work, not an index build).
+    """
+    from repro.core.executor import DEFAULT_BLOCK, POOL_KINDS, resolve_workers
+    from repro.engine.plan import Plan
+    from repro.engine.registry import get_backend
+
+    n_workers = resolve_workers(join_options.get("n_workers", 1))
+    pool = join_options.get("pool", "process")
+    if join_options.get("executor") is None and pool not in POOL_KINDS:
+        raise ParameterError(f"pool must be one of {POOL_KINDS}, got {pool!r}")
+    backend = join_options.get("backend", "auto")
+    backend_options = {
+        k: v for k, v in join_options.items() if k not in _ENGINE_KWARGS
+    }
+    if isinstance(backend, Plan):
+        if backend_options:
+            raise ParameterError(
+                f"an explicit Plan carries per-stage options; got "
+                f"engine-level options {sorted(backend_options)}"
+            )
+        return
+    if backend == "auto":
+        return
+    impl = get_backend(backend)  # raises on unknown names
+    block = join_options.get("block", DEFAULT_BLOCK)
+    impl.prepare(
+        P, spec, seed=seed, block=block, n_workers=n_workers,
+        **backend_options,
+    )
+
 
 def shard_bounds(n: int, n_shards: int) -> List[Tuple[int, int]]:
     """Contiguous ``[start, end)`` row ranges of ``n_shards`` near-equal shards.
@@ -147,6 +194,8 @@ def sharded_join(
         join_options: forwarded verbatim to :func:`repro.engine.join`
             for every shard — ``backend=``, ``n_workers=``, ``pool=``,
             ``seed=`` (shard ``i`` runs with ``seed + i``), ...
+            Validated once up front: invalid options raise before any
+            shard executes, never mid-run.
 
     Returns:
         A merged :class:`~repro.core.problems.JoinResult` whose
@@ -162,6 +211,7 @@ def sharded_join(
         )
     bounds = shard_bounds(P.shape[0], n_shards)
     seed = join_options.pop("seed", None)
+    _preflight_options(P, spec, seed, join_options)
     shard_results: List[JoinResult] = []
     offsets: List[int] = []
     for i, (start, end) in enumerate(bounds):

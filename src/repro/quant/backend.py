@@ -1,0 +1,315 @@
+"""Engine adapters for the compact tier.
+
+``quantized`` is an *exact* backend over an 8x-smaller index: the int8
+scan kernel over-approximates the match set via its analytic error
+bound, then exact float64 GEMM verifies the survivors — so its results
+are bit-identical to ``brute_force`` while the scan itself touches one
+byte per coordinate.  ``ip_filter`` wraps the Pagh-Sivertsen-style
+sketch filter as a ``kind="filter"`` Plan stage: it proposes survivor
+lists and the engine hands them to the next stage (normally
+``quantized`` in verify-only mode) as its ``proposals`` option.
+
+Both structures hold plain contiguous ndarrays, so they freeze/thaw
+through the :class:`~repro.core.arena.SharedArena` zero-copy like every
+other backend structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.problems import JoinSpec, QueryStats
+from repro.engine.protocol import ChunkResult, CostEstimate, JoinBackend
+from repro.errors import ParameterError
+from repro.obs.trace import span
+from repro.quant.ipfilter import (
+    DEFAULT_FILTER_DIMS,
+    DEFAULT_FILTER_Z,
+    FILTER_BIT_WIDTHS,
+    IPSketchFilter,
+)
+from repro.quant.scalar import (
+    DEFAULT_SCAN_BLOCK,
+    FLOAT32_EXACT_D,
+    QuantizedRows,
+    quantize_rows,
+    quantized_scan_survivors,
+)
+
+_ACCUMULATE_MODES = ("auto", "float32", "int32")
+
+
+def _require_variant(spec: JoinSpec, backend: str, allowed) -> None:
+    if spec.variant not in allowed:
+        raise ParameterError(
+            f"backend {backend!r} does not answer the {spec.variant!r} "
+            f"variant (supported: {', '.join(allowed)})"
+        )
+
+
+def _normalize_proposals(proposals, who: str) -> List[np.ndarray]:
+    lists = []
+    for entry in proposals:
+        arr = np.unique(np.asarray(entry, dtype=np.int64))
+        if arr.size and arr[0] < 0:
+            raise ParameterError(f"{who} proposals contain negative indices")
+        lists.append(arr)
+    return lists
+
+
+def _verify_chunk(
+    structure_spec: JoinSpec,
+    P,
+    Q_chunk,
+    cand_lists: List[np.ndarray],
+    block: int,
+) -> ChunkResult:
+    """Exact float64 verification of candidate lists for one chunk."""
+    from repro.core.topk import _rank_above
+    from repro.core.verify import candidate_values_block, verify_candidates
+
+    spec = structure_spec
+    mc = Q_chunk.shape[0]
+    generated = sum(int(lst.size) for lst in cand_lists)
+    stats = QueryStats()
+    stats.record_batch(
+        n_queries=mc, n_candidates=generated, n_unique=generated
+    )
+    if spec.is_topk:
+        lists: List[List[int]] = []
+        evaluated = 0
+        for q0 in range(0, mc, block):
+            q1 = min(q0 + block, mc)
+            block_lists = cand_lists[q0:q1]
+            values = candidate_values_block(P, Q_chunk[q0:q1], block_lists)
+            for local, cands in enumerate(block_lists):
+                evaluated += int(cands.size)
+                lists.append(
+                    _rank_above(
+                        values[local], cands, spec.signed, spec.cs, spec.k
+                    )
+                )
+        matches = [int(lst[0]) if lst else None for lst in lists]
+        return ChunkResult(
+            matches, evaluated, generated, stats, topk=lists
+        )
+    matches, evaluated = verify_candidates(
+        P, Q_chunk, cand_lists, spec.cs, signed=spec.signed, block=block
+    )
+    return ChunkResult(matches, evaluated, generated, stats)
+
+
+# ---------------------------------------------------------------------------
+# quantized
+
+
+@dataclass
+class QuantizedStructure:
+    """Int8-quantized ``P`` (scan mode) or pinned survivor lists (verify).
+
+    Built lazily in the parent process — the quantized arrays are plain
+    ndarrays, so parallel workers receive them zero-copy via the shared
+    arena instead of re-quantizing.
+    """
+
+    spec: JoinSpec
+    block: int
+    scan_block: int
+    accumulate: str
+    data: Optional[QuantizedRows] = None
+    proposals: Optional[List[np.ndarray]] = None
+
+    def build(self, P):
+        if self.proposals is None and self.data is None:
+            self.data = quantize_rows(P)
+        return self
+
+
+class QuantizedBackend(JoinBackend):
+    """Exact joins over an int8 index: quantized scan + exact verify."""
+
+    name = "quantized"
+    variants = ("join", "topk")
+
+    def prepare(self, P, spec, *, seed=None, block, n_workers=1,
+                scan_block: int = DEFAULT_SCAN_BLOCK,
+                accumulate: str = "auto", proposals=None, **options):
+        if options:
+            raise ParameterError(
+                "quantized takes only scan_block, accumulate and "
+                f"proposals, got {sorted(options)}"
+            )
+        _require_variant(spec, self.name, self.variants)
+        if accumulate not in _ACCUMULATE_MODES:
+            raise ParameterError(
+                f"accumulate must be one of {_ACCUMULATE_MODES}, "
+                f"got {accumulate!r}"
+            )
+        d = P.shape[1]
+        if accumulate == "float32" and d > FLOAT32_EXACT_D:
+            raise ParameterError(
+                f"accumulate='float32' is exact only for d <= "
+                f"{FLOAT32_EXACT_D}, got d={d}; use 'int32' or 'auto'"
+            )
+        if int(scan_block) < 1:
+            raise ParameterError(f"scan_block must be >= 1, got {scan_block}")
+        structure = QuantizedStructure(
+            spec=spec,
+            block=block,
+            scan_block=int(scan_block),
+            accumulate=accumulate,
+        )
+        if proposals is not None:
+            lists = _normalize_proposals(proposals, self.name)
+            n = P.shape[0]
+            if any(lst.size and lst[-1] >= n for lst in lists):
+                raise ParameterError(
+                    f"quantized proposals reference point indices >= n={n}"
+                )
+            structure.proposals = lists
+        return structure, spec
+
+    def run_chunk(self, structure, P, Q_chunk, start):
+        spec = structure.spec
+        mc = Q_chunk.shape[0]
+        if structure.proposals is not None:
+            if start + mc > len(structure.proposals):
+                raise ParameterError(
+                    "quantized proposals must hold one candidate list per "
+                    f"query: got {len(structure.proposals)} lists for "
+                    f"queries [{start}, {start + mc})"
+                )
+            cand_lists = structure.proposals[start:start + mc]
+            with span("verify", n_queries=mc):
+                return _verify_chunk(
+                    spec, P, Q_chunk, cand_lists, structure.block
+                )
+        qq = quantize_rows(np.ascontiguousarray(Q_chunk, dtype=np.float64))
+        with span("scan", n_queries=mc):
+            cand_lists, generated, max_bound = quantized_scan_survivors(
+                structure.data,
+                qq,
+                spec.cs,
+                spec.signed,
+                accumulate=structure.accumulate,
+                scan_block=structure.scan_block,
+            )
+        with span("verify", n_queries=mc):
+            result = _verify_chunk(
+                spec, P, Q_chunk, cand_lists, structure.block
+            )
+        result.error_bound = max_bound
+        return result
+
+    def estimate_cost(self, n, m, d, spec, model):
+        if spec.variant not in self.variants:
+            return CostEstimate(
+                backend=self.name, feasible=False,
+                reason=f"no {spec.variant} variant",
+            )
+        build = model.quant_fixed_build + 0.5 * n * d * model.gemm_op
+        scan = n * m * d * model.quant_scan_op
+        scan *= model.memory_factor(d + 24.0, n)
+        verify = model.quant_verify_fraction * n * m * d * model.gemm_op
+        verify *= model.memory_factor(8.0 * d, n)
+        query = scan + verify + m * model.row_op
+        return CostEstimate(
+            backend=self.name, feasible=True, build_ops=build,
+            query_ops=query,
+        )
+
+
+# ---------------------------------------------------------------------------
+# ip_filter
+
+
+@dataclass
+class FilterStructure:
+    """Sketch-filter recipe/build; proposes survivors, answers nothing."""
+
+    spec: JoinSpec
+    n_dims: int
+    bits: int
+    z: float
+    seed: int
+    scan_block: int
+    filter: Optional[IPSketchFilter] = None
+
+    def build(self, P):
+        if self.filter is None:
+            self.filter = IPSketchFilter(
+                P, n_dims=self.n_dims, bits=self.bits, z=self.z,
+                seed=self.seed,
+            )
+        return self
+
+
+class IPFilterBackend(JoinBackend):
+    """Inner-product sketch filter stage (Pagh-Sivertsen style)."""
+
+    name = "ip_filter"
+    variants = ("join", "topk")
+    is_filter = True
+
+    def prepare(self, P, spec, *, seed=None, block, n_workers=1,
+                n_dims: int = DEFAULT_FILTER_DIMS, bits: int = 8,
+                z: float = DEFAULT_FILTER_Z,
+                scan_block: int = DEFAULT_SCAN_BLOCK, **options):
+        if options:
+            raise ParameterError(
+                "ip_filter takes only n_dims, bits, z and scan_block, "
+                f"got {sorted(options)}"
+            )
+        _require_variant(spec, self.name, self.variants)
+        if int(n_dims) < 1:
+            raise ParameterError(f"n_dims must be >= 1, got {n_dims}")
+        if int(bits) not in FILTER_BIT_WIDTHS:
+            raise ParameterError(
+                f"bits must be one of {FILTER_BIT_WIDTHS}, got {bits}"
+            )
+        if float(z) <= 0.0:
+            raise ParameterError(f"z must be > 0, got {z}")
+        structure = FilterStructure(
+            spec=spec,
+            n_dims=int(n_dims),
+            bits=int(bits),
+            z=float(z),
+            seed=0 if seed is None else int(seed),
+            scan_block=int(scan_block),
+        )
+        return structure, spec
+
+    def run_chunk(self, structure, P, Q_chunk, start):
+        spec = structure.spec
+        mc = Q_chunk.shape[0]
+        with span("sketch_propose", n_queries=mc):
+            # Recall anchors at spec.s: pairs inside the (cs, s) promise
+            # gap are optional under the c-approximate guarantee, which
+            # is what keeps the filter selective (see IPSketchFilter).
+            lists, generated, margin_max = structure.filter.propose_chunk(
+                Q_chunk, spec.s, spec.signed,
+                scan_block=structure.scan_block,
+            )
+        stats = QueryStats()
+        stats.record_batch(
+            n_queries=mc, n_candidates=generated, n_unique=generated
+        )
+        return ChunkResult(
+            matches=[None] * mc,
+            evaluated=0,
+            generated=generated,
+            stats=stats,
+            proposals=lists,
+            error_bound=margin_max,
+        )
+
+    def estimate_cost(self, n, m, d, spec, model):
+        return CostEstimate(
+            backend=self.name,
+            feasible=False,
+            reason="filter stages only propose candidates; run inside a "
+                   "Plan (see quantized_filter_plan)",
+        )

@@ -1,0 +1,82 @@
+"""Bit-packed sign kernels: 1 bit per coordinate, XOR + popcount scans.
+
+The most compact tier keeps only the sign of each coordinate, packed 64
+per ``uint64`` word via :func:`repro.utils.bits.pack_binary_rows`.  A
+sign dot product ``<sign(x), sign(y)> = d - 2 * hamming(bits_x,
+bits_y)`` then costs ``d / 64`` XOR + popcount word operations per pair.
+``np.bitwise_count`` (numpy >= 2.0) does the popcount natively; older
+numpy falls back to a byte lookup table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import pack_binary_rows
+
+_POPCOUNT_TABLE = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+DEFAULT_BIT_BLOCK = 8192
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    flat = words.reshape(-1).view(np.uint8)
+    counts = _POPCOUNT_TABLE[flat].reshape(*words.shape, 8)
+    return counts.sum(axis=-1, dtype=np.uint64).astype(words.dtype)
+
+
+def pack_sign_rows(X) -> np.ndarray:
+    """Pack the signs of ``X``'s rows: bit j set iff ``X[i, j] > 0``.
+
+    Zero coordinates pack as 0, i.e. they count as negative signs —
+    consistent across both operands, which is all the hamming distance
+    needs.  Returns ``(n, ceil(d / 64))`` uint64 words.
+    """
+    X = np.asarray(X)
+    return pack_binary_rows(X > 0)
+
+
+def hamming_scores(
+    bits_q: np.ndarray,
+    bits_p: np.ndarray,
+    block: int = DEFAULT_BIT_BLOCK,
+) -> np.ndarray:
+    """Blocked pairwise hamming distances between packed sign rows.
+
+    Returns an ``(m, n)`` int64 matrix; padding bits beyond ``d`` are
+    zero in both operands, so they never contribute.
+    """
+    m = bits_q.shape[0]
+    n = bits_p.shape[0]
+    out = np.empty((m, n), dtype=np.int64)
+    q_block = max(1, min(256, m))
+    for q0 in range(0, m, q_block):
+        q1 = min(q0 + q_block, m)
+        for p0 in range(0, n, block):
+            p1 = min(p0 + block, n)
+            xor = bits_q[q0:q1, None, :] ^ bits_p[None, p0:p1, :]
+            out[q0:q1, p0:p1] = popcount_words(xor).sum(
+                axis=-1, dtype=np.int64
+            )
+    return out
+
+
+def sign_ip_scores(
+    bits_q: np.ndarray,
+    bits_p: np.ndarray,
+    d: int,
+    block: int = DEFAULT_BIT_BLOCK,
+) -> np.ndarray:
+    """Pairwise ``<sign(q), sign(p)>`` from packed sign bits.
+
+    Equals ``d - 2 * hamming`` when no coordinate is exactly zero; zero
+    coordinates count as -1 (see :func:`pack_sign_rows`).
+    """
+    return d - 2 * hamming_scores(bits_q, bits_p, block=block)

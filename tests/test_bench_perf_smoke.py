@@ -165,3 +165,27 @@ def test_pr6_artifact_when_present():
         best_4w = max(scaling["process"]["4"], scaling["thread"]["4"])
         assert best_4w >= bench_perf.PARALLEL_4W_SPEEDUP_FLOOR
     assert all(report["checks"].values()), report["checks"]
+
+
+def test_pr7_artifact_when_present():
+    """BENCH_PR7.json (quantized compact tier), when checked in."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR7.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    assert "quantized_tier" in report["meta"]["suites"]
+    assert report["meta"]["quant_suite"]["n"] == 100_000
+    assert report["speedups"]["quant_scan_vs_brute"] >= \
+        bench_perf.QUANT_SCAN_SPEEDUP_FLOOR
+    assert report["speedups"]["quant_memory_reduction"] >= \
+        bench_perf.QUANT_MEMORY_REDUCTION_FLOOR
+    assert report["speedups"]["quant_filter_vs_brute"] > 1.0
+    assert report["work"]["quant_filter_recall"] >= \
+        bench_perf.QUANT_FILTER_RECALL_FLOOR
+    assert report["checks"]["quant_matches_equal_brute"]
+    assert report["checks"]["quant_parallel_identical"]
+    assert report["checks"]["quant_auto_picks_quantized_under_budget"]
+    assert all(report["checks"].values()), report["checks"]

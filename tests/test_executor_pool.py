@@ -502,6 +502,40 @@ class TestShardedJoin:
         with pytest.raises(ParameterError, match="variant"):
             sharded_join(P, P, spec, n_shards=2)
 
+    @pytest.mark.parametrize(
+        "bad_options, match",
+        [
+            ({"backend": "no_such_backend"}, "unknown backend"),
+            ({"backend": "quantized", "accumulate": "bogus"}, "accumulate"),
+            ({"backend": "brute_force", "kappa": 3}, "options"),
+            ({"pool": "fiber"}, "pool"),
+            ({"n_workers": 0}, "n_workers"),
+        ],
+    )
+    def test_invalid_options_fail_before_any_shard(
+        self, instance, monkeypatch, bad_options, match
+    ):
+        """Option validation is hoisted: no shard may run before it.
+
+        A mid-loop failure would leave a partial run (some shards
+        joined, work billed, pools warmed) for an error that was knowable
+        up front.  The inner engine join is replaced with a counter to
+        prove it is never reached.
+        """
+        import repro.engine.api as engine_api
+
+        P, Q = instance
+        spec = JoinSpec(s=0.5, c=0.8, signed=True)
+        calls = []
+        real_join = engine_api.join
+        monkeypatch.setattr(
+            engine_api, "join",
+            lambda *a, **kw: calls.append(1) or real_join(*a, **kw),
+        )
+        with pytest.raises(ParameterError, match=match):
+            sharded_join(P, Q, spec, n_shards=3, **bad_options)
+        assert calls == []
+
 
 class TestBlasControl:
     def test_worker_share_policy(self):
@@ -542,6 +576,33 @@ class TestBlasControl:
     def test_set_rejects_nonpositive(self):
         with pytest.raises(ParameterError, match=">= 1"):
             blasctl.set_blas_threads(0)
+
+    def test_serial_path_honors_blas_threads(self, instance, monkeypatch):
+        """Regression: ``blas_threads=`` used to be dropped when
+        ``n_workers=1`` — the pin only reached the pool paths.  The
+        context manager is replaced with a recorder so the check holds
+        on any core count (on one core the fair share is already 1 and a
+        behavioral check would be vacuous).
+        """
+        from contextlib import contextmanager
+
+        P, Q = instance
+        spec = JoinSpec(s=0.5, c=0.8, signed=True)
+        pins = []
+
+        @contextmanager
+        def recording(n):
+            pins.append(n)
+            yield True
+
+        monkeypatch.setattr(blasctl, "blas_threads", recording)
+        expected = join(P, Q, spec, backend="brute_force", n_workers=1)
+        assert pins == []  # no request, no pin: default stays untouched
+        pinned = join(
+            P, Q, spec, backend="brute_force", n_workers=1, blas_threads=2
+        )
+        assert pins == [2]
+        assert pinned.matches == expected.matches
 
 
 @pytest.fixture(scope="module", autouse=True)

@@ -2,7 +2,7 @@
 
 Runs a fixed, fully seeded sequence of build / candidate-generation /
 verification / join timings and writes the results as JSON (default
-``BENCH_PR5.json`` at the repo root), so successive PRs have a recorded
+``BENCH_PR7.json`` at the repo root), so successive PRs have a recorded
 baseline to beat.  Two modes:
 
 * full (default): n=100k, d=64 for the core suite, n=20k, d=64 for the
@@ -48,6 +48,21 @@ Suites (select with ``--suites``):
   overhead (vs the string-backend path) stays within
   ``PLAN_DISPATCH_OVERHEAD_CEILING`` (5%).  Both modes assert match
   soundness, near-brute coverage, and serial/parallel bit-identity.
+* ``quantized_tier``: the compact index tier — the int8 scan kernel vs
+  the ``brute_force`` backend on a planted n=100k join (bit-identical
+  matches asserted), index memory reduction vs the float64 matrix,
+  serial vs 2-worker bit-identity for the ``quantized`` backend on both
+  pool kinds, the ``quantized_filter_plan`` sketch-filter pipeline vs
+  brute on a planted d=512 workload (recall and verified-fraction
+  recorded), and the planner's compact-tier behavior (a memory budget
+  steers ``backend="auto"`` to ``quantized`` live; the
+  ``ip_filter+quantized`` hybrid is costed for gapped specs).  Gated in
+  both modes: memory reduction >= ``QUANT_MEMORY_REDUCTION_FLOOR`` and
+  filter recall >= ``QUANT_FILTER_RECALL_FLOOR`` (both deterministic
+  given the seed).  Full mode adds the scan-throughput floor — int8
+  scan >= ``QUANT_SCAN_SPEEDUP_FLOOR`` x the brute join wall — and the
+  filter pipeline beating brute end to end (quick shapes are too small
+  for stable ratios).
 * ``parallel_scaling``: the zero-copy executor — serial vs the
   shared-memory process pool, the GIL-free thread pool, and an inline
   reproduction of the legacy pickle-per-chunk executor at each worker
@@ -63,17 +78,20 @@ Usage::
 
     PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH] \
         [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop,\
-planner_dispatch,obs_overhead,hybrid_vs_single,parallel_scaling]
+planner_dispatch,obs_overhead,hybrid_vs_single,quantized_tier,\
+parallel_scaling]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import platform
 import sys
 import time
+from dataclasses import replace
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -86,9 +104,11 @@ from repro.core.problems import JoinResult
 from repro.core.sketch_join import sketch_unsigned_join
 from repro.core.verify import verify_block, verify_candidates
 from repro.datasets import random_unit
-from repro.engine import Plan, norm_prefix_lsh_plan
+from repro.engine import Plan, norm_prefix_lsh_plan, quantized_filter_plan
 from repro.engine import join as engine_join
 from repro.engine import plan_join
+from repro.engine.planner import default_model
+from repro.quant import quantize_rows, quantized_scan_survivors
 from repro.lsh import BatchSignIndex, CrossPolytopeLSH, E2LSH, HyperplaneLSH, LSHIndex
 from repro.lsh.index import block_candidates
 from repro.obs.trace import span
@@ -96,11 +116,11 @@ from repro.sketches import SketchCMIPS
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR7.json")
 
 ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop",
               "planner_dispatch", "obs_overhead", "hybrid_vs_single",
-              "parallel_scaling")
+              "quantized_tier", "parallel_scaling")
 
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
@@ -140,6 +160,17 @@ HYBRID_QUICK = dict(n=3_000, d=32, n_queries=600, hub_fraction=0.02,
                     dispatch_n=1_500, dispatch_queries=200,
                     dispatch_repeats=3, seed=2016)
 
+QUANT_FULL = dict(n=100_000, d=64, n_queries=2_000, planted=400, rho=0.92,
+                  s=0.8, c=0.9, workers=2, block=256, repeats=3,
+                  filter_n=20_000, filter_d=512, filter_queries=2_000,
+                  filter_planted=400, filter_rho=0.92, filter_dims=128,
+                  filter_s=0.85, filter_c=0.7, seed=2016)
+QUANT_QUICK = dict(n=8_000, d=64, n_queries=512, planted=64, rho=0.92,
+                   s=0.8, c=0.9, workers=2, block=128, repeats=3,
+                   filter_n=2_500, filter_d=256, filter_queries=256,
+                   filter_planted=40, filter_rho=0.92, filter_dims=64,
+                   filter_s=0.85, filter_c=0.7, seed=2016)
+
 PARALLEL_FULL = dict(n=40_000, d=64, n_queries=2_048, n_tables=10,
                      bits_per_table=12, block=256, workers=(2, 4),
                      repeats=2, seed=2016)
@@ -173,6 +204,19 @@ HYBRID_COVERAGE_FLOOR = 0.95
 #: machines with >= 4 cores (``meta.cpu_count`` records the machine a
 #: given artifact measured).
 PARALLEL_4W_SPEEDUP_FLOOR = 2.0
+#: Full-mode floor on int8 scan throughput vs the float64 brute join
+#: wall at the same (n, d, queries).  sgemm runs ~2x dgemm on the
+#: reference machine and the scan additionally skips brute's per-block
+#: match bookkeeping, so the observed band sits at 2.2-2.4x.
+QUANT_SCAN_SPEEDUP_FLOOR = 2.0
+#: Index bytes floor, both modes: float64 rows vs the int8 codes +
+#: per-row float64 (scale, norm, eps) metadata — 8d / (d + 24), i.e.
+#: 5.8x at d=64.  Deterministic, so no measurement slack is needed.
+QUANT_MEMORY_REDUCTION_FLOOR = 4.0
+#: Both-modes floor on the sketch-filter pipeline's recall of brute's
+#: answered queries (the z=3 margin targets ~none lost; the planted
+#: workload is seeded, so the observed recall is deterministic).
+QUANT_FILTER_RECALL_FLOOR = 0.99
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -635,6 +679,139 @@ def _run_hybrid_suite(quick: bool, timings: dict, speedups: dict,
     return cfg
 
 
+def _planted_instance(n: int, d: int, nq: int, planted: int, rho: float,
+                      seed: int):
+    """Planted IPS join workload: 0.95-scaled unit rows where the first
+    ``planted`` queries get a partner at true inner product ``rho *
+    0.95**2`` (the rest follow the random-pair cosine concentration, so
+    a threshold above the bulk leaves exactly the planted matches)."""
+    P = random_unit(n, d, seed=seed)
+    Q = random_unit(nq, d, seed=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    idx = rng.choice(n, size=planted, replace=False)
+    noise = rng.standard_normal((planted, d))
+    noise /= np.linalg.norm(noise, axis=1, keepdims=True)
+    Q[:planted] = rho * P[idx] + math.sqrt(1.0 - rho * rho) * noise
+    Q[:planted] /= np.linalg.norm(Q[:planted], axis=1, keepdims=True)
+    return P * 0.95, Q * 0.95
+
+
+def _run_quant_suite(quick: bool, timings: dict, speedups: dict,
+                     work: dict, checks: dict) -> dict:
+    cfg = QUANT_QUICK if quick else QUANT_FULL
+    n, d, nq = cfg["n"], cfg["d"], cfg["n_queries"]
+    seed, block, repeats = cfg["seed"], cfg["block"], cfg["repeats"]
+    print(f"[bench_perf] quantized tier: n={n} d={d} queries={nq} "
+          f"planted={cfg['planted']} quick={quick}", flush=True)
+    P, Q = _planted_instance(n, d, nq, cfg["planted"], cfg["rho"], seed)
+    spec = JoinSpec(s=cfg["s"], c=cfg["c"], signed=True)
+
+    # --- index memory (deterministic) ---------------------------------
+    qp = quantize_rows(P)
+    work["quant_index_bytes"] = qp.nbytes
+    work["quant_float64_bytes"] = P.nbytes
+    speedups["quant_memory_reduction"] = P.nbytes / qp.nbytes
+    checks["quant_memory_reduction_floor"] = (
+        speedups["quant_memory_reduction"] >= QUANT_MEMORY_REDUCTION_FLOOR)
+
+    # --- int8 scan vs the float64 brute join --------------------------
+    print("[bench_perf] quantized: scan vs brute ...", flush=True)
+    brute_s, brute = _timed(
+        lambda: engine_join(P, Q, spec, backend="brute_force", block=block),
+        repeats=repeats)
+    quant_s, quant = _timed(
+        lambda: engine_join(P, Q, spec, backend="quantized", block=block),
+        repeats=repeats)
+    qq = quantize_rows(Q)
+    scan_s, scan = _timed(
+        lambda: quantized_scan_survivors(qp, qq, spec.cs, spec.signed),
+        repeats=repeats)
+    timings["quant_brute_join_s"] = brute_s
+    timings["quant_join_s"] = quant_s
+    timings["quant_scan_s"] = scan_s
+    speedups["quant_scan_vs_brute"] = brute_s / scan_s
+    speedups["quant_join_vs_brute"] = brute_s / quant_s
+    work["quant_scan_survivors"] = scan[1]
+    work["quant_error_bound"] = quant.error_bound
+    work["quant_inner_products_evaluated"] = quant.inner_products_evaluated
+    checks["quant_matches_equal_brute"] = quant.matches == brute.matches
+    checks["quant_prunes_pair_space"] = (
+        quant.inner_products_evaluated < brute.inner_products_evaluated)
+    if not quick:
+        checks["quant_scan_speedup_floor"] = (
+            speedups["quant_scan_vs_brute"] >= QUANT_SCAN_SPEEDUP_FLOOR)
+
+    # --- serial vs parallel bit-identity ------------------------------
+    w = cfg["workers"]
+    identical = True
+    for pool in ("process", "thread"):
+        par = engine_join(P, Q, spec, backend="quantized", block=block,
+                          n_workers=w, pool=pool)
+        identical = identical and (
+            par.matches == quant.matches
+            and par.inner_products_evaluated
+            == quant.inner_products_evaluated)
+    checks["quant_parallel_identical"] = identical
+    close_pools()
+
+    # --- sketch-filter pipeline vs brute ------------------------------
+    fn, fd, fq = cfg["filter_n"], cfg["filter_d"], cfg["filter_queries"]
+    print(f"[bench_perf] quantized: filter plan n={fn} d={fd} "
+          f"queries={fq} ...", flush=True)
+    FP, FQ = _planted_instance(fn, fd, fq, cfg["filter_planted"],
+                               cfg["filter_rho"], seed + 10)
+    fspec = JoinSpec(s=cfg["filter_s"], c=cfg["filter_c"], signed=True)
+    fplan = quantized_filter_plan(
+        filter_options={"n_dims": cfg["filter_dims"]})
+    fbrute_s, fbrute = _timed(
+        lambda: engine_join(FP, FQ, fspec, backend="brute_force",
+                            block=block),
+        repeats=repeats)
+    fplan_s, fres = _timed(
+        lambda: engine_join(FP, FQ, fspec, backend=fplan, block=block,
+                            seed=seed),
+        repeats=repeats)
+    timings["quant_filter_brute_s"] = fbrute_s
+    timings["quant_filter_plan_s"] = fplan_s
+    speedups["quant_filter_vs_brute"] = fbrute_s / fplan_s
+    truth = {j for j, p in enumerate(fbrute.matches) if p is not None}
+    got = {j for j, p in enumerate(fres.matches) if p is not None}
+    recall = len(truth & got) / max(1, len(truth))
+    sound = all(
+        float(FP[p] @ FQ[j]) >= fspec.cs - 1e-9
+        for j, p in enumerate(fres.matches) if p is not None)
+    work["quant_filter_recall"] = recall
+    work["quant_filter_verified_fraction"] = (
+        fres.inner_products_evaluated / (fn * fq))
+    checks["quant_filter_backend_is_plan"] = (
+        fres.backend == "ip_filter+quantized")
+    checks["quant_filter_truth_nonempty"] = bool(truth)
+    checks["quant_filter_recall_floor"] = recall >= QUANT_FILTER_RECALL_FLOOR
+    checks["quant_filter_matches_sound"] = sound
+    if not quick:
+        checks["quant_filter_beats_brute"] = fplan_s < fbrute_s
+
+    # --- planner: the compact tier in backend="auto" ------------------
+    # A memory budget of half the float64 matrix (4 bytes/coord) fits
+    # the int8 index but no float64-resident backend, so the planner
+    # must steer auto to the quantized tier — checked live, end to end.
+    tight = replace(default_model(), mem_budget_bytes=float(n * d * 4))
+    exact_spec = JoinSpec(s=cfg["s"], c=1.0, signed=True)
+    auto = engine_join(P, Q, exact_spec, backend="auto", model=tight,
+                       block=block)
+    base_pick = plan_join(n, nq, d, exact_spec).best_plan.backend
+    work["quant_planner_picks"] = {
+        "base_model": base_pick, "mem_budget": auto.backend}
+    checks["quant_auto_picks_quantized_under_budget"] = (
+        auto.backend == "quantized")
+    ranked = plan_join(fn, fq, fd, fspec)
+    hybrids = [p for p in ranked.plans
+               if p.backend == "ip_filter+quantized"]
+    checks["quant_hybrid_costed_for_gap_specs"] = (
+        len(hybrids) == 1 and hybrids[0].feasible)
+    return cfg
+
+
 def _legacy_parallel_lsh_join(P, Q, spec: JoinSpec, index_spec,
                               n_workers: int, block: int) -> JoinResult:
     """The pre-arena executor, reproduced inline as the bench baseline.
@@ -788,6 +965,9 @@ def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     if "hybrid_vs_single" in suites:
         hybrid_cfg = _run_hybrid_suite(quick, timings, speedups, work, checks)
         report["meta"]["hybrid_suite"] = dict(hybrid_cfg)
+    if "quantized_tier" in suites:
+        quant_cfg = _run_quant_suite(quick, timings, speedups, work, checks)
+        report["meta"]["quant_suite"] = dict(quant_cfg)
     if "parallel_scaling" in suites:
         parallel_cfg = _run_parallel_suite(quick, timings, speedups, work,
                                            checks)
@@ -993,6 +1173,25 @@ def validate_schema(report: dict) -> None:
                     "hybrid_coverage_floor", "hybrid_parallel_identical",
                     "plan_dispatch_matches_equal"):
             assert key in report["checks"], f"missing check {key}"
+    if "quantized_tier" in suites:
+        for key in ("quant_brute_join_s", "quant_join_s", "quant_scan_s",
+                    "quant_filter_brute_s", "quant_filter_plan_s"):
+            assert key in report["timings"], f"missing timing {key}"
+        for key in ("quant_scan_vs_brute", "quant_join_vs_brute",
+                    "quant_memory_reduction", "quant_filter_vs_brute"):
+            assert key in report["speedups"], f"missing speedup {key}"
+        for key in ("quant_index_bytes", "quant_scan_survivors",
+                    "quant_error_bound", "quant_filter_recall",
+                    "quant_filter_verified_fraction", "quant_planner_picks"):
+            assert key in report["work"], f"missing work {key}"
+        for key in ("quant_matches_equal_brute", "quant_prunes_pair_space",
+                    "quant_memory_reduction_floor",
+                    "quant_parallel_identical",
+                    "quant_filter_backend_is_plan",
+                    "quant_filter_recall_floor", "quant_filter_matches_sound",
+                    "quant_auto_picks_quantized_under_budget",
+                    "quant_hybrid_costed_for_gap_specs"):
+            assert key in report["checks"], f"missing check {key}"
     if "parallel_scaling" in suites:
         assert "parallel_serial_s" in report["timings"]
         workers = report["meta"]["parallel_suite"]["workers"]
@@ -1083,6 +1282,19 @@ def main(argv: Optional[List[str]] = None) -> dict:
               f"plan dispatch overhead "
               f"{report['work']['plan_dispatch_overhead'] * 100:+.1f}% "
               f"(ceiling {PLAN_DISPATCH_OVERHEAD_CEILING * 100:.0f}%, full mode)")
+    if "quantized_tier" in suites:
+        picks = report["work"]["quant_planner_picks"]
+        print(f"[bench_perf] quantized tier: scan "
+              f"{report['speedups']['quant_scan_vs_brute']:.2f}x brute "
+              f"(floor {QUANT_SCAN_SPEEDUP_FLOOR:.1f}x, full mode), e2e "
+              f"{report['speedups']['quant_join_vs_brute']:.2f}x, memory "
+              f"{report['speedups']['quant_memory_reduction']:.1f}x smaller")
+        print(f"[bench_perf] filter plan vs brute: "
+              f"{report['speedups']['quant_filter_vs_brute']:.2f}x, recall "
+              f"{report['work']['quant_filter_recall'] * 100:.1f}%, verified "
+              f"{report['work']['quant_filter_verified_fraction'] * 100:.2f}% "
+              f"of pairs; auto picks {picks['mem_budget']} under mem budget "
+              f"(base model: {picks['base_model']})")
     if "parallel_scaling" in suites:
         scaling = report["speedups"]["parallel_scaling_vs_serial"]
         per_w = ", ".join(
