@@ -383,6 +383,39 @@ def clone_shell(obj: Any, threshold: int = ARENA_MIN_BYTES) -> Any:
     return _ShellUnpickler(buffer, arrays).load()
 
 
+def collect_arrays(obj: Any, threshold: int = ARENA_MIN_BYTES) -> List[np.ndarray]:
+    """Enumerate the large ndarrays reachable from ``obj``'s pickle graph.
+
+    The same traversal :func:`freeze` and :func:`clone_shell` use, but
+    collecting instead of detouring: each distinct (by identity) plain
+    ``np.ndarray`` of at least ``threshold`` bytes is returned once, in
+    first-encounter order, and its bytes are never serialized — the walk
+    costs a shell pickle, not an array copy.  This is how a session pins
+    a built structure's arrays into a pool's persistent arena, and how
+    :func:`repro.engine.protocol.persistable_arrays` implements its
+    default when a structure declares no explicit ``arrays()`` hook.
+    """
+    found: List[np.ndarray] = []
+    seen: set = set()
+
+    class _Collector(pickle.Pickler):
+        def persistent_id(self, target):
+            if (
+                type(target) is np.ndarray
+                and target.nbytes >= threshold
+                and target.dtype != object
+            ):
+                key = id(target)
+                if key not in seen:
+                    seen.add(key)
+                    found.append(target)
+                return (_PERSISTENT_TAG, key)
+            return None
+
+    _Collector(BytesIO(), protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return found
+
+
 def repro_segments() -> List[str]:
     """Live ``/dev/shm`` segments created by this module (leak check).
 

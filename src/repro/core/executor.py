@@ -56,6 +56,7 @@ from __future__ import annotations
 import atexit
 import math
 import os
+from collections import deque
 from concurrent.futures import (
     FIRST_EXCEPTION,
     ProcessPoolExecutor,
@@ -63,8 +64,9 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -79,6 +81,7 @@ from repro.core.verify import DEFAULT_BLOCK
 from repro.errors import ParameterError
 from repro.lsh.batch import BatchSignIndex
 from repro.utils import blasctl
+from repro.utils.validation import check_matrix
 
 #: Schemes BatchIndexSpec can rebuild, mapping to BatchSignIndex constructors.
 SCHEMES = ("hyperplane", "datadep", "simple_lsh", "symmetric")
@@ -212,6 +215,176 @@ def resolve_workers(n_workers: Union[int, str]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Query sources: one contract for in-memory, streamed, and memmapped Q
+
+
+class QuerySource:
+    """A query matrix by any name: in-memory array, chunk iterator, or memmap.
+
+    :func:`map_query_chunks` consumes any of the three through one
+    contract, so streaming and out-of-core joins ride the exact code
+    path in-memory joins do:
+
+    * ``kind="array"`` — a materialized ``(m, d)`` ndarray.  This is also
+      how memmapped files enter (:meth:`from_memmap` maps the file and
+      wraps the read-only view), so an out-of-core ``Q`` gets the normal
+      worker-count chunking and the OS pages rows in on demand.
+    * ``kind="stream"`` — an iterator of ``(k_i, d)`` row chunks whose
+      total length need not be known up front.  The executor re-blocks
+      the incoming chunks to multiples of the verification ``block``
+      size (:meth:`blocks`), which is exactly the determinism contract
+      parallel chunking already obeys — so a streamed join is
+      bit-identical to the in-memory join over the concatenated rows,
+      for every worker count and pool kind.
+
+    ``chunk_rows`` is a hint for the re-blocked chunk size (rounded to a
+    ``block`` multiple by the consumer); ``d`` pins the expected width
+    so a malformed producer fails with a named error, not a GEMM shape
+    mismatch.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        array: Optional[np.ndarray] = None,
+        chunks: Optional[Iterable] = None,
+        d: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+    ):
+        if kind not in ("array", "stream"):
+            raise ParameterError(
+                f"QuerySource kind must be 'array' or 'stream', got {kind!r}"
+            )
+        if kind == "array" and array is None:
+            raise ParameterError("array-kind QuerySource needs an array")
+        if kind == "stream" and chunks is None:
+            raise ParameterError("stream-kind QuerySource needs a chunk iterable")
+        if chunk_rows is not None and chunk_rows < 1:
+            raise ParameterError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.kind = kind
+        self.array = array
+        self._chunks = chunks
+        self.d = int(d) if d is not None else (
+            int(array.shape[1]) if array is not None else None
+        )
+        self.chunk_rows = chunk_rows
+        self._consumed = False
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def wrap(cls, Q) -> "QuerySource":
+        """Coerce ``Q`` into a source: passthrough, ndarray, or iterable."""
+        if isinstance(Q, QuerySource):
+            return Q
+        if isinstance(Q, np.ndarray):
+            return cls.from_array(Q)
+        if hasattr(Q, "__iter__") or hasattr(Q, "__next__"):
+            return cls.from_chunks(Q)
+        raise ParameterError(
+            f"cannot make a QuerySource from {type(Q).__name__}: expected an "
+            "ndarray, a chunk iterable, or a QuerySource"
+        )
+
+    @classmethod
+    def from_array(cls, Q) -> "QuerySource":
+        """An in-memory (or already-mapped) query matrix."""
+        return cls("array", array=check_matrix(Q, "Q"))
+
+    @classmethod
+    def from_chunks(
+        cls,
+        chunks: Iterable,
+        d: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> "QuerySource":
+        """A stream of ``(k_i, d)`` row chunks (iterator, generator, list)."""
+        return cls("stream", chunks=chunks, d=d, chunk_rows=chunk_rows)
+
+    @classmethod
+    def from_memmap(
+        cls,
+        path,
+        d: int,
+        dtype=np.float64,
+        rows: Optional[int] = None,
+    ) -> "QuerySource":
+        """Map a raw C-order array file of ``d``-wide float rows.
+
+        ``rows`` defaults to the whole file; a file size that is not a
+        multiple of the row stride raises (truncated or mis-described
+        file).  The result is an array-kind source whose rows are paged
+        in by the OS as chunks touch them — out-of-core ``Q`` with no
+        special casing downstream.
+        """
+        dtype = np.dtype(dtype)
+        if d < 1:
+            raise ParameterError(f"d must be >= 1, got {d}")
+        size = os.path.getsize(path)
+        stride = dtype.itemsize * d
+        if rows is None:
+            if size == 0 or size % stride != 0:
+                raise ParameterError(
+                    f"{path} holds {size} bytes, not a multiple of the "
+                    f"{stride}-byte row stride (d={d}, dtype={dtype})"
+                )
+            rows = size // stride
+        elif size < rows * stride:
+            raise ParameterError(
+                f"{path} holds {size} bytes, too small for {rows} rows of "
+                f"{stride} bytes"
+            )
+        mapped = np.memmap(path, dtype=dtype, mode="r", shape=(int(rows), d))
+        source = cls("array", array=mapped.view(np.ndarray))
+        return source
+
+    # -- consumption -----------------------------------------------------
+
+    def blocks(self, rows: int) -> Iterator[np.ndarray]:
+        """Yield validated float64 chunks of exactly ``rows`` rows (last may
+        be short), re-blocking whatever sizes the producer emits.
+
+        Stream sources are single-use: the underlying iterator cannot be
+        rewound, so a second pass raises instead of silently yielding
+        nothing.
+        """
+        if rows < 1:
+            raise ParameterError(f"rows must be >= 1, got {rows}")
+        if self.kind == "array":
+            Q = self.array
+            for start in range(0, Q.shape[0], rows):
+                yield Q[start:start + rows]
+            return
+        if self._consumed:
+            raise ParameterError(
+                "this stream QuerySource was already consumed; streams are "
+                "single-use"
+            )
+        self._consumed = True
+        pending: List[np.ndarray] = []
+        held = 0
+        for raw in self._chunks:
+            chunk = check_matrix(raw, "Q chunk")
+            if self.d is None:
+                self.d = int(chunk.shape[1])
+            elif chunk.shape[1] != self.d:
+                raise ParameterError(
+                    f"Q chunk has {chunk.shape[1]} columns, expected {self.d}"
+                )
+            pending.append(chunk)
+            held += chunk.shape[0]
+            while held >= rows:
+                buffer = np.concatenate(pending, axis=0) if len(pending) > 1 else pending[0]
+                yield np.ascontiguousarray(buffer[:rows])
+                rest = buffer[rows:]
+                pending = [rest] if rest.shape[0] else []
+                held = rest.shape[0]
+        if held:
+            buffer = np.concatenate(pending, axis=0) if len(pending) > 1 else pending[0]
+            yield np.ascontiguousarray(buffer)
+
+
+# ---------------------------------------------------------------------------
 # Worker-side task functions (module-level: pickled by reference)
 
 
@@ -243,6 +416,24 @@ def _run_thread_chunk(structure, P, Q, start: int, end: int, runner, args):
     """
     local = clone_shell(structure)
     return runner(local, P, Q[start:end], start, args)
+
+
+def _run_frozen_stream_chunk(blob: bytes, Q_chunk, start: int, runner, args):
+    """Process-pool task for streamed ``Q``: thaw (structure, P), run one chunk.
+
+    Unlike :func:`_run_frozen_chunk`, the query chunk itself crosses the
+    pipe (it is the one piece of data that did not exist when the call
+    started), so shared memory holds only the long-lived structure and
+    ``P`` — total shm stays bounded no matter how long the stream runs.
+    """
+    structure, P = thaw(blob)
+    return runner(structure, P, Q_chunk, start, args)
+
+
+def _run_thread_stream_chunk(structure, P, Q_chunk, start: int, runner, args):
+    """Thread-pool task for streamed ``Q``: shell-clone, run one chunk."""
+    local = clone_shell(structure)
+    return runner(local, P, Q_chunk, start, args)
 
 
 # Legacy pickle-per-worker path, kept for the bench baseline comparison
@@ -510,6 +701,13 @@ def map_query_chunks(
             shared-memory views (process pools) or shell clones (thread
             pools) of the same built structure.
         P, Q: data and query matrices (already validated by the caller).
+            ``Q`` may also be a :class:`QuerySource`: array-kind sources
+            (including memmapped files) run the normal chunked path;
+            stream-kind sources are consumed chunk by chunk with a
+            bounded in-flight window, never materializing the full query
+            set — results still return in stream order and match the
+            in-memory run bit for bit (chunks are re-blocked to ``block``
+            multiples, the same alignment parallel chunking uses).
         runner: a **module-level** (hence picklable-by-reference)
             function ``runner(structure, P, Q_chunk, start, args)``
             where ``start`` is the chunk's global query offset; it is
@@ -535,10 +733,36 @@ def map_query_chunks(
     Returns:
         The per-chunk runner results, in query (chunk) order.
     """
+    # Validate every execution option BEFORE building the structure:
+    # an index build can cost minutes, and a typo'd pool kind must fail
+    # in milliseconds — on the serial path too, where ``pool`` is
+    # otherwise unused.
     workers = resolve_workers(n_workers)
     if block < 1:
         raise ParameterError(f"block must be >= 1, got {block}")
+    if executor is None and pool not in POOL_KINDS:
+        raise ParameterError(
+            f"pool must be one of {POOL_KINDS}, got {pool!r}"
+        )
+    source: Optional[QuerySource] = None
+    if isinstance(Q, QuerySource):
+        if Q.kind == "array":
+            Q = Q.array
+        else:
+            source = Q
     structure = payload.build(P) if hasattr(payload, "build") else payload
+    if source is not None:
+        # Same precedence as the array path: serial never touches a
+        # pool; otherwise a caller-managed executor wins over the
+        # persistent registry pool.
+        wp = None
+        if workers > 1:
+            wp = executor if executor is not None else get_pool(
+                workers, kind=pool, blas_threads=blas_threads
+            )
+        return _map_stream_chunks(
+            structure, P, source, runner, args, wp, block, blas_threads
+        )
     if workers == 1:
         if blas_threads is None:
             return [runner(structure, P, Q, 0, args)]
@@ -551,10 +775,6 @@ def map_query_chunks(
     if executor is not None:
         wp = executor
     else:
-        if pool not in POOL_KINDS:
-            raise ParameterError(
-                f"pool must be one of {POOL_KINDS}, got {pool!r}"
-            )
         wp = get_pool(workers, kind=pool, blas_threads=blas_threads)
     bounds = _chunk_bounds(Q.shape[0], block, wp.n_workers)
 
@@ -592,6 +812,100 @@ def map_query_chunks(
         wp._abandon()
         raise
     finally:
+        scratch.close()
+
+
+def _stream_rows(source: QuerySource, block: int) -> int:
+    """The re-blocked chunk size for a stream: a ``block`` multiple >= block."""
+    rows = source.chunk_rows if source.chunk_rows is not None else 8 * block
+    return max(block, (rows // block) * block)
+
+
+def _map_stream_chunks(
+    structure,
+    P,
+    source: QuerySource,
+    runner: Callable,
+    args: tuple,
+    wp: Optional[WorkerPool],
+    block: int,
+    blas_threads: Optional[int],
+) -> List[Any]:
+    """Run a stream-kind :class:`QuerySource` through the chunk runner.
+
+    Chunks are consumed as the producer yields them and dispatched with a
+    bounded in-flight window (``2 x n_workers``), so memory stays at
+    O(window x chunk) regardless of stream length; results are collected
+    oldest-first, which both preserves stream order and applies
+    backpressure to the producer.  Only the long-lived ``(structure, P)``
+    pair is frozen into shared memory — each query chunk crosses the
+    pipe once and is never retained, unlike the array path where the
+    whole ``Q`` is placed in the per-call scratch arena.
+    """
+    rows = _stream_rows(source, block)
+    results: List[Any] = []
+    if wp is None:
+        pin = (
+            blasctl.blas_threads(blasctl.worker_blas_threads(1, blas_threads))
+            if blas_threads is not None
+            else nullcontext()
+        )
+        offset = 0
+        with pin:
+            for chunk in source.blocks(rows):
+                results.append(runner(structure, P, chunk, offset, args))
+                offset += chunk.shape[0]
+        return results
+
+    window = 2 * wp.n_workers
+    futures: deque = deque()
+    if wp.kind == "thread":
+        ex = wp._ensure_executor()
+        try:
+            with blasctl.blas_threads(wp.blas_threads):
+                offset = 0
+                for chunk in source.blocks(rows):
+                    if len(futures) >= window:
+                        results.append(futures.popleft().result())
+                    futures.append(ex.submit(
+                        _run_thread_stream_chunk, structure, P, chunk,
+                        offset, runner, args,
+                    ))
+                    offset += chunk.shape[0]
+                while futures:
+                    results.append(futures.popleft().result())
+            return results
+        except Exception:
+            for future in futures:
+                future.cancel()
+            raise
+
+    ex = wp._ensure_executor()
+    lookup = (wp._arena,) if wp._arena is not None else ()
+    scratch = SharedArena()
+    try:
+        blob = freeze((structure, P), scratch, lookup=lookup)
+        offset = 0
+        for chunk in source.blocks(rows):
+            if len(futures) >= window:
+                results.append(futures.popleft().result())
+            futures.append(ex.submit(
+                _run_frozen_stream_chunk, blob, chunk, offset, runner, args,
+            ))
+            offset += chunk.shape[0]
+        while futures:
+            results.append(futures.popleft().result())
+        return results
+    except BrokenProcessPool:
+        wp._abandon()
+        raise
+    except Exception:
+        for future in futures:
+            future.cancel()
+        raise
+    finally:
+        for future in futures:
+            future.cancel()
         scratch.close()
 
 

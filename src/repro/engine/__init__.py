@@ -4,9 +4,14 @@
 repository implements through one code path; ``backend="auto"`` asks the
 cost-model planner to pick among single-stage plans and two-stage
 hybrids (:mod:`repro.engine.plan`), and ``n_workers=`` shards the query
-set across processes without changing results.  See
-:mod:`repro.engine.protocol` for the backend contract and
-``docs/ARCHITECTURE.md`` for the layer map and the Plan IR.
+set across processes without changing results.  For serving workloads,
+``engine.open(P, spec)`` prepares a long-lived
+:class:`~repro.engine.session.JoinSession` — plan/build once, then
+``session.query(Q)`` / ``session.query_stream(chunks)`` repeatedly,
+``session.save(path)`` / ``engine.open_path(path)`` for zero-copy
+memmapped reloads.  See :mod:`repro.engine.protocol` for the backend
+contract and ``docs/ARCHITECTURE.md`` for the layer map, the Plan IR,
+and the session lifecycle.
 """
 
 from repro.engine.api import join, plan
@@ -24,8 +29,29 @@ from repro.engine.plan import (
     sketch_fallback_plan,
 )
 from repro.engine.planner import CostModel, JoinPlan, PlanEstimate, plan_join
-from repro.engine.protocol import ChunkResult, CostEstimate, JoinBackend
-from repro.engine.sharding import shard_bounds, sharded_join
+from repro.engine.protocol import (
+    ChunkResult,
+    CostEstimate,
+    JoinBackend,
+    persistable_arrays,
+)
+from repro.engine.session import (
+    DEFAULT_EXPECTED_QUERIES,
+    DEFAULT_QUERY_BATCH_HINT,
+    JoinSession,
+    open_path,
+    open_session,
+)
+from repro.engine.sharding import (
+    ShardedSession,
+    open_sharded,
+    shard_bounds,
+    sharded_join,
+)
+
+# ``engine.open(P, spec)`` is the canonical session entry point; the
+# module-level name shadows the builtin only inside this namespace.
+open = open_session
 from repro.engine.registry import (
     available_backends,
     backends_for_variant,
@@ -50,6 +76,15 @@ __all__ = [
     "join",
     "plan",
     "plan_join",
+    "open",
+    "open_session",
+    "open_path",
+    "open_sharded",
+    "JoinSession",
+    "ShardedSession",
+    "DEFAULT_EXPECTED_QUERIES",
+    "DEFAULT_QUERY_BATCH_HINT",
+    "persistable_arrays",
     "sharded_join",
     "shard_bounds",
     "Plan",

@@ -29,6 +29,18 @@ work counters, or stats — and because each stage's unanswered mask is
 computed from its *fully merged* result, that holds stage by stage for
 multi-stage plans too.
 
+Since the session split (:mod:`repro.engine.session`), ``join()`` itself
+is a thin shim: it opens a *lazy* :class:`~repro.engine.session.JoinSession`
+(no eager planning, preparation, or pool ownership) and runs exactly one
+query through the shared dispatch in :mod:`repro.engine.execute` —
+which is the old monolith's stage-walk, extracted verbatim.  Planning
+happens inside the query's ``planner`` span with ``expected_queries=1``
+(the amortized ranking reduces to the historical one), and stages
+prepare inline inside their spans, so results, span trees, stage
+records, and planner-log records are bit-identical to the pre-session
+engine.  Callers who run many queries against one ``P`` should hold a
+session (``engine.open``) instead and amortize the build.
+
 Observability (:mod:`repro.obs`) hangs off the same path.  With
 ``trace=True`` the dispatch runs under a span tracer — ``planner``,
 then for one-stage plans ``prepare`` (with the index/sketch ``build``),
@@ -48,33 +60,16 @@ cost-model recalibration.
 
 from __future__ import annotations
 
-import time
-from contextlib import nullcontext
 from dataclasses import replace
-from typing import List, Optional, Union
+from typing import Optional, Union
 
-import numpy as np
-
-from repro.core.executor import (
-    WorkerPool,
-    _engine_runner,
-    map_query_chunks,
-    merge_join_chunks,
-    resolve_workers,
-)
-from repro.core.problems import (
-    JoinResult,
-    JoinSpec,
-    QueryStats,
-    validate_join_inputs,
-)
+from repro.core.executor import WorkerPool, resolve_workers
+from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
 from repro.core.verify import DEFAULT_BLOCK
-from repro.engine.plan import Plan, stage_point_indices
+from repro.engine.plan import Plan
 from repro.engine.planner import CostModel, JoinPlan, plan_join
-from repro.engine.registry import get_backend
+from repro.engine.session import JoinSession
 from repro.errors import ParameterError
-from repro.obs import MetricsRegistry, Tracer, observe
-from repro.obs.planner_log import PlannerRecord, current_log
 from repro.utils.validation import check_matrix
 
 
@@ -114,243 +109,6 @@ def plan(
         include_hybrids=include_hybrids,
         n_workers=resolve_workers(n_workers),
     )
-
-
-def _fold_stats_metrics(registry: MetricsRegistry, result: JoinResult) -> None:
-    """Mirror the merged work counters into engine-level metric names."""
-    registry.counter("engine.joins").inc()
-    registry.counter("engine.inner_products_evaluated").inc(
-        result.inner_products_evaluated
-    )
-    registry.counter("engine.candidates_generated").inc(
-        result.candidates_generated
-    )
-    stats = result.stats
-    if stats is not None:
-        registry.counter("engine.queries").inc(stats.queries)
-        registry.counter("engine.candidates").inc(stats.candidates)
-        registry.counter("engine.unique_candidates").inc(stats.unique_candidates)
-        registry.counter("engine.probe_candidates").inc(stats.probe_candidates)
-        registry.counter("engine.probed_buckets").inc(stats.probed_buckets)
-
-
-def _fold_stage_matches(
-    matches: List[Optional[int]],
-    topk: Optional[List[List[int]]],
-    answered: np.ndarray,
-    stage_result: JoinResult,
-    q_idx: np.ndarray,
-    point_idx: Optional[np.ndarray],
-    P,
-    Q,
-    spec: JoinSpec,
-    stage_spec: JoinSpec,
-):
-    """Fold one stage's (stage-local) results into the global arrays.
-
-    ``q_idx``/``point_idx`` map stage-local query/data positions back to
-    global indices.  A query counts as *answered* when it gains a match
-    (for top-k: a non-empty list); answered queries are never
-    overwritten, so the first stage to answer wins deterministically.
-    A stage that ran under a weaker final spec (the sketch substitutes
-    its own ``c``) gets its matches re-verified at the caller's ``cs``
-    before the query counts as answered — the extra dot products are
-    returned so the engine can bill them.  Returns
-    ``(newly_answered, extra_evaluated)``.
-    """
-    newly = 0
-    extra_eval = 0
-    if spec.is_topk:
-        for qpos, lst in enumerate(stage_result.topk or []):
-            gq = int(q_idx[qpos])
-            if answered[gq] or not lst:
-                continue
-            if point_idx is not None:
-                lst = [int(point_idx[li]) for li in lst]
-            else:
-                lst = [int(li) for li in lst]
-            topk[gq] = lst
-            matches[gq] = lst[0]
-            answered[gq] = True
-            newly += 1
-        return newly, extra_eval
-    reverify = stage_spec.cs < spec.cs
-    for qpos, local in enumerate(stage_result.matches):
-        if local is None:
-            continue
-        gq = int(q_idx[qpos])
-        if answered[gq]:
-            continue
-        gi = int(point_idx[local]) if point_idx is not None else int(local)
-        if reverify:
-            value = float(P[gi] @ Q[gq])
-            extra_eval += 1
-            score = value if spec.signed else abs(value)
-            if score < spec.cs:
-                continue
-        matches[gq] = gi
-        answered[gq] = True
-        newly += 1
-    return newly, extra_eval
-
-
-def _run_stage_plan(
-    the_plan: Plan,
-    P,
-    Q,
-    spec: JoinSpec,
-    *,
-    seed,
-    n_workers: int,
-    block: int,
-    trace: bool,
-    tracer: Tracer,
-    pool: str,
-    executor: Optional[WorkerPool],
-    blas_threads: Optional[int],
-):
-    """Walk a multi-stage plan's stages under one global result.
-
-    Each stage runs the standard ``prepare``/``run``/``merge`` pipeline
-    on its point/query subset under a ``stage`` span; the unanswered
-    mask is recomputed from the fully merged stage result, so worker
-    count cannot change what the next stage sees.  Returns
-    ``(result, chunks, stage_records)``.
-    """
-    m = Q.shape[0]
-    matches: List[Optional[int]] = [None] * m
-    topk: Optional[List[List[int]]] = (
-        [[] for _ in range(m)] if spec.is_topk else None
-    )
-    answered = np.zeros(m, dtype=bool)
-    evaluated = 0
-    generated = 0
-    merged_stats = QueryStats()
-    all_chunks = []
-    stage_records: List[dict] = []
-    pending_proposals = None
-    for i, stage in enumerate(the_plan.stages):
-        stage_wall = time.perf_counter()
-        label = stage.label or stage.backend
-        with tracer.span(
-            "stage",
-            index=i,
-            backend=stage.backend,
-            label=label,
-            queries=stage.queries,
-            points=stage.points,
-        ) as stage_span:
-            point_idx = stage_point_indices(stage, P)
-            P_stage = P if point_idx is None else P[point_idx]
-            if stage.queries == "all":
-                q_idx = np.arange(m, dtype=np.int64)
-            else:
-                q_idx = np.flatnonzero(~answered)
-            record = dict(
-                index=i, backend=stage.backend,
-                n=int(P_stage.shape[0]), m=int(q_idx.size),
-                wall_s=0.0, evaluated=0, generated=0, answered=0,
-            )
-            if stage_span is not None:
-                stage_span.attrs.update(n=int(P_stage.shape[0]), m=int(q_idx.size))
-            if q_idx.size == 0:
-                # Every query already answered: the stage is a no-op, but
-                # it still shows up in spans and stage records so regret
-                # attribution sees the plan shape that actually ran.
-                record["wall_s"] = time.perf_counter() - stage_wall
-                stage_records.append(record)
-                continue
-            Q_stage = Q[q_idx]
-            impl = get_backend(stage.backend)
-            is_filter = bool(getattr(impl, "is_filter", False))
-            if is_filter != (stage.kind == "filter"):
-                raise ParameterError(
-                    f"backend {stage.backend!r} "
-                    + ("is a filter stage and needs kind='filter'"
-                       if is_filter else
-                       f"cannot run as a kind={stage.kind!r} stage")
-                )
-            stage_options = dict(stage.options)
-            if pending_proposals is not None:
-                # The previous stage was a filter: hand its survivor
-                # lists to this stage's prepare as candidate proposals.
-                stage_options["proposals"] = pending_proposals
-                pending_proposals = None
-            stage_seed = None if seed is None else seed + i
-            with tracer.span("prepare", backend=stage.backend):
-                payload, stage_spec = impl.prepare(
-                    P_stage, spec, seed=stage_seed, block=block,
-                    n_workers=n_workers, **stage_options,
-                )
-                if trace and hasattr(payload, "build"):
-                    # The zero-copy executor builds in the parent for
-                    # every worker count, so the trace can always price
-                    # construction here (engine builds are idempotent).
-                    with tracer.span("build"):
-                        payload = payload.build(P_stage)
-            with tracer.span("run") as run_span:
-                chunks = map_query_chunks(
-                    payload, P_stage, Q_stage, _engine_runner,
-                    (stage.backend, trace, label),
-                    n_workers=n_workers, block=block,
-                    pool=pool, executor=executor, blas_threads=blas_threads,
-                )
-            if run_span is not None:
-                run_span.children.extend(c.trace for c in chunks if c.trace)
-            with tracer.span("merge"):
-                stage_result = merge_join_chunks(
-                    [
-                        (c.matches, c.evaluated, c.generated, c.stats)
-                        for c in chunks
-                    ],
-                    stage_spec,
-                    backend=stage.backend,
-                )
-                if stage_spec.is_topk:
-                    stage_result.topk = [
-                        lst for c in chunks for lst in (c.topk or [])
-                    ]
-                if is_filter:
-                    # Filter stages answer nothing: concatenate the
-                    # per-chunk survivor lists (chunk order = query
-                    # order) and remap structure-local point indices to
-                    # global ones for the consuming stage.
-                    proposals = [
-                        lst for c in chunks for lst in (c.proposals or [])
-                    ]
-                    if point_idx is not None:
-                        proposals = [point_idx[lst] for lst in proposals]
-                    pending_proposals = proposals
-                    newly, extra_eval = 0, 0
-                else:
-                    newly, extra_eval = _fold_stage_matches(
-                        matches, topk, answered, stage_result,
-                        q_idx, point_idx, P, Q, spec, stage_spec,
-                    )
-            all_chunks.extend(chunks)
-            stage_eval = stage_result.inner_products_evaluated + extra_eval
-            evaluated += stage_eval
-            generated += stage_result.candidates_generated
-            merged_stats = merged_stats.merge(stage_result.stats)
-            record.update(
-                wall_s=time.perf_counter() - stage_wall,
-                evaluated=int(stage_eval),
-                generated=int(stage_result.candidates_generated),
-                answered=int(newly),
-            )
-            stage_records.append(record)
-            if stage_span is not None:
-                stage_span.attrs.update(answered=int(newly))
-    result = JoinResult(
-        matches=matches,
-        spec=spec,
-        inner_products_evaluated=int(evaluated),
-        candidates_generated=int(generated),
-        topk=topk,
-        backend=the_plan.backend,
-        stats=merged_stats,
-    )
-    return result, all_chunks, stage_records
 
 
 def join(
@@ -423,168 +181,16 @@ def join(
         joins — the span tree and metrics registry.
     """
     P, Q, spec = _normalize_inputs(P, Q, spec)
-    n_workers = resolve_workers(n_workers)
-    tracer = Tracer(enabled=trace)
-    registry = MetricsRegistry(enabled=trace)
-    requested = backend.backend if isinstance(backend, Plan) else backend
-    wall_start = time.perf_counter()
-    # Activating the tracer/registry as process-current lets kernel-level
-    # instrumentation inside prepare/build attach to this join's tree.
-    obs_ctx = observe(tracer, registry) if trace else nullcontext()
-    with obs_ctx, tracer.span(
-        "engine.join",
-        backend=requested,
-        n=int(P.shape[0]),
-        m=int(Q.shape[0]),
-        d=int(P.shape[1]),
-        variant=spec.variant,
-        n_workers=int(n_workers),
-    ):
-        join_plan = None
-        best_estimate = None
-        with tracer.span("planner") as planner_span:
-            if isinstance(backend, Plan):
-                if options:
-                    raise ParameterError(
-                        f"an explicit Plan carries per-stage options; got "
-                        f"engine-level options {sorted(options)}"
-                    )
-                the_plan = backend
-                if planner_span is not None:
-                    planner_span.attrs.update(
-                        picked=the_plan.backend, source="explicit"
-                    )
-            elif backend == "auto":
-                # Caller options bind to one backend's prepare, so the
-                # ranking is restricted to single-stage plans when any
-                # are present.
-                join_plan = plan_join(
-                    P.shape[0], Q.shape[0], P.shape[1], spec, model,
-                    include_hybrids=not options,
-                    n_workers=n_workers,
-                )
-                best_estimate = join_plan.best_plan
-                the_plan = best_estimate.plan
-                if planner_span is not None:
-                    planner_span.attrs.update(
-                        picked=the_plan.backend,
-                        ranking=[
-                            (pe.backend, pe.total_ops)
-                            for pe in join_plan.feasible_plans
-                        ],
-                    )
-            else:
-                the_plan = Plan.single(backend)
-                if planner_span is not None:
-                    planner_span.attrs.update(picked=backend, source="explicit")
-        stages = the_plan.stages
-        if len(stages) == 1 and not stages[0].is_partitioned:
-            # One-stage fast path: the pre-Plan-IR dispatch, bit for bit
-            # (same spans, same payload flow, result spec = the
-            # backend's final spec).
-            stage = stages[0]
-            backend_name = stage.backend
-            impl = get_backend(backend_name)
-            if getattr(impl, "is_filter", False):
-                raise ParameterError(
-                    f"backend {backend_name!r} is a filter stage: it only "
-                    "proposes candidates and cannot answer a join on its "
-                    "own (see quantized_filter_plan)"
-                )
-            stage_options = {**stage.options, **options}
-            with tracer.span("prepare", backend=backend_name):
-                payload, final_spec = impl.prepare(
-                    P, spec, seed=seed, block=block, n_workers=n_workers,
-                    **stage_options,
-                )
-                if trace and hasattr(payload, "build"):
-                    # The zero-copy executor builds in the parent for
-                    # every worker count, so the trace can always price
-                    # construction here (engine builds are idempotent;
-                    # workers receive the built structure, not a recipe).
-                    with tracer.span("build"):
-                        payload = payload.build(P)
-            with tracer.span("run") as run_span:
-                chunks = map_query_chunks(
-                    payload, P, Q, _engine_runner, (backend_name, trace),
-                    n_workers=n_workers, block=block,
-                    pool=pool, executor=executor, blas_threads=blas_threads,
-                )
-            if run_span is not None:
-                run_span.children.extend(c.trace for c in chunks if c.trace)
-            with tracer.span("merge"):
-                result = merge_join_chunks(
-                    [
-                        (c.matches, c.evaluated, c.generated, c.stats)
-                        for c in chunks
-                    ],
-                    final_spec,
-                    backend=backend_name,
-                )
-                if final_spec.is_topk:
-                    result.topk = [lst for c in chunks for lst in (c.topk or [])]
-            stage_records = [
-                dict(
-                    index=0, backend=backend_name,
-                    n=int(P.shape[0]), m=int(Q.shape[0]), wall_s=0.0,
-                    evaluated=int(result.inner_products_evaluated),
-                    generated=int(result.candidates_generated),
-                    answered=int(result.matched_count),
-                )
-            ]
-        else:
-            if options:
-                raise ParameterError(
-                    f"multi-stage plans carry per-stage options; got "
-                    f"engine-level options {sorted(options)}"
-                )
-            if spec.variant not in ("join", "topk"):
-                raise ParameterError(
-                    f"multi-stage plans answer the 'join' and 'topk' "
-                    f"variants, not {spec.variant!r}"
-                )
-            result, chunks, stage_records = _run_stage_plan(
-                the_plan, P, Q, spec,
-                seed=seed, n_workers=n_workers, block=block,
-                trace=trace, tracer=tracer,
-                pool=pool, executor=executor, blas_threads=blas_threads,
-            )
-            with tracer.span("merge", stages=len(stage_records)):
-                pass
-    result.wall_s = time.perf_counter() - wall_start
-    bounds = [c.error_bound for c in chunks if c.error_bound is not None]
-    if bounds:
-        result.error_bound = max(bounds)
-    if stage_records and stage_records[0]["wall_s"] == 0.0 and len(stage_records) == 1:
-        stage_records[0]["wall_s"] = result.wall_s
-    if best_estimate is not None:
-        for record, est in zip(stage_records, best_estimate.stage_estimates):
-            record["predicted_ops"] = est.total_ops
-    if trace:
-        for c in chunks:
-            registry.merge_snapshot(c.metrics)
-        _fold_stats_metrics(registry, result)
-        result.trace = tracer.take()
-        result.metrics = registry
-    current_log().record(
-        PlannerRecord(
-            n=int(P.shape[0]),
-            m=int(Q.shape[0]),
-            d=int(P.shape[1]),
-            s=float(spec.s),
-            c=float(spec.c),
-            signed=bool(spec.signed),
-            variant=spec.variant,
-            mode="auto" if requested == "auto" else "explicit",
-            picked=result.backend,
-            wall_s=result.wall_s,
-            predicted={
-                pe.backend: pe.total_ops for pe in join_plan.feasible_plans
-            } if join_plan is not None else {},
-            evaluated=int(result.inner_products_evaluated),
-            generated=int(result.candidates_generated),
-            n_workers=int(n_workers),
-            stages=stage_records,
-        )
+    # The one-shot path is a lazy session: nothing is planned or
+    # prepared here — the single _dispatch call below plans inside its
+    # own planner span and prepares stages inline, reproducing the
+    # historical monolith bit for bit.  No pool is owned either: the
+    # query routes through the persistent registry pool (or the caller's
+    # executor) exactly as before, so nothing is torn down afterwards.
+    session = JoinSession._lazy(
+        P, spec,
+        backend=backend, seed=seed, n_workers=n_workers, block=block,
+        model=model, pool=pool, executor=executor,
+        blas_threads=blas_threads, **options,
     )
-    return result
+    return session._dispatch(Q, trace=trace, root="engine.join")

@@ -1,0 +1,483 @@
+"""The engine's stage-walk: prepare/run/merge machinery behind every join.
+
+This module is the execution half of what used to be the ``join()``
+monolith in :mod:`repro.engine.api`, split out so that one-shot joins
+and long-lived sessions (:mod:`repro.engine.session`) drive the *same*
+code with one difference: where the prepared stage structures come from.
+
+* A one-shot ``engine.join()`` passes no :class:`PreparedStage` objects;
+  every stage prepares (and, under tracing, builds) inline inside its
+  span — the historical behavior, bit for bit, spans included.
+* A session prepares every stage once at ``open()`` via
+  :func:`prepare_stage` and passes the results back in on each
+  ``query()``; the walk then reuses the built payloads (and the
+  materialized point-partition copies) instead of re-preparing.  Stages
+  that consume a filter stage's per-query ``proposals``
+  (:meth:`~repro.engine.plan.Plan.consumes_proposals`) are the one
+  exception: they are *deferred* — re-prepared on every query with that
+  batch's proposals, which costs no quantization or index build.
+
+Determinism: reuse never changes results, because prepare/build are
+idempotent for every backend (structures build lazily and cache), and
+the executor contract (:func:`repro.core.executor.map_query_chunks`)
+already guarantees chunking cannot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.executor import (
+    QuerySource,
+    WorkerPool,
+    _engine_runner,
+    map_query_chunks,
+    merge_join_chunks,
+)
+from repro.core.problems import JoinResult, JoinSpec, QueryStats
+from repro.engine.plan import Plan, Stage, stage_point_indices
+from repro.engine.registry import get_backend
+from repro.errors import ParameterError
+from repro.obs import MetricsRegistry, Tracer
+
+
+@dataclass
+class PreparedStage:
+    """One plan stage's ready-to-run state, prepared once per session.
+
+    ``payload`` is the *built* structure (sessions build eagerly at
+    ``open()`` so queries never pay construction); ``None`` marks a
+    deferred stage whose ``prepare`` needs per-query proposals.
+    ``P_stage`` is the stage's point subset — kept so partitioned stages
+    don't re-slice ``P`` per query, and so the worker-pool arena can pin
+    the exact array object the runner will reference.
+    """
+
+    stage: Stage
+    payload: Any
+    final_spec: Optional[JoinSpec]
+    point_idx: Optional[np.ndarray]
+    P_stage: Any
+    seed: Optional[int]
+    deferred: bool = False
+
+
+def _standalone_filter_error(backend_name: str) -> ParameterError:
+    return ParameterError(
+        f"backend {backend_name!r} is a filter stage: it only "
+        "proposes candidates and cannot answer a join on its "
+        "own (see quantized_filter_plan)"
+    )
+
+
+def _stage_kind_error(stage: Stage, is_filter: bool) -> ParameterError:
+    return ParameterError(
+        f"backend {stage.backend!r} "
+        + ("is a filter stage and needs kind='filter'"
+           if is_filter else
+           f"cannot run as a kind={stage.kind!r} stage")
+    )
+
+
+def prepare_stage(
+    the_plan: Plan,
+    index: int,
+    P,
+    spec: JoinSpec,
+    *,
+    seed,
+    block: int,
+    n_workers: int,
+    options: dict,
+) -> PreparedStage:
+    """Prepare (and build) stage ``index`` of a plan, session-style.
+
+    Runs the same validation the inline walk performs — standalone
+    filters rejected for one-stage plans, stage kind matched against the
+    backend's ``is_filter`` — then resolves the point partition,
+    prepares the payload, and builds it eagerly.  Stages consuming a
+    filter's proposals come back deferred (``payload=None``): their
+    prepare is per-query by construction.
+    """
+    stage = the_plan.stages[index]
+    impl = get_backend(stage.backend)
+    is_filter = bool(getattr(impl, "is_filter", False))
+    single_fast = len(the_plan.stages) == 1 and not stage.is_partitioned
+    if single_fast:
+        if is_filter:
+            raise _standalone_filter_error(stage.backend)
+        stage_options = {**stage.options, **options}
+    else:
+        if is_filter != (stage.kind == "filter"):
+            raise _stage_kind_error(stage, is_filter)
+        stage_options = dict(stage.options)
+    point_idx = stage_point_indices(stage, P)
+    P_stage = P if point_idx is None else P[point_idx]
+    stage_seed = None if seed is None else seed + index
+    if the_plan.consumes_proposals(index):
+        return PreparedStage(
+            stage=stage, payload=None, final_spec=None,
+            point_idx=point_idx, P_stage=P_stage, seed=stage_seed,
+            deferred=True,
+        )
+    payload, final_spec = impl.prepare(
+        P_stage, spec, seed=stage_seed, block=block,
+        n_workers=n_workers, **stage_options,
+    )
+    if hasattr(payload, "build"):
+        payload = payload.build(P_stage)
+    return PreparedStage(
+        stage=stage, payload=payload, final_spec=final_spec,
+        point_idx=point_idx, P_stage=P_stage, seed=stage_seed,
+    )
+
+
+def fold_stats_metrics(registry: MetricsRegistry, result: JoinResult) -> None:
+    """Mirror the merged work counters into engine-level metric names."""
+    registry.counter("engine.joins").inc()
+    registry.counter("engine.inner_products_evaluated").inc(
+        result.inner_products_evaluated
+    )
+    registry.counter("engine.candidates_generated").inc(
+        result.candidates_generated
+    )
+    stats = result.stats
+    if stats is not None:
+        registry.counter("engine.queries").inc(stats.queries)
+        registry.counter("engine.candidates").inc(stats.candidates)
+        registry.counter("engine.unique_candidates").inc(stats.unique_candidates)
+        registry.counter("engine.probe_candidates").inc(stats.probe_candidates)
+        registry.counter("engine.probed_buckets").inc(stats.probed_buckets)
+
+
+def _fold_stage_matches(
+    matches: List[Optional[int]],
+    topk: Optional[List[List[int]]],
+    answered: np.ndarray,
+    stage_result: JoinResult,
+    q_idx: np.ndarray,
+    point_idx: Optional[np.ndarray],
+    P,
+    Q,
+    spec: JoinSpec,
+    stage_spec: JoinSpec,
+):
+    """Fold one stage's (stage-local) results into the global arrays.
+
+    ``q_idx``/``point_idx`` map stage-local query/data positions back to
+    global indices.  A query counts as *answered* when it gains a match
+    (for top-k: a non-empty list); answered queries are never
+    overwritten, so the first stage to answer wins deterministically.
+    A stage that ran under a weaker final spec (the sketch substitutes
+    its own ``c``) gets its matches re-verified at the caller's ``cs``
+    before the query counts as answered — the extra dot products are
+    returned so the engine can bill them.  Returns
+    ``(newly_answered, extra_evaluated)``.
+    """
+    newly = 0
+    extra_eval = 0
+    if spec.is_topk:
+        for qpos, lst in enumerate(stage_result.topk or []):
+            gq = int(q_idx[qpos])
+            if answered[gq] or not lst:
+                continue
+            if point_idx is not None:
+                lst = [int(point_idx[li]) for li in lst]
+            else:
+                lst = [int(li) for li in lst]
+            topk[gq] = lst
+            matches[gq] = lst[0]
+            answered[gq] = True
+            newly += 1
+        return newly, extra_eval
+    reverify = stage_spec.cs < spec.cs
+    for qpos, local in enumerate(stage_result.matches):
+        if local is None:
+            continue
+        gq = int(q_idx[qpos])
+        if answered[gq]:
+            continue
+        gi = int(point_idx[local]) if point_idx is not None else int(local)
+        if reverify:
+            value = float(P[gi] @ Q[gq])
+            extra_eval += 1
+            score = value if spec.signed else abs(value)
+            if score < spec.cs:
+                continue
+        matches[gq] = gi
+        answered[gq] = True
+        newly += 1
+    return newly, extra_eval
+
+
+def run_single_stage(
+    the_plan: Plan,
+    P,
+    Q,
+    spec: JoinSpec,
+    *,
+    options: dict,
+    seed,
+    n_workers: int,
+    block: int,
+    trace: bool,
+    tracer: Tracer,
+    pool: str,
+    executor: Optional[WorkerPool],
+    blas_threads: Optional[int],
+    prep: Optional[PreparedStage] = None,
+    on_prepare: Optional[Callable[[str], None]] = None,
+):
+    """The one-stage fast path: the pre-Plan-IR dispatch, bit for bit.
+
+    Same spans, same payload flow, result spec = the backend's final
+    spec.  With a session's ``prep`` the prepare span reuses the built
+    payload instead of re-preparing (the span still appears, marked
+    ``reused``, so traced session queries keep the familiar skeleton).
+    ``Q`` may be a stream-kind :class:`QuerySource` — the executor
+    consumes it chunk by chunk and everything downstream merges the
+    per-chunk results exactly as it merges parallel chunks.
+
+    Returns ``(result, chunks, stage_records)``.
+    """
+    stage = the_plan.stages[0]
+    backend_name = stage.backend
+    impl = get_backend(backend_name)
+    if getattr(impl, "is_filter", False):
+        raise _standalone_filter_error(backend_name)
+    stage_options = {**stage.options, **options}
+    reuse = prep is not None and prep.payload is not None
+    with tracer.span("prepare", backend=backend_name) as prep_span:
+        if reuse:
+            payload, final_spec = prep.payload, prep.final_spec
+            if prep_span is not None:
+                prep_span.attrs["reused"] = True
+        else:
+            payload, final_spec = impl.prepare(
+                P, spec, seed=seed, block=block, n_workers=n_workers,
+                **stage_options,
+            )
+            if on_prepare is not None:
+                on_prepare("stage")
+        if trace and hasattr(payload, "build"):
+            # The zero-copy executor builds in the parent for every
+            # worker count, so the trace can always price construction
+            # here (engine builds are idempotent; workers receive the
+            # built structure, not a recipe).  For a session's prebuilt
+            # payload this is a cached no-op and the span shows ~0s —
+            # exactly the amortization the session exists to buy.
+            with tracer.span("build"):
+                payload = payload.build(P)
+    with tracer.span("run") as run_span:
+        chunks = map_query_chunks(
+            payload, P, Q, _engine_runner, (backend_name, trace),
+            n_workers=n_workers, block=block,
+            pool=pool, executor=executor, blas_threads=blas_threads,
+        )
+    if run_span is not None:
+        run_span.children.extend(c.trace for c in chunks if c.trace)
+    with tracer.span("merge"):
+        result = merge_join_chunks(
+            [
+                (c.matches, c.evaluated, c.generated, c.stats)
+                for c in chunks
+            ],
+            final_spec,
+            backend=backend_name,
+        )
+        if final_spec.is_topk:
+            result.topk = [lst for c in chunks for lst in (c.topk or [])]
+    stage_records = [
+        dict(
+            index=0, backend=backend_name,
+            n=int(P.shape[0]), m=len(result.matches), wall_s=0.0,
+            evaluated=int(result.inner_products_evaluated),
+            generated=int(result.candidates_generated),
+            answered=int(result.matched_count),
+        )
+    ]
+    return result, chunks, stage_records
+
+
+def run_stage_plan(
+    the_plan: Plan,
+    P,
+    Q,
+    spec: JoinSpec,
+    *,
+    seed,
+    n_workers: int,
+    block: int,
+    trace: bool,
+    tracer: Tracer,
+    pool: str,
+    executor: Optional[WorkerPool],
+    blas_threads: Optional[int],
+    prepared: Optional[Sequence[PreparedStage]] = None,
+    on_prepare: Optional[Callable[[str], None]] = None,
+):
+    """Walk a multi-stage plan's stages under one global result.
+
+    Each stage runs the standard ``prepare``/``run``/``merge`` pipeline
+    on its point/query subset under a ``stage`` span; the unanswered
+    mask is recomputed from the fully merged stage result, so worker
+    count cannot change what the next stage sees.  ``prepared`` (from a
+    session) short-circuits per-stage prepare/build; deferred stages —
+    consumers of a filter stage's proposals — always prepare inline with
+    this batch's survivor lists.  Returns
+    ``(result, chunks, stage_records)``.
+    """
+    m = Q.shape[0]
+    matches: List[Optional[int]] = [None] * m
+    topk: Optional[List[List[int]]] = (
+        [[] for _ in range(m)] if spec.is_topk else None
+    )
+    answered = np.zeros(m, dtype=bool)
+    evaluated = 0
+    generated = 0
+    merged_stats = QueryStats()
+    all_chunks = []
+    stage_records: List[dict] = []
+    pending_proposals = None
+    for i, stage in enumerate(the_plan.stages):
+        stage_wall = time.perf_counter()
+        label = stage.label or stage.backend
+        prep = prepared[i] if prepared is not None else None
+        with tracer.span(
+            "stage",
+            index=i,
+            backend=stage.backend,
+            label=label,
+            queries=stage.queries,
+            points=stage.points,
+        ) as stage_span:
+            if prep is not None:
+                point_idx = prep.point_idx
+                P_stage = prep.P_stage
+            else:
+                point_idx = stage_point_indices(stage, P)
+                P_stage = P if point_idx is None else P[point_idx]
+            if stage.queries == "all":
+                q_idx = np.arange(m, dtype=np.int64)
+            else:
+                q_idx = np.flatnonzero(~answered)
+            record = dict(
+                index=i, backend=stage.backend,
+                n=int(P_stage.shape[0]), m=int(q_idx.size),
+                wall_s=0.0, evaluated=0, generated=0, answered=0,
+            )
+            if stage_span is not None:
+                stage_span.attrs.update(n=int(P_stage.shape[0]), m=int(q_idx.size))
+            if q_idx.size == 0:
+                # Every query already answered: the stage is a no-op, but
+                # it still shows up in spans and stage records so regret
+                # attribution sees the plan shape that actually ran.
+                record["wall_s"] = time.perf_counter() - stage_wall
+                stage_records.append(record)
+                continue
+            Q_stage = Q[q_idx]
+            impl = get_backend(stage.backend)
+            is_filter = bool(getattr(impl, "is_filter", False))
+            if is_filter != (stage.kind == "filter"):
+                raise _stage_kind_error(stage, is_filter)
+            stage_options = dict(stage.options)
+            if pending_proposals is not None:
+                # The previous stage was a filter: hand its survivor
+                # lists to this stage's prepare as candidate proposals.
+                stage_options["proposals"] = pending_proposals
+                pending_proposals = None
+            elif prep is not None and prep.payload is not None:
+                stage_options = None  # reuse marker: no prepare needed
+            stage_seed = (
+                prep.seed if prep is not None
+                else (None if seed is None else seed + i)
+            )
+            with tracer.span("prepare", backend=stage.backend) as prep_span:
+                if stage_options is None:
+                    payload, stage_spec = prep.payload, prep.final_spec
+                    if prep_span is not None:
+                        prep_span.attrs["reused"] = True
+                else:
+                    payload, stage_spec = impl.prepare(
+                        P_stage, spec, seed=stage_seed, block=block,
+                        n_workers=n_workers, **stage_options,
+                    )
+                    if on_prepare is not None:
+                        on_prepare(
+                            "deferred"
+                            if prep is not None and prep.deferred
+                            else "stage"
+                        )
+                if trace and hasattr(payload, "build"):
+                    # The zero-copy executor builds in the parent for
+                    # every worker count, so the trace can always price
+                    # construction here (engine builds are idempotent).
+                    with tracer.span("build"):
+                        payload = payload.build(P_stage)
+            with tracer.span("run") as run_span:
+                chunks = map_query_chunks(
+                    payload, P_stage, Q_stage, _engine_runner,
+                    (stage.backend, trace, label),
+                    n_workers=n_workers, block=block,
+                    pool=pool, executor=executor, blas_threads=blas_threads,
+                )
+            if run_span is not None:
+                run_span.children.extend(c.trace for c in chunks if c.trace)
+            with tracer.span("merge"):
+                stage_result = merge_join_chunks(
+                    [
+                        (c.matches, c.evaluated, c.generated, c.stats)
+                        for c in chunks
+                    ],
+                    stage_spec,
+                    backend=stage.backend,
+                )
+                if stage_spec.is_topk:
+                    stage_result.topk = [
+                        lst for c in chunks for lst in (c.topk or [])
+                    ]
+                if is_filter:
+                    # Filter stages answer nothing: concatenate the
+                    # per-chunk survivor lists (chunk order = query
+                    # order) and remap structure-local point indices to
+                    # global ones for the consuming stage.
+                    proposals = [
+                        lst for c in chunks for lst in (c.proposals or [])
+                    ]
+                    if point_idx is not None:
+                        proposals = [point_idx[lst] for lst in proposals]
+                    pending_proposals = proposals
+                    newly, extra_eval = 0, 0
+                else:
+                    newly, extra_eval = _fold_stage_matches(
+                        matches, topk, answered, stage_result,
+                        q_idx, point_idx, P, Q, spec, stage_spec,
+                    )
+            all_chunks.extend(chunks)
+            stage_eval = stage_result.inner_products_evaluated + extra_eval
+            evaluated += stage_eval
+            generated += stage_result.candidates_generated
+            merged_stats = merged_stats.merge(stage_result.stats)
+            record.update(
+                wall_s=time.perf_counter() - stage_wall,
+                evaluated=int(stage_eval),
+                generated=int(stage_result.candidates_generated),
+                answered=int(newly),
+            )
+            stage_records.append(record)
+            if stage_span is not None:
+                stage_span.attrs.update(answered=int(newly))
+    result = JoinResult(
+        matches=matches,
+        spec=spec,
+        inner_products_evaluated=int(evaluated),
+        candidates_generated=int(generated),
+        topk=topk,
+        backend=the_plan.backend,
+        stats=merged_stats,
+    )
+    return result, all_chunks, stage_records

@@ -153,6 +153,17 @@ class Plan:
     def is_multi_stage(self) -> bool:
         return len(self.stages) > 1
 
+    def consumes_proposals(self, index: int) -> bool:
+        """True when stage ``index`` is fed the previous filter stage's
+        survivor lists.
+
+        Such a stage's ``prepare`` takes per-query ``proposals``, so a
+        session cannot prepare it once at ``open()`` — it is re-prepared
+        (cheaply: no quantization, no index build) on every ``query()``
+        with that batch's proposals.
+        """
+        return index > 0 and self.stages[index - 1].kind == "filter"
+
     @classmethod
     def single(cls, backend: str, options: Optional[Mapping] = None) -> "Plan":
         """The one-stage special case every plain ``backend=`` call becomes."""

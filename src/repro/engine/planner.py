@@ -421,6 +421,19 @@ class PlanEstimate:
     def total_ops(self) -> float:
         return sum(e.total_ops for e in self.stage_estimates)
 
+    def amortized_ops(self, expected_queries: float) -> float:
+        """Predicted cost of one build followed by ``expected_queries`` runs.
+
+        Build work is paid once per session; per-query work is paid on
+        every ``query()`` call.  At ``expected_queries=1`` this equals
+        :attr:`total_ops` — the one-shot ranking — which is what keeps
+        ``engine.join()`` bit-identical to its pre-session behavior.
+        """
+        return sum(
+            e.build_ops + expected_queries * e.query_ops
+            for e in self.stage_estimates
+        )
+
 
 @dataclass(frozen=True)
 class JoinPlan:
@@ -438,6 +451,8 @@ class JoinPlan:
     spec: JoinSpec
     estimates: List[CostEstimate] = field(default_factory=list)
     plans: List[PlanEstimate] = field(default_factory=list)
+    #: Queries the ranking amortized the build over (1 = one-shot).
+    expected_queries: float = 1.0
 
     @property
     def feasible(self) -> List[CostEstimate]:
@@ -606,6 +621,7 @@ def plan_join(
     model: Optional[CostModel] = None,
     include_hybrids: bool = True,
     n_workers: int = 1,
+    expected_queries: float = 1.0,
 ) -> JoinPlan:
     """Rank every candidate plan for an ``(n, d) x (m, d)`` instance.
 
@@ -624,12 +640,25 @@ def plan_join(
     backends under the execution mode that will actually run (a
     build-heavy backend looks relatively worse parallel, where its
     construction cannot be amortized across workers).
+
+    ``expected_queries`` amortizes build cost the other way: a session
+    that will answer ~k query batches against one prepared structure
+    ranks plans by ``build_ops + k * query_ops``, so a backend with an
+    expensive build but cheap queries (an LSH index, a norm-sorted scan)
+    beats brute force once k is large even though it loses the one-shot
+    comparison.  ``m`` should then be the *per-batch* query count, not
+    the lifetime total.  The default of 1 is exactly the historical
+    one-shot ranking.
     """
     from repro.engine.registry import available_backends, get_backend
 
     if n < 1 or m < 1 or d < 1:
         raise ParameterError(
             f"instance shape must be positive, got n={n}, m={m}, d={d}"
+        )
+    if expected_queries < 1:
+        raise ParameterError(
+            f"expected_queries must be >= 1, got {expected_queries}"
         )
     model = model or default_model()
     estimates = [
@@ -658,16 +687,22 @@ def plan_join(
             )
             for p in plans
         ]
+    eq = float(expected_queries)
     est_order = sorted(
         range(len(estimates)),
-        key=lambda i: (not estimates[i].feasible, estimates[i].total_ops, i),
+        key=lambda i: (
+            not estimates[i].feasible,
+            estimates[i].build_ops + eq * estimates[i].query_ops,
+            i,
+        ),
     )
     plan_order = sorted(
         range(len(plans)),
-        key=lambda i: (not plans[i].feasible, plans[i].total_ops, i),
+        key=lambda i: (not plans[i].feasible, plans[i].amortized_ops(eq), i),
     )
     return JoinPlan(
         n=n, m=m, d=d, spec=spec,
         estimates=[estimates[i] for i in est_order],
         plans=[plans[i] for i in plan_order],
+        expected_queries=eq,
     )

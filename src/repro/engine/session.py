@@ -1,0 +1,788 @@
+"""Session-oriented engine core: build once, query many times.
+
+``engine.join()`` is one-shot: validate, plan, prepare, run, throw
+everything away.  A serving workload is the opposite shape — one
+long-lived index, many small query batches — and paying the plan +
+prepare + pool-warmup tax per batch is exactly what the ROADMAP's
+serving layer cannot afford.  A :class:`JoinSession` splits the
+lifecycle:
+
+* :func:`open_session` (exported as ``engine.open``) validates ``P`` and
+  the spec once, plans once (amortizing build cost over an
+  ``expected_queries`` hint — the planner ranks by
+  ``build_ops + expected_queries * query_ops``, so build-heavy backends
+  win sessions they would lose one-shot), prepares and *builds* every
+  stage structure once, and — for parallel sessions — owns a persistent
+  :class:`~repro.core.executor.WorkerPool` with ``P`` and every
+  structure array pre-pinned in its shared-memory arena via
+  ``share()``, so repeated queries freeze only their own ``Q``.
+* :meth:`JoinSession.query` runs one batch against the prepared
+  structures — no re-validation, no re-planning, no re-prepare (stages
+  consuming a filter's per-query proposals are the documented
+  exception), no array re-copying.  Each call gets its own span tree
+  (root ``session.query``) and appends one
+  :class:`~repro.obs.planner_log.PlannerRecord` tagged with
+  ``expected_queries`` and the session reuse count.
+* :meth:`JoinSession.query_stream` consumes a
+  :class:`~repro.core.executor.QuerySource` (chunk iterator or
+  memmapped file) with bounded memory — out-of-core joins over the same
+  prepared structures, bit-identical to the in-memory result.
+* :meth:`JoinSession.save` / :func:`open_path` persist the prepared
+  session in the directory format of :mod:`repro.utils.persistence`:
+  large arrays become raw sidecars and load back as ``np.memmap`` views,
+  so N serving processes opening one saved index share page cache
+  instead of each copying the arrays.
+* :meth:`JoinSession.close` releases the owned pool and its shared
+  memory (``/dev/shm`` clean, enforced by tests even across worker
+  crashes).
+
+``engine.join()`` itself is now a thin open→query→close shim over a
+*lazy* session (plan and prepare happen inside the query call, under
+the query's tracer) — which is what keeps it bit-identical to the
+pre-session engine, spans and planner records included.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.core.arena import ARENA_MIN_BYTES
+from repro.core.executor import (
+    POOL_KINDS,
+    QuerySource,
+    WorkerPool,
+    resolve_workers,
+)
+from repro.core.problems import JoinResult, JoinSpec, QueryStats
+from repro.core.verify import DEFAULT_BLOCK
+from repro.engine.execute import (
+    PreparedStage,
+    fold_stats_metrics,
+    prepare_stage,
+    run_single_stage,
+    run_stage_plan,
+)
+from repro.engine.plan import Plan
+from repro.engine.planner import CostModel, plan_join
+from repro.engine.protocol import persistable_arrays
+from repro.errors import ParameterError
+from repro.obs import MetricsRegistry, Tracer, observe
+from repro.obs.planner_log import PlannerRecord, current_log
+from repro.utils.persistence import load_structure_dir, save_structure_dir
+from repro.utils.validation import check_matrix
+
+#: Default build-amortization hint for sessions: "about a hundred query
+#: batches will run against this index".  One-shot ``join()`` uses 1.
+DEFAULT_EXPECTED_QUERIES = 100
+
+#: Default per-batch query count the session planner prices with when a
+#: representative batch size is not given.
+DEFAULT_QUERY_BATCH_HINT = 256
+
+
+@dataclass
+class SessionState:
+    """Everything a saved session needs to serve again in a new process.
+
+    Persisted via :func:`repro.utils.persistence.save_structure_dir`:
+    the pickled shell holds the spec/plan/config, while ``P``, each
+    stage's point-partition copy, and every structure array detour to
+    raw sidecar files — deduplicated by identity, so a non-partitioned
+    stage whose ``P_stage`` *is* ``P`` stores the matrix once — and come
+    back as read-only memmap views under ``engine.open_path``.
+    """
+
+    spec: JoinSpec
+    requested: Union[str, Plan]
+    plan: Plan
+    seed: Optional[int]
+    block: int
+    expected_queries: int
+    query_batch_hint: int
+    options: dict
+    P: Any
+    prepared: List[PreparedStage] = field(default_factory=list)
+
+
+class JoinSession:
+    """A prepared join engine: one plan, built structures, many queries.
+
+    Construct through :func:`open_session` / ``engine.open`` (eager: plan
+    and prepare now) or :func:`open_path` (load a saved session).  The
+    engine's one-shot ``join()`` uses the lazy variant internally.
+    """
+
+    def __init__(
+        self,
+        P,
+        spec: JoinSpec,
+        *,
+        backend: Union[str, Plan] = "auto",
+        seed=None,
+        n_workers: Union[int, str] = 1,
+        block: int = DEFAULT_BLOCK,
+        model: Optional[CostModel] = None,
+        pool: str = "process",
+        executor: Optional[WorkerPool] = None,
+        blas_threads: Optional[int] = None,
+        expected_queries: int = DEFAULT_EXPECTED_QUERIES,
+        query_batch_hint: int = DEFAULT_QUERY_BATCH_HINT,
+        _eager: bool = True,
+        **options,
+    ):
+        if expected_queries < 1:
+            raise ParameterError(
+                f"expected_queries must be >= 1, got {expected_queries}"
+            )
+        if query_batch_hint < 1:
+            raise ParameterError(
+                f"query_batch_hint must be >= 1, got {query_batch_hint}"
+            )
+        if block < 1:
+            raise ParameterError(f"block must be >= 1, got {block}")
+        if executor is None and pool not in POOL_KINDS:
+            raise ParameterError(
+                f"pool must be one of {POOL_KINDS}, got {pool!r}"
+            )
+        self.P = P
+        self.spec = spec
+        self.requested = backend
+        self.requested_name = (
+            backend.backend if isinstance(backend, Plan) else backend
+        )
+        self.seed = seed
+        self.n_workers = resolve_workers(n_workers)
+        self.block = block
+        self.model = model
+        self.pool_kind = pool
+        self.blas_threads = blas_threads
+        self.expected_queries = int(expected_queries)
+        self.query_batch_hint = int(query_batch_hint)
+        self.options = options
+        self.the_plan: Optional[Plan] = None
+        self.join_plan = None
+        self.best_estimate = None
+        self._prepared: List[PreparedStage] = []
+        self._pool: Optional[WorkerPool] = executor
+        self._own_pool = False
+        self._eager = _eager
+        self._closed = False
+        self.queries_served = 0
+        #: Always-on registry: reuse accounting (``session.queries``,
+        #: ``session.stage_prepares``, ``session.deferred_prepares``,
+        #: ``session.pool_pins``, ``session.pool_rebuilds``,
+        #: ``session.stream_chunks``) regardless of per-query tracing.
+        self.metrics = MetricsRegistry(enabled=True)
+        if _eager:
+            self.P = check_matrix(P, "P")
+            if spec.self_join and self.P.shape[0] < 2:
+                raise ParameterError("self-join needs at least two vectors")
+            self._resolve_plan(self.query_batch_hint, None)
+            self._check_plan_shape()
+            self._prepare_all()
+            self._ensure_pool()
+
+    # -- lazy construction (the join() shim) -----------------------------
+
+    @classmethod
+    def _lazy(cls, P, spec, **kw) -> "JoinSession":
+        """A session that plans and prepares inside the first query call.
+
+        This is what ``engine.join()`` runs on: with
+        ``expected_queries=1`` the planner ranking, the span tree, and
+        the planner-log record are exactly the historical one-shot ones.
+        """
+        kw.setdefault("expected_queries", 1)
+        return cls(P, spec, _eager=False, **kw)
+
+    # -- planning --------------------------------------------------------
+
+    def _resolve_plan(self, m: int, planner_span) -> None:
+        backend = self.requested
+        if isinstance(backend, Plan):
+            if self.options:
+                raise ParameterError(
+                    f"an explicit Plan carries per-stage options; got "
+                    f"engine-level options {sorted(self.options)}"
+                )
+            self.the_plan = backend
+            if planner_span is not None:
+                planner_span.attrs.update(
+                    picked=self.the_plan.backend, source="explicit"
+                )
+        elif backend == "auto":
+            # Caller options bind to one backend's prepare, so the
+            # ranking is restricted to single-stage plans when any are
+            # present.
+            self.join_plan = plan_join(
+                self.P.shape[0], m, self.P.shape[1], self.spec, self.model,
+                include_hybrids=not self.options,
+                n_workers=self.n_workers,
+                expected_queries=self.expected_queries,
+            )
+            self.best_estimate = self.join_plan.best_plan
+            self.the_plan = self.best_estimate.plan
+            if planner_span is not None:
+                planner_span.attrs.update(
+                    picked=self.the_plan.backend,
+                    ranking=[
+                        (pe.backend, pe.total_ops)
+                        for pe in self.join_plan.feasible_plans
+                    ],
+                )
+        else:
+            self.the_plan = Plan.single(backend)
+            if planner_span is not None:
+                planner_span.attrs.update(picked=backend, source="explicit")
+
+    def _emit_planner_attrs(self, planner_span) -> None:
+        """Re-emit the stored planning decision on a per-query span."""
+        if isinstance(self.requested, Plan):
+            planner_span.attrs.update(
+                picked=self.the_plan.backend, source="explicit"
+            )
+        elif self.requested == "auto":
+            attrs = dict(picked=self.the_plan.backend, source="session")
+            if self.join_plan is not None:
+                attrs["ranking"] = [
+                    (pe.backend, pe.total_ops)
+                    for pe in self.join_plan.feasible_plans
+                ]
+            planner_span.attrs.update(attrs)
+        else:
+            planner_span.attrs.update(
+                picked=self.requested, source="explicit"
+            )
+
+    def _check_plan_shape(self) -> None:
+        stages = self.the_plan.stages
+        if len(stages) == 1 and not stages[0].is_partitioned:
+            return
+        if self.options:
+            raise ParameterError(
+                f"multi-stage plans carry per-stage options; got "
+                f"engine-level options {sorted(self.options)}"
+            )
+        if self.spec.variant not in ("join", "topk"):
+            raise ParameterError(
+                f"multi-stage plans answer the 'join' and 'topk' "
+                f"variants, not {self.spec.variant!r}"
+            )
+
+    # -- preparation and pooling -----------------------------------------
+
+    def _prepare_all(self) -> None:
+        self._prepared = []
+        for i in range(len(self.the_plan.stages)):
+            prep = prepare_stage(
+                self.the_plan, i, self.P, self.spec,
+                seed=self.seed, block=self.block,
+                n_workers=self.n_workers, options=self.options,
+            )
+            if not prep.deferred:
+                self.metrics.counter("session.stage_prepares").inc()
+            self._prepared.append(prep)
+
+    def _ensure_pool(self) -> None:
+        """(Re)create the owned worker pool and pin the session's arrays.
+
+        Called at open and again lazily after a worker crash abandoned
+        the pool mid-query: the session heals with a fresh pool (counted
+        in ``session.pool_rebuilds``) instead of failing every
+        subsequent query.
+
+        Lazy sessions — the one-shot ``join()`` shim — never own a
+        pool: their queries route through the persistent registry pool
+        (or the caller's executor), the historical behavior.
+        """
+        if not self._eager or self.n_workers <= 1:
+            return
+        if self._pool is not None and not self._pool.closed:
+            return
+        if self._pool is not None and not self._own_pool:
+            raise ParameterError(
+                "the session's caller-managed executor pool is closed"
+            )
+        if self._pool is not None:
+            self.metrics.counter("session.pool_rebuilds").inc()
+        self._pool = WorkerPool(
+            self.n_workers, kind=self.pool_kind,
+            blas_threads=self.blas_threads,
+        )
+        self._own_pool = True
+        if self._pool.kind == "process":
+            for arr in self._session_arrays():
+                self._pool.share(arr)
+                self.metrics.counter("session.pool_pins").inc()
+
+    def _session_arrays(self) -> List[np.ndarray]:
+        """Every large array repeated queries would otherwise re-freeze:
+        ``P``, each stage's point-partition copy, and the built
+        structures' arrays (deduped by identity)."""
+        seen = set()
+        arrays: List[np.ndarray] = []
+
+        def add(arr):
+            if (
+                type(arr) is np.ndarray
+                and arr.nbytes >= ARENA_MIN_BYTES
+                and arr.dtype != object
+                and id(arr) not in seen
+            ):
+                seen.add(id(arr))
+                arrays.append(arr)
+
+        add(self.P)
+        for prep in self._prepared:
+            add(prep.P_stage)
+            if prep.payload is not None:
+                for arr in persistable_arrays(prep.payload):
+                    add(arr)
+        return arrays
+
+    def _executor_for_call(self) -> Optional[WorkerPool]:
+        if self.n_workers <= 1:
+            return None
+        return self._pool
+
+    def _count_prepare(self, kind: str) -> None:
+        name = (
+            "session.deferred_prepares" if kind == "deferred"
+            else "session.stage_prepares"
+        )
+        self.metrics.counter(name).inc()
+
+    # -- the dispatch every query flavor shares --------------------------
+
+    def _dispatch(
+        self,
+        Q,
+        *,
+        trace: bool,
+        root: str,
+        record: bool = True,
+    ) -> JoinResult:
+        """Plan (if lazy), walk the stages, finalize: THE dispatch path.
+
+        For the ``engine.join()`` shim (lazy, ``root="engine.join"``)
+        this reproduces the historical one-shot behavior bit for bit —
+        same spans, same results, same planner record.  For session
+        queries it reuses the prepared stages and tags the record with
+        the session's amortization fields.
+        """
+        if self._closed:
+            raise ParameterError("session is closed")
+        self._ensure_pool()
+        tracer = Tracer(enabled=trace)
+        registry = MetricsRegistry(enabled=trace)
+        wall_start = time.perf_counter()
+        stream = isinstance(Q, QuerySource)
+        m_attr = -1 if stream else int(Q.shape[0])
+        # Activating the tracer/registry as process-current lets
+        # kernel-level instrumentation inside prepare/build attach to
+        # this query's tree.
+        obs_ctx = observe(tracer, registry) if trace else nullcontext()
+        with obs_ctx, tracer.span(
+            root,
+            backend=self.requested_name,
+            n=int(self.P.shape[0]),
+            m=m_attr,
+            d=int(self.P.shape[1]),
+            variant=self.spec.variant,
+            n_workers=int(self.n_workers),
+        ):
+            with tracer.span("planner") as planner_span:
+                if self.the_plan is None:
+                    plan_m = self.query_batch_hint if stream else int(Q.shape[0])
+                    self._resolve_plan(plan_m, planner_span)
+                elif planner_span is not None:
+                    self._emit_planner_attrs(planner_span)
+            stages = self.the_plan.stages
+            if len(stages) == 1 and not stages[0].is_partitioned:
+                result, chunks, stage_records = run_single_stage(
+                    self.the_plan, self.P, Q, self.spec,
+                    options=self.options, seed=self.seed,
+                    n_workers=self.n_workers, block=self.block,
+                    trace=trace, tracer=tracer,
+                    pool=self.pool_kind, executor=self._executor_for_call(),
+                    blas_threads=self.blas_threads,
+                    prep=self._prepared[0] if self._prepared else None,
+                    on_prepare=self._count_prepare,
+                )
+            else:
+                self._check_plan_shape()
+                if stream:
+                    raise ParameterError(
+                        "multi-stage plans cannot consume a stream "
+                        "directly; use session.query_stream, which "
+                        "re-blocks and folds per-chunk batches"
+                    )
+                result, chunks, stage_records = run_stage_plan(
+                    self.the_plan, self.P, Q, self.spec,
+                    seed=self.seed, n_workers=self.n_workers,
+                    block=self.block, trace=trace, tracer=tracer,
+                    pool=self.pool_kind, executor=self._executor_for_call(),
+                    blas_threads=self.blas_threads,
+                    prepared=self._prepared or None,
+                    on_prepare=self._count_prepare,
+                )
+                with tracer.span("merge", stages=len(stage_records)):
+                    pass
+        result.wall_s = time.perf_counter() - wall_start
+        bounds = [c.error_bound for c in chunks if c.error_bound is not None]
+        if bounds:
+            result.error_bound = max(bounds)
+        if (
+            stage_records
+            and stage_records[0]["wall_s"] == 0.0
+            and len(stage_records) == 1
+        ):
+            stage_records[0]["wall_s"] = result.wall_s
+        if self.best_estimate is not None:
+            for rec, est in zip(stage_records, self.best_estimate.stage_estimates):
+                rec["predicted_ops"] = est.total_ops
+        if trace:
+            for c in chunks:
+                registry.merge_snapshot(c.metrics)
+            fold_stats_metrics(registry, result)
+            result.trace = tracer.take()
+            result.metrics = registry
+        if record:
+            self._record(result, stage_records, len(result.matches))
+        return result
+
+    def _record(self, result: JoinResult, stage_records, m: int) -> None:
+        current_log().record(
+            PlannerRecord(
+                n=int(self.P.shape[0]),
+                m=int(m),
+                d=int(self.P.shape[1]),
+                s=float(self.spec.s),
+                c=float(self.spec.c),
+                signed=bool(self.spec.signed),
+                variant=self.spec.variant,
+                mode="auto" if self.requested == "auto" else "explicit",
+                picked=result.backend,
+                wall_s=result.wall_s,
+                predicted={
+                    pe.backend: pe.total_ops
+                    for pe in self.join_plan.feasible_plans
+                } if self.join_plan is not None else {},
+                evaluated=int(result.inner_products_evaluated),
+                generated=int(result.candidates_generated),
+                n_workers=int(self.n_workers),
+                stages=stage_records,
+                expected_queries=int(self.expected_queries),
+                session_reuse=int(self.queries_served),
+            )
+        )
+
+    # -- public query surface --------------------------------------------
+
+    def query(self, Q=None, *, trace: bool = False) -> JoinResult:
+        """Answer one query batch against the prepared structures.
+
+        ``Q=None`` runs the self-join (self-join sessions only); other
+        sessions require a ``(k, d)`` batch.  Results are bit-identical
+        to ``engine.join(P, Q, spec, ...)`` with the same plan, seed,
+        and worker configuration.
+        """
+        if self._closed:
+            raise ParameterError("session is closed")
+        if self.spec.self_join:
+            if Q is not None:
+                raise ParameterError(
+                    "self-join sessions take a single set: pass Q=None"
+                )
+            Q = self.P
+        else:
+            if Q is None:
+                raise ParameterError(
+                    "this session answers cross joins: pass a query batch "
+                    "(self-joins need a spec with self_join=True)"
+                )
+            # Validate only the incoming batch: ``P`` was checked once at
+            # open, and re-scanning it here would fault every page of a
+            # memmap-loaded index back in on each query.
+            Q = check_matrix(Q, "Q")
+            if Q.shape[1] != self.P.shape[1]:
+                raise ParameterError(
+                    f"P and Q must share a dimension, got {self.P.shape[1]} "
+                    f"and {Q.shape[1]}"
+                )
+        result = self._dispatch(Q, trace=trace, root="session.query")
+        self.queries_served += 1
+        self.metrics.counter("session.queries").inc()
+        return result
+
+    def query_stream(
+        self,
+        chunks,
+        *,
+        chunk_rows: Optional[int] = None,
+        trace: bool = False,
+    ) -> JoinResult:
+        """Answer a stream of query chunks with bounded memory.
+
+        ``chunks`` is anything :meth:`QuerySource.wrap` accepts — a chunk
+        iterator/generator, an ndarray, or an array-kind source over a
+        memmapped file (:meth:`QuerySource.from_memmap`).  Incoming rows
+        are re-blocked to multiples of the session ``block`` size
+        (``chunk_rows`` rounds down to one), which makes the merged
+        result **bit-identical** to ``query()`` over the concatenated
+        rows while never materializing more than the in-flight window.
+
+        Single-stage plans stream straight through the executor;
+        multi-stage plans fold each re-blocked chunk through the full
+        stage walk (per-chunk results carry no trace in that mode).
+        """
+        if self._closed:
+            raise ParameterError("session is closed")
+        if self.spec.self_join:
+            raise ParameterError(
+                "self-join sessions cannot stream queries: the query set "
+                "is P itself"
+            )
+        source = QuerySource.wrap(chunks)
+        rows = chunk_rows if chunk_rows is not None else (
+            source.chunk_rows if source.chunk_rows is not None else 8 * self.block
+        )
+        rows = max(self.block, (rows // self.block) * self.block)
+        counted = self._counting_blocks(source, rows)
+        stages = self.the_plan.stages if self.the_plan is not None else None
+        single = (
+            stages is not None
+            and len(stages) == 1
+            and not stages[0].is_partitioned
+        )
+        if single:
+            stream = QuerySource.from_chunks(
+                counted, d=int(self.P.shape[1]), chunk_rows=rows
+            )
+            result = self._dispatch(
+                stream, trace=trace, root="session.query_stream"
+            )
+        else:
+            parts = [
+                self._dispatch(
+                    np.ascontiguousarray(chunk),
+                    trace=False, root="session.query_stream", record=False,
+                )
+                for chunk in counted
+            ]
+            result = self._merge_stream_parts(parts)
+            stage_records = [
+                dict(
+                    index=0, backend=result.backend,
+                    n=int(self.P.shape[0]), m=len(result.matches),
+                    wall_s=result.wall_s,
+                    evaluated=int(result.inner_products_evaluated),
+                    generated=int(result.candidates_generated),
+                    answered=int(result.matched_count),
+                )
+            ]
+            self._record(result, stage_records, len(result.matches))
+        self.queries_served += 1
+        self.metrics.counter("session.queries").inc()
+        return result
+
+    def _counting_blocks(self, source: QuerySource, rows: int) -> Iterator:
+        for chunk in source.blocks(rows):
+            self.metrics.counter("session.stream_chunks").inc()
+            yield chunk
+
+    def _merge_stream_parts(self, parts: List[JoinResult]) -> JoinResult:
+        if not parts:
+            return JoinResult(
+                matches=[], spec=self.spec,
+                inner_products_evaluated=0, candidates_generated=0,
+                topk=[] if self.spec.is_topk else None,
+                backend=self.the_plan.backend if self.the_plan else None,
+                stats=QueryStats(), wall_s=0.0,
+            )
+        matches: List[Optional[int]] = []
+        topk: Optional[List[List[int]]] = [] if parts[0].topk is not None else None
+        evaluated = 0
+        generated = 0
+        stats = QueryStats()
+        wall = 0.0
+        bound = None
+        for part in parts:
+            matches.extend(part.matches)
+            if topk is not None:
+                topk.extend(part.topk or [])
+            evaluated += part.inner_products_evaluated
+            generated += part.candidates_generated
+            if part.stats is not None:
+                stats = stats.merge(part.stats)
+            wall += part.wall_s or 0.0
+            if part.error_bound is not None:
+                bound = max(bound, part.error_bound) if bound is not None else part.error_bound
+        merged = JoinResult(
+            matches=matches,
+            spec=parts[0].spec,
+            inner_products_evaluated=int(evaluated),
+            candidates_generated=int(generated),
+            topk=topk,
+            backend=parts[0].backend,
+            stats=stats,
+        )
+        merged.wall_s = wall
+        merged.error_bound = bound
+        return merged
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path):
+        """Persist the prepared session as a memmappable directory.
+
+        Loads back with :func:`open_path`; the saved tree stores ``P``
+        and every structure array exactly once (identity-deduped raw
+        sidecars), so on-disk size ~= in-memory size and loading maps
+        pages instead of copying bytes.
+        """
+        if self._closed:
+            raise ParameterError("session is closed")
+        if self.the_plan is None or not self._prepared:
+            raise ParameterError(
+                "only a prepared session can be saved: open it with "
+                "engine.open(...), not via the one-shot join shim"
+            )
+        state = SessionState(
+            spec=self.spec,
+            requested=self.requested,
+            plan=self.the_plan,
+            seed=self.seed,
+            block=self.block,
+            expected_queries=self.expected_queries,
+            query_batch_hint=self.query_batch_hint,
+            options=dict(self.options),
+            P=self.P,
+            prepared=self._prepared,
+        )
+        return save_structure_dir(state, path)
+
+    @classmethod
+    def _from_state(
+        cls,
+        state: SessionState,
+        *,
+        n_workers: Union[int, str] = 1,
+        pool: str = "process",
+        executor: Optional[WorkerPool] = None,
+        blas_threads: Optional[int] = None,
+        expected_queries: Optional[int] = None,
+    ) -> "JoinSession":
+        session = cls(
+            state.P, state.spec,
+            backend=state.requested, seed=state.seed,
+            n_workers=n_workers, block=state.block,
+            pool=pool, executor=executor, blas_threads=blas_threads,
+            expected_queries=(
+                expected_queries if expected_queries is not None
+                else state.expected_queries
+            ),
+            query_batch_hint=state.query_batch_hint,
+            _eager=False,
+            **state.options,
+        )
+        session.the_plan = state.plan
+        session._prepared = list(state.prepared)
+        session._check_plan_shape()
+        session._eager = True
+        session._ensure_pool()
+        return session
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the owned worker pool and its shared memory; idempotent.
+
+        Caller-managed executors are left running (the caller owns their
+        lifecycle, exactly as with ``join(executor=...)``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None and self._own_pool:
+            pool.close()
+
+    def __enter__(self) -> "JoinSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open_session(
+    P,
+    Q=None,
+    spec: Optional[JoinSpec] = None,
+    **kw,
+) -> JoinSession:
+    """Open a prepared join session over ``P`` (exported as ``engine.open``).
+
+    Signature mirrors :func:`repro.engine.join` minus the query set:
+    ``backend=`` (name, Plan, or ``"auto"``), ``seed=``, ``n_workers=``,
+    ``block=``, ``model=``, ``pool=``, ``executor=``, ``blas_threads=``,
+    plus backend options — and the session knobs ``expected_queries``
+    (build-amortization hint for the ``auto`` planner; default
+    ``100``) and ``query_batch_hint`` (representative per-batch query
+    count; default ``256``).
+
+    Accepts either ``open(P, spec, ...)`` or the join-shaped
+    ``open(P, None, spec, ...)``.  For self-join sessions pass a spec
+    with ``self_join=True`` (or build it as usual and call
+    ``session.query(None)``).
+    """
+    if spec is None:
+        if not isinstance(Q, JoinSpec):
+            raise ParameterError(
+                "open(P, spec, ...) needs a JoinSpec as its second "
+                "argument (or open(P, None, spec, ...))"
+            )
+        spec = Q
+    elif Q is not None:
+        raise ParameterError(
+            "open() prepares a session over P only; pass query batches "
+            "to session.query(Q)"
+        )
+    return JoinSession(P, spec, **kw)
+
+
+def open_path(
+    path,
+    *,
+    n_workers: Union[int, str] = 1,
+    pool: str = "process",
+    executor: Optional[WorkerPool] = None,
+    blas_threads: Optional[int] = None,
+    expected_queries: Optional[int] = None,
+    mmap: bool = True,
+) -> JoinSession:
+    """Open a session saved by :meth:`JoinSession.save` — zero-copy.
+
+    With ``mmap=True`` (default) ``P`` and every structure array come
+    back as read-only memmap views: the load costs the shell pickle
+    only, and physical memory grows as queries touch pages — multiple
+    serving processes opening the same path share one page cache.
+    Execution knobs (``n_workers``, ``pool``, ...) are per-open, not
+    persisted, so the same saved index can serve serial in one process
+    and on 8 workers in another.
+    """
+    state = load_structure_dir(path, expected_type="SessionState", mmap=mmap)
+    return JoinSession._from_state(
+        state,
+        n_workers=n_workers, pool=pool, executor=executor,
+        blas_threads=blas_threads, expected_queries=expected_queries,
+    )

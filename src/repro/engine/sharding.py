@@ -41,7 +41,9 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.problems import JoinResult, JoinSpec, QueryStats, validate_join_inputs
+from repro.engine.session import open_session
 from repro.errors import ParameterError
+from repro.utils.validation import check_matrix
 
 # Engine-level keywords of repro.engine.join; everything else in
 # ``join_options`` is a backend option that prepare() must accept.
@@ -220,6 +222,18 @@ def sharded_join(
             join(P[start:end], Q, spec, seed=shard_seed, **join_options)
         )
         offsets.append(start)
+    return _merge_shard_results(shard_results, offsets, P, Q, spec, len(bounds))
+
+
+def _merge_shard_results(
+    shard_results: List[JoinResult],
+    offsets: List[int],
+    P,
+    Q,
+    spec: JoinSpec,
+    n_shards: int,
+) -> JoinResult:
+    """The shared merge tail of sharded one-shots and sharded sessions."""
     evaluated = sum(r.inner_products_evaluated for r in shard_results)
     generated = sum(r.candidates_generated for r in shard_results)
     stats = QueryStats()
@@ -238,6 +252,106 @@ def sharded_join(
         inner_products_evaluated=evaluated + extra,
         candidates_generated=generated,
         topk=topk,
-        backend=f"{backend}@{len(bounds)}shards",
+        backend=f"{backend}@{n_shards}shards",
         stats=stats,
     )
+
+
+class ShardedSession:
+    """``n_shards`` prepared :class:`~repro.engine.session.JoinSession`\\ s
+    behind one query surface.
+
+    Each shard's structures are built once at :func:`open_sharded`
+    (shard ``i`` with seed ``seed + i``, matching :func:`sharded_join`);
+    every :meth:`query` then runs the batch through each shard's session
+    and merges the per-shard answers with the exact merge
+    :func:`sharded_join` uses — so for exact backends a sharded session
+    matches the unsharded result, and for any backend it matches the
+    one-shot ``sharded_join`` with the same seed and shard count.
+    ``close()`` closes every shard session (and their owned pools).
+    """
+
+    def __init__(self, sessions, bounds, P, spec: JoinSpec):
+        self._sessions = list(sessions)
+        self._bounds = list(bounds)
+        self._P = P
+        self.spec = spec
+        self._closed = False
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def query(self, Q, *, trace: bool = False) -> JoinResult:
+        if self._closed:
+            raise ParameterError("session is closed")
+        # Q-only validation: P was checked once at open_sharded, and the
+        # shard sessions re-check the batch's dimension anyway.
+        Q = check_matrix(Q, "Q")
+        if Q.shape[1] != self._P.shape[1]:
+            raise ParameterError(
+                f"P and Q must share a dimension, got {self._P.shape[1]} "
+                f"and {Q.shape[1]}"
+            )
+        shard_results = [
+            session.query(Q, trace=trace) for session in self._sessions
+        ]
+        offsets = [start for start, _ in self._bounds]
+        return _merge_shard_results(
+            shard_results, offsets, self._P, Q, self.spec, self.n_shards
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for session in self._sessions:
+            session.close()
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def open_sharded(
+    P,
+    spec: JoinSpec,
+    n_shards: int,
+    **open_options,
+) -> ShardedSession:
+    """Open one prepared session per contiguous shard of ``P``.
+
+    ``open_options`` forward to :func:`repro.engine.session.open_session`
+    for every shard (``backend=``, ``n_workers=``, ``pool=``,
+    ``expected_queries=``, ...); shard ``i`` opens with ``seed + i``.
+    Self-join specs are rejected for the same reason
+    :func:`sharded_join` rejects them.
+    """
+    P = check_matrix(P, "P")
+    if spec.self_join or spec.variant not in ("join", "topk"):
+        raise ParameterError(
+            f"sharded sessions answer the 'join' and 'topk' variants, "
+            f"not {spec.variant!r}"
+        )
+    bounds = shard_bounds(P.shape[0], n_shards)
+    seed = open_options.pop("seed", None)
+    sessions = []
+    try:
+        for i, (start, end) in enumerate(bounds):
+            shard_seed = None if seed is None else seed + i
+            sessions.append(
+                open_session(
+                    P[start:end], spec, seed=shard_seed, **open_options
+                )
+            )
+    except BaseException:
+        for session in sessions:
+            session.close()
+        raise
+    return ShardedSession(sessions, bounds, P, spec)

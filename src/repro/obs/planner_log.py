@@ -58,6 +58,20 @@ class PlannerRecord:
     #: to stages, not just whole plans.  Single-backend joins carry one
     #: entry.
     stages: List[dict] = field(default_factory=list)
+    #: Query count the planner amortized the build over (1 = one-shot
+    #: dispatch; sessions pass their ``expected_queries`` hint).
+    expected_queries: int = 1
+    #: How many queries this session had already answered when this one
+    #: ran (0 for one-shot joins and a session's first query).  Together
+    #: with ``expected_queries`` this lets regret reports separate
+    #: amortized session picks from one-shot picks: an auto pick that
+    #: loses the one-shot race may still be right for query fifty.
+    session_reuse: int = 0
+
+    @property
+    def is_session(self) -> bool:
+        """True when this record came from a session-amortized dispatch."""
+        return self.expected_queries > 1 or self.session_reuse > 0
 
     def key(self) -> Tuple:
         """Instance identity: rows sharing a key answered the same problem."""
@@ -155,17 +169,25 @@ class PlannerLog:
                 per_backend[rec.picked] = rec.wall_s
         return walls
 
-    def regret_rows(self) -> List[RegretRow]:
+    def regret_rows(self, session: Optional[bool] = None) -> List[RegretRow]:
         """Score every auto-mode record against its instance's fastest backend.
 
         Instances whose only rows are auto picks still produce a row
         (regret 0 against themselves — no alternative was measured);
         sweeps that also run explicit backends produce real regret.
+
+        ``session=True`` keeps only session-amortized records
+        (:attr:`PlannerRecord.is_session`), ``session=False`` only
+        one-shot ones; the regret *denominators* always come from the
+        full log, so a session pick is still scored against the fastest
+        backend anyone measured on that instance.
         """
         walls = self.measured_walls()
         rows: List[RegretRow] = []
         for rec in self._records:
             if rec.mode != "auto":
+                continue
+            if session is not None and rec.is_session != session:
                 continue
             measured = walls[rec.key()]
             fastest = min(measured, key=lambda b: measured[b])
@@ -204,19 +226,38 @@ class PlannerLog:
                 rows.append((rec.key(), rec.picked, dict(stage)))
         return rows
 
-    def pick_distribution(self) -> Dict[str, int]:
-        """How often each backend was picked by ``backend="auto"``."""
+    def pick_distribution(self, session: Optional[bool] = None) -> Dict[str, int]:
+        """How often each backend was picked by ``backend="auto"``.
+
+        ``session`` filters like :meth:`regret_rows`.
+        """
         counts: Dict[str, int] = {}
         for rec in self._records:
-            if rec.mode == "auto":
-                counts[rec.picked] = counts.get(rec.picked, 0) + 1
+            if rec.mode != "auto":
+                continue
+            if session is not None and rec.is_session != session:
+                continue
+            counts[rec.picked] = counts.get(rec.picked, 0) + 1
         return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
 
+    def session_counts(self) -> Tuple[int, int]:
+        """``(amortized, one_shot)`` record counts, for report headers."""
+        amortized = sum(1 for rec in self._records if rec.is_session)
+        return amortized, len(self._records) - amortized
 
-def format_regret_table(log: PlannerLog) -> str:
-    """The regret table as aligned text (one row per auto join)."""
-    rows = log.regret_rows()
+
+def format_regret_table(log: PlannerLog, session: Optional[bool] = None) -> str:
+    """The regret table as aligned text (one row per auto join).
+
+    ``session=True``/``False`` restricts the rows to session-amortized /
+    one-shot dispatches (denominators still come from the whole log).
+    """
+    rows = log.regret_rows(session=session)
     if not rows:
+        if session is True:
+            return "no session-amortized auto joins recorded"
+        if session is False:
+            return "no one-shot auto joins recorded"
         return "no auto-dispatched joins recorded"
     header = ["n", "m", "d", "s", "c", "variant", "picked", "fastest",
               "wall", "best", "regret"]

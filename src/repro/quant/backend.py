@@ -127,6 +127,15 @@ class QuantizedStructure:
             self.data = quantize_rows(P)
         return self
 
+    def arrays(self) -> List[np.ndarray]:
+        """The built index's large arrays, for session pinning and the
+        directory persistence format (see
+        :func:`repro.engine.protocol.persistable_arrays`)."""
+        if self.data is None:
+            return []
+        return [self.data.codes, self.data.scales,
+                self.data.norms, self.data.eps]
+
 
 class QuantizedBackend(JoinBackend):
     """Exact joins over an int8 index: quantized scan + exact verify."""
@@ -245,6 +254,18 @@ class FilterStructure:
                 seed=self.seed,
             )
         return self
+
+    def arrays(self) -> List[np.ndarray]:
+        """The built filter's large arrays (projection, norms, sketches)."""
+        if self.filter is None:
+            return []
+        arrs = [self.filter.G, self.filter.norms]
+        if self.filter.sketch is not None:
+            arrs += [self.filter.sketch.codes, self.filter.sketch.scales,
+                     self.filter.sketch.norms, self.filter.sketch.eps]
+        if self.filter.sign_bits is not None:
+            arrs.append(self.filter.sign_bits)
+        return arrs
 
 
 class IPFilterBackend(JoinBackend):

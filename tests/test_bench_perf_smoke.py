@@ -189,3 +189,27 @@ def test_pr7_artifact_when_present():
     assert report["checks"]["quant_parallel_identical"]
     assert report["checks"]["quant_auto_picks_quantized_under_budget"]
     assert all(report["checks"].values()), report["checks"]
+
+
+def test_pr8_artifact_when_present():
+    """BENCH_PR8.json (session engine core), when checked in."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR8.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    assert "streaming_session" in report["meta"]["suites"]
+    assert report["meta"]["session_suite"]["n"] == 100_000
+    assert report["speedups"]["session_reuse_vs_oneshot"] >= \
+        bench_perf.SESSION_REUSE_SPEEDUP_FLOOR
+    assert (
+        report["work"]["session_rss_mmap_load_bytes"]
+        <= bench_perf.SESSION_MMAP_RSS_CEILING
+        * report["work"]["session_rss_full_load_bytes"]
+    )
+    assert report["checks"]["session_matches_equal_oneshot"]
+    assert report["checks"]["session_stream_bit_identical"]
+    assert report["checks"]["session_load_matches_equal"]
+    assert all(report["checks"].values()), report["checks"]

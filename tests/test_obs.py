@@ -406,6 +406,28 @@ class TestPlannerLog:
         dist = format_pick_distribution(log)
         assert row.picked in dist
 
+    def test_regret_table_splits_session_from_one_shot(self, instance):
+        from repro.engine import open_session
+
+        log = self._sweep(instance)  # one-shot records only
+        spec = JoinSpec(s=0.85, c=0.4, signed=False)
+        with use_planner_log(log):
+            with open_session(
+                instance.P, spec, backend="auto", seed=1, expected_queries=16
+            ) as session:
+                session.query(instance.Q)
+                session.query(instance.Q)
+        amortized, one_shot = log.session_counts()
+        assert amortized == 2 and one_shot == 5
+        # The session filter partitions the auto rows cleanly.
+        assert len(log.regret_rows(session=True)) + len(
+            log.regret_rows(session=False)
+        ) == len(log.regret_rows())
+        assert "no session-amortized" not in format_regret_table(
+            log, session=True
+        )
+        assert "picked fastest" in format_regret_table(log, session=False)
+
     def test_jsonl_roundtrip(self, instance, tmp_path):
         log = self._sweep(instance)
         path = tmp_path / "log.jsonl"

@@ -2,7 +2,7 @@
 
 Runs a fixed, fully seeded sequence of build / candidate-generation /
 verification / join timings and writes the results as JSON (default
-``BENCH_PR7.json`` at the repo root), so successive PRs have a recorded
+``BENCH_PR8.json`` at the repo root), so successive PRs have a recorded
 baseline to beat.  Two modes:
 
 * full (default): n=100k, d=64 for the core suite, n=20k, d=64 for the
@@ -63,6 +63,20 @@ Suites (select with ``--suites``):
   scan >= ``QUANT_SCAN_SPEEDUP_FLOOR`` x the brute join wall — and the
   filter pipeline beating brute end to end (quick shapes are too small
   for stable ratios).
+* ``streaming_session``: the session-oriented engine core — one
+  prepared ``engine.open`` session answering repeated small query
+  batches vs the same batches through one-shot ``engine.join`` calls
+  (which rebuild the LSH index every call), bit-identical matches
+  asserted; a streamed query set over a memmapped file
+  (``QuerySource.from_memmap`` through ``session.query_stream``) vs
+  the in-memory ``session.query`` on the same rows, bit-identical
+  matches asserted; and the saved index (``session.save`` →
+  ``engine.open_path``) reloaded in fresh child processes with
+  ``mmap=True`` vs the fully-materialized load, resident set recorded
+  after the load and again after a probe query.  Full mode gates
+  session reuse >= ``SESSION_REUSE_SPEEDUP_FLOOR`` (5x) and the memmap
+  child's post-load RSS <= ``SESSION_MMAP_RSS_CEILING`` x the full
+  load's.
 * ``parallel_scaling``: the zero-copy executor — serial vs the
   shared-memory process pool, the GIL-free thread pool, and an inline
   reproduction of the legacy pickle-per-chunk executor at each worker
@@ -79,7 +93,7 @@ Usage::
     PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH] \
         [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop,\
 planner_dispatch,obs_overhead,hybrid_vs_single,quantized_tier,\
-parallel_scaling]
+parallel_scaling,streaming_session]
 """
 
 from __future__ import annotations
@@ -89,7 +103,10 @@ import json
 import math
 import os
 import platform
+import shutil
+import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import replace
 from typing import Callable, List, Optional
@@ -98,13 +115,19 @@ import numpy as np
 
 from repro.core import JoinSpec, close_pools, parallel_lsh_join
 from repro.core.brute_force import brute_force_join
-from repro.core.executor import BatchIndexSpec, _chunk_bounds, merge_join_chunks
+from repro.core.executor import (
+    BatchIndexSpec,
+    QuerySource,
+    _chunk_bounds,
+    merge_join_chunks,
+)
 from repro.core.lsh_join import lsh_filter_verify_chunk
 from repro.core.problems import JoinResult
 from repro.core.sketch_join import sketch_unsigned_join
 from repro.core.verify import verify_block, verify_candidates
 from repro.datasets import random_unit
 from repro.engine import Plan, norm_prefix_lsh_plan, quantized_filter_plan
+from repro.engine import open_session
 from repro.engine import join as engine_join
 from repro.engine import plan_join
 from repro.engine.planner import default_model
@@ -116,11 +139,11 @@ from repro.sketches import SketchCMIPS
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR7.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR8.json")
 
 ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop",
               "planner_dispatch", "obs_overhead", "hybrid_vs_single",
-              "quantized_tier", "parallel_scaling")
+              "quantized_tier", "parallel_scaling", "streaming_session")
 
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
@@ -178,6 +201,13 @@ PARALLEL_QUICK = dict(n=4_000, d=32, n_queries=384, n_tables=6,
                       bits_per_table=9, block=128, workers=(2,),
                       repeats=3, seed=2016)
 
+SESSION_FULL = dict(n=100_000, d=64, batch=64, batches=50, n_tables=12,
+                    hashes_per_table=12, block=256, stream_rows=4096,
+                    seed=2016)
+SESSION_QUICK = dict(n=4_000, d=32, batch=32, batches=8, n_tables=6,
+                     hashes_per_table=9, block=128, stream_rows=512,
+                     seed=2016)
+
 #: Full-mode speedup floors; quick mode only checks correctness (the
 #: shrunken workloads are too small for stable ratios).
 HASH_SPEEDUP_FLOORS = {"crosspolytope": 10.0, "e2lsh": 10.0}
@@ -217,6 +247,19 @@ QUANT_MEMORY_REDUCTION_FLOOR = 4.0
 #: answered queries (the z=3 margin targets ~none lost; the planted
 #: workload is seeded, so the observed recall is deterministic).
 QUANT_FILTER_RECALL_FLOOR = 0.99
+#: Full-mode floor on session reuse: 50 repeated small query batches
+#: through one prepared ``engine.open`` session vs the same batches as
+#: one-shot ``engine.join`` calls, which rebuild the LSH index every
+#: call.  Build dominates the one-shot wall at n=100k, so the observed
+#: ratio approaches the batch count; 5x leaves a wide margin.
+SESSION_REUSE_SPEEDUP_FLOOR = 5.0
+#: Full-mode ceiling on the memmap-loaded session's post-load RSS
+#: relative to the fully-materialized load of the same saved index
+#: (fresh child processes, ``/proc/self/statm``).  The mmap load maps
+#: sidecar pages lazily, so right after ``open_path`` its resident set
+#: is the interpreter baseline; the full load has every array in
+#: anonymous memory.
+SESSION_MMAP_RSS_CEILING = 0.85
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -921,6 +964,165 @@ def _run_parallel_suite(quick: bool, timings: dict, speedups: dict,
     return cfg
 
 
+#: Child program for the open_path RSS measurement: a fresh process
+#: loads the saved session (mmap'd or fully materialized), reports its
+#: resident set, answers one query batch, and reports it again.  The
+#: gated number is the post-load one — a materialized load allocates
+#: anonymous pages for every array while the mmap load maps them lazily;
+#: the post-query number is informational only, because once the index's
+#: pages sit in the OS page cache, kernel fault-around maps cached
+#: neighbours into the mmap child too, an OS policy rather than a copy.
+#: Current ``VmRSS`` from ``/proc/self/statm``, not ``ru_maxrss``: the
+#: rusage peak (VmHWM) is inherited through fork and survives exec on
+#: Linux, so a child spawned from a large bench parent would report the
+#: *parent's* RSS.  Falls back to ``ru_maxrss`` off Linux (then only an
+#: upper bound).
+_RSS_CHILD = """\
+import os
+import resource
+import sys
+
+import numpy as np
+
+from repro.engine import open_path
+
+
+def rss_bytes():
+    try:
+        with open("/proc/self/statm") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+session = open_path(sys.argv[1], mmap=(sys.argv[2] == "1"))
+load_rss = rss_bytes()
+Q = np.load(sys.argv[3])
+result = session.query(Q)
+print(load_rss, rss_bytes(), result.matched_count)
+session.close()
+"""
+
+
+def _load_rss(index_dir: str, q_path: str, mmap: bool):
+    """(load RSS, serve RSS, matched) of a child open_path load+query."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    prior = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + prior if prior else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _RSS_CHILD, index_dir,
+         "1" if mmap else "0", q_path],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"open_path RSS child failed (mmap={mmap}): {proc.stderr}")
+    load_rss, serve_rss, matched = proc.stdout.split()
+    return int(load_rss), int(serve_rss), int(matched)
+
+
+def _run_session_suite(quick: bool, timings: dict, speedups: dict,
+                       work: dict, checks: dict) -> dict:
+    cfg = SESSION_QUICK if quick else SESSION_FULL
+    n, d = cfg["n"], cfg["d"]
+    batch, batches = cfg["batch"], cfg["batches"]
+    seed, block = cfg["seed"], cfg["block"]
+    lsh_options = dict(n_tables=cfg["n_tables"],
+                       hashes_per_table=cfg["hashes_per_table"])
+    print(f"[bench_perf] streaming session: n={n} d={d} "
+          f"batches={batches}x{batch} quick={quick}", flush=True)
+    P = random_unit(n, d, seed=seed) * 0.95
+    Q_all = np.ascontiguousarray(
+        random_unit(batches * batch, d, seed=seed + 1) * 0.95)
+    Qs = [np.ascontiguousarray(Q_all[i * batch:(i + 1) * batch])
+          for i in range(batches)]
+    spec = JoinSpec(s=0.75, c=0.8)
+
+    # --- session reuse vs one-shot join() ------------------------------
+    # The same seeded LSH backend either rebuilds its index per batch
+    # (one-shot) or builds once at open and serves every batch from the
+    # prepared structure; matches must agree batch for batch.
+    print("[bench_perf] session: reuse vs one-shot ...", flush=True)
+
+    def one_shot():
+        return [engine_join(P, Qb, spec, backend="lsh", seed=seed + 2,
+                            block=block, **lsh_options) for Qb in Qs]
+
+    def reuse():
+        with open_session(P, spec, backend="lsh", seed=seed + 2,
+                          block=block, expected_queries=batches,
+                          **lsh_options) as session:
+            return [session.query(Qb) for Qb in Qs]
+
+    oneshot_s, oneshot_results = _timed(one_shot)
+    session_s, session_results = _timed(reuse)
+    timings["session_oneshot_s"] = oneshot_s
+    timings["session_reuse_s"] = session_s
+    speedups["session_reuse_vs_oneshot"] = oneshot_s / session_s
+    work["session_batches"] = batches
+    work["session_matched"] = sum(r.matched_count for r in session_results)
+    checks["session_matches_equal_oneshot"] = all(
+        s.matches == o.matches
+        and s.inner_products_evaluated == o.inner_products_evaluated
+        for s, o in zip(session_results, oneshot_results))
+    if not quick:
+        checks["session_reuse_speedup_floor"] = (
+            speedups["session_reuse_vs_oneshot"]
+            >= SESSION_REUSE_SPEEDUP_FLOOR)
+
+    # --- streamed memmap Q + saved-index RSS ---------------------------
+    print("[bench_perf] session: memmap stream and open_path RSS ...",
+          flush=True)
+    tmpdir = tempfile.mkdtemp(prefix="bench_session_")
+    try:
+        qfile = os.path.join(tmpdir, "queries.bin")
+        with open(qfile, "wb") as handle:
+            handle.write(Q_all.tobytes())
+        index_dir = os.path.join(tmpdir, "index")
+        with open_session(P, spec, backend="lsh", seed=seed + 2,
+                          block=block, expected_queries=batches,
+                          **lsh_options) as session:
+            in_mem_s, in_mem = _timed(lambda: session.query(Q_all))
+            stream_s, streamed = _timed(
+                lambda: session.query_stream(
+                    QuerySource.from_memmap(qfile, d=d),
+                    chunk_rows=cfg["stream_rows"]))
+            session.save(index_dir)
+        timings["session_query_in_memory_s"] = in_mem_s
+        timings["session_stream_s"] = stream_s
+        checks["session_stream_bit_identical"] = (
+            streamed.matches == in_mem.matches
+            and streamed.inner_products_evaluated
+            == in_mem.inner_products_evaluated)
+
+        # A few probe queries, not a whole batch, so the post-query
+        # (serve) number reflects a point-query working set rather than
+        # a bulk scan of the index.
+        probe_rows = min(4, batch)
+        qnpy = os.path.join(tmpdir, "queries.npy")
+        np.save(qnpy, np.ascontiguousarray(Q_all[:probe_rows]))
+        probe_matched = sum(
+            1 for match in in_mem.matches[:probe_rows] if match is not None)
+        full_load, full_serve, matched_full = _load_rss(
+            index_dir, qnpy, mmap=False)
+        mmap_load, mmap_serve, matched_mmap = _load_rss(
+            index_dir, qnpy, mmap=True)
+        work["session_rss_full_load_bytes"] = full_load
+        work["session_rss_mmap_load_bytes"] = mmap_load
+        work["session_rss_full_serve_bytes"] = full_serve
+        work["session_rss_mmap_serve_bytes"] = mmap_serve
+        speedups["session_mmap_rss_reduction"] = full_load / mmap_load
+        checks["session_load_matches_equal"] = (
+            matched_full == probe_matched and matched_mmap == probe_matched)
+        if not quick:
+            checks["session_mmap_rss_ceiling"] = (
+                mmap_load <= SESSION_MMAP_RSS_CEILING * full_load)
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return cfg
+
+
 def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     suites = tuple(suites)
     unknown = [s for s in suites if s not in ALL_SUITES]
@@ -972,6 +1174,10 @@ def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
         parallel_cfg = _run_parallel_suite(quick, timings, speedups, work,
                                            checks)
         report["meta"]["parallel_suite"] = dict(parallel_cfg)
+    if "streaming_session" in suites:
+        session_cfg = _run_session_suite(quick, timings, speedups, work,
+                                         checks)
+        report["meta"]["session_suite"] = dict(session_cfg)
     return report
 
 
@@ -1206,6 +1412,20 @@ def validate_schema(report: dict) -> None:
             report["speedups"].get("parallel_zero_copy_vs_legacy"), dict)
         assert "parallel_cpu_count" in report["work"]
         assert "parallel_modes_identical" in report["checks"]
+    if "streaming_session" in suites:
+        for key in ("session_oneshot_s", "session_reuse_s",
+                    "session_query_in_memory_s", "session_stream_s"):
+            assert key in report["timings"], f"missing timing {key}"
+        for key in ("session_reuse_vs_oneshot",
+                    "session_mmap_rss_reduction"):
+            assert key in report["speedups"], f"missing speedup {key}"
+        for key in ("session_batches", "session_rss_full_load_bytes",
+                    "session_rss_mmap_load_bytes"):
+            assert key in report["work"], f"missing work {key}"
+        for key in ("session_matches_equal_oneshot",
+                    "session_stream_bit_identical",
+                    "session_load_matches_equal"):
+            assert key in report["checks"], f"missing check {key}"
     if "obs_overhead" in suites:
         for key in ("obs_kernel_span_free_s", "obs_kernel_instrumented_s",
                     "obs_engine_untraced_s", "obs_engine_traced_s",
@@ -1307,6 +1527,17 @@ def main(argv: Optional[List[str]] = None) -> dict:
         print(f"[bench_perf] parallel scaling vs serial "
               f"({report['work']['parallel_cpu_count']} cores): {per_w}")
         print(f"[bench_perf] zero-copy vs legacy executor: {zc_summary}")
+    if "streaming_session" in suites:
+        print(f"[bench_perf] session reuse vs one-shot: "
+              f"{report['speedups']['session_reuse_vs_oneshot']:.1f}x over "
+              f"{report['work']['session_batches']} batches "
+              f"(floor {SESSION_REUSE_SPEEDUP_FLOOR:.0f}x, full mode)")
+        print(f"[bench_perf] open_path load RSS: mmap "
+              f"{report['work']['session_rss_mmap_load_bytes'] / 1e6:.0f} MB "
+              f"vs full "
+              f"{report['work']['session_rss_full_load_bytes'] / 1e6:.0f} MB "
+              f"({report['speedups']['session_mmap_rss_reduction']:.2f}x "
+              f"smaller; ceiling {SESSION_MMAP_RSS_CEILING:.2f}x, full mode)")
     if failed:
         print(f"[bench_perf] FAILED checks: {failed}", file=sys.stderr)
         raise SystemExit(1)

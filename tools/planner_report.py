@@ -12,7 +12,12 @@ plus ``"auto"``, e.g.::
 and prints, per auto-dispatched join, the backend the planner picked,
 the measured-fastest backend for that instance, both wall times, and the
 regret (``wall(picked) / wall(fastest) - 1``), plus the overall pick
-distribution.
+distribution.  When the log holds session-amortized records (queries
+through ``engine.open`` sessions tag ``expected_queries`` and
+``session_reuse``), the regret table is additionally split into
+amortized vs one-shot sections: a session pick that loses on a single
+batch may still be the right pick over the session's lifetime, so its
+regret must be read separately from one-shot dispatch regret.
 
 ``--write-model`` closes the loop: it re-fits the cost model from the
 measured records (:meth:`repro.engine.planner.CostModel.from_planner_log`)
@@ -53,10 +58,23 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     log = PlannerLog.load(args.log)
-    print(f"planner log: {args.log} ({len(log)} records)")
+    amortized, one_shot = log.session_counts()
+    print(
+        f"planner log: {args.log} ({len(log)} records: "
+        f"{amortized} session-amortized, {one_shot} one-shot)"
+    )
     print()
     print("== regret (auto picks vs measured fastest) ==")
     print(format_regret_table(log))
+    if amortized and one_shot:
+        # Mixed log: a session pick amortizes its build over
+        # expected_queries batches, so score it apart from one-shots.
+        print()
+        print("== regret: session-amortized picks only ==")
+        print(format_regret_table(log, session=True))
+        print()
+        print("== regret: one-shot picks only ==")
+        print(format_regret_table(log, session=False))
     print()
     print("== auto pick distribution ==")
     print(format_pick_distribution(log))
