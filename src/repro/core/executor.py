@@ -56,6 +56,7 @@ from __future__ import annotations
 import atexit
 import math
 import os
+import time
 from collections import deque
 from concurrent.futures import (
     FIRST_EXCEPTION,
@@ -585,7 +586,12 @@ class WorkerPool:
         _forget_pool(self)
 
     def _abandon(self) -> None:
-        """Tear down after a broken pool: don't wait on dead workers."""
+        """Tear down after a broken pool: don't wait on dead workers.
+
+        Both ``BrokenProcessPool`` handlers in :func:`map_query_chunks`
+        converge here, so this is also where crash listeners (the
+        session's sink, health gauges) hear about worker deaths.
+        """
         if self._closed:
             return
         self._closed = True
@@ -596,12 +602,53 @@ class WorkerPool:
         if arena is not None:
             arena.close()
         _forget_pool(self)
+        _notify_crash(
+            {"pool_kind": self.kind, "n_workers": self.n_workers}
+        )
 
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+#: Crash listeners: callables invoked with a plain-data info dict every
+#: time a pool is abandoned after worker death.  Sessions register one
+#: to emit ``crash`` sink events and bump their health counters; the
+#: count backs the ``worker_crashes`` pool-health field of
+#: :func:`repro.obs.resources.snapshot`.
+_CRASH_LISTENERS: List[Callable[[dict], None]] = []
+_CRASH_COUNT = 0
+
+
+def add_crash_listener(listener: Callable[[dict], None]) -> None:
+    """Register ``listener`` to be called on every pool crash."""
+    _CRASH_LISTENERS.append(listener)
+
+
+def remove_crash_listener(listener: Callable[[dict], None]) -> None:
+    """Unregister a crash listener; missing listeners are ignored."""
+    try:
+        _CRASH_LISTENERS.remove(listener)
+    except ValueError:
+        pass
+
+
+def crash_count() -> int:
+    """Total worker-pool crashes observed in this process."""
+    return _CRASH_COUNT
+
+
+def _notify_crash(info: dict) -> None:
+    global _CRASH_COUNT
+    _CRASH_COUNT += 1
+    info = dict(info, crash_count=_CRASH_COUNT)
+    for listener in list(_CRASH_LISTENERS):
+        try:
+            listener(info)
+        except Exception:
+            pass  # a failing sink must not mask the original crash
 
 
 #: Registry of persistent pools, keyed by (kind, n_workers, context).
@@ -951,7 +998,10 @@ def _engine_runner(structure, P, Q_chunk, start, args):
     stage_label = args[2] if len(args) > 2 else ""
     backend = get_backend(backend_name)
     if not observe:
-        return backend.run_chunk(structure, P, Q_chunk, start)
+        t0 = time.perf_counter_ns()
+        result = backend.run_chunk(structure, P, Q_chunk, start)
+        result.wall_ns = time.perf_counter_ns() - t0
+        return result
 
     from repro.obs import MetricsRegistry, Tracer
     from repro.obs import observe as activate_obs
@@ -963,7 +1013,9 @@ def _engine_runner(structure, P, Q_chunk, start, args):
     registry = MetricsRegistry(enabled=True)
     with activate_obs(tracer, registry):
         with tracer.span("run_chunk", **attrs):
+            t0 = time.perf_counter_ns()
             result = backend.run_chunk(structure, P, Q_chunk, start)
+            result.wall_ns = time.perf_counter_ns() - t0
     result.trace = tracer.take()
     result.metrics = registry.snapshot()
     return result

@@ -56,6 +56,16 @@ picks, measured wall time for all, one ``stages`` entry per executed
 stage) to the process-current
 :class:`~repro.obs.planner_log.PlannerLog` for regret analysis and
 cost-model recalibration.
+
+The *serving* telemetry tier — per-query trace sampling
+(``engine.open(..., trace_sample_rate=...)``), always-on latency
+histograms with ``Histogram.quantile`` percentile readouts, resource
+snapshots, and the rotating JSONL event sink
+(``session.attach_sink``) — lives on :class:`JoinSession` rather than
+here: one-shot joins have no "per-query" dimension to sample over.
+``join()`` still stamps worker-side chunk wall times on its chunk
+results (``ChunkResult.wall_ns``), so the same executor path feeds
+session latency histograms without a second timing layer.
 """
 
 from __future__ import annotations

@@ -105,6 +105,12 @@ class ChunkResult:
     #: to any pair in this chunk.  Max-merged into
     #: ``JoinResult.error_bound``.
     error_bound: Optional[float] = None
+    #: Worker-side wall time for this chunk (``perf_counter_ns`` around
+    #: ``run_chunk``), stamped in every execution mode.  Sessions fold
+    #: these into their ``session.chunk_latency_us`` histogram; kept
+    #: outside ``metrics`` because timing is not part of the
+    #: bit-identical serial/parallel contract.
+    wall_ns: int = 0
 
 
 def persistable_arrays(

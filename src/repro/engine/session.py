@@ -56,6 +56,9 @@ from repro.core.executor import (
     POOL_KINDS,
     QuerySource,
     WorkerPool,
+    add_crash_listener,
+    crash_count,
+    remove_crash_listener,
     resolve_workers,
 )
 from repro.core.problems import JoinResult, JoinSpec, QueryStats
@@ -73,6 +76,10 @@ from repro.engine.protocol import persistable_arrays
 from repro.errors import ParameterError
 from repro.obs import MetricsRegistry, Tracer, observe
 from repro.obs.planner_log import PlannerRecord, current_log
+from repro.obs.resources import ResourcePoller
+from repro.obs.resources import snapshot as resource_snapshot
+from repro.obs.sampler import TraceSampler
+from repro.obs.sink import EventSink
 from repro.utils.persistence import load_structure_dir, save_structure_dir
 from repro.utils.validation import check_matrix
 
@@ -132,6 +139,9 @@ class JoinSession:
         blas_threads: Optional[int] = None,
         expected_queries: int = DEFAULT_EXPECTED_QUERIES,
         query_batch_hint: int = DEFAULT_QUERY_BATCH_HINT,
+        trace_sample_rate: float = 0.0,
+        trace_sample_cap: Optional[int] = None,
+        trace_sample_seed: Optional[int] = None,
         _eager: bool = True,
         **options,
     ):
@@ -148,6 +158,10 @@ class JoinSession:
         if executor is None and pool not in POOL_KINDS:
             raise ParameterError(
                 f"pool must be one of {POOL_KINDS}, got {pool!r}"
+            )
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ParameterError(
+                f"trace_sample_rate must be in [0, 1], got {trace_sample_rate!r}"
             )
         self.P = P
         self.spec = spec
@@ -176,8 +190,30 @@ class JoinSession:
         #: Always-on registry: reuse accounting (``session.queries``,
         #: ``session.stage_prepares``, ``session.deferred_prepares``,
         #: ``session.pool_pins``, ``session.pool_rebuilds``,
-        #: ``session.stream_chunks``) regardless of per-query tracing.
+        #: ``session.stream_chunks``) plus the serving latency
+        #: histograms (``session.query_latency_us``,
+        #: ``session.stage_latency_us.<backend>``,
+        #: ``session.chunk_latency_us``) regardless of per-query tracing.
         self.metrics = MetricsRegistry(enabled=True)
+        #: Per-query trace sampling: ``None`` when ``trace_sample_rate``
+        #: is 0, so the disabled path costs nothing at all.
+        self.sampler: Optional[TraceSampler] = (
+            TraceSampler(
+                trace_sample_rate,
+                max_per_window=trace_sample_cap,
+                seed=trace_sample_seed,
+            )
+            if trace_sample_rate > 0.0
+            else None
+        )
+        self._sink: Optional[EventSink] = None
+        self._own_sink = False
+        self._sink_resource_every = 32
+        self._poller: Optional[ResourcePoller] = None
+        self._crash_listener = None
+        self._last_stage_records: list = []
+        self._last_chunk_walls: list = []
+        self._last_record: Optional[PlannerRecord] = None
         if _eager:
             self.P = check_matrix(P, "P")
             if spec.self_join and self.P.shape[0] < 2:
@@ -452,12 +488,17 @@ class JoinSession:
             fold_stats_metrics(registry, result)
             result.trace = tracer.take()
             result.metrics = registry
+        # Stash the per-stage records and worker-side chunk walls for the
+        # query surface's latency histograms (plain assignments — this
+        # path is also the one-shot join shim and must stay lean).
+        self._last_stage_records = stage_records
+        self._last_chunk_walls = [c.wall_ns for c in chunks]
         if record:
             self._record(result, stage_records, len(result.matches))
         return result
 
     def _record(self, result: JoinResult, stage_records, m: int) -> None:
-        current_log().record(
+        self._last_record = rec = (
             PlannerRecord(
                 n=int(self.P.shape[0]),
                 m=int(m),
@@ -481,6 +522,164 @@ class JoinSession:
                 session_reuse=int(self.queries_served),
             )
         )
+        current_log().record(rec)
+
+    # -- serving telemetry -----------------------------------------------
+
+    def _observe_query(
+        self, result: JoinResult, wall_ns: int, sampled: bool
+    ) -> None:
+        """Per-call telemetry: latency histograms, sampled spans, sink.
+
+        Runs after every :meth:`query` / :meth:`query_stream` — cheap
+        enough (a few histogram observes) that it is unconditional;
+        everything sink-shaped is gated on an attached sink.
+        """
+        metrics = self.metrics
+        metrics.histogram("session.query_latency_us").observe(wall_ns / 1000.0)
+        for rec in self._last_stage_records:
+            metrics.histogram(
+                f"session.stage_latency_us.{rec['backend']}"
+            ).observe(rec["wall_s"] * 1e6)
+        chunk_hist = metrics.histogram("session.chunk_latency_us")
+        for w in self._last_chunk_walls:
+            if w:
+                chunk_hist.observe(w / 1000.0)
+        if sampled:
+            metrics.counter("session.traces_sampled").inc()
+        sink = self._sink
+        if sink is None:
+            return
+        if sampled and result.trace is not None:
+            sink.emit("span", result.trace.to_dict())
+        if self._last_record is not None:
+            sink.emit("planner", self._last_record.to_dict())
+        if self.queries_served % self._sink_resource_every == 0:
+            self._emit_resource()
+            self._emit_metrics()
+
+    def _pool_health(self) -> dict:
+        rebuilds = self.metrics.counter("session.pool_rebuilds").value
+        return {
+            "pool_rebuilds": int(rebuilds),
+            "worker_crashes": int(crash_count()),
+        }
+
+    def _arena_bytes(self) -> int:
+        pool = self._pool
+        if pool is None or pool.closed or pool.kind != "process":
+            return 0
+        try:
+            return int(pool.arena.nbytes)
+        except Exception:
+            return 0
+
+    def _emit_resource(self) -> None:
+        snap = resource_snapshot(
+            arena_bytes=self._arena_bytes(), pool=self._pool_health()
+        )
+        g = self.metrics.gauge
+        g("session.rss_bytes").set(snap.rss_bytes)
+        g("session.minor_faults").set(snap.minor_faults)
+        g("session.major_faults").set(snap.major_faults)
+        g("session.arena_bytes").set(snap.arena_bytes)
+        if self._sink is not None:
+            self._sink.emit("resource", snap.to_dict())
+
+    def _emit_metrics(self) -> None:
+        if self._sink is not None:
+            self._sink.emit("metrics", self.metrics.snapshot())
+
+    def _on_crash(self, info: dict) -> None:
+        """Crash listener: called by the executor when a pool breaks."""
+        self.metrics.counter("session.worker_crashes").inc()
+        if self._sink is not None:
+            self._sink.emit("crash", dict(info))
+
+    def attach_sink(
+        self,
+        sink,
+        *,
+        max_bytes: int = 64 * 1024 * 1024,
+        max_files: int = 4,
+        resource_every: int = 32,
+    ) -> EventSink:
+        """Stream this session's telemetry to a rotating JSONL sink.
+
+        ``sink`` is a path (the session opens and owns an
+        :class:`~repro.obs.sink.EventSink` with the given rotation
+        settings, closing it with the session) or an ``EventSink`` the
+        caller manages.  Once attached: sampled span trees (``span``),
+        one planner record per query (``planner``), resource + registry
+        snapshots every ``resource_every`` queries and at close
+        (``resource`` / ``metrics``), and worker-crash notices
+        (``crash``) all land there.  Returns the sink.
+        """
+        if self._closed:
+            raise ParameterError("session is closed")
+        if self._sink is not None:
+            raise ParameterError(
+                "a sink is already attached; detach_sink() first"
+            )
+        if resource_every < 1:
+            raise ParameterError("resource_every must be >= 1")
+        if isinstance(sink, EventSink):
+            self._sink, self._own_sink = sink, False
+        else:
+            self._sink = EventSink(
+                sink, max_bytes=max_bytes, max_files=max_files
+            )
+            self._own_sink = True
+        self._sink_resource_every = int(resource_every)
+        self._crash_listener = self._on_crash
+        add_crash_listener(self._crash_listener)
+        self._sink.emit("meta", {
+            "n": int(self.P.shape[0]),
+            "d": int(self.P.shape[1]),
+            "backend": self.requested_name,
+            "variant": self.spec.variant,
+            "n_workers": int(self.n_workers),
+            "expected_queries": int(self.expected_queries),
+            "trace_sample_rate": (
+                self.sampler.rate if self.sampler is not None else 0.0
+            ),
+        })
+        self._emit_resource()
+        return self._sink
+
+    def detach_sink(self) -> None:
+        """Stop sinking; flush, and close the sink if session-owned."""
+        sink, self._sink = self._sink, None
+        if self._crash_listener is not None:
+            remove_crash_listener(self._crash_listener)
+            self._crash_listener = None
+        if sink is not None:
+            if self._own_sink:
+                sink.close()
+            else:
+                sink.flush()
+        self._own_sink = False
+
+    def poll_resources(
+        self, interval_s: float = 1.0, keep: int = 512
+    ) -> ResourcePoller:
+        """Start a background resource poller tied to this session.
+
+        Samples RSS / fault counts / arena bytes / pool health every
+        ``interval_s`` seconds off the query path (into the attached
+        sink too, when one is attached).  Stopped by :meth:`close`, or
+        call ``.stop()`` on the returned poller.
+        """
+        if self._closed:
+            raise ParameterError("session is closed")
+        if self._poller is None:
+            self._poller = ResourcePoller(
+                interval_s=interval_s,
+                keep=keep,
+                extra=lambda: (self._arena_bytes(), self._pool_health()),
+                sink=self._sink,
+            ).start()
+        return self._poller
 
     # -- public query surface --------------------------------------------
 
@@ -491,6 +690,13 @@ class JoinSession:
         sessions require a ``(k, d)`` batch.  Results are bit-identical
         to ``engine.join(P, Q, spec, ...)`` with the same plan, seed,
         and worker configuration.
+
+        Serving telemetry rides every call: the batch wall time, each
+        stage's wall time, and every worker chunk's wall time land in
+        the session's always-on latency histograms, and — when the
+        session was opened with ``trace_sample_rate > 0`` — the sampler
+        may promote this call to a fully traced one, whose span tree
+        goes to the attached sink.
         """
         if self._closed:
             raise ParameterError("session is closed")
@@ -515,9 +721,19 @@ class JoinSession:
                     f"P and Q must share a dimension, got {self.P.shape[1]} "
                     f"and {Q.shape[1]}"
                 )
-        result = self._dispatch(Q, trace=trace, root="session.query")
+        sampled = (
+            not trace
+            and self.sampler is not None
+            and self.sampler.should_sample()
+        )
+        t0 = time.perf_counter_ns()
+        result = self._dispatch(
+            Q, trace=trace or sampled, root="session.query"
+        )
+        wall_ns = time.perf_counter_ns() - t0
         self.queries_served += 1
         self.metrics.counter("session.queries").inc()
+        self._observe_query(result, wall_ns, sampled)
         return result
 
     def query_stream(
@@ -560,12 +776,18 @@ class JoinSession:
             and len(stages) == 1
             and not stages[0].is_partitioned
         )
+        sampled = (
+            not trace
+            and self.sampler is not None
+            and self.sampler.should_sample()
+        )
+        t0 = time.perf_counter_ns()
         if single:
             stream = QuerySource.from_chunks(
                 counted, d=int(self.P.shape[1]), chunk_rows=rows
             )
             result = self._dispatch(
-                stream, trace=trace, root="session.query_stream"
+                stream, trace=trace or sampled, root="session.query_stream"
             )
         else:
             parts = [
@@ -587,8 +809,10 @@ class JoinSession:
                 )
             ]
             self._record(result, stage_records, len(result.matches))
+        wall_ns = time.perf_counter_ns() - t0
         self.queries_served += 1
         self.metrics.counter("session.queries").inc()
+        self._observe_query(result, wall_ns, sampled)
         return result
 
     def _counting_blocks(self, source: QuerySource, rows: int) -> Iterator:
@@ -677,6 +901,9 @@ class JoinSession:
         executor: Optional[WorkerPool] = None,
         blas_threads: Optional[int] = None,
         expected_queries: Optional[int] = None,
+        trace_sample_rate: float = 0.0,
+        trace_sample_cap: Optional[int] = None,
+        trace_sample_seed: Optional[int] = None,
     ) -> "JoinSession":
         session = cls(
             state.P, state.spec,
@@ -688,6 +915,9 @@ class JoinSession:
                 else state.expected_queries
             ),
             query_batch_hint=state.query_batch_hint,
+            trace_sample_rate=trace_sample_rate,
+            trace_sample_cap=trace_sample_cap,
+            trace_sample_seed=trace_sample_seed,
             _eager=False,
             **state.options,
         )
@@ -708,10 +938,19 @@ class JoinSession:
         """Release the owned worker pool and its shared memory; idempotent.
 
         Caller-managed executors are left running (the caller owns their
-        lifecycle, exactly as with ``join(executor=...)``).
+        lifecycle, exactly as with ``join(executor=...)``).  An attached
+        sink receives one final ``resource`` + ``metrics`` pair before
+        detaching, so a sink file always ends with the session's totals.
         """
         if self._closed:
             return
+        if self._poller is not None:
+            self._poller.stop()
+            self._poller = None
+        if self._sink is not None:
+            self._emit_resource()
+            self._emit_metrics()
+            self.detach_sink()
         self._closed = True
         pool, self._pool = self._pool, None
         if pool is not None and self._own_pool:
@@ -739,6 +978,14 @@ def open_session(
     (build-amortization hint for the ``auto`` planner; default
     ``100``) and ``query_batch_hint`` (representative per-batch query
     count; default ``256``).
+
+    Serving telemetry knobs: ``trace_sample_rate`` (probability that any
+    single ``session.query`` call is promoted to a fully traced one;
+    default 0 — off), ``trace_sample_cap`` (at most this many sampled
+    traces per second), and ``trace_sample_seed`` (pin the sampling
+    pattern).  Pair with :meth:`JoinSession.attach_sink` to persist
+    sampled span trees, latency percentiles, planner records, and
+    resource snapshots as rotating JSONL.
 
     Accepts either ``open(P, spec, ...)`` or the join-shaped
     ``open(P, None, spec, ...)``.  For self-join sessions pass a spec
@@ -769,6 +1016,9 @@ def open_path(
     blas_threads: Optional[int] = None,
     expected_queries: Optional[int] = None,
     mmap: bool = True,
+    trace_sample_rate: float = 0.0,
+    trace_sample_cap: Optional[int] = None,
+    trace_sample_seed: Optional[int] = None,
 ) -> JoinSession:
     """Open a session saved by :meth:`JoinSession.save` — zero-copy.
 
@@ -785,4 +1035,7 @@ def open_path(
         state,
         n_workers=n_workers, pool=pool, executor=executor,
         blas_threads=blas_threads, expected_queries=expected_queries,
+        trace_sample_rate=trace_sample_rate,
+        trace_sample_cap=trace_sample_cap,
+        trace_sample_seed=trace_sample_seed,
     )

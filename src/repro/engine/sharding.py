@@ -43,6 +43,8 @@ import numpy as np
 from repro.core.problems import JoinResult, JoinSpec, QueryStats, validate_join_inputs
 from repro.engine.session import open_session
 from repro.errors import ParameterError
+from repro.obs import MetricsRegistry
+from repro.obs.sink import EventSink
 from repro.utils.validation import check_matrix
 
 # Engine-level keywords of repro.engine.join; everything else in
@@ -277,6 +279,8 @@ class ShardedSession:
         self._P = P
         self.spec = spec
         self._closed = False
+        self._sink = None
+        self._own_sink = False
 
     @property
     def n_shards(self) -> int:
@@ -305,12 +309,65 @@ class ShardedSession:
             shard_results, offsets, self._P, Q, self.spec, self.n_shards
         )
 
+    def metrics_snapshot(self) -> dict:
+        """All shards' always-on registries merged into one snapshot.
+
+        Counters and latency-histogram buckets sum across shards (the
+        fixed pow2 layouts make every shard mergeable), so
+        ``session.query_latency_us`` quantiles over the snapshot
+        describe the whole sharded surface.
+        """
+        merged = MetricsRegistry(enabled=True)
+        for session in self._sessions:
+            merged.merge_snapshot(session.metrics.snapshot())
+        return merged.snapshot()
+
+    def attach_sink(self, sink, *, max_bytes: int = 64 * 1024 * 1024,
+                    max_files: int = 4, resource_every: int = 32) -> EventSink:
+        """One shared telemetry sink for every shard session.
+
+        ``sink`` is a path or a caller-managed
+        :class:`~repro.obs.sink.EventSink`; each shard emits into it
+        (the sink serializes writers), so events from different shards
+        interleave in one file in write order.
+        """
+        if self._closed:
+            raise ParameterError("session is closed")
+        if self._sink is not None:
+            raise ParameterError(
+                "a sink is already attached; detach_sink() first"
+            )
+        if isinstance(sink, EventSink):
+            shared, own = sink, False
+        else:
+            shared, own = EventSink(
+                sink, max_bytes=max_bytes, max_files=max_files
+            ), True
+        for session in self._sessions:
+            session.attach_sink(shared, resource_every=resource_every)
+        self._sink, self._own_sink = shared, own
+        return shared
+
+    def detach_sink(self) -> None:
+        """Detach every shard from the shared sink; close it if owned."""
+        sink, self._sink = self._sink, None
+        for session in self._sessions:
+            if session._sink is not None:
+                session.detach_sink()
+        if sink is not None and self._own_sink:
+            sink.close()
+        self._own_sink = False
+
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         for session in self._sessions:
             session.close()
+        if self._sink is not None and self._own_sink:
+            self._sink.close()
+        self._sink = None
+        self._own_sink = False
 
     def __enter__(self) -> "ShardedSession":
         return self

@@ -13,6 +13,17 @@ The telemetry layer under ``repro.engine.join(..., trace=True)``:
   predictions vs measured wall time, regret scoring, and the feedback
   path into :meth:`repro.engine.planner.CostModel.from_planner_log`.
 
+The serving tier on top (consumed by :class:`repro.engine.JoinSession`):
+
+* :mod:`repro.obs.sampler` — probabilistic + rate-limited per-query
+  trace sampling (``engine.open(..., trace_sample_rate=...)``).
+* :mod:`repro.obs.resources` — RSS / page-fault / arena-byte snapshots
+  at query boundaries, plus a background :class:`ResourcePoller`.
+* :mod:`repro.obs.sink` — a size-rotated JSONL event sink
+  (``session.attach_sink(path)``) holding sampled span trees, metric
+  snapshots, planner records, and resource snapshots under one
+  ``kind``-tagged schema; ``tools/obs_report.py`` renders it.
+
 See ``docs/OBSERVABILITY.md`` for the guide.
 """
 
@@ -39,6 +50,13 @@ from repro.obs.planner_log import (
     format_stage_table,
     use_planner_log,
 )
+from repro.obs.resources import (
+    ResourcePoller,
+    ResourceSnapshot,
+    snapshot as resource_snapshot,
+)
+from repro.obs.sampler import TraceSampler
+from repro.obs.sink import EventSink, iter_events, read_events, sink_files
 from repro.obs.trace import Span, Tracer, current_tracer, span, use_tracer
 
 
@@ -71,4 +89,12 @@ __all__ = [
     "format_regret_table",
     "format_pick_distribution",
     "format_stage_table",
+    "TraceSampler",
+    "EventSink",
+    "iter_events",
+    "read_events",
+    "sink_files",
+    "ResourcePoller",
+    "ResourceSnapshot",
+    "resource_snapshot",
 ]

@@ -17,18 +17,34 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Union
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.trace import Span
 
 #: Metric names are dotted (``verify.gemm_blocks``); Prometheus wants
-#: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
-_PROM_BAD = str.maketrans({".": "_", "-": "_", " ": "_", "/": "_"})
+#: ``[a-zA-Z_:][a-zA-Z0-9_:]*``.  Replace every disallowed character
+#: (not just a known-bad list) so arbitrary stage labels survive.
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_BAD_FIRST = re.compile(r"^[^a-zA-Z_:]")
+
+#: Default quantiles exported for every histogram (serving percentiles).
+EXPORT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
 
 
 def _prom_name(prefix: str, name: str) -> str:
-    return f"{prefix}_{name}".translate(_PROM_BAD)
+    metric = _PROM_BAD.sub("_", f"{prefix}_{name}")
+    return _PROM_BAD_FIRST.sub("_", metric)
+
+
+def _payload_quantiles(payload: dict, qs: Sequence[float]) -> Dict[str, float]:
+    """Quantile estimates for one histogram snapshot payload."""
+    h = Histogram(payload["bounds"])
+    h.counts = list(payload["counts"])
+    h.count = payload["count"]
+    h.sum = payload["sum"]
+    return {f"{q:g}": h.quantile(q) for q in qs}
 
 
 def trace_to_json(trace: Span, indent: Optional[int] = None) -> str:
@@ -37,36 +53,64 @@ def trace_to_json(trace: Span, indent: Optional[int] = None) -> str:
 
 
 def metrics_to_json(
-    metrics: Union[MetricsRegistry, dict], indent: Optional[int] = None
+    metrics: Union[MetricsRegistry, dict],
+    indent: Optional[int] = None,
+    quantiles: Optional[Sequence[float]] = EXPORT_QUANTILES,
 ) -> str:
-    """A registry (or a registry snapshot) as a JSON document."""
+    """A registry (or a registry snapshot) as a JSON document.
+
+    Histogram payloads additionally carry a ``"quantiles"`` map
+    (``{"0.5": ..., "0.95": ..., "0.99": ...}`` by default); pass
+    ``quantiles=None`` for the raw mergeable snapshot shape.
+    """
     snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    if quantiles:
+        snapshot = dict(snapshot)
+        snapshot["histograms"] = {
+            name: {**payload, "quantiles": _payload_quantiles(payload, quantiles)}
+            for name, payload in snapshot.get("histograms", {}).items()
+        }
     return json.dumps(snapshot, indent=indent, sort_keys=True)
 
 
 def metrics_to_prometheus(
-    metrics: Union[MetricsRegistry, dict], prefix: str = "repro"
+    metrics: Union[MetricsRegistry, dict],
+    prefix: str = "repro",
+    help_texts: Optional[Dict[str, str]] = None,
+    quantiles: Optional[Sequence[float]] = EXPORT_QUANTILES,
 ) -> str:
     """The registry in Prometheus text exposition format.
 
-    Histograms follow the convention: cumulative ``_bucket`` series with
-    ``le`` labels (ending at ``le="+Inf"``), plus ``_sum`` and
-    ``_count``.
+    Every metric gets ``# HELP`` and ``# TYPE`` lines, with names
+    sanitized to the Prometheus charset.  Histograms follow the
+    convention: cumulative ``_bucket`` series with ``le`` labels (ending
+    at ``le="+Inf"``), plus ``_sum`` and ``_count`` — and, for serving
+    dashboards that want percentiles without a ``histogram_quantile``
+    query, precomputed ``_p50``-style gauges for each of ``quantiles``.
+
+    ``help_texts`` maps *original* (dotted) metric names to HELP
+    strings; unmapped metrics get a generated one.
     """
     snapshot = metrics.snapshot() if isinstance(metrics, MetricsRegistry) else metrics
+    helps = help_texts or {}
+
+    def _header(metric: str, name: str, kind: str) -> List[str]:
+        text = helps.get(name, f"repro metric {name}")
+        return [f"# HELP {metric} {text}", f"# TYPE {metric} {kind}"]
+
     lines: List[str] = []
     for name in sorted(snapshot.get("counters", {})):
         metric = _prom_name(prefix, name)
-        lines.append(f"# TYPE {metric} counter")
+        lines.extend(_header(metric, name, "counter"))
         lines.append(f"{metric} {snapshot['counters'][name]}")
     for name in sorted(snapshot.get("gauges", {})):
         metric = _prom_name(prefix, name)
-        lines.append(f"# TYPE {metric} gauge")
+        lines.extend(_header(metric, name, "gauge"))
         lines.append(f"{metric} {snapshot['gauges'][name]}")
     for name in sorted(snapshot.get("histograms", {})):
         payload = snapshot["histograms"][name]
         metric = _prom_name(prefix, name)
-        lines.append(f"# TYPE {metric} histogram")
+        lines.extend(_header(metric, name, "histogram"))
         cumulative = 0
         for bound, count in zip(payload["bounds"], payload["counts"]):
             cumulative += count
@@ -76,6 +120,10 @@ def metrics_to_prometheus(
         lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
         lines.append(f"{metric}_sum {payload['sum']}")
         lines.append(f"{metric}_count {payload['count']}")
+        for q, value in _payload_quantiles(payload, quantiles or ()).items():
+            pct = float(q) * 100
+            tag = f"{pct:g}".replace(".", "_")
+            lines.append(f"{metric}_p{tag} {value:g}")
     return "\n".join(lines) + "\n"
 
 

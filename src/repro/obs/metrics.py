@@ -109,6 +109,38 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the located bucket (lower edge 0 for
+        the first bucket), so with pow2 bounds the estimate is within
+        one bucket of the exact order statistic.  Observations that
+        landed in the overflow bucket are clamped to the last bound —
+        the histogram holds no information above it.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cumulative + c >= target:
+                if i >= len(self.bounds):  # overflow bucket
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i else 0.0
+                hi = self.bounds[i]
+                frac = (target - cumulative) / c
+                return lo + frac * (hi - lo)
+            cumulative += c
+        return self.bounds[-1]
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        """:meth:`quantile` over several probabilities."""
+        return [self.quantile(q) for q in qs]
+
 
 class MetricsRegistry:
     """Flat name -> instrument map with snapshot/merge for worker fan-in."""
@@ -161,8 +193,13 @@ class MetricsRegistry:
         }
 
     def merge_snapshot(self, snapshot: Optional[dict]) -> None:
-        """Fold a :meth:`snapshot` into this registry (sums; gauges last-write)."""
-        if not snapshot:
+        """Fold a :meth:`snapshot` into this registry (sums; gauges last-write).
+
+        A disabled registry swallows the payload without creating
+        instruments — mirroring how instrumentation sites guard on
+        ``.enabled`` — so merge call sites need no guard of their own.
+        """
+        if not snapshot or not self.enabled:
             return
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)

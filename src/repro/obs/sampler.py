@@ -1,0 +1,122 @@
+"""Per-query trace sampling: probabilistic head sampling plus a rate cap.
+
+A serving session cannot afford a full span tree per query — tracing a
+join adds a measurable (if small) cost, and a sink would fill with
+gigabytes of redundant trees — but it also cannot afford *no* trees,
+because percentile counters alone do not explain a slow query.  The
+standard answer is head sampling: decide up-front, per query, whether
+this one gets the full treatment, and keep the decision cheap enough to
+sit on the hot path.
+
+:class:`TraceSampler` composes the two classic policies:
+
+* **probabilistic** — sample each query independently with probability
+  ``rate`` (a seeded :class:`random.Random`, so tests and benchmarks can
+  pin the exact sampling pattern);
+* **rate-limited** — never admit more than ``max_per_window`` sampled
+  queries per ``window_s`` seconds of wall clock, so a traffic spike
+  cannot multiply tracing overhead or sink volume.
+
+The decision itself is one RNG draw and two comparisons (~100 ns);
+:class:`JoinSession` consults it once per :meth:`~.JoinSession.query`
+call.  Queries that lose the draw still feed the session's always-on
+counters and latency histograms — sampling only gates span trees.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from repro.errors import ParameterError
+
+
+class TraceSampler:
+    """Decide, per query, whether to record a full span tree.
+
+    Parameters
+    ----------
+    rate:
+        Probability in ``[0, 1]`` that any single query is sampled.
+        ``0`` never samples (every check is two comparisons); ``1``
+        samples every query (subject to the rate cap).
+    max_per_window:
+        Hard cap on sampled queries per window, or ``None`` for no cap.
+    window_s:
+        Length of the rate-cap window in seconds.
+    seed:
+        Seed for the private RNG.  Pass an int for a reproducible
+        sampling pattern (benchmarks, tests); ``None`` seeds from OS
+        entropy.
+    """
+
+    __slots__ = (
+        "rate",
+        "max_per_window",
+        "window_s",
+        "seen",
+        "sampled",
+        "rate_limited",
+        "_rng",
+        "_window_start",
+        "_window_count",
+    )
+
+    def __init__(
+        self,
+        rate: float,
+        max_per_window: Optional[int] = None,
+        window_s: float = 1.0,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ParameterError(f"trace sample rate must be in [0, 1], got {rate!r}")
+        if max_per_window is not None and max_per_window < 0:
+            raise ParameterError("max_per_window must be >= 0")
+        if window_s <= 0:
+            raise ParameterError("window_s must be positive")
+        self.rate = float(rate)
+        self.max_per_window = max_per_window
+        self.window_s = float(window_s)
+        #: Decision counters (exported as session gauges).
+        self.seen = 0
+        self.sampled = 0
+        self.rate_limited = 0
+        self._rng = random.Random(seed)
+        self._window_start = 0.0
+        self._window_count = 0
+
+    def should_sample(self) -> bool:
+        """One sampling decision.  Cheap enough for the query hot path."""
+        self.seen += 1
+        if self.rate <= 0.0:
+            return False
+        if self.rate < 1.0 and self._rng.random() >= self.rate:
+            return False
+        if self.max_per_window is not None:
+            now = time.monotonic()
+            if now - self._window_start >= self.window_s:
+                self._window_start = now
+                self._window_count = 0
+            if self._window_count >= self.max_per_window:
+                self.rate_limited += 1
+                return False
+            self._window_count += 1
+        self.sampled += 1
+        return True
+
+    def stats(self) -> dict:
+        """Plain-data decision counters (for gauges and sink events)."""
+        return {
+            "rate": self.rate,
+            "seen": self.seen,
+            "sampled": self.sampled,
+            "rate_limited": self.rate_limited,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceSampler(rate={self.rate}, sampled={self.sampled}/"
+            f"{self.seen}, rate_limited={self.rate_limited})"
+        )

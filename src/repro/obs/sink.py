@@ -1,0 +1,180 @@
+"""Size-rotated JSONL event sink for serving telemetry.
+
+One session produces several event shapes — sampled span trees, metric
+snapshots, planner records, resource snapshots, worker-crash notices —
+and a serving deployment wants them durable on disk without an external
+collector.  :class:`EventSink` writes them all to a single append-only
+JSONL file under one envelope schema::
+
+    {"kind": "<tag>", "ts": <unix seconds>, "seq": <int>, "data": {...}}
+
+``kind`` tags the payload shape (``span``, ``metrics``, ``planner``,
+``resource``, ``crash``, ``meta``); ``seq`` is a per-sink monotonic
+counter so readers can order events even across rotated files.
+
+Rotation is logrotate-style: when the active file passes ``max_bytes``
+it is renamed to ``path.1`` (shifting ``path.1`` -> ``path.2`` and so
+on, dropping the oldest past ``max_files``), and writing continues in a
+fresh ``path``.  The size check and the write happen under one lock, so
+a sink is safe to share between a session thread and a
+:class:`~repro.obs.resources.ResourcePoller` thread.
+
+Readers use :func:`iter_events` (one file) or :func:`read_events`
+(a rotated set, oldest first); ``tools/obs_report.py`` renders the
+standard report from them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ParameterError
+
+#: Known event kinds (informational; the sink accepts any tag).
+EVENT_KINDS = ("meta", "span", "metrics", "planner", "resource", "crash")
+
+
+class EventSink:
+    """Append-only, size-rotated JSONL event writer.
+
+    Parameters
+    ----------
+    path:
+        The active JSONL file.  Parent directories are created.
+    max_bytes:
+        Rotate when the active file would exceed this size.  The default
+        (64 MiB) keeps a rotated set bounded at ~a few hundred MB.
+    max_files:
+        How many rotated generations (``path.1`` .. ``path.N``) to keep
+        beside the active file; older generations are deleted.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 64 * 1024 * 1024,
+        max_files: int = 4,
+    ):
+        if max_bytes <= 0:
+            raise ParameterError("max_bytes must be positive")
+        if max_files < 0:
+            raise ParameterError("max_files must be >= 0")
+        self.path = os.fspath(path)
+        self.max_bytes = int(max_bytes)
+        self.max_files = int(max_files)
+        self.seq = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- writing --------------------------------------------------------
+
+    def emit(self, kind: str, data: Any) -> None:
+        """Append one event.  Thread-safe; rotates first when full."""
+        line = json.dumps(
+            {"kind": kind, "ts": time.time(), "seq": self.seq, "data": data},
+            sort_keys=False,
+            default=str,
+        )
+        with self._lock:
+            if self._fh.closed:
+                return
+            if self._fh.tell() + len(line) + 1 > self.max_bytes:
+                self._rotate()
+            self._fh.write(line)
+            self._fh.write("\n")
+            self.seq += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def _rotate(self) -> None:
+        """Shift ``path`` -> ``path.1`` -> ... under the held lock."""
+        self._fh.close()
+        if self.max_files > 0:
+            oldest = f"{self.path}.{self.max_files}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for i in range(self.max_files - 1, 0, -1):
+                src = f"{self.path}.{i}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{i + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        else:
+            os.remove(self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.rotations += 1
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventSink({self.path!r}, seq={self.seq}, "
+            f"rotations={self.rotations})"
+        )
+
+
+# -- reading ------------------------------------------------------------
+
+
+def sink_files(path: str) -> List[str]:
+    """The rotated set for ``path``, oldest generation first."""
+    path = os.fspath(path)
+    found: List[tuple] = []
+    for i in range(1, 1000):
+        gen = f"{path}.{i}"
+        if not os.path.exists(gen):
+            break
+        found.append((-i, gen))
+    files = [f for _, f in sorted(found)]
+    if os.path.exists(path):
+        files.append(path)
+    return files
+
+
+def iter_events(path: str) -> Iterator[Dict[str, Any]]:
+    """Parse one JSONL file, skipping torn/partial trailing lines."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write at a crash boundary
+            if isinstance(event, dict):
+                yield event
+
+
+def read_events(
+    path: str, kinds: Optional[List[str]] = None
+) -> List[Dict[str, Any]]:
+    """Every event across the rotated set, in write (``seq``) order."""
+    events: List[Dict[str, Any]] = []
+    for f in sink_files(path):
+        events.extend(iter_events(f))
+    events.sort(key=lambda e: e.get("seq", 0))
+    if kinds is not None:
+        wanted = set(kinds)
+        events = [e for e in events if e.get("kind") in wanted]
+    return events

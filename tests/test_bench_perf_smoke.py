@@ -213,3 +213,29 @@ def test_pr8_artifact_when_present():
     assert report["checks"]["session_stream_bit_identical"]
     assert report["checks"]["session_load_matches_equal"]
     assert all(report["checks"].values()), report["checks"]
+
+
+def test_pr9_artifact_when_present():
+    """BENCH_PR9.json (serving telemetry), when checked in."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR9.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    assert "serving_obs" in report["meta"]["suites"]
+    assert report["meta"]["serving_obs_suite"]["n"] == 50_000
+    assert (
+        report["work"]["serving_obs_overhead_disabled"]
+        <= bench_perf.SERVING_OBS_DISABLED_CEILING
+    )
+    assert (
+        report["work"]["serving_obs_overhead_sampled"]
+        <= bench_perf.SERVING_OBS_SAMPLED_CEILING
+    )
+    assert report["checks"]["serving_matches_equal"]
+    assert report["checks"]["serving_quantile_within_one_bucket"]
+    assert report["checks"]["serving_sink_parseable"]
+    assert report["checks"]["serving_sink_rotated"]
+    assert all(report["checks"].values()), report["checks"]

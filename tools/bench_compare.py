@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Diff a bench artifact against the prior ``BENCH_PR*.json`` trajectory.
+
+The repository carries one committed artifact per PR
+(``BENCH_PR1.json`` ... ``BENCH_PRn.json``, all produced by
+``tools/bench_perf.py``), which together form a speedup trajectory:
+every headline claim ("blocked verify 8x", "zero-copy 3-4x", "session
+reuse 30x") is a ``speedups`` entry somewhere in that series.  This
+tool guards the trajectory::
+
+    PYTHONPATH=src python tools/bench_compare.py BENCH_PR9.json
+    PYTHONPATH=src python tools/bench_compare.py bench_quick.json \
+        --threshold 0.5 --json
+
+For every numeric ``speedups`` entry of the *current* artifact it finds
+the most recent prior artifact carrying the same key (suites were added
+over time, so coverage grows PR by PR) and flags a regression when::
+
+    current < baseline * (1 - threshold)
+
+Two artifacts are only comparable when they were produced in the same
+mode (``meta.quick``): quick-mode runs use smaller instances whose
+ratios differ structurally from full-mode runs, so a mode mismatch
+demotes the comparison to informational (printed, never failing) unless
+``--require-baseline`` insists.  Every ``speedups`` entry — including
+the ``_reduction`` memory factors — is a higher-is-better ratio.
+
+Exit status: 1 when any same-mode regression crosses the threshold
+(the CI quick-smoke job runs this over the committed artifacts), else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+_PR_RE = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def _flatten(prefix: str, value: Any, out: Dict[str, float]) -> None:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for k, v in value.items():
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+
+
+def flat_speedups(report: dict) -> Dict[str, float]:
+    """The artifact's ``speedups`` tree flattened to dotted scalar keys."""
+    out: Dict[str, float] = {}
+    _flatten("", report.get("speedups", {}), out)
+    return out
+
+
+def discover_baselines(
+    repo_root: str, current_path: str
+) -> List[Tuple[int, str]]:
+    """``(pr_number, path)`` for every committed artifact except the
+    current one, ascending."""
+    current = os.path.abspath(current_path)
+    found = []
+    for path in glob.glob(os.path.join(repo_root, "BENCH_PR*.json")):
+        m = _PR_RE.search(os.path.basename(path))
+        if m and os.path.abspath(path) != current:
+            found.append((int(m.group(1)), path))
+    return sorted(found)
+
+
+def compare(
+    current: dict,
+    baselines: List[Tuple[int, str, dict]],
+    threshold: float,
+) -> dict:
+    """Score the current artifact against the trajectory.
+
+    ``baselines`` is ``(pr, path, report)`` ascending; for each current
+    key the *latest* same-mode baseline carrying that key is the
+    reference.
+    """
+    mode = bool(current.get("meta", {}).get("quick", False))
+    now = flat_speedups(current)
+    rows: List[dict] = []
+    for key in sorted(now):
+        ref = None
+        for pr, path, report in baselines:
+            if bool(report.get("meta", {}).get("quick", False)) != mode:
+                continue
+            base = flat_speedups(report)
+            if key in base:
+                ref = {"pr": pr, "path": os.path.basename(path),
+                       "value": base[key]}
+        row = {"key": key, "current": now[key], "baseline": ref}
+        if ref is not None and ref["value"] > 0:
+            ratio = now[key] / ref["value"]
+            row["ratio"] = ratio
+            row["regressed"] = ratio < 1.0 - threshold
+        else:
+            row["regressed"] = False
+        rows.append(row)
+    same_mode = [b for b in baselines
+                 if bool(b[2].get("meta", {}).get("quick", False)) == mode]
+    return {
+        "schema": "repro-bench-compare/v1",
+        "mode": "quick" if mode else "full",
+        "threshold": threshold,
+        "baselines": [
+            {"pr": pr, "path": os.path.basename(path)}
+            for pr, path, _ in same_mode
+        ],
+        "skipped_mode_mismatch": len(baselines) - len(same_mode),
+        "rows": rows,
+        "regressions": [r for r in rows if r["regressed"]],
+    }
+
+
+def render(result: dict) -> str:
+    lines = [
+        f"bench trajectory ({result['mode']} mode, "
+        f"threshold {result['threshold']:.0%}, "
+        f"{len(result['baselines'])} comparable artifacts, "
+        f"{result['skipped_mode_mismatch']} skipped on mode mismatch)"
+    ]
+    width = max((len(r["key"]) for r in result["rows"]), default=3)
+    for r in result["rows"]:
+        if r["baseline"] is None:
+            lines.append(f"  {r['key'].ljust(width)}  {r['current']:>9.3f}"
+                         f"  (new — no comparable baseline)")
+            continue
+        flag = "  << REGRESSION" if r["regressed"] else ""
+        lines.append(
+            f"  {r['key'].ljust(width)}  {r['current']:>9.3f}  vs "
+            f"{r['baseline']['value']:>9.3f} "
+            f"(PR{r['baseline']['pr']}, x{r.get('ratio', 0):.2f}){flag}"
+        )
+    n = len(result["regressions"])
+    lines.append(
+        f"{n} regression(s) past threshold" if n else "trajectory ok"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="bench artifact to score")
+    parser.add_argument(
+        "--baseline", action="append", default=None, metavar="PATH",
+        help="explicit baseline artifact(s); default: discover "
+        "BENCH_PR*.json next to this repo",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="relative speedup drop that counts as a regression "
+        "(default %(default)s — generous, because committed artifacts "
+        "span different machines)",
+    )
+    parser.add_argument(
+        "--require-baseline", action="store_true",
+        help="fail when no comparable (same-mode) baseline exists",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="emit the comparison as JSON")
+    args = parser.parse_args(argv)
+
+    with open(args.current) as fh:
+        current = json.load(fh)
+    repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    if args.baseline:
+        pairs = []
+        for path in args.baseline:
+            m = _PR_RE.search(os.path.basename(path))
+            pairs.append((int(m.group(1)) if m else 0, path))
+        pairs.sort()
+    else:
+        pairs = discover_baselines(repo_root, args.current)
+    baselines = []
+    for pr, path in pairs:
+        with open(path) as fh:
+            baselines.append((pr, path, json.load(fh)))
+
+    result = compare(current, baselines, args.threshold)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(render(result))
+    if args.require_baseline and not result["baselines"]:
+        print("no comparable baseline found", file=sys.stderr)
+        return 1
+    return 1 if result["regressions"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

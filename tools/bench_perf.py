@@ -134,16 +134,20 @@ from repro.engine.planner import default_model
 from repro.quant import quantize_rows, quantized_scan_survivors
 from repro.lsh import BatchSignIndex, CrossPolytopeLSH, E2LSH, HyperplaneLSH, LSHIndex
 from repro.lsh.index import block_candidates
+from repro.obs.metrics import Histogram
+from repro.obs.sink import read_events, sink_files
 from repro.obs.trace import span
 from repro.sketches import SketchCMIPS
+from repro.utils.validation import check_matrix
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR8.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR9.json")
 
 ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop",
-              "planner_dispatch", "obs_overhead", "hybrid_vs_single",
-              "quantized_tier", "parallel_scaling", "streaming_session")
+              "planner_dispatch", "obs_overhead", "serving_obs",
+              "hybrid_vs_single", "quantized_tier", "parallel_scaling",
+              "streaming_session")
 
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
@@ -208,6 +212,15 @@ SESSION_QUICK = dict(n=4_000, d=32, batch=32, batches=8, n_tables=6,
                      hashes_per_table=9, block=128, stream_rows=512,
                      seed=2016)
 
+SERVING_FULL = dict(n=50_000, d=64, batch=64, batches=120, n_tables=8,
+                    hashes_per_table=10, block=256, repeats=5,
+                    sample_rate=0.01, sink_cap=65_536, quantile_n=200_000,
+                    seed=2016)
+SERVING_QUICK = dict(n=3_000, d=32, batch=32, batches=24, n_tables=4,
+                     hashes_per_table=8, block=128, repeats=3,
+                     sample_rate=0.01, sink_cap=32_768, quantile_n=20_000,
+                     seed=2016)
+
 #: Full-mode speedup floors; quick mode only checks correctness (the
 #: shrunken workloads are too small for stable ratios).
 HASH_SPEEDUP_FLOORS = {"crosspolytope": 10.0, "e2lsh": 10.0}
@@ -260,6 +273,16 @@ SESSION_REUSE_SPEEDUP_FLOOR = 5.0
 #: is the interpreter baseline; the full load has every array in
 #: anonymous memory.
 SESSION_MMAP_RSS_CEILING = 0.85
+#: Max tolerated relative wall-time overhead of the session serving
+#: telemetry (always-on latency histograms, sampler consult, sink gate)
+#: with sampling disabled, vs the pre-PR ``query()`` body — validate the
+#: batch, dispatch, bump the counters — replayed on the same session
+#: (full mode only).
+SERVING_OBS_DISABLED_CEILING = 0.02
+#: Same pair with ``trace_sample_rate=0.01``: roughly 1 in 100 batches
+#: pays the full span-tracer cost, so the amortized ceiling is looser
+#: (full mode only).
+SERVING_OBS_SAMPLED_CEILING = 0.05
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -1123,7 +1146,150 @@ def _run_session_suite(quick: bool, timings: dict, speedups: dict,
     return cfg
 
 
-def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
+def _run_serving_obs_suite(quick: bool, timings: dict, speedups: dict,
+                           work: dict, checks: dict,
+                           out_dir: Optional[str] = None) -> dict:
+    """Serving telemetry: overhead pair, quantile accuracy, sink output.
+
+    The overhead baseline is a *pre-PR twin* of ``session.query`` —
+    validate the batch, ``_dispatch``, bump the counters — replayed on
+    the very same session, so the paired ratio isolates exactly what
+    this tier added per call: the latency-histogram observes, the
+    sampler consult, and the (absent-)sink gate.
+    """
+    cfg = SERVING_QUICK if quick else SERVING_FULL
+    n, d = cfg["n"], cfg["d"]
+    batch, batches = cfg["batch"], cfg["batches"]
+    seed, block, repeats = cfg["seed"], cfg["block"], cfg["repeats"]
+    lsh_options = dict(n_tables=cfg["n_tables"],
+                       hashes_per_table=cfg["hashes_per_table"])
+    print(f"[bench_perf] serving obs: n={n} d={d} "
+          f"batches={batches}x{batch} quick={quick}", flush=True)
+    P = random_unit(n, d, seed=seed) * 0.95
+    Q_all = random_unit(batches * batch, d, seed=seed + 1) * 0.95
+    Qs = [np.ascontiguousarray(Q_all[i * batch:(i + 1) * batch])
+          for i in range(batches)]
+    spec = JoinSpec(s=0.75, c=0.8)
+
+    def open_serving(**kwargs):
+        return open_session(P, spec, backend="lsh", seed=seed + 2,
+                            block=block, expected_queries=batches,
+                            **lsh_options, **kwargs)
+
+    def pre_pr(session):
+        out = []
+        for Qb in Qs:
+            Qc = check_matrix(Qb, "Q")
+            out.append(session._dispatch(Qc, trace=False,
+                                         root="session.query"))
+            session.queries_served += 1
+            session.metrics.counter("session.queries").inc()
+        return out
+
+    # --- per-call telemetry overhead, sampling disabled ----------------
+    print("[bench_perf] serving obs: disabled-sampling overhead ...",
+          flush=True)
+    with open_serving() as session:
+        telem_s, prepr_s, telem_res, prepr_res = _timed_pair(
+            lambda: [session.query(Qb) for Qb in Qs],
+            lambda: pre_pr(session),
+            repeats=repeats)
+    timings["serving_telemetry_s"] = telem_s
+    timings["serving_prepr_s"] = prepr_s
+    work["serving_obs_overhead_disabled"] = telem_s / prepr_s - 1.0
+    speedups["serving_telemetry_vs_prepr"] = prepr_s / telem_s
+    checks["serving_matches_equal"] = all(
+        t.matches == p.matches
+        and t.inner_products_evaluated == p.inner_products_evaluated
+        for t, p in zip(telem_res, prepr_res))
+    if not quick:
+        checks["serving_obs_disabled_ceiling"] = (
+            work["serving_obs_overhead_disabled"]
+            <= SERVING_OBS_DISABLED_CEILING)
+
+    # --- per-call telemetry overhead, sampled at 1% --------------------
+    print("[bench_perf] serving obs: 1%-sampled overhead ...", flush=True)
+    with open_serving(trace_sample_rate=cfg["sample_rate"],
+                      trace_sample_seed=seed) as session:
+        sampled_s, sampled_base_s, _, _ = _timed_pair(
+            lambda: [session.query(Qb) for Qb in Qs],
+            lambda: pre_pr(session),
+            repeats=repeats)
+        sampler_stats = session.sampler.stats()
+    timings["serving_sampled_s"] = sampled_s
+    timings["serving_sampled_prepr_s"] = sampled_base_s
+    work["serving_obs_overhead_sampled"] = sampled_s / sampled_base_s - 1.0
+    work["serving_sampled_traces"] = sampler_stats["sampled"]
+    speedups["serving_sampled_vs_prepr"] = sampled_base_s / sampled_s
+    if not quick:
+        checks["serving_obs_sampled_ceiling"] = (
+            work["serving_obs_overhead_sampled"]
+            <= SERVING_OBS_SAMPLED_CEILING)
+
+    # --- Histogram.quantile vs exact numpy quantiles -------------------
+    # Pow2 buckets guarantee no better than bucket resolution, so the
+    # contract is agreement to within one bucket, not relative error.
+    rng = np.random.default_rng(seed)
+    values = rng.lognormal(mean=6.0, sigma=1.5, size=cfg["quantile_n"])
+    hist = Histogram()
+    hist.observe_array(values)
+    quantile_ok = True
+    for q in (0.5, 0.95, 0.99):
+        est = hist.quantile(q)
+        exact = float(np.quantile(values, q))
+        work[f"serving_quantile_p{int(q * 100)}_est"] = est
+        work[f"serving_quantile_p{int(q * 100)}_exact"] = exact
+        quantile_ok = quantile_ok and (
+            abs(hist._bucket(est) - hist._bucket(exact)) <= 1)
+    checks["serving_quantile_within_one_bucket"] = quantile_ok
+
+    # --- sink: spans, latency histograms, resources, rotation ----------
+    print("[bench_perf] serving obs: sink + rotation ...", flush=True)
+    sink_dir = tempfile.mkdtemp(prefix="bench_serving_obs_")
+    try:
+        sink_path = os.path.join(sink_dir, "obs_sink.jsonl")
+        with open_serving(trace_sample_rate=1.0,
+                          trace_sample_seed=seed) as session:
+            session.attach_sink(sink_path, max_bytes=cfg["sink_cap"],
+                                max_files=4, resource_every=8)
+            for Qb in Qs:
+                session.query(Qb)
+            rotations = session._sink.rotations
+        files = sink_files(sink_path)
+        events = read_events(sink_path)
+        kinds: dict = {}
+        for event in events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        work["serving_sink_events"] = len(events)
+        work["serving_sink_files"] = len(files)
+        work["serving_sink_spans"] = kinds.get("span", 0)
+        work["serving_sink_rotations"] = rotations
+        checks["serving_sink_parseable"] = bool(events)
+        checks["serving_sink_has_spans"] = kinds.get("span", 0) >= 1
+        checks["serving_sink_has_resource"] = kinds.get("resource", 0) >= 1
+        metrics_events = [e["data"] for e in events
+                          if e["kind"] == "metrics"]
+        checks["serving_sink_stage_histograms"] = bool(metrics_events) and (
+            "session.query_latency_us" in metrics_events[-1]["histograms"]
+            and any(name.startswith("session.stage_latency_us.")
+                    for name in metrics_events[-1]["histograms"]))
+        checks["serving_sink_rotated"] = rotations >= 1 and len(files) >= 2
+        if out_dir:
+            # Concatenate the surviving generations oldest-first so the
+            # CI artifact is one self-contained JSONL file next to the
+            # bench report (tools/obs_report.py renders it).
+            dest = os.path.join(out_dir, "obs_sink.jsonl")
+            with open(dest, "wb") as out_handle:
+                for path in files:
+                    with open(path, "rb") as in_handle:
+                        shutil.copyfileobj(in_handle, out_handle)
+    finally:
+        shutil.rmtree(sink_dir, ignore_errors=True)
+    return cfg
+
+
+def run_suite(quick: bool = False, suites=ALL_SUITES,
+              out_dir: Optional[str] = None) -> dict:
     suites = tuple(suites)
     unknown = [s for s in suites if s not in ALL_SUITES]
     if unknown:
@@ -1156,6 +1322,10 @@ def run_suite(quick: bool = False, suites=ALL_SUITES) -> dict:
     if "obs_overhead" in suites:
         obs_cfg = _run_obs_suite(quick, timings, speedups, work, checks)
         report["meta"]["obs_suite"] = dict(obs_cfg)
+    if "serving_obs" in suites:
+        serving_cfg = _run_serving_obs_suite(quick, timings, speedups, work,
+                                             checks, out_dir=out_dir)
+        report["meta"]["serving_obs_suite"] = dict(serving_cfg)
     if "core" in suites:
         _run_core_suite(quick, report["meta"], timings, speedups, work, checks)
     if "hash_batch_vs_generic" in suites:
@@ -1436,6 +1606,22 @@ def validate_schema(report: dict) -> None:
             assert key in report["work"], f"missing work {key}"
         for key in ("obs_matches_equal", "obs_trace_present_when_requested"):
             assert key in report["checks"], f"missing check {key}"
+    if "serving_obs" in suites:
+        for key in ("serving_telemetry_s", "serving_prepr_s",
+                    "serving_sampled_s", "serving_sampled_prepr_s"):
+            assert key in report["timings"], f"missing timing {key}"
+        for key in ("serving_telemetry_vs_prepr", "serving_sampled_vs_prepr"):
+            assert key in report["speedups"], f"missing speedup {key}"
+        for key in ("serving_obs_overhead_disabled",
+                    "serving_obs_overhead_sampled", "serving_sampled_traces",
+                    "serving_sink_events", "serving_sink_spans"):
+            assert key in report["work"], f"missing work {key}"
+        for key in ("serving_matches_equal",
+                    "serving_quantile_within_one_bucket",
+                    "serving_sink_parseable", "serving_sink_has_spans",
+                    "serving_sink_has_resource",
+                    "serving_sink_stage_histograms", "serving_sink_rotated"):
+            assert key in report["checks"], f"missing check {key}"
     assert all(isinstance(v, bool) for v in report["checks"].values())
 
 
@@ -1456,7 +1642,7 @@ def main(argv: Optional[List[str]] = None) -> dict:
     unknown = [s for s in suites if s not in ALL_SUITES]
     if unknown:
         parser.error(f"unknown suites {unknown}; choose from {ALL_SUITES}")
-    report = run_suite(quick=args.quick, suites=suites)
+    report = run_suite(quick=args.quick, suites=suites, out_dir=out_dir)
     validate_schema(report)
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=False)
@@ -1494,6 +1680,22 @@ def main(argv: Optional[List[str]] = None) -> dict:
               f"({report['work']['obs_traced_span_count']} spans, "
               f"disabled span() "
               f"{report['timings']['obs_span_disabled_ns']:.0f} ns)")
+    if "serving_obs" in suites:
+        print(f"[bench_perf] serving telemetry overhead: disabled "
+              f"{report['work']['serving_obs_overhead_disabled'] * 100:+.2f}% "
+              f"(ceiling {SERVING_OBS_DISABLED_CEILING * 100:.0f}%, full "
+              f"mode), sampled@"
+              f"{report['meta']['serving_obs_suite']['sample_rate']:.0%} "
+              f"{report['work']['serving_obs_overhead_sampled'] * 100:+.2f}% "
+              f"(ceiling {SERVING_OBS_SAMPLED_CEILING * 100:.0f}%, "
+              f"{report['work']['serving_sampled_traces']} traces)")
+        print(f"[bench_perf] serving sink: "
+              f"{report['work']['serving_sink_events']} events across "
+              f"{report['work']['serving_sink_files']} files "
+              f"({report['work']['serving_sink_rotations']} rotations, "
+              f"{report['work']['serving_sink_spans']} spans); quantile "
+              f"p99 est {report['work']['serving_quantile_p99_est']:.0f} "
+              f"vs exact {report['work']['serving_quantile_p99_exact']:.0f}")
     if "hybrid_vs_single" in suites:
         print(f"[bench_perf] hybrid vs best single "
               f"({report['work']['hybrid_best_single']}): "

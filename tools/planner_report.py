@@ -28,6 +28,8 @@ and persists it where ``backend="auto"`` looks on the next process start
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
 import sys
 
@@ -43,6 +45,38 @@ from repro.obs.planner_log import (  # noqa: E402
 )
 
 
+def _regret_row_dict(row) -> dict:
+    payload = dataclasses.asdict(row)
+    payload["key"] = list(row.key)
+    return payload
+
+
+def _report_dict(path: str, log: PlannerLog) -> dict:
+    """The whole report as plain data (the ``--json`` payload)."""
+    amortized, one_shot = log.session_counts()
+    report = {
+        "schema": "repro-planner-report/v1",
+        "log": path,
+        "records": len(log),
+        "session_amortized": amortized,
+        "one_shot": one_shot,
+        "regret": [_regret_row_dict(r) for r in log.regret_rows()],
+        "pick_distribution": log.pick_distribution(),
+        "stages": [
+            {"key": list(key), "picked": picked, **stage}
+            for key, picked, stage in log.stage_rows()
+        ],
+    }
+    if amortized and one_shot:
+        report["regret_session"] = [
+            _regret_row_dict(r) for r in log.regret_rows(session=True)
+        ]
+        report["regret_one_shot"] = [
+            _regret_row_dict(r) for r in log.regret_rows(session=False)
+        ]
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("log", help="planner log (JSONL, from PlannerLog.save)")
@@ -55,10 +89,23 @@ def main(argv=None) -> int:
         help="re-fit the cost model from the log's measurements and save "
         "it (default path: %(const)s)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as one JSON document on stdout (regret "
+        "rows, pick distribution, per-stage rows) for dashboards/CI",
+    )
     args = parser.parse_args(argv)
 
     log = PlannerLog.load(args.log)
     amortized, one_shot = log.session_counts()
+
+    if args.json:
+        print(json.dumps(_report_dict(args.log, log), indent=2, sort_keys=True))
+        if args.write_model:
+            model = CostModel.from_planner_log(log)
+            model.save(args.write_model)
+        return 0
     print(
         f"planner log: {args.log} ({len(log)} records: "
         f"{amortized} session-amortized, {one_shot} one-shot)"
