@@ -22,7 +22,7 @@ from repro.core import (
     parallel_lsh_join,
     sketch_unsigned_join,
 )
-from repro.datasets import planted_mips
+from repro.datasets import adversarial_maxip, planted_mips
 from repro.engine import join as engine_join
 from repro.lsh import DataDepALSH
 from repro.obs import (
@@ -42,6 +42,16 @@ CROSSOVER_GRID = (
     *((n, 48, 0.85, 0.4) for n in (512, 2048)),
     *((n, 24, 0.90, 0.6) for n in (512, 2048)),
     *((n, 24, 0.75, 0.3) for n in (512, 2048)),
+)
+
+#: Adversarial Max-IP spoke: (n, d, weight).  Chen-style OV-gadget
+#: instances — Hamming-sphere data, additive O(1) planted gap — where
+#: every sub-quadratic backend should degrade toward brute-force work.
+ADVERSARIAL_GRID = (
+    (256, 64, 12),
+    (512, 64, 12),
+    (1024, 96, 16),
+    (2048, 96, 16),
 )
 
 
@@ -97,6 +107,51 @@ def test_join_crossover_table(benchmark):
 
     text = benchmark.pedantic(build, rounds=1, iterations=1)
     emit("join_crossover", text)
+
+
+def test_adversarial_maxip_table(benchmark):
+    """Top-1 joins on the OV-gadget hard family, per backend.
+
+    Every row's data lives on one Hamming sphere (equal norms) and the
+    planted answer beats the bulk by an additive gap of ~1 inner-product
+    unit, so ``norm_pruned`` gains nothing over ``brute_force`` and the
+    planner's exact tie-break is the interesting signal: the work
+    columns should stay essentially quadratic for every backend, the
+    crossover bench's designed-to-be-hard counterpoint.
+    """
+    def build():
+        rows = []
+        for n, d, weight in ADVERSARIAL_GRID:
+            inst = adversarial_maxip(n, 16, d, weight=weight, seed=n + d)
+            # Top-1 at a threshold the planted pair just clears; c = 1
+            # keeps the request exact (no multiplicative gap exists).
+            s = float(inst.planted_ip.min())
+            spec = JoinSpec(s=s, k=1, signed=False)
+            for backend in ("brute_force", "norm_pruned", "auto"):
+                start = time.perf_counter()
+                result = engine_join(
+                    inst.P, inst.Q, spec, backend=backend, seed=1
+                )
+                wall = time.perf_counter() - start
+                hits = sum(
+                    1 for qi, lst in enumerate(result.topk or [])
+                    if lst and lst[0] == int(inst.answers[qi])
+                )
+                rows.append([
+                    n, d, weight, f"{inst.min_gap}", backend,
+                    f"{wall * 1e3:.1f} ms",
+                    result.inner_products_evaluated,
+                    f"{result.inner_products_evaluated / (n * 16):.4f}",
+                    f"{hits / len(inst.answers):.2f}",
+                ])
+        return format_table(
+            ["n", "d", "weight", "gap", "backend", "wall time",
+             "pairs verified", "fraction of n*m", "planted top-1 found"],
+            rows,
+        )
+
+    text = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("adversarial_maxip", text)
 
 
 def test_planner_pick_distribution(benchmark):

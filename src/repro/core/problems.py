@@ -151,6 +151,7 @@ class JoinSpec:
     k: Optional[int] = None
     self_join: bool = False
     match_duplicates: bool = True
+    measure: str = "ip"
 
     def __post_init__(self):
         check_threshold(self.s, "s")
@@ -160,6 +161,24 @@ class JoinSpec:
             raise ParameterError(f"k must be >= 1, got {self.k}")
         if self.k is not None and self.self_join:
             raise ParameterError("top-k self-joins are not supported")
+        if self.measure != "ip":
+            # Measure-specific threshold semantics live in the measure
+            # descriptor (repro.engine.measures); the spec only enforces
+            # what must hold regardless of engine dispatch.
+            if self.measure == "jaccard":
+                if not 0.0 < self.s <= 1.0:
+                    raise ParameterError(
+                        f"jaccard threshold s must be in (0, 1], got {self.s}"
+                    )
+                if not self.signed:
+                    raise ParameterError(
+                        "jaccard similarity is nonnegative; signed=False "
+                        "has no meaning for measure='jaccard'"
+                    )
+            elif not isinstance(self.measure, str) or not self.measure:
+                raise ParameterError(
+                    f"measure must be a non-empty string, got {self.measure!r}"
+                )
 
     @property
     def cs(self) -> float:

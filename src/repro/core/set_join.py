@@ -1,0 +1,349 @@
+"""Exact and MinHash-filtered Jaccard set-join chunk kernels.
+
+The Jaccard analogues of :mod:`repro.core.brute_force` /
+:mod:`repro.core.topk` / :mod:`repro.core.self_join`: every kernel here
+operates on one contiguous query chunk of a :class:`SetCollection` and
+returns the ``(matches, evaluated, generated, stats)`` tuple the engine's
+chunk contract expects, with the same determinism guarantees — strict
+improvement / stable ranking keeps the lowest-index maximizer, so block
+size, chunking, and worker count never change results.
+
+The exact scan inverts ``P`` into element postings once and intersects a
+query against *all* overlapping rows with one gather + ``bincount``
+(cost per query = total posting length of its members, the set analogue
+of one GEMV row).  The MinHash index partitions ``P`` by set size (the
+``MinHashLSHEnsemble`` idea: a size-incompatible partition cannot reach
+the threshold, so it is never probed), banding ``n_tables`` fused
+MinHash keys per row into per-partition sorted bucket tables; candidates
+are verified exactly, so the filter only affects recall, never
+precision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problems import QueryStats
+from repro.datasets.sets import SetCollection
+from repro.errors import ParameterError
+from repro.lsh.minhash import MinHash
+from repro.obs.trace import span
+
+#: Default MinHash banding: 32 tables of 4 fused minima per key.  At the
+#: bench's planted threshold (J >= 0.6) a true pair collides in at least
+#: one table with probability ``1 - (1 - 0.6^4)^32 ~ 0.989``.
+DEFAULT_MINHASH_TABLES = 32
+DEFAULT_MINHASH_HASHES = 4
+DEFAULT_MINHASH_PARTITIONS = 8
+
+#: Rows densified per hashing step (bounds the ``rows x universe``
+#: intermediate the batch MinHash kernel consumes).
+HASH_CHUNK_ROWS = 2048
+
+
+def _multi_arange(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(s, s + l)`` for each pair, vectorized."""
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    keep = lens > 0
+    starts, lens = starts[keep], lens[keep]
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    pos = np.cumsum(lens)[:-1]
+    out[pos] = starts[1:] - (starts[:-1] + lens[:-1]) + 1
+    return np.cumsum(out)
+
+
+class SetPostings:
+    """Inverted index of a :class:`SetCollection`: element -> member rows.
+
+    ``rows[indptr[e]:indptr[e+1]]`` lists (ascending) the rows whose sets
+    contain element ``e`` — the transpose of the collection's CSR, built
+    once per join and shared read-only across workers.
+    """
+
+    __slots__ = ("indptr", "rows", "sizes", "n", "universe")
+
+    def __init__(self, sets: SetCollection):
+        n, universe = sets.shape
+        counts = np.bincount(sets.indices, minlength=universe)
+        indptr = np.zeros(universe + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        order = np.argsort(sets.indices, kind="stable")
+        self.rows = np.repeat(np.arange(n, dtype=np.int64), sets.sizes)[order]
+        self.indptr = indptr
+        self.sizes = sets.sizes.astype(np.int64)
+        self.n = int(n)
+        self.universe = int(universe)
+
+    def overlaps(self, members: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        """``(rows, intersection_sizes, pairs_gathered)`` for one query.
+
+        ``rows`` is the ascending array of data rows sharing at least one
+        element with the query; ``pairs_gathered`` counts posting entries
+        touched (candidate pairs with multiplicity).
+        """
+        gathered = self.rows[
+            _multi_arange(self.indptr[members], self.indptr[members + 1]
+                          - self.indptr[members])
+        ]
+        if gathered.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, 0
+        counts = np.bincount(gathered)
+        rows = np.flatnonzero(counts)
+        return rows, counts[rows], int(gathered.size)
+
+
+def _jaccard_scores(
+    inter: np.ndarray, sizes_p: np.ndarray, q_size: int
+) -> np.ndarray:
+    union = sizes_p + q_size - inter
+    # union == 0 only for empty-vs-empty pairs, defined as similarity 0.
+    return np.where(union > 0, inter / np.maximum(union, 1), 0.0)
+
+
+def jaccard_scan_chunk(
+    postings: SetPostings,
+    Q_chunk: SetCollection,
+    cs: float,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Exact Jaccard threshold scan over one contiguous query chunk.
+
+    Returns ``(matches, scores_evaluated, pairs_generated, stats)``; the
+    lowest-index maximizer is reported, so results are chunking- and
+    worker-independent.
+    """
+    matches: List[Optional[int]] = []
+    evaluated = generated = 0
+    stats = QueryStats()
+    with span("set_scan", n_queries=len(Q_chunk)):
+        for members in Q_chunk:
+            rows, inter, gathered = postings.overlaps(members)
+            if rows.size == 0:
+                matches.append(None)
+                stats.record(0, 0)
+                continue
+            scores = _jaccard_scores(inter, postings.sizes[rows], members.size)
+            best = int(np.argmax(scores))
+            matches.append(int(rows[best]) if scores[best] >= cs else None)
+            evaluated += rows.size
+            generated += gathered
+            stats.record(gathered, rows.size)
+    return matches, evaluated, generated, stats
+
+
+def jaccard_topk_chunk(
+    postings: SetPostings,
+    Q_chunk: SetCollection,
+    cs: float,
+    k: int,
+) -> Tuple[List[List[int]], int, int, QueryStats]:
+    """Exact Jaccard top-k lists (ranked by score, ties to lower index)."""
+    out: List[List[int]] = []
+    evaluated = generated = 0
+    stats = QueryStats()
+    with span("set_scan_topk", n_queries=len(Q_chunk)):
+        for members in Q_chunk:
+            rows, inter, gathered = postings.overlaps(members)
+            if rows.size == 0:
+                out.append([])
+                stats.record(0, 0)
+                continue
+            scores = _jaccard_scores(inter, postings.sizes[rows], members.size)
+            keep = scores >= cs
+            rows_k, scores_k = rows[keep], scores[keep]
+            order = np.argsort(-scores_k, kind="stable")[:k]
+            out.append(rows_k[order].tolist())
+            evaluated += rows.size
+            generated += gathered
+            stats.record(gathered, rows.size)
+    return out, evaluated, generated, stats
+
+
+def jaccard_self_chunk(
+    postings: SetPostings,
+    P: SetCollection,
+    Q_chunk: SetCollection,
+    start: int,
+    cs: float,
+    match_duplicates: bool,
+) -> Tuple[List[Optional[int]], int, int, QueryStats]:
+    """Exact Jaccard self-join over ``P[start:start+len(Q_chunk)]``.
+
+    The self pair is masked by *global* row index; with
+    ``match_duplicates`` off, rows whose sets equal the query set
+    (Jaccard exactly 1) are masked too.
+    """
+    matches: List[Optional[int]] = []
+    evaluated = generated = 0
+    stats = QueryStats()
+    with span("set_scan_self", n_queries=len(Q_chunk)):
+        for qi, members in enumerate(Q_chunk):
+            rows, inter, gathered = postings.overlaps(members)
+            keep = rows != (start + qi)
+            rows, inter = rows[keep], inter[keep]
+            if rows.size == 0:
+                matches.append(None)
+                stats.record(0, 0)
+                continue
+            scores = _jaccard_scores(inter, postings.sizes[rows], members.size)
+            if not match_duplicates:
+                scores = np.where(scores >= 1.0, -np.inf, scores)
+            best = int(np.argmax(scores))
+            matches.append(int(rows[best]) if scores[best] >= cs else None)
+            evaluated += rows.size
+            generated += gathered
+            stats.record(gathered, rows.size)
+    return matches, evaluated, generated, stats
+
+
+def hash_sets(tables, sets: SetCollection, side: str = "data") -> np.ndarray:
+    """Fused MinHash keys ``(n, n_tables)`` of a collection, densified in
+    bounded row chunks so the ``rows x universe`` intermediate stays small."""
+    n = len(sets)
+    keys = np.empty((n, tables.n_tables), dtype=np.int64)
+    for lo in range(0, n, HASH_CHUNK_ROWS):
+        chunk = sets[lo:lo + HASH_CHUNK_ROWS]
+        keys[lo:lo + HASH_CHUNK_ROWS] = tables.hash_matrix(
+            chunk.to_dense(dtype=np.int64), side=side
+        )
+    return keys
+
+
+class MinHashSetIndex:
+    """Size-partitioned MinHash bucket index over a :class:`SetCollection`.
+
+    ``P`` is split into ``num_part`` equal-count partitions by set size
+    (the ensemble trick): a partition whose size range ``[lo, hi]``
+    cannot reach Jaccard ``t`` against a query of size ``q`` — i.e.
+    ``hi < t*q`` or ``lo > q/t`` — is skipped entirely at query time.
+    Within a partition each of the ``n_tables`` fused keys indexes a
+    sorted ``(key, row)`` bucket table; lookups are two binary searches.
+    """
+
+    def __init__(
+        self,
+        P: SetCollection,
+        *,
+        n_tables: int = DEFAULT_MINHASH_TABLES,
+        hashes_per_table: int = DEFAULT_MINHASH_HASHES,
+        num_part: int = DEFAULT_MINHASH_PARTITIONS,
+        seed: int = 0,
+    ):
+        if n_tables < 1 or hashes_per_table < 1 or num_part < 1:
+            raise ParameterError(
+                "n_tables, hashes_per_table and num_part must all be >= 1"
+            )
+        n, universe = P.shape
+        self.P = P
+        self.n_tables = int(n_tables)
+        self.sizes = P.sizes.astype(np.int64)
+        rng = np.random.default_rng(seed)
+        self.tables = MinHash(universe).sample_batch(
+            rng, hashes_per_table, n_tables
+        )
+        keys = hash_sets(self.tables, P, side="data")
+        order = np.argsort(self.sizes, kind="stable")
+        num_part = min(int(num_part), max(1, n))
+        bounds = np.linspace(0, n, num_part + 1).astype(np.int64)
+        self.partitions = []
+        for p in range(num_part):
+            rows = order[bounds[p]:bounds[p + 1]]
+            if rows.size == 0:
+                continue
+            lo, hi = int(self.sizes[rows[0]]), int(self.sizes[rows[-1]])
+            buckets = []
+            for t in range(self.n_tables):
+                part_keys = keys[rows, t]
+                key_order = np.argsort(part_keys, kind="stable")
+                buckets.append(
+                    (part_keys[key_order], rows[key_order].astype(np.int64))
+                )
+            self.partitions.append((lo, hi, buckets))
+
+    def candidates(
+        self, q_keys: np.ndarray, q_size: int, threshold: float
+    ) -> Tuple[np.ndarray, int]:
+        """``(unique_rows, pairs_with_multiplicity)`` colliding with a query."""
+        if q_size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        hits = []
+        total = 0
+        for lo, hi, buckets in self.partitions:
+            if hi < threshold * q_size or lo * threshold > q_size:
+                continue
+            for t in range(self.n_tables):
+                keys_sorted, rows_sorted = buckets[t]
+                left = np.searchsorted(keys_sorted, q_keys[t], side="left")
+                right = np.searchsorted(keys_sorted, q_keys[t], side="right")
+                if right > left:
+                    hits.append(rows_sorted[left:right])
+                    total += right - left
+        if not hits:
+            return np.empty(0, dtype=np.int64), 0
+        return np.unique(np.concatenate(hits)), total
+
+    def verify(self, members: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Exact Jaccard of the query against each candidate row."""
+        scores = np.empty(rows.size, dtype=np.float64)
+        q_size = members.size
+        for j, r in enumerate(rows):
+            p_members = self.P.row(int(r))
+            inter = int(
+                np.isin(p_members, members, assume_unique=True).sum()
+            )
+            union = p_members.size + q_size - inter
+            scores[j] = inter / union if union else 0.0
+        return scores
+
+
+def minhash_join_chunk(
+    index: MinHashSetIndex,
+    Q_chunk: SetCollection,
+    cs: float,
+    *,
+    k: Optional[int] = None,
+    self_start: Optional[int] = None,
+    match_duplicates: bool = True,
+):
+    """Filter-then-verify Jaccard join over one contiguous query chunk.
+
+    Handles all three variants: threshold (default), top-k (``k`` set),
+    and self-join (``self_start`` set to the chunk's global offset into
+    ``P``).  Returns ``(matches_or_topk, evaluated, generated, stats)``.
+    """
+    out: list = []
+    evaluated = generated = 0
+    stats = QueryStats()
+    q_keys = hash_sets(index.tables, Q_chunk, side="query")
+    with span("minhash_probe", n_queries=len(Q_chunk)):
+        for qi, members in enumerate(Q_chunk):
+            rows, multiplicity = index.candidates(
+                q_keys[qi], members.size, cs
+            )
+            if self_start is not None:
+                rows = rows[rows != (self_start + qi)]
+            if rows.size == 0:
+                out.append([] if k is not None else None)
+                stats.record(multiplicity, 0)
+                generated += multiplicity
+                continue
+            scores = index.verify(members, rows)
+            if self_start is not None and not match_duplicates:
+                scores = np.where(scores >= 1.0, -np.inf, scores)
+            evaluated += rows.size
+            generated += multiplicity
+            stats.record(multiplicity, rows.size)
+            if k is not None:
+                keep = scores >= cs
+                rows_k, scores_k = rows[keep], scores[keep]
+                order = np.argsort(-scores_k, kind="stable")[:k]
+                out.append(rows_k[order].tolist())
+            else:
+                best = int(np.argmax(scores))
+                out.append(int(rows[best]) if scores[best] >= cs else None)
+    return out, evaluated, generated, stats

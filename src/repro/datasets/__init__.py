@@ -24,8 +24,17 @@ from repro.datasets.io import (
     normalize_to_unit_ball,
     save_vectors,
 )
+from repro.datasets.adversarial import (
+    AdversarialMaxIPInstance,
+    adversarial_maxip,
+)
 from repro.datasets.recommender import LatentFactorModel, latent_factor_model
-from repro.datasets.sets import zipfian_sets
+from repro.datasets.sets import (
+    SetCollection,
+    jaccard_pair,
+    planted_jaccard_sets,
+    zipfian_sets,
+)
 
 __all__ = [
     "load_vectors",
@@ -42,5 +51,10 @@ __all__ = [
     "planted_ovp",
     "LatentFactorModel",
     "latent_factor_model",
+    "AdversarialMaxIPInstance",
+    "adversarial_maxip",
+    "SetCollection",
+    "jaccard_pair",
+    "planted_jaccard_sets",
     "zipfian_sets",
 ]

@@ -1,0 +1,134 @@
+"""Adversarial Max-IP instances: the OV-gadget hard regime, planted.
+
+Chen's hardness results for Max-IP (arXiv:1802.02325) reduce Orthogonal
+Vectors to exact/additive Max-IP through Boolean gadgets: the resulting
+instances live on a Hamming sphere (every vector has the same weight, so
+norms carry zero pruning signal) and the answer is separated from the
+bulk by an *additive* O(1) gap (so no multiplicative ``c < 1``
+approximation can isolate it).  Those are exactly the two structural
+features that defeat the repository's sub-quadratic backends —
+``norm_pruned`` degenerates to a full scan and LSH needs
+``p1/p2 -> 1`` tables — which makes the family the right stress test
+for the crossover bench: on it, every backend should pay essentially
+brute force, and the planner should learn to say so.
+
+:func:`adversarial_maxip` plants one top-1 answer per query with the
+smallest overlap margin that keeps it the unique maximizer, then
+verifies the planted argmax exhaustively, so recall measurements need no
+ground-truth recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class AdversarialMaxIPInstance:
+    """A Hamming-sphere top-1 workload with verified planted answers.
+
+    Attributes:
+        P: data matrix, shape (n, d), 0/1 entries, every row of weight
+            ``weight`` (equal norms: norm pruning has no signal).
+        Q: query matrix, shape (m, d), 0/1 entries of weight ``weight``.
+        answers: per query, the planted data index that is the *unique*
+            inner-product maximizer (verified exhaustively).
+        planted_ip: per query, the planted pair's inner product.
+        bulk_max_ip: per query, the best non-planted inner product; the
+            additive gap ``planted_ip - bulk_max_ip`` is at least 1.
+    """
+
+    P: np.ndarray
+    Q: np.ndarray
+    answers: np.ndarray
+    planted_ip: np.ndarray
+    bulk_max_ip: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.P.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.P.shape[1]
+
+    @property
+    def min_gap(self) -> int:
+        """The smallest additive planted-vs-bulk gap over all queries."""
+        return int((self.planted_ip - self.bulk_max_ip).min())
+
+
+def adversarial_maxip(
+    n: int,
+    m: int,
+    d: int,
+    weight: int,
+    seed: SeedLike = None,
+    max_attempts: int = 64,
+) -> AdversarialMaxIPInstance:
+    """Plant one needle-in-a-Hamming-sphere top-1 answer per query.
+
+    Data rows are uniform weight-``weight`` subsets of ``[d]`` (bulk
+    overlaps concentrate around ``weight^2 / d``).  Each query copies
+    ``k`` coordinates from its planted row and draws the rest from the
+    row's complement, with ``k`` grown from just above the bulk mean
+    until the planted row is the strict unique argmax — so the gap is
+    the smallest additive margin the draw admits, the OV-gadget regime
+    where a multiplicative approximation is useless.
+    """
+    if weight < 1 or weight > d // 2:
+        raise ParameterError(
+            f"need 1 <= weight <= d/2 so queries can avoid their base "
+            f"row's support, got weight={weight}, d={d}"
+        )
+    if n < 2 or m < 1:
+        raise ParameterError(f"need n >= 2 and m >= 1, got n={n}, m={m}")
+    rng = ensure_rng(seed)
+
+    P = np.zeros((n, d), dtype=np.float64)
+    for i in range(n):
+        P[i, rng.choice(d, size=weight, replace=False)] = 1.0
+
+    Q = np.zeros((m, d), dtype=np.float64)
+    answers = np.empty(m, dtype=np.int64)
+    planted_ip = np.empty(m, dtype=np.int64)
+    bulk_max_ip = np.empty(m, dtype=np.int64)
+    k_start = min(weight, int(np.ceil(weight * weight / d)) + 1)
+    for qi in range(m):
+        base = int(rng.integers(n))
+        support = np.flatnonzero(P[base])
+        complement = np.flatnonzero(P[base] == 0)
+        q = None
+        for attempt in range(max_attempts):
+            # Grow the shared-coordinate count every few failed draws;
+            # at k = weight the query is the base row's support itself.
+            k = min(weight, k_start + attempt // 4)
+            shared = rng.choice(support, size=k, replace=False)
+            fresh = rng.choice(complement, size=weight - k, replace=False)
+            cand = np.zeros(d, dtype=np.float64)
+            cand[shared] = 1.0
+            cand[fresh] = 1.0
+            ips = (P @ cand).astype(np.int64)
+            others = np.delete(ips, base)
+            if ips[base] > others.max():
+                q = cand
+                planted_ip[qi] = int(ips[base])
+                bulk_max_ip[qi] = int(others.max())
+                break
+        if q is None:
+            raise ParameterError(
+                f"could not plant a unique top-1 answer for query {qi} "
+                f"in {max_attempts} attempts (n={n}, d={d}, "
+                f"weight={weight}); increase d or weight"
+            )
+        Q[qi] = q
+        answers[qi] = base
+    return AdversarialMaxIPInstance(
+        P=P, Q=Q, answers=answers,
+        planted_ip=planted_ip, bulk_max_ip=bulk_max_ip,
+    )

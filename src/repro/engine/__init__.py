@@ -52,18 +52,28 @@ from repro.engine.sharding import (
 # ``engine.open(P, spec)`` is the canonical session entry point; the
 # module-level name shadows the builtin only inside this namespace.
 open = open_session
+from repro.engine.measures import (
+    MeasureDescriptor,
+    available_measures,
+    get_measure,
+    register_measure,
+)
 from repro.engine.registry import (
     available_backends,
+    backends_for,
     backends_for_variant,
+    capability_matrix,
     get_backend,
     register,
 )
+from repro.engine.set_backends import MinHashLSHBackend, SetScanBackend
 from repro.quant.backend import IPFilterBackend, QuantizedBackend
 
 # Built-in backends register on import, exact ones first: planner ties
 # resolve toward the stronger (exact) guarantee.  The compact tier
-# appends after the originals so registration order (and the
-# index-based planner tie-break) is stable across releases.
+# appends after the originals, and the Jaccard measure's backends after
+# that, so registration order (and the index-based planner tie-break)
+# is stable across releases.
 if "brute_force" not in available_backends():
     register(BruteForceBackend())
     register(NormPrunedBackend())
@@ -71,6 +81,8 @@ if "brute_force" not in available_backends():
     register(SketchBackend())
     register(QuantizedBackend())
     register(IPFilterBackend())
+    register(SetScanBackend())
+    register(MinHashLSHBackend())
 
 __all__ = [
     "join",
@@ -101,11 +113,19 @@ __all__ = [
     "register",
     "get_backend",
     "available_backends",
+    "backends_for",
     "backends_for_variant",
+    "capability_matrix",
+    "MeasureDescriptor",
+    "register_measure",
+    "get_measure",
+    "available_measures",
     "BruteForceBackend",
     "NormPrunedBackend",
     "LSHBackend",
     "SketchBackend",
     "QuantizedBackend",
     "IPFilterBackend",
+    "SetScanBackend",
+    "MinHashLSHBackend",
 ]

@@ -74,20 +74,27 @@ from dataclasses import replace
 from typing import Optional, Union
 
 from repro.core.executor import WorkerPool, resolve_workers
-from repro.core.problems import JoinResult, JoinSpec, validate_join_inputs
+from repro.core.problems import JoinResult, JoinSpec
 from repro.core.verify import DEFAULT_BLOCK
+from repro.engine.measures import get_measure
 from repro.engine.plan import Plan
 from repro.engine.planner import CostModel, JoinPlan, plan_join
 from repro.engine.session import JoinSession
 from repro.errors import ParameterError
-from repro.utils.validation import check_matrix
 
 
 def _normalize_inputs(P, Q, spec: JoinSpec):
-    """Resolve the (P, Q, spec) triangle for all variants."""
+    """Resolve the (P, Q, spec) triangle for all variants.
+
+    Validation and compatibility delegate to the spec's measure
+    descriptor: dense float matrices for ``ip`` (byte-for-byte the old
+    ``check_matrix``/``validate_join_inputs`` path), CSR set collections
+    for ``jaccard``.
+    """
+    measure = get_measure(spec.measure)
     if Q is None:
         spec = spec if spec.self_join else replace(spec, self_join=True)
-        P = check_matrix(P, "P")
+        P = measure.validate(P, "P")
         if P.shape[0] < 2:
             raise ParameterError("self-join needs at least two vectors")
         return P, P, spec
@@ -95,7 +102,10 @@ def _normalize_inputs(P, Q, spec: JoinSpec):
         raise ParameterError(
             "self-join specs take a single set: pass Q=None"
         )
-    return (*validate_join_inputs(P, Q), spec)
+    P = measure.validate(P, "P")
+    Q = measure.validate(Q, "Q")
+    measure.check_compatible(P, Q)
+    return P, Q, spec
 
 
 def plan(

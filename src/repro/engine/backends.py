@@ -14,10 +14,13 @@ Each backend adapts one existing kernel family to the
   (:mod:`repro.core.sketch_join`); unsigned threshold and self joins,
   with the structure's own ``c = n^{-1/kappa}``.
 
-Each backend declares the spec variants it answers (``variants``); the
-registry exposes the mapping (:func:`repro.engine.registry.
-backends_for_variant`) so the planner only assembles plans whose stages
-can actually serve the request.
+Each backend declares the spec variants it answers (``variants``) and
+the similarity measures it speaks (``measures``, default ``("ip",)`` —
+all four of these are inner-product backends); the registry crosses the
+two into the ``(measure, variant)`` capability matrix
+(:func:`repro.engine.registry.backends_for`) so the planner only
+assembles plans whose stages can actually serve the request.  The
+Jaccard set-join backends live in :mod:`repro.engine.set_backends`.
 
 The *structures* here are small picklable dataclasses wrapping either a
 built index or the recipe to build one: the executor's worker

@@ -195,6 +195,11 @@ def _fold_stage_matches(
             newly += 1
         return newly, extra_eval
     reverify = stage_spec.cs < spec.cs
+    pair_score = None
+    if reverify:
+        from repro.engine.measures import get_measure
+
+        pair_score = get_measure(spec.measure).pair_score
     for qpos, local in enumerate(stage_result.matches):
         if local is None:
             continue
@@ -203,7 +208,7 @@ def _fold_stage_matches(
             continue
         gi = int(point_idx[local]) if point_idx is not None else int(local)
         if reverify:
-            value = float(P[gi] @ Q[gq])
+            value = pair_score(P, gi, Q, gq)
             extra_eval += 1
             score = value if spec.signed else abs(value)
             if score < spec.cs:

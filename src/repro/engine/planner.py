@@ -101,6 +101,20 @@ class CostModel:
     filter_selectivity: float = 0.02
     #: Fixed cost of projecting + quantizing the filter sketches.
     filter_fixed_build: float = 1e5
+    #: Per-element weight of the set-intersection postings scan relative
+    #: to a float64 GEMM multiply-add (gathers + bincount per posting).
+    set_scan_op: float = 4.0
+    #: Fixed cost of building the inverted set-postings index.
+    set_fixed_build: float = 1e4
+    #: Fixed cost of MinHash table construction + bucket sorting.
+    minhash_fixed_build: float = 2e5
+    #: Expected fraction of the data surviving MinHash banding per query.
+    minhash_candidate_fraction: float = 0.02
+    #: Mean set cardinality assumed when pricing set workloads (the
+    #: planner only sees ``(n, m, d)`` with ``d`` = universe size, so the
+    #: nnz per row enters as a model constant, calibratable like any
+    #: other weight).
+    set_mean_size: float = 64.0
     #: Bytes of data-structure working set the scan tier may use before
     #: the memory penalty kicks in; ``0`` disables the memory term.
     mem_budget_bytes: float = 0.0
@@ -507,7 +521,14 @@ def _hybrid_candidates(
     fallback re-scans ``sketch_fallback_query_fraction`` of the queries
     exactly.
     """
+    from repro.engine.measures import get_measure
     from repro.engine.registry import available_backends, get_backend
+
+    # The two-stage shapes below (norm prefix, sketch fallback, sketch
+    # filter + quantized verify) are inner-product constructions; other
+    # measures opt out through their descriptor.
+    if not get_measure(spec.measure).supports_hybrids:
+        return []
 
     names = set(available_backends())
     candidates: List[PlanEstimate] = []
@@ -661,10 +682,21 @@ def plan_join(
             f"expected_queries must be >= 1, got {expected_queries}"
         )
     model = model or default_model()
-    estimates = [
-        get_backend(name).estimate_cost(n, m, d, spec, model)
-        for name in available_backends()
-    ]
+    # Capability-matrix gate: a backend that does not speak the spec's
+    # measure is priced infeasible without being asked for an estimate
+    # (its estimate_cost was written against a different data kind).
+    # IP-only instances see the exact pre-measure-layer estimates.
+    estimates = []
+    for name in available_backends():
+        backend = get_backend(name)
+        if spec.measure not in getattr(backend, "measures", ("ip",)):
+            estimates.append(CostEstimate(
+                backend=name,
+                feasible=False,
+                reason=f"no {spec.measure!r} measure",
+            ))
+        else:
+            estimates.append(backend.estimate_cost(n, m, d, spec, model))
     plans = [
         PlanEstimate(
             plan=Plan.single(e.backend),

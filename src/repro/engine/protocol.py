@@ -147,6 +147,13 @@ class JoinBackend(ABC):
     #: backends can serve as stages for a given spec.
     variants: Tuple[str, ...] = ()
 
+    #: Similarity measures (:attr:`JoinSpec.measure` values) this backend
+    #: speaks.  The cross product ``measures x variants`` is the
+    #: backend's row of the engine's capability matrix
+    #: (:func:`repro.engine.registry.backends_for`); the default keeps
+    #: every pre-measure-layer backend an IP backend without edits.
+    measures: Tuple[str, ...] = ("ip",)
+
     #: Filter backends propose survivors instead of answering queries;
     #: they may only run as ``kind="filter"`` Plan stages, never as a
     #: standalone backend (the engine enforces the match both ways).

@@ -10,7 +10,8 @@ for the planner's ``backend="auto"`` ranking.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import warnings
+from typing import Dict, List, Tuple
 
 from repro.engine.protocol import JoinBackend
 from repro.errors import ParameterError
@@ -51,10 +52,45 @@ def available_backends() -> List[str]:
     return list(_REGISTRY)
 
 
-def backends_for_variant(variant: str) -> List[str]:
-    """Names of registered backends that answer ``variant``, in order."""
+def backends_for(measure: str, variant: str) -> List[str]:
+    """Names of registered backends covering the ``(measure, variant)``
+    capability cell, in registration order.
+
+    A backend covers a cell when ``measure`` is in its ``measures``
+    tuple (default ``("ip",)`` — pre-measure backends are IP-only) and
+    ``variant`` is in its ``variants`` tuple.
+    """
     return [
         name
         for name, backend in _REGISTRY.items()
-        if variant in getattr(backend, "variants", ())
+        if measure in getattr(backend, "measures", ("ip",))
+        and variant in getattr(backend, "variants", ())
     ]
+
+
+def capability_matrix() -> Dict[Tuple[str, str], List[str]]:
+    """The full ``(measure, variant) -> backend names`` matrix."""
+    matrix: Dict[Tuple[str, str], List[str]] = {}
+    for name, backend in _REGISTRY.items():
+        for measure in getattr(backend, "measures", ("ip",)):
+            for variant in getattr(backend, "variants", ()):
+                matrix.setdefault((measure, variant), []).append(name)
+    return matrix
+
+
+def backends_for_variant(variant: str) -> List[str]:
+    """Deprecated: names of backends answering ``variant`` for the
+    inner-product measure.
+
+    The pre-measure-layer capability lookup; it aliases
+    ``backends_for("ip", variant)`` bit-identically (every backend it
+    ever reported is an IP backend).  Use :func:`backends_for`.
+    """
+    warnings.warn(
+        "backends_for_variant(variant) is deprecated; use "
+        "backends_for(measure, variant) — this alias reports the "
+        "measure='ip' column only",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return backends_for("ip", variant)

@@ -70,6 +70,7 @@ from repro.engine.execute import (
     run_single_stage,
     run_stage_plan,
 )
+from repro.engine.measures import get_measure
 from repro.engine.plan import Plan
 from repro.engine.planner import CostModel, plan_join
 from repro.engine.protocol import persistable_arrays
@@ -81,7 +82,6 @@ from repro.obs.resources import snapshot as resource_snapshot
 from repro.obs.sampler import TraceSampler
 from repro.obs.sink import EventSink
 from repro.utils.persistence import load_structure_dir, save_structure_dir
-from repro.utils.validation import check_matrix
 
 #: Default build-amortization hint for sessions: "about a hundred query
 #: batches will run against this index".  One-shot ``join()`` uses 1.
@@ -215,7 +215,7 @@ class JoinSession:
         self._last_chunk_walls: list = []
         self._last_record: Optional[PlannerRecord] = None
         if _eager:
-            self.P = check_matrix(P, "P")
+            self.P = get_measure(spec.measure).validate(P, "P")
             if spec.self_join and self.P.shape[0] < 2:
                 raise ParameterError("self-join needs at least two vectors")
             self._resolve_plan(self.query_batch_hint, None)
@@ -238,6 +238,24 @@ class JoinSession:
 
     # -- planning --------------------------------------------------------
 
+    def _check_plan_measures(self) -> None:
+        """Reject explicit backends outside the spec's capability row.
+
+        ``auto`` never needs this (the planner prices foreign-measure
+        backends infeasible); explicit names and Plans would otherwise
+        fail deep inside a kernel fed the wrong collection type.
+        """
+        from repro.engine.registry import backends_for, get_backend
+
+        for stage in self.the_plan.stages:
+            backend = get_backend(stage.backend)
+            if self.spec.measure not in getattr(backend, "measures", ("ip",)):
+                raise ParameterError(
+                    f"backend {stage.backend!r} does not answer measure "
+                    f"{self.spec.measure!r}; capable backends: "
+                    f"{backends_for(self.spec.measure, self.spec.variant)}"
+                )
+
     def _resolve_plan(self, m: int, planner_span) -> None:
         backend = self.requested
         if isinstance(backend, Plan):
@@ -247,6 +265,7 @@ class JoinSession:
                     f"engine-level options {sorted(self.options)}"
                 )
             self.the_plan = backend
+            self._check_plan_measures()
             if planner_span is not None:
                 planner_span.attrs.update(
                     picked=self.the_plan.backend, source="explicit"
@@ -273,6 +292,7 @@ class JoinSession:
                 )
         else:
             self.the_plan = Plan.single(backend)
+            self._check_plan_measures()
             if planner_span is not None:
                 planner_span.attrs.update(picked=backend, source="explicit")
 
@@ -373,9 +393,18 @@ class JoinSession:
                 seen.add(id(arr))
                 arrays.append(arr)
 
-        add(self.P)
+        def add_collection(obj):
+            # Non-dense collections (CSR SetCollection) expose their
+            # backing ndarrays through arrays(); pin those instead.
+            if hasattr(obj, "arrays"):
+                for arr in obj.arrays():
+                    add(arr)
+            else:
+                add(obj)
+
+        add_collection(self.P)
         for prep in self._prepared:
-            add(prep.P_stage)
+            add_collection(prep.P_stage)
             if prep.payload is not None:
                 for arr in persistable_arrays(prep.payload):
                     add(arr)
@@ -715,12 +744,9 @@ class JoinSession:
             # Validate only the incoming batch: ``P`` was checked once at
             # open, and re-scanning it here would fault every page of a
             # memmap-loaded index back in on each query.
-            Q = check_matrix(Q, "Q")
-            if Q.shape[1] != self.P.shape[1]:
-                raise ParameterError(
-                    f"P and Q must share a dimension, got {self.P.shape[1]} "
-                    f"and {Q.shape[1]}"
-                )
+            measure = get_measure(self.spec.measure)
+            Q = measure.validate(Q, "Q")
+            measure.check_compatible(self.P, Q)
         sampled = (
             not trace
             and self.sampler is not None
@@ -763,6 +789,18 @@ class JoinSession:
             raise ParameterError(
                 "self-join sessions cannot stream queries: the query set "
                 "is P itself"
+            )
+        if not get_measure(self.spec.measure).dense_queries and hasattr(
+            chunks, "to_dense"
+        ):
+            # Set-collection streams re-block as dense 0/1 windows (the
+            # form QuerySource validates); set backends coerce each
+            # chunk back to CSR, so results match query() exactly.
+            sets = chunks
+            step = max(1, chunk_rows if chunk_rows is not None else 8 * self.block)
+            chunks = (
+                sets[lo:lo + step].to_dense()
+                for lo in range(0, sets.shape[0], step)
             )
         source = QuerySource.wrap(chunks)
         rows = chunk_rows if chunk_rows is not None else (

@@ -40,12 +40,12 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.problems import JoinResult, JoinSpec, QueryStats, validate_join_inputs
+from repro.core.problems import JoinResult, JoinSpec, QueryStats
+from repro.engine.measures import get_measure
 from repro.engine.session import open_session
 from repro.errors import ParameterError
 from repro.obs import MetricsRegistry
 from repro.obs.sink import EventSink
-from repro.utils.validation import check_matrix
 
 # Engine-level keywords of repro.engine.join; everything else in
 # ``join_options`` is a backend option that prepare() must accept.
@@ -131,13 +131,14 @@ def _merge_threshold(
     m = Q.shape[0]
     matches: List[Optional[int]] = [None] * m
     extra = 0
+    pair_score = get_measure(spec.measure).pair_score
     best_scores = np.full(m, -np.inf)
     for offset, result in zip(offsets, shard_results):
         for q, local in enumerate(result.matches):
             if local is None:
                 continue
             gi = offset + int(local)
-            value = float(P[gi] @ Q[q])
+            value = pair_score(P, gi, Q, q)
             extra += 1
             score = value if spec.signed else abs(value)
             current = matches[q]
@@ -163,6 +164,7 @@ def _merge_topk(
     topk: List[List[int]] = [[] for _ in range(m)]
     matches: List[Optional[int]] = [None] * m
     extra = 0
+    pair_score = get_measure(spec.measure).pair_score
     for q in range(m):
         scored: List[Tuple[float, int]] = []
         for offset, result in zip(offsets, shard_results):
@@ -171,7 +173,7 @@ def _merge_topk(
                 continue
             for local in lists[q]:
                 gi = offset + int(local)
-                value = float(P[gi] @ Q[q])
+                value = pair_score(P, gi, Q, q)
                 extra += 1
                 score = value if spec.signed else abs(value)
                 scored.append((-score, gi))
@@ -207,7 +209,10 @@ def sharded_join(
     """
     from repro.engine.api import join
 
-    P, Q = validate_join_inputs(P, Q)
+    measure = get_measure(spec.measure)
+    P = measure.validate(P, "P")
+    Q = measure.validate(Q, "Q")
+    measure.check_compatible(P, Q)
     if spec.variant not in ("join", "topk"):
         raise ParameterError(
             f"sharded_join answers the 'join' and 'topk' variants, "
@@ -294,13 +299,10 @@ class ShardedSession:
         if self._closed:
             raise ParameterError("session is closed")
         # Q-only validation: P was checked once at open_sharded, and the
-        # shard sessions re-check the batch's dimension anyway.
-        Q = check_matrix(Q, "Q")
-        if Q.shape[1] != self._P.shape[1]:
-            raise ParameterError(
-                f"P and Q must share a dimension, got {self._P.shape[1]} "
-                f"and {Q.shape[1]}"
-            )
+        # shard sessions re-check the batch's compatibility anyway.
+        measure = get_measure(self.spec.measure)
+        Q = measure.validate(Q, "Q")
+        measure.check_compatible(self._P, Q)
         shard_results = [
             session.query(Q, trace=trace) for session in self._sessions
         ]
@@ -390,7 +392,7 @@ def open_sharded(
     Self-join specs are rejected for the same reason
     :func:`sharded_join` rejects them.
     """
-    P = check_matrix(P, "P")
+    P = get_measure(spec.measure).validate(P, "P")
     if spec.self_join or spec.variant not in ("join", "topk"):
         raise ParameterError(
             f"sharded sessions answer the 'join' and 'topk' variants, "

@@ -215,6 +215,27 @@ def test_pr8_artifact_when_present():
     assert all(report["checks"].values()), report["checks"]
 
 
+def test_pr10_artifact_when_present():
+    """BENCH_PR10.json (similarity-measure layer), when checked in."""
+    path = os.path.join(REPO_ROOT, "BENCH_PR10.json")
+    if not os.path.exists(path):
+        pytest.skip("full-suite artifact not generated in this checkout")
+    bench_perf = _load_bench_perf()
+    with open(path) as handle:
+        report = json.load(handle)
+    bench_perf.validate_schema(report)
+    assert "jaccard_join" in report["meta"]["suites"]
+    assert report["meta"]["jaccard_suite"]["n"] == 20_000
+    assert report["work"]["jaccard_minhash_recall"] >= \
+        bench_perf.JACCARD_MINHASH_RECALL_FLOOR
+    assert report["speedups"]["jaccard_minhash_pair_reduction"] >= 1.0
+    assert report["checks"]["jaccard_minhash_sound"]
+    assert report["checks"]["jaccard_parallel_identical"]
+    assert report["checks"]["jaccard_session_matches_equal"]
+    assert report["checks"]["jaccard_stream_bit_identical"]
+    assert all(report["checks"].values()), report["checks"]
+
+
 def test_pr9_artifact_when_present():
     """BENCH_PR9.json (serving telemetry), when checked in."""
     path = os.path.join(REPO_ROOT, "BENCH_PR9.json")

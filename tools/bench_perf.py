@@ -2,7 +2,7 @@
 
 Runs a fixed, fully seeded sequence of build / candidate-generation /
 verification / join timings and writes the results as JSON (default
-``BENCH_PR8.json`` at the repo root), so successive PRs have a recorded
+``BENCH_PR10.json`` at the repo root), so successive PRs have a recorded
 baseline to beat.  Two modes:
 
 * full (default): n=100k, d=64 for the core suite, n=20k, d=64 for the
@@ -87,13 +87,22 @@ Suites (select with ``--suites``):
   the zero-copy path beating the legacy executor instead (pure
   serialization savings, core-count independent).  Full mode adds the
   2.0x @ 4 workers floor on machines with >= 4 cores.
+* ``jaccard_join``: the similarity-measure layer — the exact
+  ``set_scan`` postings join vs the ``minhash_lsh`` filter-then-verify
+  backend on a planted Jaccard workload (``measure="jaccard"`` through
+  the unchanged engine core).  Gated in both modes (the workload is
+  seeded, so the numbers are deterministic): minhash recall of the
+  exact answers >= ``JACCARD_MINHASH_RECALL_FLOOR`` and exact-verified
+  soundness; serial == 2-worker bit-identity; session ``query`` and
+  ``query_stream`` equal to the one-shot join.  Full mode adds the
+  pair-pruning check (minhash evaluates fewer pairs than the scan).
 
 Usage::
 
     PYTHONPATH=src python tools/bench_perf.py [--quick] [--out PATH] \
         [--suites core,hash_batch_vs_generic,sketch_batch_vs_loop,\
 planner_dispatch,obs_overhead,hybrid_vs_single,quantized_tier,\
-parallel_scaling,streaming_session]
+parallel_scaling,streaming_session,jaccard_join]
 """
 
 from __future__ import annotations
@@ -125,7 +134,7 @@ from repro.core.lsh_join import lsh_filter_verify_chunk
 from repro.core.problems import JoinResult
 from repro.core.sketch_join import sketch_unsigned_join
 from repro.core.verify import verify_block, verify_candidates
-from repro.datasets import random_unit
+from repro.datasets import jaccard_pair, planted_jaccard_sets, random_unit
 from repro.engine import Plan, norm_prefix_lsh_plan, quantized_filter_plan
 from repro.engine import open_session
 from repro.engine import join as engine_join
@@ -142,12 +151,12 @@ from repro.utils.validation import check_matrix
 
 SCHEMA = "repro-bench-perf/v1"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR9.json")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_PR10.json")
 
 ALL_SUITES = ("core", "hash_batch_vs_generic", "sketch_batch_vs_loop",
               "planner_dispatch", "obs_overhead", "serving_obs",
               "hybrid_vs_single", "quantized_tier", "parallel_scaling",
-              "streaming_session")
+              "streaming_session", "jaccard_join")
 
 FULL = dict(n=100_000, d=64, n_queries=2_000, n_tables=16, bits_per_table=14,
             n_probes=2, workers=(1, 2, 4), block=256, seed=2016)
@@ -213,13 +222,18 @@ SESSION_QUICK = dict(n=4_000, d=32, batch=32, batches=8, n_tables=6,
                      seed=2016)
 
 SERVING_FULL = dict(n=50_000, d=64, batch=64, batches=120, n_tables=8,
-                    hashes_per_table=10, block=256, repeats=5,
+                    hashes_per_table=10, block=256, repeats=9,
                     sample_rate=0.01, sink_cap=65_536, quantile_n=200_000,
                     seed=2016)
 SERVING_QUICK = dict(n=3_000, d=32, batch=32, batches=24, n_tables=4,
                      hashes_per_table=8, block=128, repeats=3,
                      sample_rate=0.01, sink_cap=32_768, quantile_n=20_000,
                      seed=2016)
+
+JACCARD_FULL = dict(n=20_000, n_queries=2_000, universe=8_192, mean_size=32,
+                    threshold=0.6, block=256, workers=2, repeats=2, seed=2016)
+JACCARD_QUICK = dict(n=2_000, n_queries=200, universe=1_024, mean_size=16,
+                     threshold=0.6, block=64, workers=2, repeats=1, seed=2016)
 
 #: Full-mode speedup floors; quick mode only checks correctness (the
 #: shrunken workloads are too small for stable ratios).
@@ -283,6 +297,12 @@ SERVING_OBS_DISABLED_CEILING = 0.02
 #: pays the full span-tracer cost, so the amortized ceiling is looser
 #: (full mode only).
 SERVING_OBS_SAMPLED_CEILING = 0.05
+#: Both-modes floor on ``minhash_lsh`` recall of the exact ``set_scan``
+#: answers on the planted Jaccard workload.  The default banding (L=32
+#: tables of k=4 hashes) collides a true J=0.6 pair in ~98.9% of
+#: queries per size partition, and the workload is seeded, so the
+#: observed recall is deterministic and sits above the floor.
+JACCARD_MINHASH_RECALL_FLOOR = 0.95
 
 
 def _timed(fn: Callable, repeats: int = 1):
@@ -316,6 +336,79 @@ def _timed_pair(fn_a: Callable, fn_b: Callable, repeats: int = 1):
             results[label] = fn()
             best[label] = min(best[label], time.perf_counter() - start)
     return best["a"], best["b"], results["a"], results["b"]
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _timed_pair_median(fn_a: Callable, fn_b: Callable, repeats: int = 1):
+    """:func:`_timed_pair` plus a drift-robust overhead estimate.
+
+    Returns ``(sec_a, sec_b, overhead, res_a, res_b)`` where ``sec_*``
+    are best-of walls (fed to the timings/speedups report as before) and
+    ``overhead`` is the MEDIAN of the per-round ``b/a - 1`` ratios.  The
+    few-percent overhead ceilings cannot ride the best-of ratio: the two
+    minima are taken independently, so each is biased by whichever round
+    caught the quietest scheduler window, and on a busy shared box that
+    bias (observed at +-10% on half-second legs) dwarfs the quantity
+    under test.  Within one round the two legs run back to back, so the
+    per-round ratio is drift-paired and its median converges on the true
+    overhead.
+    """
+    best = {"a": float("inf"), "b": float("inf")}
+    results = {"a": None, "b": None}
+    ratios = []
+    labelled = (("a", fn_a), ("b", fn_b))
+    for i in range(repeats):
+        round_s = {}
+        for label, fn in labelled if i % 2 == 0 else labelled[::-1]:
+            start = time.perf_counter()
+            results[label] = fn()
+            round_s[label] = time.perf_counter() - start
+            best[label] = min(best[label], round_s[label])
+        ratios.append(round_s["b"] / round_s["a"] - 1.0)
+    return best["a"], best["b"], _median(ratios), results["a"], results["b"]
+
+
+def _paired_batch_overhead(call_a: Callable, call_b: Callable, items,
+                           repeats: int = 1):
+    """Per-item interleaved paired timing of two single-item callables.
+
+    Runs ``call_a(item)`` and ``call_b(item)`` adjacent for every item —
+    alternating which side goes first per item and per round — and sums
+    each side's walls within a round.  Pairing at the single-call scale
+    (milliseconds) instead of the leg scale (seconds) keeps machine-load
+    drift correlated across the sides, which tightens the per-round
+    ratio enough for a 2% ceiling; the reported overhead is the median
+    round ratio of ``b`` over ``a`` (see :func:`_timed_pair_median` for
+    why best-of ratios are unusable here).
+    Returns ``(sec_a, sec_b, overhead, results_a, results_b)`` with
+    ``sec_*`` the best round sums and ``results_*`` the last round's
+    per-item results.
+    """
+    best = {"a": float("inf"), "b": float("inf")}
+    results = {"a": None, "b": None}
+    ratios = []
+    for i in range(repeats):
+        round_s = {"a": 0.0, "b": 0.0}
+        round_res = {"a": [], "b": []}
+        labelled = (("a", call_a), ("b", call_b))
+        for j, item in enumerate(items):
+            for label, call in labelled if (i + j) % 2 == 0 else labelled[::-1]:
+                start = time.perf_counter()
+                out = call(item)
+                round_s[label] += time.perf_counter() - start
+                round_res[label].append(out)
+        for label in ("a", "b"):
+            best[label] = min(best[label], round_s[label])
+            results[label] = round_res[label]
+        ratios.append(round_s["b"] / round_s["a"] - 1.0)
+    return best["a"], best["b"], _median(ratios), results["a"], results["b"]
 
 
 def _assert_same_candidates(a: List[np.ndarray], b: List[np.ndarray]) -> bool:
@@ -487,7 +580,8 @@ def _run_planner_suite(quick: bool, timings: dict, speedups: dict,
     Q = random_unit(nq, d, seed=seed + 1) * 0.95
 
     print("[bench_perf] dispatch: brute_force engine vs kernel ...", flush=True)
-    direct_brute_s, engine_brute_s, direct_brute, engine_brute = _timed_pair(
+    (direct_brute_s, engine_brute_s, overhead_brute,
+     direct_brute, engine_brute) = _timed_pair_median(
         lambda: brute_force_join(P, Q, spec, block=block),
         lambda: engine_join(P, Q, spec, backend="brute_force", block=block),
         repeats=repeats)
@@ -496,13 +590,11 @@ def _run_planner_suite(quick: bool, timings: dict, speedups: dict,
     index = BatchSignIndex.for_hyperplane(
         d, n_tables=cfg["n_tables"], bits_per_table=cfg["bits_per_table"],
         seed=seed + 2).build(P)
-    direct_lsh_s, engine_lsh_s, direct_lsh, engine_lsh = _timed_pair(
+    (direct_lsh_s, engine_lsh_s, overhead_lsh,
+     direct_lsh, engine_lsh) = _timed_pair_median(
         lambda: lsh_filter_verify_chunk(index, P, Q, True, spec.cs, 0, block),
         lambda: engine_join(P, Q, spec, backend="lsh", index=index, block=block),
         repeats=repeats)
-
-    overhead_brute = engine_brute_s / direct_brute_s - 1.0
-    overhead_lsh = engine_lsh_s / direct_lsh_s - 1.0
     timings["dispatch_brute_kernel_s"] = direct_brute_s
     timings["dispatch_brute_engine_s"] = engine_brute_s
     timings["dispatch_lsh_kernel_s"] = direct_lsh_s
@@ -569,11 +661,10 @@ def _run_obs_suite(quick: bool, timings: dict, speedups: dict,
     # --- disabled hooks: instrumented kernel vs span-free twin --------
     print("[bench_perf] obs: instrumented kernel vs span-free twin ...",
           flush=True)
-    bare_s, hooked_s, bare, hooked = _timed_pair(
+    bare_s, hooked_s, overhead_disabled, bare, hooked = _timed_pair_median(
         lambda: _lsh_chunk_span_free(index, P, Q, True, spec.cs, block),
         lambda: lsh_filter_verify_chunk(index, P, Q, True, spec.cs, 0, block),
         repeats=repeats)
-    overhead_disabled = hooked_s / bare_s - 1.0
 
     # --- enabled hooks: traced vs untraced engine join (informational)
     print("[bench_perf] obs: engine join traced vs untraced ...", flush=True)
@@ -725,13 +816,12 @@ def _run_hybrid_suite(quick: bool, timings: dict, speedups: dict,
     dn, dm = cfg["dispatch_n"], cfg["dispatch_queries"]
     Pd, Qd = P[:dn], Q[:dm]
     one_stage = Plan.single("lsh", lsh_options)
-    string_s, plan_s, by_string, by_plan = _timed_pair(
+    string_s, plan_s, overhead, by_string, by_plan = _timed_pair_median(
         lambda: engine_join(Pd, Qd, spec, backend="lsh", block=block,
                             seed=seed + 4, **lsh_options),
         lambda: engine_join(Pd, Qd, spec, backend=one_stage, block=block,
                             seed=seed + 4),
         repeats=cfg["dispatch_repeats"])
-    overhead = plan_s / string_s - 1.0
     timings["hybrid_dispatch_string_s"] = string_s
     timings["hybrid_dispatch_plan_s"] = plan_s
     work["plan_dispatch_overhead"] = overhead
@@ -1176,27 +1266,28 @@ def _run_serving_obs_suite(quick: bool, timings: dict, speedups: dict,
                             block=block, expected_queries=batches,
                             **lsh_options, **kwargs)
 
-    def pre_pr(session):
-        out = []
-        for Qb in Qs:
-            Qc = check_matrix(Qb, "Q")
-            out.append(session._dispatch(Qc, trace=False,
-                                         root="session.query"))
-            session.queries_served += 1
-            session.metrics.counter("session.queries").inc()
+    def pre_pr_one(session, Qb):
+        Qc = check_matrix(Qb, "Q")
+        out = session._dispatch(Qc, trace=False, root="session.query")
+        session.queries_served += 1
+        session.metrics.counter("session.queries").inc()
         return out
 
     # --- per-call telemetry overhead, sampling disabled ----------------
+    # The pair interleaves per BATCH (see _paired_batch_overhead): the
+    # quantity is ~0.1% of a 2-3 ms call, far below what independent
+    # best-of legs can resolve on a shared box.
     print("[bench_perf] serving obs: disabled-sampling overhead ...",
           flush=True)
     with open_serving() as session:
-        telem_s, prepr_s, telem_res, prepr_res = _timed_pair(
-            lambda: [session.query(Qb) for Qb in Qs],
-            lambda: pre_pr(session),
-            repeats=repeats)
+        (prepr_s, telem_s, overhead_disabled,
+         prepr_res, telem_res) = _paired_batch_overhead(
+            lambda Qb: pre_pr_one(session, Qb),
+            session.query,
+            Qs, repeats=repeats)
     timings["serving_telemetry_s"] = telem_s
     timings["serving_prepr_s"] = prepr_s
-    work["serving_obs_overhead_disabled"] = telem_s / prepr_s - 1.0
+    work["serving_obs_overhead_disabled"] = overhead_disabled
     speedups["serving_telemetry_vs_prepr"] = prepr_s / telem_s
     checks["serving_matches_equal"] = all(
         t.matches == p.matches
@@ -1211,14 +1302,15 @@ def _run_serving_obs_suite(quick: bool, timings: dict, speedups: dict,
     print("[bench_perf] serving obs: 1%-sampled overhead ...", flush=True)
     with open_serving(trace_sample_rate=cfg["sample_rate"],
                       trace_sample_seed=seed) as session:
-        sampled_s, sampled_base_s, _, _ = _timed_pair(
-            lambda: [session.query(Qb) for Qb in Qs],
-            lambda: pre_pr(session),
-            repeats=repeats)
+        (sampled_base_s, sampled_s, overhead_sampled,
+         _, _) = _paired_batch_overhead(
+            lambda Qb: pre_pr_one(session, Qb),
+            session.query,
+            Qs, repeats=repeats)
         sampler_stats = session.sampler.stats()
     timings["serving_sampled_s"] = sampled_s
     timings["serving_sampled_prepr_s"] = sampled_base_s
-    work["serving_obs_overhead_sampled"] = sampled_s / sampled_base_s - 1.0
+    work["serving_obs_overhead_sampled"] = overhead_sampled
     work["serving_sampled_traces"] = sampler_stats["sampled"]
     speedups["serving_sampled_vs_prepr"] = sampled_base_s / sampled_s
     if not quick:
@@ -1288,6 +1380,87 @@ def _run_serving_obs_suite(quick: bool, timings: dict, speedups: dict,
     return cfg
 
 
+def _run_jaccard_suite(quick: bool, timings: dict, speedups: dict,
+                       work: dict, checks: dict) -> dict:
+    """The measure layer: jaccard joins through the identical engine core.
+
+    Exact ``set_scan`` is the reference; ``minhash_lsh`` must verify its
+    candidates exactly (soundness) and recover the planted answers
+    (recall floor, both modes — the workload is seeded).  Composition
+    checks mirror the IP suites: serial == 2-worker bit-identity and
+    session/stream results equal to the one-shot join.
+    """
+    cfg = JACCARD_QUICK if quick else JACCARD_FULL
+    n, nq = cfg["n"], cfg["n_queries"]
+    universe, mean_size = cfg["universe"], cfg["mean_size"]
+    seed, block, repeats = cfg["seed"], cfg["block"], cfg["repeats"]
+    spec = JoinSpec(s=cfg["threshold"], measure="jaccard")
+    print(f"[bench_perf] jaccard suite: n={n} queries={nq} "
+          f"universe={universe} mean_size={mean_size} quick={quick}",
+          flush=True)
+    P, Q = planted_jaccard_sets(
+        n, nq, universe=universe, mean_size=mean_size,
+        threshold=cfg["threshold"], seed=seed,
+    )
+
+    print("[bench_perf] jaccard: set_scan vs minhash_lsh ...", flush=True)
+    scan_s, scan = _timed(
+        lambda: engine_join(P, Q, spec, backend="set_scan", block=block),
+        repeats=repeats)
+    minhash_s, approx = _timed(
+        lambda: engine_join(P, Q, spec, backend="minhash_lsh", seed=seed,
+                            block=block),
+        repeats=repeats)
+
+    answered = [j for j, m in enumerate(scan.matches) if m is not None]
+    hit = sum(1 for j in answered if approx.matches[j] is not None)
+    recall = hit / len(answered) if answered else 0.0
+    sound = all(
+        jaccard_pair(P.row(m), Q.row(j)) >= spec.cs
+        for j, m in enumerate(approx.matches) if m is not None
+    )
+
+    print("[bench_perf] jaccard: parallel + session + stream ...", flush=True)
+    par = engine_join(P, Q, spec, backend="set_scan", block=block,
+                      n_workers=cfg["workers"])
+    parallel_identical = (
+        par.matches == scan.matches
+        and par.inner_products_evaluated == scan.inner_products_evaluated
+        and par.candidates_generated == scan.candidates_generated
+    )
+    with open_session(P, spec, backend="set_scan", block=block) as session:
+        session_s, in_session = _timed(lambda: session.query(Q))
+        streamed = session.query_stream(Q, chunk_rows=block)
+    session_identical = in_session.matches == scan.matches
+    stream_identical = (
+        streamed.matches == in_session.matches
+        and streamed.inner_products_evaluated
+        == in_session.inner_products_evaluated
+    )
+
+    timings["jaccard_scan_s"] = scan_s
+    timings["jaccard_minhash_s"] = minhash_s
+    timings["jaccard_session_query_s"] = session_s
+    speedups["jaccard_minhash_vs_scan"] = scan_s / minhash_s
+    speedups["jaccard_minhash_pair_reduction"] = (
+        scan.inner_products_evaluated
+        / max(1, approx.inner_products_evaluated))
+    work["jaccard_scan_pairs"] = scan.inner_products_evaluated
+    work["jaccard_minhash_pairs"] = approx.inner_products_evaluated
+    work["jaccard_matched"] = scan.matched_count
+    work["jaccard_minhash_recall"] = recall
+    checks["jaccard_minhash_recall_floor"] = (
+        recall >= JACCARD_MINHASH_RECALL_FLOOR)
+    checks["jaccard_minhash_sound"] = sound
+    checks["jaccard_parallel_identical"] = parallel_identical
+    checks["jaccard_session_matches_equal"] = session_identical
+    checks["jaccard_stream_bit_identical"] = stream_identical
+    if not quick:
+        checks["jaccard_minhash_prunes_pairs"] = (
+            approx.inner_products_evaluated < scan.inner_products_evaluated)
+    return cfg
+
+
 def run_suite(quick: bool = False, suites=ALL_SUITES,
               out_dir: Optional[str] = None) -> dict:
     suites = tuple(suites)
@@ -1348,6 +1521,10 @@ def run_suite(quick: bool = False, suites=ALL_SUITES,
         session_cfg = _run_session_suite(quick, timings, speedups, work,
                                          checks)
         report["meta"]["session_suite"] = dict(session_cfg)
+    if "jaccard_join" in suites:
+        jaccard_cfg = _run_jaccard_suite(quick, timings, speedups, work,
+                                         checks)
+        report["meta"]["jaccard_suite"] = dict(jaccard_cfg)
     return report
 
 
@@ -1606,6 +1783,21 @@ def validate_schema(report: dict) -> None:
             assert key in report["work"], f"missing work {key}"
         for key in ("obs_matches_equal", "obs_trace_present_when_requested"):
             assert key in report["checks"], f"missing check {key}"
+    if "jaccard_join" in suites:
+        for key in ("jaccard_scan_s", "jaccard_minhash_s",
+                    "jaccard_session_query_s"):
+            assert key in report["timings"], f"missing timing {key}"
+        for key in ("jaccard_minhash_vs_scan",
+                    "jaccard_minhash_pair_reduction"):
+            assert key in report["speedups"], f"missing speedup {key}"
+        for key in ("jaccard_scan_pairs", "jaccard_minhash_pairs",
+                    "jaccard_matched", "jaccard_minhash_recall"):
+            assert key in report["work"], f"missing work {key}"
+        for key in ("jaccard_minhash_recall_floor", "jaccard_minhash_sound",
+                    "jaccard_parallel_identical",
+                    "jaccard_session_matches_equal",
+                    "jaccard_stream_bit_identical"):
+            assert key in report["checks"], f"missing check {key}"
     if "serving_obs" in suites:
         for key in ("serving_telemetry_s", "serving_prepr_s",
                     "serving_sampled_s", "serving_sampled_prepr_s"):
@@ -1680,6 +1872,14 @@ def main(argv: Optional[List[str]] = None) -> dict:
               f"({report['work']['obs_traced_span_count']} spans, "
               f"disabled span() "
               f"{report['timings']['obs_span_disabled_ns']:.0f} ns)")
+    if "jaccard_join" in suites:
+        print(f"[bench_perf] jaccard: minhash recall "
+              f"{report['work']['jaccard_minhash_recall'] * 100:.1f}% "
+              f"(floor {JACCARD_MINHASH_RECALL_FLOOR * 100:.0f}%), pair "
+              f"reduction "
+              f"{report['speedups']['jaccard_minhash_pair_reduction']:.1f}x, "
+              f"wall {report['speedups']['jaccard_minhash_vs_scan']:.2f}x "
+              f"vs set_scan")
     if "serving_obs" in suites:
         print(f"[bench_perf] serving telemetry overhead: disabled "
               f"{report['work']['serving_obs_overhead_disabled'] * 100:+.2f}% "
